@@ -1,0 +1,79 @@
+//! Microbenchmarks of the differential-file engine: the basic-vs-optimal
+//! scan strategies, parallel scans (the machine's query processors), and
+//! the merge operation — §3.3's costs in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmdb_difffile::{DiffConfig, DiffDb, ScanStrategy, Tuple};
+use std::hint::black_box;
+
+fn populated(base_tuples: u64, diff_ops: u64) -> DiffDb {
+    let base = (0..base_tuples)
+        .map(|k| Tuple {
+            key: k,
+            value: vec![(k % 251) as u8; 64],
+        })
+        .collect();
+    let mut db = DiffDb::with_base(
+        DiffConfig {
+            base_capacity: 256,
+            a_capacity: 128,
+            d_capacity: 128,
+            commit_frames: 8,
+        },
+        base,
+    )
+    .unwrap();
+    let t = db.begin();
+    for i in 0..diff_ops {
+        db.update(t, i * 7 % base_tuples, b"updated").unwrap();
+    }
+    db.commit(t).unwrap();
+    db
+}
+
+fn bench_scan_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("difffile/scan");
+    for (label, strategy) in [("basic", ScanStrategy::Basic), ("optimal", ScanStrategy::Optimal)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &s| {
+            let mut db = populated(2000, 200);
+            b.iter(|| {
+                let t = db.begin();
+                let r = db.query(t, |tp| tp.key % 97 == 0, s).unwrap();
+                db.abort(t).unwrap();
+                black_box(r.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("difffile/parallel_scan_workers");
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let mut db = populated(4000, 100);
+            b.iter(|| {
+                let t = db.begin();
+                let r = db
+                    .query_parallel(t, |tp| tp.key % 31 == 0, ScanStrategy::Optimal, w)
+                    .unwrap();
+                db.abort(t).unwrap();
+                black_box(r.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    c.bench_function("difffile/merge_200_ops", |b| {
+        b.iter(|| {
+            let mut db = populated(1000, 200);
+            db.merge().unwrap();
+            black_box(db.base_pages())
+        })
+    });
+}
+
+criterion_group!(benches, bench_scan_strategies, bench_parallel_scan, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! End-to-end simulator benchmarks: wall-clock cost of regenerating the
+//! paper's headline configurations (useful for tracking simulator
+//! performance regressions; the *simulated* results live in the table
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmdb_machine::config::{LoggingConfig, MachineConfig, RecoveryOverlay};
+use rmdb_machine::Machine;
+use std::hint::black_box;
+
+fn bench_bare_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine/bare");
+    group.sample_size(10);
+    for (name, mut cfg) in MachineConfig::paper_configurations() {
+        cfg.num_txns = 12;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(Machine::new(cfg.clone()).run().exec_time_per_page_ms))
+        });
+    }
+    group.finish();
+}
+
+fn bench_logging_overlay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine/logging");
+    group.sample_size(10);
+    for disks in [1usize, 4] {
+        let mut cfg = MachineConfig::table3_machine();
+        cfg.num_txns = 12;
+        cfg.overlay = RecoveryOverlay::Logging(LoggingConfig {
+            physical: true,
+            log_disks: disks,
+            ..LoggingConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(disks), &cfg, |b, cfg| {
+            b.iter(|| black_box(Machine::new(cfg.clone()).run().exec_time_per_page_ms))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bare_configs, bench_logging_overlay);
+criterion_main!(benches);

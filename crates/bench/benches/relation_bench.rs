@@ -1,0 +1,132 @@
+//! Benchmarks of the relation layer: heap scans vs B+tree lookups, join
+//! strategies, and the per-architecture cost of the same relational
+//! transaction (the paper's recovery overheads visible at the API level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmdb_core::PageStore;
+use rmdb_relation::{hash_join, nested_loop_join, BTree, HeapFile};
+use rmdb_shadow::{ShadowConfig, ShadowPager};
+use rmdb_wal::{WalConfig, WalDb};
+use std::hint::black_box;
+
+fn wal(pages: u64) -> WalDb {
+    WalDb::new(WalConfig {
+        data_pages: pages,
+        pool_frames: 64,
+        log_frames: 1 << 16,
+        ..WalConfig::default()
+    })
+}
+
+fn bench_point_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation/point_lookup_1000_tuples");
+    // heap scan
+    group.bench_function("heap_scan", |b| {
+        let mut db = wal(256);
+        let t = db.begin();
+        let rel = HeapFile::create(&mut db, t, 0, 64).unwrap();
+        for k in 0..1000u64 {
+            rel.insert(&mut db, t, k, &[k as u8; 32]).unwrap();
+        }
+        db.commit(t).unwrap();
+        let mut probe = 0u64;
+        b.iter(|| {
+            probe = (probe + 997) % 1000;
+            let t = db.begin();
+            let v = rel.get(&mut db, t, probe).unwrap();
+            db.abort(t).unwrap();
+            black_box(v)
+        })
+    });
+    // B+tree
+    group.bench_function("btree", |b| {
+        let mut db = wal(512);
+        let t = db.begin();
+        let tree = BTree::create(&mut db, t, 0, 400).unwrap();
+        for k in 0..1000u64 {
+            tree.insert(&mut db, t, k, &[k as u8; 32]).unwrap();
+        }
+        db.commit(t).unwrap();
+        let mut probe = 0u64;
+        b.iter(|| {
+            probe = (probe + 997) % 1000;
+            let t = db.begin();
+            let v = tree.get(&mut db, t, probe).unwrap();
+            db.abort(t).unwrap();
+            black_box(v)
+        })
+    });
+    group.finish();
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation/join_300x300");
+    let mut db = wal(256);
+    let t = db.begin();
+    let left = HeapFile::create(&mut db, t, 0, 32).unwrap();
+    let right = HeapFile::create(&mut db, t, 40, 32).unwrap();
+    for k in 0..300u64 {
+        left.insert(&mut db, t, k, &[1u8; 24]).unwrap();
+        right.insert(&mut db, t, k * 2 % 300, &[2u8; 24]).unwrap();
+    }
+    db.commit(t).unwrap();
+    group.bench_function("nested_loop", |b| {
+        b.iter(|| {
+            let t = db.begin();
+            let r = nested_loop_join(&mut db, t, &left, &right).unwrap();
+            db.abort(t).unwrap();
+            black_box(r.len())
+        })
+    });
+    group.bench_function("hash", |b| {
+        b.iter(|| {
+            let t = db.begin();
+            let r = hash_join(&mut db, t, &left, &right).unwrap();
+            db.abort(t).unwrap();
+            black_box(r.len())
+        })
+    });
+    group.finish();
+}
+
+fn txn_cost<S: PageStore>(store: &mut S) {
+    let t = store.begin();
+    let rel = HeapFile::open(store, t, 0).unwrap();
+    for k in (0..200u64).step_by(10) {
+        rel.update(store, t, k, &[9u8; 32]).unwrap();
+    }
+    store.commit(t).unwrap();
+}
+
+fn bench_architectures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation/txn_20_updates_by_architecture");
+    group.bench_with_input(BenchmarkId::from_parameter("wal"), &(), |b, ()| {
+        let mut db = wal(256);
+        let t = db.begin();
+        let rel = HeapFile::create(&mut db, t, 0, 64).unwrap();
+        for k in 0..200u64 {
+            rel.insert(&mut db, t, k, &[k as u8; 32]).unwrap();
+        }
+        db.commit(t).unwrap();
+        b.iter(|| txn_cost(&mut db))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("shadow"), &(), |b, ()| {
+        let mut db = ShadowPager::new(ShadowConfig {
+            logical_pages: 256,
+            data_frames: 1024,
+            ..ShadowConfig::default()
+        })
+        .unwrap();
+        let t = db.begin();
+        let rel = HeapFile::create(&mut db, t, 0, 64).unwrap();
+        for k in 0..200u64 {
+            rel.insert(&mut db, t, k, &[k as u8; 32]).unwrap();
+        }
+        db.commit(t).unwrap();
+        b.iter(|| txn_cost(&mut db))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_lookup, bench_joins, bench_architectures);
+criterion_main!(benches);

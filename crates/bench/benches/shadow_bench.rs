@@ -1,0 +1,103 @@
+//! Microbenchmarks of the shadow architectures: commit cost under
+//! clustered vs scrambled allocation, the version-selection read penalty
+//! (two physical reads per logical read), and the overwriting stores'
+//! commit paths — the §3.2 design-choice ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmdb_shadow::{
+    AllocPolicy, NoRedoStore, NoUndoStore, OverwriteConfig, ShadowConfig, ShadowPager,
+    VersionConfig, VersionStore,
+};
+use std::hint::black_box;
+
+fn bench_shadow_commit_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow/commit_16_pages");
+    for (label, alloc) in [("clustered", AllocPolicy::Clustered), ("scrambled", AllocPolicy::Scrambled)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &alloc, |b, &a| {
+            let mut pager = ShadowPager::new(ShadowConfig {
+                logical_pages: 64,
+                data_frames: 2048,
+                alloc: a,
+            })
+            .unwrap();
+            b.iter(|| {
+                let t = pager.begin();
+                for p in 0..16 {
+                    pager.write(t, p, 0, b"shadow-payload").unwrap();
+                }
+                pager.commit(t).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow/read_committed_page");
+    // thru page-table: one indirection
+    group.bench_function("thru_pagetable", |b| {
+        let mut pager = ShadowPager::new(ShadowConfig::default()).unwrap();
+        let t = pager.begin();
+        pager.write(t, 1, 0, b"data").unwrap();
+        pager.commit(t).unwrap();
+        b.iter(|| {
+            let t = pager.begin();
+            let v = pager.read(t, 1, 0, 4).unwrap();
+            pager.abort(t).unwrap();
+            black_box(v)
+        })
+    });
+    // version selection: both twin blocks fetched + selection
+    group.bench_function("version_selection", |b| {
+        let mut store = VersionStore::new(VersionConfig::default());
+        let t = store.begin();
+        store.write(t, 1, 0, b"data").unwrap();
+        store.commit(t).unwrap();
+        b.iter(|| {
+            let t = store.begin();
+            let v = store.read(t, 1, 0, 4).unwrap();
+            store.abort(t).unwrap();
+            black_box(v)
+        })
+    });
+    group.finish();
+}
+
+fn bench_overwriting_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow/overwriting_commit_8_pages");
+    group.bench_function("no_undo", |b| {
+        let mut s = NoUndoStore::new(OverwriteConfig {
+            logical_pages: 64,
+            scratch_slots: 32,
+        });
+        b.iter(|| {
+            let t = s.begin();
+            for p in 0..8 {
+                s.write(t, p, 0, b"overwrite-data").unwrap();
+            }
+            s.commit(t).unwrap();
+        })
+    });
+    group.bench_function("no_redo", |b| {
+        let mut s = NoRedoStore::new(OverwriteConfig {
+            logical_pages: 64,
+            scratch_slots: 32,
+        });
+        b.iter(|| {
+            let t = s.begin();
+            for p in 0..8 {
+                s.write(t, p, 0, b"overwrite-data").unwrap();
+            }
+            s.commit(t).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shadow_commit_alloc,
+    bench_read_paths,
+    bench_overwriting_commit
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Microbenchmarks of the parallel-logging layer: fragment routing and
+//! append throughput versus stream count and selection policy, commit
+//! cost, and crash-recovery time versus log length. These are the
+//! ablations behind the design choices DESIGN.md calls out for §3.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmdb_wal::{LogRecord, ParallelLogManager, SelectionPolicy, WalConfig, WalDb};
+use std::hint::black_box;
+
+fn update_record(txn: u64, page: u64) -> LogRecord {
+    LogRecord::Update {
+        txn,
+        page: rmdb_storage::PageId(page),
+        prev_lsn: rmdb_storage::Lsn(0),
+        new_lsn: rmdb_storage::Lsn(page + 1),
+        offset: 0,
+        before: vec![0xAA; 100],
+        after: vec![0xBB; 100],
+    }
+}
+
+fn bench_append_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal/append_1000_fragments");
+    for streams in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(streams), &streams, |b, &n| {
+            b.iter(|| {
+                let mut m = ParallelLogManager::new(n, 4096, SelectionPolicy::Cyclic, 7);
+                for i in 0..1000u64 {
+                    m.append_routed((i % 25) as usize, i % 8, &update_record(i % 8, i))
+                        .unwrap();
+                }
+                m.force_all().unwrap();
+                black_box(m.pages_written_per_stream())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal/selection_policy");
+    for policy in SelectionPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    let mut m = ParallelLogManager::new(4, 4096, p, 7);
+                    for i in 0..1000u64 {
+                        m.append_routed((i % 25) as usize, i % 3, &update_record(i % 3, i))
+                            .unwrap();
+                    }
+                    black_box(m.fragments_per_stream().to_vec())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_commit(c: &mut Criterion) {
+    c.bench_function("wal/commit_txn_10_writes", |b| {
+        let mut db = WalDb::new(WalConfig {
+            data_pages: 64,
+            log_frames: 1 << 16,
+            ..WalConfig::default()
+        });
+        b.iter(|| {
+            let t = db.begin();
+            for p in 0..10 {
+                db.write(t, p, 0, b"benchmark-payload").unwrap();
+            }
+            db.commit(t).unwrap();
+        })
+    });
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal/recovery");
+    for txns in [10u64, 100, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(txns), &txns, |b, &n| {
+            let mut db = WalDb::new(WalConfig {
+                data_pages: 256,
+                log_frames: 1 << 16,
+                ..WalConfig::default()
+            });
+            for i in 0..n {
+                let t = db.begin();
+                db.write(t, i % 256, 0, b"recovered-data").unwrap();
+                db.commit(t).unwrap();
+            }
+            let image = db.crash_image();
+            b.iter(|| {
+                let img = rmdb_wal::CrashImage {
+                    data: image.data.snapshot(),
+                    logs: image.logs.iter().map(|l| l.snapshot()).collect(),
+                };
+                black_box(WalDb::recover(img, WalConfig::default()).unwrap().1.records_scanned)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_append_streams,
+    bench_selection_policies,
+    bench_commit,
+    bench_recovery
+);
+criterion_main!(benches);

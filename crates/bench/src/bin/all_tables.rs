@@ -1,0 +1,37 @@
+//! Regenerates every table of the paper and (optionally) persists the
+//! results: `all_tables [--txns N] [--out DIR]` writes `tables.txt` and
+//! `tables.json` into DIR when given.
+
+use rmdb_core::export::{tables_to_json, tables_to_text};
+use rmdb_machine::experiments::{all_tables, PAPER_TXNS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut txns = PAPER_TXNS;
+    let mut out: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--txns" => {
+                txns = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(PAPER_TXNS);
+                i += 1;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned();
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let tables = all_tables(txns);
+    let text = tables_to_text(&tables);
+    print!("{text}");
+    if let Some(dir) = out {
+        std::fs::create_dir_all(&dir).expect("create output dir");
+        std::fs::write(format!("{dir}/tables.txt"), &text).expect("write tables.txt");
+        std::fs::write(format!("{dir}/tables.json"), tables_to_json(&tables))
+            .expect("write tables.json");
+        eprintln!("wrote {dir}/tables.txt and {dir}/tables.json");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 03 of the paper. `--txns N` scales the batch;
+//! `--json` emits machine-readable output.
+
+fn main() {
+    rmdb_bench::run_table(rmdb_machine::experiments::table03);
+}

@@ -1,0 +1,43 @@
+//! Serialization of experiment results.
+//!
+//! The bench harness writes each regenerated table both as aligned text
+//! (for EXPERIMENTS.md) and as JSON (machine-readable provenance).
+
+use rmdb_machine::experiments::ExpTable;
+
+/// Serialize a set of tables to pretty JSON.
+pub fn tables_to_json(tables: &[ExpTable]) -> String {
+    serde_json::to_string_pretty(tables).expect("tables serialize")
+}
+
+/// Render a set of tables as one text report.
+pub fn tables_to_text(tables: &[ExpTable]) -> String {
+    let mut out = String::new();
+    for t in tables {
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmdb_machine::experiments::table01;
+
+    #[test]
+    fn json_round_trips_structure() {
+        let tables = vec![table01(4)];
+        let json = tables_to_json(&tables);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed[0]["id"], "table01");
+        assert!(parsed[0]["rows"].as_array().unwrap().len() == 4);
+    }
+
+    #[test]
+    fn text_report_contains_titles() {
+        let tables = vec![table01(4)];
+        let text = tables_to_text(&tables);
+        assert!(text.contains("Impact of Logging"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Public umbrella API for the recovery-architecture study.
+//!
+//! This crate ties the workspace together for downstream users:
+//!
+//! * re-exports the functional recovery engines (parallel-logging
+//!   [`rmdb_wal::WalDb`], the three shadow stores, and the
+//!   differential-file [`rmdb_difffile::DiffDb`]);
+//! * defines [`PageStore`], the common transactional page interface every
+//!   page-granular engine implements, so applications (and the
+//!   cross-architecture crash tests) can be written once and run against
+//!   any recovery architecture;
+//! * re-exports the database-machine simulator and the per-table
+//!   experiment drivers, plus [`export::tables_to_json`] for persisting
+//!   experiment results.
+//!
+//! # Running an experiment
+//!
+//! ```
+//! use rmdb_core::experiments;
+//!
+//! // Table 1 at a reduced batch size (40 is paper scale)
+//! let table = experiments::table01(4);
+//! assert_eq!(table.rows.len(), 4);
+//! let conv_random = &table.rows[0];
+//! assert!(conv_random.get("exec w/ log").unwrap() > 0.0);
+//! println!("{}", table.render());
+//! ```
+//!
+//! # Choosing an architecture
+//!
+//! The paper's conclusion (§5) holds in this reproduction: parallel
+//! logging collects recovery data almost for free because log-page
+//! assembly overlaps data processing, while shadow indirection, overwrite
+//! staging, and differential-file set-differences all contend with the
+//! machine's scarce resources. Use [`rmdb_wal::WalDb`] unless the workload
+//! is dominated by sequential scans on parallel-access drives (where
+//! overwriting is competitive) or calls for hypothetical-database
+//! semantics (differential files).
+
+pub mod export;
+pub mod store;
+
+pub use rmdb_difffile as difffile;
+pub use rmdb_disk as disk;
+pub use rmdb_machine as machine;
+pub use rmdb_shadow as shadow;
+pub use rmdb_sim as sim;
+pub use rmdb_storage as storage;
+pub use rmdb_wal as wal;
+
+pub use machine::experiments;
+pub use store::PageStore;

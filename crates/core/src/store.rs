@@ -1,0 +1,234 @@
+//! [`PageStore`]: the common transactional page interface.
+//!
+//! Every page-granular recovery engine in this workspace — write-ahead
+//! logging, the canonical shadow pager, version selection, and both
+//! overwriting variants — exposes the same begin/read/write/commit/abort
+//! lifecycle. This trait captures it so applications and tests can be
+//! written once and instantiated per architecture; the cross-architecture
+//! crash-consistency suite in `tests/` is the flagship user.
+
+use rmdb_shadow::{NoRedoStore, NoUndoStore, ShadowError, ShadowPager, VersionStore};
+use rmdb_wal::{WalDb, WalError};
+
+/// A transactional store of fixed-size pages addressed by page number.
+pub trait PageStore {
+    /// Architecture-specific error type.
+    type Error: std::error::Error + 'static;
+
+    /// Start a transaction; returns its id.
+    fn begin(&mut self) -> u64;
+
+    /// Read `len` bytes at `offset` within `page`.
+    fn read(
+        &mut self,
+        txn: u64,
+        page: u64,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, Self::Error>;
+
+    /// Write `data` at `offset` within `page`.
+    fn write(&mut self, txn: u64, page: u64, offset: usize, data: &[u8])
+        -> Result<(), Self::Error>;
+
+    /// Commit the transaction durably.
+    fn commit(&mut self, txn: u64) -> Result<(), Self::Error>;
+
+    /// Abort the transaction, undoing all its effects.
+    fn abort(&mut self, txn: u64) -> Result<(), Self::Error>;
+
+    /// Human-readable architecture name (for test/report labels).
+    fn architecture(&self) -> &'static str;
+}
+
+impl PageStore for WalDb {
+    type Error = WalError;
+
+    fn begin(&mut self) -> u64 {
+        WalDb::begin(self)
+    }
+    fn read(&mut self, txn: u64, page: u64, offset: usize, len: usize) -> Result<Vec<u8>, WalError> {
+        WalDb::read(self, txn, page, offset, len)
+    }
+    fn write(&mut self, txn: u64, page: u64, offset: usize, data: &[u8]) -> Result<(), WalError> {
+        WalDb::write(self, txn, page, offset, data)
+    }
+    fn commit(&mut self, txn: u64) -> Result<(), WalError> {
+        WalDb::commit(self, txn)
+    }
+    fn abort(&mut self, txn: u64) -> Result<(), WalError> {
+        WalDb::abort(self, txn)
+    }
+    fn architecture(&self) -> &'static str {
+        "parallel logging (WAL)"
+    }
+}
+
+impl PageStore for ShadowPager {
+    type Error = ShadowError;
+
+    fn begin(&mut self) -> u64 {
+        ShadowPager::begin(self)
+    }
+    fn read(
+        &mut self,
+        txn: u64,
+        page: u64,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, ShadowError> {
+        ShadowPager::read(self, txn, page, offset, len)
+    }
+    fn write(&mut self, txn: u64, page: u64, offset: usize, data: &[u8]) -> Result<(), ShadowError> {
+        ShadowPager::write(self, txn, page, offset, data)
+    }
+    fn commit(&mut self, txn: u64) -> Result<(), ShadowError> {
+        ShadowPager::commit(self, txn)
+    }
+    fn abort(&mut self, txn: u64) -> Result<(), ShadowError> {
+        ShadowPager::abort(self, txn)
+    }
+    fn architecture(&self) -> &'static str {
+        "shadow (thru page-table)"
+    }
+}
+
+impl PageStore for VersionStore {
+    type Error = ShadowError;
+
+    fn begin(&mut self) -> u64 {
+        VersionStore::begin(self)
+    }
+    fn read(
+        &mut self,
+        txn: u64,
+        page: u64,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, ShadowError> {
+        VersionStore::read(self, txn, page, offset, len)
+    }
+    fn write(&mut self, txn: u64, page: u64, offset: usize, data: &[u8]) -> Result<(), ShadowError> {
+        VersionStore::write(self, txn, page, offset, data)
+    }
+    fn commit(&mut self, txn: u64) -> Result<(), ShadowError> {
+        VersionStore::commit(self, txn)
+    }
+    fn abort(&mut self, txn: u64) -> Result<(), ShadowError> {
+        VersionStore::abort(self, txn)
+    }
+    fn architecture(&self) -> &'static str {
+        "shadow (version selection)"
+    }
+}
+
+impl PageStore for NoUndoStore {
+    type Error = ShadowError;
+
+    fn begin(&mut self) -> u64 {
+        NoUndoStore::begin(self)
+    }
+    fn read(
+        &mut self,
+        txn: u64,
+        page: u64,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, ShadowError> {
+        NoUndoStore::read(self, txn, page, offset, len)
+    }
+    fn write(&mut self, txn: u64, page: u64, offset: usize, data: &[u8]) -> Result<(), ShadowError> {
+        NoUndoStore::write(self, txn, page, offset, data)
+    }
+    fn commit(&mut self, txn: u64) -> Result<(), ShadowError> {
+        NoUndoStore::commit(self, txn)
+    }
+    fn abort(&mut self, txn: u64) -> Result<(), ShadowError> {
+        NoUndoStore::abort(self, txn)
+    }
+    fn architecture(&self) -> &'static str {
+        "overwriting (no-undo)"
+    }
+}
+
+impl PageStore for NoRedoStore {
+    type Error = ShadowError;
+
+    fn begin(&mut self) -> u64 {
+        NoRedoStore::begin(self)
+    }
+    fn read(
+        &mut self,
+        txn: u64,
+        page: u64,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, ShadowError> {
+        NoRedoStore::read(self, txn, page, offset, len)
+    }
+    fn write(&mut self, txn: u64, page: u64, offset: usize, data: &[u8]) -> Result<(), ShadowError> {
+        NoRedoStore::write(self, txn, page, offset, data)
+    }
+    fn commit(&mut self, txn: u64) -> Result<(), ShadowError> {
+        NoRedoStore::commit(self, txn)
+    }
+    fn abort(&mut self, txn: u64) -> Result<(), ShadowError> {
+        NoRedoStore::abort(self, txn)
+    }
+    fn architecture(&self) -> &'static str {
+        "overwriting (no-redo)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmdb_shadow::{OverwriteConfig, ShadowConfig, VersionConfig};
+    use rmdb_wal::WalConfig;
+
+    /// The same little application run against any architecture.
+    fn exercise<S: PageStore>(store: &mut S) {
+        let t = store.begin();
+        store.write(t, 1, 0, b"alpha").unwrap();
+        store.write(t, 2, 0, b"beta!").unwrap();
+        store.commit(t).unwrap();
+
+        let t2 = store.begin();
+        store.write(t2, 1, 0, b"WRONG").unwrap();
+        store.abort(t2).unwrap();
+
+        let t3 = store.begin();
+        assert_eq!(
+            store.read(t3, 1, 0, 5).unwrap(),
+            b"alpha",
+            "{}: abort must roll back",
+            store.architecture()
+        );
+        assert_eq!(store.read(t3, 2, 0, 5).unwrap(), b"beta!");
+        store.abort(t3).unwrap();
+    }
+
+    #[test]
+    fn all_architectures_satisfy_the_contract() {
+        exercise(&mut WalDb::new(WalConfig::default()));
+        exercise(&mut ShadowPager::new(ShadowConfig::default()).unwrap());
+        exercise(&mut VersionStore::new(VersionConfig::default()));
+        exercise(&mut NoUndoStore::new(OverwriteConfig::default()));
+        exercise(&mut NoRedoStore::new(OverwriteConfig::default()));
+    }
+
+    #[test]
+    fn architecture_names_are_distinct() {
+        let names = [
+            WalDb::new(WalConfig::default()).architecture(),
+            ShadowPager::new(ShadowConfig::default())
+                .unwrap()
+                .architecture(),
+            VersionStore::new(VersionConfig::default()).architecture(),
+            NoUndoStore::new(OverwriteConfig::default()).architecture(),
+            NoRedoStore::new(OverwriteConfig::default()).architecture(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,31 @@
+//! Differential-file recovery (paper §3.3), implemented functionally.
+//!
+//! Following Severance & Lohman and its decomposition in Stonebraker's
+//! hypothetical-database work, each relation `R` is the view
+//!
+//! ```text
+//! R = (B ∪ A) − D
+//! ```
+//!
+//! where `B` is a read-only base file, additions are appended to the `A`
+//! file and deletions to the `D` file. The base file is never written in
+//! place, which is the whole recovery story: transaction durability is one
+//! atomic append to a commit list, aborted transactions simply leave
+//! invisible tagged tuples behind, and crash recovery is a reload of the
+//! commit list.
+//!
+//! The costs the paper measures fall out of the query path: every retrieval
+//! turns into a set-union plus set-difference. [`ScanStrategy::Basic`]
+//! performs the set-difference against the `D` file for **every** `B ∪ A`
+//! page; [`ScanStrategy::Optimal`] — the paper's optimization — only for
+//! pages that produced at least one candidate tuple. The parallel scan
+//! ([`DiffDb::query_parallel`]) exploits the database machine's query
+//! processors the way the companion paper \[21\] describes.
+
+pub mod db;
+pub mod ops;
+pub mod tuple;
+
+pub use db::{DiffConfig, DiffDb, DiffError, DiffStats, ScanStrategy};
+pub use ops::{difference, par_difference, par_union, union, view};
+pub use tuple::{Entry, Tuple};

@@ -1,0 +1,251 @@
+//! Parallel set operations on relations — the algorithms of the paper's
+//! companion work \[21\] ("Parallel Algorithms for Operations on
+//! Hypothetical Databases"), which the differential-file architecture
+//! assumes the database machine uses.
+//!
+//! A differential-file read turns `R = (B ∪ A) − D` into a set-union and
+//! a set-difference. These operators work on key-sorted tuple slices and
+//! come in serial and parallel flavours; the parallel versions partition
+//! the larger operand across scoped worker threads (the machine's query
+//! processors) and are bit-for-bit equivalent to the serial ones.
+
+use crate::tuple::Tuple;
+use std::collections::HashSet;
+
+/// Set-union with right precedence: the result contains every key of
+/// `base` and `additions`; on collision the `additions` tuple wins (an A
+/// file overrides the base). Both inputs must be sorted by key with
+/// unique keys; the result is sorted.
+pub fn union(base: &[Tuple], additions: &[Tuple]) -> Vec<Tuple> {
+    debug_assert!(is_sorted_unique(base), "base must be sorted+unique");
+    debug_assert!(is_sorted_unique(additions), "additions must be sorted+unique");
+    let mut out = Vec::with_capacity(base.len() + additions.len());
+    let (mut i, mut j) = (0, 0);
+    while i < base.len() && j < additions.len() {
+        match base[i].key.cmp(&additions[j].key) {
+            std::cmp::Ordering::Less => {
+                out.push(base[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(additions[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(additions[j].clone()); // addition wins
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&base[i..]);
+    out.extend_from_slice(&additions[j..]);
+    out
+}
+
+/// Set-difference: `rel` minus every tuple whose key appears in
+/// `deletions`. `rel` must be sorted by key; the result preserves order.
+pub fn difference(rel: &[Tuple], deletions: &[u64]) -> Vec<Tuple> {
+    let dead: HashSet<u64> = deletions.iter().copied().collect();
+    rel.iter()
+        .filter(|t| !dead.contains(&t.key))
+        .cloned()
+        .collect()
+}
+
+/// The full differential view: `(base ∪ additions) − deletions`.
+pub fn view(base: &[Tuple], additions: &[Tuple], deletions: &[u64]) -> Vec<Tuple> {
+    difference(&union(base, additions), deletions)
+}
+
+/// Parallel set-difference over `workers` scoped threads: `rel` is
+/// partitioned; each worker filters its chunk against the (shared)
+/// deletion set; results concatenate in order. Equivalent to
+/// [`difference`].
+pub fn par_difference(rel: &[Tuple], deletions: &[u64], workers: usize) -> Vec<Tuple> {
+    assert!(workers > 0);
+    if rel.is_empty() {
+        return Vec::new();
+    }
+    let dead: HashSet<u64> = deletions.iter().copied().collect();
+    let chunk = rel.len().div_ceil(workers);
+    let parts: Vec<Vec<Tuple>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = rel
+            .chunks(chunk)
+            .map(|slice| {
+                let dead = &dead;
+                s.spawn(move |_| {
+                    slice
+                        .iter()
+                        .filter(|t| !dead.contains(&t.key))
+                        .cloned()
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("difference worker panicked");
+    parts.concat()
+}
+
+/// Parallel union over `workers` scoped threads: the key space is
+/// partitioned by range so each worker merges disjoint slices; results
+/// concatenate in key order. Equivalent to [`union`].
+pub fn par_union(base: &[Tuple], additions: &[Tuple], workers: usize) -> Vec<Tuple> {
+    assert!(workers > 0);
+    if base.is_empty() || additions.is_empty() || workers == 1 {
+        return union(base, additions);
+    }
+    // pick range boundaries from the larger input
+    let big = if base.len() >= additions.len() { base } else { additions };
+    let step = big.len().div_ceil(workers);
+    let mut bounds: Vec<u64> = (1..workers)
+        .filter_map(|w| big.get(w * step).map(|t| t.key))
+        .collect();
+    bounds.dedup();
+
+    let slice_of = |rel: &'_ [Tuple], lo: Option<u64>, hi: Option<u64>| -> (usize, usize) {
+        let start = match lo {
+            None => 0,
+            Some(b) => rel.partition_point(|t| t.key < b),
+        };
+        let end = match hi {
+            None => rel.len(),
+            Some(b) => rel.partition_point(|t| t.key < b),
+        };
+        (start, end)
+    };
+
+    let mut ranges: Vec<(Option<u64>, Option<u64>)> = Vec::with_capacity(bounds.len() + 1);
+    let mut lo = None;
+    for &b in &bounds {
+        ranges.push((lo, Some(b)));
+        lo = Some(b);
+    }
+    ranges.push((lo, None));
+
+    let parts: Vec<Vec<Tuple>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                s.spawn(move |_| {
+                    let (bs, be) = slice_of(base, lo, hi);
+                    let (as_, ae) = slice_of(additions, lo, hi);
+                    union(&base[bs..be], &additions[as_..ae])
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("union worker panicked");
+    parts.concat()
+}
+
+fn is_sorted_unique(rel: &[Tuple]) -> bool {
+    rel.windows(2).all(|w| w[0].key < w[1].key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rel(keys: &[u64]) -> Vec<Tuple> {
+        keys.iter()
+            .map(|&k| Tuple {
+                key: k,
+                value: vec![k as u8],
+            })
+            .collect()
+    }
+
+    fn tagged(keys: &[u64], tag: u8) -> Vec<Tuple> {
+        keys.iter()
+            .map(|&k| Tuple {
+                key: k,
+                value: vec![tag],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn union_merges_and_right_wins() {
+        let b = tagged(&[1, 3, 5], b'b');
+        let a = tagged(&[2, 3, 6], b'a');
+        let u = union(&b, &a);
+        let keys: Vec<u64> = u.iter().map(|t| t.key).collect();
+        assert_eq!(keys, vec![1, 2, 3, 5, 6]);
+        assert_eq!(u[2].value, vec![b'a'], "addition overrides base on key 3");
+    }
+
+    #[test]
+    fn union_with_empty_sides() {
+        let b = rel(&[1, 2]);
+        assert_eq!(union(&b, &[]), b);
+        assert_eq!(union(&[], &b), b);
+        assert!(union(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn difference_removes_keys() {
+        let r = rel(&[1, 2, 3, 4]);
+        let d = difference(&r, &[2, 4, 9]);
+        let keys: Vec<u64> = d.iter().map(|t| t.key).collect();
+        assert_eq!(keys, vec![1, 3]);
+    }
+
+    #[test]
+    fn view_composes() {
+        let b = tagged(&[1, 2, 3], b'b');
+        let a = tagged(&[3, 4], b'a');
+        let v = view(&b, &a, &[1]);
+        let keys: Vec<u64> = v.iter().map(|t| t.key).collect();
+        assert_eq!(keys, vec![2, 3, 4]);
+        assert_eq!(v[1].value, vec![b'a']);
+    }
+
+    proptest! {
+        #[test]
+        fn par_difference_matches_serial(
+            keys in proptest::collection::btree_set(0u64..500, 0..80),
+            dels in proptest::collection::vec(0u64..500, 0..40),
+            workers in 1usize..6,
+        ) {
+            let r = rel(&keys.into_iter().collect::<Vec<_>>());
+            prop_assert_eq!(par_difference(&r, &dels, workers), difference(&r, &dels));
+        }
+
+        #[test]
+        fn par_union_matches_serial(
+            base_keys in proptest::collection::btree_set(0u64..500, 0..80),
+            add_keys in proptest::collection::btree_set(0u64..500, 0..80),
+            workers in 1usize..6,
+        ) {
+            let b = tagged(&base_keys.into_iter().collect::<Vec<_>>(), b'b');
+            let a = tagged(&add_keys.into_iter().collect::<Vec<_>>(), b'a');
+            prop_assert_eq!(par_union(&b, &a, workers), union(&b, &a));
+        }
+
+        #[test]
+        fn union_is_sorted_and_unique(
+            base_keys in proptest::collection::btree_set(0u64..500, 0..60),
+            add_keys in proptest::collection::btree_set(0u64..500, 0..60),
+        ) {
+            let b = rel(&base_keys.into_iter().collect::<Vec<_>>());
+            let a = rel(&add_keys.into_iter().collect::<Vec<_>>());
+            let u = union(&b, &a);
+            prop_assert!(u.windows(2).all(|w| w[0].key < w[1].key));
+        }
+
+        #[test]
+        fn difference_never_contains_deleted(
+            keys in proptest::collection::btree_set(0u64..200, 0..60),
+            dels in proptest::collection::vec(0u64..200, 0..30),
+        ) {
+            let r = rel(&keys.into_iter().collect::<Vec<_>>());
+            let d = difference(&r, &dels);
+            prop_assert!(d.iter().all(|t| !dels.contains(&t.key)));
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! A queued disk drive with deterministic service times.
+//!
+//! The simulator drives a [`Disk`] through two calls: [`Disk::submit`] hands
+//! it a request (which starts service immediately if the drive is idle) and
+//! [`Disk::complete`] retires the in-service request when its completion
+//! event fires (starting the next queued request, if any). The caller owns
+//! the event calendar; the disk just computes *when* each access finishes
+//! and keeps utilization statistics.
+
+use crate::geometry::Geometry;
+use crate::model::{DiskMode, DiskParams};
+use rmdb_sim::stats::{BusyTracker, Counter, Tally};
+use rmdb_sim::SimTime;
+use std::collections::VecDeque;
+
+/// Whether an access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Transfer pages from the platter into the cache.
+    Read,
+    /// Transfer pages from the cache onto the platter.
+    Write,
+}
+
+/// One disk access: a set of pages moved in a single request.
+///
+/// Conventional drives serve the pages one after another (the service time
+/// honours head contiguity, so a sorted sequential batch is much cheaper
+/// than scattered singles). Parallel-access drives require every page of a
+/// request to live in one cylinder and serve them in a single access.
+#[derive(Debug, Clone)]
+pub struct DiskRequest {
+    /// Identifier assigned by the disk at submission.
+    pub id: u64,
+    /// Read or write.
+    pub kind: RequestKind,
+    /// Linear page numbers on this disk.
+    pub pages: Vec<u64>,
+    /// Caller-side correlation tag (opaque to the disk).
+    pub tag: u64,
+}
+
+/// Returned when a request enters service: the simulator should schedule a
+/// completion event at `done_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartedService {
+    /// Which request started.
+    pub id: u64,
+    /// Absolute completion time.
+    pub done_at: SimTime,
+}
+
+/// Accumulated statistics for one drive.
+#[derive(Debug, Clone, Default)]
+pub struct DiskStats {
+    /// Busy/idle tracking for utilization.
+    pub busy: BusyTracker,
+    /// Number of accesses (arm operations), the paper's "disk accesses".
+    pub accesses: Counter,
+    /// Pages transferred.
+    pub pages: Counter,
+    /// Per-access service times (ms).
+    pub service: Tally,
+    /// Read accesses.
+    pub reads: Counter,
+    /// Write accesses.
+    pub writes: Counter,
+}
+
+/// A single disk drive with a FIFO request queue.
+pub struct Disk {
+    params: DiskParams,
+    mode: DiskMode,
+    arm: u32,
+    /// Linear page number that could continue the last transfer without a
+    /// seek or rotational delay (conventional contiguity optimization).
+    contiguous_next: Option<u64>,
+    queue: VecDeque<DiskRequest>,
+    current: Option<DiskRequest>,
+    next_id: u64,
+    stats: DiskStats,
+}
+
+impl Disk {
+    /// Create an idle disk with the arm parked at cylinder 0.
+    pub fn new(params: DiskParams, mode: DiskMode) -> Self {
+        Disk {
+            params,
+            mode,
+            arm: 0,
+            contiguous_next: None,
+            queue: VecDeque::new(),
+            current: None,
+            next_id: 0,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// The drive's geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.params.geometry
+    }
+
+    /// The drive's timing parameters.
+    pub fn params(&self) -> &DiskParams {
+        &self.params
+    }
+
+    /// Conventional or parallel-access.
+    pub fn mode(&self) -> DiskMode {
+        self.mode
+    }
+
+    /// Whether an access is in progress.
+    pub fn is_busy(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Requests waiting (not counting the one in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    /// Utilization in `[0,1]` over `[0, end]`.
+    pub fn utilization(&self, end: SimTime) -> f64 {
+        self.stats.busy.utilization(end)
+    }
+
+    /// Submit a request. Returns its id and, if the drive was idle, the
+    /// started service (schedule its completion event).
+    ///
+    /// # Panics
+    /// If `pages` is empty, or if a parallel-access request spans cylinders.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        kind: RequestKind,
+        pages: Vec<u64>,
+        tag: u64,
+    ) -> (u64, Option<StartedService>) {
+        assert!(!pages.is_empty(), "disk request with no pages");
+        if self.mode == DiskMode::ParallelAccess {
+            let cyl = self.params.geometry.cylinder_of(pages[0]);
+            assert!(
+                pages
+                    .iter()
+                    .all(|&p| self.params.geometry.cylinder_of(p) == cyl),
+                "parallel-access request must stay within one cylinder"
+            );
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(DiskRequest {
+            id,
+            kind,
+            pages,
+            tag,
+        });
+        let started = if self.current.is_none() {
+            Some(self.start_next(now).expect("queue is nonempty"))
+        } else {
+            None
+        };
+        (id, started)
+    }
+
+    /// Retire the in-service request at its completion time.
+    ///
+    /// Returns the finished request and, if another was queued, the newly
+    /// started service.
+    ///
+    /// # Panics
+    /// If no request is in service.
+    pub fn complete(&mut self, now: SimTime) -> (DiskRequest, Option<StartedService>) {
+        let done = self.current.take().expect("complete() with idle disk");
+        self.stats.busy.end(now);
+        let next = self.start_next(now);
+        (done, next)
+    }
+
+    fn start_next(&mut self, now: SimTime) -> Option<StartedService> {
+        let req = self.queue.pop_front()?;
+        let service = self.service_time(&req.pages);
+        self.stats.busy.begin(now);
+        self.stats.accesses.bump();
+        self.stats.pages.add(req.pages.len() as u64);
+        self.stats.service.record_time(service);
+        match req.kind {
+            RequestKind::Read => self.stats.reads.bump(),
+            RequestKind::Write => self.stats.writes.bump(),
+        }
+        let started = StartedService {
+            id: req.id,
+            done_at: now + service,
+        };
+        self.current = Some(req);
+        Some(started)
+    }
+
+    /// Compute the service time for `pages` and update the arm state.
+    fn service_time(&mut self, pages: &[u64]) -> SimTime {
+        match self.mode {
+            DiskMode::Conventional => {
+                // Head contiguity never spans requests: by the time the
+                // next request is issued the platter has rotated past the
+                // following sector (drives of this era had no read-ahead
+                // buffer), so the first page of every request pays
+                // rotational latency. Pages *within* one request stream
+                // back-to-back.
+                self.contiguous_next = None;
+                let mut total = SimTime::ZERO;
+                for &p in pages {
+                    total += self.one_page_time(p);
+                }
+                total
+            }
+            DiskMode::ParallelAccess => {
+                let g = self.params.geometry;
+                let cyl = g.cylinder_of(pages[0]);
+                let dist = cyl.abs_diff(self.arm);
+                let sectors = g.distinct_sectors(pages) as u64;
+                self.arm = cyl;
+                self.contiguous_next = None;
+                self.params.seek(dist) + self.params.latency() + self.params.page_transfer * sectors
+            }
+        }
+    }
+
+    /// Conventional single-page access time given the current arm state.
+    fn one_page_time(&mut self, page: u64) -> SimTime {
+        let g = self.params.geometry;
+        let pos = g.locate(page);
+        let time = if self.contiguous_next == Some(page) && pos.cylinder == self.arm {
+            // Head already positioned; a new track costs a head switch.
+            if pos.sector == 0 && page != g.cylinder_start(pos.cylinder) {
+                self.params.head_switch + self.params.page_transfer
+            } else {
+                self.params.page_transfer
+            }
+        } else {
+            let dist = pos.cylinder.abs_diff(self.arm);
+            self.params.seek(dist) + self.params.latency() + self.params.page_transfer
+        };
+        self.arm = pos.cylinder;
+        self.contiguous_next = if page + 1 < g.total_pages() && g.cylinder_of(page + 1) == pos.cylinder
+        {
+            Some(page + 1)
+        } else {
+            None
+        };
+        time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn conv() -> Disk {
+        Disk::new(DiskParams::ibm_3350(), DiskMode::Conventional)
+    }
+
+    fn par() -> Disk {
+        Disk::new(DiskParams::ibm_3350(), DiskMode::ParallelAccess)
+    }
+
+    #[test]
+    fn random_access_time_matches_3350() {
+        let mut d = conv();
+        // Far-away page: seek + latency + transfer ≈ 10..50 + 8.35 + 3.6
+        let (_, started) = d.submit(SimTime::ZERO, RequestKind::Read, vec![30_000], 0);
+        let t = started.unwrap().done_at.as_ms();
+        assert!((20.0..62.0).contains(&t), "service {t}ms out of range");
+    }
+
+    #[test]
+    fn contiguity_within_one_request_is_transfer_only() {
+        let mut d = conv();
+        let (_, s) = d.submit(SimTime::ZERO, RequestKind::Read, vec![100, 101], 0);
+        let service = s.unwrap().done_at;
+        // first page: seek + latency + transfer; second page: transfer only
+        let expect = d.params().seek(0) + d.params().latency() + d.params().page_transfer * 2;
+        assert_eq!(service, expect);
+    }
+
+    #[test]
+    fn contiguity_does_not_span_requests() {
+        // A 1985 drive has no read-ahead buffer: a follow-up request for
+        // the very next sector still pays rotational latency.
+        let mut d = conv();
+        let (_, s0) = d.submit(SimTime::ZERO, RequestKind::Read, vec![100], 0);
+        let done0 = s0.unwrap().done_at;
+        d.complete(done0);
+        let (_, s1) = d.submit(done0, RequestKind::Read, vec![101], 0);
+        let service = s1.unwrap().done_at - done0;
+        assert_eq!(service, d.params().latency() + d.params().page_transfer);
+    }
+
+    #[test]
+    fn track_switch_within_request_costs_head_switch() {
+        let mut d = conv();
+        // pages 3 and 4 straddle the track-0/track-1 boundary
+        let (_, s) = d.submit(SimTime::ZERO, RequestKind::Read, vec![3, 4], 0);
+        let service = s.unwrap().done_at;
+        let expect = d.params().latency()
+            + d.params().page_transfer
+            + d.params().head_switch
+            + d.params().page_transfer;
+        assert_eq!(service, expect);
+    }
+
+    #[test]
+    fn batched_sequential_amortizes_seek() {
+        let mut d = conv();
+        let pages: Vec<u64> = (240..260).collect(); // cylinder 2, contiguous
+        let (_, s) = d.submit(SimTime::ZERO, RequestKind::Read, pages, 0);
+        let total = s.unwrap().done_at.as_ms();
+        // one positioning (~min_seek+latency) + 20 transfers + track switches
+        let per_page = total / 20.0;
+        assert!(per_page < 6.0, "sequential batch too slow: {per_page}ms/page");
+    }
+
+    #[test]
+    fn parallel_access_batches_cylinder() {
+        let mut d = par();
+        // 30 pages at sector 0 of each track of cylinder 1
+        let pages: Vec<u64> = (0..30).map(|t| 120 + t * 4).collect();
+        let (_, s) = d.submit(SimTime::ZERO, RequestKind::Read, pages, 0);
+        let t = s.unwrap().done_at;
+        // one seek + latency + ONE page-transfer slot (all tracks parallel)
+        let expect =
+            d.params().seek(1) + d.params().latency() + d.params().page_transfer;
+        assert_eq!(t, expect);
+    }
+
+    #[test]
+    fn parallel_full_cylinder_takes_four_slots() {
+        let mut d = par();
+        let pages: Vec<u64> = (120..240).collect();
+        let (_, s) = d.submit(SimTime::ZERO, RequestKind::Read, pages, 0);
+        let t = s.unwrap().done_at;
+        let expect =
+            d.params().seek(1) + d.params().latency() + d.params().page_transfer * 4;
+        assert_eq!(t, expect);
+        assert_eq!(d.stats().pages.get(), 120);
+        assert_eq!(d.stats().accesses.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cylinder")]
+    fn parallel_rejects_cross_cylinder_request() {
+        let mut d = par();
+        d.submit(SimTime::ZERO, RequestKind::Read, vec![119, 120], 0);
+    }
+
+    #[test]
+    fn fifo_queueing_and_completion_chain() {
+        let mut d = conv();
+        let (id0, s0) = d.submit(SimTime::ZERO, RequestKind::Read, vec![0], 7);
+        let (id1, s1) = d.submit(SimTime::ZERO, RequestKind::Write, vec![50_000], 8);
+        assert!(s0.is_some());
+        assert!(s1.is_none(), "second request must queue");
+        assert_eq!(d.queue_len(), 1);
+        let t0 = s0.unwrap().done_at;
+        let (done, next) = d.complete(t0);
+        assert_eq!(done.id, id0);
+        assert_eq!(done.tag, 7);
+        let n = next.expect("queued request starts");
+        assert_eq!(n.id, id1);
+        let (done1, next1) = d.complete(n.done_at);
+        assert_eq!(done1.id, id1);
+        assert!(next1.is_none());
+        assert!(!d.is_busy());
+    }
+
+    #[test]
+    fn utilization_counts_only_service() {
+        let mut d = conv();
+        let (_, s) = d.submit(SimTime::ZERO, RequestKind::Read, vec![30_000], 0);
+        let t = s.unwrap().done_at;
+        d.complete(t);
+        let end = t * 2;
+        let u = d.utilization(end);
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no pages")]
+    fn empty_request_rejected() {
+        let mut d = conv();
+        d.submit(SimTime::ZERO, RequestKind::Read, vec![], 0);
+    }
+
+    proptest! {
+        #[test]
+        fn conventional_service_positive_and_bounded(
+            page in 0u64..Geometry::IBM_3350.total_pages()
+        ) {
+            let mut d = conv();
+            let (_, s) = d.submit(SimTime::ZERO, RequestKind::Read, vec![page], 0);
+            let t = s.unwrap().done_at.as_ms();
+            // at most max seek + latency + transfer
+            prop_assert!(t > 0.0 && t <= 50.0 + 8.35 + 3.6 + 0.01);
+        }
+
+        #[test]
+        fn parallel_batch_never_slower_than_singles(
+            cyl in 0u32..555,
+            count in 1usize..=30,
+        ) {
+            let g = Geometry::IBM_3350;
+            let base = g.cylinder_start(cyl);
+            let pages: Vec<u64> = (0..count as u64).map(|i| base + i).collect();
+
+            let mut batched = par();
+            let (_, s) = batched.submit(SimTime::ZERO, RequestKind::Read, pages.clone(), 0);
+            let batch_time = s.unwrap().done_at;
+
+            let mut single = par();
+            let mut total = SimTime::ZERO;
+            let mut now = SimTime::ZERO;
+            for p in pages {
+                let (_, s) = single.submit(now, RequestKind::Read, vec![p], 0);
+                let done = s.unwrap().done_at;
+                total += done - now;
+                single.complete(done);
+                now = done;
+            }
+            prop_assert!(batch_time <= total);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Disk geometry: cylinders, tracks, sectors, and linear page numbering.
+//!
+//! Pages are numbered linearly so the rest of the simulator can treat a disk
+//! as an array of pages; [`Geometry::locate`] recovers the physical position
+//! needed for timing.
+//!
+//! The IBM 3350 has 555 user cylinders of 30 tracks; a track (19,069 bytes)
+//! holds four 4 KB pages, so one cylinder holds 120 pages.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical position of a page on a disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PagePos {
+    /// Cylinder index, `0..cylinders`.
+    pub cylinder: u32,
+    /// Track (surface) within the cylinder, `0..tracks_per_cylinder`.
+    pub track: u32,
+    /// Sector (page slot) within the track, `0..pages_per_track`.
+    pub sector: u32,
+}
+
+/// Cylinder/track/sector layout of a disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Number of cylinders.
+    pub cylinders: u32,
+    /// Tracks (recording surfaces) per cylinder.
+    pub tracks_per_cylinder: u32,
+    /// Pages per track.
+    pub pages_per_track: u32,
+}
+
+impl Geometry {
+    /// Geometry of an IBM 3350 with 4 KB pages.
+    pub const IBM_3350: Geometry = Geometry {
+        cylinders: 555,
+        tracks_per_cylinder: 30,
+        pages_per_track: 4,
+    };
+
+    /// Pages held by one cylinder.
+    #[inline]
+    pub const fn pages_per_cylinder(&self) -> u64 {
+        (self.tracks_per_cylinder * self.pages_per_track) as u64
+    }
+
+    /// Total pages on the disk.
+    #[inline]
+    pub const fn total_pages(&self) -> u64 {
+        self.cylinders as u64 * self.pages_per_cylinder()
+    }
+
+    /// Physical position of linear page number `page`.
+    ///
+    /// Linear numbering fills a cylinder track-by-track before moving to the
+    /// next cylinder, so sequential page numbers stay under the arm as long
+    /// as possible.
+    ///
+    /// # Panics
+    /// If `page >= total_pages()`.
+    pub fn locate(&self, page: u64) -> PagePos {
+        assert!(page < self.total_pages(), "page {page} beyond disk end");
+        let per_cyl = self.pages_per_cylinder();
+        let cylinder = (page / per_cyl) as u32;
+        let within = page % per_cyl;
+        let track = (within / self.pages_per_track as u64) as u32;
+        let sector = (within % self.pages_per_track as u64) as u32;
+        PagePos {
+            cylinder,
+            track,
+            sector,
+        }
+    }
+
+    /// Inverse of [`Geometry::locate`].
+    pub fn linear(&self, pos: PagePos) -> u64 {
+        debug_assert!(pos.cylinder < self.cylinders);
+        debug_assert!(pos.track < self.tracks_per_cylinder);
+        debug_assert!(pos.sector < self.pages_per_track);
+        pos.cylinder as u64 * self.pages_per_cylinder()
+            + pos.track as u64 * self.pages_per_track as u64
+            + pos.sector as u64
+    }
+
+    /// Cylinder holding linear page `page`.
+    #[inline]
+    pub fn cylinder_of(&self, page: u64) -> u32 {
+        (page / self.pages_per_cylinder()) as u32
+    }
+
+    /// First linear page of `cylinder`.
+    #[inline]
+    pub fn cylinder_start(&self, cylinder: u32) -> u64 {
+        cylinder as u64 * self.pages_per_cylinder()
+    }
+
+    /// Number of distinct sectors (angular positions) covered by `pages`.
+    ///
+    /// On a parallel-access disk, pages at the same sector on different
+    /// tracks move in one transfer slot; the transfer component of an access
+    /// is proportional to this count.
+    pub fn distinct_sectors(&self, pages: &[u64]) -> u32 {
+        let mut mask: u32 = 0;
+        for &p in pages {
+            mask |= 1 << self.locate(p).sector;
+        }
+        mask.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const G: Geometry = Geometry::IBM_3350;
+
+    #[test]
+    fn ibm_3350_shape() {
+        assert_eq!(G.pages_per_cylinder(), 120);
+        assert_eq!(G.total_pages(), 66_600);
+    }
+
+    #[test]
+    fn locate_first_and_last() {
+        assert_eq!(
+            G.locate(0),
+            PagePos {
+                cylinder: 0,
+                track: 0,
+                sector: 0
+            }
+        );
+        assert_eq!(
+            G.locate(G.total_pages() - 1),
+            PagePos {
+                cylinder: 554,
+                track: 29,
+                sector: 3
+            }
+        );
+    }
+
+    #[test]
+    fn sequential_pages_fill_track_first() {
+        // pages 0..4 on track 0, page 4 on track 1
+        assert_eq!(G.locate(3).track, 0);
+        assert_eq!(G.locate(4).track, 1);
+        assert_eq!(G.locate(4).sector, 0);
+        // page 120 starts the next cylinder
+        assert_eq!(G.locate(120).cylinder, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond disk end")]
+    fn locate_out_of_range_panics() {
+        G.locate(G.total_pages());
+    }
+
+    #[test]
+    fn distinct_sectors_counts_angular_positions() {
+        // pages 0,4,8: sector 0 of tracks 0,1,2 → one angular position
+        assert_eq!(G.distinct_sectors(&[0, 4, 8]), 1);
+        // pages 0,1: sectors 0 and 1
+        assert_eq!(G.distinct_sectors(&[0, 1]), 2);
+        // a whole cylinder covers all 4 sectors
+        let all: Vec<u64> = (0..120).collect();
+        assert_eq!(G.distinct_sectors(&all), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn locate_linear_roundtrip(page in 0u64..Geometry::IBM_3350.total_pages()) {
+            let pos = G.locate(page);
+            prop_assert_eq!(G.linear(pos), page);
+            prop_assert!(pos.cylinder < G.cylinders);
+            prop_assert!(pos.track < G.tracks_per_cylinder);
+            prop_assert!(pos.sector < G.pages_per_track);
+        }
+
+        #[test]
+        fn cylinder_of_matches_locate(page in 0u64..Geometry::IBM_3350.total_pages()) {
+            prop_assert_eq!(G.cylinder_of(page), G.locate(page).cylinder);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Disk models for the database-machine simulator.
+//!
+//! The paper models its data disks after the **IBM 3350** and additionally
+//! considers **parallel-access** drives (as proposed by the SURE and DBC
+//! projects) on which all pages on the different tracks of a cylinder can be
+//! read or written in parallel in one disk access.
+//!
+//! This crate provides:
+//!
+//! * [`geometry::Geometry`] — cylinder/track/sector layout and linear page
+//!   numbering,
+//! * [`model::DiskParams`] — seek/rotation/transfer timing derived from the
+//!   3350's published characteristics,
+//! * [`Disk`] — a queued disk with an arm position, deterministic
+//!   (expected-value) service times, and utilization accounting.
+//!
+//! Service times are analytic expectations rather than sampled randomness:
+//! the simulator's randomness lives entirely in the workload, which keeps
+//! experiments reproducible and variance low, exactly like the original
+//! study's reporting of single aggregate numbers per configuration.
+
+pub mod disk;
+pub mod geometry;
+pub mod model;
+
+pub use disk::{Disk, DiskRequest, DiskStats, RequestKind, StartedService};
+pub use geometry::{Geometry, PagePos};
+pub use model::{DiskMode, DiskParams};

@@ -1,0 +1,123 @@
+//! Disk timing parameters and the analytic service-time model.
+
+use crate::geometry::Geometry;
+use rmdb_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Whether a drive is a conventional moving-head disk or a parallel-access
+/// drive (SURE/DBC style) whose heads transfer from every track of a
+/// cylinder simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskMode {
+    /// One page per access: seek + rotational latency + one-page transfer
+    /// (latency and seek elided for head-contiguous accesses).
+    Conventional,
+    /// One access serves any set of pages within a single cylinder; the
+    /// transfer component covers the distinct angular positions touched.
+    ParallelAccess,
+}
+
+/// Timing parameters of a drive.
+///
+/// Defaults follow the IBM 3350: 10 ms minimum / 25 ms average / 50 ms
+/// maximum seek, 16.7 ms rotation (3600 rpm), and ≈1.2 MB/s transfer
+/// (3.6 ms per 4 KB page).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Layout of the platters.
+    pub geometry: Geometry,
+    /// Time for a one-cylinder seek.
+    pub min_seek: SimTime,
+    /// Time for a full-stroke seek.
+    pub max_seek: SimTime,
+    /// Time for one full rotation.
+    pub rotation: SimTime,
+    /// Time to transfer a single page.
+    pub page_transfer: SimTime,
+    /// Extra settling time when an access switches heads (track) without
+    /// moving the arm; models losing rotational position on the 3350.
+    pub head_switch: SimTime,
+}
+
+impl DiskParams {
+    /// IBM 3350 parameters with 4 KB pages.
+    pub fn ibm_3350() -> Self {
+        DiskParams {
+            geometry: Geometry::IBM_3350,
+            min_seek: SimTime::from_ms(10.0),
+            max_seek: SimTime::from_ms(50.0),
+            rotation: SimTime::from_ms(16.7),
+            page_transfer: SimTime::from_ms(3.6),
+            head_switch: SimTime::from_ms(1.0),
+        }
+    }
+
+    /// Expected rotational latency (half a rotation).
+    #[inline]
+    pub fn latency(&self) -> SimTime {
+        self.rotation / 2
+    }
+
+    /// Seek time for moving the arm `distance` cylinders.
+    ///
+    /// Zero for `distance == 0`; otherwise linear between the one-cylinder
+    /// and full-stroke times, the standard first-order model for arm
+    /// actuators of this era.
+    pub fn seek(&self, distance: u32) -> SimTime {
+        if distance == 0 {
+            return SimTime::ZERO;
+        }
+        let span = self.max_seek - self.min_seek;
+        let max_dist = self.geometry.cylinders as u64 - 1;
+        let d = (distance as u64).min(max_dist);
+        // Interpolate so a one-cylinder move costs `min_seek` and a
+        // full-stroke move costs `max_seek`.
+        self.min_seek + SimTime::from_micros(span.as_micros() * (d - 1) / (max_dist - 1))
+    }
+
+    /// Expected seek time for a uniformly random target cylinder
+    /// (distance ≈ one third of the stroke).
+    pub fn average_seek(&self) -> SimTime {
+        self.seek(self.geometry.cylinders / 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seek_endpoints() {
+        let p = DiskParams::ibm_3350();
+        assert_eq!(p.seek(0), SimTime::ZERO);
+        assert_eq!(p.seek(1), p.min_seek);
+        assert_eq!(p.seek(p.geometry.cylinders - 1), p.max_seek);
+    }
+
+    #[test]
+    fn seek_is_monotone() {
+        let p = DiskParams::ibm_3350();
+        let mut last = SimTime::ZERO;
+        for d in 0..p.geometry.cylinders {
+            let s = p.seek(d);
+            assert!(s >= last, "seek not monotone at distance {d}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn average_seek_near_25ms() {
+        let p = DiskParams::ibm_3350();
+        let avg = p.average_seek().as_ms();
+        assert!(
+            (22.0..26.0).contains(&avg),
+            "3350 average seek should be ≈25ms, got {avg}"
+        );
+    }
+
+    #[test]
+    fn latency_is_half_rotation() {
+        let p = DiskParams::ibm_3350();
+        assert_eq!(p.latency(), SimTime::from_ms(16.7) / 2);
+    }
+}

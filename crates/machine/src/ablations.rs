@@ -1,0 +1,289 @@
+//! Ablation experiments beyond the paper's numbered tables.
+//!
+//! The paper reports several findings in prose without a table; these
+//! drivers quantify them with the same simulator, plus a few sensitivity
+//! sweeps of the calibrated machine:
+//!
+//! * [`link_bandwidth`] — §4.1.3's first experiment: the query-processor ↔
+//!   log-processor link at 1.0 / 0.1 / 0.01 MB/s;
+//! * [`route_through_cache`] — §4.1.3's second experiment: fragments
+//!   routed through the disk cache instead of a dedicated link;
+//! * [`version_selection`] — §4.2.5's analysis: reading both twin blocks
+//!   per access on an I/O-bound machine;
+//! * [`mpl_sweep`] and [`qp_sweep`] — sensitivity of the calibrated
+//!   machine to multiprogramming level and processor count (the companion
+//!   study \[22\], "Whither Hundreds of Processors in a Database Machine").
+
+use crate::config::{LoggingConfig, MachineConfig, OverwriteVariant, OverwritingConfig, RecoveryOverlay, ShadowPtConfig};
+use crate::experiments::{ExpRow, ExpTable};
+use crate::machine::Machine;
+
+fn base_configs(txns: usize) -> Vec<(&'static str, MachineConfig)> {
+    MachineConfig::paper_configurations()
+        .into_iter()
+        .map(|(name, mut cfg)| {
+            cfg.num_txns = txns;
+            (name, cfg)
+        })
+        .collect()
+}
+
+/// §4.1.3: effective link bandwidth between query and log processors.
+pub fn link_bandwidth(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        let mut row = ExpRow::new(name);
+        for bw in [1.0, 0.1, 0.01] {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::Logging(LoggingConfig {
+                link_bandwidth_mb_s: bw,
+                ..LoggingConfig::default()
+            });
+            let r = Machine::new(c).run();
+            row.push(format!("{bw} MB/s exec"), r.exec_time_per_page_ms);
+            row.push(format!("{bw} MB/s blocked"), r.mean_blocked_pages);
+        }
+        rows.push(row);
+    }
+    ExpTable {
+        id: "ablation_bandwidth",
+        title: "Link Bandwidth between Query and Log Processors (§4.1.3)",
+        rows,
+    }
+}
+
+/// §4.1.3: dedicated interconnection vs routing fragments through the
+/// disk cache.
+pub fn route_through_cache(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        let mut row = ExpRow::new(name);
+        for (label, via_cache) in [("dedicated link", false), ("through cache", true)] {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::Logging(LoggingConfig {
+                route_through_cache: via_cache,
+                ..LoggingConfig::default()
+            });
+            let r = Machine::new(c).run();
+            row.push(format!("{label} exec"), r.exec_time_per_page_ms);
+            row.push(format!("{label} frames"), r.mean_frames_used);
+        }
+        rows.push(row);
+    }
+    ExpTable {
+        id: "ablation_route_cache",
+        title: "Routing Log Fragments through the Disk Cache (§4.1.3)",
+        rows,
+    }
+}
+
+/// §4.2.5: version selection vs the thru-page-table shadow.
+pub fn version_selection(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        let bare = Machine::new(cfg.clone()).run();
+        let vs = {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::VersionSelect;
+            Machine::new(c).run()
+        };
+        let thru = {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::ShadowPt(ShadowPtConfig {
+                pt_buffer: 50,
+                ..ShadowPtConfig::default()
+            });
+            Machine::new(c).run()
+        };
+        let mut row = ExpRow::new(name);
+        row.push("bare", bare.exec_time_per_page_ms);
+        row.push("version select", vs.exec_time_per_page_ms);
+        row.push("thru PT buf=50", thru.exec_time_per_page_ms);
+        rows.push(row);
+    }
+    ExpTable {
+        id: "ablation_version_select",
+        title: "Version Selection vs Thru-Page-Table (§4.2.5)",
+        rows,
+    }
+}
+
+/// Multiprogramming-level sensitivity of the bare machine.
+pub fn mpl_sweep(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        let mut row = ExpRow::new(name);
+        for mpl in [1usize, 2, 3, 5, 8] {
+            let mut c = cfg.clone();
+            c.mpl = mpl;
+            let r = Machine::new(c).run();
+            row.push(format!("mpl {mpl} exec"), r.exec_time_per_page_ms);
+            row.push(format!("mpl {mpl} compl"), r.mean_completion_ms);
+        }
+        rows.push(row);
+    }
+    ExpTable {
+        id: "ablation_mpl",
+        title: "Multiprogramming-Level Sensitivity (bare machine)",
+        rows,
+    }
+}
+
+/// Query-processor-count sensitivity (cf. \[22\]): on an I/O-bound machine
+/// most processors idle; only the parallel-sequential configuration can
+/// use more of them.
+pub fn qp_sweep(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        let mut row = ExpRow::new(name);
+        for qps in [5usize, 25, 75] {
+            let mut c = cfg.clone();
+            c.query_processors = qps;
+            let r = Machine::new(c).run();
+            row.push(format!("{qps} QPs exec"), r.exec_time_per_page_ms);
+            row.push(format!("{qps} QPs util"), r.qp_util);
+        }
+        rows.push(row);
+    }
+    ExpTable {
+        id: "ablation_qps",
+        title: "Query-Processor Count Sensitivity (cf. [22])",
+        rows,
+    }
+}
+
+/// No-undo vs no-redo overwriting: the paper simulates only the no-undo
+/// variant; this ablation quantifies the trade (no-redo writes every
+/// update home immediately, no-undo defers everything to commit).
+pub fn overwrite_variants(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        let mut row = ExpRow::new(name);
+        row.push("bare", Machine::new(cfg.clone()).run().exec_time_per_page_ms);
+        for (label, variant) in [
+            ("no-undo", OverwriteVariant::NoUndo),
+            ("no-redo", OverwriteVariant::NoRedo),
+        ] {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::Overwriting(OverwritingConfig {
+                variant,
+                ..OverwritingConfig::default()
+            });
+            let r = Machine::new(c).run();
+            row.push(format!("{label} exec"), r.exec_time_per_page_ms);
+            row.push(format!("{label} compl"), r.mean_completion_ms);
+        }
+        rows.push(row);
+    }
+    ExpTable {
+        id: "ablation_overwrite_variants",
+        title: "Overwriting Variants: No-Undo vs No-Redo",
+        rows,
+    }
+}
+
+/// All ablations, in presentation order.
+pub fn all_ablations(txns: usize) -> Vec<ExpTable> {
+    vec![
+        link_bandwidth(txns),
+        route_through_cache(txns),
+        version_selection(txns),
+        overwrite_variants(txns),
+        mpl_sweep(txns),
+        qp_sweep(txns),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: usize = 10;
+
+    #[test]
+    fn bandwidth_is_immaterial() {
+        let t = link_bandwidth(T);
+        for row in &t.rows {
+            let fast = row.get("1 MB/s exec").unwrap();
+            let slow = row.get("0.01 MB/s exec").unwrap();
+            assert!(
+                (slow - fast).abs() / fast < 0.1,
+                "{}: {fast} vs {slow}",
+                row.label
+            );
+            // but the slow link does make fragments (and their pages) wait
+            assert!(
+                row.get("0.01 MB/s blocked").unwrap()
+                    >= row.get("1 MB/s blocked").unwrap() * 0.8
+            );
+        }
+    }
+
+    #[test]
+    fn cache_routing_is_harmless() {
+        let t = route_through_cache(T);
+        for row in &t.rows {
+            let a = row.get("dedicated link exec").unwrap();
+            let b = row.get("through cache exec").unwrap();
+            assert!((b - a).abs() / a < 0.1, "{}: {a} vs {b}", row.label);
+        }
+    }
+
+    #[test]
+    fn version_selection_loses_on_io_bound_configs() {
+        let t = version_selection(T);
+        for row in &t.rows {
+            if row.label.contains("Random") {
+                let vs = row.get("version select").unwrap();
+                let thru = row.get("thru PT buf=50").unwrap();
+                assert!(
+                    vs > thru,
+                    "{}: version selection must lose on I/O-bound machines ({vs} vs {thru})",
+                    row.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_overwrite_variants_cost_more_than_bare() {
+        let t = overwrite_variants(T);
+        for row in &t.rows {
+            let bare = row.get("bare").unwrap();
+            assert!(row.get("no-undo exec").unwrap() > bare * 1.02, "{}", row.label);
+            assert!(row.get("no-redo exec").unwrap() > bare * 1.02, "{}", row.label);
+        }
+    }
+
+    #[test]
+    fn completion_grows_with_mpl() {
+        let t = mpl_sweep(T);
+        for row in &t.rows {
+            let c1 = row.get("mpl 1 compl").unwrap();
+            let c8 = row.get("mpl 8 compl").unwrap();
+            assert!(c8 > c1, "{}: completion must grow with MPL", row.label);
+        }
+    }
+
+    #[test]
+    fn extra_qps_only_help_parallel_sequential() {
+        let t = qp_sweep(T);
+        let ps = t
+            .rows
+            .iter()
+            .find(|r| r.label == "Parallel-Sequential")
+            .unwrap();
+        let cr = t
+            .rows
+            .iter()
+            .find(|r| r.label == "Conventional-Random")
+            .unwrap();
+        // PS gains from 25 → 75 QPs; CR does not care
+        assert!(ps.get("75 QPs exec").unwrap() < ps.get("25 QPs exec").unwrap() * 0.95);
+        let cr25 = cr.get("25 QPs exec").unwrap();
+        let cr75 = cr.get("75 QPs exec").unwrap();
+        assert!((cr75 - cr25).abs() / cr25 < 0.05);
+        // and CR's processors are mostly idle, as [22] found
+        assert!(cr.get("75 QPs util").unwrap() < 0.1);
+    }
+}

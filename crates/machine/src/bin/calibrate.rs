@@ -1,0 +1,138 @@
+//! Calibration harness: prints the bare-machine numbers for the paper's
+//! four configurations plus selected overlay probes, so the free
+//! parameters (CPU per page, MPL) can be tuned against Table 1.
+//!
+//! Usage: `cargo run -p rmdb-machine --bin calibrate [cpu_ms] [mpl]`
+
+use rmdb_machine::config::{
+    DiffFileConfig, LoggingConfig, MachineConfig, RecoveryOverlay, ScanApproach, ShadowPtConfig,
+};
+use rmdb_machine::Machine;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cpu: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(45.0);
+    let mpl: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    println!("cpu_per_page={cpu}ms mpl={mpl}");
+    println!("\n== bare machine (Table 1 targets: 18.0/16.6/11.0/1.9 exec, 7398/6476/4016/758 compl) ==");
+    for (name, mut cfg) in MachineConfig::paper_configurations() {
+        cfg.cpu_per_page_ms = cpu;
+        cfg.mpl = mpl;
+        let r = Machine::new(cfg).run();
+        println!(
+            "{name:<26} exec/page {:7.2}  compl {:9.1}  qp_util {:.2}  disk_util {:.2}/{:.2}  accesses {}",
+            r.exec_time_per_page_ms,
+            r.mean_completion_ms,
+            r.qp_util,
+            r.data_disk_util[0],
+            r.data_disk_util[1],
+            r.data_disk_accesses
+        );
+    }
+
+    println!("\n== with 1-log-disk logical logging (Table 1 'with log') ==");
+    for (name, mut cfg) in MachineConfig::paper_configurations() {
+        cfg.cpu_per_page_ms = cpu;
+        cfg.mpl = mpl;
+        cfg.overlay = RecoveryOverlay::Logging(LoggingConfig::default());
+        let r = Machine::new(cfg).run();
+        println!(
+            "{name:<26} exec/page {:7.2}  compl {:9.1}  log_util {:.3}  blocked {:.1}",
+            r.exec_time_per_page_ms,
+            r.mean_completion_ms,
+            r.mean_log_disk_util(),
+            r.mean_blocked_pages
+        );
+    }
+
+    println!("\n== Table 3 machine, physical logging (targets: 5.1 → 1.3; w/o 0.9) ==");
+    {
+        let mut cfg = MachineConfig::table3_machine();
+        cfg.cpu_per_page_ms = cpu;
+        cfg.mpl = mpl;
+        let r = Machine::new(cfg.clone()).run();
+        println!(
+            "without logging            exec/page {:7.2}  compl {:9.1}  qp_util {:.2}",
+            r.exec_time_per_page_ms, r.mean_completion_ms, r.qp_util
+        );
+        for n in [1usize, 2, 3, 4, 5] {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::Logging(LoggingConfig {
+                physical: true,
+                log_disks: n,
+                ..LoggingConfig::default()
+            });
+            let r = Machine::new(c).run();
+            println!(
+                "{n} log disk(s)              exec/page {:7.2}  compl {:9.1}  log_util {:.2}  blocked {:.1}",
+                r.exec_time_per_page_ms,
+                r.mean_completion_ms,
+                r.mean_log_disk_util(),
+                r.mean_blocked_pages
+            );
+        }
+    }
+
+    println!("\n== shadow thru-PT (Table 4 targets: CR 20.5, PR 20.5, CS 11.0, PS 1.9 @buf10/1proc) ==");
+    for (name, mut cfg) in MachineConfig::paper_configurations() {
+        cfg.cpu_per_page_ms = cpu;
+        cfg.mpl = mpl;
+        cfg.overlay = RecoveryOverlay::ShadowPt(ShadowPtConfig::default());
+        let r = Machine::new(cfg).run();
+        println!(
+            "{name:<26} exec/page {:7.2}  compl {:9.1}  pt_util {:.2}  data_util {:.2}",
+            r.exec_time_per_page_ms,
+            r.mean_completion_ms,
+            r.mean_pt_disk_util(),
+            r.mean_data_disk_util()
+        );
+    }
+
+    println!("\n== scrambled shadow, sequential (Table 7: conv 20.7, par 18.5) ==");
+    for (name, mut cfg) in MachineConfig::paper_configurations() {
+        if !name.contains("Sequential") {
+            continue;
+        }
+        cfg.cpu_per_page_ms = cpu;
+        cfg.mpl = mpl;
+        cfg.overlay = RecoveryOverlay::ShadowPt(ShadowPtConfig {
+            clustered: false,
+            ..ShadowPtConfig::default()
+        });
+        let r = Machine::new(cfg).run();
+        println!(
+            "{name:<26} exec/page {:7.2}",
+            r.exec_time_per_page_ms
+        );
+    }
+
+    println!("\n== overwriting (Table 7/8: CR 26.9, PR 21.6, CS 24.1, PS 2.3) ==");
+    for (name, mut cfg) in MachineConfig::paper_configurations() {
+        cfg.cpu_per_page_ms = cpu;
+        cfg.mpl = mpl;
+        cfg.overlay = RecoveryOverlay::Overwriting(Default::default());
+        let r = Machine::new(cfg).run();
+        println!(
+            "{name:<26} exec/page {:7.2}  compl {:9.1}",
+            r.exec_time_per_page_ms, r.mean_completion_ms
+        );
+    }
+
+    println!("\n== differential files (Table 9: basic ~37.6 all; optimal 19.2/18.0/17.8/13.9) ==");
+    for approach in [ScanApproach::Basic, ScanApproach::Optimal] {
+        for (name, mut cfg) in MachineConfig::paper_configurations() {
+            cfg.cpu_per_page_ms = cpu;
+            cfg.mpl = mpl;
+            cfg.overlay = RecoveryOverlay::DiffFile(DiffFileConfig {
+                approach,
+                ..DiffFileConfig::default()
+            });
+            let r = Machine::new(cfg).run();
+            println!(
+                "{approach:?} {name:<26} exec/page {:7.2}  compl {:9.1}  qp_util {:.2}",
+                r.exec_time_per_page_ms, r.mean_completion_ms, r.qp_util
+            );
+        }
+    }
+}

@@ -1,0 +1,673 @@
+//! Experiment drivers: one function per table of the paper.
+//!
+//! Each driver assembles the exact machine/overlay configurations behind a
+//! table of the paper's evaluation (§4–§5), runs them, and returns a
+//! structured [`ExpTable`] the bench harness renders (and serializes next
+//! to EXPERIMENTS.md). The `txns` argument scales the batch: 40 is the
+//! calibrated paper-scale batch; tests use smaller values.
+
+use crate::config::{
+    DiffFileConfig, LoggingConfig, MachineConfig, OverwritingConfig, RecoveryOverlay,
+    ScanApproach, ShadowPtConfig,
+};
+use crate::machine::Machine;
+use crate::report::MachineReport;
+use rmdb_wal::SelectionPolicy;
+use serde::Serialize;
+
+/// Paper-scale batch size used by the bench binaries.
+pub const PAPER_TXNS: usize = 40;
+
+/// One row of a reproduced table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExpRow {
+    /// Row label (configuration, number of log disks, …).
+    pub label: String,
+    /// Column label → value pairs, in display order.
+    pub values: Vec<(String, f64)>,
+}
+
+impl ExpRow {
+    /// A row with the given label and no values yet.
+    pub fn new(label: impl Into<String>) -> Self {
+        ExpRow {
+            label: label.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Append a `(column, value)` pair.
+    pub fn push(&mut self, col: impl Into<String>, v: f64) {
+        self.values.push((col.into(), v));
+    }
+
+    /// Look up a value by column label.
+    pub fn get(&self, col: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .find(|(c, _)| c == col)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// A reproduced table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExpTable {
+    /// Stable identifier ("table01" …).
+    pub id: &'static str,
+    /// The paper's caption.
+    pub title: &'static str,
+    /// Rows in display order.
+    pub rows: Vec<ExpRow>,
+}
+
+impl ExpTable {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        if self.rows.is_empty() {
+            return out;
+        }
+        let cols: Vec<&str> = self.rows[0]
+            .values
+            .iter()
+            .map(|(c, _)| c.as_str())
+            .collect();
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(0)
+            .max(13);
+        let _ = write!(out, "{:label_w$}", "configuration");
+        for c in &cols {
+            let _ = write!(out, "  {c:>16}");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{:label_w$}", row.label);
+            for (_, v) in &row.values {
+                let _ = write!(out, "  {v:>16.2}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+fn run(cfg: MachineConfig) -> MachineReport {
+    Machine::new(cfg).run()
+}
+
+fn base_configs(txns: usize) -> Vec<(&'static str, MachineConfig)> {
+    MachineConfig::paper_configurations()
+        .into_iter()
+        .map(|(name, mut cfg)| {
+            cfg.num_txns = txns;
+            (name, cfg)
+        })
+        .collect()
+}
+
+/// Table 1 — Impact of logging (one log processor).
+pub fn table01(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        let bare = run(cfg.clone());
+        let mut logged_cfg = cfg;
+        logged_cfg.overlay = RecoveryOverlay::Logging(LoggingConfig::default());
+        let logged = run(logged_cfg);
+        let mut row = ExpRow::new(name);
+        row.push("exec w/o log", bare.exec_time_per_page_ms);
+        row.push("exec w/ log", logged.exec_time_per_page_ms);
+        row.push("compl w/o log", bare.mean_completion_ms);
+        row.push("compl w/ log", logged.mean_completion_ms);
+        rows.push(row);
+    }
+    ExpTable {
+        id: "table01",
+        title: "Impact of Logging",
+        rows,
+    }
+}
+
+/// Table 2 — Log characteristics (one log processor).
+pub fn table02(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, mut cfg) in base_configs(txns) {
+        cfg.overlay = RecoveryOverlay::Logging(LoggingConfig::default());
+        let r = run(cfg);
+        let mut row = ExpRow::new(name);
+        row.push("log disk util", r.mean_log_disk_util());
+        row.push("blocked pages", r.mean_blocked_pages);
+        rows.push(row);
+    }
+    ExpTable {
+        id: "table02",
+        title: "Log Characteristics (one log processor)",
+        rows,
+    }
+}
+
+/// Table 3 — Parallel (physical) logging and log-processor selection:
+/// 75 query processors, 2 parallel-access disks, 150 cache frames.
+pub fn table03(txns: usize) -> ExpTable {
+    let mut machine = MachineConfig::table3_machine();
+    machine.num_txns = txns;
+    let mut rows = Vec::new();
+    for n in 1..=5usize {
+        let mut row = ExpRow::new(format!("{n} log disk(s)"));
+        for policy in SelectionPolicy::ALL {
+            let mut cfg = machine.clone();
+            cfg.overlay = RecoveryOverlay::Logging(LoggingConfig {
+                physical: true,
+                log_disks: n,
+                selection: policy,
+                ..LoggingConfig::default()
+            });
+            let r = run(cfg);
+            row.push(format!("exec {}", policy.label()), r.exec_time_per_page_ms);
+            row.push(format!("compl {}", policy.label()), r.mean_completion_ms);
+        }
+        rows.push(row);
+    }
+    // the without-logging baseline row
+    let bare = run(machine);
+    let mut row = ExpRow::new("w/o logging");
+    for policy in SelectionPolicy::ALL {
+        row.push(format!("exec {}", policy.label()), bare.exec_time_per_page_ms);
+        row.push(format!("compl {}", policy.label()), bare.mean_completion_ms);
+    }
+    rows.push(row);
+    ExpTable {
+        id: "table03",
+        title: "Parallel Logging and Log Processor Selection (75 QPs, physical logging)",
+        rows,
+    }
+}
+
+/// Table 4 — Impact of the shadow mechanism (1 vs 2 page-table processors).
+pub fn table04(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        let bare = run(cfg.clone());
+        let shadow = |procs: usize| {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::ShadowPt(ShadowPtConfig {
+                pt_processors: procs,
+                ..ShadowPtConfig::default()
+            });
+            run(c)
+        };
+        let one = shadow(1);
+        let two = shadow(2);
+        let mut row = ExpRow::new(name);
+        row.push("exec bare", bare.exec_time_per_page_ms);
+        row.push("exec 1 PT", one.exec_time_per_page_ms);
+        row.push("exec 2 PT", two.exec_time_per_page_ms);
+        row.push("compl bare", bare.mean_completion_ms);
+        row.push("compl 1 PT", one.mean_completion_ms);
+        row.push("compl 2 PT", two.mean_completion_ms);
+        rows.push(row);
+    }
+    ExpTable {
+        id: "table04",
+        title: "Impact of the Shadow Mechanism",
+        rows,
+    }
+}
+
+/// Table 5 — Average utilization of data and page-table disks.
+pub fn table05(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        let bare = run(cfg.clone());
+        let shadow = |procs: usize| {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::ShadowPt(ShadowPtConfig {
+                pt_processors: procs,
+                ..ShadowPtConfig::default()
+            });
+            run(c)
+        };
+        let one = shadow(1);
+        let two = shadow(2);
+        let mut row = ExpRow::new(name);
+        row.push("bare data", bare.mean_data_disk_util());
+        row.push("1PT data", one.mean_data_disk_util());
+        row.push("1PT pt", one.mean_pt_disk_util());
+        row.push("2PT data", two.mean_data_disk_util());
+        row.push("2PT pt", two.mean_pt_disk_util());
+        rows.push(row);
+    }
+    ExpTable {
+        id: "table05",
+        title: "Average Utilization of Data and Page-Table Disks",
+        rows,
+    }
+}
+
+/// Table 6 — Execution time per page vs page-table buffer size
+/// (random transactions, 1 page-table processor).
+pub fn table06(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        if !name.contains("Random") {
+            continue;
+        }
+        let bare = run(cfg.clone());
+        let mut row = ExpRow::new(name.replace("-Random", ""));
+        row.push("bare", bare.exec_time_per_page_ms);
+        for buf in [10usize, 25, 50] {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::ShadowPt(ShadowPtConfig {
+                pt_buffer: buf,
+                ..ShadowPtConfig::default()
+            });
+            row.push(format!("buf {buf}"), run(c).exec_time_per_page_ms);
+        }
+        rows.push(row);
+    }
+    ExpTable {
+        id: "table06",
+        title: "Execution Time per Page vs Page-Table Buffer Size (random txns)",
+        rows,
+    }
+}
+
+/// Table 7 — Sequential transactions: clustered vs scrambled vs overwriting.
+pub fn table07(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        if !name.contains("Sequential") {
+            continue;
+        }
+        let bare = run(cfg.clone());
+        let clustered = {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::ShadowPt(ShadowPtConfig::default());
+            run(c)
+        };
+        let scrambled = {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::ShadowPt(ShadowPtConfig {
+                clustered: false,
+                ..ShadowPtConfig::default()
+            });
+            run(c)
+        };
+        let overwriting = {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::Overwriting(OverwritingConfig::default());
+            run(c)
+        };
+        let mut row = ExpRow::new(name.replace("-Sequential", ""));
+        row.push("bare", bare.exec_time_per_page_ms);
+        row.push("clustered", clustered.exec_time_per_page_ms);
+        row.push("scrambled", scrambled.exec_time_per_page_ms);
+        row.push("overwriting", overwriting.exec_time_per_page_ms);
+        rows.push(row);
+    }
+    ExpTable {
+        id: "table07",
+        title: "Execution Time per Page (Sequential Transactions)",
+        rows,
+    }
+}
+
+/// Table 8 — Random transactions: thru page-table vs overwriting.
+pub fn table08(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        if !name.contains("Random") {
+            continue;
+        }
+        let bare = run(cfg.clone());
+        let thru = {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::ShadowPt(ShadowPtConfig::default());
+            run(c)
+        };
+        let overwriting = {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::Overwriting(OverwritingConfig::default());
+            run(c)
+        };
+        let mut row = ExpRow::new(name.replace("-Random", ""));
+        row.push("bare", bare.exec_time_per_page_ms);
+        row.push("thru pagetable", thru.exec_time_per_page_ms);
+        row.push("overwriting", overwriting.exec_time_per_page_ms);
+        rows.push(row);
+    }
+    ExpTable {
+        id: "table08",
+        title: "Execution Time per Page (Random Transactions)",
+        rows,
+    }
+}
+
+/// Table 9 — Impact of the differential-file mechanism (basic vs optimal).
+pub fn table09(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        let bare = run(cfg.clone());
+        let diff = |approach: ScanApproach| {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::DiffFile(DiffFileConfig {
+                approach,
+                ..DiffFileConfig::default()
+            });
+            run(c)
+        };
+        let basic = diff(ScanApproach::Basic);
+        let optimal = diff(ScanApproach::Optimal);
+        let mut row = ExpRow::new(name);
+        row.push("exec bare", bare.exec_time_per_page_ms);
+        row.push("exec basic", basic.exec_time_per_page_ms);
+        row.push("exec optimal", optimal.exec_time_per_page_ms);
+        row.push("compl bare", bare.mean_completion_ms);
+        row.push("compl basic", basic.mean_completion_ms);
+        row.push("compl optimal", optimal.mean_completion_ms);
+        rows.push(row);
+    }
+    ExpTable {
+        id: "table09",
+        title: "Impact of the Differential File Mechanism",
+        rows,
+    }
+}
+
+/// Table 10 — Effect of the output-page fraction (optimal approach).
+pub fn table10(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        let bare = run(cfg.clone());
+        let mut row = ExpRow::new(name);
+        row.push("bare", bare.exec_time_per_page_ms);
+        for frac in [0.10, 0.20, 0.50] {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::DiffFile(DiffFileConfig {
+                output_fraction: frac,
+                ..DiffFileConfig::default()
+            });
+            row.push(format!("{:.0}%", frac * 100.0), run(c).exec_time_per_page_ms);
+        }
+        rows.push(row);
+    }
+    ExpTable {
+        id: "table10",
+        title: "Effect of Output Fraction on Execution Time per Page",
+        rows,
+    }
+}
+
+/// Table 11 — Effect of the differential-file size (optimal approach).
+pub fn table11(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        let bare = run(cfg.clone());
+        let mut row = ExpRow::new(name);
+        row.push("bare", bare.exec_time_per_page_ms);
+        for frac in [0.10, 0.15, 0.20] {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::DiffFile(DiffFileConfig {
+                size_fraction: frac,
+                ..DiffFileConfig::default()
+            });
+            row.push(format!("{:.0}%", frac * 100.0), run(c).exec_time_per_page_ms);
+        }
+        rows.push(row);
+    }
+    ExpTable {
+        id: "table11",
+        title: "Effect of Size of Differential Files on Execution Time per Page",
+        rows,
+    }
+}
+
+/// Table 12 — Comparison of the recovery architectures.
+pub fn table12(txns: usize) -> ExpTable {
+    let mut rows = Vec::new();
+    for (name, cfg) in base_configs(txns) {
+        let mut row = ExpRow::new(name);
+        row.push("bare", run(cfg.clone()).exec_time_per_page_ms);
+        // logging, 1 log disk
+        {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::Logging(LoggingConfig::default());
+            row.push("logging", run(c).exec_time_per_page_ms);
+        }
+        // shadow: 1 PT proc buf 10; 1 PT proc buf 50; 2 PT procs
+        for (label, procs, buf) in [
+            ("sh buf=10", 1usize, 10usize),
+            ("sh buf=50", 1, 50),
+            ("sh 2 PT", 2, 10),
+        ] {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::ShadowPt(ShadowPtConfig {
+                pt_processors: procs,
+                pt_buffer: buf,
+                ..ShadowPtConfig::default()
+            });
+            row.push(label, run(c).exec_time_per_page_ms);
+        }
+        // scrambled
+        {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::ShadowPt(ShadowPtConfig {
+                clustered: false,
+                ..ShadowPtConfig::default()
+            });
+            row.push("scrambled", run(c).exec_time_per_page_ms);
+        }
+        // overwriting
+        {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::Overwriting(OverwritingConfig::default());
+            row.push("overwriting", run(c).exec_time_per_page_ms);
+        }
+        // differential file (10 %, optimal)
+        {
+            let mut c = cfg.clone();
+            c.overlay = RecoveryOverlay::DiffFile(DiffFileConfig::default());
+            row.push("diff file", run(c).exec_time_per_page_ms);
+        }
+        rows.push(row);
+    }
+    ExpTable {
+        id: "table12",
+        title: "Average Execution Time per Page — All Recovery Architectures",
+        rows,
+    }
+}
+
+/// Every table, in order.
+pub fn all_tables(txns: usize) -> Vec<ExpTable> {
+    vec![
+        table01(txns),
+        table02(txns),
+        table03(txns),
+        table04(txns),
+        table05(txns),
+        table06(txns),
+        table07(txns),
+        table08(txns),
+        table09(txns),
+        table10(txns),
+        table11(txns),
+        table12(txns),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: usize = 12; // shortened batches keep tests quick
+
+    #[test]
+    fn table01_logging_is_nearly_free() {
+        let t = table01(T);
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let bare = row.get("exec w/o log").unwrap();
+            let logged = row.get("exec w/ log").unwrap();
+            assert!(
+                (logged - bare).abs() / bare < 0.15,
+                "{}: {} vs {}",
+                row.label,
+                bare,
+                logged
+            );
+        }
+    }
+
+    #[test]
+    fn table02_log_disk_underutilized() {
+        let t = table02(T);
+        for row in &t.rows {
+            let util = row.get("log disk util").unwrap();
+            assert!(util < 0.35, "{}: log util {util}", row.label);
+            assert!(row.get("blocked pages").unwrap() < 10.0);
+        }
+    }
+
+    #[test]
+    fn table03_scaling_and_txnmod_loser() {
+        let t = table03(T);
+        // more log disks improve cyclic execution time
+        let exec = |row: usize| t.rows[row].get("exec cyclic").unwrap();
+        assert!(exec(0) > exec(3), "1 disk {} !> 4 disks {}", exec(0), exec(3));
+        // TranNo mod selection trails cyclic with many disks
+        let row4 = &t.rows[3]; // 4 log disks
+        assert!(
+            row4.get("exec TranNo mod TotLp").unwrap()
+                >= row4.get("exec cyclic").unwrap() * 0.99,
+            "txn-mod should not beat cyclic"
+        );
+        // baseline is fastest
+        let bare = t.rows.last().unwrap().get("exec cyclic").unwrap();
+        assert!(bare < exec(0));
+    }
+
+    #[test]
+    fn table04_second_pt_processor_recovers() {
+        let t = table04(T);
+        for row in &t.rows {
+            if !row.label.contains("Random") {
+                continue;
+            }
+            let bare = row.get("exec bare").unwrap();
+            let one = row.get("exec 1 PT").unwrap();
+            let two = row.get("exec 2 PT").unwrap();
+            assert!(one >= bare * 0.99, "{}: shadow must not be free", row.label);
+            assert!(two <= one, "{}: second PT proc must help", row.label);
+        }
+    }
+
+    #[test]
+    fn table06_buffer_recovers_throughput() {
+        let t = table06(T);
+        for row in &t.rows {
+            let b10 = row.get("buf 10").unwrap();
+            let b50 = row.get("buf 50").unwrap();
+            let bare = row.get("bare").unwrap();
+            assert!(b50 <= b10, "{}: larger buffer must help", row.label);
+            assert!(
+                (b50 - bare) / bare < 0.1,
+                "{}: buf 50 should annul the degradation",
+                row.label
+            );
+        }
+    }
+
+    #[test]
+    fn table07_scrambling_and_overwriting_shapes() {
+        let t = table07(T);
+        for row in &t.rows {
+            let clustered = row.get("clustered").unwrap();
+            let scrambled = row.get("scrambled").unwrap();
+            assert!(
+                scrambled > 1.3 * clustered,
+                "{}: scrambling must devastate sequential",
+                row.label
+            );
+        }
+        // overwriting on parallel disks stays close to bare…
+        let par = t.rows.iter().find(|r| r.label == "Parallel").unwrap();
+        assert!(par.get("overwriting").unwrap() < 2.5 * par.get("bare").unwrap());
+        // …but on conventional disks it is far worse
+        let conv = t.rows.iter().find(|r| r.label == "Conventional").unwrap();
+        assert!(conv.get("overwriting").unwrap() > 1.4 * conv.get("bare").unwrap());
+    }
+
+    #[test]
+    fn table08_overwriting_worse_than_thru_pt_for_random() {
+        let t = table08(T);
+        for row in &t.rows {
+            assert!(
+                row.get("overwriting").unwrap() > row.get("thru pagetable").unwrap(),
+                "{}: overwriting must lose for random txns",
+                row.label
+            );
+        }
+    }
+
+    #[test]
+    fn table09_basic_flat_and_worst() {
+        let t = table09(T);
+        let basics: Vec<f64> = t.rows.iter().map(|r| r.get("exec basic").unwrap()).collect();
+        let spread = (basics.iter().cloned().fold(f64::MIN, f64::max)
+            - basics.iter().cloned().fold(f64::MAX, f64::min))
+            / basics[0];
+        assert!(spread < 0.25, "basic approach should be CPU-bound flat: {basics:?}");
+        for row in &t.rows {
+            assert!(row.get("exec basic").unwrap() > row.get("exec optimal").unwrap());
+        }
+    }
+
+    #[test]
+    fn table11_nonlinear_degradation() {
+        let t = table11(T);
+        for row in &t.rows {
+            let p10 = row.get("10%").unwrap();
+            let p15 = row.get("15%").unwrap();
+            let p20 = row.get("20%").unwrap();
+            assert!(p20 > p15 && p15 > p10, "{}: degradation must grow", row.label);
+        }
+    }
+
+    #[test]
+    fn table12_logging_wins_overall() {
+        let t = table12(T);
+        for row in &t.rows {
+            let bare = row.get("bare").unwrap();
+            let logging = row.get("logging").unwrap();
+            // parallel logging is within a few percent of bare everywhere
+            assert!(
+                (logging - bare) / bare < 0.12,
+                "{}: logging {logging} vs bare {bare}",
+                row.label
+            );
+            // and no other architecture beats it in any configuration
+            for col in ["scrambled", "overwriting", "diff file"] {
+                assert!(
+                    row.get(col).unwrap() >= logging * 0.95,
+                    "{}: {col} should not beat logging",
+                    row.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_produces_all_columns() {
+        let t = table01(6);
+        let s = t.render();
+        assert!(s.contains("exec w/o log"));
+        assert!(s.contains("Conventional-Random"));
+    }
+}

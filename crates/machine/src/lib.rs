@@ -1,0 +1,42 @@
+//! Discrete-event simulator of the paper's multiprocessor-cache database
+//! machine, with each recovery architecture as a pluggable overlay.
+//!
+//! The simulated machine (paper §2, §4): 25 query processors (VAX 11/750
+//! class), a back-end controller managing a 100-frame disk cache of 4 KB
+//! pages, an I/O processor, and 2 data disks (IBM 3350, conventional or
+//! SURE/DBC-style parallel-access). Transactions read 1–250 pages (uniform)
+//! with a random 20 % write set, using random or sequential reference
+//! strings. The machine runs a closed workload at a fixed multiprogramming
+//! level and reports the paper's two metrics: **execution time per page**
+//! (throughput) and **transaction completion time**.
+//!
+//! Overlays (paper §3):
+//!
+//! * [`config::RecoveryOverlay::Logging`] — N log processors/disks, four
+//!   fragment-selection policies, logical or physical fragments, WAL
+//!   blocking of updated pages in the cache, commit forces;
+//! * [`config::RecoveryOverlay::ShadowPt`] — page-table indirection with
+//!   1–2 page-table processors/disks and an LRU page-table buffer, plus the
+//!   clustered/scrambled placement distinction;
+//! * [`config::RecoveryOverlay::Overwriting`] — the no-undo overwriting
+//!   architecture staging updated pages through an on-disk scratch area and
+//!   installing them over the shadows at commit;
+//! * [`config::RecoveryOverlay::DiffFile`] — differential files with basic
+//!   or optimal query processing, extra A/D page I/O and set-difference CPU.
+//!
+//! [`experiments`] packages the exact configurations behind every table of
+//! the paper.
+
+pub mod ablations;
+pub mod config;
+pub mod experiments;
+pub mod machine;
+pub mod report;
+pub mod workload;
+
+pub use config::{
+    AccessPattern, DiffFileConfig, LoggingConfig, MachineConfig, OverwriteVariant,
+    OverwritingConfig, RecoveryOverlay, ScanApproach, ShadowPtConfig,
+};
+pub use machine::Machine;
+pub use report::MachineReport;

@@ -1,0 +1,1557 @@
+//! The discrete-event machine simulator.
+//!
+//! One [`Machine::run`] drains a closed batch of transactions through the
+//! simulated database machine and reports the paper's metrics. The
+//! component model:
+//!
+//! * **I/O processor / back-end controller** — the per-disk round-robin
+//!   scheduler (`DiskSched`): every active transaction keeps a queue of
+//!   pending page reads (anticipatory reading: all future pages are known)
+//!   and a queue of pending writes; an idle disk serves the next
+//!   transaction in rotation, preferring writes (they release cache
+//!   frames). On parallel-access drives the scheduler coalesces a
+//!   transaction's queued pages that fall in one cylinder into a single
+//!   access, bounded by free cache frames.
+//! * **Cache** — a counting model: reads claim a frame at issue; read-only
+//!   pages release it after processing; updated pages hold it until the
+//!   page reaches disk (and, under logging, until the WAL rule unblocks
+//!   it).
+//! * **Query processors** — a pool serving the in-cache ready queue, with
+//!   per-page CPU cost plus overlay surcharges (fragment construction,
+//!   set-difference work).
+//! * **Overlays** — logging (fragment routing, log-page assembly, WAL
+//!   blocking, commit forces), thru-page-table shadow (PT fetch before a
+//!   data read may issue, PT buffer, commit-time PT updates),
+//!   overwriting (scratch staging + install), and differential files
+//!   (extra A/D reads, set-difference CPU, fractional output pages).
+
+use crate::config::{MachineConfig, RecoveryOverlay, ScanApproach};
+use crate::report::MachineReport;
+use crate::workload::{self, PageLoc, TxnSpec};
+use rmdb_disk::{Disk, DiskMode, DiskParams, Geometry, RequestKind};
+use rmdb_sim::stats::{Tally, TimeWeighted};
+use rmdb_sim::{Calendar, SimRng, SimTime};
+use rmdb_wal::select::Selector;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+const LOG_PAGE_BYTES: usize = 4096;
+/// Page-table entries per page-table page (4-byte entries, per the paper's
+/// "more than 1000 page-table entries" in a 4 KB page).
+const PT_ENTRIES_PER_PAGE: u64 = 1019;
+
+/// `(transaction index, access index)` — identifies one page access.
+type Pr = (usize, usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ItemKind {
+    /// Fetch a data page into the cache (claims a frame).
+    Read,
+    /// Fetch a differential-file page (claims a frame, bypasses the QPs).
+    DiffRead,
+    /// Write an updated page home (releases its frame on completion).
+    Write,
+    /// Overwriting: stage an updated page into the scratch area.
+    ScratchWrite,
+    /// Overwriting: read a staged page back for installation.
+    ScratchRead,
+    /// Differential files: write an output (A-file) page. Unlike `Write`,
+    /// the source frame was already released when the page finished
+    /// processing.
+    OutWrite,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    kind: ItemKind,
+    pr: Pr,
+    addr: u64,
+}
+
+/// Round-robin per-transaction work queues for one disk.
+#[derive(Default)]
+struct DiskSched {
+    reads: BTreeMap<usize, VecDeque<WorkItem>>,
+    writes: BTreeMap<usize, VecDeque<WorkItem>>,
+    order: VecDeque<usize>,
+}
+
+impl DiskSched {
+    fn ensure_in_order(&mut self, txn: usize) {
+        if !self.order.contains(&txn) {
+            self.order.push_back(txn);
+        }
+    }
+
+    fn push_read(&mut self, txn: usize, item: WorkItem) {
+        self.reads.entry(txn).or_default().push_back(item);
+        self.ensure_in_order(txn);
+    }
+
+    fn push_write(&mut self, txn: usize, item: WorkItem) {
+        self.writes.entry(txn).or_default().push_back(item);
+        self.ensure_in_order(txn);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.reads.values().all(|q| q.is_empty()) && self.writes.values().all(|q| q.is_empty())
+    }
+
+    /// Pick the next batch to serve. Writes within a transaction go first
+    /// (they free frames); reads are bounded by `frames_free`. On
+    /// parallel-access drives the batch extends to every queued item of
+    /// the same kind in the same cylinder.
+    fn next_batch(
+        &mut self,
+        mode: DiskMode,
+        geometry: &Geometry,
+        frames_free: usize,
+    ) -> Option<Vec<WorkItem>> {
+        let n = self.order.len();
+        for _ in 0..n {
+            let txn = *self.order.front().expect("order nonempty");
+            // writes first
+            let from_writes = self
+                .writes
+                .get(&txn)
+                .is_some_and(|q| !q.is_empty());
+            let has_read = self.reads.get(&txn).is_some_and(|q| !q.is_empty());
+            let use_reads = !from_writes && has_read;
+            if !from_writes && (!has_read || frames_free == 0) {
+                // nothing serviceable for this txn right now
+                self.order.rotate_left(1);
+                continue;
+            }
+            let q = if from_writes {
+                self.writes.get_mut(&txn).expect("checked")
+            } else {
+                self.reads.get_mut(&txn).expect("checked")
+            };
+            let head = *q.front().expect("checked nonempty");
+            let mut batch = vec![q.pop_front().expect("head")];
+            match mode {
+                DiskMode::ParallelAccess => {
+                    let cyl = geometry.cylinder_of(head.addr);
+                    let limit = if use_reads { frames_free } else { usize::MAX };
+                    while batch.len() < limit.max(1) {
+                        match q.front() {
+                            Some(next)
+                                if next.kind == head.kind
+                                    && geometry.cylinder_of(next.addr) == cyl =>
+                            {
+                                batch.push(q.pop_front().expect("peeked"));
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                DiskMode::Conventional if use_reads && head.kind == ItemKind::Read => {
+                    // the I/O processor coalesces a stream's pending data
+                    // reads for the rest of the current aligned sector pair
+                    // (the controller's transfer unit) into one request.
+                    // Scratch-area reads do not coalesce: the arm shuttles
+                    // between the scratch and data areas (paper §4.2.4).
+                    let pair = head.addr / 2;
+                    let limit = frames_free.max(1);
+                    while batch.len() < limit {
+                        let expect = batch.last().expect("nonempty").addr + 1;
+                        match q.front() {
+                            Some(next)
+                                if next.kind == head.kind
+                                    && next.addr == expect
+                                    && next.addr / 2 == pair =>
+                            {
+                                batch.push(q.pop_front().expect("peeked"));
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                DiskMode::Conventional => {}
+            }
+            self.order.rotate_left(1);
+            return Some(batch);
+        }
+        None
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    DataDiskDone(usize),
+    LogDiskDone(usize),
+    PtDiskDone(usize),
+    QpDone(usize),
+    FragArrive {
+        log: usize,
+        pr: Pr,
+        bytes: usize,
+        via_cache: bool,
+    },
+}
+
+struct TxnRt {
+    spec: TxnSpec,
+    started: Option<SimTime>,
+    completed: Option<SimTime>,
+    /// QP-processed pages required (base pages + A-file extras).
+    to_process: usize,
+    processed: usize,
+    /// Differential-file D pages still to read.
+    d_pending: usize,
+    /// Home (or output) writes expected and done.
+    home_writes_total: usize,
+    home_writes_done: usize,
+    /// Overwriting: scratch stages completed / expected.
+    scratch_total: usize,
+    scratch_done: usize,
+    install_started: bool,
+    /// Updated pages awaiting install (overwriting).
+    install_queue: Vec<(Pr, u64, u64)>, // (pr, scratch addr, home addr)
+    /// Shadow: PT write operations outstanding at commit.
+    pt_commit_pending: usize,
+    pt_commit_issued: bool,
+    /// Differential files: accumulated output bytes.
+    out_bytes: usize,
+    out_pages_issued: usize,
+    /// Shadow: next access index whose page-table entry is to be resolved
+    /// (the lookahead pipeline frontier).
+    pt_next: usize,
+}
+
+impl TxnRt {
+    fn processing_finished(&self) -> bool {
+        self.processed >= self.to_process && self.d_pending == 0
+    }
+}
+
+struct LogProc {
+    disk: Disk,
+    /// Bytes accumulated toward the current log page.
+    buf_bytes: usize,
+    /// Updated pages waiting for the current log page.
+    waiting: Vec<Pr>,
+    /// Transactions with fragments in the current log page.
+    txns_in_buf: HashSet<usize>,
+    /// Per-request unblock lists.
+    unblock: HashMap<u64, Vec<Pr>>,
+    next_append_page: u64,
+    pages_written: u64,
+}
+
+struct PtProc {
+    disk: Disk,
+    /// req id → completed meta
+    meta: HashMap<u64, PtMeta>,
+}
+
+#[derive(Debug, Clone)]
+enum PtMeta {
+    Fetch(u64),
+    CommitRead { txn: usize, ptpage: u64 },
+    CommitWrite { txn: usize },
+}
+
+/// A tiny LRU set for the page-table buffer.
+struct LruSet {
+    cap: usize,
+    tick: u64,
+    map: HashMap<u64, u64>,
+}
+
+impl LruSet {
+    fn new(cap: usize) -> Self {
+        LruSet {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+    fn contains(&mut self, key: u64) -> bool {
+        self.tick += 1;
+        if let Some(t) = self.map.get_mut(&key) {
+            *t = self.tick;
+            true
+        } else {
+            false
+        }
+    }
+    fn insert(&mut self, key: u64) {
+        self.tick += 1;
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, &t)| t) {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key, self.tick);
+    }
+}
+
+/// The simulator. Construct with a [`MachineConfig`] and call
+/// [`Machine::run`].
+///
+/// ```
+/// use rmdb_machine::{Machine, MachineConfig};
+///
+/// let report = Machine::new(MachineConfig {
+///     num_txns: 5,
+///     ..MachineConfig::default()
+/// })
+/// .run();
+/// assert_eq!(report.txns_completed, 5);
+/// assert!(report.exec_time_per_page_ms > 0.0);
+/// ```
+pub struct Machine {
+    cfg: MachineConfig,
+}
+
+impl Machine {
+    /// New simulator for `cfg`.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Machine { cfg }
+    }
+
+    /// Run the batch to completion and report.
+    pub fn run(&self) -> MachineReport {
+        Sim::new(&self.cfg).run()
+    }
+}
+
+struct Sim<'a> {
+    cfg: &'a MachineConfig,
+    cal: Calendar<Ev>,
+    geometry: Geometry,
+    txns: Vec<TxnRt>,
+    next_admit: usize,
+    outstanding: usize,
+    // cache
+    frames_free: usize,
+    frames_used: TimeWeighted,
+    blocked_pages: TimeWeighted,
+    blocked_now: usize,
+    // QPs
+    ready: VecDeque<Pr>,
+    free_qps: Vec<usize>,
+    qp_task: Vec<Option<Pr>>,
+    qp_busy_ms: f64,
+    // data disks
+    disks: Vec<Disk>,
+    scheds: Vec<DiskSched>,
+    req_meta: Vec<HashMap<u64, (ItemKind, Vec<WorkItem>)>>,
+    // logging overlay
+    logs: Vec<LogProc>,
+    selector: Option<Selector>,
+    // shadow overlay
+    pt_procs: Vec<PtProc>,
+    pt_buffer: Option<LruSet>,
+    pt_waiting: HashMap<u64, Vec<(usize, WorkItem)>>, // ptpage → (disk, read item)
+    pt_inflight: HashSet<u64>,
+    scramble: bool,
+    // overwriting overlay
+    scratch_cursor: Vec<u64>,
+    scratch_base: Vec<u64>,
+    scratch_len: u64,
+    // misc
+    rng: SimRng,
+    completions: Tally,
+    pages_processed: u64,
+}
+
+impl<'a> Sim<'a> {
+    fn new(cfg: &'a MachineConfig) -> Self {
+        let geometry = Geometry::IBM_3350;
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let specs = workload::generate(cfg, &mut rng);
+
+        let txns = specs
+            .into_iter()
+            .map(|spec| {
+                let n = spec.n_pages();
+                let u = spec.n_writes();
+                let (to_process, d_pending, home_writes_total) = match &cfg.overlay {
+                    RecoveryOverlay::DiffFile(d) => {
+                        let a_extra = ((n as f64) * d.size_fraction).ceil() as usize;
+                        let d_extra = ((n as f64) * d.size_fraction).ceil() as usize;
+                        let out_pages = ((u as f64) * d.output_fraction).ceil() as usize;
+                        (n + a_extra, d_extra, out_pages)
+                    }
+                    _ => (n, 0, u),
+                };
+                let scratch_total = match &cfg.overlay {
+                    RecoveryOverlay::Overwriting(_) => u,
+                    _ => 0,
+                };
+                TxnRt {
+                    spec,
+                    started: None,
+                    completed: None,
+                    to_process,
+                    processed: 0,
+                    d_pending,
+                    home_writes_total,
+                    home_writes_done: 0,
+                    scratch_total,
+                    scratch_done: 0,
+                    install_started: false,
+                    install_queue: Vec::new(),
+                    pt_commit_pending: 0,
+                    pt_commit_issued: false,
+                    out_bytes: 0,
+                    out_pages_issued: 0,
+                    pt_next: 0,
+                }
+            })
+            .collect();
+
+        let params = DiskParams::ibm_3350();
+        let disks: Vec<Disk> = (0..cfg.data_disks)
+            .map(|_| Disk::new(params, cfg.disk_mode))
+            .collect();
+        let scheds = (0..cfg.data_disks).map(|_| DiskSched::default()).collect();
+        let req_meta = (0..cfg.data_disks).map(|_| HashMap::new()).collect();
+
+        let (logs, selector) = match &cfg.overlay {
+            RecoveryOverlay::Logging(l) => {
+                let procs = (0..l.log_disks)
+                    .map(|_| LogProc {
+                        // log disks are conventional drives
+                        disk: Disk::new(params, DiskMode::Conventional),
+                        buf_bytes: 0,
+                        waiting: Vec::new(),
+                        txns_in_buf: HashSet::new(),
+                        unblock: HashMap::new(),
+                        next_append_page: 0,
+                        pages_written: 0,
+                    })
+                    .collect();
+                (
+                    procs,
+                    Some(Selector::new(l.selection, l.log_disks, cfg.seed ^ 0x10c)),
+                )
+            }
+            _ => (Vec::new(), None),
+        };
+
+        let (pt_procs, pt_buffer, scramble) = match &cfg.overlay {
+            RecoveryOverlay::ShadowPt(s) => {
+                let procs = (0..s.pt_processors)
+                    .map(|_| PtProc {
+                        disk: Disk::new(params, DiskMode::Conventional),
+                        meta: HashMap::new(),
+                    })
+                    .collect();
+                (procs, Some(LruSet::new(s.pt_buffer)), !s.clustered)
+            }
+            _ => (Vec::new(), None, false),
+        };
+
+        let (scratch_base, scratch_len, scratch_cursor) = match &cfg.overlay {
+            RecoveryOverlay::Overwriting(o) => {
+                let cyls = if o.scratch_cylinders == 0 {
+                    geometry.cylinders / 10
+                } else {
+                    o.scratch_cylinders
+                };
+                // scratch area occupies the innermost cylinders — every
+                // staging/install operation moves the arm between the data
+                // area and the scratch area (paper §4.2.4)
+                let base = geometry.cylinder_start(geometry.cylinders - cyls);
+                let len = cyls as u64 * geometry.pages_per_cylinder();
+                (
+                    vec![base; cfg.data_disks],
+                    len,
+                    vec![0u64; cfg.data_disks],
+                )
+            }
+            _ => (vec![0; cfg.data_disks], 0, vec![0; cfg.data_disks]),
+        };
+
+        Sim {
+            cfg,
+            cal: Calendar::new(),
+            geometry,
+            txns,
+            next_admit: 0,
+            outstanding: 0,
+            frames_free: cfg.cache_frames,
+            frames_used: TimeWeighted::new(SimTime::ZERO, 0.0),
+            blocked_pages: TimeWeighted::new(SimTime::ZERO, 0.0),
+            blocked_now: 0,
+            ready: VecDeque::new(),
+            free_qps: (0..cfg.query_processors).rev().collect(),
+            qp_task: vec![None; cfg.query_processors],
+            qp_busy_ms: 0.0,
+            disks,
+            scheds,
+            req_meta,
+            logs,
+            selector,
+            pt_procs,
+            pt_buffer,
+            pt_waiting: HashMap::new(),
+            pt_inflight: HashSet::new(),
+            scramble,
+            scratch_cursor,
+            scratch_base,
+            scratch_len,
+            rng,
+            completions: Tally::new(),
+            pages_processed: 0,
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.cal.now()
+    }
+
+    // ---------------- cache frame accounting ----------------
+
+    fn claim_frames(&mut self, n: usize) {
+        debug_assert!(self.frames_free >= n);
+        self.frames_free -= n;
+        let used = (self.cfg.cache_frames - self.frames_free) as f64;
+        self.frames_used.set(self.now(), used);
+    }
+
+    fn release_frames(&mut self, n: usize) {
+        self.frames_free += n;
+        debug_assert!(self.frames_free <= self.cfg.cache_frames);
+        let used = (self.cfg.cache_frames - self.frames_free) as f64;
+        self.frames_used.set(self.now(), used);
+    }
+
+    fn set_blocked(&mut self, delta: i64) {
+        self.blocked_now = (self.blocked_now as i64 + delta) as usize;
+        self.blocked_pages.set(self.now(), self.blocked_now as f64);
+    }
+
+    // ---------------- admission & page placement ----------------
+
+    /// Physical address of a transaction's page access, applying the
+    /// shadow "scrambled" remap when configured.
+    fn addr_of(&mut self, loc: PageLoc) -> u64 {
+        if self.scramble {
+            // shadow versions scattered the placement: logically adjacent
+            // pages live at effectively random addresses within the extent
+            let db_pages =
+                self.cfg.db_cylinders as u64 * self.geometry.pages_per_cylinder();
+            self.rng.uniform(0, db_pages - 1)
+        } else {
+            loc.page
+        }
+    }
+
+    fn diff_region_addr(&self, which: u8, idx: u64) -> u64 {
+        // A and D files occupy the cylinders just past the database extent
+        let per_cyl = self.geometry.pages_per_cylinder();
+        let a_base = self.geometry.cylinder_start(self.cfg.db_cylinders);
+        let d_base = self.geometry.cylinder_start(self.cfg.db_cylinders + 20);
+        match which {
+            0 => a_base + (idx % (20 * per_cyl)),
+            _ => d_base + (idx % (20 * per_cyl)),
+        }
+    }
+
+    fn admit(&mut self, t: usize) {
+        self.outstanding += 1;
+        if let RecoveryOverlay::ShadowPt(s) = &self.cfg.overlay {
+            // page-table pipeline: only a small window ahead of the read
+            // frontier has its PT entries resolved; the rest follow as
+            // reads issue (see pump_disk)
+            let window = s.pt_lookahead.max(1);
+            for _ in 0..window {
+                self.pt_advance(t);
+            }
+        } else {
+            let spec_pages: Vec<PageLoc> = self.txns[t].spec.pages.clone();
+            for (i, loc) in spec_pages.iter().enumerate() {
+                let addr = self.addr_of(*loc);
+                let item = WorkItem {
+                    kind: ItemKind::Read,
+                    pr: (t, i),
+                    addr,
+                };
+                self.route_read(loc.disk, item);
+            }
+        }
+        // differential-file extra reads
+        if let RecoveryOverlay::DiffFile(_) = &self.cfg.overlay {
+            let primary = self.txns[t].spec.pages.first().map_or(0, |l| l.disk);
+            let n = self.txns[t].spec.n_pages();
+            let a_extra = self.txns[t].to_process - n;
+            let d_extra = self.txns[t].d_pending;
+            for i in 0..a_extra {
+                let jitter = self.rng.uniform(0, 4000);
+                let addr = self.diff_region_addr(0, jitter + i as u64);
+                let item = WorkItem {
+                    kind: ItemKind::Read,
+                    pr: (t, n + i),
+                    addr,
+                };
+                self.scheds[(primary + i) % self.cfg.data_disks].push_read(t, item);
+            }
+            for i in 0..d_extra {
+                let jitter = self.rng.uniform(0, 4000);
+                let addr = self.diff_region_addr(1, jitter + i as u64);
+                let item = WorkItem {
+                    kind: ItemKind::DiffRead,
+                    pr: (t, usize::MAX - i),
+                    addr,
+                };
+                self.scheds[(primary + i) % self.cfg.data_disks].push_read(t, item);
+            }
+        }
+    }
+
+    /// Resolve the page-table entry for the transaction's next unresolved
+    /// access and hand the read to the scheduler (or park it waiting for
+    /// its PT page).
+    fn pt_advance(&mut self, t: usize) {
+        // Resolve entries until one misses the page-table buffer (a miss
+        // costs a PT-disk access and ends this advance; buffer hits are
+        // free, so a run of accesses covered by one resident PT page —
+        // the sequential case — releases in a single sweep).
+        loop {
+            let i = self.txns[t].pt_next;
+            if i >= self.txns[t].spec.pages.len() {
+                return;
+            }
+            self.txns[t].pt_next = i + 1;
+            let loc = self.txns[t].spec.pages[i];
+            // the page table is indexed by the *logical* page; scrambling
+            // scatters the physical address, not the PT entry
+            let ptpage = Self::ptpage_of(loc.disk, loc.page);
+            let addr = self.addr_of(loc);
+            let item = WorkItem {
+                kind: ItemKind::Read,
+                pr: (t, i),
+                addr,
+            };
+            let hit = self
+                .pt_buffer
+                .as_mut()
+                .map(|b| b.contains(ptpage))
+                .unwrap_or(true);
+            if hit {
+                self.scheds[loc.disk].push_read(t, item);
+                continue;
+            }
+            self.pt_waiting
+                .entry(ptpage)
+                .or_default()
+                .push((loc.disk, item));
+            if self.pt_inflight.insert(ptpage) {
+                self.issue_pt(ptpage, None);
+            }
+            return;
+        }
+    }
+
+    /// Route a base-page read for the non-shadow overlays.
+    fn route_read(&mut self, disk: usize, item: WorkItem) {
+        debug_assert!(self.pt_buffer.is_none());
+        self.scheds[disk].push_read(item.pr.0, item);
+    }
+
+    fn ptpage_of(disk: usize, addr: u64) -> u64 {
+        (disk as u64) << 32 | (addr / PT_ENTRIES_PER_PAGE)
+    }
+
+    /// Issue a page-table disk access. `commit_for` distinguishes a commit
+    /// reread (leads to a write) from a fetch for reads.
+    fn issue_pt(&mut self, ptpage: u64, commit_for: Option<usize>) {
+        let n = self.pt_procs.len();
+        let pidx = (ptpage as usize) % n;
+        // PT pages laid out sequentially on the PT disk
+        let addr = (ptpage & 0xffff_ffff) % self.geometry.total_pages();
+        let now = self.now();
+        let proc = &mut self.pt_procs[pidx];
+        let meta = match commit_for {
+            None => PtMeta::Fetch(ptpage),
+            Some(txn) => PtMeta::CommitRead { txn, ptpage },
+        };
+        let (id, started) = proc.disk.submit(now, RequestKind::Read, vec![addr], 0);
+        proc.meta.insert(id, meta);
+        if let Some(s) = started {
+            self.cal.schedule(s.done_at, Ev::PtDiskDone(pidx));
+        }
+    }
+
+    fn issue_pt_write(&mut self, ptpage: u64, txn: usize) {
+        let n = self.pt_procs.len();
+        let pidx = (ptpage as usize) % n;
+        let addr = (ptpage & 0xffff_ffff) % self.geometry.total_pages();
+        let now = self.now();
+        let proc = &mut self.pt_procs[pidx];
+        let (id, started) = proc.disk.submit(now, RequestKind::Write, vec![addr], 0);
+        proc.meta.insert(id, PtMeta::CommitWrite { txn });
+        if let Some(s) = started {
+            self.cal.schedule(s.done_at, Ev::PtDiskDone(pidx));
+        }
+    }
+
+    // ---------------- pumping ----------------
+
+    fn pump(&mut self) {
+        // start data-disk work
+        for d in 0..self.disks.len() {
+            self.pump_disk(d);
+        }
+        // assign ready pages to free QPs
+        while !self.ready.is_empty() && !self.free_qps.is_empty() {
+            let pr = self.ready.pop_front().expect("nonempty");
+            let qp = self.free_qps.pop().expect("nonempty");
+            let service = self.qp_service(pr);
+            self.qp_task[qp] = Some(pr);
+            self.qp_busy_ms += service.as_ms();
+            self.cal.schedule_in(service, Ev::QpDone(qp));
+        }
+    }
+
+    fn pump_disk(&mut self, d: usize) {
+        if self.disks[d].is_busy() || self.scheds[d].is_empty() {
+            return;
+        }
+        let Some(batch) = self.scheds[d].next_batch(
+            self.cfg.disk_mode,
+            &self.geometry,
+            self.frames_free,
+        ) else {
+            return;
+        };
+        let kind = batch[0].kind;
+        let claims = match kind {
+            ItemKind::Read | ItemKind::DiffRead | ItemKind::ScratchRead => batch.len(),
+            _ => 0,
+        };
+        if claims > 0 {
+            self.claim_frames(claims);
+        }
+        // mark txn started at first frame allocation
+        let now = self.now();
+        for item in &batch {
+            if item.pr.1 != usize::MAX && item.pr.0 < self.txns.len() {
+                let t = &mut self.txns[item.pr.0];
+                if t.started.is_none() {
+                    t.started = Some(now);
+                }
+            }
+        }
+        let req_kind = match kind {
+            ItemKind::Read | ItemKind::DiffRead | ItemKind::ScratchRead => RequestKind::Read,
+            ItemKind::Write | ItemKind::ScratchWrite | ItemKind::OutWrite => RequestKind::Write,
+        };
+        let pages: Vec<u64> = if kind == ItemKind::Read
+            && matches!(self.cfg.overlay, RecoveryOverlay::VersionSelect)
+        {
+            // version selection: fetch both twin blocks of each page (the
+            // twin shares the aligned pair, so no extra arm movement —
+            // only the additional transfer)
+            batch.iter().flat_map(|i| [i.addr, i.addr ^ 1]).collect()
+        } else {
+            batch.iter().map(|i| i.addr).collect()
+        };
+        let (id, started) = self.disks[d].submit(now, req_kind, pages, 0);
+        // page-table pipeline: each issued read pulls the next PT
+        // resolution along
+        if kind == ItemKind::Read && matches!(self.cfg.overlay, RecoveryOverlay::ShadowPt(_)) {
+            let issued: Vec<usize> = batch.iter().map(|i| i.pr.0).collect();
+            for t in issued {
+                self.pt_advance(t);
+            }
+        }
+        self.req_meta[d].insert(id, (kind, batch));
+        if let Some(s) = started {
+            self.cal.schedule(s.done_at, Ev::DataDiskDone(d));
+        }
+    }
+
+    fn qp_service(&mut self, pr: Pr) -> SimTime {
+        let base = SimTime::from_ms(self.cfg.cpu_per_page_ms);
+        let (t, i) = pr;
+        let is_write = i < self.txns[t].spec.writes.len() && self.txns[t].spec.writes[i];
+        match &self.cfg.overlay {
+            RecoveryOverlay::Logging(l) if is_write => {
+                base + SimTime::from_ms(l.fragment_cpu_ms)
+            }
+            RecoveryOverlay::DiffFile(d) => {
+                let n = self.txns[t].spec.n_pages() as f64;
+                let d_pages = (n * d.size_fraction).ceil();
+                let pays = match d.approach {
+                    ScanApproach::Basic => true,
+                    ScanApproach::Optimal => self.rng.chance(d.qualify_fraction),
+                };
+                if pays {
+                    base + SimTime::from_ms(
+                        self.cfg.cpu_per_page_ms * d.setdiff_cpu_factor * d_pages,
+                    )
+                } else {
+                    base
+                }
+            }
+            _ => base,
+        }
+    }
+
+    // ---------------- event handlers ----------------
+
+    fn on_data_disk_done(&mut self, d: usize) {
+        let now = self.now();
+        let (req, next) = self.disks[d].complete(now);
+        if let Some(s) = next {
+            self.cal.schedule(s.done_at, Ev::DataDiskDone(d));
+        }
+        let (kind, items) = self.req_meta[d].remove(&req.id).expect("request meta");
+        match kind {
+            ItemKind::Read => {
+                for item in items {
+                    self.ready.push_back(item.pr);
+                }
+            }
+            ItemKind::DiffRead => {
+                // D-file pages: consumed by set-difference work already
+                // charged to the B∪A pages; release frames immediately.
+                let n = items.len();
+                self.release_frames(n);
+                for item in items {
+                    let t = item.pr.0;
+                    self.txns[t].d_pending -= 1;
+                    self.check_processing_end(t);
+                }
+            }
+            ItemKind::Write => {
+                let n = items.len();
+                self.release_frames(n);
+                for item in items {
+                    let t = item.pr.0;
+                    self.txns[t].home_writes_done += 1;
+                    self.maybe_complete(t);
+                }
+            }
+            ItemKind::OutWrite => {
+                // frame was released when the source page finished
+                // processing; only completion bookkeeping remains
+                for item in items {
+                    let t = item.pr.0;
+                    self.txns[t].home_writes_done += 1;
+                    self.maybe_complete(t);
+                }
+            }
+            ItemKind::ScratchWrite => {
+                let no_redo = matches!(
+                    &self.cfg.overlay,
+                    RecoveryOverlay::Overwriting(o)
+                        if o.variant == crate::config::OverwriteVariant::NoRedo
+                );
+                for item in &items {
+                    let t = item.pr.0;
+                    self.txns[t].scratch_done += 1;
+                    if no_redo {
+                        // shadow saved: overwrite the home copy in place
+                        // (the frame stays claimed until the home write)
+                        let home = self.txns[t]
+                            .install_queue
+                            .iter()
+                            .find(|(pr, _, _)| *pr == item.pr)
+                            .map(|&(_, _, h)| h)
+                            .expect("install entry");
+                        let disk = self.txns[t].spec.pages[item.pr.1].disk;
+                        self.scheds[disk].push_write(
+                            t,
+                            WorkItem {
+                                kind: ItemKind::Write,
+                                pr: item.pr,
+                                addr: home,
+                            },
+                        );
+                    } else {
+                        self.release_frames(1);
+                        self.maybe_start_install(t);
+                    }
+                }
+            }
+            ItemKind::ScratchRead => {
+                // staged page back in cache: write it home
+                for item in items {
+                    let t = item.pr.0;
+                    let home = self.txns[t]
+                        .install_queue
+                        .iter()
+                        .find(|(pr, _, _)| *pr == item.pr)
+                        .map(|&(_, _, h)| h)
+                        .expect("install entry");
+                    let disk = self.txns[t].spec.pages[item.pr.1].disk;
+                    self.scheds[disk].push_write(
+                        t,
+                        WorkItem {
+                            kind: ItemKind::Write,
+                            pr: item.pr,
+                            addr: home,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_qp_done(&mut self, qp: usize) {
+        let pr = self.qp_task[qp].take().expect("QP busy");
+        self.free_qps.push(qp);
+        self.pages_processed += 1;
+        let (t, i) = pr;
+        let is_write = i < self.txns[t].spec.writes.len() && self.txns[t].spec.writes[i];
+        if is_write {
+            self.on_page_updated(qp, pr);
+        } else {
+            // read-only page: frame released after processing
+            self.release_frames(1);
+        }
+        self.txns[t].processed += 1;
+        self.check_processing_end(t);
+    }
+
+    fn on_page_updated(&mut self, qp: usize, pr: Pr) {
+        let (t, i) = pr;
+        let loc = self.txns[t].spec.pages[i];
+        match &self.cfg.overlay {
+            RecoveryOverlay::None | RecoveryOverlay::ShadowPt(_) | RecoveryOverlay::VersionSelect => {
+                // shadow clustered: new version allocated in the same
+                // cylinder — timing identical to in-place; scrambled: the
+                // scramble remap already randomized the address space
+                let addr = self.addr_of(loc);
+                self.scheds[loc.disk].push_write(
+                    t,
+                    WorkItem {
+                        kind: ItemKind::Write,
+                        pr,
+                        addr,
+                    },
+                );
+            }
+            RecoveryOverlay::Logging(l) => {
+                self.set_blocked(1);
+                if l.physical {
+                    // two full log pages, queued immediately at the
+                    // selected log processor
+                    let stream = self
+                        .selector
+                        .as_mut()
+                        .expect("logging selector")
+                        .pick(qp, t as u64);
+                    self.enqueue_log_page(stream, vec![]);
+                    self.enqueue_log_page(stream, vec![pr]);
+                } else {
+                    let stream = self
+                        .selector
+                        .as_mut()
+                        .expect("logging selector")
+                        .pick(qp, t as u64);
+                    // transmission to the log processor
+                    let ms = l.fragment_bytes as f64 / (l.link_bandwidth_mb_s * 1000.0);
+                    // in-transit fragments occupy a cache frame when routed
+                    // through the cache (and one is available)
+                    let via_cache = l.route_through_cache && self.frames_free > 0;
+                    if via_cache {
+                        self.claim_frames(1);
+                    }
+                    self.cal.schedule_in(
+                        SimTime::from_ms(ms),
+                        Ev::FragArrive {
+                            log: stream,
+                            pr,
+                            bytes: l.fragment_bytes,
+                            via_cache,
+                        },
+                    );
+                }
+            }
+            RecoveryOverlay::Overwriting(o) => {
+                let d = loc.disk;
+                let slot = self.scratch_base[d] + (self.scratch_cursor[d] % self.scratch_len);
+                self.scratch_cursor[d] += 1;
+                let home = self.addr_of(loc);
+                // NoUndo: the slot holds the *current* copy, installed at
+                // commit. NoRedo: the slot holds the *shadow*; once it is
+                // saved the home copy is overwritten in place (the chained
+                // write issues when the scratch write completes).
+                self.txns[t].install_queue.push((pr, slot, home));
+                let _ = o;
+                self.scheds[d].push_write(
+                    t,
+                    WorkItem {
+                        kind: ItemKind::ScratchWrite,
+                        pr,
+                        addr: slot,
+                    },
+                );
+            }
+            RecoveryOverlay::DiffFile(d) => {
+                // no home write: a fraction of an output page joins the
+                // A file; frame released now
+                self.release_frames(1);
+                let frac = d.output_fraction;
+                let txn = &mut self.txns[t];
+                txn.out_bytes += (4096.0 * frac) as usize;
+                if txn.out_bytes >= 4096 && txn.out_pages_issued < txn.home_writes_total {
+                    txn.out_bytes -= 4096;
+                    txn.out_pages_issued += 1;
+                    let idx = txn.out_pages_issued as u64;
+                    let addr = self.diff_region_addr(0, 1000 + idx);
+                    self.scheds[loc.disk].push_write(
+                        t,
+                        WorkItem {
+                            kind: ItemKind::OutWrite,
+                            pr,
+                            addr,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// A full (or force-cut) log page goes to a log disk; `unblock` lists
+    /// the updated data pages it covers.
+    fn enqueue_log_page(&mut self, stream: usize, unblock: Vec<Pr>) {
+        let now = self.now();
+        let lp = &mut self.logs[stream];
+        // Log-page writes are sequential on the log disk; each write is a
+        // separate request and therefore pays rotational latency (the disk
+        // model does not chain contiguity across requests).
+        let addr = lp.next_append_page % self.geometry.total_pages();
+        lp.next_append_page += 1;
+        let (id, started) = lp.disk.submit(now, RequestKind::Write, vec![addr], 0);
+        lp.unblock.insert(id, unblock);
+        lp.pages_written += 1;
+        if let Some(s) = started {
+            self.cal.schedule(s.done_at, Ev::LogDiskDone(stream));
+        }
+    }
+
+    fn on_frag_arrive(&mut self, stream: usize, pr: Pr, bytes: usize, via_cache: bool) {
+        if via_cache {
+            // the fragment's transit frame is freed on arrival
+            self.release_frames(1);
+        }
+        let fragment_txn_done = self.txns[pr.0].processing_finished();
+        let lp = &mut self.logs[stream];
+        lp.buf_bytes += bytes;
+        lp.waiting.push(pr);
+        lp.txns_in_buf.insert(pr.0);
+        // cut the log page when full — or immediately when the fragment
+        // belongs to a transaction already in its commit force
+        if lp.buf_bytes >= LOG_PAGE_BYTES || fragment_txn_done {
+            lp.buf_bytes = lp.buf_bytes.saturating_sub(LOG_PAGE_BYTES);
+            let unblock = std::mem::take(&mut lp.waiting);
+            lp.txns_in_buf.clear();
+            self.enqueue_log_page(stream, unblock);
+        }
+    }
+
+    fn on_log_disk_done(&mut self, stream: usize) {
+        let now = self.now();
+        let (req, next) = self.logs[stream].disk.complete(now);
+        if let Some(s) = next {
+            self.cal.schedule(s.done_at, Ev::LogDiskDone(stream));
+        }
+        let unblock = self.logs[stream]
+            .unblock
+            .remove(&req.id)
+            .expect("log request meta");
+        for pr in unblock {
+            self.set_blocked(-1);
+            let (t, i) = pr;
+            let loc = self.txns[t].spec.pages[i];
+            let addr = self.addr_of(loc);
+            self.scheds[loc.disk].push_write(
+                t,
+                WorkItem {
+                    kind: ItemKind::Write,
+                    pr,
+                    addr,
+                },
+            );
+        }
+    }
+
+    fn on_pt_disk_done(&mut self, pidx: usize) {
+        let now = self.now();
+        let (req, next) = self.pt_procs[pidx].disk.complete(now);
+        if let Some(s) = next {
+            self.cal.schedule(s.done_at, Ev::PtDiskDone(pidx));
+        }
+        let meta = self.pt_procs[pidx].meta.remove(&req.id).expect("pt meta");
+        match meta {
+            PtMeta::Fetch(ptpage) => {
+                if let Some(buf) = self.pt_buffer.as_mut() {
+                    buf.insert(ptpage);
+                }
+                self.pt_inflight.remove(&ptpage);
+                for (disk, item) in self.pt_waiting.remove(&ptpage).unwrap_or_default() {
+                    self.scheds[disk].push_read(item.pr.0, item);
+                }
+            }
+            PtMeta::CommitRead { txn, ptpage } => {
+                let _ = ptpage;
+                self.issue_pt_write(ptpage, txn);
+            }
+            PtMeta::CommitWrite { txn } => {
+                self.txns[txn].pt_commit_pending -= 1;
+                self.maybe_complete(txn);
+            }
+        }
+    }
+
+    // ---------------- transaction lifecycle ----------------
+
+    /// Called whenever processing might have just finished: triggers the
+    /// overlay's commit work.
+    fn check_processing_end(&mut self, t: usize) {
+        if !self.txns[t].processing_finished() {
+            return;
+        }
+        match &self.cfg.overlay {
+            RecoveryOverlay::Logging(l) => {
+                if !l.physical {
+                    // commit force: cut partial log pages holding this
+                    // transaction's fragments (fragments still in transit
+                    // are force-cut on arrival, see on_frag_arrive)
+                    for s in 0..self.logs.len() {
+                        if self.logs[s].txns_in_buf.contains(&t) {
+                            self.logs[s].buf_bytes = 0;
+                            let unblock = std::mem::take(&mut self.logs[s].waiting);
+                            self.logs[s].txns_in_buf.clear();
+                            self.enqueue_log_page(s, unblock);
+                        }
+                    }
+                }
+            }
+            RecoveryOverlay::ShadowPt(s) => {
+                if !self.txns[t].pt_commit_issued {
+                    self.txns[t].pt_commit_issued = true;
+                    // update the PT entries of the write set
+                    // BTreeSet: deterministic issue order for the PT writes
+                    let mut ptpages: std::collections::BTreeSet<u64> = Default::default();
+                    let spec = &self.txns[t].spec;
+                    for (i, &w) in spec.writes.iter().enumerate() {
+                        if w {
+                            ptpages.insert(Self::ptpage_of(spec.pages[i].disk, spec.pages[i].page));
+                        }
+                    }
+                    let _ = s;
+                    self.txns[t].pt_commit_pending = ptpages.len();
+                    for ptpage in ptpages {
+                        let hit = self
+                            .pt_buffer
+                            .as_mut()
+                            .map(|b| b.contains(ptpage))
+                            .unwrap_or(false);
+                        if hit {
+                            self.issue_pt_write(ptpage, t);
+                        } else {
+                            // reread for updating, then write
+                            self.issue_pt(ptpage, Some(t));
+                        }
+                    }
+                }
+            }
+            RecoveryOverlay::Overwriting(o) => {
+                if o.variant == crate::config::OverwriteVariant::NoUndo {
+                    self.maybe_start_install(t);
+                } else {
+                    self.maybe_complete(t);
+                }
+            }
+            RecoveryOverlay::DiffFile(_) => {
+                // flush the partial output page
+                let txn = &mut self.txns[t];
+                if txn.out_pages_issued < txn.home_writes_total {
+                    txn.out_pages_issued += 1;
+                    let pr = (t, 0);
+                    let loc = txn.spec.pages[0];
+                    let out_idx = txn.out_pages_issued as u64;
+                    let addr = self.diff_region_addr(0, 2000 + out_idx);
+                    self.scheds[loc.disk].push_write(
+                        t,
+                        WorkItem {
+                            kind: ItemKind::OutWrite,
+                            pr,
+                            addr,
+                        },
+                    );
+                }
+            }
+            RecoveryOverlay::None | RecoveryOverlay::VersionSelect => {}
+        }
+        self.maybe_complete(t);
+    }
+
+    fn maybe_start_install(&mut self, t: usize) {
+        let txn = &self.txns[t];
+        if txn.install_started
+            || !txn.processing_finished()
+            || txn.scratch_done < txn.scratch_total
+        {
+            return;
+        }
+        self.txns[t].install_started = true;
+        let queue = self.txns[t].install_queue.clone();
+        for (pr, slot, _home) in queue {
+            let disk = self.txns[t].spec.pages[pr.1].disk;
+            self.scheds[disk].push_read(
+                t,
+                WorkItem {
+                    kind: ItemKind::ScratchRead,
+                    pr,
+                    addr: slot,
+                },
+            );
+        }
+        if self.txns[t].install_queue.is_empty() {
+            self.maybe_complete(t);
+        }
+    }
+
+    fn maybe_complete(&mut self, t: usize) {
+        let txn = &self.txns[t];
+        if txn.completed.is_some()
+            || !txn.processing_finished()
+            || txn.home_writes_done < txn.home_writes_total
+            || txn.pt_commit_pending > 0
+            || txn.scratch_done < txn.scratch_total
+        {
+            return;
+        }
+        if matches!(
+            &self.cfg.overlay,
+            RecoveryOverlay::Overwriting(o)
+                if o.variant == crate::config::OverwriteVariant::NoUndo
+        ) && !txn.install_started
+        {
+            return;
+        }
+        let now = self.now();
+        let started = txn.started.unwrap_or(now);
+        self.txns[t].completed = Some(now);
+        self.completions.record((now - started).as_ms());
+        self.outstanding -= 1;
+        if self.next_admit < self.txns.len() {
+            let next = self.next_admit;
+            self.next_admit += 1;
+            self.admit(next);
+        }
+    }
+
+    // ---------------- main loop ----------------
+
+    fn run(mut self) -> MachineReport {
+        let initial = self.cfg.mpl.min(self.txns.len());
+        self.next_admit = initial;
+        for t in 0..initial {
+            self.admit(t);
+        }
+        self.pump();
+        let mut guard: u64 = 0;
+        while let Some((_, ev)) = self.cal.next() {
+            guard += 1;
+            assert!(
+                guard < 50_000_000,
+                "simulation did not converge (event storm)"
+            );
+            match ev {
+                Ev::DataDiskDone(d) => self.on_data_disk_done(d),
+                Ev::LogDiskDone(l) => self.on_log_disk_done(l),
+                Ev::PtDiskDone(p) => self.on_pt_disk_done(p),
+                Ev::QpDone(q) => self.on_qp_done(q),
+                Ev::FragArrive {
+                    log,
+                    pr,
+                    bytes,
+                    via_cache,
+                } => self.on_frag_arrive(log, pr, bytes, via_cache),
+            }
+            self.pump();
+        }
+        assert!(
+            self.txns.iter().all(|t| t.completed.is_some()),
+            "batch did not drain: {} incomplete (frames_free={}, ready={}, blocked={})",
+            self.txns.iter().filter(|t| t.completed.is_none()).count(),
+            self.frames_free,
+            self.ready.len(),
+            self.blocked_now,
+        );
+
+        let end = self.now();
+        let total_ms = end.as_ms();
+        let pages = self.pages_processed.max(1);
+        MachineReport {
+            total_time_ms: total_ms,
+            pages_processed: self.pages_processed,
+            exec_time_per_page_ms: total_ms / pages as f64,
+            mean_completion_ms: self.completions.mean(),
+            data_disk_util: self.disks.iter().map(|d| d.utilization(end)).collect(),
+            log_disk_util: self.logs.iter().map(|l| l.disk.utilization(end)).collect(),
+            pt_disk_util: self
+                .pt_procs
+                .iter()
+                .map(|p| p.disk.utilization(end))
+                .collect(),
+            qp_util: self.qp_busy_ms / (self.cfg.query_processors as f64 * total_ms),
+            data_disk_accesses: self.disks.iter().map(|d| d.stats().accesses.get()).sum(),
+            data_pages_moved: self.disks.iter().map(|d| d.stats().pages.get()).sum(),
+            log_pages_written: self.logs.iter().map(|l| l.pages_written).sum(),
+            mean_blocked_pages: self.blocked_pages.mean(end),
+            mean_frames_used: self.frames_used.mean(end),
+            txns_completed: self.completions.count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AccessPattern, LoggingConfig, MachineConfig};
+
+    fn quick(cfg: MachineConfig) -> MachineReport {
+        Machine::new(cfg).run()
+    }
+
+    fn small_base() -> MachineConfig {
+        MachineConfig {
+            num_txns: 10,
+            mpl: 3,
+            max_pages: 60,
+            ..MachineConfig::default()
+        }
+    }
+
+    #[test]
+    fn bare_machine_drains_and_reports() {
+        let r = quick(small_base());
+        assert_eq!(r.txns_completed, 10);
+        assert!(r.total_time_ms > 0.0);
+        assert!(r.exec_time_per_page_ms > 0.0);
+        assert!(r.pages_processed > 0);
+        assert!(r.mean_completion_ms > 0.0);
+        assert_eq!(r.data_disk_util.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick(small_base());
+        let b = quick(small_base());
+        assert_eq!(a.total_time_ms, b.total_time_ms);
+        assert_eq!(a.pages_processed, b.pages_processed);
+    }
+
+    #[test]
+    fn parallel_disks_faster_on_sequential() {
+        let conv = quick(MachineConfig {
+            access: AccessPattern::Sequential,
+            disk_mode: DiskMode::Conventional,
+            ..small_base()
+        });
+        let par = quick(MachineConfig {
+            access: AccessPattern::Sequential,
+            disk_mode: DiskMode::ParallelAccess,
+            ..small_base()
+        });
+        assert!(
+            par.exec_time_per_page_ms < conv.exec_time_per_page_ms,
+            "parallel {} !< conventional {}",
+            par.exec_time_per_page_ms,
+            conv.exec_time_per_page_ms
+        );
+    }
+
+    #[test]
+    fn sequential_faster_than_random_on_conventional() {
+        let rnd = quick(small_base());
+        let seq = quick(MachineConfig {
+            access: AccessPattern::Sequential,
+            ..small_base()
+        });
+        assert!(seq.exec_time_per_page_ms < rnd.exec_time_per_page_ms);
+    }
+
+    #[test]
+    fn logical_logging_nearly_free() {
+        let bare = quick(small_base());
+        let logged = quick(MachineConfig {
+            overlay: RecoveryOverlay::Logging(LoggingConfig::default()),
+            ..small_base()
+        });
+        assert_eq!(logged.txns_completed, 10);
+        let ratio = logged.exec_time_per_page_ms / bare.exec_time_per_page_ms;
+        assert!(
+            (0.9..1.15).contains(&ratio),
+            "logging should be ~free: ratio {ratio}"
+        );
+        assert!(logged.log_pages_written > 0);
+        assert!(logged.mean_log_disk_util() < 0.2);
+    }
+
+    #[test]
+    fn physical_logging_hurts_parallel_sequential() {
+        // the Table 3 machine, shortened batch
+        let base = MachineConfig {
+            num_txns: 12,
+            ..MachineConfig::table3_machine()
+        };
+        let bare = quick(base.clone());
+        let phys = quick(MachineConfig {
+            overlay: RecoveryOverlay::Logging(LoggingConfig {
+                physical: true,
+                ..LoggingConfig::default()
+            }),
+            ..base
+        });
+        assert!(
+            phys.exec_time_per_page_ms > 1.5 * bare.exec_time_per_page_ms,
+            "physical logging must bottleneck: {} vs {}",
+            phys.exec_time_per_page_ms,
+            bare.exec_time_per_page_ms
+        );
+    }
+
+    #[test]
+    fn more_log_disks_help_physical_logging() {
+        let base = MachineConfig {
+            num_txns: 12,
+            ..MachineConfig::table3_machine()
+        };
+        let one = quick(MachineConfig {
+            overlay: RecoveryOverlay::Logging(LoggingConfig {
+                physical: true,
+                log_disks: 1,
+                ..LoggingConfig::default()
+            }),
+            ..base.clone()
+        });
+        let four = quick(MachineConfig {
+            overlay: RecoveryOverlay::Logging(LoggingConfig {
+                physical: true,
+                log_disks: 4,
+                ..LoggingConfig::default()
+            }),
+            ..base
+        });
+        assert!(
+            four.exec_time_per_page_ms < one.exec_time_per_page_ms,
+            "4 log disks {} !< 1 log disk {}",
+            four.exec_time_per_page_ms,
+            one.exec_time_per_page_ms
+        );
+    }
+
+    #[test]
+    fn shadow_pt_runs_and_reports_pt_util() {
+        let r = quick(MachineConfig {
+            overlay: RecoveryOverlay::ShadowPt(Default::default()),
+            ..small_base()
+        });
+        assert_eq!(r.txns_completed, 10);
+        assert_eq!(r.pt_disk_util.len(), 1);
+        assert!(r.pt_disk_util[0] > 0.0);
+    }
+
+    #[test]
+    fn scrambled_shadow_devastates_sequential() {
+        let base = MachineConfig {
+            access: AccessPattern::Sequential,
+            num_txns: 15,
+            ..MachineConfig::default()
+        };
+        let clustered = quick(MachineConfig {
+            overlay: RecoveryOverlay::ShadowPt(crate::config::ShadowPtConfig {
+                clustered: true,
+                ..Default::default()
+            }),
+            ..base.clone()
+        });
+        let scrambled = quick(MachineConfig {
+            overlay: RecoveryOverlay::ShadowPt(crate::config::ShadowPtConfig {
+                clustered: false,
+                ..Default::default()
+            }),
+            ..base
+        });
+        assert!(
+            scrambled.exec_time_per_page_ms > 1.4 * clustered.exec_time_per_page_ms,
+            "scrambled {} !> clustered {}",
+            scrambled.exec_time_per_page_ms,
+            clustered.exec_time_per_page_ms
+        );
+    }
+
+    #[test]
+    fn overwriting_completes_with_install_io() {
+        let bare = quick(small_base());
+        let ow = quick(MachineConfig {
+            overlay: RecoveryOverlay::Overwriting(Default::default()),
+            ..small_base()
+        });
+        assert_eq!(ow.txns_completed, 10);
+        // installs add disk accesses
+        assert!(ow.data_disk_accesses > bare.data_disk_accesses);
+        assert!(ow.exec_time_per_page_ms > bare.exec_time_per_page_ms);
+    }
+
+    #[test]
+    fn difffile_basic_worse_than_optimal() {
+        let base = small_base();
+        let mk = |approach| MachineConfig {
+            overlay: RecoveryOverlay::DiffFile(crate::config::DiffFileConfig {
+                approach,
+                ..Default::default()
+            }),
+            ..base.clone()
+        };
+        let basic = quick(mk(ScanApproach::Basic));
+        let optimal = quick(mk(ScanApproach::Optimal));
+        assert!(
+            basic.exec_time_per_page_ms > optimal.exec_time_per_page_ms,
+            "basic {} !> optimal {}",
+            basic.exec_time_per_page_ms,
+            optimal.exec_time_per_page_ms
+        );
+    }
+
+    #[test]
+    fn difffile_larger_files_degrade() {
+        let mk = |frac: f64| MachineConfig {
+            overlay: RecoveryOverlay::DiffFile(crate::config::DiffFileConfig {
+                size_fraction: frac,
+                ..Default::default()
+            }),
+            ..small_base()
+        };
+        let ten = quick(mk(0.10));
+        let twenty = quick(mk(0.20));
+        assert!(twenty.exec_time_per_page_ms > ten.exec_time_per_page_ms);
+    }
+
+    #[test]
+    fn single_page_txns_work() {
+        let r = quick(MachineConfig {
+            min_pages: 1,
+            max_pages: 1,
+            num_txns: 5,
+            mpl: 2,
+            ..MachineConfig::default()
+        });
+        assert_eq!(r.txns_completed, 5);
+    }
+
+    #[test]
+    fn mpl_one_serializes() {
+        let r1 = quick(MachineConfig {
+            mpl: 1,
+            ..small_base()
+        });
+        let r3 = quick(small_base());
+        // with one txn at a time completion is faster but total throughput
+        // (per page) no better
+        assert!(r1.mean_completion_ms < r3.mean_completion_ms);
+        assert_eq!(r1.txns_completed, 10);
+    }
+}

@@ -1,0 +1,87 @@
+//! Simulation output: the paper's metrics plus device-level detail.
+
+use serde::Serialize;
+
+/// Results of one machine run.
+///
+/// The two headline metrics are the paper's (§4): *execution time per page*
+/// — total simulated time divided by pages processed, the machine's
+/// throughput measure — and mean *transaction completion time* — from the
+/// first cache-frame allocation to the last updated page reaching disk.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MachineReport {
+    /// Total simulated time to drain the batch (ms).
+    pub total_time_ms: f64,
+    /// Pages processed by query processors.
+    pub pages_processed: u64,
+    /// Execution time per page (ms).
+    pub exec_time_per_page_ms: f64,
+    /// Mean transaction completion time (ms).
+    pub mean_completion_ms: f64,
+    /// Per-data-disk utilization.
+    pub data_disk_util: Vec<f64>,
+    /// Per-log-disk utilization (logging overlay only).
+    pub log_disk_util: Vec<f64>,
+    /// Per-page-table-disk utilization (shadow overlay only).
+    pub pt_disk_util: Vec<f64>,
+    /// Aggregate query-processor utilization.
+    pub qp_util: f64,
+    /// Data-disk accesses (arm operations).
+    pub data_disk_accesses: u64,
+    /// Data pages transferred.
+    pub data_pages_moved: u64,
+    /// Log pages written (logging overlay).
+    pub log_pages_written: u64,
+    /// Time-average number of updated pages blocked in the cache waiting
+    /// for their log records (logging overlay).
+    pub mean_blocked_pages: f64,
+    /// Time-average cache frames in use.
+    pub mean_frames_used: f64,
+    /// Transactions completed.
+    pub txns_completed: u64,
+}
+
+impl MachineReport {
+    /// Mean data-disk utilization across drives.
+    pub fn mean_data_disk_util(&self) -> f64 {
+        if self.data_disk_util.is_empty() {
+            0.0
+        } else {
+            self.data_disk_util.iter().sum::<f64>() / self.data_disk_util.len() as f64
+        }
+    }
+
+    /// Mean log-disk utilization across log drives.
+    pub fn mean_log_disk_util(&self) -> f64 {
+        if self.log_disk_util.is_empty() {
+            0.0
+        } else {
+            self.log_disk_util.iter().sum::<f64>() / self.log_disk_util.len() as f64
+        }
+    }
+
+    /// Mean page-table-disk utilization.
+    pub fn mean_pt_disk_util(&self) -> f64 {
+        if self.pt_disk_util.is_empty() {
+            0.0
+        } else {
+            self.pt_disk_util.iter().sum::<f64>() / self.pt_disk_util.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_handle_empty_and_values() {
+        let mut r = MachineReport::default();
+        assert_eq!(r.mean_data_disk_util(), 0.0);
+        assert_eq!(r.mean_log_disk_util(), 0.0);
+        r.data_disk_util = vec![0.8, 0.6];
+        assert!((r.mean_data_disk_util() - 0.7).abs() < 1e-12);
+        r.pt_disk_util = vec![0.5];
+        assert!((r.mean_pt_disk_util() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,178 @@
+//! Workload generation: the paper's transaction model.
+//!
+//! "A transaction was modeled by the number of pages it accesses. This
+//! value was assumed to be a uniform random variable in the range of 1 to
+//! 250 pages. Both random and sequential reference strings … The write set
+//! of a transaction was assumed to be a random subset of its read set and
+//! was taken to be 20 % of the pages read."
+
+use crate::config::{AccessPattern, MachineConfig};
+use rmdb_disk::Geometry;
+use rmdb_sim::SimRng;
+use std::collections::HashSet;
+
+/// One page access in a reference string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageLoc {
+    /// Which data disk.
+    pub disk: usize,
+    /// Linear page number on that disk.
+    pub page: u64,
+}
+
+/// A generated transaction.
+#[derive(Debug, Clone)]
+pub struct TxnSpec {
+    /// Reference string, in access order.
+    pub pages: Vec<PageLoc>,
+    /// `writes[i]` ⇔ `pages[i]` is in the write set.
+    pub writes: Vec<bool>,
+}
+
+impl TxnSpec {
+    /// Pages read.
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Pages updated.
+    pub fn n_writes(&self) -> usize {
+        self.writes.iter().filter(|&&w| w).count()
+    }
+}
+
+/// Generate the closed-workload batch for `cfg`.
+pub fn generate(cfg: &MachineConfig, rng: &mut SimRng) -> Vec<TxnSpec> {
+    let geometry = Geometry::IBM_3350;
+    // the database occupies an extent of `db_cylinders` on each disk
+    let db_pages = cfg.db_cylinders.min(geometry.cylinders) as u64 * geometry.pages_per_cylinder();
+    (0..cfg.num_txns)
+        .map(|_| {
+            let n = rng.uniform(cfg.min_pages, cfg.max_pages);
+            let pages: Vec<PageLoc> = match cfg.access {
+                AccessPattern::Random => {
+                    let mut seen = HashSet::new();
+                    let mut v = Vec::with_capacity(n as usize);
+                    while v.len() < n as usize {
+                        let disk = rng.index(cfg.data_disks);
+                        let page = rng.uniform(0, db_pages - 1);
+                        if seen.insert((disk, page)) {
+                            v.push(PageLoc { disk, page });
+                        }
+                    }
+                    v
+                }
+                AccessPattern::Sequential => {
+                    // relations are declustered over all drives (the
+                    // multiprocessor-machine convention, cf. DIRECT): a
+                    // sequential scan reads one contiguous run per drive,
+                    // all drives in parallel
+                    let mut v = Vec::with_capacity(n as usize);
+                    let per = n / cfg.data_disks as u64;
+                    let mut remainder = n % cfg.data_disks as u64;
+                    for disk in 0..cfg.data_disks {
+                        let mut len = per;
+                        if remainder > 0 {
+                            len += 1;
+                            remainder -= 1;
+                        }
+                        if len == 0 {
+                            continue;
+                        }
+                        let start = rng.uniform(0, db_pages - len);
+                        v.extend((0..len).map(|i| PageLoc { disk, page: start + i }));
+                    }
+                    v
+                }
+            };
+            // write set: random 20 % subset of the read set
+            let k = ((n as f64) * cfg.write_fraction).round() as usize;
+            let idx: Vec<usize> = (0..pages.len()).collect();
+            let chosen: HashSet<usize> = rng.sample_subset(&idx, k.min(idx.len())).into_iter().collect();
+            let writes = (0..pages.len()).map(|i| chosen.contains(&i)).collect();
+            TxnSpec { pages, writes }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn gen(access: AccessPattern, seed: u64) -> Vec<TxnSpec> {
+        let cfg = MachineConfig {
+            access,
+            num_txns: 50,
+            seed,
+            ..MachineConfig::default()
+        };
+        let mut rng = SimRng::seed_from_u64(seed);
+        generate(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn sizes_in_range_and_write_fraction() {
+        let txns = gen(AccessPattern::Random, 1);
+        for t in &txns {
+            assert!((1..=250).contains(&(t.n_pages() as u64)));
+            let expect = (t.n_pages() as f64 * 0.2).round() as usize;
+            assert_eq!(t.n_writes(), expect.min(t.n_pages()));
+        }
+        // average near 125
+        let avg: f64 = txns.iter().map(|t| t.n_pages() as f64).sum::<f64>() / txns.len() as f64;
+        assert!((95.0..160.0).contains(&avg), "avg pages {avg}");
+    }
+
+    #[test]
+    fn random_pages_are_distinct_within_txn() {
+        for t in gen(AccessPattern::Random, 2) {
+            let set: HashSet<(usize, u64)> = t.pages.iter().map(|p| (p.disk, p.page)).collect();
+            assert_eq!(set.len(), t.pages.len());
+        }
+    }
+
+    #[test]
+    fn sequential_strings_are_contiguous_per_disk() {
+        for t in gen(AccessPattern::Sequential, 3) {
+            for w in t.pages.windows(2) {
+                if w[0].disk == w[1].disk {
+                    assert_eq!(w[1].page, w[0].page + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_scans_decluster_across_disks() {
+        for t in gen(AccessPattern::Sequential, 4) {
+            if t.n_pages() < 2 {
+                continue;
+            }
+            let disks: HashSet<usize> = t.pages.iter().map(|p| p.disk).collect();
+            assert_eq!(disks.len(), 2, "scan must use both drives");
+            // even split ±1
+            let on0 = t.pages.iter().filter(|p| p.disk == 0).count();
+            assert!((on0 as i64 - (t.n_pages() - on0) as i64).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gen(AccessPattern::Random, 9);
+        let b = gen(AccessPattern::Random, 9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pages, y.pages);
+            assert_eq!(x.writes, y.writes);
+        }
+    }
+
+    #[test]
+    fn pages_fit_on_disk() {
+        let total = Geometry::IBM_3350.total_pages();
+        for t in gen(AccessPattern::Sequential, 5) {
+            assert!(t.pages.iter().all(|p| p.page < total));
+        }
+    }
+}

@@ -1,0 +1,731 @@
+//! A B+tree index over any recovery architecture.
+//!
+//! Keys are `u64`, values are byte strings up to [`MAX_INDEX_VALUE`]
+//! bytes. The tree lives in a contiguous range of logical pages of a
+//! [`PageStore`]; because every node write goes through the store's
+//! transaction, structural changes (splits, root growth) commit or roll
+//! back atomically with the rest of the transaction — crash safety is
+//! inherited from whichever recovery architecture the store runs.
+//!
+//! Design notes:
+//!
+//! * classic top-down-lookup / bottom-up-split B+tree; leaves are chained
+//!   for range scans;
+//! * deletion removes the leaf entry without rebalancing (underfull nodes
+//!   persist) — the standard pragmatic trade in storage engines of this
+//!   vintage, documented so nobody is surprised;
+//! * page allocation is a bump allocator inside the tree's page budget;
+//!   pages are never returned (again, 1985-faithful).
+//!
+//! # Page layout
+//!
+//! ```text
+//! meta (page base):  [magic 8][root u64][next_free u64][height u16]
+//! leaf:              [1u8][count u16][next_leaf u64]
+//!                    ([key u64][vlen u16][value])*
+//! internal:          [2u8][count u16][child0 u64] ([key u64][child u64])*
+//! ```
+//!
+//! An internal node with `count` keys has `count + 1` children; keys
+//! separate the children such that child `i` holds keys `< keys[i]` and
+//! child `i+1` holds keys `>= keys[i]`.
+
+use crate::heap::RelError;
+use rmdb_core::PageStore;
+use rmdb_storage::PAYLOAD_SIZE;
+
+/// Maximum indexed value length.
+pub const MAX_INDEX_VALUE: usize = 256;
+
+const MAGIC: &[u8; 8] = b"RMDBTREE";
+const LEAF: u8 = 1;
+const INTERNAL: u8 = 2;
+const LEAF_HDR: usize = 1 + 2 + 8;
+const INT_HDR: usize = 1 + 2 + 8;
+const NO_PAGE: u64 = u64::MAX;
+
+/// Errors from the B+tree (a thin alias over the relation error).
+pub type BTreeError<E> = RelError<E>;
+
+/// A B+tree rooted in a page range of a [`PageStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTree {
+    base: u64,
+    max_pages: u64,
+}
+
+struct LeafEntry {
+    key: u64,
+    value: Vec<u8>,
+}
+
+struct Leaf {
+    next: u64,
+    entries: Vec<LeafEntry>,
+}
+
+struct Internal {
+    /// children.len() == keys.len() + 1
+    keys: Vec<u64>,
+    children: Vec<u64>,
+}
+
+enum Node {
+    Leaf(Leaf),
+    Internal(Internal),
+}
+
+/// Result of inserting into a subtree: possibly a split to propagate.
+enum InsertResult {
+    Done,
+    Split { sep: u64, right: u64 },
+}
+
+impl BTree {
+    // ---------------- node (de)serialization ----------------
+
+    fn read_node<S: PageStore>(
+        store: &mut S,
+        txn: u64,
+        page: u64,
+    ) -> Result<Node, BTreeError<S::Error>> {
+        let head = store.read(txn, page, 0, LEAF_HDR).map_err(RelError::Store)?;
+        let count = u16::from_le_bytes(head[1..3].try_into().unwrap()) as usize;
+        match head[0] {
+            LEAF => {
+                let next = u64::from_le_bytes(head[3..11].try_into().unwrap());
+                let mut entries = Vec::with_capacity(count);
+                let mut offset = LEAF_HDR;
+                for _ in 0..count {
+                    let hdr = store
+                        .read(txn, page, offset, 10)
+                        .map_err(RelError::Store)?;
+                    let key = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
+                    let vlen = u16::from_le_bytes(hdr[8..10].try_into().unwrap()) as usize;
+                    let value = store
+                        .read(txn, page, offset + 10, vlen)
+                        .map_err(RelError::Store)?;
+                    entries.push(LeafEntry { key, value });
+                    offset += 10 + vlen;
+                }
+                Ok(Node::Leaf(Leaf { next, entries }))
+            }
+            INTERNAL => {
+                let child0 = u64::from_le_bytes(head[3..11].try_into().unwrap());
+                let body = store
+                    .read(txn, page, INT_HDR, count * 16)
+                    .map_err(RelError::Store)?;
+                let mut keys = Vec::with_capacity(count);
+                let mut children = Vec::with_capacity(count + 1);
+                children.push(child0);
+                for i in 0..count {
+                    keys.push(u64::from_le_bytes(body[i * 16..i * 16 + 8].try_into().unwrap()));
+                    children.push(u64::from_le_bytes(
+                        body[i * 16 + 8..i * 16 + 16].try_into().unwrap(),
+                    ));
+                }
+                Ok(Node::Internal(Internal { keys, children }))
+            }
+            _ => Err(RelError::NotAHeapFile),
+        }
+    }
+
+    fn write_leaf<S: PageStore>(
+        store: &mut S,
+        txn: u64,
+        page: u64,
+        leaf: &Leaf,
+    ) -> Result<(), BTreeError<S::Error>> {
+        let mut buf = Vec::with_capacity(PAYLOAD_SIZE);
+        buf.push(LEAF);
+        buf.extend_from_slice(&(leaf.entries.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&leaf.next.to_le_bytes());
+        for e in &leaf.entries {
+            buf.extend_from_slice(&e.key.to_le_bytes());
+            buf.extend_from_slice(&(e.value.len() as u16).to_le_bytes());
+            buf.extend_from_slice(&e.value);
+        }
+        debug_assert!(buf.len() <= PAYLOAD_SIZE, "leaf overflow");
+        store.write(txn, page, 0, &buf).map_err(RelError::Store)
+    }
+
+    fn write_internal<S: PageStore>(
+        store: &mut S,
+        txn: u64,
+        page: u64,
+        node: &Internal,
+    ) -> Result<(), BTreeError<S::Error>> {
+        debug_assert_eq!(node.children.len(), node.keys.len() + 1);
+        let mut buf = Vec::with_capacity(INT_HDR + node.keys.len() * 16);
+        buf.push(INTERNAL);
+        buf.extend_from_slice(&(node.keys.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&node.children[0].to_le_bytes());
+        for (i, k) in node.keys.iter().enumerate() {
+            buf.extend_from_slice(&k.to_le_bytes());
+            buf.extend_from_slice(&node.children[i + 1].to_le_bytes());
+        }
+        debug_assert!(buf.len() <= PAYLOAD_SIZE, "internal overflow");
+        store.write(txn, page, 0, &buf).map_err(RelError::Store)
+    }
+
+    fn leaf_bytes(leaf: &Leaf) -> usize {
+        LEAF_HDR + leaf.entries.iter().map(|e| 10 + e.value.len()).sum::<usize>()
+    }
+
+    fn internal_bytes(node: &Internal) -> usize {
+        INT_HDR + node.keys.len() * 16
+    }
+
+    // ---------------- meta ----------------
+
+    fn read_meta<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+    ) -> Result<(u64, u64, u16), BTreeError<S::Error>> {
+        let m = store.read(txn, self.base, 0, 26).map_err(RelError::Store)?;
+        if &m[0..8] != MAGIC {
+            return Err(RelError::NotAHeapFile);
+        }
+        Ok((
+            u64::from_le_bytes(m[8..16].try_into().unwrap()),
+            u64::from_le_bytes(m[16..24].try_into().unwrap()),
+            u16::from_le_bytes(m[24..26].try_into().unwrap()),
+        ))
+    }
+
+    fn write_meta<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        root: u64,
+        next_free: u64,
+        height: u16,
+    ) -> Result<(), BTreeError<S::Error>> {
+        let mut m = Vec::with_capacity(26);
+        m.extend_from_slice(MAGIC);
+        m.extend_from_slice(&root.to_le_bytes());
+        m.extend_from_slice(&next_free.to_le_bytes());
+        m.extend_from_slice(&height.to_le_bytes());
+        store.write(txn, self.base, 0, &m).map_err(RelError::Store)
+    }
+
+    fn alloc_page<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+    ) -> Result<u64, BTreeError<S::Error>> {
+        let (root, next_free, height) = self.read_meta(store, txn)?;
+        if next_free >= self.base + 1 + self.max_pages {
+            return Err(RelError::Full);
+        }
+        self.write_meta(store, txn, root, next_free + 1, height)?;
+        Ok(next_free)
+    }
+
+    // ---------------- public API ----------------
+
+    /// Create an empty tree owning pages `base ..= base + max_pages`.
+    pub fn create<S: PageStore>(
+        store: &mut S,
+        txn: u64,
+        base: u64,
+        max_pages: u64,
+    ) -> Result<Self, BTreeError<S::Error>> {
+        assert!(max_pages >= 2, "tree needs at least a root page");
+        let tree = BTree { base, max_pages };
+        let root = base + 1;
+        Self::write_leaf(
+            store,
+            txn,
+            root,
+            &Leaf {
+                next: NO_PAGE,
+                entries: Vec::new(),
+            },
+        )?;
+        tree.write_meta(store, txn, root, base + 2, 1)?;
+        Ok(tree)
+    }
+
+    /// Open an existing tree at `base`.
+    pub fn open<S: PageStore>(
+        store: &mut S,
+        txn: u64,
+        base: u64,
+        max_pages: u64,
+    ) -> Result<Self, BTreeError<S::Error>> {
+        let tree = BTree { base, max_pages };
+        tree.read_meta(store, txn)?; // validates magic
+        Ok(tree)
+    }
+
+    /// Height of the tree (1 = a single leaf).
+    pub fn height<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+    ) -> Result<u16, BTreeError<S::Error>> {
+        Ok(self.read_meta(store, txn)?.2)
+    }
+
+    /// Insert or replace the value for `key`.
+    pub fn insert<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), BTreeError<S::Error>> {
+        if value.len() > MAX_INDEX_VALUE {
+            return Err(RelError::ValueTooLarge(value.len()));
+        }
+        let (root, _, height) = self.read_meta(store, txn)?;
+        match self.insert_rec(store, txn, root, key, value)? {
+            InsertResult::Done => Ok(()),
+            InsertResult::Split { sep, right } => {
+                // root split: the tree grows by one level
+                let new_root = self.alloc_page(store, txn)?;
+                Self::write_internal(
+                    store,
+                    txn,
+                    new_root,
+                    &Internal {
+                        keys: vec![sep],
+                        children: vec![root, right],
+                    },
+                )?;
+                let (_, next_free, _) = self.read_meta(store, txn)?;
+                self.write_meta(store, txn, new_root, next_free, height + 1)
+            }
+        }
+    }
+
+    fn insert_rec<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        page: u64,
+        key: u64,
+        value: &[u8],
+    ) -> Result<InsertResult, BTreeError<S::Error>> {
+        match Self::read_node(store, txn, page)? {
+            Node::Leaf(mut leaf) => {
+                match leaf.entries.binary_search_by_key(&key, |e| e.key) {
+                    Ok(i) => leaf.entries[i].value = value.to_vec(),
+                    Err(i) => leaf.entries.insert(
+                        i,
+                        LeafEntry {
+                            key,
+                            value: value.to_vec(),
+                        },
+                    ),
+                }
+                if Self::leaf_bytes(&leaf) <= PAYLOAD_SIZE {
+                    Self::write_leaf(store, txn, page, &leaf)?;
+                    return Ok(InsertResult::Done);
+                }
+                // split the leaf in half
+                let mid = leaf.entries.len() / 2;
+                let right_entries = leaf.entries.split_off(mid);
+                let sep = right_entries[0].key;
+                let right_page = self.alloc_page(store, txn)?;
+                let right = Leaf {
+                    next: leaf.next,
+                    entries: right_entries,
+                };
+                leaf.next = right_page;
+                Self::write_leaf(store, txn, right_page, &right)?;
+                Self::write_leaf(store, txn, page, &leaf)?;
+                Ok(InsertResult::Split {
+                    sep,
+                    right: right_page,
+                })
+            }
+            Node::Internal(mut node) => {
+                let idx = node.keys.partition_point(|&k| k <= key);
+                let child = node.children[idx];
+                match self.insert_rec(store, txn, child, key, value)? {
+                    InsertResult::Done => Ok(InsertResult::Done),
+                    InsertResult::Split { sep, right } => {
+                        node.keys.insert(idx, sep);
+                        node.children.insert(idx + 1, right);
+                        if Self::internal_bytes(&node) <= PAYLOAD_SIZE {
+                            Self::write_internal(store, txn, page, &node)?;
+                            return Ok(InsertResult::Done);
+                        }
+                        // split the internal node; middle key moves up
+                        let mid = node.keys.len() / 2;
+                        let up = node.keys[mid];
+                        let right_keys = node.keys.split_off(mid + 1);
+                        node.keys.pop(); // `up` moves up, not right
+                        let right_children = node.children.split_off(mid + 1);
+                        let right_page = self.alloc_page(store, txn)?;
+                        Self::write_internal(
+                            store,
+                            txn,
+                            right_page,
+                            &Internal {
+                                keys: right_keys,
+                                children: right_children,
+                            },
+                        )?;
+                        Self::write_internal(store, txn, page, &node)?;
+                        Ok(InsertResult::Split {
+                            sep: up,
+                            right: right_page,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    fn find_leaf<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        key: u64,
+    ) -> Result<u64, BTreeError<S::Error>> {
+        let (mut page, _, _) = self.read_meta(store, txn)?;
+        loop {
+            match Self::read_node(store, txn, page)? {
+                Node::Leaf(_) => return Ok(page),
+                Node::Internal(node) => {
+                    let idx = node.keys.partition_point(|&k| k <= key);
+                    page = node.children[idx];
+                }
+            }
+        }
+    }
+
+    /// Look up the value for `key`.
+    pub fn get<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        key: u64,
+    ) -> Result<Option<Vec<u8>>, BTreeError<S::Error>> {
+        let leaf_page = self.find_leaf(store, txn, key)?;
+        let Node::Leaf(leaf) = Self::read_node(store, txn, leaf_page)? else {
+            unreachable!("find_leaf returns a leaf")
+        };
+        Ok(leaf
+            .entries
+            .binary_search_by_key(&key, |e| e.key)
+            .ok()
+            .map(|i| leaf.entries[i].value.clone()))
+    }
+
+    /// Remove `key`; returns whether it existed. No rebalancing.
+    pub fn delete<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        key: u64,
+    ) -> Result<bool, BTreeError<S::Error>> {
+        let leaf_page = self.find_leaf(store, txn, key)?;
+        let Node::Leaf(mut leaf) = Self::read_node(store, txn, leaf_page)? else {
+            unreachable!("find_leaf returns a leaf")
+        };
+        match leaf.entries.binary_search_by_key(&key, |e| e.key) {
+            Ok(i) => {
+                leaf.entries.remove(i);
+                Self::write_leaf(store, txn, leaf_page, &leaf)?;
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        }
+    }
+
+    /// All `(key, value)` pairs with `lo <= key <= hi`, in key order
+    /// (walks the leaf chain).
+    pub fn range<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<crate::heap::TupleVec, BTreeError<S::Error>> {
+        let mut out = Vec::new();
+        let mut page = self.find_leaf(store, txn, lo)?;
+        loop {
+            let Node::Leaf(leaf) = Self::read_node(store, txn, page)? else {
+                unreachable!("leaf chain holds leaves")
+            };
+            for e in &leaf.entries {
+                if e.key > hi {
+                    return Ok(out);
+                }
+                if e.key >= lo {
+                    out.push((e.key, e.value.clone()));
+                }
+            }
+            if leaf.next == NO_PAGE {
+                return Ok(out);
+            }
+            page = leaf.next;
+        }
+    }
+
+    /// Number of keys (full leaf-chain walk).
+    pub fn len<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+    ) -> Result<usize, BTreeError<S::Error>> {
+        Ok(self.range(store, txn, 0, u64::MAX)?.len())
+    }
+
+    /// Whether the tree holds no keys.
+    pub fn is_empty<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+    ) -> Result<bool, BTreeError<S::Error>> {
+        Ok(self.len(store, txn)? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rmdb_wal::{WalConfig, WalDb};
+    use std::collections::BTreeMap;
+
+    fn store(pages: u64) -> WalDb {
+        WalDb::new(WalConfig {
+            data_pages: pages,
+            pool_frames: 32,
+            log_frames: 1 << 15,
+            ..WalConfig::default()
+        })
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut db = store(64);
+        let t = db.begin();
+        let tree = BTree::create(&mut db, t, 0, 32).unwrap();
+        for k in [5u64, 1, 9, 3, 7] {
+            tree.insert(&mut db, t, k, format!("v{k}").as_bytes()).unwrap();
+        }
+        assert_eq!(tree.get(&mut db, t, 3).unwrap(), Some(b"v3".to_vec()));
+        assert_eq!(tree.get(&mut db, t, 4).unwrap(), None);
+        assert_eq!(tree.len(&mut db, t).unwrap(), 5);
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn replace_updates_value() {
+        let mut db = store(64);
+        let t = db.begin();
+        let tree = BTree::create(&mut db, t, 0, 32).unwrap();
+        tree.insert(&mut db, t, 1, b"old").unwrap();
+        tree.insert(&mut db, t, 1, b"new").unwrap();
+        assert_eq!(tree.get(&mut db, t, 1).unwrap(), Some(b"new".to_vec()));
+        assert_eq!(tree.len(&mut db, t).unwrap(), 1);
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn splits_grow_the_tree_and_preserve_order() {
+        let mut db = store(256);
+        let t = db.begin();
+        let tree = BTree::create(&mut db, t, 0, 200).unwrap();
+        // 200-byte values force ~19 entries per leaf → real splits
+        let n: u64 = 500;
+        let mut keys: Vec<u64> = (0..n).collect();
+        // insert in a scrambled order
+        keys.reverse();
+        keys.rotate_left(137);
+        for &k in &keys {
+            tree.insert(&mut db, t, k, &[k as u8; 200]).unwrap();
+        }
+        assert!(tree.height(&mut db, t).unwrap() >= 2, "tree must have split");
+        let all = tree.range(&mut db, t, 0, u64::MAX).unwrap();
+        assert_eq!(all.len(), n as usize);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted order");
+        for k in 0..n {
+            assert_eq!(tree.get(&mut db, t, k).unwrap(), Some(vec![k as u8; 200]));
+        }
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn internal_splits_build_a_three_level_tree() {
+        // leaf fanout ≈ 16 (240-byte slots), internal fanout ≈ 253:
+        // 4500 keys force the root internal node itself to split
+        let mut db = store(2048);
+        let t = db.begin();
+        let tree = BTree::create(&mut db, t, 0, 1500).unwrap();
+        let n: u64 = 4500;
+        for k in 0..n {
+            // bit-reversed order scatters inserts across the key space
+            let key = (k as u16).reverse_bits() as u64;
+            tree.insert(&mut db, t, key, &[key as u8; 230]).unwrap();
+        }
+        assert!(tree.height(&mut db, t).unwrap() >= 3, "root must have split");
+        let all = tree.range(&mut db, t, 0, u64::MAX).unwrap();
+        assert_eq!(all.len(), n as usize);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        // spot-check lookups across the whole range
+        for k in (0..n).step_by(97) {
+            let key = (k as u16).reverse_bits() as u64;
+            assert_eq!(tree.get(&mut db, t, key).unwrap(), Some(vec![key as u8; 230]));
+        }
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn range_scans_cross_leaves() {
+        let mut db = store(256);
+        let t = db.begin();
+        let tree = BTree::create(&mut db, t, 0, 200).unwrap();
+        for k in 0..300u64 {
+            tree.insert(&mut db, t, k * 2, &[1u8; 150]).unwrap();
+        }
+        let r = tree.range(&mut db, t, 100, 140).unwrap();
+        let keys: Vec<u64> = r.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (50..=70).map(|k| k * 2).collect::<Vec<_>>());
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn delete_removes_without_rebalance() {
+        let mut db = store(256);
+        let t = db.begin();
+        let tree = BTree::create(&mut db, t, 0, 200).unwrap();
+        for k in 0..100u64 {
+            tree.insert(&mut db, t, k, &[2u8; 100]).unwrap();
+        }
+        for k in (0..100u64).step_by(2) {
+            assert!(tree.delete(&mut db, t, k).unwrap());
+        }
+        assert!(!tree.delete(&mut db, t, 0).unwrap(), "already gone");
+        assert_eq!(tree.len(&mut db, t).unwrap(), 50);
+        assert_eq!(tree.get(&mut db, t, 4).unwrap(), None);
+        assert!(tree.get(&mut db, t, 5).unwrap().is_some());
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn aborted_insert_rolls_back_structure() {
+        let cfg = WalConfig {
+            data_pages: 256,
+            pool_frames: 32,
+            log_frames: 1 << 15,
+            ..WalConfig::default()
+        };
+        let mut db = WalDb::new(cfg);
+        let t = db.begin();
+        let tree = BTree::create(&mut db, t, 0, 200).unwrap();
+        for k in 0..50u64 {
+            tree.insert(&mut db, t, k, &[3u8; 100]).unwrap();
+        }
+        db.commit(t).unwrap();
+
+        // a big aborted transaction that forces splits
+        let t = db.begin();
+        for k in 50..300u64 {
+            tree.insert(&mut db, t, k, &[4u8; 100]).unwrap();
+        }
+        db.abort(t).unwrap();
+
+        let t = db.begin();
+        assert_eq!(tree.len(&mut db, t).unwrap(), 50, "splits rolled back");
+        assert_eq!(tree.get(&mut db, t, 100).unwrap(), None);
+        // and the tree still accepts inserts afterwards
+        tree.insert(&mut db, t, 100, b"post-abort").unwrap();
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn committed_tree_survives_crash() {
+        let cfg = WalConfig {
+            data_pages: 256,
+            pool_frames: 8,
+            log_frames: 1 << 15,
+            ..WalConfig::default()
+        };
+        let mut db = WalDb::new(cfg.clone());
+        let t = db.begin();
+        let tree = BTree::create(&mut db, t, 0, 200).unwrap();
+        for k in 0..200u64 {
+            tree.insert(&mut db, t, k, &[5u8; 120]).unwrap();
+        }
+        db.commit(t).unwrap();
+        let (mut db2, _) = WalDb::recover(db.crash_image(), cfg).unwrap();
+        let t = db2.begin();
+        let tree = BTree::open(&mut db2, t, 0, 200).unwrap();
+        assert_eq!(tree.len(&mut db2, t).unwrap(), 200);
+        assert_eq!(tree.get(&mut db2, t, 123).unwrap(), Some(vec![5u8; 120]));
+    }
+
+    #[test]
+    fn page_budget_enforced() {
+        let mut db = store(64);
+        let t = db.begin();
+        let tree = BTree::create(&mut db, t, 0, 3).unwrap(); // tiny budget
+        let mut hit_full = false;
+        for k in 0..200u64 {
+            match tree.insert(&mut db, t, k, &[6u8; 200]) {
+                Ok(()) => {}
+                Err(RelError::Full) => {
+                    hit_full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert!(hit_full);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn matches_btreemap_oracle(
+            ops in proptest::collection::vec(
+                (any::<u16>(), prop_oneof![
+                    (1usize..180).prop_map(Some),   // insert with this value length
+                    Just(None),                      // delete
+                ]),
+                1..150,
+            )
+        ) {
+            let mut db = store(512);
+            let t = db.begin();
+            let tree = BTree::create(&mut db, t, 0, 400).unwrap();
+            let mut oracle: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+            for (key16, action) in ops {
+                let key = key16 as u64;
+                match action {
+                    Some(vlen) => {
+                        let value = vec![(key % 251) as u8; vlen];
+                        tree.insert(&mut db, t, key, &value).unwrap();
+                        oracle.insert(key, value);
+                    }
+                    None => {
+                        let existed = tree.delete(&mut db, t, key).unwrap();
+                        prop_assert_eq!(existed, oracle.remove(&key).is_some());
+                    }
+                }
+            }
+            // full equivalence
+            let all = tree.range(&mut db, t, 0, u64::MAX).unwrap();
+            let expect: Vec<(u64, Vec<u8>)> =
+                oracle.iter().map(|(&k, v)| (k, v.clone())).collect();
+            prop_assert_eq!(all, expect);
+            // point lookups agree on hits and misses
+            for probe in 0..50u64 {
+                prop_assert_eq!(
+                    tree.get(&mut db, t, probe * 13).unwrap(),
+                    oracle.get(&(probe * 13)).cloned()
+                );
+            }
+            db.commit(t).unwrap();
+        }
+    }
+}

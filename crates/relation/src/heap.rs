@@ -1,0 +1,545 @@
+//! The heap file: keyed tuples in slotted pages.
+//!
+//! Layout: page `base` is the header (magic + page budget + pages in
+//! use); pages `base+1 ..` hold tuples in append-order slots:
+//!
+//! ```text
+//! tuple page payload: [count u16] ([flags u8][key u64][len u16][bytes])*
+//! ```
+//!
+//! Deletes tombstone the slot in place; updates tombstone + re-append
+//! (in place when the length matches). Space from dead tuples is
+//! reclaimed by [`HeapFile::compact`].
+
+use rmdb_core::PageStore;
+use rmdb_storage::PAYLOAD_SIZE;
+
+/// Per-slot header bytes: flags(1) + key(8) + len(2).
+const SLOT_HDR: usize = 11;
+/// Page header bytes: slot count (2).
+const PAGE_HDR: usize = 2;
+/// Maximum tuple value length.
+pub const MAX_VALUE: usize = 1024;
+
+const FLAG_LIVE: u8 = 1;
+const FLAG_DEAD: u8 = 2;
+
+/// `(key, value)` pairs returned by scans.
+pub type TupleVec = Vec<(u64, Vec<u8>)>;
+
+/// Errors from the relation layer, parameterized by the store's error.
+#[derive(Debug)]
+pub enum RelError<E> {
+    /// The underlying store failed (lock conflict, I/O, …).
+    Store(E),
+    /// Value longer than [`MAX_VALUE`].
+    ValueTooLarge(usize),
+    /// The heap file's page budget is exhausted.
+    Full,
+    /// The header page does not contain a heap file.
+    NotAHeapFile,
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for RelError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelError::Store(e) => write!(f, "store: {e}"),
+            RelError::ValueTooLarge(n) => write!(f, "value of {n} bytes exceeds {MAX_VALUE}"),
+            RelError::Full => write!(f, "heap file full"),
+            RelError::NotAHeapFile => write!(f, "header page is not a heap file"),
+        }
+    }
+}
+
+impl<E: std::error::Error> std::error::Error for RelError<E> {}
+
+const MAGIC: &[u8; 8] = b"RMDBHEAP";
+
+/// A heap file of keyed tuples on a [`PageStore`].
+///
+/// The handle is cheap to copy and holds no reference to the store; every
+/// operation takes the store and a transaction id explicitly, so one
+/// transaction can touch many relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapFile {
+    base: u64,
+    max_pages: u64,
+}
+
+struct Slot {
+    page: u64,
+    offset: usize,
+    live: bool,
+    key: u64,
+    len: usize,
+}
+
+impl HeapFile {
+    /// Create a heap file owning pages `base ..= base + max_pages` (header
+    /// plus `max_pages` tuple pages), inside transaction `txn`.
+    pub fn create<S: PageStore>(
+        store: &mut S,
+        txn: u64,
+        base: u64,
+        max_pages: u64,
+    ) -> Result<Self, RelError<S::Error>> {
+        assert!(max_pages > 0, "heap file needs at least one tuple page");
+        let mut header = Vec::with_capacity(24);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&max_pages.to_le_bytes());
+        header.extend_from_slice(&0u64.to_le_bytes()); // tuple pages in use
+        store.write(txn, base, 0, &header).map_err(RelError::Store)?;
+        Ok(HeapFile { base, max_pages })
+    }
+
+    /// Open an existing heap file at `base`.
+    pub fn open<S: PageStore>(
+        store: &mut S,
+        txn: u64,
+        base: u64,
+    ) -> Result<Self, RelError<S::Error>> {
+        let head = store.read(txn, base, 0, 24).map_err(RelError::Store)?;
+        if &head[0..8] != MAGIC {
+            return Err(RelError::NotAHeapFile);
+        }
+        let max_pages = u64::from_le_bytes(head[8..16].try_into().unwrap());
+        Ok(HeapFile { base, max_pages })
+    }
+
+    /// First tuple page.
+    fn first_page(&self) -> u64 {
+        self.base + 1
+    }
+
+    fn pages_in_use<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+    ) -> Result<u64, RelError<S::Error>> {
+        let bytes = store.read(txn, self.base, 16, 8).map_err(RelError::Store)?;
+        Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn set_pages_in_use<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        n: u64,
+    ) -> Result<(), RelError<S::Error>> {
+        store
+            .write(txn, self.base, 16, &n.to_le_bytes())
+            .map_err(RelError::Store)
+    }
+
+    /// Decode every slot on a tuple page (values not materialized).
+    fn slots<S: PageStore>(
+        store: &mut S,
+        txn: u64,
+        page: u64,
+    ) -> Result<(Vec<Slot>, usize), RelError<S::Error>> {
+        let head = store.read(txn, page, 0, PAGE_HDR).map_err(RelError::Store)?;
+        let count = u16::from_le_bytes(head.try_into().unwrap()) as usize;
+        let mut slots = Vec::with_capacity(count);
+        let mut offset = PAGE_HDR;
+        for _ in 0..count {
+            let hdr = store
+                .read(txn, page, offset, SLOT_HDR)
+                .map_err(RelError::Store)?;
+            let flags = hdr[0];
+            let key = u64::from_le_bytes(hdr[1..9].try_into().unwrap());
+            let len = u16::from_le_bytes(hdr[9..11].try_into().unwrap()) as usize;
+            slots.push(Slot {
+                page,
+                offset,
+                live: flags == FLAG_LIVE,
+                key,
+                len,
+            });
+            offset += SLOT_HDR + len;
+        }
+        Ok((slots, offset))
+    }
+
+    /// Insert a tuple. Duplicate keys are allowed at this layer (use
+    /// [`HeapFile::update`] for replace semantics).
+    pub fn insert<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), RelError<S::Error>> {
+        if value.len() > MAX_VALUE {
+            return Err(RelError::ValueTooLarge(value.len()));
+        }
+        let need = SLOT_HDR + value.len();
+        let in_use = self.pages_in_use(store, txn)?;
+        // only the last page can have room; earlier ones filled up
+        if in_use > 0 {
+            let page = self.first_page() + in_use - 1;
+            let (slots, tail) = Self::slots(store, txn, page)?;
+            if tail + need <= PAYLOAD_SIZE {
+                return self.write_slot(store, txn, page, tail, slots.len(), key, value);
+            }
+        }
+        // grow the file
+        if in_use >= self.max_pages {
+            return Err(RelError::Full);
+        }
+        let page = self.first_page() + in_use;
+        store
+            .write(txn, page, 0, &0u16.to_le_bytes())
+            .map_err(RelError::Store)?;
+        self.set_pages_in_use(store, txn, in_use + 1)?;
+        self.write_slot(store, txn, page, PAGE_HDR, 0, key, value)
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal helper mirroring the slot layout
+    fn write_slot<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        page: u64,
+        offset: usize,
+        slot_index: usize,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), RelError<S::Error>> {
+        let mut slot = Vec::with_capacity(SLOT_HDR + value.len());
+        slot.push(FLAG_LIVE);
+        slot.extend_from_slice(&key.to_le_bytes());
+        slot.extend_from_slice(&(value.len() as u16).to_le_bytes());
+        slot.extend_from_slice(value);
+        store
+            .write(txn, page, offset, &slot)
+            .map_err(RelError::Store)?;
+        store
+            .write(txn, page, 0, &((slot_index + 1) as u16).to_le_bytes())
+            .map_err(RelError::Store)
+    }
+
+    /// Scan the relation, returning `(key, value)` for every live tuple
+    /// matching `pred`, in storage order.
+    pub fn scan<S, F>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        pred: F,
+    ) -> Result<TupleVec, RelError<S::Error>>
+    where
+        S: PageStore,
+        F: Fn(u64, &[u8]) -> bool,
+    {
+        let in_use = self.pages_in_use(store, txn)?;
+        let mut out = Vec::new();
+        for rel_page in 0..in_use {
+            let page = self.first_page() + rel_page;
+            let (slots, _) = Self::slots(store, txn, page)?;
+            for s in slots.iter().filter(|s| s.live) {
+                let value = store
+                    .read(txn, page, s.offset + SLOT_HDR, s.len)
+                    .map_err(RelError::Store)?;
+                if pred(s.key, &value) {
+                    out.push((s.key, value));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The live value for `key` (the most recently inserted, if duplicates
+    /// were created via raw [`HeapFile::insert`]).
+    pub fn get<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        key: u64,
+    ) -> Result<Option<Vec<u8>>, RelError<S::Error>> {
+        Ok(self
+            .scan(store, txn, |k, _| k == key)?
+            .pop()
+            .map(|(_, v)| v))
+    }
+
+    /// Number of live tuples.
+    pub fn count<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+    ) -> Result<usize, RelError<S::Error>> {
+        Ok(self.scan(store, txn, |_, _| true)?.len())
+    }
+
+    /// Tombstone every live tuple with `key`; returns how many died.
+    pub fn delete<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        key: u64,
+    ) -> Result<usize, RelError<S::Error>> {
+        let in_use = self.pages_in_use(store, txn)?;
+        let mut killed = 0;
+        for rel_page in 0..in_use {
+            let page = self.first_page() + rel_page;
+            let (slots, _) = Self::slots(store, txn, page)?;
+            for s in slots.iter().filter(|s| s.live && s.key == key) {
+                store
+                    .write(txn, s.page, s.offset, &[FLAG_DEAD])
+                    .map_err(RelError::Store)?;
+                killed += 1;
+            }
+        }
+        Ok(killed)
+    }
+
+    /// Replace the value for `key` (insert if absent). Equal-length values
+    /// update in place; otherwise the old tuple is tombstoned and the new
+    /// value re-appended.
+    pub fn update<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), RelError<S::Error>> {
+        if value.len() > MAX_VALUE {
+            return Err(RelError::ValueTooLarge(value.len()));
+        }
+        let in_use = self.pages_in_use(store, txn)?;
+        for rel_page in 0..in_use {
+            let page = self.first_page() + rel_page;
+            let (slots, _) = Self::slots(store, txn, page)?;
+            if let Some(s) = slots.iter().find(|s| s.live && s.key == key) {
+                if s.len == value.len() {
+                    // in-place update
+                    return store
+                        .write(txn, s.page, s.offset + SLOT_HDR, value)
+                        .map_err(RelError::Store);
+                }
+                store
+                    .write(txn, s.page, s.offset, &[FLAG_DEAD])
+                    .map_err(RelError::Store)?;
+                return self.insert(store, txn, key, value);
+            }
+        }
+        self.insert(store, txn, key, value)
+    }
+
+    /// Rewrite the file without dead slots, reclaiming their space.
+    /// Runs inside `txn` like any other operation (and therefore rolls
+    /// back atomically if the transaction aborts).
+    pub fn compact<S: PageStore>(
+        &self,
+        store: &mut S,
+        txn: u64,
+    ) -> Result<(), RelError<S::Error>> {
+        let live = self.scan(store, txn, |_, _| true)?;
+        // reset to zero pages, then re-insert every live tuple
+        self.set_pages_in_use(store, txn, 0)?;
+        for (key, value) in live {
+            self.insert(store, txn, key, &value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmdb_shadow::{ShadowConfig, ShadowPager};
+    use rmdb_wal::{WalConfig, WalDb};
+
+    fn wal() -> WalDb {
+        WalDb::new(WalConfig {
+            data_pages: 64,
+            pool_frames: 8,
+            ..WalConfig::default()
+        })
+    }
+
+    /// The same relational workout for any architecture.
+    fn workout<S: PageStore>(store: &mut S) {
+        let t = store.begin();
+        let rel = HeapFile::create(store, t, 0, 32).unwrap();
+        for k in 0..100u64 {
+            rel.insert(store, t, k, format!("value-{k}").as_bytes()).unwrap();
+        }
+        store.commit(t).unwrap();
+
+        let t = store.begin();
+        assert_eq!(rel.count(store, t).unwrap(), 100);
+        assert_eq!(rel.get(store, t, 7).unwrap(), Some(b"value-7".to_vec()));
+        // the paper's profile: update 20 % of what we read
+        for k in (0..100u64).step_by(5) {
+            rel.update(store, t, k, format!("updated!{k}").as_bytes()).unwrap();
+        }
+        rel.delete(store, t, 3).unwrap();
+        store.commit(t).unwrap();
+
+        let t = store.begin();
+        assert_eq!(rel.count(store, t).unwrap(), 99);
+        assert_eq!(rel.get(store, t, 5).unwrap(), Some(b"updated!5".to_vec()));
+        assert_eq!(rel.get(store, t, 3).unwrap(), None);
+        let evens = rel.scan(store, t, |k, _| k % 2 == 0).unwrap();
+        assert_eq!(evens.len(), 50);
+        store.abort(t).unwrap();
+    }
+
+    #[test]
+    fn workout_on_wal() {
+        workout(&mut wal());
+    }
+
+    #[test]
+    fn workout_on_shadow_pager() {
+        workout(
+            &mut ShadowPager::new(ShadowConfig {
+                logical_pages: 64,
+                data_frames: 256,
+                ..ShadowConfig::default()
+            })
+            .unwrap(),
+        );
+    }
+
+    #[test]
+    fn aborted_relation_ops_roll_back() {
+        let mut db = wal();
+        let t = db.begin();
+        let rel = HeapFile::create(&mut db, t, 0, 8).unwrap();
+        rel.insert(&mut db, t, 1, b"keep").unwrap();
+        db.commit(t).unwrap();
+
+        let t = db.begin();
+        rel.update(&mut db, t, 1, b"discarded-value").unwrap();
+        rel.insert(&mut db, t, 2, b"also-discarded").unwrap();
+        rel.delete(&mut db, t, 1).unwrap();
+        db.abort(t).unwrap();
+
+        let t = db.begin();
+        assert_eq!(rel.get(&mut db, t, 1).unwrap(), Some(b"keep".to_vec()));
+        assert_eq!(rel.get(&mut db, t, 2).unwrap(), None);
+        assert_eq!(rel.count(&mut db, t).unwrap(), 1);
+    }
+
+    #[test]
+    fn committed_relation_survives_crash() {
+        let cfg = WalConfig {
+            data_pages: 64,
+            pool_frames: 4,
+            ..WalConfig::default()
+        };
+        let mut db = WalDb::new(cfg.clone());
+        let t = db.begin();
+        let rel = HeapFile::create(&mut db, t, 0, 16).unwrap();
+        for k in 0..30u64 {
+            rel.insert(&mut db, t, k, &[k as u8; 20]).unwrap();
+        }
+        db.commit(t).unwrap();
+        let loser = db.begin();
+        rel.insert(&mut db, loser, 99, b"never").unwrap();
+
+        let (mut db2, _) = WalDb::recover(db.crash_image(), cfg).unwrap();
+        let t = db2.begin();
+        let rel = HeapFile::open(&mut db2, t, 0).unwrap();
+        assert_eq!(rel.count(&mut db2, t).unwrap(), 30);
+        assert_eq!(rel.get(&mut db2, t, 99).unwrap(), None);
+    }
+
+    #[test]
+    fn fills_pages_and_reports_full() {
+        let mut db = wal();
+        let t = db.begin();
+        let rel = HeapFile::create(&mut db, t, 0, 2).unwrap();
+        // ~130-byte tuples, 4070 usable → ~31 per page, 2 pages ≈ 62
+        let mut stored = 0u64;
+        loop {
+            match rel.insert(&mut db, t, stored, &[7u8; 120]) {
+                Ok(()) => stored += 1,
+                Err(RelError::Full) => break,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert!((50..80).contains(&stored), "stored {stored}");
+        assert_eq!(rel.count(&mut db, t).unwrap(), stored as usize);
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn compact_reclaims_dead_space() {
+        let mut db = wal();
+        let t = db.begin();
+        let rel = HeapFile::create(&mut db, t, 0, 4).unwrap();
+        for k in 0..60u64 {
+            rel.insert(&mut db, t, k, &[1u8; 100]).unwrap();
+        }
+        for k in 0..50u64 {
+            rel.delete(&mut db, t, k).unwrap();
+        }
+        // without compaction there is no room left for fat tuples
+        // (3 pages in use of 4); compaction shrinks to a fraction
+        rel.compact(&mut db, t).unwrap();
+        assert_eq!(rel.count(&mut db, t).unwrap(), 10);
+        for k in 100..140u64 {
+            rel.insert(&mut db, t, k, &[2u8; 100]).unwrap();
+        }
+        assert_eq!(rel.count(&mut db, t).unwrap(), 50);
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn update_grows_value() {
+        let mut db = wal();
+        let t = db.begin();
+        let rel = HeapFile::create(&mut db, t, 0, 8).unwrap();
+        rel.insert(&mut db, t, 1, b"short").unwrap();
+        rel.update(&mut db, t, 1, b"a considerably longer value").unwrap();
+        assert_eq!(
+            rel.get(&mut db, t, 1).unwrap(),
+            Some(b"a considerably longer value".to_vec())
+        );
+        assert_eq!(rel.count(&mut db, t).unwrap(), 1);
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let mut db = wal();
+        let t = db.begin();
+        db.write(t, 0, 0, b"not a heap").unwrap();
+        assert!(matches!(
+            HeapFile::open(&mut db, t, 0),
+            Err(RelError::NotAHeapFile)
+        ));
+        db.abort(t).unwrap();
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let mut db = wal();
+        let t = db.begin();
+        let rel = HeapFile::create(&mut db, t, 0, 8).unwrap();
+        let big = vec![0u8; MAX_VALUE + 1];
+        assert!(matches!(
+            rel.insert(&mut db, t, 1, &big),
+            Err(RelError::ValueTooLarge(_))
+        ));
+        db.abort(t).unwrap();
+    }
+
+    #[test]
+    fn two_relations_one_store() {
+        let mut db = wal();
+        let t = db.begin();
+        let users = HeapFile::create(&mut db, t, 0, 8).unwrap();
+        let orders = HeapFile::create(&mut db, t, 10, 8).unwrap();
+        users.insert(&mut db, t, 1, b"ada").unwrap();
+        orders.insert(&mut db, t, 1, b"order-1").unwrap();
+        orders.insert(&mut db, t, 2, b"order-2").unwrap();
+        db.commit(t).unwrap();
+        let t = db.begin();
+        assert_eq!(users.count(&mut db, t).unwrap(), 1);
+        assert_eq!(orders.count(&mut db, t).unwrap(), 2);
+        db.abort(t).unwrap();
+    }
+}

@@ -1,0 +1,34 @@
+//! A heap-file relation layer, a B+tree index, and relational operators
+//! over any recovery architecture.
+//!
+//! The paper's transactions are relational: they scan pages of tuples and
+//! update a fraction of them. This crate provides that workload shape as
+//! a real API — a [`HeapFile`] of keyed tuples in slotted pages, a
+//! [`BTree`] index, and [`query`] operators (select/project/join) —
+//! written once against the [`rmdb_core::PageStore`] trait, so the same
+//! application code runs (and the same tests pass) on parallel logging,
+//! both shadow-paging families, and both overwriting stores.
+//!
+//! # Example
+//!
+//! ```
+//! use rmdb_relation::HeapFile;
+//! use rmdb_wal::{WalConfig, WalDb};
+//!
+//! let mut db = WalDb::new(WalConfig::default());
+//! let t = db.begin();
+//! let rel = HeapFile::create(&mut db, t, 0, 16).unwrap();
+//! rel.insert(&mut db, t, 42, b"answer").unwrap();
+//! db.commit(t).unwrap();
+//!
+//! let t = db.begin();
+//! assert_eq!(rel.get(&mut db, t, 42).unwrap(), Some(b"answer".to_vec()));
+//! ```
+
+pub mod btree;
+pub mod heap;
+pub mod query;
+
+pub use btree::{BTree, BTreeError, MAX_INDEX_VALUE};
+pub use heap::{HeapFile, RelError, TupleVec, MAX_VALUE};
+pub use query::{hash_join, nested_loop_join, project, select, JoinVec};

@@ -1,0 +1,158 @@
+//! The scratch ring buffer used by the overwriting architectures.
+//!
+//! The paper (§3.2.2.2): "Both architectures require scratch space on disk
+//! which is managed as a ring buffer." The ring hands out frame addresses
+//! within a fixed region of the data disk; slots cycle back into use once
+//! the transaction that staged pages in them completes. Allocation state is
+//! volatile — after a crash the owning store re-marks the slots still
+//! referenced by surviving transaction directories.
+
+use std::collections::HashSet;
+
+/// Allocator over a contiguous region of disk frames, managed as a ring.
+#[derive(Debug, Clone)]
+pub struct ScratchRing {
+    base: u64,
+    len: u64,
+    cursor: u64,
+    in_use: HashSet<u64>,
+}
+
+impl ScratchRing {
+    /// A ring over frames `[base, base + len)`.
+    pub fn new(base: u64, len: u64) -> Self {
+        assert!(len > 0, "scratch region must be nonempty");
+        ScratchRing {
+            base,
+            len,
+            cursor: 0,
+            in_use: HashSet::new(),
+        }
+    }
+
+    /// Total slots in the region.
+    pub fn capacity(&self) -> u64 {
+        self.len
+    }
+
+    /// Slots currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use.len() as u64
+    }
+
+    /// Slots available.
+    pub fn free_slots(&self) -> u64 {
+        self.len - self.in_use()
+    }
+
+    /// First frame of the region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Whether `addr` lies inside the scratch region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.len
+    }
+
+    /// Allocate one slot, advancing the ring cursor. `None` when full.
+    pub fn alloc(&mut self) -> Option<u64> {
+        if self.in_use.len() as u64 == self.len {
+            return None;
+        }
+        loop {
+            let addr = self.base + self.cursor;
+            self.cursor = (self.cursor + 1) % self.len;
+            if self.in_use.insert(addr) {
+                return Some(addr);
+            }
+        }
+    }
+
+    /// Allocate `n` slots or none (all-or-nothing).
+    pub fn alloc_many(&mut self, n: usize) -> Option<Vec<u64>> {
+        if self.free_slots() < n as u64 {
+            return None;
+        }
+        Some((0..n).map(|_| self.alloc().expect("checked free")).collect())
+    }
+
+    /// Return a slot to the ring.
+    ///
+    /// # Panics
+    /// If `addr` is outside the region or not allocated.
+    pub fn release(&mut self, addr: u64) {
+        assert!(self.contains(addr), "release outside scratch region");
+        assert!(self.in_use.remove(&addr), "double release of slot {addr}");
+    }
+
+    /// Recovery: mark a slot as in use because a surviving directory still
+    /// references it. Idempotent.
+    pub fn mark_in_use(&mut self, addr: u64) {
+        assert!(self.contains(addr), "mark outside scratch region");
+        self.in_use.insert(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_sequentially_and_wraps() {
+        let mut r = ScratchRing::new(100, 3);
+        assert_eq!(r.alloc(), Some(100));
+        assert_eq!(r.alloc(), Some(101));
+        r.release(100);
+        assert_eq!(r.alloc(), Some(102));
+        // wraps to the released slot
+        assert_eq!(r.alloc(), Some(100));
+        assert_eq!(r.alloc(), None, "full ring");
+    }
+
+    #[test]
+    fn alloc_many_is_all_or_nothing() {
+        let mut r = ScratchRing::new(0, 4);
+        assert!(r.alloc_many(5).is_none());
+        assert_eq!(r.in_use(), 0, "failed alloc must not leak slots");
+        let slots = r.alloc_many(4).unwrap();
+        assert_eq!(slots.len(), 4);
+        assert_eq!(r.free_slots(), 0);
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let r = ScratchRing::new(10, 5);
+        assert!(!r.contains(9));
+        assert!(r.contains(10));
+        assert!(r.contains(14));
+        assert!(!r.contains(15));
+    }
+
+    #[test]
+    fn mark_in_use_is_idempotent() {
+        let mut r = ScratchRing::new(0, 4);
+        r.mark_in_use(2);
+        r.mark_in_use(2);
+        assert_eq!(r.in_use(), 1);
+        // allocation skips the marked slot
+        let got: Vec<u64> = (0..3).map(|_| r.alloc().unwrap()).collect();
+        assert!(!got.contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut r = ScratchRing::new(0, 2);
+        let a = r.alloc().unwrap();
+        r.release(a);
+        r.release(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside scratch region")]
+    fn release_outside_region_panics() {
+        let mut r = ScratchRing::new(10, 2);
+        r.release(5);
+    }
+}

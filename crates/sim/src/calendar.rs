@@ -1,0 +1,199 @@
+//! The event calendar: a priority queue of timestamped events.
+//!
+//! Events at equal timestamps are delivered in insertion order (FIFO), which
+//! keeps simulations deterministic regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled on the calendar.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event calendar.
+///
+/// The calendar owns the simulated clock: popping an event advances the
+/// clock to that event's timestamp. Scheduling into the past is a logic
+/// error and panics.
+///
+/// ```
+/// use rmdb_sim::{Calendar, SimTime};
+///
+/// let mut cal: Calendar<&'static str> = Calendar::new();
+/// cal.schedule(SimTime::from_ms(2.0), "second");
+/// cal.schedule(SimTime::from_ms(1.0), "first");
+/// assert_eq!(cal.next(), Some((SimTime::from_ms(1.0), "first")));
+/// assert_eq!(cal.now(), SimTime::from_ms(1.0));
+/// ```
+pub struct Calendar<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<E>>,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// Create an empty calendar with the clock at zero.
+    pub fn new() -> Self {
+        Calendar {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The current simulated time (timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is earlier than the current clock.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedule `event` at `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: popping advances the clock
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| {
+            debug_assert!(s.at >= self.now);
+            self.now = s.at;
+            (s.at, s.event)
+        })
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_micros(30), 3);
+        cal.schedule(SimTime::from_micros(10), 1);
+        cal.schedule(SimTime::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| cal.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            cal.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| cal.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_micros(10), ());
+        cal.schedule(SimTime::from_micros(10), ());
+        cal.schedule(SimTime::from_micros(40), ());
+        let mut last = SimTime::ZERO;
+        while let Some((t, ())) = cal.next() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(cal.now(), t);
+        }
+        assert_eq!(last, SimTime::from_micros(40));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_micros(100), "a");
+        cal.next();
+        cal.schedule_in(SimTime::from_micros(50), "b");
+        assert_eq!(cal.peek_time(), Some(SimTime::from_micros(150)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_micros(100), ());
+        cal.next();
+        cal.schedule(SimTime::from_micros(50), ());
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut cal: Calendar<()> = Calendar::new();
+        assert!(cal.is_empty());
+        cal.schedule(SimTime::ZERO, ());
+        assert_eq!(cal.len(), 1);
+        cal.next();
+        assert!(cal.is_empty());
+        assert_eq!(cal.next(), None);
+    }
+}

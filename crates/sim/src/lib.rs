@@ -1,0 +1,25 @@
+//! Discrete-event simulation kernel.
+//!
+//! This crate provides the machinery shared by every simulated component of
+//! the database machine: a microsecond-resolution simulated clock
+//! ([`SimTime`]), an event calendar ([`Calendar`]) with deterministic
+//! tie-breaking, a seeded random-number facade ([`SimRng`]) so that every
+//! experiment is exactly reproducible, and statistics accumulators
+//! ([`stats::Tally`], [`stats::TimeWeighted`], [`stats::Counter`]) used to
+//! report the paper's metrics (execution time per page, transaction
+//! completion time, device utilization).
+//!
+//! The kernel is intentionally small: higher layers (the disk models in
+//! `rmdb-disk` and the machine model in `rmdb-machine`) own their domain
+//! state and use the calendar as a priority queue of typed events.
+
+pub mod calendar;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use calendar::Calendar;
+pub use resource::FifoResource;
+pub use rng::SimRng;
+pub use time::SimTime;

@@ -1,0 +1,183 @@
+//! A FIFO multi-server resource with queueing statistics.
+//!
+//! Models a pool of identical servers (e.g. the bank of query processors or
+//! page-table processors). Requests either seize a free server immediately
+//! or wait in FIFO order; the caller is told when a request enters service
+//! so it can schedule the matching completion event on its calendar.
+
+use crate::stats::{Tally, TimeWeighted};
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Outcome of [`FifoResource::request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grant<T> {
+    /// A server was free; the request enters service now.
+    Immediate(T),
+    /// All servers busy; the request is queued.
+    Queued,
+}
+
+/// A pool of `capacity` identical servers with a shared FIFO queue.
+pub struct FifoResource<T> {
+    capacity: usize,
+    in_service: usize,
+    queue: VecDeque<(SimTime, T)>,
+    busy: TimeWeighted,
+    queue_len: TimeWeighted,
+    wait: Tally,
+}
+
+impl<T> FifoResource<T> {
+    /// Create a resource with `capacity` servers (must be nonzero).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "resource must have at least one server");
+        FifoResource {
+            capacity,
+            in_service: 0,
+            queue: VecDeque::new(),
+            busy: TimeWeighted::new(SimTime::ZERO, 0.0),
+            queue_len: TimeWeighted::new(SimTime::ZERO, 0.0),
+            wait: Tally::new(),
+        }
+    }
+
+    /// Number of servers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently being served.
+    pub fn in_service(&self) -> usize {
+        self.in_service
+    }
+
+    /// Requests waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether any server is free.
+    pub fn has_free_server(&self) -> bool {
+        self.in_service < self.capacity
+    }
+
+    /// Submit a request carrying `token` at time `now`.
+    ///
+    /// Returns [`Grant::Immediate`] (with the token back) if a server was
+    /// free, else queues the token and returns [`Grant::Queued`].
+    pub fn request(&mut self, now: SimTime, token: T) -> Grant<T> {
+        if self.in_service < self.capacity {
+            self.in_service += 1;
+            self.busy.set(now, self.in_service as f64);
+            self.wait.record(0.0);
+            Grant::Immediate(token)
+        } else {
+            self.queue.push_back((now, token));
+            self.queue_len.set(now, self.queue.len() as f64);
+            Grant::Queued
+        }
+    }
+
+    /// Release one server at time `now` (its request completed).
+    ///
+    /// If a request was queued, it enters service immediately and its token
+    /// is returned so the caller can schedule its completion.
+    ///
+    /// # Panics
+    /// If no request is in service.
+    pub fn release(&mut self, now: SimTime) -> Option<T> {
+        assert!(self.in_service > 0, "release with no request in service");
+        if let Some((enqueued_at, token)) = self.queue.pop_front() {
+            // Server hands straight over to the queued request.
+            self.queue_len.set(now, self.queue.len() as f64);
+            self.wait.record((now - enqueued_at).as_ms());
+            Some(token)
+        } else {
+            self.in_service -= 1;
+            self.busy.set(now, self.in_service as f64);
+            None
+        }
+    }
+
+    /// Mean fraction of servers busy over `[0, end]` (aggregate
+    /// utilization in `[0, 1]`).
+    pub fn utilization(&self, end: SimTime) -> f64 {
+        self.busy.mean(end) / self.capacity as f64
+    }
+
+    /// Time-weighted mean queue length over `[0, end]`.
+    pub fn mean_queue_len(&self, end: SimTime) -> f64 {
+        self.queue_len.mean(end)
+    }
+
+    /// Sample statistics of queue waiting times (ms).
+    pub fn wait_stats(&self) -> &Tally {
+        &self.wait
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> SimTime {
+        SimTime::from_ms(v)
+    }
+
+    #[test]
+    fn immediate_grant_when_free() {
+        let mut r = FifoResource::new(2);
+        assert_eq!(r.request(ms(0.0), 'a'), Grant::Immediate('a'));
+        assert_eq!(r.request(ms(0.0), 'b'), Grant::Immediate('b'));
+        assert_eq!(r.in_service(), 2);
+        assert!(!r.has_free_server());
+    }
+
+    #[test]
+    fn queues_when_full_and_hands_over_fifo() {
+        let mut r = FifoResource::new(1);
+        assert_eq!(r.request(ms(0.0), 1), Grant::Immediate(1));
+        assert_eq!(r.request(ms(1.0), 2), Grant::Queued);
+        assert_eq!(r.request(ms(2.0), 3), Grant::Queued);
+        assert_eq!(r.queued(), 2);
+        // completion at t=10 hands server to token 2
+        assert_eq!(r.release(ms(10.0)), Some(2));
+        assert_eq!(r.release(ms(20.0)), Some(3));
+        assert_eq!(r.release(ms(30.0)), None);
+        assert_eq!(r.in_service(), 0);
+    }
+
+    #[test]
+    fn wait_times_are_recorded() {
+        let mut r = FifoResource::new(1);
+        r.request(ms(0.0), ());
+        r.request(ms(5.0), ());
+        r.release(ms(12.0)); // waited 7ms
+        r.release(ms(20.0));
+        assert_eq!(r.wait_stats().count(), 2);
+        assert_eq!(r.wait_stats().max(), Some(7.0));
+    }
+
+    #[test]
+    fn utilization_accounts_busy_servers() {
+        let mut r = FifoResource::new(2);
+        r.request(ms(0.0), ());
+        r.release(ms(50.0));
+        // one of two servers busy half the time → 25%
+        assert!((r.utilization(ms(100.0)) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no request in service")]
+    fn release_without_service_panics() {
+        let mut r: FifoResource<()> = FifoResource::new(1);
+        r.release(ms(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_capacity_rejected() {
+        let _: FifoResource<()> = FifoResource::new(0);
+    }
+}

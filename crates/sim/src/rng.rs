@@ -1,0 +1,147 @@
+//! Deterministic randomness for simulations.
+//!
+//! Every experiment in the paper's reproduction is seeded, so runs are
+//! exactly repeatable. `SimRng` wraps [`rand::rngs::StdRng`] with the handful
+//! of sampling operations the workload generator needs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random-number generator for simulation workloads.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.inner.gen_bool(p)
+    }
+
+    /// Choose `k` distinct elements of `items` uniformly (order of the
+    /// returned sample follows the original slice order).
+    ///
+    /// # Panics
+    /// If `k > items.len()`.
+    pub fn sample_subset<T: Copy>(&mut self, items: &[T], k: usize) -> Vec<T> {
+        assert!(k <= items.len(), "sample larger than population");
+        // Partial Fisher-Yates over indices keeps selection uniform.
+        let mut idx: Vec<usize> = (0..items.len()).collect();
+        for i in 0..k {
+            let j = self.inner.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        let mut picked: Vec<usize> = idx[..k].to_vec();
+        picked.sort_unstable();
+        picked.into_iter().map(|i| items[i]).collect()
+    }
+
+    /// Shuffle a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        items.shuffle(&mut self.inner);
+    }
+
+    /// Derive an independent generator (for a sub-component) from this one.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(1, 250), b.uniform(1, 250));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.uniform(1, 250);
+            assert!((1..=250).contains(&v));
+        }
+    }
+
+    #[test]
+    fn subset_is_distinct_and_sized() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let items: Vec<u32> = (0..100).collect();
+        let sub = rng.sample_subset(&items, 20);
+        assert_eq!(sub.len(), 20);
+        let mut dedup = sub.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20, "sample contained duplicates");
+        // preserves slice order because we sort indices
+        assert!(sub.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn subset_full_population() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let items = [1u8, 2, 3];
+        assert_eq!(rng.sample_subset(&items, 3), vec![1, 2, 3]);
+        assert!(rng.sample_subset(&items, 0).is_empty());
+    }
+
+    #[test]
+    fn subset_is_roughly_uniform() {
+        // Each of 10 items should appear in a k=5 sample about half the time.
+        let mut rng = SimRng::seed_from_u64(11);
+        let items: Vec<usize> = (0..10).collect();
+        let mut counts = [0u32; 10];
+        let trials = 4000;
+        for _ in 0..trials {
+            for v in rng.sample_subset(&items, 5) {
+                counts[v] += 1;
+            }
+        }
+        for &c in &counts {
+            let freq = c as f64 / trials as f64;
+            assert!((0.42..0.58).contains(&freq), "skewed frequency {freq}");
+        }
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut fork = a.fork();
+        // The fork must not replay the parent's stream.
+        let parent: Vec<u64> = (0..10).map(|_| a.uniform(0, 1000)).collect();
+        let child: Vec<u64> = (0..10).map(|_| fork.uniform(0, 1000)).collect();
+        assert_ne!(parent, child);
+    }
+}

@@ -1,0 +1,301 @@
+//! Statistics accumulators for simulation output.
+//!
+//! Three kinds of statistic cover everything the paper reports:
+//!
+//! * [`Tally`] — sample statistics (mean/min/max/count) of observations such
+//!   as transaction completion times.
+//! * [`TimeWeighted`] — time-weighted averages of a piecewise-constant value
+//!   such as queue length, cache occupancy, or a busy/idle indicator
+//!   (utilization is the time-weighted mean of a 0/1 value).
+//! * [`Counter`] — monotonically increasing event counts (disk accesses,
+//!   log pages written).
+
+use crate::time::SimTime;
+use serde::Serialize;
+
+/// Sample statistics over a stream of observations.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Tally {
+    count: u64,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Tally {
+    /// New empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Record a simulated duration, in milliseconds.
+    pub fn record_time(&mut self, value: SimTime) {
+        self.record(value.as_ms());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of observations; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+}
+
+/// Time-weighted average of a piecewise-constant value.
+///
+/// Call [`TimeWeighted::set`] whenever the value changes; the accumulator
+/// integrates value × elapsed-time between changes. Utilization of a server
+/// is the time-weighted mean of its busy indicator:
+///
+/// ```
+/// use rmdb_sim::stats::TimeWeighted;
+/// use rmdb_sim::SimTime;
+///
+/// let mut busy = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// busy.set(SimTime::from_ms(10.0), 1.0); // idle for 10ms
+/// busy.set(SimTime::from_ms(40.0), 0.0); // busy for 30ms
+/// assert!((busy.mean(SimTime::from_ms(40.0)) - 0.75).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct TimeWeighted {
+    last_change: SimTime,
+    value: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Start integrating at `start` with initial `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            last_change: start,
+            value,
+            integral: 0.0,
+            peak: value,
+        }
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_change, "time went backwards");
+        let dt = (now - self.last_change).as_ms();
+        self.integral += self.value * dt;
+        self.last_change = now;
+    }
+
+    /// Record that the value becomes `value` at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        self.advance(now);
+        self.value = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// Add `delta` to the current value at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current (instantaneous) value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Largest value ever held.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted mean over `[start, end]`; 0.0 for an empty interval.
+    pub fn mean(&self, end: SimTime) -> f64 {
+        let dt = (end - self.last_change).as_ms();
+        let total = self.integral + self.value * dt;
+        let span = end.as_ms();
+        if span == 0.0 {
+            0.0
+        } else {
+            total / span
+        }
+    }
+}
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// New zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increment by one.
+    pub fn bump(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Tracks the busy time of a single server (a disk arm, a processor).
+///
+/// A thin convenience over [`TimeWeighted`] for the common utilization case.
+#[derive(Debug, Clone, Serialize)]
+pub struct BusyTracker {
+    busy: TimeWeighted,
+    busy_since: Option<SimTime>,
+}
+
+impl BusyTracker {
+    /// New tracker; the server starts idle at time zero.
+    pub fn new() -> Self {
+        BusyTracker {
+            busy: TimeWeighted::new(SimTime::ZERO, 0.0),
+            busy_since: None,
+        }
+    }
+
+    /// Mark the server busy at `now`. No-op if already busy.
+    pub fn begin(&mut self, now: SimTime) {
+        if self.busy_since.is_none() {
+            self.busy_since = Some(now);
+            self.busy.set(now, 1.0);
+        }
+    }
+
+    /// Mark the server idle at `now`. No-op if already idle.
+    pub fn end(&mut self, now: SimTime) {
+        if self.busy_since.take().is_some() {
+            self.busy.set(now, 0.0);
+        }
+    }
+
+    /// Whether the server is currently busy.
+    pub fn is_busy(&self) -> bool {
+        self.busy_since.is_some()
+    }
+
+    /// Utilization in `[0, 1]` over `[0, end]`.
+    pub fn utilization(&self, end: SimTime) -> f64 {
+        self.busy.mean(end)
+    }
+}
+
+impl Default for BusyTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_basics() {
+        let mut t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        for v in [2.0, 4.0, 9.0] {
+            t.record(v);
+        }
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.sum(), 15.0);
+        assert_eq!(t.mean(), 5.0);
+        assert_eq!(t.min(), Some(2.0));
+        assert_eq!(t.max(), Some(9.0));
+    }
+
+    #[test]
+    fn tally_record_time_is_ms() {
+        let mut t = Tally::new();
+        t.record_time(SimTime::from_ms(7.5));
+        assert_eq!(t.sum(), 7.5);
+    }
+
+    #[test]
+    fn time_weighted_integrates() {
+        let mut w = TimeWeighted::new(SimTime::ZERO, 2.0);
+        w.set(SimTime::from_ms(10.0), 6.0);
+        // [0,10): 2.0, [10,20): 6.0 → mean 4.0
+        assert!((w.mean(SimTime::from_ms(20.0)) - 4.0).abs() < 1e-9);
+        assert_eq!(w.peak(), 6.0);
+        assert_eq!(w.current(), 6.0);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let mut w = TimeWeighted::new(SimTime::ZERO, 0.0);
+        w.add(SimTime::from_ms(5.0), 3.0);
+        w.add(SimTime::from_ms(10.0), -3.0);
+        // busy 3 between 5 and 10 → integral 15 over 10ms = 1.5
+        assert!((w.mean(SimTime::from_ms(10.0)) - 1.5).abs() < 1e-9);
+        assert_eq!(w.current(), 0.0);
+    }
+
+    #[test]
+    fn busy_tracker_utilization() {
+        let mut b = BusyTracker::new();
+        b.begin(SimTime::from_ms(0.0));
+        b.end(SimTime::from_ms(25.0));
+        b.begin(SimTime::from_ms(75.0));
+        b.end(SimTime::from_ms(100.0));
+        assert!((b.utilization(SimTime::from_ms(100.0)) - 0.5).abs() < 1e-9);
+        assert!(!b.is_busy());
+    }
+
+    #[test]
+    fn busy_tracker_idempotent_transitions() {
+        let mut b = BusyTracker::new();
+        b.begin(SimTime::from_ms(0.0));
+        b.begin(SimTime::from_ms(10.0)); // ignored
+        assert!(b.is_busy());
+        b.end(SimTime::from_ms(50.0));
+        b.end(SimTime::from_ms(60.0)); // ignored
+        assert!((b.utilization(SimTime::from_ms(100.0)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.bump();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+}

@@ -1,0 +1,198 @@
+//! Simulated time.
+//!
+//! Time is kept as an integer number of **microseconds** so that event
+//! ordering is exact and platform-independent. The paper reports everything
+//! in milliseconds; [`SimTime::as_ms`] converts for reporting.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in microseconds.
+///
+/// `SimTime` is used both as an absolute clock reading and as a duration;
+/// the arithmetic provided covers both uses. Overflow is a logic error and
+/// panics in debug builds.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero time (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from a (non-negative) number of milliseconds.
+    ///
+    /// Fractional milliseconds are preserved to microsecond resolution,
+    /// rounding to nearest.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        debug_assert!(ms >= 0.0, "negative duration: {ms}");
+        SimTime((ms * 1000.0).round() as u64)
+    }
+
+    /// Raw microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds as a float, for reporting.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs > self`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.max(rhs.0))
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.min(rhs.0))
+    }
+
+    /// True if this is the zero time.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime underflow: {} - {}", self.0, rhs.0);
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        debug_assert!(self.0 >= rhs.0);
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_round_trip() {
+        let t = SimTime::from_ms(18.354);
+        assert_eq!(t.as_micros(), 18_354);
+        assert!((t.as_ms() - 18.354).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_micros(100);
+        let b = SimTime::from_micros(40);
+        assert_eq!(a + b, SimTime::from_micros(140));
+        assert_eq!(a - b, SimTime::from_micros(60));
+        assert_eq!(a * 3, SimTime::from_micros(300));
+        assert_eq!(a / 4, SimTime::from_micros(25));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn ordering_and_sum() {
+        let xs = [
+            SimTime::from_micros(3),
+            SimTime::from_micros(1),
+            SimTime::from_micros(2),
+        ];
+        let mut sorted = xs;
+        sorted.sort();
+        assert_eq!(sorted[0].as_micros(), 1);
+        assert_eq!(xs.iter().copied().sum::<SimTime>().as_micros(), 6);
+    }
+
+    #[test]
+    fn display_formats_ms() {
+        assert_eq!(SimTime::from_ms(1.5).to_string(), "1.500ms");
+    }
+
+    #[test]
+    fn from_ms_rounds_to_nearest_micro() {
+        assert_eq!(SimTime::from_ms(0.0004).as_micros(), 0);
+        assert_eq!(SimTime::from_ms(0.0006).as_micros(), 1);
+    }
+}

@@ -1,0 +1,433 @@
+//! A pin-counted buffer pool with pluggable eviction.
+//!
+//! The pool holds decoded [`Page`]s keyed by [`PageId`]. It deliberately
+//! performs **no disk I/O itself**: on a miss the caller fetches the page
+//! (through whatever indirection its recovery architecture uses — the
+//! shadow pager's page table, the WAL manager's direct mapping) and inserts
+//! it; on insertion into a full pool the evicted entry is handed back so
+//! the caller can apply its write-ahead rule before writing a dirty page
+//! out. This inversion keeps the pool reusable by every recovery scheme.
+
+use crate::error::StorageError;
+use crate::page::{Page, PageId};
+use std::collections::HashMap;
+
+/// Which replacement policy the pool runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictPolicy {
+    /// Least-recently-used (exact, via access ticks).
+    Lru,
+    /// Clock / second-chance.
+    Clock,
+}
+
+/// A page pushed out of the pool.
+#[derive(Debug)]
+pub struct Evicted {
+    /// The evicted page.
+    pub page: Page,
+    /// Whether it had unflushed modifications. The caller must write it
+    /// (after honouring its write-ahead rule) or lose the updates.
+    pub dirty: bool,
+}
+
+struct Slot {
+    page: Page,
+    dirty: bool,
+    pins: u32,
+    last_use: u64,
+    referenced: bool,
+}
+
+/// A fixed-capacity cache of pages.
+///
+/// ```
+/// use rmdb_storage::{BufferPool, EvictPolicy, Page, PageId};
+///
+/// let mut pool = BufferPool::new(2, EvictPolicy::Lru);
+/// pool.insert(PageId(1), Page::new(PageId(1)), false).unwrap();
+/// pool.insert(PageId(2), Page::new(PageId(2)), false).unwrap();
+/// pool.get(PageId(1));                            // 1 is now most recent
+/// let evicted = pool.insert(PageId(3), Page::new(PageId(3)), false)
+///     .unwrap()
+///     .expect("pool was full");
+/// assert_eq!(evicted.page.id, PageId(2));         // LRU victim
+/// ```
+pub struct BufferPool {
+    capacity: usize,
+    policy: EvictPolicy,
+    slots: HashMap<PageId, Slot>,
+    /// Clock hand: iteration order for the clock policy (ids in insertion
+    /// order; stable across lookups).
+    order: Vec<PageId>,
+    hand: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages.
+    pub fn new(capacity: usize, policy: EvictPolicy) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            capacity,
+            policy,
+            slots: HashMap::with_capacity(capacity),
+            order: Vec::with_capacity(capacity),
+            hand: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Maximum number of resident pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of resident pages.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Cache hits recorded by [`BufferPool::get`]/[`BufferPool::get_mut`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses recorded by [`BufferPool::get`]/[`BufferPool::get_mut`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Whether `id` is resident (does not touch recency state).
+    pub fn contains(&self, id: PageId) -> bool {
+        self.slots.contains_key(&id)
+    }
+
+    fn touch(slot: &mut Slot, tick: u64) {
+        slot.last_use = tick;
+        slot.referenced = true;
+    }
+
+    /// Look up a resident page, updating recency. Records a hit or miss.
+    pub fn get(&mut self, id: PageId) -> Option<&Page> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.slots.get_mut(&id) {
+            Some(slot) => {
+                Self::touch(slot, tick);
+                self.hits += 1;
+                Some(&slot.page)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Mutable lookup; marks the page dirty.
+    pub fn get_mut(&mut self, id: PageId) -> Option<&mut Page> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.slots.get_mut(&id) {
+            Some(slot) => {
+                Self::touch(slot, tick);
+                slot.dirty = true;
+                self.hits += 1;
+                Some(&mut slot.page)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a page fetched from disk (or freshly allocated).
+    ///
+    /// If the pool is full, an unpinned victim is evicted and returned.
+    /// Fails with [`StorageError::PoolExhausted`] when every resident page
+    /// is pinned.
+    ///
+    /// # Panics
+    /// If `id` is already resident (callers must check [`BufferPool::get`]
+    /// first; double-insertion indicates a protocol bug).
+    pub fn insert(
+        &mut self,
+        id: PageId,
+        page: Page,
+        dirty: bool,
+    ) -> Result<Option<Evicted>, StorageError> {
+        assert!(
+            !self.slots.contains_key(&id),
+            "page {id} inserted while already resident"
+        );
+        let evicted = if self.slots.len() >= self.capacity {
+            Some(self.evict()?)
+        } else {
+            None
+        };
+        self.tick += 1;
+        self.slots.insert(
+            id,
+            Slot {
+                page,
+                dirty,
+                pins: 0,
+                last_use: self.tick,
+                referenced: true,
+            },
+        );
+        self.order.push(id);
+        Ok(evicted)
+    }
+
+    /// Pin a resident page so it cannot be evicted.
+    ///
+    /// # Panics
+    /// If the page is not resident.
+    pub fn pin(&mut self, id: PageId) {
+        self.slots
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("pin of non-resident page {id}"))
+            .pins += 1;
+    }
+
+    /// Drop one pin.
+    ///
+    /// # Panics
+    /// If the page is not resident or not pinned.
+    pub fn unpin(&mut self, id: PageId) {
+        let slot = self
+            .slots
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unpin of non-resident page {id}"));
+        assert!(slot.pins > 0, "unpin of unpinned page {id}");
+        slot.pins -= 1;
+    }
+
+    /// Mark a resident page clean (caller just wrote it to disk).
+    pub fn mark_clean(&mut self, id: PageId) {
+        if let Some(slot) = self.slots.get_mut(&id) {
+            slot.dirty = false;
+        }
+    }
+
+    /// Remove a specific page (e.g. transaction abort discarding its dirty
+    /// pages). Returns it if it was resident.
+    pub fn remove(&mut self, id: PageId) -> Option<Evicted> {
+        self.slots.remove(&id).map(|slot| {
+            self.order.retain(|&o| o != id);
+            Evicted {
+                page: slot.page,
+                dirty: slot.dirty,
+            }
+        })
+    }
+
+    /// Iterate over resident dirty page ids (for flush-all/checkpoint).
+    pub fn dirty_ids(&self) -> Vec<PageId> {
+        let mut ids: Vec<PageId> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Read-only access without recency update (used when flushing).
+    pub fn peek(&self, id: PageId) -> Option<&Page> {
+        self.slots.get(&id).map(|s| &s.page)
+    }
+
+    fn evict(&mut self) -> Result<Evicted, StorageError> {
+        let victim = match self.policy {
+            EvictPolicy::Lru => self.pick_lru(),
+            EvictPolicy::Clock => self.pick_clock(),
+        }
+        .ok_or(StorageError::PoolExhausted)?;
+        let slot = self.slots.remove(&victim).expect("victim resident");
+        self.order.retain(|&o| o != victim);
+        if self.hand >= self.order.len() && !self.order.is_empty() {
+            self.hand %= self.order.len();
+        }
+        Ok(Evicted {
+            page: slot.page,
+            dirty: slot.dirty,
+        })
+    }
+
+    fn pick_lru(&self) -> Option<PageId> {
+        self.slots
+            .iter()
+            .filter(|(_, s)| s.pins == 0)
+            .min_by_key(|(_, s)| s.last_use)
+            .map(|(&id, _)| id)
+    }
+
+    fn pick_clock(&mut self) -> Option<PageId> {
+        if self.order.is_empty() {
+            return None;
+        }
+        // Up to two sweeps: first pass clears reference bits, second evicts.
+        let n = self.order.len();
+        for _ in 0..2 * n {
+            let id = self.order[self.hand % n];
+            self.hand = (self.hand + 1) % n;
+            let slot = self.slots.get_mut(&id).expect("order entry resident");
+            if slot.pins > 0 {
+                continue;
+            }
+            if slot.referenced {
+                slot.referenced = false;
+            } else {
+                return Some(id);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: u64) -> Page {
+        Page::new(PageId(n))
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut pool = BufferPool::new(2, EvictPolicy::Lru);
+        assert!(pool.get(PageId(1)).is_none());
+        pool.insert(PageId(1), page(1), false).unwrap();
+        assert!(pool.get(PageId(1)).is_some());
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut pool = BufferPool::new(2, EvictPolicy::Lru);
+        pool.insert(PageId(1), page(1), false).unwrap();
+        pool.insert(PageId(2), page(2), false).unwrap();
+        pool.get(PageId(1)); // 2 is now LRU
+        let ev = pool.insert(PageId(3), page(3), false).unwrap().unwrap();
+        assert_eq!(ev.page.id, PageId(2));
+        assert!(pool.contains(PageId(1)));
+        assert!(pool.contains(PageId(3)));
+    }
+
+    #[test]
+    fn eviction_reports_dirtiness() {
+        let mut pool = BufferPool::new(1, EvictPolicy::Lru);
+        pool.insert(PageId(1), page(1), false).unwrap();
+        pool.get_mut(PageId(1)).unwrap().write_at(0, b"x");
+        let ev = pool.insert(PageId(2), page(2), false).unwrap().unwrap();
+        assert!(ev.dirty, "modified page must evict dirty");
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction() {
+        let mut pool = BufferPool::new(2, EvictPolicy::Lru);
+        pool.insert(PageId(1), page(1), false).unwrap();
+        pool.insert(PageId(2), page(2), false).unwrap();
+        pool.pin(PageId(1));
+        pool.pin(PageId(2));
+        assert!(matches!(
+            pool.insert(PageId(3), page(3), false),
+            Err(StorageError::PoolExhausted)
+        ));
+        pool.unpin(PageId(2));
+        let ev = pool.insert(PageId(3), page(3), false).unwrap().unwrap();
+        assert_eq!(ev.page.id, PageId(2));
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut pool = BufferPool::new(3, EvictPolicy::Clock);
+        for n in 1..=3 {
+            pool.insert(PageId(n), page(n), false).unwrap();
+        }
+        // Touch 1 and 2 so their reference bits are set again; 3's bit is
+        // also set from insertion, so the first sweep clears all and the
+        // second evicts the first unreferenced in clock order: 1.
+        // Instead, reference only 2 and 3 after clearing pass is simulated
+        // by two inserts.
+        pool.get(PageId(2));
+        pool.get(PageId(3));
+        let ev = pool.insert(PageId(4), page(4), false).unwrap().unwrap();
+        // all bits were set; sweep clears 1,2,3 then evicts 1 (oldest in order)
+        assert_eq!(ev.page.id, PageId(1));
+        // after the eviction the hand sits past 2, and the sweep left 2 and
+        // 3 unreferenced, so the next eviction in clock order takes 3
+        let ev2 = pool.insert(PageId(5), page(5), false).unwrap().unwrap();
+        assert_eq!(ev2.page.id, PageId(3));
+    }
+
+    #[test]
+    fn remove_returns_dirty_state() {
+        let mut pool = BufferPool::new(2, EvictPolicy::Lru);
+        pool.insert(PageId(1), page(1), true).unwrap();
+        let ev = pool.remove(PageId(1)).unwrap();
+        assert!(ev.dirty);
+        assert!(pool.remove(PageId(1)).is_none());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn dirty_ids_sorted() {
+        let mut pool = BufferPool::new(4, EvictPolicy::Lru);
+        for n in [3, 1, 2] {
+            pool.insert(PageId(n), page(n), n != 2).unwrap();
+        }
+        assert_eq!(pool.dirty_ids(), vec![PageId(1), PageId(3)]);
+    }
+
+    #[test]
+    fn mark_clean_clears_dirty() {
+        let mut pool = BufferPool::new(1, EvictPolicy::Lru);
+        pool.insert(PageId(1), page(1), true).unwrap();
+        pool.mark_clean(PageId(1));
+        assert!(pool.dirty_ids().is_empty());
+        let ev = pool.insert(PageId(2), page(2), false).unwrap().unwrap();
+        assert!(!ev.dirty);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut pool = BufferPool::new(2, EvictPolicy::Lru);
+        pool.insert(PageId(1), page(1), false).unwrap();
+        pool.insert(PageId(1), page(1), false).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unpin of unpinned")]
+    fn unbalanced_unpin_panics() {
+        let mut pool = BufferPool::new(2, EvictPolicy::Lru);
+        pool.insert(PageId(1), page(1), false).unwrap();
+        pool.unpin(PageId(1));
+    }
+
+    #[test]
+    fn peek_does_not_affect_lru() {
+        let mut pool = BufferPool::new(2, EvictPolicy::Lru);
+        pool.insert(PageId(1), page(1), false).unwrap();
+        pool.insert(PageId(2), page(2), false).unwrap();
+        pool.peek(PageId(1)); // must NOT refresh 1
+        let ev = pool.insert(PageId(3), page(3), false).unwrap().unwrap();
+        assert_eq!(ev.page.id, PageId(1));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by the storage substrate and the recovery crates.
+
+use crate::page::PageId;
+use std::fmt;
+
+/// Errors surfaced by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A read targeted a frame that was never written.
+    Unallocated {
+        /// The offending frame address.
+        addr: u64,
+    },
+    /// An address was outside the disk.
+    OutOfRange {
+        /// The offending frame address.
+        addr: u64,
+        /// Disk capacity in frames.
+        capacity: u64,
+    },
+    /// A frame's checksum did not match its contents (torn or corrupt
+    /// write).
+    Corrupt {
+        /// The offending frame address.
+        addr: u64,
+    },
+    /// A frame held a different page than expected.
+    WrongPage {
+        /// Page the caller asked for.
+        expected: PageId,
+        /// Page found in the frame.
+        found: PageId,
+    },
+    /// The buffer pool could not evict (all frames pinned).
+    PoolExhausted,
+    /// A recovery-protocol invariant was violated; recovery cannot proceed.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Unallocated { addr } => write!(f, "frame {addr} never written"),
+            StorageError::OutOfRange { addr, capacity } => {
+                write!(f, "frame {addr} out of range (capacity {capacity})")
+            }
+            StorageError::Corrupt { addr } => write!(f, "frame {addr} failed checksum"),
+            StorageError::WrongPage { expected, found } => {
+                write!(f, "expected page {expected:?}, found {found:?}")
+            }
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted (all pages pinned)"),
+            StorageError::Protocol(msg) => write!(f, "recovery protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::OutOfRange {
+            addr: 9,
+            capacity: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        let c = StorageError::Corrupt { addr: 3 };
+        assert!(c.to_string().contains("checksum"));
+    }
+}

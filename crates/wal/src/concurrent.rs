@@ -1,0 +1,293 @@
+//! A thread-safe front end for the parallel-logging engine.
+//!
+//! The paper's query processors run concurrently; [`SharedWal`] lets real
+//! threads play that role against one [`WalDb`]. The engine itself is
+//! guarded by a mutex, but the lock is taken **per operation**, so
+//! transactions from different threads genuinely interleave and contend
+//! for page locks exactly as the back-end controller's scheduler would
+//! see them. [`SharedWal::run_txn`] packages the standard application
+//! loop: begin, run the body, commit — aborting and retrying (with a
+//! yield) whenever the body hits a page-lock conflict.
+
+use crate::db::{CrashImage, TxnId, WalConfig, WalDb, WalError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// How many times [`SharedWal::run_txn`] retries a conflicted transaction
+/// before giving up.
+pub const MAX_RETRIES: usize = 1000;
+
+/// A cloneable, thread-safe handle to a [`WalDb`].
+#[derive(Clone)]
+pub struct SharedWal {
+    inner: Arc<Mutex<WalDb>>,
+}
+
+/// Per-transaction view handed to [`SharedWal::run_txn`] bodies.
+pub struct TxnCtx<'a> {
+    shared: &'a SharedWal,
+    /// The transaction id (also usable with the raw engine).
+    pub id: TxnId,
+    /// Query-processor number fragments are attributed to.
+    pub qp: usize,
+}
+
+impl SharedWal {
+    /// Wrap a fresh engine.
+    pub fn new(cfg: WalConfig) -> Self {
+        SharedWal {
+            inner: Arc::new(Mutex::new(WalDb::new(cfg))),
+        }
+    }
+
+    /// Wrap an existing engine (e.g. one produced by recovery).
+    pub fn from_db(db: WalDb) -> Self {
+        SharedWal {
+            inner: Arc::new(Mutex::new(db)),
+        }
+    }
+
+    /// Run `f` with exclusive access to the engine.
+    pub fn with<R>(&self, f: impl FnOnce(&mut WalDb) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Capture the durable state at this instant — the crash can land at
+    /// any interleaving point between operations of live transactions.
+    pub fn crash_image(&self) -> CrashImage {
+        self.inner.lock().crash_image()
+    }
+
+    /// Run a transaction body with automatic retry on page-lock conflict.
+    ///
+    /// The body may return `Err(WalError::LockConflict { .. })` (usually
+    /// by propagating it from a read/write); the transaction is then
+    /// aborted, the thread yields, and the body runs again from scratch
+    /// inside a fresh transaction. Any other error aborts and propagates.
+    pub fn run_txn<R>(
+        &self,
+        qp: usize,
+        body: impl Fn(&mut TxnCtx<'_>) -> Result<R, WalError>,
+    ) -> Result<R, WalError> {
+        for _ in 0..MAX_RETRIES {
+            let id = self.inner.lock().begin();
+            let mut ctx = TxnCtx {
+                shared: self,
+                id,
+                qp,
+            };
+            match body(&mut ctx) {
+                Ok(value) => {
+                    self.inner.lock().commit(id)?;
+                    return Ok(value);
+                }
+                Err(WalError::LockConflict { .. }) => {
+                    self.inner.lock().abort(id)?;
+                    std::thread::yield_now();
+                }
+                Err(other) => {
+                    self.inner.lock().abort(id)?;
+                    return Err(other);
+                }
+            }
+        }
+        Err(WalError::Storage(rmdb_storage::StorageError::Protocol(
+            "transaction starved: retry limit exceeded",
+        )))
+    }
+}
+
+impl TxnCtx<'_> {
+    /// Read bytes under this transaction.
+    pub fn read(&mut self, page: u64, offset: usize, len: usize) -> Result<Vec<u8>, WalError> {
+        self.shared
+            .inner
+            .lock()
+            .read(self.id, page, offset, len)
+    }
+
+    /// Write bytes under this transaction (fragments attributed to this
+    /// context's query processor).
+    pub fn write(&mut self, page: u64, offset: usize, data: &[u8]) -> Result<(), WalError> {
+        self.shared
+            .inner
+            .lock()
+            .write_via(self.qp, self.id, page, offset, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::SelectionPolicy;
+
+    fn cfg() -> WalConfig {
+        WalConfig {
+            data_pages: 16,
+            pool_frames: 4,
+            log_streams: 3,
+            policy: SelectionPolicy::QpMod,
+            log_frames: 1 << 14,
+            ..WalConfig::default()
+        }
+    }
+
+    fn read_u64(db: &SharedWal, page: u64, offset: usize) -> u64 {
+        db.run_txn(0, |t| {
+            let b = t.read(page, offset, 8)?;
+            Ok(u64::from_le_bytes(b.try_into().unwrap()))
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn concurrent_increments_serialize() {
+        let db = SharedWal::new(cfg());
+        const THREADS: usize = 8;
+        const INCRS: u64 = 50;
+        crossbeam::thread::scope(|s| {
+            for qp in 0..THREADS {
+                let db = db.clone();
+                s.spawn(move |_| {
+                    for _ in 0..INCRS {
+                        db.run_txn(qp, |t| {
+                            let b = t.read(0, 0, 8)?;
+                            let v = u64::from_le_bytes(b.try_into().unwrap());
+                            t.write(0, 0, &(v + 1).to_le_bytes())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(read_u64(&db, 0, 0), THREADS as u64 * INCRS);
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_money() {
+        let db = SharedWal::new(cfg());
+        const ACCOUNTS: u64 = 8;
+        db.run_txn(0, |t| {
+            for a in 0..ACCOUNTS {
+                t.write(a, 0, &100u64.to_le_bytes())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+
+        crossbeam::thread::scope(|s| {
+            for qp in 0..4usize {
+                let db = db.clone();
+                s.spawn(move |_| {
+                    for i in 0..60u64 {
+                        let from = (qp as u64 + i) % ACCOUNTS;
+                        let to = (qp as u64 + i * 3 + 1) % ACCOUNTS;
+                        if from == to {
+                            continue;
+                        }
+                        db.run_txn(qp, |t| {
+                            let f =
+                                u64::from_le_bytes(t.read(from, 0, 8)?.try_into().unwrap());
+                            if f < 5 {
+                                return Ok(()); // declined
+                            }
+                            let g = u64::from_le_bytes(t.read(to, 0, 8)?.try_into().unwrap());
+                            t.write(from, 0, &(f - 5).to_le_bytes())?;
+                            t.write(to, 0, &(g + 5).to_le_bytes())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+
+        let total: u64 = (0..ACCOUNTS).map(|a| read_u64(&db, a, 0)).sum();
+        assert_eq!(total, ACCOUNTS * 100, "money conserved under concurrency");
+    }
+
+    #[test]
+    fn crash_image_under_concurrency_recovers_consistently() {
+        let db = SharedWal::new(cfg());
+        db.run_txn(0, |t| {
+            for a in 0..8u64 {
+                t.write(a, 0, &100u64.to_le_bytes())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+
+        // threads transfer while the main thread grabs crash images
+        let images: Vec<CrashImage> = crossbeam::thread::scope(|s| {
+            for qp in 0..3usize {
+                let db = db.clone();
+                s.spawn(move |_| {
+                    for i in 0..40u64 {
+                        let from = (qp as u64 + i) % 8;
+                        let to = (qp as u64 * 3 + i + 1) % 8;
+                        if from == to {
+                            continue;
+                        }
+                        let _ = db.run_txn(qp, |t| {
+                            let f =
+                                u64::from_le_bytes(t.read(from, 0, 8)?.try_into().unwrap());
+                            if f < 1 {
+                                return Ok(());
+                            }
+                            let g = u64::from_le_bytes(t.read(to, 0, 8)?.try_into().unwrap());
+                            t.write(from, 0, &(f - 1).to_le_bytes())?;
+                            t.write(to, 0, &(g + 1).to_le_bytes())
+                        });
+                    }
+                });
+            }
+            (0..5).map(|_| db.crash_image()).collect()
+        })
+        .unwrap();
+
+        for (i, image) in images.into_iter().enumerate() {
+            let (recovered, _) = WalDb::recover(image, cfg()).unwrap();
+            let shared = SharedWal::from_db(recovered);
+            let total: u64 = (0..8u64).map(|a| read_u64(&shared, a, 0)).sum();
+            assert_eq!(total, 800, "image {i}: conservation after recovery");
+        }
+    }
+
+    #[test]
+    fn fragments_attributed_to_distinct_qps_spread_streams() {
+        let db = SharedWal::new(cfg()); // QpMod policy, 3 streams
+        crossbeam::thread::scope(|s| {
+            for qp in 0..6usize {
+                let db = db.clone();
+                s.spawn(move |_| {
+                    db.run_txn(qp, |t| t.write(qp as u64, 0, b"spread")).unwrap();
+                });
+            }
+        })
+        .unwrap();
+        let per_stream = db.with(|db| db.log().fragments_per_stream().to_vec());
+        assert!(
+            per_stream.iter().all(|&n| n > 0),
+            "QpMod over 6 QPs must hit all 3 streams: {per_stream:?}"
+        );
+    }
+
+    #[test]
+    fn starvation_reports_instead_of_hanging() {
+        // a body that always conflicts with itself cannot happen through
+        // the public API; simulate the retry exhaustion path by holding a
+        // lock from a never-finished raw transaction
+        let db = SharedWal::new(cfg());
+        let holder = db.with(|db| {
+            let t = db.begin();
+            db.write(t, 0, 0, b"held").unwrap();
+            t
+        });
+        let result = db.run_txn(1, |t| t.write(0, 0, b"blocked"));
+        assert!(result.is_err(), "must not hang forever");
+        db.with(|db| db.abort(holder)).unwrap();
+        // and now it goes through
+        db.run_txn(1, |t| t.write(0, 0, b"granted")).unwrap();
+    }
+}

@@ -1,0 +1,1018 @@
+//! [`WalDb`]: the functional database engine running the parallel-logging
+//! recovery architecture.
+//!
+//! The engine plays all the roles of the paper's machine at once: query
+//! processors create log fragments on every page update
+//! ([`WalDb::write_via`] takes the QP number so the selection policies are
+//! exercised faithfully); the back-end controller's page table is the
+//! `page_last_log` map, used to enforce the **write-ahead rule** when the
+//! buffer pool evicts a dirty page; and commit forces every stream holding
+//! the transaction's fragments before appending the commit record to the
+//! transaction's *home* stream — the invariant that makes distributed-log
+//! recovery sound.
+//!
+//! Buffer management is STEAL/NO-FORCE (the general case): dirty pages may
+//! reach the data disk before commit, and need not reach it at commit.
+
+use crate::lock::{LockMode, LockTable};
+use crate::manager::{LogPos, ParallelLogManager};
+use crate::record::LogRecord;
+use crate::recovery;
+use crate::select::SelectionPolicy;
+use rmdb_storage::{
+    BufferPool, EvictPolicy, Lsn, MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE,
+};
+use std::collections::{BTreeSet, HashMap};
+
+/// Transaction identifier handed out by [`WalDb::begin`].
+pub type TxnId = u64;
+
+/// Logical (byte-range delta) or physical (full before/after page image)
+/// log fragments — the distinction behind Table 1 vs Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogMode {
+    /// Fragments carry only the changed byte range.
+    Logical,
+    /// Fragments carry the full before and after page images (two log
+    /// pages of data per update, as in the paper's Table 3 experiment).
+    Physical,
+}
+
+/// Configuration for a [`WalDb`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Pages on the data disk.
+    pub data_pages: u64,
+    /// Buffer-pool frames.
+    pub pool_frames: usize,
+    /// Number of log processors (N ≥ 1).
+    pub log_streams: usize,
+    /// Frames per log disk.
+    pub log_frames: u64,
+    /// Fragment routing policy.
+    pub policy: SelectionPolicy,
+    /// Logical or physical fragments.
+    pub log_mode: LogMode,
+    /// Buffer replacement policy.
+    pub evict: EvictPolicy,
+    /// Seed for the random selection policy.
+    pub seed: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            data_pages: 256,
+            pool_frames: 32,
+            log_streams: 2,
+            log_frames: 4096,
+            policy: SelectionPolicy::Cyclic,
+            log_mode: LogMode::Logical,
+            evict: EvictPolicy::Lru,
+            seed: 0xDB,
+        }
+    }
+}
+
+/// Errors from engine operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// Underlying storage failed.
+    Storage(StorageError),
+    /// Page-level lock conflict (the caller may retry after the holder
+    /// finishes).
+    LockConflict {
+        /// Contested page.
+        page: PageId,
+        /// Conflicting holder.
+        holder: TxnId,
+    },
+    /// Operation named a transaction that is not active.
+    UnknownTxn(TxnId),
+    /// Page number or byte range outside the database.
+    OutOfBounds {
+        /// Offending page.
+        page: u64,
+        /// Byte offset.
+        offset: usize,
+        /// Length.
+        len: usize,
+    },
+}
+
+impl From<StorageError> for WalError {
+    fn from(e: StorageError) -> Self {
+        WalError::Storage(e)
+    }
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Storage(e) => write!(f, "storage: {e}"),
+            WalError::LockConflict { page, holder } => {
+                write!(f, "lock conflict on {page} held by txn {holder}")
+            }
+            WalError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            WalError::OutOfBounds { page, offset, len } => {
+                write!(f, "out of bounds: page {page} offset {offset} len {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// Everything that survives a crash: the data disk and the log disks.
+#[derive(Debug)]
+pub struct CrashImage {
+    /// Durable data disk contents.
+    pub data: MemDisk,
+    /// Durable log disk contents, one per stream.
+    pub logs: Vec<MemDisk>,
+}
+
+/// A point inside a transaction that [`WalDb::rollback_to`] can return to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Savepoint {
+    txn: TxnId,
+    undo_len: usize,
+}
+
+#[derive(Debug)]
+struct UndoEntry {
+    page: PageId,
+    offset: u32,
+    before: Vec<u8>,
+    new_lsn: Lsn,
+}
+
+#[derive(Debug)]
+struct TxnState {
+    home: usize,
+    streams: BTreeSet<usize>,
+    undo: Vec<UndoEntry>,
+}
+
+/// The parallel-logging database engine.
+pub struct WalDb {
+    cfg: WalConfig,
+    data: MemDisk,
+    pool: BufferPool,
+    log: ParallelLogManager,
+    locks: LockTable,
+    active: HashMap<TxnId, TxnState>,
+    /// The back-end controller's page table: last fragment logged for each
+    /// dirty page, consulted before any data-page write (WAL rule).
+    page_last_log: HashMap<PageId, LogPos>,
+    next_txn: TxnId,
+    next_lsn: u64,
+    committed: u64,
+    aborted: u64,
+    wal_forces: u64,
+}
+
+impl WalDb {
+    /// A fresh, empty database.
+    pub fn new(cfg: WalConfig) -> Self {
+        let log = ParallelLogManager::new(cfg.log_streams, cfg.log_frames, cfg.policy, cfg.seed);
+        let data = MemDisk::new(cfg.data_pages);
+        WalDb::assemble(cfg, log, data)
+    }
+
+    fn assemble(cfg: WalConfig, log: ParallelLogManager, data: MemDisk) -> Self {
+        let pool = BufferPool::new(cfg.pool_frames, cfg.evict);
+        WalDb {
+            data,
+            pool,
+            log,
+            locks: LockTable::new(),
+            active: HashMap::new(),
+            page_last_log: HashMap::new(),
+            next_txn: 1,
+            next_lsn: 1,
+            committed: 0,
+            aborted: 0,
+            wal_forces: 0,
+            cfg,
+        }
+    }
+
+    /// Construct from recovered parts (used by [`WalDb::recover`]).
+    pub(crate) fn from_parts(
+        cfg: WalConfig,
+        data: MemDisk,
+        log: ParallelLogManager,
+        next_txn: TxnId,
+        next_lsn: u64,
+    ) -> Self {
+        let mut db = WalDb::assemble(cfg, log, data);
+        db.next_txn = next_txn;
+        db.next_lsn = next_lsn;
+        db
+    }
+
+    /// Recover a database from a crash image: scans all log streams (never
+    /// merging them into one physical log), redoes history, undoes losers.
+    pub fn recover(
+        image: CrashImage,
+        cfg: WalConfig,
+    ) -> Result<(WalDb, recovery::RecoveryReport), WalError> {
+        recovery::recover(image, cfg)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &WalConfig {
+        &self.cfg
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&mut self) -> TxnId {
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        let home = self.log.pick_home(0, txn);
+        self.active.insert(
+            txn,
+            TxnState {
+                home,
+                streams: BTreeSet::new(),
+                undo: Vec::new(),
+            },
+        );
+        txn
+    }
+
+    /// Transactions currently active.
+    pub fn active_txns(&self) -> Vec<TxnId> {
+        let mut v: Vec<TxnId> = self.active.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Committed-transaction count.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Aborted-transaction count.
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+
+    /// Times the WAL rule forced a log stream to release a dirty page.
+    pub fn wal_forces(&self) -> u64 {
+        self.wal_forces
+    }
+
+    /// The log manager (observability for tests/benches).
+    pub fn log(&self) -> &ParallelLogManager {
+        &self.log
+    }
+
+    /// The buffer pool (observability for tests/benches).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    fn check_bounds(&self, page: u64, offset: usize, len: usize) -> Result<(), WalError> {
+        if page >= self.cfg.data_pages || offset + len > PAYLOAD_SIZE {
+            Err(WalError::OutOfBounds { page, offset, len })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Ensure `page` is resident; applies the WAL rule to any evicted
+    /// dirty page.
+    fn fetch(&mut self, id: PageId) -> Result<(), WalError> {
+        if self.pool.contains(id) {
+            return Ok(());
+        }
+        let page = if self.data.is_allocated(id.0) {
+            self.data.read_page(id.0)?
+        } else {
+            Page::new(id)
+        };
+        if let Some(evicted) = self.pool.insert(id, page, false)? {
+            if evicted.dirty {
+                self.flush_page(&evicted.page)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write one dirty page to the data disk, forcing its log fragment
+    /// first if needed — the paper's WAL protocol.
+    fn flush_page(&mut self, page: &Page) -> Result<(), WalError> {
+        if let Some(&pos) = self.page_last_log.get(&page.id) {
+            if !self.log.is_durable(pos) {
+                self.log.force(pos.stream)?;
+                self.wal_forces += 1;
+            }
+        }
+        self.data.write_page(page.id.0, page)?;
+        Ok(())
+    }
+
+    /// Read `len` bytes at `offset` of `page` under a shared lock.
+    pub fn read(
+        &mut self,
+        txn: TxnId,
+        page: u64,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, WalError> {
+        self.check_bounds(page, offset, len)?;
+        if !self.active.contains_key(&txn) {
+            return Err(WalError::UnknownTxn(txn));
+        }
+        let id = PageId(page);
+        self.locks
+            .acquire(txn, id, LockMode::Shared)
+            .map_err(|c| WalError::LockConflict {
+                page: c.page,
+                holder: c.holder,
+            })?;
+        self.fetch(id)?;
+        let p = self.pool.get(id).expect("fetched page resident");
+        Ok(p.read_at(offset, len).to_vec())
+    }
+
+    /// Write `data` at `offset` of `page`, logging a fragment routed by
+    /// the selection policy on behalf of query processor `qp`.
+    pub fn write_via(
+        &mut self,
+        qp: usize,
+        txn: TxnId,
+        page: u64,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), WalError> {
+        self.check_bounds(page, offset, data.len())?;
+        if !self.active.contains_key(&txn) {
+            return Err(WalError::UnknownTxn(txn));
+        }
+        let id = PageId(page);
+        self.locks
+            .acquire(txn, id, LockMode::Exclusive)
+            .map_err(|c| WalError::LockConflict {
+                page: c.page,
+                holder: c.holder,
+            })?;
+        self.fetch(id)?;
+
+        let new_lsn = Lsn(self.next_lsn);
+        self.next_lsn += 1;
+
+        // Build the fragment from the page's pre-image.
+        let (rec, undo_entry) = {
+            let p = self.pool.get(id).expect("fetched page resident");
+            let prev_lsn = p.lsn;
+            match self.cfg.log_mode {
+                LogMode::Logical => {
+                    let before = p.read_at(offset, data.len()).to_vec();
+                    (
+                        LogRecord::Update {
+                            txn,
+                            page: id,
+                            prev_lsn,
+                            new_lsn,
+                            offset: offset as u32,
+                            before: before.clone(),
+                            after: data.to_vec(),
+                        },
+                        UndoEntry {
+                            page: id,
+                            offset: offset as u32,
+                            before,
+                            new_lsn,
+                        },
+                    )
+                }
+                LogMode::Physical => {
+                    let before = p.payload().to_vec();
+                    let mut after = before.clone();
+                    after[offset..offset + data.len()].copy_from_slice(data);
+                    (
+                        LogRecord::Update {
+                            txn,
+                            page: id,
+                            prev_lsn,
+                            new_lsn,
+                            offset: 0,
+                            before: before.clone(),
+                            after,
+                        },
+                        UndoEntry {
+                            page: id,
+                            offset: 0,
+                            before,
+                            new_lsn,
+                        },
+                    )
+                }
+            }
+        };
+
+        let pos = self.log.append_routed(qp, txn, &rec)?;
+        let state = self.active.get_mut(&txn).expect("txn checked active");
+        state.streams.insert(pos.stream);
+        state.undo.push(undo_entry);
+        self.page_last_log.insert(id, pos);
+
+        let p = self.pool.get_mut(id).expect("fetched page resident");
+        p.write_at(offset, data);
+        p.lsn = new_lsn;
+        Ok(())
+    }
+
+    /// [`WalDb::write_via`] from query processor 0.
+    pub fn write(&mut self, txn: TxnId, page: u64, offset: usize, data: &[u8]) -> Result<(), WalError> {
+        self.write_via(0, txn, page, offset, data)
+    }
+
+    /// Commit: force every stream holding the transaction's fragments,
+    /// then append + force the commit record on its home stream, then
+    /// release locks. Dirty pages stay in the pool (NO-FORCE).
+    pub fn commit(&mut self, txn: TxnId) -> Result<(), WalError> {
+        let state = self.active.remove(&txn).ok_or(WalError::UnknownTxn(txn))?;
+        for &s in &state.streams {
+            self.log.force(s)?;
+        }
+        self.log.append_to(state.home, &LogRecord::Commit { txn })?;
+        self.log.force(state.home)?;
+        self.locks.release_all(txn);
+        self.committed += 1;
+        Ok(())
+    }
+
+    /// Group commit: commit several transactions with one force per
+    /// involved log stream instead of one per transaction — the
+    /// stream-level analogue of the log processor's page assembly.
+    ///
+    /// All-or-nothing per transaction (not across the group): each listed
+    /// transaction must be active; the group shares the force work.
+    pub fn commit_group(&mut self, txns: &[TxnId]) -> Result<(), WalError> {
+        // validate first so a bad id does not half-commit the group
+        for txn in txns {
+            if !self.active.contains_key(txn) {
+                return Err(WalError::UnknownTxn(*txn));
+            }
+        }
+        let mut states = Vec::with_capacity(txns.len());
+        for txn in txns {
+            states.push((*txn, self.active.remove(txn).expect("validated")));
+        }
+        // one force per distinct fragment stream across the whole group
+        let mut streams: BTreeSet<usize> = BTreeSet::new();
+        for (_, state) in &states {
+            streams.extend(state.streams.iter().copied());
+        }
+        for s in streams {
+            self.log.force(s)?;
+        }
+        // append all commit records, then force each home stream once
+        let mut homes: BTreeSet<usize> = BTreeSet::new();
+        for (txn, state) in &states {
+            self.log.append_to(state.home, &LogRecord::Commit { txn: *txn })?;
+            homes.insert(state.home);
+        }
+        for h in homes {
+            self.log.force(h)?;
+        }
+        for (txn, _) in &states {
+            self.locks.release_all(*txn);
+            self.committed += 1;
+        }
+        Ok(())
+    }
+
+    /// Abort: undo the transaction's updates in reverse order, logging a
+    /// compensation on the home stream for each, then append the abort
+    /// record. No force is needed — if the tail is lost, recovery simply
+    /// re-undoes the remainder.
+    pub fn abort(&mut self, txn: TxnId) -> Result<(), WalError> {
+        let state = self.active.remove(&txn).ok_or(WalError::UnknownTxn(txn))?;
+        for entry in state.undo.iter().rev() {
+            self.fetch(entry.page)?;
+            let new_lsn = Lsn(self.next_lsn);
+            self.next_lsn += 1;
+            let rec = LogRecord::Compensation {
+                txn,
+                page: entry.page,
+                undoes: entry.new_lsn,
+                new_lsn,
+                offset: entry.offset,
+                data: entry.before.clone(),
+            };
+            let pos = self.log.append_to(state.home, &rec)?;
+            self.page_last_log.insert(entry.page, pos);
+            let p = self.pool.get_mut(entry.page).expect("fetched page resident");
+            p.write_at(entry.offset as usize, &entry.before);
+            p.lsn = new_lsn;
+        }
+        self.log.append_to(state.home, &LogRecord::Abort { txn })?;
+        self.locks.release_all(txn);
+        self.aborted += 1;
+        Ok(())
+    }
+
+    /// Flush every dirty page to the data disk (honouring the WAL rule)
+    /// without writing checkpoint records or truncating the logs.
+    pub fn flush_all(&mut self) -> Result<(), WalError> {
+        for id in self.pool.dirty_ids() {
+            let page = self.pool.peek(id).expect("dirty page resident").clone();
+            self.flush_page(&page)?;
+            self.pool.mark_clean(id);
+        }
+        Ok(())
+    }
+
+    /// Fuzzy checkpoint: record the active set, flush every dirty page
+    /// (honouring the WAL rule), record the end, and — when no transaction
+    /// is active — truncate every log stream.
+    pub fn checkpoint(&mut self) -> Result<(), WalError> {
+        let active: Vec<TxnId> = self.active_txns();
+        let begin = LogRecord::CheckpointBegin {
+            active: active.clone(),
+        };
+        for s in 0..self.log.n_streams() {
+            self.log.append_to(s, &begin)?;
+        }
+        for id in self.pool.dirty_ids() {
+            let page = self.pool.peek(id).expect("dirty page resident").clone();
+            self.flush_page(&page)?;
+            self.pool.mark_clean(id);
+        }
+        for s in 0..self.log.n_streams() {
+            self.log.append_to(s, &LogRecord::CheckpointEnd)?;
+        }
+        self.log.force_all()?;
+        if active.is_empty() {
+            self.log.truncate_all()?;
+        }
+        Ok(())
+    }
+
+    /// Create a savepoint inside a transaction: a later
+    /// [`WalDb::rollback_to`] undoes everything the transaction did after
+    /// this point while keeping the transaction (and its locks) alive.
+    pub fn savepoint(&mut self, txn: TxnId) -> Result<Savepoint, WalError> {
+        let state = self.active.get(&txn).ok_or(WalError::UnknownTxn(txn))?;
+        Ok(Savepoint {
+            txn,
+            undo_len: state.undo.len(),
+        })
+    }
+
+    /// Partial rollback to `sp`: the transaction's updates after the
+    /// savepoint are undone (with compensation records, so the rollback
+    /// itself is crash-safe) and forgotten; earlier updates and all locks
+    /// survive.
+    pub fn rollback_to(&mut self, sp: Savepoint) -> Result<(), WalError> {
+        let txn = sp.txn;
+        let state = self.active.get(&txn).ok_or(WalError::UnknownTxn(txn))?;
+        if sp.undo_len > state.undo.len() {
+            return Err(WalError::Storage(StorageError::Protocol(
+                "savepoint from a different transaction incarnation",
+            )));
+        }
+        let home = state.home;
+        let to_undo: Vec<UndoEntry> = {
+            let state = self.active.get_mut(&txn).expect("checked active");
+            state.undo.split_off(sp.undo_len)
+        };
+        for entry in to_undo.iter().rev() {
+            self.fetch(entry.page)?;
+            let new_lsn = Lsn(self.next_lsn);
+            self.next_lsn += 1;
+            let rec = LogRecord::Compensation {
+                txn,
+                page: entry.page,
+                undoes: entry.new_lsn,
+                new_lsn,
+                offset: entry.offset,
+                data: entry.before.clone(),
+            };
+            let pos = self.log.append_to(home, &rec)?;
+            self.page_last_log.insert(entry.page, pos);
+            let p = self.pool.get_mut(entry.page).expect("fetched page resident");
+            p.write_at(entry.offset as usize, &entry.before);
+            p.lsn = new_lsn;
+        }
+        Ok(())
+    }
+
+    /// Take an archive copy of the database for media recovery: flushes
+    /// everything dirty (honouring the WAL rule) and snapshots the data
+    /// disk. Keep the log disks from the archive point onward — a
+    /// quiescent checkpoint truncates them, so archives should be taken
+    /// before relying on such a checkpoint.
+    pub fn archive(&mut self) -> Result<MemDisk, WalError> {
+        self.flush_all()?;
+        Ok(self.data.snapshot())
+    }
+
+    /// Media recovery: the data disk was destroyed; rebuild it from an
+    /// [`WalDb::archive`] copy plus the surviving log disks. Redo replays
+    /// everything logged since the archive (per-page LSNs skip what the
+    /// archive already contains); losers are rolled back as usual.
+    pub fn recover_from_archive(
+        archive: MemDisk,
+        logs: Vec<MemDisk>,
+        cfg: WalConfig,
+    ) -> Result<(WalDb, recovery::RecoveryReport), WalError> {
+        recovery::recover(
+            CrashImage {
+                data: archive,
+                logs,
+            },
+            cfg,
+        )
+    }
+
+    /// Capture the durable state — what a crash at this instant preserves.
+    /// Buffer-pool contents and unforced log tails are *not* included.
+    pub fn crash_image(&self) -> CrashImage {
+        CrashImage {
+            data: self.data.snapshot(),
+            logs: self.log.disk_snapshots(),
+        }
+    }
+
+    /// Flush everything and shut down cleanly (used to compare clean vs
+    /// crash restarts in tests).
+    pub fn shutdown(mut self) -> Result<CrashImage, WalError> {
+        self.checkpoint()?;
+        Ok(self.crash_image())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> WalConfig {
+        WalConfig {
+            data_pages: 16,
+            pool_frames: 4,
+            log_streams: 2,
+            ..WalConfig::default()
+        }
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut db = WalDb::new(tiny());
+        let t = db.begin();
+        db.write(t, 1, 10, b"abc").unwrap();
+        assert_eq!(db.read(t, 1, 10, 3).unwrap(), b"abc");
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn committed_data_visible_to_later_txn() {
+        let mut db = WalDb::new(tiny());
+        let t = db.begin();
+        db.write(t, 2, 0, b"persist").unwrap();
+        db.commit(t).unwrap();
+        let t2 = db.begin();
+        assert_eq!(db.read(t2, 2, 0, 7).unwrap(), b"persist");
+    }
+
+    #[test]
+    fn abort_restores_pre_image() {
+        let mut db = WalDb::new(tiny());
+        let t = db.begin();
+        db.write(t, 1, 0, b"original").unwrap();
+        db.commit(t).unwrap();
+        let t2 = db.begin();
+        db.write(t2, 1, 0, b"scribble").unwrap();
+        db.abort(t2).unwrap();
+        let t3 = db.begin();
+        assert_eq!(db.read(t3, 1, 0, 8).unwrap(), b"original");
+    }
+
+    #[test]
+    fn abort_undoes_multiple_writes_in_reverse() {
+        let mut db = WalDb::new(tiny());
+        let t = db.begin();
+        db.write(t, 1, 0, b"aa").unwrap();
+        db.write(t, 1, 0, b"bb").unwrap();
+        db.write(t, 1, 1, b"c").unwrap();
+        db.abort(t).unwrap();
+        let t2 = db.begin();
+        assert_eq!(db.read(t2, 1, 0, 2).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn lock_conflict_reported() {
+        let mut db = WalDb::new(tiny());
+        let t1 = db.begin();
+        let t2 = db.begin();
+        db.write(t1, 3, 0, b"x").unwrap();
+        let err = db.write(t2, 3, 0, b"y").unwrap_err();
+        assert_eq!(
+            err,
+            WalError::LockConflict {
+                page: PageId(3),
+                holder: t1
+            }
+        );
+        // reads conflict with the exclusive lock too
+        assert!(matches!(
+            db.read(t2, 3, 0, 1),
+            Err(WalError::LockConflict { .. })
+        ));
+        db.commit(t1).unwrap();
+        db.write(t2, 3, 0, b"y").unwrap();
+        db.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn shared_readers_coexist() {
+        let mut db = WalDb::new(tiny());
+        let t1 = db.begin();
+        let t2 = db.begin();
+        assert!(db.read(t1, 5, 0, 1).is_ok());
+        assert!(db.read(t2, 5, 0, 1).is_ok());
+        db.commit(t1).unwrap();
+        db.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut db = WalDb::new(tiny());
+        let t = db.begin();
+        assert!(matches!(
+            db.write(t, 99, 0, b"x"),
+            Err(WalError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            db.write(t, 1, PAYLOAD_SIZE - 1, b"xy"),
+            Err(WalError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_txn_rejected() {
+        let mut db = WalDb::new(tiny());
+        assert_eq!(db.write(99, 1, 0, b"x"), Err(WalError::UnknownTxn(99)));
+        assert_eq!(db.commit(99), Err(WalError::UnknownTxn(99)));
+        assert_eq!(db.abort(99), Err(WalError::UnknownTxn(99)));
+    }
+
+    #[test]
+    fn eviction_enforces_wal_rule() {
+        // Pool of 2 frames; touch 3 pages in one txn so an eviction of a
+        // dirty page happens before commit — the log must be forced first.
+        let mut db = WalDb::new(WalConfig {
+            data_pages: 16,
+            pool_frames: 2,
+            log_streams: 1,
+            ..WalConfig::default()
+        });
+        let t = db.begin();
+        db.write(t, 0, 0, b"page0").unwrap();
+        db.write(t, 1, 0, b"page1").unwrap();
+        db.write(t, 2, 0, b"page2").unwrap(); // evicts a dirty page
+        assert!(db.wal_forces() >= 1, "WAL rule must force the log");
+        // the crash image now contains an uncommitted page — recovery
+        // must undo it (covered by recovery tests)
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn commit_forces_all_fragment_streams() {
+        let mut db = WalDb::new(WalConfig {
+            data_pages: 16,
+            pool_frames: 8,
+            log_streams: 3,
+            policy: SelectionPolicy::Cyclic,
+            ..WalConfig::default()
+        });
+        let t = db.begin();
+        for page in 0..6 {
+            db.write(t, page, 0, b"spread").unwrap();
+        }
+        db.commit(t).unwrap();
+        // every stream that got fragments must be durable up to them
+        let image = db.crash_image();
+        let reopened =
+            ParallelLogManager::open(image.logs, SelectionPolicy::Cyclic, 0).unwrap();
+        let n_updates: usize = reopened
+            .scan_all()
+            .iter()
+            .flatten()
+            .filter(|r| matches!(r, LogRecord::Update { .. }))
+            .count();
+        assert_eq!(n_updates, 6, "all fragments durable after commit");
+    }
+
+    #[test]
+    fn checkpoint_truncates_when_quiescent() {
+        let mut db = WalDb::new(tiny());
+        let t = db.begin();
+        db.write(t, 1, 0, b"data").unwrap();
+        db.commit(t).unwrap();
+        db.checkpoint().unwrap();
+        let scans = db.log().scan_all();
+        assert!(
+            scans.iter().all(|s| s.is_empty()),
+            "quiescent checkpoint truncates the logs"
+        );
+        // and the data page is durable on the data disk
+        let img = db.crash_image();
+        assert_eq!(img.data.read_page(1).unwrap().read_at(0, 4), b"data");
+    }
+
+    #[test]
+    fn checkpoint_with_active_txn_keeps_log() {
+        let mut db = WalDb::new(tiny());
+        let t = db.begin();
+        db.write(t, 1, 0, b"live").unwrap();
+        db.checkpoint().unwrap();
+        let scans = db.log().scan_all();
+        let updates: usize = scans
+            .iter()
+            .flatten()
+            .filter(|r| matches!(r, LogRecord::Update { .. }))
+            .count();
+        assert_eq!(updates, 1, "undo information must be retained");
+        db.abort(t).unwrap();
+    }
+
+    #[test]
+    fn physical_mode_logs_full_images() {
+        let mut db = WalDb::new(WalConfig {
+            log_mode: LogMode::Physical,
+            ..tiny()
+        });
+        let t = db.begin();
+        db.write(t, 1, 100, b"tiny").unwrap();
+        db.commit(t).unwrap();
+        let scans = db.log().scan_all();
+        let rec = scans
+            .iter()
+            .flatten()
+            .find(|r| matches!(r, LogRecord::Update { .. }))
+            .unwrap();
+        if let LogRecord::Update { before, after, offset, .. } = rec {
+            assert_eq!(*offset, 0);
+            assert_eq!(before.len(), PAYLOAD_SIZE);
+            assert_eq!(after.len(), PAYLOAD_SIZE);
+            assert_eq!(&after[100..104], b"tiny");
+        }
+    }
+
+    #[test]
+    fn group_commit_amortizes_forces() {
+        let mk = || WalConfig {
+            data_pages: 32,
+            pool_frames: 16,
+            log_streams: 2,
+            ..WalConfig::default()
+        };
+        // individual commits
+        let mut solo = WalDb::new(mk());
+        let txns: Vec<TxnId> = (0..6)
+            .map(|i| {
+                let t = solo.begin();
+                solo.write(t, i, 0, b"solo").unwrap();
+                t
+            })
+            .collect();
+        for t in txns {
+            solo.commit(t).unwrap();
+        }
+        let solo_forces: u64 = (0..2).map(|s| solo.log().stream(s).forces()).sum();
+
+        // one group commit
+        let mut grouped = WalDb::new(mk());
+        let txns: Vec<TxnId> = (0..6)
+            .map(|i| {
+                let t = grouped.begin();
+                grouped.write(t, i, 0, b"grup").unwrap();
+                t
+            })
+            .collect();
+        grouped.commit_group(&txns).unwrap();
+        let group_forces: u64 = (0..2).map(|s| grouped.log().stream(s).forces()).sum();
+
+        assert!(
+            group_forces < solo_forces / 2,
+            "group {group_forces} vs solo {solo_forces}"
+        );
+        assert_eq!(grouped.committed(), 6);
+        // durability identical: everything survives a crash
+        let (mut rec, report) = WalDb::recover(grouped.crash_image(), mk()).unwrap();
+        assert_eq!(report.committed_txns.len(), 6);
+        let q = rec.begin();
+        for i in 0..6 {
+            assert_eq!(rec.read(q, i, 0, 4).unwrap(), b"grup");
+        }
+    }
+
+    #[test]
+    fn group_commit_rejects_unknown_txn_atomically() {
+        let mut db = WalDb::new(tiny());
+        let a = db.begin();
+        db.write(a, 1, 0, b"a").unwrap();
+        assert_eq!(db.commit_group(&[a, 999]), Err(WalError::UnknownTxn(999)));
+        // a is still active and can commit normally
+        db.commit(a).unwrap();
+    }
+
+    #[test]
+    fn savepoint_partial_rollback() {
+        let mut db = WalDb::new(tiny());
+        let t = db.begin();
+        db.write(t, 1, 0, b"keep").unwrap();
+        let sp = db.savepoint(t).unwrap();
+        db.write(t, 1, 4, b"drop").unwrap();
+        db.write(t, 2, 0, b"drop").unwrap();
+        db.rollback_to(sp).unwrap();
+        // post-savepoint writes gone, pre-savepoint ones intact, txn alive
+        assert_eq!(db.read(t, 1, 0, 8).unwrap(), b"keep\0\0\0\0");
+        assert_eq!(db.read(t, 2, 0, 4).unwrap(), vec![0; 4]);
+        db.write(t, 3, 0, b"more").unwrap();
+        db.commit(t).unwrap();
+        let q = db.begin();
+        assert_eq!(db.read(q, 1, 0, 4).unwrap(), b"keep");
+        assert_eq!(db.read(q, 3, 0, 4).unwrap(), b"more");
+    }
+
+    #[test]
+    fn savepoint_rollback_survives_crash() {
+        let mut db = WalDb::new(tiny());
+        let t = db.begin();
+        db.write(t, 1, 0, b"keep").unwrap();
+        let sp = db.savepoint(t).unwrap();
+        db.write(t, 1, 0, b"DROP").unwrap();
+        db.rollback_to(sp).unwrap();
+        db.commit(t).unwrap();
+        let (mut db2, _) = WalDb::recover(db.crash_image(), tiny()).unwrap();
+        let q = db2.begin();
+        assert_eq!(db2.read(q, 1, 0, 4).unwrap(), b"keep");
+    }
+
+    #[test]
+    fn nested_savepoints_unwind_in_order() {
+        let mut db = WalDb::new(tiny());
+        let t = db.begin();
+        db.write(t, 1, 0, b"a").unwrap();
+        let sp1 = db.savepoint(t).unwrap();
+        db.write(t, 1, 1, b"b").unwrap();
+        let sp2 = db.savepoint(t).unwrap();
+        db.write(t, 1, 2, b"c").unwrap();
+        db.rollback_to(sp2).unwrap();
+        assert_eq!(db.read(t, 1, 0, 3).unwrap(), b"ab\0");
+        db.rollback_to(sp1).unwrap();
+        assert_eq!(db.read(t, 1, 0, 3).unwrap(), b"a\0\0");
+        db.commit(t).unwrap();
+    }
+
+    #[test]
+    fn media_recovery_from_archive() {
+        let mut db = WalDb::new(tiny());
+        let t = db.begin();
+        db.write(t, 1, 0, b"pre-archive").unwrap();
+        db.commit(t).unwrap();
+        let archive = db.archive().unwrap();
+        // activity after the archive
+        let t2 = db.begin();
+        db.write(t2, 2, 0, b"post-archive").unwrap();
+        db.commit(t2).unwrap();
+        let loser = db.begin();
+        db.write(loser, 3, 0, b"in-flight").unwrap();
+        // the data disk is destroyed; only the archive and the logs survive
+        let logs = db.crash_image().logs;
+        let (mut db2, report) =
+            WalDb::recover_from_archive(archive, logs, tiny()).unwrap();
+        let q = db2.begin();
+        assert_eq!(db2.read(q, 1, 0, 11).unwrap(), b"pre-archive");
+        assert_eq!(db2.read(q, 2, 0, 12).unwrap(), b"post-archive");
+        assert_eq!(db2.read(q, 3, 0, 9).unwrap(), vec![0; 9]);
+        assert!(report.committed_txns.len() >= 2);
+    }
+
+    #[test]
+    fn savepoint_of_unknown_txn_fails() {
+        let mut db = WalDb::new(tiny());
+        assert!(db.savepoint(99).is_err());
+    }
+
+    #[test]
+    fn stats_count_outcomes() {
+        let mut db = WalDb::new(tiny());
+        let a = db.begin();
+        db.write(a, 0, 0, b"x").unwrap();
+        db.commit(a).unwrap();
+        let b = db.begin();
+        db.write(b, 1, 0, b"y").unwrap();
+        db.abort(b).unwrap();
+        assert_eq!(db.committed(), 1);
+        assert_eq!(db.aborted(), 1);
+        assert!(db.active_txns().is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Parallel write-ahead logging — the paper's winning recovery architecture,
+//! implemented functionally.
+//!
+//! The architecture (paper §3.1): when a query processor updates a page it
+//! creates a *log fragment* and ships it to one of N *log processors*, each
+//! owning a log disk. The log processor assembles fragments from many query
+//! processors into 4 KB log pages and writes them sequentially to its disk.
+//! The back-end controller tracks, per updated page, which log processor
+//! holds its fragment, and enforces the write-ahead rule: an updated data
+//! page may be written to the data disk only after its fragment is on
+//! stable storage. A transaction's fragments are scattered over several
+//! logs; recovery works **without merging the distributed logs** (companion
+//! paper \[13\]), which this crate re-derives using per-page LSNs.
+//!
+//! Layout of this crate:
+//!
+//! * [`record`] — log-record types and their wire encoding;
+//! * [`stream`] — one log stream: byte-oriented appends framed into 4 KB
+//!   checksummed log pages on a [`rmdb_storage::MemDisk`], with a durable
+//!   truncation point;
+//! * [`select`] — the four log-processor selection policies studied in
+//!   Table 3 (cyclic, random, QP mod N, Txn mod N);
+//! * [`manager`] — the bank of N streams plus routing;
+//! * [`lock`] — the page-level strict two-phase lock table the paper's
+//!   back-end controller scheduler uses;
+//! * [`db`] — [`WalDb`], the user-facing engine: begin/read/write/commit/
+//!   abort/checkpoint plus crash images;
+//! * [`recovery`] — distributed-log analysis, repeat-history redo and
+//!   compensated undo.
+//!
+//! # Example
+//!
+//! ```
+//! use rmdb_wal::{WalConfig, WalDb};
+//!
+//! let mut db = WalDb::new(WalConfig::default());
+//! let t = db.begin();
+//! db.write(t, 3, 0, b"hello").unwrap();
+//! db.commit(t).unwrap();
+//!
+//! // crash and recover: the committed write survives
+//! let image = db.crash_image();
+//! let (mut db2, report) = WalDb::recover(image, WalConfig::default()).unwrap();
+//! let t2 = db2.begin();
+//! assert_eq!(db2.read(t2, 3, 0, 5).unwrap(), b"hello");
+//! assert_eq!(report.redone_updates, 1);
+//! ```
+
+pub mod concurrent;
+pub mod db;
+pub mod lock;
+pub mod manager;
+pub mod record;
+pub mod recovery;
+pub mod scheduler;
+pub mod select;
+pub mod stream;
+
+pub use concurrent::{SharedWal, TxnCtx};
+pub use db::{CrashImage, LogMode, Savepoint, TxnId, WalConfig, WalDb, WalError};
+pub use lock::{LockMode, LockTable};
+pub use manager::ParallelLogManager;
+pub use record::LogRecord;
+pub use recovery::RecoveryReport;
+pub use scheduler::{Decision, Scheduler};
+pub use select::SelectionPolicy;
+pub use stream::LogStream;

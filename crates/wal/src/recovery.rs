@@ -1,0 +1,529 @@
+//! Crash recovery over the distributed logs — without merging them.
+//!
+//! The paper's companion work (\[13\]) shows transaction and system failures
+//! can be recovered without merging the per-log-processor logs into one
+//! physical log. The key idea reconstructed here: updates to a single page
+//! are totally ordered by the page-level locking scheduler, and every
+//! fragment carries the page LSN it produces, so redo can process each
+//! page's fragments in LSN order no matter which stream they came from —
+//! there is never a need for a global inter-stream order.
+//!
+//! The algorithm is undo/redo ("repeat history"):
+//!
+//! 1. **Analysis** — scan every stream independently; a transaction is a
+//!    *winner* iff a commit record for it is durable on any stream (the
+//!    commit protocol forced all its fragment streams first, so a durable
+//!    commit implies durable fragments).
+//! 2. **Redo** — apply every durable `Update` and `Compensation` fragment,
+//!    per page in `new_lsn` order, skipping fragments already reflected
+//!    (`page.lsn >= new_lsn`).
+//! 3. **Undo** — for each loser, apply before-images of its
+//!    not-yet-compensated updates in reverse LSN order, appending new
+//!    compensation records (so recovery itself is crash-safe and
+//!    idempotent), then an abort record.
+
+use crate::db::{CrashImage, TxnId, WalConfig, WalDb, WalError};
+use crate::manager::ParallelLogManager;
+use crate::record::LogRecord;
+use rmdb_storage::{Lsn, MemDisk, Page, PageId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// What recovery did, for observability and tests.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Streams scanned.
+    pub streams_scanned: usize,
+    /// Total durable records seen.
+    pub records_scanned: usize,
+    /// Transactions whose commit record was found.
+    pub committed_txns: Vec<TxnId>,
+    /// Transactions rolled back by recovery.
+    pub loser_txns: Vec<TxnId>,
+    /// Update/compensation fragments replayed (page image was stale).
+    pub redone_updates: u64,
+    /// Loser fragments undone.
+    pub undone_updates: u64,
+    /// Distinct pages recovery wrote back to the data disk.
+    pub pages_written: u64,
+    /// Torn data pages reconstructed from full-page (physical) log images.
+    pub torn_pages_repaired: u64,
+}
+
+struct RedoItem {
+    new_lsn: Lsn,
+    offset: u32,
+    data: Vec<u8>,
+}
+
+/// Run crash recovery; returns the reopened engine and a report.
+pub fn recover(image: CrashImage, cfg: WalConfig) -> Result<(WalDb, RecoveryReport), WalError> {
+    let CrashImage { data, logs } = image;
+    let mut data: MemDisk = data;
+    let mut log = ParallelLogManager::open(logs, cfg.policy, cfg.seed)?;
+
+    let scans = log.scan_all();
+    let mut report = RecoveryReport {
+        streams_scanned: scans.len(),
+        ..RecoveryReport::default()
+    };
+
+    // ---- Analysis ----
+    let mut committed: HashSet<TxnId> = HashSet::new();
+    let mut compensated: HashSet<u64> = HashSet::new();
+    let mut max_lsn: u64 = 0;
+    let mut max_txn: TxnId = 0;
+    // Per-page redo items; BTreeMap for deterministic page order.
+    let mut redo: BTreeMap<PageId, Vec<RedoItem>> = BTreeMap::new();
+    // Per-loser undo candidates.
+    struct UndoCand {
+        page: PageId,
+        new_lsn: Lsn,
+        offset: u32,
+        before: Vec<u8>,
+        stream: usize,
+    }
+    let mut updates_by_txn: HashMap<TxnId, Vec<UndoCand>> = HashMap::new();
+
+    for (stream_idx, records) in scans.iter().enumerate() {
+        for rec in records {
+            report.records_scanned += 1;
+            if let Some(t) = rec.txn() {
+                max_txn = max_txn.max(t);
+            }
+            match rec {
+                LogRecord::Update {
+                    txn,
+                    page,
+                    new_lsn,
+                    offset,
+                    before,
+                    after,
+                    ..
+                } => {
+                    max_lsn = max_lsn.max(new_lsn.0);
+                    redo.entry(*page).or_default().push(RedoItem {
+                        new_lsn: *new_lsn,
+                        offset: *offset,
+                        data: after.clone(),
+                    });
+                    updates_by_txn.entry(*txn).or_default().push(UndoCand {
+                        page: *page,
+                        new_lsn: *new_lsn,
+                        offset: *offset,
+                        before: before.clone(),
+                        stream: stream_idx,
+                    });
+                }
+                LogRecord::Compensation {
+                    page,
+                    undoes,
+                    new_lsn,
+                    offset,
+                    data,
+                    ..
+                } => {
+                    max_lsn = max_lsn.max(new_lsn.0);
+                    compensated.insert(undoes.0);
+                    redo.entry(*page).or_default().push(RedoItem {
+                        new_lsn: *new_lsn,
+                        offset: *offset,
+                        data: data.clone(),
+                    });
+                }
+                LogRecord::Commit { txn } => {
+                    committed.insert(*txn);
+                }
+                LogRecord::Abort { .. }
+                | LogRecord::CheckpointBegin { .. }
+                | LogRecord::CheckpointEnd => {}
+            }
+        }
+    }
+
+    report.committed_txns = committed.iter().copied().collect();
+    report.committed_txns.sort_unstable();
+
+    // ---- Redo (repeat history) ----
+    let mut pages: BTreeMap<PageId, Page> = BTreeMap::new();
+    for (page_id, mut items) in redo {
+        items.sort_by_key(|i| i.new_lsn);
+        let mut page = if data.is_allocated(page_id.0) {
+            match data.read_page(page_id.0) {
+                Ok(p) => p,
+                Err(rmdb_storage::StorageError::Corrupt { .. })
+                    if items
+                        .first()
+                        .is_some_and(|i| i.offset == 0 && i.data.len() == rmdb_storage::PAYLOAD_SIZE) =>
+                {
+                    // Torn write: under physical logging the earliest
+                    // retained fragment carries a full page image, so the
+                    // page can be rebuilt from scratch by replaying.
+                    report.torn_pages_repaired += 1;
+                    Page::new(page_id)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        } else {
+            Page::new(page_id)
+        };
+        for item in items {
+            if page.lsn < item.new_lsn {
+                page.write_at(item.offset as usize, &item.data);
+                page.lsn = item.new_lsn;
+                report.redone_updates += 1;
+            }
+        }
+        pages.insert(page_id, page);
+    }
+
+    // ---- Undo losers ----
+    let mut losers: Vec<TxnId> = updates_by_txn
+        .keys()
+        .copied()
+        .filter(|t| !committed.contains(t))
+        .collect();
+    losers.sort_unstable();
+    report.loser_txns = losers.clone();
+
+    let mut next_lsn = max_lsn + 1;
+    for &loser in &losers {
+        let mut cands = updates_by_txn.remove(&loser).expect("loser has updates");
+        cands.retain(|c| !compensated.contains(&c.new_lsn.0));
+        cands.sort_by_key(|c| std::cmp::Reverse(c.new_lsn));
+        let mut last_stream = None;
+        for cand in &cands {
+            let page = pages
+                .entry(cand.page)
+                .or_insert_with(|| Page::new(cand.page));
+            let new_lsn = Lsn(next_lsn);
+            next_lsn += 1;
+            page.write_at(cand.offset as usize, &cand.before);
+            page.lsn = new_lsn;
+            report.undone_updates += 1;
+            log.append_to(
+                cand.stream,
+                &LogRecord::Compensation {
+                    txn: loser,
+                    page: cand.page,
+                    undoes: cand.new_lsn,
+                    new_lsn,
+                    offset: cand.offset,
+                    data: cand.before.clone(),
+                },
+            )?;
+            last_stream = Some(cand.stream);
+        }
+        log.append_to(last_stream.unwrap_or(0), &LogRecord::Abort { txn: loser })?;
+    }
+
+    // ---- Make the recovered state durable: log first, then data ----
+    log.force_all()?;
+    for (id, page) in &pages {
+        data.write_page(id.0, page)?;
+        report.pages_written += 1;
+    }
+
+    let db = WalDb::from_parts(cfg, data, log, max_txn + 1, next_lsn);
+    Ok((db, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{LogMode, WalDb};
+    use crate::select::SelectionPolicy;
+
+    fn cfg(streams: usize) -> WalConfig {
+        WalConfig {
+            data_pages: 32,
+            pool_frames: 8,
+            log_streams: streams,
+            ..WalConfig::default()
+        }
+    }
+
+    fn read_committed(db: &mut WalDb, page: u64, offset: usize, len: usize) -> Vec<u8> {
+        let t = db.begin();
+        let v = db.read(t, page, offset, len).unwrap();
+        db.commit(t).unwrap();
+        v
+    }
+
+    #[test]
+    fn committed_txn_survives_crash() {
+        let mut db = WalDb::new(cfg(3));
+        let t = db.begin();
+        db.write(t, 5, 0, b"durable").unwrap();
+        db.commit(t).unwrap();
+        let (mut db2, report) = WalDb::recover(db.crash_image(), cfg(3)).unwrap();
+        assert_eq!(read_committed(&mut db2, 5, 0, 7), b"durable");
+        assert_eq!(report.committed_txns.len(), 1);
+        assert!(report.loser_txns.is_empty());
+    }
+
+    #[test]
+    fn uncommitted_txn_disappears() {
+        let mut db = WalDb::new(cfg(2));
+        let t0 = db.begin();
+        db.write(t0, 1, 0, b"base").unwrap();
+        db.commit(t0).unwrap();
+        let t = db.begin();
+        db.write(t, 1, 0, b"junk").unwrap();
+        // force the log so the loser's fragments are durable — recovery
+        // must still roll them back
+        let _ = t;
+        let (mut db2, report) = WalDb::recover(db.crash_image(), cfg(2)).unwrap();
+        assert_eq!(read_committed(&mut db2, 1, 0, 4), b"base");
+        assert!(report.committed_txns.contains(&t0));
+    }
+
+    #[test]
+    fn stolen_dirty_page_of_loser_is_undone() {
+        // Tiny pool forces the loser's dirty page onto the data disk
+        // (STEAL) before the crash; recovery must restore the base value.
+        let mut db = WalDb::new(WalConfig {
+            data_pages: 32,
+            pool_frames: 2,
+            log_streams: 2,
+            ..WalConfig::default()
+        });
+        let setup = db.begin();
+        db.write(setup, 0, 0, b"base0").unwrap();
+        db.commit(setup).unwrap();
+        db.checkpoint().unwrap();
+
+        let loser = db.begin();
+        db.write(loser, 0, 0, b"evil0").unwrap();
+        db.write(loser, 1, 0, b"evil1").unwrap();
+        db.write(loser, 2, 0, b"evil2").unwrap(); // evictions happen here
+        let image = db.crash_image();
+        // prove the steal actually happened: some "evil" page is on disk
+        let stolen = (0..3).any(|p| {
+            image
+                .data
+                .read_page(p)
+                .map(|pg| pg.read_at(0, 4) == b"evil")
+                .unwrap_or(false)
+        });
+        assert!(stolen, "test setup: a dirty loser page must reach disk");
+
+        let (mut db2, report) = WalDb::recover(image, cfg(2)).unwrap();
+        assert_eq!(read_committed(&mut db2, 0, 0, 5), b"base0");
+        assert_eq!(read_committed(&mut db2, 1, 0, 5), vec![0u8; 5]);
+        assert_eq!(report.loser_txns, vec![loser]);
+        assert!(report.undone_updates >= 1);
+    }
+
+    #[test]
+    fn fragments_scattered_across_streams_recover_without_merging() {
+        let mut db = WalDb::new(WalConfig {
+            data_pages: 32,
+            pool_frames: 16,
+            log_streams: 4,
+            policy: SelectionPolicy::Cyclic,
+            ..WalConfig::default()
+        });
+        let t = db.begin();
+        for page in 0..8 {
+            db.write_via(page as usize, t, page, 0, format!("pg{page:02}").as_bytes())
+                .unwrap();
+        }
+        db.commit(t).unwrap();
+        let (mut db2, report) = WalDb::recover(db.crash_image(), cfg(4)).unwrap();
+        for page in 0..8 {
+            assert_eq!(
+                read_committed(&mut db2, page, 0, 4),
+                format!("pg{page:02}").into_bytes()
+            );
+        }
+        assert_eq!(report.streams_scanned, 4);
+        assert_eq!(report.redone_updates, 8);
+    }
+
+    #[test]
+    fn multiple_updates_same_page_redo_in_lsn_order() {
+        let mut db = WalDb::new(cfg(3));
+        let t = db.begin();
+        db.write(t, 7, 0, b"v1").unwrap();
+        db.write(t, 7, 0, b"v2").unwrap();
+        db.write(t, 7, 1, b"X").unwrap(); // final: "vX"
+        db.commit(t).unwrap();
+        let (mut db2, _) = WalDb::recover(db.crash_image(), cfg(3)).unwrap();
+        assert_eq!(read_committed(&mut db2, 7, 0, 2), b"vX");
+    }
+
+    #[test]
+    fn aborted_txn_stays_aborted_after_crash() {
+        let mut db = WalDb::new(cfg(2));
+        let t0 = db.begin();
+        db.write(t0, 3, 0, b"keep").unwrap();
+        db.commit(t0).unwrap();
+        let t = db.begin();
+        db.write(t, 3, 0, b"drop").unwrap();
+        db.abort(t).unwrap();
+        let (mut db2, _) = WalDb::recover(db.crash_image(), cfg(2)).unwrap();
+        assert_eq!(read_committed(&mut db2, 3, 0, 4), b"keep");
+    }
+
+    #[test]
+    fn winner_and_loser_interleaved_on_different_pages() {
+        let mut db = WalDb::new(cfg(3));
+        let w = db.begin();
+        let l = db.begin();
+        db.write(w, 1, 0, b"winner").unwrap();
+        db.write(l, 2, 0, b"loser!").unwrap();
+        db.write(w, 3, 0, b"also-w").unwrap();
+        db.commit(w).unwrap();
+        // l never commits
+        let (mut db2, report) = WalDb::recover(db.crash_image(), cfg(3)).unwrap();
+        assert_eq!(read_committed(&mut db2, 1, 0, 6), b"winner");
+        assert_eq!(read_committed(&mut db2, 2, 0, 6), vec![0u8; 6]);
+        assert_eq!(read_committed(&mut db2, 3, 0, 6), b"also-w");
+        assert_eq!(report.loser_txns, vec![l]);
+    }
+
+    #[test]
+    fn sequential_winners_on_same_page() {
+        let mut db = WalDb::new(cfg(2));
+        for i in 0..5u8 {
+            let t = db.begin();
+            db.write(t, 4, i as usize, &[b'a' + i]).unwrap();
+            db.commit(t).unwrap();
+        }
+        let (mut db2, _) = WalDb::recover(db.crash_image(), cfg(2)).unwrap();
+        assert_eq!(read_committed(&mut db2, 4, 0, 5), b"abcde");
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut db = WalDb::new(cfg(2));
+        let t0 = db.begin();
+        db.write(t0, 1, 0, b"base").unwrap();
+        db.commit(t0).unwrap();
+        let l = db.begin();
+        db.write(l, 1, 0, b"lost").unwrap();
+        // crash, recover, crash during/after recovery, recover again
+        let (db2, _) = WalDb::recover(db.crash_image(), cfg(2)).unwrap();
+        let (mut db3, report) = WalDb::recover(db2.crash_image(), cfg(2)).unwrap();
+        assert_eq!(read_committed(&mut db3, 1, 0, 4), b"base");
+        // second recovery must not undo again (compensations durable)
+        assert_eq!(report.undone_updates, 0, "idempotent undo");
+    }
+
+    #[test]
+    fn checkpoint_bounds_recovery_work() {
+        let mut db = WalDb::new(cfg(2));
+        for i in 0..10 {
+            let t = db.begin();
+            db.write(t, i, 0, b"bulk").unwrap();
+            db.commit(t).unwrap();
+        }
+        db.checkpoint().unwrap();
+        let t = db.begin();
+        db.write(t, 11, 0, b"tail").unwrap();
+        db.commit(t).unwrap();
+        let (mut db2, report) = WalDb::recover(db.crash_image(), cfg(2)).unwrap();
+        assert!(
+            report.records_scanned <= 4,
+            "checkpoint must truncate the scan, saw {}",
+            report.records_scanned
+        );
+        assert_eq!(read_committed(&mut db2, 0, 0, 4), b"bulk");
+        assert_eq!(read_committed(&mut db2, 11, 0, 4), b"tail");
+    }
+
+    #[test]
+    fn physical_logging_recovers_identically() {
+        let mk = || WalConfig {
+            log_mode: LogMode::Physical,
+            ..cfg(2)
+        };
+        let mut db = WalDb::new(mk());
+        let t = db.begin();
+        db.write(t, 1, 50, b"phys").unwrap();
+        db.commit(t).unwrap();
+        let l = db.begin();
+        db.write(l, 1, 50, b"gone").unwrap();
+        let (mut db2, _) = WalDb::recover(db.crash_image(), mk()).unwrap();
+        assert_eq!(read_committed(&mut db2, 1, 50, 4), b"phys");
+    }
+
+    #[test]
+    fn unforced_commit_tail_means_loser() {
+        // A transaction whose commit record was appended but the home
+        // stream never forced is a loser — verify via a hand-built image.
+        let mut db = WalDb::new(cfg(1));
+        let t0 = db.begin();
+        db.write(t0, 1, 0, b"base").unwrap();
+        db.commit(t0).unwrap();
+        let t = db.begin();
+        db.write(t, 1, 0, b"half").unwrap();
+        // Simulate "commit in progress": a checkpoint makes the fragment
+        // (and even the dirty page) durable, but no commit record exists
+        // ⇒ the crash image has a durable update without a commit.
+        db.checkpoint().unwrap();
+        let image = db.crash_image();
+        assert_eq!(image.data.read_page(1).unwrap().read_at(0, 4), b"half");
+        let (mut db2, report) = WalDb::recover(image, cfg(1)).unwrap();
+        assert_eq!(read_committed(&mut db2, 1, 0, 4), b"base");
+        assert!(report.loser_txns.contains(&t));
+    }
+
+    #[test]
+    fn torn_data_page_repaired_under_physical_logging() {
+        let mk = || WalConfig {
+            log_mode: LogMode::Physical,
+            log_frames: 1 << 14,
+            ..cfg(2)
+        };
+        let mut db = WalDb::new(mk());
+        let t = db.begin();
+        db.write(t, 4, 0, b"first").unwrap();
+        db.write(t, 4, 100, b"second").unwrap();
+        db.commit(t).unwrap();
+        // force the page to disk so there is something to tear
+        db.flush_all().unwrap();
+        let mut image = db.crash_image();
+        assert!(image.data.is_allocated(4));
+        // tear the data page: half the frame is stale
+        let mut fresh = image.data.read_page(4).unwrap();
+        fresh.write_at(0, b"newer");
+        fresh.write_at(3000, b"tail-change"); // beyond the cut point
+        fresh.lsn = rmdb_storage::Lsn(999);
+        image.data.write_partial(4, &fresh.to_frame(), 2000).unwrap();
+        assert!(image.data.read_page(4).is_err(), "page must be torn");
+
+        let (mut db2, report) = WalDb::recover(image, mk()).unwrap();
+        assert_eq!(report.torn_pages_repaired, 1);
+        assert_eq!(read_committed(&mut db2, 4, 0, 5), b"first");
+        assert_eq!(read_committed(&mut db2, 4, 100, 6), b"second");
+    }
+
+    #[test]
+    fn torn_data_page_is_fatal_under_logical_logging() {
+        // logical fragments cannot rebuild a page from nothing; recovery
+        // must surface the corruption instead of guessing
+        let mut db = WalDb::new(cfg(2));
+        let t = db.begin();
+        db.write(t, 4, 0, b"data").unwrap();
+        db.commit(t).unwrap();
+        db.flush_all().unwrap();
+        let mut image = db.crash_image();
+        let page = image.data.read_page(4).unwrap();
+        // make the frame actually differ across the cut so the checksum fails
+        let mut other = page.clone();
+        other.write_at(0, b"XXXX");
+        other.write_at(3000, b"YYYY");
+        image.data.write_partial(4, &other.to_frame(), 2000).unwrap();
+        assert!(image.data.read_page(4).is_err());
+        assert!(WalDb::recover(image, cfg(2)).is_err());
+    }
+
+    #[test]
+    fn empty_image_recovers_to_empty_db() {
+        let db = WalDb::new(cfg(2));
+        let (mut db2, report) = WalDb::recover(db.crash_image(), cfg(2)).unwrap();
+        assert_eq!(report.records_scanned, 0);
+        assert_eq!(read_committed(&mut db2, 0, 0, 4), vec![0u8; 4]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Log-processor selection policies (paper §3.1, evaluated in Table 3).
+//!
+//! When a query processor produces a log fragment it must pick one of the
+//! N log processors. The paper studies four policies: cyclic, random,
+//! `QpNo mod TotLp`, and `TranNo mod TotLp` — finding the first three
+//! comparable and the transaction-number policy a loser (it congests one
+//! log processor whenever few transactions run concurrently).
+
+use serde::{Deserialize, Serialize};
+
+/// How a query processor picks a log processor for each fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// Each fragment goes to the next stream in round-robin order
+    /// (a single shared cycle, the paper's "cyclic").
+    Cyclic,
+    /// Uniformly random stream per fragment.
+    Random,
+    /// Stream = query-processor number mod N: a QP always uses one stream.
+    QpMod,
+    /// Stream = transaction number mod N: a transaction always uses one
+    /// stream.
+    TxnMod,
+}
+
+impl SelectionPolicy {
+    /// All policies, in the order Table 3 reports them.
+    pub const ALL: [SelectionPolicy; 4] = [
+        SelectionPolicy::Cyclic,
+        SelectionPolicy::Random,
+        SelectionPolicy::QpMod,
+        SelectionPolicy::TxnMod,
+    ];
+
+    /// Table-3 column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SelectionPolicy::Cyclic => "cyclic",
+            SelectionPolicy::Random => "random",
+            SelectionPolicy::QpMod => "QpNo mod TotLp",
+            SelectionPolicy::TxnMod => "TranNo mod TotLp",
+        }
+    }
+}
+
+/// Stateful selector: owns the round-robin cursor and the random stream.
+#[derive(Debug, Clone)]
+pub struct Selector {
+    policy: SelectionPolicy,
+    streams: usize,
+    cursor: usize,
+    rng_state: u64,
+}
+
+impl Selector {
+    /// A selector over `streams` log processors.
+    pub fn new(policy: SelectionPolicy, streams: usize, seed: u64) -> Self {
+        assert!(streams > 0, "need at least one log processor");
+        Selector {
+            policy,
+            streams,
+            cursor: 0,
+            // xorshift state must be nonzero
+            rng_state: seed | 1,
+        }
+    }
+
+    /// Number of streams being selected over.
+    pub fn streams(&self) -> usize {
+        self.streams
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> SelectionPolicy {
+        self.policy
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64* — tiny, deterministic, plenty for load spreading
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Pick the stream for a fragment produced by query processor `qp` on
+    /// behalf of transaction `txn`.
+    pub fn pick(&mut self, qp: usize, txn: u64) -> usize {
+        match self.policy {
+            SelectionPolicy::Cyclic => {
+                let s = self.cursor;
+                self.cursor = (self.cursor + 1) % self.streams;
+                s
+            }
+            SelectionPolicy::Random => (self.next_rand() % self.streams as u64) as usize,
+            SelectionPolicy::QpMod => qp % self.streams,
+            SelectionPolicy::TxnMod => (txn % self.streams as u64) as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_visits_all_streams_evenly() {
+        let mut s = Selector::new(SelectionPolicy::Cyclic, 3, 0);
+        let picks: Vec<usize> = (0..9).map(|i| s.pick(i, 100)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn qp_mod_is_stable_per_qp() {
+        let mut s = Selector::new(SelectionPolicy::QpMod, 4, 0);
+        for qp in 0..16 {
+            assert_eq!(s.pick(qp, 1), qp % 4);
+            assert_eq!(s.pick(qp, 2), qp % 4, "txn must not matter");
+        }
+    }
+
+    #[test]
+    fn txn_mod_is_stable_per_txn() {
+        let mut s = Selector::new(SelectionPolicy::TxnMod, 5, 0);
+        for txn in 0..20u64 {
+            assert_eq!(s.pick(0, txn), (txn % 5) as usize);
+            assert_eq!(s.pick(7, txn), (txn % 5) as usize, "qp must not matter");
+        }
+    }
+
+    #[test]
+    fn txn_mod_congests_single_stream_with_one_txn() {
+        // The pathology Table 3 demonstrates: one concurrent transaction
+        // keeps all but one log processor idle.
+        let mut s = Selector::new(SelectionPolicy::TxnMod, 5, 0);
+        let picks: Vec<usize> = (0..100).map(|qp| s.pick(qp, 42)).collect();
+        assert!(picks.iter().all(|&p| p == 2));
+    }
+
+    #[test]
+    fn random_is_in_range_and_spread() {
+        let mut s = Selector::new(SelectionPolicy::Random, 4, 12345);
+        let mut counts = [0u32; 4];
+        for i in 0..4000 {
+            let p = s.pick(i, i as u64);
+            counts[p] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed random selection: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Selector::new(SelectionPolicy::Random, 7, 99);
+        let mut b = Selector::new(SelectionPolicy::Random, 7, 99);
+        for i in 0..100 {
+            assert_eq!(a.pick(i, 0), b.pick(i, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_streams_rejected() {
+        Selector::new(SelectionPolicy::Cyclic, 0, 0);
+    }
+}

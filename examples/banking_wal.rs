@@ -1,0 +1,113 @@
+//! A bank ledger on the parallel-logging engine: money conservation under
+//! transfers, aborts, and repeated crashes.
+//!
+//! ```sh
+//! cargo run --example banking_wal
+//! ```
+//!
+//! Each account's balance is a little-endian `u64` at a fixed offset of a
+//! page (16 accounts per page). The invariant — total money is constant —
+//! must hold after any crash, because transfers are transactions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recovery_machines::wal::{WalConfig, WalDb, WalError};
+
+const ACCOUNTS: u64 = 64;
+const PER_PAGE: u64 = 16;
+const INITIAL: u64 = 1_000;
+
+fn slot(account: u64) -> (u64, usize) {
+    (account / PER_PAGE, (account % PER_PAGE) as usize * 8)
+}
+
+fn balance(db: &mut WalDb, txn: u64, account: u64) -> Result<u64, WalError> {
+    let (page, offset) = slot(account);
+    let bytes = db.read(txn, page, offset, 8)?;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+fn set_balance(db: &mut WalDb, txn: u64, account: u64, value: u64) -> Result<(), WalError> {
+    let (page, offset) = slot(account);
+    db.write(txn, page, offset, &value.to_le_bytes())
+}
+
+fn transfer(db: &mut WalDb, from: u64, to: u64, amount: u64) -> Result<bool, WalError> {
+    let txn = db.begin();
+    let src = balance(db, txn, from)?;
+    if src < amount {
+        db.abort(txn)?;
+        return Ok(false);
+    }
+    let dst = balance(db, txn, to)?;
+    set_balance(db, txn, from, src - amount)?;
+    set_balance(db, txn, to, dst + amount)?;
+    db.commit(txn)?;
+    Ok(true)
+}
+
+fn audit(db: &mut WalDb) -> u64 {
+    let txn = db.begin();
+    let total = (0..ACCOUNTS)
+        .map(|a| balance(db, txn, a).expect("audit read"))
+        .sum();
+    db.abort(txn).expect("audit is read-only");
+    total
+}
+
+fn main() {
+    let config = WalConfig {
+        data_pages: ACCOUNTS / PER_PAGE,
+        pool_frames: 2, // tiny pool: plenty of dirty-page steals
+        log_streams: 3,
+        ..WalConfig::default()
+    };
+    let mut db = WalDb::new(config.clone());
+
+    // fund the accounts
+    let t = db.begin();
+    for a in 0..ACCOUNTS {
+        set_balance(&mut db, t, a, INITIAL).unwrap();
+    }
+    db.commit(t).unwrap();
+    let expected_total = ACCOUNTS * INITIAL;
+    assert_eq!(audit(&mut db), expected_total);
+
+    let mut rng = StdRng::seed_from_u64(2026);
+    let mut committed = 0u64;
+    let mut declined = 0u64;
+    let mut crashes = 0u64;
+
+    for round in 0..10 {
+        // a burst of random transfers …
+        for _ in 0..50 {
+            let from = rng.gen_range(0..ACCOUNTS);
+            let to = rng.gen_range(0..ACCOUNTS);
+            if from == to {
+                continue;
+            }
+            let amount = rng.gen_range(1..=300);
+            match transfer(&mut db, from, to, amount) {
+                Ok(true) => committed += 1,
+                Ok(false) => declined += 1,
+                Err(e) => panic!("unexpected engine error: {e}"),
+            }
+        }
+        // … then the machine crashes mid-operation
+        let victim = db.begin();
+        let _ = set_balance(&mut db, victim, round % ACCOUNTS, 0); // never commits
+        let image = db.crash_image();
+        let (recovered, report) = WalDb::recover(image, config.clone()).unwrap();
+        db = recovered;
+        crashes += 1;
+        assert_eq!(
+            audit(&mut db),
+            expected_total,
+            "money must be conserved across crash {crashes} (losers: {:?})",
+            report.loser_txns
+        );
+    }
+
+    println!("{committed} transfers committed, {declined} declined, {crashes} crashes survived");
+    println!("final audit: {} == expected {} ✓", audit(&mut db), expected_total);
+}

@@ -1,0 +1,94 @@
+//! Drive the database-machine simulator from the command line.
+//!
+//! ```sh
+//! cargo run --release --example machine_sim -- [config] [overlay]
+//! #   config:  cr | pr | cs | ps          (default: cr)
+//! #   overlay: bare | logging | shadow | scrambled | overwriting | diff
+//! ```
+//!
+//! Prints the paper's two metrics plus device utilizations for one run of
+//! the simulated multiprocessor database machine.
+
+use recovery_machines::machine::config::{
+    DiffFileConfig, LoggingConfig, MachineConfig, OverwritingConfig, RecoveryOverlay,
+    ShadowPtConfig,
+};
+use recovery_machines::machine::Machine;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("cr");
+    let overlay = args.get(2).map(String::as_str).unwrap_or("bare");
+
+    let configs = MachineConfig::paper_configurations();
+    let idx = match which {
+        "cr" => 0,
+        "pr" => 1,
+        "cs" => 2,
+        "ps" => 3,
+        other => {
+            eprintln!("unknown configuration {other:?}; use cr|pr|cs|ps");
+            std::process::exit(2);
+        }
+    };
+    let (name, mut cfg) = configs[idx].clone();
+    cfg.overlay = match overlay {
+        "bare" => RecoveryOverlay::None,
+        "logging" => RecoveryOverlay::Logging(LoggingConfig::default()),
+        "shadow" => RecoveryOverlay::ShadowPt(ShadowPtConfig::default()),
+        "scrambled" => RecoveryOverlay::ShadowPt(ShadowPtConfig {
+            clustered: false,
+            ..ShadowPtConfig::default()
+        }),
+        "overwriting" => RecoveryOverlay::Overwriting(OverwritingConfig::default()),
+        "diff" => RecoveryOverlay::DiffFile(DiffFileConfig::default()),
+        other => {
+            eprintln!("unknown overlay {other:?}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("machine: {name}  |  recovery: {overlay}");
+    println!(
+        "  {} query processors, {} cache frames, {} data disks",
+        cfg.query_processors, cfg.cache_frames, cfg.data_disks
+    );
+    let report = Machine::new(cfg).run();
+    println!("  execution time per page : {:>9.2} ms", report.exec_time_per_page_ms);
+    println!("  transaction completion  : {:>9.1} ms", report.mean_completion_ms);
+    println!("  pages processed         : {:>9}", report.pages_processed);
+    println!("  data disk accesses      : {:>9}", report.data_disk_accesses);
+    println!(
+        "  data disk utilization   : {:>9}",
+        report
+            .data_disk_util
+            .iter()
+            .map(|u| format!("{u:.2}"))
+            .collect::<Vec<_>>()
+            .join(" / ")
+    );
+    println!("  query processor util    : {:>9.2}", report.qp_util);
+    if !report.log_disk_util.is_empty() {
+        println!(
+            "  log disk utilization    : {:>9}",
+            report
+                .log_disk_util
+                .iter()
+                .map(|u| format!("{u:.3}"))
+                .collect::<Vec<_>>()
+                .join(" / ")
+        );
+        println!("  blocked updated pages   : {:>9.1}", report.mean_blocked_pages);
+    }
+    if !report.pt_disk_util.is_empty() {
+        println!(
+            "  page-table disk util    : {:>9}",
+            report
+                .pt_disk_util
+                .iter()
+                .map(|u| format!("{u:.2}"))
+                .collect::<Vec<_>>()
+                .join(" / ")
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: the parallel-logging engine in five minutes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Creates a database with two parallel log streams, commits a
+//! transaction, aborts another, crashes, recovers, and shows that exactly
+//! the committed state survived.
+
+use recovery_machines::wal::{SelectionPolicy, WalConfig, WalDb};
+
+fn main() {
+    // A small database: 64 pages, 8 buffer frames, fragments routed
+    // cyclically over two log processors — the paper's architecture.
+    let config = WalConfig {
+        data_pages: 64,
+        pool_frames: 8,
+        log_streams: 2,
+        policy: SelectionPolicy::Cyclic,
+        ..WalConfig::default()
+    };
+    let mut db = WalDb::new(config.clone());
+
+    // A committed transaction.
+    let t1 = db.begin();
+    db.write(t1, 0, 0, b"committed before the crash").unwrap();
+    db.commit(t1).unwrap();
+
+    // An aborted transaction.
+    let t2 = db.begin();
+    db.write(t2, 1, 0, b"explicitly rolled back").unwrap();
+    db.abort(t2).unwrap();
+
+    // A transaction still in flight when the lights go out.
+    let t3 = db.begin();
+    db.write(t3, 2, 0, b"in flight at crash time").unwrap();
+
+    // 💥 — capture exactly what is durable and throw the engine away.
+    let image = db.crash_image();
+    let (mut recovered, report) = WalDb::recover(image, config).unwrap();
+
+    println!("recovery scanned {} log stream(s), {} records", report.streams_scanned, report.records_scanned);
+    println!("winners: {:?}", report.committed_txns);
+    println!("losers rolled back: {:?}", report.loser_txns);
+
+    let t = recovered.begin();
+    let page0 = recovered.read(t, 0, 0, 26).unwrap();
+    let page1 = recovered.read(t, 1, 0, 22).unwrap();
+    let page2 = recovered.read(t, 2, 0, 23).unwrap();
+    println!("page 0: {:?}", String::from_utf8_lossy(&page0));
+    assert_eq!(page0, b"committed before the crash");
+    assert_eq!(page1, vec![0; 22], "aborted write left no trace");
+    assert_eq!(page2, vec![0; 23], "in-flight write rolled back");
+    println!("crash recovery upheld exactly the committed state ✓");
+}

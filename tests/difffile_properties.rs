@@ -1,0 +1,175 @@
+//! Property-based tests of the differential-file engine: arbitrary tuple
+//! operations with crashes and merges must always present exactly the
+//! committed view `R = (B ∪ A) − D`, matched against a straightforward
+//! in-memory oracle.
+
+use proptest::prelude::*;
+use recovery_machines::difffile::{DiffConfig, DiffDb, ScanStrategy, Tuple};
+use std::collections::BTreeMap;
+
+const KEYS: u64 = 12;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Txn {
+        ops: Vec<(u64, Option<u8>)>, // key → Some(insert value) | None(delete)
+        commit: bool,
+    },
+    Crash,
+    Merge,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (
+            proptest::collection::vec((0..KEYS, proptest::option::of(any::<u8>())), 1..4),
+            any::<bool>()
+        )
+            .prop_map(|(ops, commit)| Op::Txn { ops, commit }),
+        2 => Just(Op::Crash),
+        1 => Just(Op::Merge),
+    ]
+}
+
+fn cfg() -> DiffConfig {
+    DiffConfig {
+        base_capacity: 32,
+        a_capacity: 64,
+        d_capacity: 64,
+        commit_frames: 8,
+    }
+}
+
+fn verify(db: &mut DiffDb, oracle: &BTreeMap<u64, Vec<u8>>) {
+    let t = db.begin();
+    let got = db.query(t, |_| true, ScanStrategy::Optimal).unwrap();
+    let got_map: BTreeMap<u64, Vec<u8>> = got.into_iter().map(|t| (t.key, t.value)).collect();
+    assert_eq!(&got_map, oracle);
+    // spot-check point lookups agree with the scan
+    for key in 0..KEYS {
+        assert_eq!(
+            db.get(t, key).unwrap(),
+            oracle.get(&key).cloned(),
+            "get({key})"
+        );
+    }
+    db.abort(t).unwrap();
+}
+
+fn run_script(ops_list: Vec<Op>) {
+    let base: Vec<Tuple> = (0..KEYS / 2)
+        .map(|k| Tuple {
+            key: k,
+            value: vec![0xBB; 8],
+        })
+        .collect();
+    let mut oracle: BTreeMap<u64, Vec<u8>> = base
+        .iter()
+        .map(|t| (t.key, t.value.clone()))
+        .collect();
+    let mut db = DiffDb::with_base(cfg(), base).unwrap();
+
+    for op in ops_list {
+        match op {
+            Op::Txn { ops, commit } => {
+                let t = db.begin();
+                let mut staged: Vec<(u64, Option<Vec<u8>>)> = Vec::new();
+                let mut ok = true;
+                for (key, action) in ops {
+                    if staged.iter().any(|(k, _)| *k == key) {
+                        continue;
+                    }
+                    let result = match action {
+                        Some(v) => db
+                            .update(t, key, &[v; 4])
+                            .map(|()| staged.push((key, Some(vec![v; 4])))),
+                        None => db.delete(t, key).map(|()| staged.push((key, None))),
+                    };
+                    if result.is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok && commit {
+                    match db.commit(t) {
+                        Ok(()) => {
+                            for (key, val) in staged {
+                                match val {
+                                    Some(v) => {
+                                        oracle.insert(key, v);
+                                    }
+                                    None => {
+                                        oracle.remove(&key);
+                                    }
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            // out of differential space: merge and move on
+                            let _ = db.merge();
+                        }
+                    }
+                } else {
+                    db.abort(t).unwrap();
+                }
+            }
+            Op::Crash => {
+                db = DiffDb::recover(db.crash_image(), cfg()).unwrap();
+            }
+            Op::Merge => {
+                db.merge().unwrap();
+            }
+        }
+        verify(&mut db, &oracle);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_script_presents_committed_view(
+        ops in proptest::collection::vec(op_strategy(), 1..16)
+    ) {
+        run_script(ops);
+    }
+
+    #[test]
+    fn serial_and_parallel_queries_always_agree(
+        updates in proptest::collection::vec((0..KEYS, any::<u8>()), 1..10),
+        workers in 1usize..5,
+    ) {
+        let base: Vec<Tuple> = (0..KEYS).map(|k| Tuple { key: k, value: vec![1; 4] }).collect();
+        let mut db = DiffDb::with_base(cfg(), base).unwrap();
+        let t = db.begin();
+        for (key, v) in updates {
+            let _ = db.update(t, key, &[v; 4]);
+        }
+        db.commit(t).unwrap();
+        let q = db.begin();
+        let serial = db.query(q, |t| t.key % 2 == 0, ScanStrategy::Optimal).unwrap();
+        let parallel = db
+            .query_parallel(q, |t| t.key % 2 == 0, ScanStrategy::Optimal, workers)
+            .unwrap();
+        db.abort(q).unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn basic_and_optimal_return_identical_results(
+        dels in proptest::collection::vec(0..KEYS, 0..6),
+    ) {
+        let base: Vec<Tuple> = (0..KEYS).map(|k| Tuple { key: k, value: vec![2; 4] }).collect();
+        let mut db = DiffDb::with_base(cfg(), base).unwrap();
+        let t = db.begin();
+        for key in dels {
+            let _ = db.delete(t, key);
+        }
+        db.commit(t).unwrap();
+        let q = db.begin();
+        let basic = db.query(q, |_| true, ScanStrategy::Basic).unwrap();
+        let optimal = db.query(q, |_| true, ScanStrategy::Optimal).unwrap();
+        db.abort(q).unwrap();
+        prop_assert_eq!(basic, optimal, "strategy must never change results");
+    }
+}

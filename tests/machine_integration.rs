@@ -1,0 +1,187 @@
+//! Integration tests of the database-machine simulator: determinism,
+//! conservation laws, and the paper's qualitative orderings across seeds.
+
+use recovery_machines::machine::config::{
+    AccessPattern, DiffFileConfig, LoggingConfig, MachineConfig, OverwritingConfig,
+    RecoveryOverlay, ShadowPtConfig,
+};
+use recovery_machines::machine::Machine;
+use rmdb_disk::DiskMode;
+
+fn base(seed: u64) -> MachineConfig {
+    MachineConfig {
+        num_txns: 15,
+        seed,
+        ..MachineConfig::default()
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    for overlay in [
+        RecoveryOverlay::None,
+        RecoveryOverlay::Logging(LoggingConfig::default()),
+        RecoveryOverlay::ShadowPt(ShadowPtConfig::default()),
+        RecoveryOverlay::Overwriting(OverwritingConfig::default()),
+        RecoveryOverlay::DiffFile(DiffFileConfig::default()),
+    ] {
+        let mk = || {
+            let mut c = base(7);
+            c.overlay = overlay.clone();
+            Machine::new(c).run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.total_time_ms, b.total_time_ms);
+        assert_eq!(a.pages_processed, b.pages_processed);
+        assert_eq!(a.data_disk_accesses, b.data_disk_accesses);
+    }
+}
+
+#[test]
+fn every_overlay_drains_every_configuration() {
+    for seed in [1u64, 2] {
+        for (name, cfg) in MachineConfig::paper_configurations() {
+            for overlay in [
+                RecoveryOverlay::None,
+                RecoveryOverlay::Logging(LoggingConfig::default()),
+                RecoveryOverlay::ShadowPt(ShadowPtConfig::default()),
+                RecoveryOverlay::Overwriting(OverwritingConfig::default()),
+                RecoveryOverlay::DiffFile(DiffFileConfig::default()),
+            ] {
+                let mut c = cfg.clone();
+                c.num_txns = 8;
+                c.seed = seed;
+                c.overlay = overlay;
+                let r = Machine::new(c).run();
+                assert_eq!(r.txns_completed, 8, "{name} seed {seed}");
+                assert!(r.exec_time_per_page_ms > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn pages_processed_matches_workload() {
+    // the machine must process exactly the pages the workload reads
+    let cfg = base(11);
+    let r = Machine::new(cfg.clone()).run();
+    let mut rng = rmdb_sim::SimRng::seed_from_u64(cfg.seed);
+    let specs = recovery_machines::machine::workload::generate(&cfg, &mut rng);
+    let expected: usize = specs.iter().map(|s| s.n_pages()).sum();
+    assert_eq!(r.pages_processed, expected as u64);
+}
+
+#[test]
+fn qualitative_orderings_hold_across_seeds() {
+    for seed in [5u64, 23, 77] {
+        // sequential beats random on conventional disks
+        let rnd = Machine::new(base(seed)).run();
+        let seq = Machine::new(MachineConfig {
+            access: AccessPattern::Sequential,
+            ..base(seed)
+        })
+        .run();
+        assert!(
+            seq.exec_time_per_page_ms < rnd.exec_time_per_page_ms,
+            "seed {seed}: sequential should beat random"
+        );
+
+        // parallel-access disks shine on sequential workloads
+        let par_seq = Machine::new(MachineConfig {
+            access: AccessPattern::Sequential,
+            disk_mode: DiskMode::ParallelAccess,
+            ..base(seed)
+        })
+        .run();
+        assert!(
+            par_seq.exec_time_per_page_ms < 0.5 * seq.exec_time_per_page_ms,
+            "seed {seed}: parallel-access should transform sequential scans"
+        );
+
+        // logical logging stays within a whisker of bare
+        let logged = Machine::new(MachineConfig {
+            overlay: RecoveryOverlay::Logging(LoggingConfig::default()),
+            ..base(seed)
+        })
+        .run();
+        let ratio = logged.exec_time_per_page_ms / rnd.exec_time_per_page_ms;
+        assert!(
+            (0.9..1.12).contains(&ratio),
+            "seed {seed}: logging ratio {ratio}"
+        );
+    }
+}
+
+#[test]
+fn dedicated_link_bandwidth_is_immaterial() {
+    // the paper's §4.1.3 finding: 1.0 vs 0.01 MB/s barely matters
+    let run_at = |bw: f64| {
+        Machine::new(MachineConfig {
+            overlay: RecoveryOverlay::Logging(LoggingConfig {
+                link_bandwidth_mb_s: bw,
+                ..LoggingConfig::default()
+            }),
+            ..base(3)
+        })
+        .run()
+        .exec_time_per_page_ms
+    };
+    let fast = run_at(1.0);
+    let slow = run_at(0.01);
+    assert!(
+        (slow - fast).abs() / fast < 0.1,
+        "link bandwidth should be immaterial: {fast} vs {slow}"
+    );
+}
+
+#[test]
+fn routing_fragments_through_cache_is_harmless() {
+    // §4.1.3's second finding
+    let run_with = |via_cache: bool| {
+        Machine::new(MachineConfig {
+            overlay: RecoveryOverlay::Logging(LoggingConfig {
+                route_through_cache: via_cache,
+                ..LoggingConfig::default()
+            }),
+            ..base(3)
+        })
+        .run()
+        .exec_time_per_page_ms
+    };
+    let dedicated = run_with(false);
+    let through_cache = run_with(true);
+    assert!(
+        (through_cache - dedicated).abs() / dedicated < 0.1,
+        "routing through the cache should not hurt: {dedicated} vs {through_cache}"
+    );
+}
+
+#[test]
+fn utilization_bounds_are_respected() {
+    for (name, mut cfg) in MachineConfig::paper_configurations() {
+        cfg.num_txns = 8;
+        let r = Machine::new(cfg).run();
+        for (i, u) in r.data_disk_util.iter().enumerate() {
+            assert!((0.0..=1.0001).contains(u), "{name}: disk {i} util {u}");
+        }
+        assert!((0.0..=1.0001).contains(&r.qp_util), "{name}: qp util");
+    }
+}
+
+#[test]
+fn blocked_pages_stay_small_with_logical_logging() {
+    let r = Machine::new(MachineConfig {
+        overlay: RecoveryOverlay::Logging(LoggingConfig::default()),
+        num_txns: 20,
+        ..MachineConfig::default()
+    })
+    .run();
+    // the paper: "on average, there were less than 5 pages in the cache
+    // waiting for their log records"
+    assert!(
+        r.mean_blocked_pages < 6.0,
+        "blocked pages {}",
+        r.mean_blocked_pages
+    );
+}
