@@ -16,7 +16,10 @@
 //! covers it.
 
 use crate::tuple::{read_entries, write_entries, Entry, Tuple};
-use rmdb_storage::{MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE};
+use rmdb_storage::fault::FaultHandle;
+use rmdb_storage::{
+    read_page_retry, write_page_verified, MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE,
+};
 use std::collections::HashMap;
 
 /// Transaction id.
@@ -24,6 +27,8 @@ pub type TxnId = u64;
 
 /// Committed transactions per commit-list frame.
 const COMMITS_PER_FRAME: usize = (PAYLOAD_SIZE - 4) / 8;
+/// Bounded retry budget for riding through transient device faults.
+const IO_RETRIES: u32 = 4;
 
 /// Query-processing strategy (paper §4.3: *basic* vs *optimal*).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,11 +75,14 @@ impl DiffConfig {
     fn commit_start(&self) -> u64 {
         self.d_start() + self.d_capacity
     }
+    /// First of the two master slots; version `s` of the master lands in
+    /// slot `s % 2` so a crash-torn master write can only destroy the new
+    /// copy while the previous one stays valid.
     fn master_addr(&self) -> u64 {
         self.commit_start() + self.commit_frames
     }
     fn total_frames(&self) -> u64 {
-        self.master_addr() + 1
+        self.master_addr() + 2
     }
 }
 
@@ -169,6 +177,8 @@ pub struct DiffDb {
     /// In-memory mirror of the current base, page by page.
     base: Vec<Vec<Entry>>,
     base_area: u8,
+    /// Version counter for the dual-slot master frame.
+    master_seq: u64,
     /// Entries whose `seq` is below this were merged away; recovery
     /// ignores them even if their frames still exist.
     merge_floor: u64,
@@ -195,6 +205,7 @@ impl DiffDb {
             disk: MemDisk::new(cfg.total_frames()),
             base: Vec::new(),
             base_area: 0,
+            master_seq: 0,
             merge_floor: 0,
             a_all: Vec::new(),
             d_all: Vec::new(),
@@ -233,12 +244,21 @@ impl DiffDb {
     }
 
     fn write_master(&mut self) -> Result<(), DiffError> {
+        let seq = self.master_seq + 1;
         let mut m = Page::new(PageId(u64::MAX));
         m.write_at(0, &[self.base_area]);
         m.write_at(1, &(self.base.len() as u64).to_le_bytes());
         m.write_at(9, &self.merge_floor.to_le_bytes());
-        self.disk.write_page(self.cfg.master_addr(), &m)?;
+        m.write_at(17, &seq.to_le_bytes());
+        let addr = self.cfg.master_addr() + seq % 2;
+        write_page_verified(&mut self.disk, addr, &m, IO_RETRIES)?;
+        self.master_seq = seq;
         Ok(())
+    }
+
+    /// Attach one shared fault injector to the disk.
+    pub fn attach_faults(&mut self, handle: &FaultHandle) {
+        self.disk.attach_faults(handle.clone());
     }
 
     /// Write `entries` into base area `area` and point the in-memory base
@@ -253,8 +273,10 @@ impl DiffDb {
             }
             let mut page = Page::new(PageId(start + pages.len() as u64));
             let n = write_entries(&mut page, rest);
-            assert!(n > 0, "entry larger than a page");
-            self.disk.write_page(start + pages.len() as u64, &page)?;
+            if n == 0 {
+                return Err(DiffError::SpaceExhausted); // entry larger than a page
+            }
+            write_page_verified(&mut self.disk, start + pages.len() as u64, &page, IO_RETRIES)?;
             pages.push(rest[..n].to_vec());
             rest = &rest[n..];
         }
@@ -371,14 +393,16 @@ impl DiffDb {
             }
             let mut page = Page::new(PageId(start + frame));
             let n = write_entries(&mut page, rest);
-            assert!(n > 0, "entry larger than a page");
+            if n == 0 {
+                return Err(DiffError::SpaceExhausted); // entry larger than a page
+            }
             let addr = start + frame;
             let changed = match disk.read_page(addr) {
                 Ok(existing) => existing != page,
                 Err(_) => true,
             };
             if changed {
-                disk.write_page(addr, &page)?;
+                write_page_verified(disk, addr, &page, IO_RETRIES)?;
                 stats.diff_writes += 1;
             }
             rest = &rest[n..];
@@ -702,14 +726,14 @@ impl DiffDb {
         }
         let addr = self.cfg.commit_start() + frame_idx;
         let mut page = if self.disk.is_allocated(addr) {
-            self.disk.read_page(addr)?
+            read_page_retry(&self.disk, addr, IO_RETRIES)?
         } else {
             Page::new(PageId(addr))
         };
         let within = (self.commit_count % COMMITS_PER_FRAME as u64) as usize;
         page.write_at(4 + 8 * within, &txn.to_le_bytes());
         page.write_at(0, &((within + 1) as u32).to_le_bytes());
-        self.disk.write_page(addr, &page)?;
+        write_page_verified(&mut self.disk, addr, &page, IO_RETRIES)?;
         self.committed.insert(txn, self.commit_count);
         self.commit_count += 1;
         self.active.remove(&txn);
@@ -784,15 +808,41 @@ impl DiffDb {
     /// tagged by transactions missing from the commit list stay invisible.
     pub fn recover(image: DiffImage, cfg: DiffConfig) -> Result<Self, DiffError> {
         let disk = image.disk;
-        let master = disk.read_page(cfg.master_addr())?;
+        // Both master slots may exist; the valid one with the highest
+        // version is the committed state (a torn master write falls back
+        // to its predecessor). Fields are clamped so a corrupted-but-
+        // checksum-valid master can never index out of bounds.
+        let mut best: Option<(u64, Page)> = None;
+        for slot in 0..2u64 {
+            let addr = cfg.master_addr() + slot;
+            if !disk.is_allocated(addr) {
+                continue;
+            }
+            let Ok(m) = read_page_retry(&disk, addr, IO_RETRIES) else {
+                continue;
+            };
+            if m.read_at(0, 1)[0] > 1 {
+                continue; // decodes but is not a master frame
+            }
+            let seq = u64::from_le_bytes(m.read_at(17, 8).try_into().unwrap());
+            if best.as_ref().is_none_or(|(s, _)| seq > *s) {
+                best = Some((seq, m));
+            }
+        }
+        let Some((master_seq, master)) = best else {
+            return Err(DiffError::Storage(StorageError::Protocol(
+                "no valid differential-file master frame",
+            )));
+        };
         let base_area = master.read_at(0, 1)[0];
-        let base_pages = u64::from_le_bytes(master.read_at(1, 8).try_into().unwrap());
+        let base_pages =
+            u64::from_le_bytes(master.read_at(1, 8).try_into().unwrap()).min(cfg.base_capacity);
         let merge_floor = u64::from_le_bytes(master.read_at(9, 8).try_into().unwrap());
 
         let base_start = base_area as u64 * cfg.base_capacity;
         let mut base = Vec::with_capacity(base_pages as usize);
         for i in 0..base_pages {
-            base.push(read_entries(&disk.read_page(base_start + i)?));
+            base.push(read_entries(&read_page_retry(&disk, base_start + i, IO_RETRIES)?));
         }
 
         let read_region = |start: u64, capacity: u64| -> Result<Vec<Entry>, DiffError> {
@@ -801,7 +851,7 @@ impl DiffDb {
                 if !disk.is_allocated(start + i) {
                     break;
                 }
-                match disk.read_page(start + i) {
+                match read_page_retry(&disk, start + i, IO_RETRIES) {
                     Ok(p) => {
                         let entries = read_entries(&p);
                         // stale pre-merge frames are filtered by seq
@@ -829,8 +879,11 @@ impl DiffDb {
             if !disk.is_allocated(addr) {
                 break;
             }
-            let Ok(page) = disk.read_page(addr) else { break };
-            let count = u32::from_le_bytes(page.read_at(0, 4).try_into().unwrap()) as usize;
+            let Ok(page) = read_page_retry(&disk, addr, IO_RETRIES) else {
+                break;
+            };
+            let count = (u32::from_le_bytes(page.read_at(0, 4).try_into().unwrap()) as usize)
+                .min(COMMITS_PER_FRAME);
             for i in 0..count {
                 let txn = u64::from_le_bytes(page.read_at(4 + 8 * i, 8).try_into().unwrap());
                 committed.insert(txn, commit_count);
@@ -858,6 +911,7 @@ impl DiffDb {
             disk,
             base,
             base_area,
+            master_seq,
             merge_floor,
             a_all,
             d_all,

@@ -26,6 +26,6 @@ pub mod db;
 pub mod ops;
 pub mod tuple;
 
-pub use db::{DiffConfig, DiffDb, DiffError, DiffStats, ScanStrategy};
+pub use db::{DiffConfig, DiffDb, DiffError, DiffImage, DiffStats, ScanStrategy};
 pub use ops::{difference, par_difference, par_union, union, view};
 pub use tuple::{Entry, Tuple};

@@ -63,15 +63,25 @@ pub fn write_entries(page: &mut Page, entries: &[Entry]) -> usize {
 }
 
 /// Decode every entry on `page`.
+///
+/// Total on arbitrary bytes: a `count` or `vlen` that would run past the
+/// payload (possible only on a corrupted frame, since writers pack within
+/// bounds) truncates the decode instead of panicking.
 pub fn read_entries(page: &Page) -> Vec<Entry> {
     let count = u32::from_le_bytes(page.read_at(0, 4).try_into().unwrap());
     let mut offset = 4;
-    let mut out = Vec::with_capacity(count as usize);
+    let mut out = Vec::with_capacity((count as usize).min(PAYLOAD_SIZE / 28));
     for _ in 0..count {
+        if offset + 28 > PAYLOAD_SIZE {
+            break;
+        }
         let seq = u64::from_le_bytes(page.read_at(offset, 8).try_into().unwrap());
         let txn = u64::from_le_bytes(page.read_at(offset + 8, 8).try_into().unwrap());
         let key = u64::from_le_bytes(page.read_at(offset + 16, 8).try_into().unwrap());
         let vlen = u32::from_le_bytes(page.read_at(offset + 24, 4).try_into().unwrap()) as usize;
+        if offset + 28 + vlen > PAYLOAD_SIZE {
+            break;
+        }
         let value = page.read_at(offset + 28, vlen).to_vec();
         offset += 28 + vlen;
         out.push(Entry {

@@ -1456,9 +1456,11 @@ mod tests {
 
     #[test]
     fn scrambled_shadow_devastates_sequential() {
+        // 25 txns: the 15-txn batch leaves the ratio within seed noise of
+        // the 1.4x threshold; a larger sample stabilizes it near 1.5x.
         let base = MachineConfig {
             access: AccessPattern::Sequential,
-            num_txns: 15,
+            num_txns: 25,
             ..MachineConfig::default()
         };
         let clustered = quick(MachineConfig {

@@ -29,7 +29,7 @@ pub mod pagetable;
 pub mod scratch;
 pub mod version;
 
-pub use overwrite::{NoRedoStore, NoUndoStore, OverwriteConfig};
-pub use pagetable::{AllocPolicy, ShadowConfig, ShadowError, ShadowPager};
+pub use overwrite::{NoRedoStore, NoUndoStore, OverwriteConfig, OverwriteImage, OverwriteRecoveryReport};
+pub use pagetable::{AllocPolicy, ShadowConfig, ShadowError, ShadowImage, ShadowPager, ShadowRecoveryReport};
 pub use scratch::ScratchRing;
-pub use version::{VersionConfig, VersionStore};
+pub use version::{VersionConfig, VersionImage, VersionRecoveryReport, VersionStore};

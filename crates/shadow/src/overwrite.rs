@@ -23,9 +23,12 @@
 //! (un)committed transactions that must survive a crash" is exactly the
 //! set of live directories.
 
-use crate::pagetable::{ExclusiveLocks, ShadowError, TxnId};
+use crate::pagetable::{ExclusiveLocks, ShadowError, TxnId, IO_RETRIES};
 use crate::scratch::ScratchRing;
-use rmdb_storage::{Lsn, MemDisk, Page, PageId, PAYLOAD_SIZE};
+use rmdb_storage::fault::FaultHandle;
+use rmdb_storage::{
+    read_page_retry, write_page_verified, Lsn, MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE,
+};
 use std::collections::{BTreeMap, HashMap};
 
 /// High bit marking a frame as a transaction directory.
@@ -138,9 +141,16 @@ fn scan_directories(disk: &MemDisk, ring: &ScratchRing) -> DirScan {
         if !disk.is_allocated(addr) {
             continue;
         }
-        if let Ok(page) = disk.read_page(addr) {
+        if let Ok(page) = read_page_retry(disk, addr, IO_RETRIES) {
             if let Some((state, txn, entries)) = decode_dir(&page) {
-                found.push((addr, state, txn, entries));
+                // A frame that decodes but references pages or slots outside
+                // the store is garbage wearing a directory id — skip it.
+                let sane = entries
+                    .iter()
+                    .all(|&(p, s)| p < ring.base() && ring.contains(s));
+                if sane {
+                    found.push((addr, state, txn, entries));
+                }
             }
         }
     }
@@ -190,6 +200,11 @@ impl NoUndoStore {
         }
     }
 
+    /// Attach one shared fault injector to the disk.
+    pub fn attach_faults(&mut self, handle: &FaultHandle) {
+        self.disk.attach_faults(handle.clone());
+    }
+
     /// Recovery: finish the installs of every committed transaction whose
     /// intent directory is still live. Nothing is ever undone — home pages
     /// of uncommitted transactions were never touched.
@@ -207,13 +222,17 @@ impl NoUndoStore {
                 DIR_LIVE => {
                     // committed but not (fully) installed: redo the install
                     for &(page, slot) in &entries {
-                        let staged = disk.read_page(slot)?;
-                        debug_assert_eq!(staged.id, PageId(page));
-                        disk.write_page(page, &staged)?;
+                        let staged = read_page_retry(&disk, slot, IO_RETRIES)?;
+                        if staged.id != PageId(page) {
+                            return Err(ShadowError::Storage(StorageError::Protocol(
+                                "staged page does not match its directory entry",
+                            )));
+                        }
+                        write_page_verified(&mut disk, page, &staged, IO_RETRIES)?;
                         report.pages_copied += 1;
                     }
                     let done = encode_dir(DIR_DONE, txn, &entries, addr - cfg.logical_pages);
-                    disk.write_page(addr, &done)?;
+                    write_page_verified(&mut disk, addr, &done, IO_RETRIES)?;
                     report.txns_processed += 1;
                 }
                 _ => report.done_directories += 1,
@@ -277,7 +296,8 @@ impl NoUndoStore {
             return Ok(p.read_at(offset, len).to_vec());
         }
         if self.disk.is_allocated(page) {
-            Ok(self.disk.read_page(page)?.read_at(offset, len).to_vec())
+            let p = read_page_retry(&self.disk, page, IO_RETRIES)?;
+            Ok(p.read_at(offset, len).to_vec())
         } else {
             Ok(vec![0; len])
         }
@@ -343,13 +363,13 @@ impl NoUndoStore {
         for ((page, mut work), &slot) in state.delta.into_iter().zip(&slots) {
             work.id = PageId(page);
             work.lsn = Lsn(txn);
-            self.disk.write_page(slot, &work)?;
+            write_page_verified(&mut self.disk, slot, &work, IO_RETRIES)?;
             self.stats.scratch_writes += 1;
             entries.push((page, slot));
         }
         // the atomic commit point: one frame write
         let dir = encode_dir(DIR_LIVE, txn, &entries, dir_addr - self.cfg.logical_pages);
-        self.disk.write_page(dir_addr, &dir)?;
+        write_page_verified(&mut self.disk, dir_addr, &dir, IO_RETRIES)?;
         self.stats.dir_writes += 1;
         Ok((dir_addr, entries))
     }
@@ -363,12 +383,12 @@ impl NoUndoStore {
         entries: Vec<(u64, u64)>,
     ) -> Result<(), ShadowError> {
         for &(page, slot) in &entries {
-            let staged = self.disk.read_page(slot)?;
-            self.disk.write_page(page, &staged)?;
+            let staged = read_page_retry(&self.disk, slot, IO_RETRIES)?;
+            write_page_verified(&mut self.disk, page, &staged, IO_RETRIES)?;
             self.stats.overwrites += 1;
         }
         let done = encode_dir(DIR_DONE, txn, &entries, dir_addr - self.cfg.logical_pages);
-        self.disk.write_page(dir_addr, &done)?;
+        write_page_verified(&mut self.disk, dir_addr, &done, IO_RETRIES)?;
         self.stats.dir_writes += 1;
         for &(_, slot) in &entries {
             self.ring.release(slot);
@@ -403,7 +423,16 @@ impl NoUndoStore {
 // ---------------------------------------------------------------------------
 
 struct NoRedoTxn {
-    dir_addr: u64,
+    /// The pair of scratch slots this transaction's directory ping-pongs
+    /// between (`None` until the first write). The directory grows on every
+    /// first touch, and it is the only thing standing between a scribbled
+    /// home page and its saved shadow — a single slot rewritten in place
+    /// would be destroyed by a crash-torn write, so successive versions
+    /// alternate slots and recovery follows the survivor with the most
+    /// entries.
+    dir_slots: Option<(u64, u64)>,
+    /// Alternation counter selecting which slot the next version hits.
+    dir_writes: u64,
     /// page → scratch slot holding its shadow (original) copy
     saved: BTreeMap<u64, u64>,
     /// in-memory copies of the pages being edited (avoid rereads)
@@ -445,10 +474,22 @@ impl NoRedoStore {
         }
     }
 
+    /// Attach one shared fault injector to the disk.
+    pub fn attach_faults(&mut self, handle: &FaultHandle) {
+        self.disk.attach_faults(handle.clone());
+    }
+
     /// Recovery: every live directory belongs to an **uncommitted**
     /// transaction — restore its shadows from scratch (undo). Committed
     /// transactions need nothing: their updates were all home before
     /// commit (no redo, by construction).
+    ///
+    /// Directories ping-pong between two slots, so a transaction may leave
+    /// several decodable frames behind. Any `DONE` frame means the
+    /// transaction completed (commit and abort stamp both slots); otherwise
+    /// the `LIVE` frame with the most entries is the newest durable
+    /// directory — the crash tore at most the version after it, whose new
+    /// page was never scribbled home.
     pub fn recover(
         image: OverwriteImage,
         cfg: OverwriteConfig,
@@ -457,22 +498,42 @@ impl NoRedoStore {
         let ring = ScratchRing::new(cfg.logical_pages, cfg.scratch_slots);
         let mut report = OverwriteRecoveryReport::default();
         let mut max_txn = 0;
+        // txn → (saw a DONE frame, live frames as (addr, entries))
+        type TxnDirs = (bool, Vec<(u64, Vec<(u64, u64)>)>);
+        let mut by_txn: BTreeMap<TxnId, TxnDirs> = BTreeMap::new();
         for (addr, state, txn, entries) in scan_directories(&disk, &ring) {
             max_txn = max_txn.max(txn);
-            match state {
-                DIR_LIVE => {
-                    for &(page, slot) in &entries {
-                        let shadow = disk.read_page(slot)?;
-                        debug_assert_eq!(shadow.id, PageId(page));
-                        disk.write_page(page, &shadow)?;
-                        report.pages_copied += 1;
-                    }
-                    let done = encode_dir(DIR_DONE, txn, &entries, addr - cfg.logical_pages);
-                    disk.write_page(addr, &done)?;
-                    report.txns_processed += 1;
-                }
-                _ => report.done_directories += 1,
+            let dirs = by_txn.entry(txn).or_default();
+            if state == DIR_DONE {
+                dirs.0 = true;
+            } else {
+                dirs.1.push((addr, entries));
             }
+        }
+        for (txn, (done, lives)) in by_txn {
+            if done {
+                report.done_directories += 1;
+                continue;
+            }
+            let Some((_, entries)) = lives.iter().max_by_key(|(_, e)| e.len()) else {
+                continue;
+            };
+            for &(page, slot) in entries {
+                let shadow = read_page_retry(&disk, slot, IO_RETRIES)?;
+                if shadow.id != PageId(page) {
+                    return Err(ShadowError::Storage(StorageError::Protocol(
+                        "saved shadow does not match its directory entry",
+                    )));
+                }
+                write_page_verified(&mut disk, page, &shadow, IO_RETRIES)?;
+                report.pages_copied += 1;
+            }
+            // retire every frame the transaction left behind
+            for (addr, entries) in &lives {
+                let retired = encode_dir(DIR_DONE, txn, entries, addr - cfg.logical_pages);
+                write_page_verified(&mut disk, *addr, &retired, IO_RETRIES)?;
+            }
+            report.txns_processed += 1;
         }
         Ok((
             NoRedoStore {
@@ -501,7 +562,8 @@ impl NoRedoStore {
         self.active.insert(
             t,
             NoRedoTxn {
-                dir_addr: u64::MAX,
+                dir_slots: None,
+                dir_writes: 0,
                 saved: BTreeMap::new(),
                 working: BTreeMap::new(),
             },
@@ -532,22 +594,23 @@ impl NoRedoStore {
             return Ok(p.read_at(offset, len).to_vec());
         }
         if self.disk.is_allocated(page) {
-            Ok(self.disk.read_page(page)?.read_at(offset, len).to_vec())
+            let p = read_page_retry(&self.disk, page, IO_RETRIES)?;
+            Ok(p.read_at(offset, len).to_vec())
         } else {
             Ok(vec![0; len])
         }
     }
 
+    /// Write the next version of the transaction's directory into the slot
+    /// the previous version did NOT use.
     fn write_dir(&mut self, txn: TxnId) -> Result<(), ShadowError> {
         let state = self.active.get(&txn).expect("txn active");
+        let (a, b) = state.dir_slots.expect("dir slots allocated before write_dir");
+        let addr = if state.dir_writes.is_multiple_of(2) { a } else { b };
         let entries: Vec<(u64, u64)> = state.saved.iter().map(|(&p, &s)| (p, s)).collect();
-        let dir = encode_dir(
-            DIR_LIVE,
-            txn,
-            &entries,
-            state.dir_addr - self.cfg.logical_pages,
-        );
-        self.disk.write_page(state.dir_addr, &dir)?;
+        let dir = encode_dir(DIR_LIVE, txn, &entries, addr - self.cfg.logical_pages);
+        write_page_verified(&mut self.disk, addr, &dir, IO_RETRIES)?;
+        self.active.get_mut(&txn).expect("txn active").dir_writes += 1;
         self.stats.dir_writes += 1;
         Ok(())
     }
@@ -573,21 +636,21 @@ impl NoRedoStore {
             if self.active[&txn].saved.len() >= MAX_TXN_PAGES {
                 return Err(ShadowError::SpaceExhausted);
             }
-            let needs_dir = self.active[&txn].dir_addr == u64::MAX;
-            let Some(slots) = self.ring.alloc_many(1 + usize::from(needs_dir)) else {
+            let needs_dir = self.active[&txn].dir_slots.is_none();
+            let Some(slots) = self.ring.alloc_many(1 + 2 * usize::from(needs_dir)) else {
                 return Err(ShadowError::SpaceExhausted);
             };
             let save_slot = slots[0];
             if needs_dir {
-                self.active.get_mut(&txn).expect("active").dir_addr = slots[1];
+                self.active.get_mut(&txn).expect("active").dir_slots = Some((slots[1], slots[2]));
             }
             // 1. save the shadow
             let original = if self.disk.is_allocated(page) {
-                self.disk.read_page(page)?
+                read_page_retry(&self.disk, page, IO_RETRIES)?
             } else {
                 Page::new(PageId(page))
             };
-            self.disk.write_page(save_slot, &original)?;
+            write_page_verified(&mut self.disk, save_slot, &original, IO_RETRIES)?;
             self.stats.scratch_writes += 1;
             // 2. record it in the directory (durable before the overwrite)
             {
@@ -602,9 +665,31 @@ impl NoRedoStore {
         let work = st.working.get_mut(&page).expect("saved implies working");
         work.write_at(offset, data);
         work.lsn = Lsn(txn);
-        let frame = work.to_frame();
-        self.disk.write_frame(page, &frame)?;
+        let copy = work.clone();
+        write_page_verified(&mut self.disk, page, &copy, IO_RETRIES)?;
         self.stats.overwrites += 1;
+        Ok(())
+    }
+
+    /// Stamp `DONE` into both directory slots (so no stale `LIVE` version
+    /// can survive the slots' release) and return the scratch space.
+    fn retire_dirs(
+        &mut self,
+        txn: TxnId,
+        slots: (u64, u64),
+        saved: BTreeMap<u64, u64>,
+    ) -> Result<(), ShadowError> {
+        let entries: Vec<(u64, u64)> = saved.iter().map(|(&p, &s)| (p, s)).collect();
+        for addr in [slots.0, slots.1] {
+            let done = encode_dir(DIR_DONE, txn, &entries, addr - self.cfg.logical_pages);
+            write_page_verified(&mut self.disk, addr, &done, IO_RETRIES)?;
+            self.stats.dir_writes += 1;
+        }
+        for (_, slot) in saved {
+            self.ring.release(slot);
+        }
+        self.ring.release(slots.0);
+        self.ring.release(slots.1);
         Ok(())
     }
 
@@ -615,20 +700,8 @@ impl NoRedoStore {
             .active
             .remove(&txn)
             .ok_or(ShadowError::UnknownTxn(txn))?;
-        if state.dir_addr != u64::MAX {
-            let entries: Vec<(u64, u64)> = state.saved.iter().map(|(&p, &s)| (p, s)).collect();
-            let done = encode_dir(
-                DIR_DONE,
-                txn,
-                &entries,
-                state.dir_addr - self.cfg.logical_pages,
-            );
-            self.disk.write_page(state.dir_addr, &done)?;
-            self.stats.dir_writes += 1;
-            for (_, slot) in state.saved {
-                self.ring.release(slot);
-            }
-            self.ring.release(state.dir_addr);
+        if let Some(slots) = state.dir_slots {
+            self.retire_dirs(txn, slots, state.saved)?;
         }
         self.locks.release_all(txn);
         self.stats.commits += 1;
@@ -642,25 +715,13 @@ impl NoRedoStore {
             .active
             .remove(&txn)
             .ok_or(ShadowError::UnknownTxn(txn))?;
-        if state.dir_addr != u64::MAX {
+        if let Some(slots) = state.dir_slots {
             for (&page, &slot) in &state.saved {
-                let shadow = self.disk.read_page(slot)?;
-                self.disk.write_page(page, &shadow)?;
+                let shadow = read_page_retry(&self.disk, slot, IO_RETRIES)?;
+                write_page_verified(&mut self.disk, page, &shadow, IO_RETRIES)?;
                 self.stats.overwrites += 1;
             }
-            let entries: Vec<(u64, u64)> = state.saved.iter().map(|(&p, &s)| (p, s)).collect();
-            let done = encode_dir(
-                DIR_DONE,
-                txn,
-                &entries,
-                state.dir_addr - self.cfg.logical_pages,
-            );
-            self.disk.write_page(state.dir_addr, &done)?;
-            self.stats.dir_writes += 1;
-            for (_, slot) in state.saved {
-                self.ring.release(slot);
-            }
-            self.ring.release(state.dir_addr);
+            self.retire_dirs(txn, slots, state.saved)?;
         }
         self.locks.release_all(txn);
         self.stats.aborts += 1;

@@ -15,11 +15,16 @@
 //! exposes both behaviours; Table 7 shows clustering is what saves
 //! sequential workloads.
 
-use rmdb_storage::{Lsn, MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE};
+use rmdb_storage::fault::FaultHandle;
+use rmdb_storage::{
+    read_page_retry, write_page_verified, Lsn, MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE,
+};
 use std::collections::{BTreeMap, HashMap};
 
 /// Frame-address sentinel for "logical page never written".
 const FREE: u64 = u64::MAX;
+/// Bounded retry budget for riding through transient device faults.
+pub(crate) const IO_RETRIES: u32 = 4;
 /// Page-table entries per 4 KB page-table page (8-byte entries; the paper
 /// assumes 4-byte entries and quotes >1000 — same order of magnitude).
 pub const ENTRIES_PER_PT_PAGE: u64 = (PAYLOAD_SIZE / 8) as u64;
@@ -217,8 +222,12 @@ impl ShadowPager {
         cfg.logical_pages.div_ceil(ENTRIES_PER_PT_PAGE)
     }
 
+    /// Page-table areas start after the two master slots (frames 0 and 1).
+    /// Dual masters make the commit-point write crash-atomic: generation
+    /// `g` goes to slot `g % 2`, so a write torn by a crash destroys only
+    /// the new master while the previous one stays valid.
     fn area_start(cfg: &ShadowConfig, area: u8) -> u64 {
-        1 + area as u64 * Self::pt_pages(cfg)
+        2 + area as u64 * Self::pt_pages(cfg)
     }
 
     /// A fresh store: empty table in area 0.
@@ -227,7 +236,7 @@ impl ShadowPager {
             cfg.data_frames >= cfg.logical_pages,
             "data disk smaller than logical space"
         );
-        let pt_frames = 1 + 2 * Self::pt_pages(&cfg);
+        let pt_frames = 2 + 2 * Self::pt_pages(&cfg);
         let mut pager = ShadowPager {
             table: vec![FREE; cfg.logical_pages as usize],
             free: vec![true; cfg.data_frames as usize],
@@ -242,25 +251,47 @@ impl ShadowPager {
             pt: MemDisk::new(pt_frames),
             cfg,
         };
-        pager.write_table(0)?;
-        pager.write_master(0)?;
+        let table = pager.table.clone();
+        Self::write_table_frames(&mut pager.pt, &pager.cfg, &mut pager.stats, &table, 0, 0)?;
+        Self::write_master_frame(&mut pager.pt, 0, 0)?;
         Ok(pager)
     }
 
     /// Recover the committed state from a crash image.
+    ///
+    /// Reads both master slots and follows the valid one with the highest
+    /// generation, so a master write torn by the crash falls back to the
+    /// previous committed state. A corrupt page table or an entry pointing
+    /// outside the data disk surfaces as a typed error — never a panic.
     pub fn recover(
         image: ShadowImage,
         cfg: ShadowConfig,
     ) -> Result<(Self, ShadowRecoveryReport), ShadowError> {
-        let master = image.pt.read_page(0)?;
-        let current_area = master.read_at(0, 1)[0];
-        let generation = u64::from_le_bytes(master.read_at(1, 8).try_into().unwrap());
+        let mut best: Option<(u64, u8)> = None; // (generation, area)
+        for slot in 0..2u64 {
+            let Ok(master) = read_page_retry(&image.pt, slot, IO_RETRIES) else {
+                continue; // torn or never-written master slot
+            };
+            let area = master.read_at(0, 1)[0];
+            if area > 1 {
+                continue; // decodes but is not a master frame
+            }
+            let generation = u64::from_le_bytes(master.read_at(1, 8).try_into().unwrap());
+            if best.is_none_or(|(g, _)| generation > g) {
+                best = Some((generation, area));
+            }
+        }
+        let Some((generation, current_area)) = best else {
+            return Err(ShadowError::Storage(StorageError::Protocol(
+                "no valid shadow master frame",
+            )));
+        };
 
         let mut table = vec![FREE; cfg.logical_pages as usize];
         let mut pt_reads = 0;
         let start = Self::area_start(&cfg, current_area);
         for i in 0..Self::pt_pages(&cfg) {
-            let page = image.pt.read_page(start + i)?;
+            let page = read_page_retry(&image.pt, start + i, IO_RETRIES)?;
             pt_reads += 1;
             for e in 0..ENTRIES_PER_PT_PAGE {
                 let idx = i * ENTRIES_PER_PT_PAGE + e;
@@ -276,6 +307,11 @@ impl ShadowPager {
         let mut mapped = 0;
         for &f in &table {
             if f != FREE {
+                if f >= cfg.data_frames {
+                    return Err(ShadowError::Storage(StorageError::Protocol(
+                        "page-table entry points outside the data disk",
+                    )));
+                }
                 free[f as usize] = false;
                 mapped += 1;
             }
@@ -313,6 +349,12 @@ impl ShadowPager {
         }
     }
 
+    /// Attach one shared fault injector to the data and page-table disks.
+    pub fn attach_faults(&mut self, handle: &FaultHandle) {
+        self.data.attach_faults(handle.clone());
+        self.pt.attach_faults(handle.clone());
+    }
+
     /// Accumulated access statistics.
     pub fn stats(&self) -> ShadowStats {
         self.stats
@@ -326,28 +368,39 @@ impl ShadowPager {
         }
     }
 
-    fn write_master(&mut self, area: u8) -> Result<(), ShadowError> {
+    /// Write the master frame for `generation` into its ping-pong slot
+    /// (`generation % 2`), verified by read-back so a silently lost or torn
+    /// write cannot pass for a commit point.
+    fn write_master_frame(pt: &mut MemDisk, area: u8, generation: u64) -> Result<(), ShadowError> {
         let mut m = Page::new(PageId(u64::MAX));
         m.write_at(0, &[area]);
-        m.write_at(1, &self.generation.to_le_bytes());
-        self.pt.write_page(0, &m)?;
+        m.write_at(1, &generation.to_le_bytes());
+        write_page_verified(pt, generation % 2, &m, IO_RETRIES)?;
         Ok(())
     }
 
-    fn write_table(&mut self, area: u8) -> Result<(), ShadowError> {
-        let start = Self::area_start(&self.cfg, area);
-        for i in 0..Self::pt_pages(&self.cfg) {
+    /// Write `table` into area `area`, verifying each frame by read-back.
+    fn write_table_frames(
+        pt: &mut MemDisk,
+        cfg: &ShadowConfig,
+        stats: &mut ShadowStats,
+        table: &[u64],
+        area: u8,
+        generation: u64,
+    ) -> Result<(), ShadowError> {
+        let start = Self::area_start(cfg, area);
+        for i in 0..Self::pt_pages(cfg) {
             let mut p = Page::new(PageId(start + i));
-            p.lsn = Lsn(self.generation);
+            p.lsn = Lsn(generation);
             for e in 0..ENTRIES_PER_PT_PAGE {
                 let idx = i * ENTRIES_PER_PT_PAGE + e;
-                if idx >= self.cfg.logical_pages {
+                if idx >= cfg.logical_pages {
                     break;
                 }
-                p.write_at((e * 8) as usize, &self.table[idx as usize].to_le_bytes());
+                p.write_at((e * 8) as usize, &table[idx as usize].to_le_bytes());
             }
-            self.pt.write_page(start + i, &p)?;
-            self.stats.pt_writes += 1;
+            write_page_verified(pt, start + i, &p, IO_RETRIES)?;
+            stats.pt_writes += 1;
         }
         Ok(())
     }
@@ -437,7 +490,7 @@ impl ShadowPager {
             FREE => Ok(vec![0; len]),
             frame => {
                 self.stats.data_reads += 1;
-                let p = self.data.read_page(frame)?;
+                let p = read_page_retry(&self.data, frame, IO_RETRIES)?;
                 Ok(p.read_at(offset, len).to_vec())
             }
         }
@@ -464,7 +517,7 @@ impl ShadowPager {
                 FREE => Page::new(PageId(page)),
                 frame => {
                     self.stats.data_reads += 1;
-                    self.data.read_page(frame)?
+                    read_page_retry(&self.data, frame, IO_RETRIES)?
                 }
             };
             let hint = match self.table[page as usize] {
@@ -501,26 +554,40 @@ impl ShadowPager {
             .active
             .remove(&txn)
             .ok_or(ShadowError::UnknownTxn(txn))?;
-        self.generation += 1;
-        let mut old_frames = Vec::new();
+        let generation = self.generation + 1;
+        // Stage every durable write before mutating in-memory state, so a
+        // failure mid-commit leaves the pager still describing the old
+        // committed state — exactly what recovery would reconstruct.
+        let mut new_map = Vec::new();
         for (logical, (frame, mut page)) in state.delta {
             page.id = PageId(logical);
-            page.lsn = Lsn(self.generation);
-            self.data.write_page(frame, &page)?;
+            page.lsn = Lsn(generation);
+            write_page_verified(&mut self.data, frame, &page, IO_RETRIES)?;
             self.stats.data_writes += 1;
-            let old = self.table[logical as usize];
-            if old != FREE {
-                old_frames.push(old);
-            }
-            self.table[logical as usize] = frame;
+            new_map.push((logical, frame));
+        }
+        let mut table = self.table.clone();
+        for &(logical, frame) in &new_map {
+            table[logical as usize] = frame;
         }
         let new_area = 1 - self.current_area;
-        self.write_table(new_area)?;
-        self.write_master(new_area)?; // ← the atomic commit point
-        self.current_area = new_area;
-        for f in old_frames {
-            self.free[f as usize] = true;
+        Self::write_table_frames(
+            &mut self.pt,
+            &self.cfg,
+            &mut self.stats,
+            &table,
+            new_area,
+            generation,
+        )?;
+        Self::write_master_frame(&mut self.pt, new_area, generation)?; // ← the atomic commit point
+        for (logical, frame) in new_map {
+            let old = std::mem::replace(&mut self.table[logical as usize], frame);
+            if old != FREE {
+                self.free[old as usize] = true;
+            }
         }
+        self.current_area = new_area;
+        self.generation = generation;
         self.locks.release_all(txn);
         self.stats.commits += 1;
         Ok(())

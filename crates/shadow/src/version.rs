@@ -15,8 +15,11 @@
 //! the torn copy and selection falls back to the surviving shadow, which is
 //! exactly the recovery argument of Reuter's TWIST scheme the paper cites.
 
-use crate::pagetable::{ExclusiveLocks, ShadowError, TxnId};
-use rmdb_storage::{Lsn, MemDisk, Page, PageId, PAYLOAD_SIZE};
+use crate::pagetable::{ExclusiveLocks, ShadowError, TxnId, IO_RETRIES};
+use rmdb_storage::fault::FaultHandle;
+use rmdb_storage::{
+    read_page_retry, write_page_verified, Lsn, MemDisk, Page, PageId, PAYLOAD_SIZE,
+};
 use std::collections::{BTreeMap, HashMap};
 
 /// Configuration for a [`VersionStore`].
@@ -45,7 +48,9 @@ const COMMITS_PER_FRAME: usize = (PAYLOAD_SIZE - 4) / 8;
 /// Crash image of a [`VersionStore`]: one disk holds everything.
 #[derive(Debug)]
 pub struct VersionImage {
-    /// Twin slots followed by the commit-list frames.
+    /// Twin slots followed by the commit-list frames (two physical slots
+    /// per logical commit frame, written ping-pong so the atomic commit
+    /// point survives a crash-torn append).
     pub disk: MemDisk,
 }
 
@@ -96,6 +101,9 @@ pub struct VersionStore {
     disk: MemDisk,
     /// Commit order: txn → sequence number.
     commit_seq: HashMap<TxnId, u64>,
+    /// Committed txns in order — the source the commit-list frames are
+    /// rebuilt from, so an append never read-modify-writes disk state.
+    commit_log: Vec<TxnId>,
     commit_count: u64,
     active: HashMap<TxnId, VsTxn>,
     locks: ExclusiveLocks,
@@ -110,9 +118,10 @@ impl VersionStore {
 
     /// A fresh store.
     pub fn new(cfg: VersionConfig) -> Self {
-        let disk = MemDisk::new(Self::slot_frames(&cfg) + cfg.commit_frames);
+        let disk = MemDisk::new(Self::slot_frames(&cfg) + 2 * cfg.commit_frames);
         VersionStore {
             commit_seq: HashMap::new(),
+            commit_log: Vec::new(),
             commit_count: 0,
             active: HashMap::new(),
             locks: ExclusiveLocks::default(),
@@ -121,6 +130,11 @@ impl VersionStore {
             disk,
             cfg,
         }
+    }
+
+    /// Attach one shared fault injector to the disk.
+    pub fn attach_faults(&mut self, handle: &FaultHandle) {
+        self.disk.attach_faults(handle.clone());
     }
 
     /// Capture durable state.
@@ -140,21 +154,40 @@ impl VersionStore {
         let disk = image.disk;
         let mut report = VersionRecoveryReport::default();
         let mut commit_seq = HashMap::new();
+        let mut commit_log = Vec::new();
         let mut commit_count = 0u64;
         let cl_base = Self::slot_frames(&cfg);
         for f in 0..cfg.commit_frames {
-            if !disk.is_allocated(cl_base + f) {
-                break;
+            // Two physical slots per logical frame; appends alternate
+            // between them, so the slot with the larger (valid) count is
+            // the newest durable state and the other is at most one commit
+            // behind. A count field from a corrupted-but-checksum-valid
+            // page is clamped so it can never index past the payload.
+            let mut best: Option<(usize, Page)> = None;
+            for slot in [cl_base + 2 * f, cl_base + 2 * f + 1] {
+                if !disk.is_allocated(slot) {
+                    continue;
+                }
+                let Ok(page) = read_page_retry(&disk, slot, IO_RETRIES) else {
+                    continue; // torn append: the other slot survives
+                };
+                let count = (u32::from_le_bytes(page.read_at(0, 4).try_into().unwrap()) as usize)
+                    .min(COMMITS_PER_FRAME);
+                if best.as_ref().is_none_or(|(c, _)| count > *c) {
+                    best = Some((count, page));
+                }
             }
-            let page = match disk.read_page(cl_base + f) {
-                Ok(p) => p,
-                Err(_) => break, // torn commit-list tail: commits not recorded
+            let Some((count, page)) = best else {
+                break; // end of the durable list
             };
-            let count = u32::from_le_bytes(page.read_at(0, 4).try_into().unwrap()) as usize;
             for i in 0..count {
                 let txn = u64::from_le_bytes(page.read_at(4 + 8 * i, 8).try_into().unwrap());
                 commit_seq.insert(txn, commit_count);
+                commit_log.push(txn);
                 commit_count += 1;
+            }
+            if count < COMMITS_PER_FRAME {
+                break; // partial frame: nothing durable can follow it
             }
         }
         report.committed = commit_count;
@@ -164,7 +197,7 @@ impl VersionStore {
             if !disk.is_allocated(frame) {
                 continue;
             }
-            match disk.read_page(frame) {
+            match read_page_retry(&disk, frame, IO_RETRIES) {
                 Ok(p) => max_stamp = max_stamp.max(p.lsn.0),
                 Err(_) => report.torn_slots += 1,
             }
@@ -174,6 +207,7 @@ impl VersionStore {
         Ok((
             VersionStore {
                 commit_seq,
+                commit_log,
                 commit_count,
                 active: HashMap::new(),
                 locks: ExclusiveLocks::default(),
@@ -224,7 +258,7 @@ impl VersionStore {
             if !self.disk.is_allocated(slot) {
                 continue;
             }
-            let candidate = match self.disk.read_page(slot) {
+            let candidate = match read_page_retry(&self.disk, slot, IO_RETRIES) {
                 Ok(p) if p.id == PageId(page) => p,
                 _ => continue, // torn or foreign frame: the twin survives
             };
@@ -295,8 +329,8 @@ impl VersionStore {
         work.write_at(offset, data);
         work.id = PageId(page);
         work.lsn = Lsn(txn); // the stamp: valid only once txn commits
-        let (slot, frame) = (*slot, work.to_frame());
-        self.disk.write_frame(slot, &frame)?;
+        let (slot, copy) = (*slot, work.clone());
+        write_page_verified(&mut self.disk, slot, &copy, IO_RETRIES)?;
         self.stats.slot_writes += 1;
         Ok(())
     }
@@ -311,18 +345,23 @@ impl VersionStore {
         if frame_idx >= self.cfg.commit_frames {
             return Err(ShadowError::SpaceExhausted);
         }
-        let cl_addr = Self::slot_frames(&self.cfg) + frame_idx;
-        let mut page = if self.disk.is_allocated(cl_addr) {
-            self.disk.read_page(cl_addr)?
-        } else {
-            Page::new(PageId(COMMIT_LIST_ID + frame_idx))
-        };
         let within = (self.commit_count % COMMITS_PER_FRAME as u64) as usize;
+        // Rebuild the frame from the in-memory commit log (never from a
+        // read-modify-write of disk state) and append into the slot the
+        // previous append did NOT use, so a crash mid-write tears only the
+        // new copy while the other slot still holds the last commit point.
+        let mut page = Page::new(PageId(COMMIT_LIST_ID + frame_idx));
+        let frame_start = (frame_idx * COMMITS_PER_FRAME as u64) as usize;
+        for (i, &t) in self.commit_log[frame_start..].iter().enumerate() {
+            page.write_at(4 + 8 * i, &t.to_le_bytes());
+        }
         page.write_at(4 + 8 * within, &txn.to_le_bytes());
         page.write_at(0, &((within + 1) as u32).to_le_bytes());
-        self.disk.write_page(cl_addr, &page)?;
+        let cl_addr = Self::slot_frames(&self.cfg) + 2 * frame_idx + (within as u64 % 2);
+        write_page_verified(&mut self.disk, cl_addr, &page, IO_RETRIES)?;
         self.stats.commit_writes += 1;
         self.commit_seq.insert(txn, self.commit_count);
+        self.commit_log.push(txn);
         self.commit_count += 1;
         self.locks.release_all(txn);
         Ok(())

@@ -35,6 +35,22 @@ pub enum StorageError {
     PoolExhausted,
     /// A recovery-protocol invariant was violated; recovery cannot proceed.
     Protocol(&'static str),
+    /// A transient device fault (injected): the operation may succeed if
+    /// retried.
+    Io {
+        /// The offending frame address.
+        addr: u64,
+    },
+    /// The device is offline (the fault plan crashed this disk); no further
+    /// operation will succeed until recovery runs on a snapshot.
+    Offline,
+    /// A partial write exceeded the frame size.
+    BadLength {
+        /// Requested byte count.
+        len: usize,
+        /// Maximum accepted (the frame size).
+        max: usize,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -50,6 +66,11 @@ impl fmt::Display for StorageError {
             }
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted (all pages pinned)"),
             StorageError::Protocol(msg) => write!(f, "recovery protocol violation: {msg}"),
+            StorageError::Io { addr } => write!(f, "transient i/o fault at frame {addr}"),
+            StorageError::Offline => write!(f, "device offline (crashed)"),
+            StorageError::BadLength { len, max } => {
+                write!(f, "partial write of {len} bytes exceeds frame size {max}")
+            }
         }
     }
 }

@@ -1,0 +1,470 @@
+//! Deterministic, replayable fault injection for [`MemDisk`].
+//!
+//! A [`FaultPlan`] is a schedule keyed by the injector's *global* operation
+//! counters: "on the k-th frame write, tear it at byte c", "on the j-th
+//! frame read, flip a bit", "after the k-th write, crash the device". The
+//! plan is pure data — same plan, same workload, same disk contents, every
+//! run — which is what makes a failing crashpoint-sweep schedule
+//! reproducible from nothing but a seed.
+//!
+//! One [`FaultInjector`] is shared (via [`FaultHandle`]) by every disk of a
+//! store, so the counters advance across the store's whole I/O stream, not
+//! per device. The injector is behind a mutex because the WAL engine is
+//! `Send` (its shared front wraps the database in `Arc<Mutex<..>>`).
+//!
+//! Fault taxonomy:
+//!
+//! * **Torn write** — only a prefix of the frame lands; the tail keeps the
+//!   old contents (the classic mid-sector-transfer crash).
+//! * **Lost write** — the device reports success but nothing lands (a
+//!   firmware lie; detectable only by read-back verification).
+//! * **Transient I/O** — the operation fails with [`StorageError::Io`] for
+//!   a bounded number of attempts against the same address, then succeeds.
+//! * **Bit flip on read** — the returned copy has one bit flipped; the
+//!   on-disk frame is untouched (a transfer error, caught by checksums).
+//! * **Crash** — after the k-th write attempt the device goes
+//!   [`StorageError::Offline`]; the recovery tests then snapshot and
+//!   rebuild, exactly as for a clean crash.
+//!
+//! Counters count *attempts*: a write that fails with a transient fault
+//! still consumed its operation index. This keeps replay trivially
+//! deterministic even when consumers retry.
+
+use crate::error::StorageError;
+use crate::memdisk::MemDisk;
+use crate::page::{Page, FRAME_SIZE};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Scheduled fate of one frame write, keyed by global write index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Only the first `cut` bytes of the new frame land; the tail keeps the
+    /// previous contents (zeros if the frame was unallocated).
+    Torn {
+        /// Bytes of the new image that make it to the platter.
+        cut: usize,
+    },
+    /// The device reports success but the frame is unchanged.
+    Lost,
+    /// This write and the next `attempts - 1` writes to the same address
+    /// fail with [`StorageError::Io`]; nothing lands on failing attempts.
+    TransientIo {
+        /// Total failing attempts (≥ 1).
+        attempts: u32,
+    },
+}
+
+/// Scheduled fate of one frame read, keyed by global read index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadFault {
+    /// Flip bit `bit` of byte `byte` in the returned copy only.
+    FlipBit {
+        /// Byte offset within the frame (taken modulo the frame size).
+        byte: usize,
+        /// Bit index 0..8.
+        bit: u8,
+    },
+    /// This read and the next `attempts - 1` reads of the same address fail
+    /// with [`StorageError::Io`].
+    TransientIo {
+        /// Total failing attempts (≥ 1).
+        attempts: u32,
+    },
+}
+
+/// A replayable schedule of device faults.
+///
+/// ```
+/// use rmdb_storage::fault::FaultPlan;
+///
+/// let plan = FaultPlan::new()
+///     .tear_write(3, 100)   // 4th write: only 100 bytes land
+///     .lose_write(7)        // 8th write: silently dropped
+///     .crash_after_write(12);
+/// assert!(plan.crash_after.is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Write faults by global write index (0-based).
+    pub on_write: BTreeMap<u64, WriteFault>,
+    /// Read faults by global read index (0-based).
+    pub on_read: BTreeMap<u64, ReadFault>,
+    /// Crash after this write attempt completes (its fault, if any, still
+    /// applies). Every later operation returns [`StorageError::Offline`].
+    pub crash_after: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults, no crash.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tear the `idx`-th write at byte `cut`.
+    pub fn tear_write(mut self, idx: u64, cut: usize) -> Self {
+        self.on_write.insert(idx, WriteFault::Torn { cut });
+        self
+    }
+
+    /// Silently drop the `idx`-th write.
+    pub fn lose_write(mut self, idx: u64) -> Self {
+        self.on_write.insert(idx, WriteFault::Lost);
+        self
+    }
+
+    /// Fail the `idx`-th write (and retries to its address) `attempts`
+    /// times with a transient error.
+    pub fn transient_write(mut self, idx: u64, attempts: u32) -> Self {
+        self.on_write
+            .insert(idx, WriteFault::TransientIo { attempts });
+        self
+    }
+
+    /// Flip one bit in the copy returned by the `idx`-th read.
+    pub fn flip_on_read(mut self, idx: u64, byte: usize, bit: u8) -> Self {
+        self.on_read.insert(idx, ReadFault::FlipBit { byte, bit });
+        self
+    }
+
+    /// Fail the `idx`-th read (and retries of its address) `attempts`
+    /// times with a transient error.
+    pub fn transient_read(mut self, idx: u64, attempts: u32) -> Self {
+        self.on_read
+            .insert(idx, ReadFault::TransientIo { attempts });
+        self
+    }
+
+    /// Crash the device after the `idx`-th write attempt.
+    pub fn crash_after_write(mut self, idx: u64) -> Self {
+        self.crash_after = Some(idx);
+        self
+    }
+
+    /// A seeded random plan over the first `horizon` writes and reads.
+    ///
+    /// Roughly one write in sixteen is faulted (torn, lost, or transiently
+    /// failing) and one read in thirty-two is faulted (bit flip or
+    /// transient). No crash is scheduled; compose with
+    /// [`FaultPlan::crash_after_write`] for crashpoint sweeps. The same
+    /// `(seed, horizon)` always yields the identical plan.
+    pub fn seeded(seed: u64, horizon: u64) -> Self {
+        let mut state = seed ^ 0x8f1b_bcdc_a7b7_9e5d;
+        let mut next = move || splitmix64(&mut state);
+        let mut plan = FaultPlan::new();
+        for idx in 0..horizon {
+            let roll = next();
+            if roll % 16 == 0 {
+                let fault = match roll >> 8 & 3 {
+                    0 => WriteFault::Torn {
+                        cut: (next() % (FRAME_SIZE as u64 - 1) + 1) as usize,
+                    },
+                    1 => WriteFault::Lost,
+                    _ => WriteFault::TransientIo {
+                        attempts: (next() % 2 + 1) as u32,
+                    },
+                };
+                plan.on_write.insert(idx, fault);
+            }
+            let roll = next();
+            if roll % 32 == 0 {
+                let fault = if roll >> 8 & 1 == 0 {
+                    ReadFault::FlipBit {
+                        byte: (next() % FRAME_SIZE as u64) as usize,
+                        bit: (next() % 8) as u8,
+                    }
+                } else {
+                    ReadFault::TransientIo {
+                        attempts: (next() % 2 + 1) as u32,
+                    }
+                };
+                plan.on_read.insert(idx, fault);
+            }
+        }
+        plan
+    }
+}
+
+/// SplitMix64: the plan generator's own tiny RNG, so seeded plans do not
+/// depend on any other crate's stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Shared, lockable injector — one per store, attached to all its disks.
+pub type FaultHandle = Arc<Mutex<FaultInjector>>;
+
+/// Executes a [`FaultPlan`] against a live operation stream.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    reads: u64,
+    writes: u64,
+    crashed: bool,
+    /// Remaining transient failures per (is_write, addr).
+    pending: HashMap<(bool, u64), u32>,
+}
+
+/// How a write should land, as decided by the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WriteApply {
+    /// Write the full frame.
+    Full,
+    /// Write only the first `n` bytes over the old contents.
+    Prefix(usize),
+    /// Report success without touching the frame.
+    Skip,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan` from operation zero.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            reads: 0,
+            writes: 0,
+            crashed: false,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Wrap a plan in a shareable handle.
+    pub fn handle(plan: FaultPlan) -> FaultHandle {
+        Arc::new(Mutex::new(FaultInjector::new(plan)))
+    }
+
+    /// Whether the scheduled crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Write attempts seen so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Read attempts seen so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    pub(crate) fn decide_write(&mut self, addr: u64) -> Result<WriteApply, StorageError> {
+        if self.crashed {
+            return Err(StorageError::Offline);
+        }
+        let idx = self.writes;
+        self.writes += 1;
+        let crash_now = self.plan.crash_after == Some(idx);
+        let decision = if let Some(remaining) = self.pending.get_mut(&(true, addr)) {
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.pending.remove(&(true, addr));
+            }
+            Err(StorageError::Io { addr })
+        } else {
+            match self.plan.on_write.get(&idx) {
+                None => Ok(WriteApply::Full),
+                Some(WriteFault::Torn { cut }) => Ok(WriteApply::Prefix((*cut).min(FRAME_SIZE))),
+                Some(WriteFault::Lost) => Ok(WriteApply::Skip),
+                Some(WriteFault::TransientIo { attempts }) => {
+                    if *attempts > 1 {
+                        self.pending.insert((true, addr), attempts - 1);
+                    }
+                    Err(StorageError::Io { addr })
+                }
+            }
+        };
+        if crash_now {
+            self.crashed = true;
+        }
+        decision
+    }
+
+    pub(crate) fn decide_read(&mut self, addr: u64) -> Result<Option<(usize, u8)>, StorageError> {
+        if self.crashed {
+            return Err(StorageError::Offline);
+        }
+        let idx = self.reads;
+        self.reads += 1;
+        if let Some(remaining) = self.pending.get_mut(&(false, addr)) {
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.pending.remove(&(false, addr));
+            }
+            return Err(StorageError::Io { addr });
+        }
+        match self.plan.on_read.get(&idx) {
+            None => Ok(None),
+            Some(ReadFault::FlipBit { byte, bit }) => Ok(Some((byte % FRAME_SIZE, bit % 8))),
+            Some(ReadFault::TransientIo { attempts }) => {
+                if *attempts > 1 {
+                    self.pending.insert((false, addr), attempts - 1);
+                }
+                Err(StorageError::Io { addr })
+            }
+        }
+    }
+}
+
+/// Bounded deterministic retry for reads through transient faults.
+///
+/// Retries [`StorageError::Io`] and [`StorageError::Corrupt`] up to
+/// `attempts` times total — a bit flip during transfer manifests as a
+/// checksum failure even though the platter is fine, so one clean re-read
+/// resolves it. Persistent corruption (a genuinely torn frame) still
+/// surfaces as the last [`StorageError::Corrupt`] once attempts are
+/// exhausted; other errors return immediately.
+pub fn read_page_retry(disk: &MemDisk, addr: u64, attempts: u32) -> Result<Page, StorageError> {
+    let mut last = StorageError::Io { addr };
+    for _ in 0..attempts.max(1) {
+        match disk.read_page(addr) {
+            Err(e @ (StorageError::Io { .. } | StorageError::Corrupt { .. })) => last = e,
+            other => return other,
+        }
+    }
+    Err(last)
+}
+
+/// Write-and-verify: write the page, read it back, retry on mismatch.
+///
+/// This is the defense against *lost* and *torn* writes on commit-critical
+/// frames (master records, commit lists, directory entries): a silently
+/// dropped write would otherwise let commit report durability it does not
+/// have. Up to `attempts` write+verify rounds; returns the last error if
+/// the frame never verifies.
+pub fn write_page_verified(
+    disk: &mut MemDisk,
+    addr: u64,
+    page: &Page,
+    attempts: u32,
+) -> Result<(), StorageError> {
+    let mut last = StorageError::Io { addr };
+    for _ in 0..attempts.max(1) {
+        if let Err(e) = disk.write_page(addr, page) {
+            last = e;
+            if last == StorageError::Offline {
+                return Err(last);
+            }
+            continue;
+        }
+        match disk.read_page(addr) {
+            Ok(got) if got == *page => return Ok(()),
+            Ok(_) => last = StorageError::Corrupt { addr },
+            Err(e) => {
+                last = e;
+                if last == StorageError::Offline {
+                    return Err(last);
+                }
+            }
+        }
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageId;
+
+    fn page(tag: u8) -> Page {
+        let mut p = Page::new(PageId(tag as u64));
+        p.write_at(0, &[tag; 64]);
+        p
+    }
+
+    #[test]
+    fn torn_write_corrupts_lost_write_vanishes() {
+        let handle = FaultInjector::handle(FaultPlan::new().tear_write(1, 40).lose_write(2));
+        let mut d = MemDisk::new(4);
+        d.attach_faults(handle);
+        d.write_page(0, &page(1)).unwrap(); // write 0: clean
+        d.write_page(1, &page(2)).unwrap(); // write 1: torn at byte 40
+        d.write_page(2, &page(3)).unwrap(); // write 2: lost
+        assert_eq!(d.read_page(0).unwrap(), page(1));
+        assert!(matches!(d.read_page(1), Err(StorageError::Corrupt { .. })));
+        assert!(matches!(
+            d.read_page(2),
+            Err(StorageError::Unallocated { .. })
+        ));
+    }
+
+    #[test]
+    fn transient_write_fails_then_succeeds() {
+        let handle = FaultInjector::handle(FaultPlan::new().transient_write(0, 2));
+        let mut d = MemDisk::new(4);
+        d.attach_faults(handle);
+        assert!(matches!(
+            d.write_page(0, &page(9)),
+            Err(StorageError::Io { addr: 0 })
+        ));
+        assert!(matches!(
+            d.write_page(0, &page(9)),
+            Err(StorageError::Io { addr: 0 })
+        ));
+        d.write_page(0, &page(9)).unwrap();
+        assert_eq!(d.read_page(0).unwrap(), page(9));
+    }
+
+    #[test]
+    fn bit_flip_is_read_only() {
+        let handle = FaultInjector::handle(FaultPlan::new().flip_on_read(0, 30, 3));
+        let mut d = MemDisk::new(4);
+        d.write_page(0, &page(5)).unwrap();
+        d.attach_faults(handle);
+        assert!(matches!(d.read_page(0), Err(StorageError::Corrupt { .. })));
+        // second read sees the pristine on-disk frame
+        assert_eq!(d.read_page(0).unwrap(), page(5));
+    }
+
+    #[test]
+    fn crash_takes_device_offline() {
+        let handle = FaultInjector::handle(FaultPlan::new().crash_after_write(1));
+        let mut d = MemDisk::new(4);
+        d.attach_faults(handle.clone());
+        d.write_page(0, &page(1)).unwrap();
+        d.write_page(1, &page(2)).unwrap(); // crash fires after this one
+        assert!(handle.lock().crashed());
+        assert_eq!(d.write_page(2, &page(3)), Err(StorageError::Offline));
+        assert_eq!(d.read_page(0).unwrap_err(), StorageError::Offline);
+        // the snapshot sheds the injector: recovery reads clean frames
+        let snap = d.snapshot();
+        assert_eq!(snap.read_page(1).unwrap(), page(2));
+    }
+
+    #[test]
+    fn retry_helpers_ride_through_transients() {
+        let handle =
+            FaultInjector::handle(FaultPlan::new().transient_read(1, 1).transient_write(2, 1));
+        let mut d = MemDisk::new(4);
+        d.attach_faults(handle);
+        d.write_page(0, &page(1)).unwrap(); // write 0
+        assert_eq!(read_page_retry(&d, 0, 3).unwrap(), page(1)); // reads 0..2
+        write_page_verified(&mut d, 1, &page(2), 3).unwrap(); // rides the write fault
+        assert_eq!(d.read_page(1).unwrap(), page(2));
+    }
+
+    #[test]
+    fn verified_write_defeats_lost_write() {
+        let handle = FaultInjector::handle(FaultPlan::new().lose_write(0));
+        let mut d = MemDisk::new(4);
+        d.attach_faults(handle);
+        write_page_verified(&mut d, 0, &page(7), 3).unwrap();
+        assert_eq!(d.read_page(0).unwrap(), page(7));
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(42, 500);
+        let b = FaultPlan::seeded(42, 500);
+        assert_eq!(a, b);
+        assert!(!a.on_write.is_empty(), "500-op horizon should fault writes");
+        assert!(!a.on_read.is_empty(), "500-op horizon should fault reads");
+        let c = FaultPlan::seeded(43, 500);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+}

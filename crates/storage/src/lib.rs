@@ -12,6 +12,9 @@
 //!   durable state at an arbitrary instant (the crash-injection primitive
 //!   used throughout the recovery tests) and partial-write fault injection
 //!   for torn-page scenarios;
+//! * [`fault::FaultPlan`] / [`fault::FaultInjector`] — a deterministic,
+//!   seeded schedule of torn/lost/transient write faults, read bit flips,
+//!   and crash-after-k-writes, attachable to any [`memdisk::MemDisk`];
 //! * [`buffer::BufferPool`] — a pin-counted page cache with LRU/clock
 //!   eviction that reports evicted dirty pages to the caller so each
 //!   recovery manager can enforce its own write-ahead rule.
@@ -22,10 +25,15 @@
 
 pub mod buffer;
 pub mod error;
+pub mod fault;
 pub mod memdisk;
 pub mod page;
 
 pub use buffer::{BufferPool, EvictPolicy, Evicted};
 pub use error::StorageError;
+pub use fault::{
+    read_page_retry, write_page_verified, FaultHandle, FaultInjector, FaultPlan, ReadFault,
+    WriteFault,
+};
 pub use memdisk::MemDisk;
 pub use page::{Lsn, Page, PageId, FRAME_SIZE, PAYLOAD_SIZE};

@@ -13,6 +13,7 @@
 //! [`crate::page::Page::from_frame`]'s checksum then flags the frame.
 
 use crate::error::StorageError;
+use crate::fault::{FaultHandle, WriteApply};
 use crate::page::{Page, FRAME_SIZE};
 use std::cell::Cell;
 
@@ -34,6 +35,9 @@ pub struct MemDisk {
     frames: Vec<Option<Box<[u8; FRAME_SIZE]>>>,
     reads: Cell<u64>,
     writes: Cell<u64>,
+    /// Shared fault injector; cloning the disk shares it, snapshotting
+    /// sheds it (a recovered image is a clean device).
+    faults: Option<FaultHandle>,
 }
 
 impl MemDisk {
@@ -43,7 +47,20 @@ impl MemDisk {
             frames: vec![None; capacity as usize],
             reads: Cell::new(0),
             writes: Cell::new(0),
+            faults: None,
         }
+    }
+
+    /// Attach a fault injector; every subsequent read/write consults it.
+    /// The handle is shared: attach the same one to every disk of a store
+    /// so the plan's operation indices span the store's whole I/O stream.
+    pub fn attach_faults(&mut self, handle: FaultHandle) {
+        self.faults = Some(handle);
+    }
+
+    /// Detach the fault injector, returning the disk to clean operation.
+    pub fn detach_faults(&mut self) -> Option<FaultHandle> {
+        self.faults.take()
     }
 
     /// Capacity in frames.
@@ -75,10 +92,18 @@ impl MemDisk {
     /// Read the raw frame at `addr`.
     pub fn read_frame(&self, addr: u64) -> Result<Box<[u8; FRAME_SIZE]>, StorageError> {
         let i = self.check(addr)?;
+        let flip = match &self.faults {
+            Some(h) => h.lock().decide_read(addr)?,
+            None => None,
+        };
         self.reads.set(self.reads.get() + 1);
-        self.frames[i]
+        let mut frame = self.frames[i]
             .clone()
-            .ok_or(StorageError::Unallocated { addr })
+            .ok_or(StorageError::Unallocated { addr })?;
+        if let Some((byte, bit)) = flip {
+            frame[byte] ^= 1 << bit;
+        }
+        Ok(frame)
     }
 
     /// Whether `addr` has ever been written.
@@ -86,31 +111,64 @@ impl MemDisk {
         (addr as usize) < self.frames.len() && self.frames[addr as usize].is_some()
     }
 
-    /// Durably and atomically write the raw frame at `addr`.
+    /// Durably and atomically write the raw frame at `addr` — unless an
+    /// attached fault plan tears, drops, or fails this write.
     pub fn write_frame(&mut self, addr: u64, frame: &[u8; FRAME_SIZE]) -> Result<(), StorageError> {
         let i = self.check(addr)?;
+        let apply = match &self.faults {
+            Some(h) => h.lock().decide_write(addr)?,
+            None => WriteApply::Full,
+        };
         self.writes.set(self.writes.get() + 1);
-        self.frames[i] = Some(Box::new(*frame));
+        match apply {
+            WriteApply::Full => self.frames[i] = Some(Box::new(*frame)),
+            WriteApply::Prefix(cut) => self.merge_prefix(i, frame, cut),
+            WriteApply::Skip => {}
+        }
         Ok(())
     }
 
     /// Fault injection: write only the first `bytes` bytes of `frame`,
     /// leaving the tail as it was (zeros if unallocated) — a torn write.
+    ///
+    /// Merge semantics: the stored frame afterwards is
+    /// `frame[..bytes] ++ old[bytes..]`, where `old` is the previous
+    /// contents or all zeros if the frame was unallocated. `bytes` beyond
+    /// the frame size is a typed [`StorageError::BadLength`], not a panic.
     pub fn write_partial(
         &mut self,
         addr: u64,
         frame: &[u8; FRAME_SIZE],
         bytes: usize,
     ) -> Result<(), StorageError> {
-        assert!(bytes <= FRAME_SIZE);
+        if bytes > FRAME_SIZE {
+            return Err(StorageError::BadLength {
+                len: bytes,
+                max: FRAME_SIZE,
+            });
+        }
         let i = self.check(addr)?;
+        // explicit partial writes still advance the op counters and respect
+        // crash/transient scheduling; a scheduled tear shortens the prefix
+        let apply = match &self.faults {
+            Some(h) => h.lock().decide_write(addr)?,
+            None => WriteApply::Full,
+        };
         self.writes.set(self.writes.get() + 1);
+        match apply {
+            WriteApply::Full => self.merge_prefix(i, frame, bytes),
+            WriteApply::Prefix(cut) => self.merge_prefix(i, frame, cut.min(bytes)),
+            WriteApply::Skip => {}
+        }
+        Ok(())
+    }
+
+    fn merge_prefix(&mut self, i: usize, frame: &[u8; FRAME_SIZE], bytes: usize) {
         let mut merged = self.frames[i]
             .take()
             .unwrap_or_else(|| Box::new([0u8; FRAME_SIZE]));
         merged[..bytes].copy_from_slice(&frame[..bytes]);
         self.frames[i] = Some(merged);
-        Ok(())
     }
 
     /// Convenience: read and decode a [`Page`], verifying its checksum.
@@ -128,12 +186,16 @@ impl MemDisk {
     ///
     /// The snapshot is an independent disk; mutating either side does not
     /// affect the other. I/O counters reset on the snapshot so recovery
-    /// cost can be measured in isolation.
+    /// cost can be measured in isolation. Any attached fault injector is
+    /// *not* carried over: a snapshot is the durable platter state, and
+    /// recovery runs against a clean device — which also makes post-crash
+    /// images byte-for-byte reproducible for a given plan.
     pub fn snapshot(&self) -> MemDisk {
         MemDisk {
             frames: self.frames.clone(),
             reads: Cell::new(0),
             writes: Cell::new(0),
+            faults: None,
         }
     }
 }
@@ -231,6 +293,59 @@ mod tests {
         let p = Page::new(PageId(2));
         d.write_partial(0, &p.to_frame(), FRAME_SIZE).unwrap();
         assert_eq!(d.read_page(0).unwrap(), p);
+    }
+
+    #[test]
+    fn oversized_partial_write_is_typed_error() {
+        let mut d = MemDisk::new(4);
+        let frame = [0u8; FRAME_SIZE];
+        assert_eq!(
+            d.write_partial(0, &frame, FRAME_SIZE + 1),
+            Err(StorageError::BadLength {
+                len: FRAME_SIZE + 1,
+                max: FRAME_SIZE,
+            })
+        );
+        // the failed call must not have touched the frame or the counters
+        assert!(!d.is_allocated(0));
+        assert_eq!(d.writes(), 0);
+    }
+
+    proptest::proptest! {
+        /// write_partial merges: result is new[..bytes] ++ old[bytes..],
+        /// with old = zeros when the frame was unallocated.
+        #[test]
+        fn partial_write_merges_prefix_over_old_tail(
+            bytes in 0usize..=FRAME_SIZE,
+            seed_old in proptest::prelude::any::<u64>(),
+            seed_new in proptest::prelude::any::<u64>(),
+            allocated in proptest::prelude::any::<bool>(),
+        ) {
+            fn fill(seed: u64) -> [u8; FRAME_SIZE] {
+                let mut f = [0u8; FRAME_SIZE];
+                let mut s = seed;
+                for chunk in f.chunks_mut(8) {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let b = s.to_le_bytes();
+                    chunk.copy_from_slice(&b[..chunk.len()]);
+                }
+                f
+            }
+            let old = fill(seed_old);
+            let new = fill(seed_new);
+            let mut d = MemDisk::new(2);
+            if allocated {
+                d.write_frame(0, &old).unwrap();
+            }
+            d.write_partial(0, &new, bytes).unwrap();
+            let got = d.read_frame(0).unwrap();
+            proptest::prop_assert_eq!(&got[..bytes], &new[..bytes]);
+            if allocated {
+                proptest::prop_assert_eq!(&got[bytes..], &old[bytes..]);
+            } else {
+                proptest::prop_assert!(got[bytes..].iter().all(|&b| b == 0));
+            }
+        }
     }
 
     #[test]

@@ -19,8 +19,10 @@ use crate::manager::{LogPos, ParallelLogManager};
 use crate::record::LogRecord;
 use crate::recovery;
 use crate::select::SelectionPolicy;
+use rmdb_storage::fault::FaultHandle;
 use rmdb_storage::{
-    BufferPool, EvictPolicy, Lsn, MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE,
+    read_page_retry, write_page_verified, BufferPool, EvictPolicy, Lsn, MemDisk, Page, PageId,
+    StorageError, PAYLOAD_SIZE,
 };
 use std::collections::{BTreeSet, HashMap};
 
@@ -57,6 +59,12 @@ pub struct WalConfig {
     pub evict: EvictPolicy,
     /// Seed for the random selection policy.
     pub seed: u64,
+    /// Doublewrite-buffer slots appended after the data pages on the data
+    /// disk. Every data-page flush parks a verified full image in a slot
+    /// before overwriting the home frame, so a write torn by a crash can
+    /// always be repaired — even under logical logging, whose fragments
+    /// cannot rebuild a page from scratch. Zero disables the buffer.
+    pub dw_slots: u64,
 }
 
 impl Default for WalConfig {
@@ -70,6 +78,7 @@ impl Default for WalConfig {
             log_mode: LogMode::Logical,
             evict: EvictPolicy::Lru,
             seed: 0xDB,
+            dw_slots: 8,
         }
     }
 }
@@ -170,13 +179,15 @@ pub struct WalDb {
     committed: u64,
     aborted: u64,
     wal_forces: u64,
+    /// Round-robin cursor over the doublewrite slots.
+    dw_cursor: u64,
 }
 
 impl WalDb {
     /// A fresh, empty database.
     pub fn new(cfg: WalConfig) -> Self {
         let log = ParallelLogManager::new(cfg.log_streams, cfg.log_frames, cfg.policy, cfg.seed);
-        let data = MemDisk::new(cfg.data_pages);
+        let data = MemDisk::new(cfg.data_pages + cfg.dw_slots);
         WalDb::assemble(cfg, log, data)
     }
 
@@ -194,8 +205,17 @@ impl WalDb {
             committed: 0,
             aborted: 0,
             wal_forces: 0,
+            dw_cursor: 0,
             cfg,
         }
+    }
+
+    /// Attach one shared fault injector to the data disk and every log
+    /// disk, so a single [`rmdb_storage::FaultPlan`]'s operation indices
+    /// span the engine's whole I/O stream.
+    pub fn attach_faults(&mut self, handle: &FaultHandle) {
+        self.data.attach_faults(handle.clone());
+        self.log.attach_faults(handle);
     }
 
     /// Construct from recovered parts (used by [`WalDb::recover`]).
@@ -289,7 +309,9 @@ impl WalDb {
             return Ok(());
         }
         let page = if self.data.is_allocated(id.0) {
-            self.data.read_page(id.0)?
+            // bounded retry rides transient faults and read bit flips;
+            // persistent corruption surfaces as a typed error
+            read_page_retry(&self.data, id.0, crate::stream::IO_RETRIES)?
         } else {
             Page::new(id)
         };
@@ -303,6 +325,11 @@ impl WalDb {
 
     /// Write one dirty page to the data disk, forcing its log fragment
     /// first if needed — the paper's WAL protocol.
+    ///
+    /// The home write is preceded by a verified copy into a doublewrite
+    /// slot and is itself read-back verified: a torn or silently lost
+    /// write is retried, and a write torn by the crash itself is
+    /// repairable at recovery from the doublewrite image.
     fn flush_page(&mut self, page: &Page) -> Result<(), WalError> {
         if let Some(&pos) = self.page_last_log.get(&page.id) {
             if !self.log.is_durable(pos) {
@@ -310,7 +337,12 @@ impl WalDb {
                 self.wal_forces += 1;
             }
         }
-        self.data.write_page(page.id.0, page)?;
+        if self.cfg.dw_slots > 0 {
+            let slot = self.cfg.data_pages + self.dw_cursor % self.cfg.dw_slots;
+            self.dw_cursor += 1;
+            write_page_verified(&mut self.data, slot, page, crate::stream::IO_RETRIES)?;
+        }
+        write_page_verified(&mut self.data, page.id.0, page, crate::stream::IO_RETRIES)?;
         Ok(())
     }
 

@@ -10,7 +10,8 @@
 
 use crate::record::LogRecord;
 use crate::select::{SelectionPolicy, Selector};
-use crate::stream::LogStream;
+use crate::stream::{LogStream, ScanStats};
+use rmdb_storage::fault::FaultHandle;
 use rmdb_storage::{MemDisk, StorageError};
 
 /// A durable location in the distributed log: stream index and byte
@@ -112,6 +113,18 @@ impl ParallelLogManager {
     /// Element `i` is stream `i`'s records in append order.
     pub fn scan_all(&self) -> Vec<Vec<LogRecord>> {
         self.streams.iter().map(|s| s.scan()).collect()
+    }
+
+    /// [`ParallelLogManager::scan_all`] with per-stream salvage stats.
+    pub fn scan_all_with_stats(&self) -> Vec<(Vec<LogRecord>, ScanStats)> {
+        self.streams.iter().map(|s| s.scan_with_stats()).collect()
+    }
+
+    /// Attach one shared fault injector to every log disk.
+    pub fn attach_faults(&mut self, handle: &FaultHandle) {
+        for s in &mut self.streams {
+            s.attach_faults(handle.clone());
+        }
     }
 
     /// Truncate every stream (checkpoint completed with no live txns).

@@ -25,8 +25,8 @@
 use crate::db::{CrashImage, TxnId, WalConfig, WalDb, WalError};
 use crate::manager::ParallelLogManager;
 use crate::record::LogRecord;
-use rmdb_storage::{Lsn, MemDisk, Page, PageId};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use rmdb_storage::{write_page_verified, Lsn, MemDisk, Page, PageId, StorageError};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// What recovery did, for observability and tests.
 #[derive(Debug, Clone, Default)]
@@ -45,8 +45,44 @@ pub struct RecoveryReport {
     pub undone_updates: u64,
     /// Distinct pages recovery wrote back to the data disk.
     pub pages_written: u64,
-    /// Torn data pages reconstructed from full-page (physical) log images.
+    /// Torn data pages reconstructed from the doublewrite buffer or from
+    /// full-page (physical) log images.
     pub torn_pages_repaired: u64,
+    /// Records salvaged from streams whose scan was cut short by a
+    /// corrupt log page (zero when every stream scanned clean).
+    pub salvaged_records: u64,
+    /// Corrupt (torn) log pages quarantined during the scans.
+    pub quarantined_log_pages: u64,
+    /// Data pages that were corrupt and could not be rebuilt; the frame is
+    /// left in place, so reading the page yields a typed error rather than
+    /// silently invented contents.
+    pub quarantined_data_pages: u64,
+    /// Transient I/O faults ridden through by bounded retry.
+    pub retried_ios: u64,
+}
+
+/// Bounded retry for data-disk reads during recovery: transient faults and
+/// one-off read bit flips are retried; persistent corruption surfaces as
+/// the final typed error for the caller's repair/quarantine logic.
+fn read_data_retry(
+    disk: &MemDisk,
+    addr: u64,
+    retried: &mut u64,
+) -> Result<Page, StorageError> {
+    const ATTEMPTS: u32 = 4;
+    let mut last = StorageError::Io { addr };
+    for attempt in 0..ATTEMPTS {
+        match disk.read_page(addr) {
+            Err(e @ (StorageError::Io { .. } | StorageError::Corrupt { .. }))
+                if attempt + 1 < ATTEMPTS =>
+            {
+                *retried += 1;
+                last = e;
+            }
+            other => return other,
+        }
+    }
+    Err(last)
 }
 
 struct RedoItem {
@@ -61,11 +97,40 @@ pub fn recover(image: CrashImage, cfg: WalConfig) -> Result<(WalDb, RecoveryRepo
     let mut data: MemDisk = data;
     let mut log = ParallelLogManager::open(logs, cfg.policy, cfg.seed)?;
 
-    let scans = log.scan_all();
+    let scanned = log.scan_all_with_stats();
     let mut report = RecoveryReport {
-        streams_scanned: scans.len(),
+        streams_scanned: scanned.len(),
         ..RecoveryReport::default()
     };
+    let mut scans: Vec<Vec<LogRecord>> = Vec::with_capacity(scanned.len());
+    for (records, stats) in scanned {
+        report.quarantined_log_pages += stats.corrupt_pages;
+        report.retried_ios += stats.retried_reads;
+        if stats.corrupt_pages > 0 {
+            // the decodable prefix before the torn page is what survives
+            report.salvaged_records += records.len() as u64;
+        }
+        scans.push(records);
+    }
+
+    // Harvest the doublewrite buffer: the latest valid full image per page,
+    // used to rebuild home frames torn by the crash. A corrupt doublewrite
+    // slot means the crash hit the doublewrite write itself — the home
+    // frame is then still intact, so the slot is simply ignored.
+    let mut doublewrite: HashMap<PageId, Page> = HashMap::new();
+    for slot in cfg.data_pages..data.capacity() {
+        if !data.is_allocated(slot) {
+            continue;
+        }
+        if let Ok(p) = read_data_retry(&data, slot, &mut report.retried_ios) {
+            match doublewrite.get(&p.id) {
+                Some(have) if have.lsn >= p.lsn => {}
+                _ => {
+                    doublewrite.insert(p.id, p);
+                }
+            }
+        }
+    }
 
     // ---- Analysis ----
     let mut committed: HashSet<TxnId> = HashSet::new();
@@ -145,21 +210,35 @@ pub fn recover(image: CrashImage, cfg: WalConfig) -> Result<(WalDb, RecoveryRepo
 
     // ---- Redo (repeat history) ----
     let mut pages: BTreeMap<PageId, Page> = BTreeMap::new();
+    let mut quarantined: BTreeSet<PageId> = BTreeSet::new();
     for (page_id, mut items) in redo {
         items.sort_by_key(|i| i.new_lsn);
         let mut page = if data.is_allocated(page_id.0) {
-            match data.read_page(page_id.0) {
+            match read_data_retry(&data, page_id.0, &mut report.retried_ios) {
                 Ok(p) => p,
-                Err(rmdb_storage::StorageError::Corrupt { .. })
-                    if items
+                Err(StorageError::Corrupt { .. }) => {
+                    if let Some(copy) = doublewrite.get(&page_id) {
+                        // Torn home write: the doublewrite buffer holds a
+                        // verified full image written just before it.
+                        report.torn_pages_repaired += 1;
+                        copy.clone()
+                    } else if items
                         .first()
-                        .is_some_and(|i| i.offset == 0 && i.data.len() == rmdb_storage::PAYLOAD_SIZE) =>
-                {
-                    // Torn write: under physical logging the earliest
-                    // retained fragment carries a full page image, so the
-                    // page can be rebuilt from scratch by replaying.
-                    report.torn_pages_repaired += 1;
-                    Page::new(page_id)
+                        .is_some_and(|i| i.offset == 0 && i.data.len() == rmdb_storage::PAYLOAD_SIZE)
+                    {
+                        // Under physical logging the earliest retained
+                        // fragment carries a full page image, so the page
+                        // can be rebuilt from scratch by replaying.
+                        report.torn_pages_repaired += 1;
+                        Page::new(page_id)
+                    } else {
+                        // Unrebuildable: quarantine. The torn frame stays
+                        // on disk, so reads of this page surface a typed
+                        // Corrupt error instead of invented contents.
+                        report.quarantined_data_pages += 1;
+                        quarantined.insert(page_id);
+                        continue;
+                    }
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -167,6 +246,12 @@ pub fn recover(image: CrashImage, cfg: WalConfig) -> Result<(WalDb, RecoveryRepo
             Page::new(page_id)
         };
         for item in items {
+            if item.offset as usize + item.data.len() > rmdb_storage::PAYLOAD_SIZE {
+                // a fragment that was never writable; refuse rather than panic
+                return Err(WalError::Storage(StorageError::Protocol(
+                    "log fragment exceeds page payload",
+                )));
+            }
             if page.lsn < item.new_lsn {
                 page.write_at(item.offset as usize, &item.data);
                 page.lsn = item.new_lsn;
@@ -192,6 +277,16 @@ pub fn recover(image: CrashImage, cfg: WalConfig) -> Result<(WalDb, RecoveryRepo
         cands.sort_by_key(|c| std::cmp::Reverse(c.new_lsn));
         let mut last_stream = None;
         for cand in &cands {
+            if quarantined.contains(&cand.page) {
+                // the page is unreadable either way; undoing onto a fresh
+                // frame would invent contents for the untouched bytes
+                continue;
+            }
+            if cand.offset as usize + cand.before.len() > rmdb_storage::PAYLOAD_SIZE {
+                return Err(WalError::Storage(StorageError::Protocol(
+                    "log fragment exceeds page payload",
+                )));
+            }
             let page = pages
                 .entry(cand.page)
                 .or_insert_with(|| Page::new(cand.page));
@@ -219,7 +314,7 @@ pub fn recover(image: CrashImage, cfg: WalConfig) -> Result<(WalDb, RecoveryRepo
     // ---- Make the recovered state durable: log first, then data ----
     log.force_all()?;
     for (id, page) in &pages {
-        data.write_page(id.0, page)?;
+        write_page_verified(&mut data, id.0, page, 4)?;
         report.pages_written += 1;
     }
 
@@ -500,9 +595,9 @@ mod tests {
     }
 
     #[test]
-    fn torn_data_page_is_fatal_under_logical_logging() {
-        // logical fragments cannot rebuild a page from nothing; recovery
-        // must surface the corruption instead of guessing
+    fn torn_data_page_repaired_from_doublewrite_under_logical_logging() {
+        // logical fragments cannot rebuild a page from nothing, but every
+        // home write parks a verified image in the doublewrite buffer first
         let mut db = WalDb::new(cfg(2));
         let t = db.begin();
         db.write(t, 4, 0, b"data").unwrap();
@@ -516,7 +611,46 @@ mod tests {
         other.write_at(3000, b"YYYY");
         image.data.write_partial(4, &other.to_frame(), 2000).unwrap();
         assert!(image.data.read_page(4).is_err());
-        assert!(WalDb::recover(image, cfg(2)).is_err());
+        let (mut db2, report) = WalDb::recover(image, cfg(2)).unwrap();
+        assert_eq!(report.torn_pages_repaired, 1);
+        assert_eq!(report.quarantined_data_pages, 0);
+        assert_eq!(read_committed(&mut db2, 4, 0, 4), b"data");
+    }
+
+    #[test]
+    fn torn_data_page_without_doublewrite_is_quarantined() {
+        // with the doublewrite buffer disabled and only logical fragments,
+        // a torn page cannot be rebuilt: recovery quarantines it (typed
+        // error on read) instead of panicking or inventing contents
+        let mk = || WalConfig {
+            dw_slots: 0,
+            ..cfg(2)
+        };
+        let mut db = WalDb::new(mk());
+        let t = db.begin();
+        db.write(t, 4, 0, b"gone").unwrap();
+        db.write(t, 5, 0, b"fine").unwrap();
+        db.commit(t).unwrap();
+        db.flush_all().unwrap();
+        let mut image = db.crash_image();
+        let page = image.data.read_page(4).unwrap();
+        let mut other = page.clone();
+        other.write_at(0, b"XXXX");
+        other.write_at(3000, b"YYYY");
+        image.data.write_partial(4, &other.to_frame(), 2000).unwrap();
+        assert!(image.data.read_page(4).is_err());
+
+        let (mut db2, report) = WalDb::recover(image, mk()).unwrap();
+        assert_eq!(report.quarantined_data_pages, 1);
+        assert_eq!(report.torn_pages_repaired, 0);
+        // the quarantined page reads as a typed storage error, not a panic
+        let q = db2.begin();
+        assert!(matches!(
+            db2.read(q, 4, 0, 4),
+            Err(WalError::Storage(rmdb_storage::StorageError::Corrupt { .. }))
+        ));
+        // untouched pages are unaffected
+        assert_eq!(db2.read(q, 5, 0, 4).unwrap(), b"fine");
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //! point* (the first log page recovery must scan) and the current epoch.
 
 use crate::record::LogRecord;
-use rmdb_storage::{MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE};
+use rmdb_storage::fault::FaultHandle;
+use rmdb_storage::{write_page_verified, MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE};
+
+/// Bounded retry budget for riding through transient device faults.
+pub(crate) const IO_RETRIES: u32 = 4;
 
 /// Per-page header inside the payload: `used: u32` + `epoch: u64`.
 const PAGE_HDR: usize = 12;
@@ -32,6 +36,33 @@ pub const USABLE: usize = PAYLOAD_SIZE - PAGE_HDR;
 
 /// Reserved page id marking the header frame.
 const HEADER_ID: PageId = PageId(u64::MAX);
+
+/// Salvage accounting from a [`LogStream::scan_with_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Corrupt (torn) log pages quarantined; the scan stops at the first.
+    pub corrupt_pages: u64,
+    /// Transient read faults ridden through by bounded retry.
+    pub retried_reads: u64,
+}
+
+/// Bounded read retry for log frames: rides transient I/O faults and
+/// one-off bit flips, counting retries; persistent errors surface typed.
+fn read_retry(disk: &MemDisk, addr: u64, retried: &mut u64) -> Result<Page, StorageError> {
+    let mut last = StorageError::Io { addr };
+    for attempt in 0..IO_RETRIES {
+        match disk.read_page(addr) {
+            Err(e @ (StorageError::Io { .. } | StorageError::Corrupt { .. }))
+                if attempt + 1 < IO_RETRIES =>
+            {
+                *retried += 1;
+                last = e;
+            }
+            other => return other,
+        }
+    }
+    Err(last)
+}
 
 /// A single sequential log on its own disk.
 pub struct LogStream {
@@ -78,7 +109,7 @@ impl LogStream {
     /// the crash, rewrites the cut page, and bumps the epoch so stale
     /// pages beyond the frontier can never be mistaken for live ones.
     pub fn open(disk: MemDisk) -> Result<Self, StorageError> {
-        let (start_page, old_epoch) = match disk.read_page(0) {
+        let (start_page, old_epoch) = match read_retry(&disk, 0, &mut 0) {
             Ok(h) if h.id == HEADER_ID => (
                 u64::from_le_bytes(h.read_at(0, 8).try_into().unwrap()),
                 u64::from_le_bytes(h.read_at(8, 8).try_into().unwrap()),
@@ -93,7 +124,10 @@ impl LogStream {
         let mut prev_epoch = 0u64;
         let mut frame = start_page;
         while frame < disk.capacity() {
-            match disk.read_page(frame) {
+            // a corrupt (torn) log page is the durability frontier: the
+            // decodable prefix before it is salvaged, everything at and
+            // beyond it was in flight when the crash hit
+            match read_retry(&disk, frame, &mut 0) {
                 Ok(p) if p.id == PageId(frame) => {
                     let used = u32::from_le_bytes(p.read_at(0, 4).try_into().unwrap()) as usize;
                     let epoch = u64::from_le_bytes(p.read_at(4, 8).try_into().unwrap());
@@ -148,20 +182,28 @@ impl LogStream {
         Ok(s)
     }
 
+    /// Attach a fault injector to the underlying log disk.
+    pub fn attach_faults(&mut self, handle: FaultHandle) {
+        self.disk.attach_faults(handle);
+    }
+
     fn write_header(&mut self) -> Result<(), StorageError> {
         let mut h = Page::new(HEADER_ID);
         h.write_at(0, &self.start_page.to_le_bytes());
         h.write_at(8, &self.epoch.to_le_bytes());
-        self.disk.write_page(0, &h)
+        write_page_verified(&mut self.disk, 0, &h, IO_RETRIES)
     }
 
+    /// Write one log page, read-back verified: a silently lost or torn log
+    /// page write would otherwise lose committed records that `force`
+    /// already promised were durable.
     fn write_log_page(&mut self, data: &[u8]) -> Result<(), StorageError> {
         debug_assert!(data.len() <= USABLE);
         let mut p = Page::new(PageId(self.next_page));
         p.write_at(0, &(data.len() as u32).to_le_bytes());
         p.write_at(4, &self.epoch.to_le_bytes());
         p.write_at(PAGE_HDR, data);
-        self.disk.write_page(self.next_page, &p)?;
+        write_page_verified(&mut self.disk, self.next_page, &p, IO_RETRIES)?;
         self.next_page += 1;
         self.pages_written += 1;
         Ok(())
@@ -177,8 +219,12 @@ impl LogStream {
         rec.encode(&mut self.buf);
         self.appended = self.durable + self.buf.len() as u64;
         while self.buf.len() >= USABLE {
-            let page: Vec<u8> = self.buf.drain(..USABLE).collect();
+            // copy-then-drain: if the write fails (transient fault budget
+            // exhausted, device offline) the bytes stay buffered, keeping
+            // the volatile stream position consistent for a later retry
+            let page: Vec<u8> = self.buf[..USABLE].to_vec();
             self.write_log_page(&page)?;
+            self.buf.drain(..USABLE);
             self.durable += page.len() as u64;
         }
         Ok(self.appended)
@@ -190,8 +236,9 @@ impl LogStream {
         if self.buf.is_empty() {
             return Ok(());
         }
-        let page = std::mem::take(&mut self.buf);
+        let page = self.buf.clone();
         self.write_log_page(&page)?;
+        self.buf.clear();
         self.durable += page.len() as u64;
         Ok(())
     }
@@ -226,11 +273,19 @@ impl LogStream {
     /// A record cut by a crash is ignored, as are torn pages and stale
     /// pages from before the last reopen.
     pub fn scan(&self) -> Vec<LogRecord> {
+        self.scan_with_stats().0
+    }
+
+    /// [`LogStream::scan`] plus salvage accounting: how many corrupt log
+    /// pages were quarantined (the scan stops at the first, salvaging the
+    /// decodable prefix) and how many transient read faults were retried.
+    pub fn scan_with_stats(&self) -> (Vec<LogRecord>, ScanStats) {
+        let mut stats = ScanStats::default();
         let mut bytes = Vec::new();
         let mut prev_epoch = 0u64;
         let mut page = self.start_page;
         while page < self.disk.capacity() {
-            match self.disk.read_page(page) {
+            match read_retry(&self.disk, page, &mut stats.retried_reads) {
                 Ok(p) if p.id == PageId(page) => {
                     let used = u32::from_le_bytes(p.read_at(0, 4).try_into().unwrap()) as usize;
                     let epoch = u64::from_le_bytes(p.read_at(4, 8).try_into().unwrap());
@@ -241,6 +296,10 @@ impl LogStream {
                     bytes.extend_from_slice(p.read_at(PAGE_HDR, used));
                     page += 1;
                 }
+                Err(StorageError::Corrupt { .. }) => {
+                    stats.corrupt_pages += 1;
+                    break;
+                }
                 _ => break,
             }
         }
@@ -249,7 +308,7 @@ impl LogStream {
         while let Some(rec) = LogRecord::decode(&mut cursor) {
             records.push(rec);
         }
-        records
+        (records, stats)
     }
 
     /// Advance the durable truncation point past everything written so far.

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full verification gate: build, every test in the workspace, and a
+# warning-free clippy pass. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo test -q --workspace
+cargo clippy --all-targets -- -D warnings
+echo "verify: OK"

@@ -1,0 +1,608 @@
+//! Crashpoint sweep: every architecture survives a *device-level* fault
+//! storm — torn writes, lost writes, transient I/O errors, read bit flips —
+//! composed with a crash after the k-th frame write, for many seeds and
+//! many crashpoints, with zero divergence from a committed-state oracle.
+//!
+//! This goes beyond `crash_consistency.rs` (which crashes only between
+//! transaction bursts, on a clean device): here the crash lands in the
+//! middle of whatever multi-frame protocol the engine happens to be
+//! running — half-written shadow tables, torn commit-list appends,
+//! partially installed no-undo directories — and the device lies on the
+//! way down.
+//!
+//! Oracle semantics under faults: the engines absorb every *transient*
+//! fault internally (verified writes and retried reads, with more retries
+//! than any seeded fault's attempt budget), so the only error a
+//! transaction can observe is the crash itself. A transaction whose
+//! `commit` returns the crash error is *ambiguous* — the commit point may
+//! or may not have hit the platter — so each page it wrote may legally
+//! read as either the old or the new value after recovery. Every other
+//! outcome is strict.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recovery_machines::core::PageStore;
+use recovery_machines::difffile::{DiffConfig, DiffDb, ScanStrategy};
+use recovery_machines::shadow::{
+    NoRedoStore, NoUndoStore, OverwriteConfig, ShadowConfig, ShadowPager, VersionConfig,
+    VersionStore,
+};
+use recovery_machines::storage::{FaultInjector, FaultPlan, MemDisk, FRAME_SIZE};
+use recovery_machines::wal::{LogMode, SelectionPolicy, WalConfig, WalDb};
+use std::collections::HashMap;
+
+const PAGES: u64 = 16;
+const SLOT: usize = 24;
+const SEEDS: [u64; 8] = [1, 2, 7, 11, 42, 1985, 4242, 31337];
+const CRASHPOINTS: [u64; 5] = [3, 17, 41, 97, 211];
+
+/// Acceptable values per page. One candidate = strict; two = the page was
+/// written by the single ambiguous (crash-interrupted) commit.
+type Oracle = HashMap<u64, Vec<Vec<u8>>>;
+
+fn zeros() -> Vec<Vec<u8>> {
+    vec![vec![0u8; SLOT]]
+}
+
+/// Run transactions until the crash surfaces (or `max_ops` run out).
+/// Returns true once an operation observed the crash.
+fn faulty_storm<S: PageStore>(
+    store: &mut S,
+    oracle: &mut Oracle,
+    rng: &mut StdRng,
+    max_ops: usize,
+) -> bool {
+    for _ in 0..max_ops {
+        let txn = store.begin();
+        let mut staged: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut doomed = false;
+        for _ in 0..rng.gen_range(1..4) {
+            let page = rng.gen_range(0..PAGES);
+            if staged.iter().any(|(p, _)| *p == page) {
+                continue;
+            }
+            let mut data = vec![0u8; SLOT];
+            rng.fill(&mut data[..]);
+            if let Err(e) = store.write(txn, page, 0, &data) {
+                // loser: nothing it wrote may survive recovery
+                eprintln!("[storm] write error: {e}");
+                doomed = true;
+                break;
+            }
+            staged.push((page, data));
+        }
+        if doomed {
+            return true;
+        }
+        if rng.gen_bool(0.7) {
+            match store.commit(txn) {
+                Ok(()) => {
+                    for (page, data) in staged {
+                        oracle.insert(page, vec![data]);
+                    }
+                }
+                Err(e) => {
+                    // ambiguous: the commit point may or may not be durable
+                    eprintln!("[storm] commit error: {e}");
+                    for (page, data) in staged {
+                        oracle.entry(page).or_insert_with(zeros).push(data);
+                    }
+                    return true;
+                }
+            }
+        } else if let Err(e) = store.abort(txn) {
+            eprintln!("[storm] abort error: {e}");
+            return true;
+        }
+    }
+    false
+}
+
+/// Check every page reads as one of its acceptable values, then pin the
+/// oracle to what the recovered store actually holds (recovery resolved
+/// any ambiguity one way or the other — durably).
+fn verify_and_pin<S: PageStore>(store: &mut S, oracle: &mut Oracle, context: &str) {
+    let txn = store.begin();
+    for page in 0..PAGES {
+        let got = store.read(txn, page, 0, SLOT).expect("read after recovery");
+        let acceptable = oracle.get(&page).cloned().unwrap_or_else(zeros);
+        assert!(
+            acceptable.contains(&got),
+            "{} [{context}]: page {page} diverged: got {got:?}, acceptable {acceptable:?}",
+            store.architecture()
+        );
+        oracle.insert(page, vec![got]);
+    }
+    store.abort(txn).expect("read-only abort");
+}
+
+/// Sweep one architecture: seeded device faults + crash after write k,
+/// for every (seed, crashpoint) pair.
+macro_rules! sweep_test {
+    ($name:ident, $ty:ty, $cfg:expr, $new:expr, $recover:expr) => {
+        #[test]
+        fn $name() {
+            let mut crash_hits = 0usize;
+            for seed in SEEDS {
+                for crashpoint in CRASHPOINTS {
+                    let cfg = $cfg;
+                    let mut rng = StdRng::seed_from_u64(seed ^ (crashpoint << 32));
+                    #[allow(clippy::redundant_closure_call)]
+                    let mut store: $ty = ($new)(cfg.clone());
+                    let plan =
+                        FaultPlan::seeded(seed, 1 << 20).crash_after_write(crashpoint);
+                    let handle = FaultInjector::handle(plan);
+                    store.attach_faults(&handle);
+
+                    let mut oracle = Oracle::new();
+                    let errored = faulty_storm(&mut store, &mut oracle, &mut rng, 600);
+                    let (injector_crashed, writes_seen) = {
+                        let inj = handle.lock();
+                        (inj.crashed(), inj.writes())
+                    };
+                    // The storm must stop on an error: usually the
+                    // scheduled crash, occasionally an exhausted retry on a
+                    // clustered run of seeded transients. Either way the
+                    // platter is frozen mid-protocol — exactly what
+                    // recovery must survive.
+                    assert!(
+                        errored,
+                        "seed {seed} crashpoint {crashpoint}: storm ran dry without an \
+                         error (writes seen: {writes_seen})"
+                    );
+                    crash_hits += usize::from(injector_crashed);
+
+                    // recovery must succeed on whatever the device holds
+                    #[allow(clippy::redundant_closure_call)]
+                    let mut store: $ty = ($recover)(&store, cfg.clone());
+                    let ctx = format!("seed {seed} crashpoint {crashpoint}");
+                    verify_and_pin(&mut store, &mut oracle, &ctx);
+
+                    // and the engine still works on the clean device
+                    let crashed = faulty_storm(&mut store, &mut oracle, &mut rng, 10);
+                    assert!(!crashed, "{ctx}: error after recovery on a clean device");
+                    verify_and_pin(&mut store, &mut oracle, &format!("{ctx} post"));
+                }
+            }
+            // the sweep must actually sweep: the scheduled crash has to
+            // fire in the large majority of runs
+            let grid = SEEDS.len() * CRASHPOINTS.len();
+            assert!(
+                crash_hits * 2 >= grid,
+                "scheduled crash fired in only {crash_hits}/{grid} runs"
+            );
+        }
+    };
+}
+
+sweep_test!(
+    wal_logical_survives_fault_sweep,
+    WalDb,
+    WalConfig {
+        data_pages: PAGES,
+        pool_frames: 3,
+        log_streams: 3,
+        policy: SelectionPolicy::Cyclic,
+        ..WalConfig::default()
+    },
+    WalDb::new,
+    |db: &WalDb, cfg| WalDb::recover(db.crash_image(), cfg).expect("recover").0
+);
+
+sweep_test!(
+    wal_physical_survives_fault_sweep,
+    WalDb,
+    WalConfig {
+        data_pages: PAGES,
+        pool_frames: 3,
+        log_streams: 2,
+        log_mode: LogMode::Physical,
+        log_frames: 1 << 14,
+        ..WalConfig::default()
+    },
+    WalDb::new,
+    |db: &WalDb, cfg| WalDb::recover(db.crash_image(), cfg).expect("recover").0
+);
+
+sweep_test!(
+    shadow_pager_survives_fault_sweep,
+    ShadowPager,
+    ShadowConfig {
+        logical_pages: PAGES,
+        data_frames: PAGES * 4,
+        ..ShadowConfig::default()
+    },
+    |cfg| ShadowPager::new(cfg).expect("new"),
+    |db: &ShadowPager, cfg| ShadowPager::recover(db.crash_image(), cfg).expect("recover").0
+);
+
+sweep_test!(
+    version_store_survives_fault_sweep,
+    VersionStore,
+    VersionConfig {
+        logical_pages: PAGES,
+        commit_frames: 8,
+    },
+    VersionStore::new,
+    |db: &VersionStore, cfg| VersionStore::recover(db.crash_image(), cfg).expect("recover").0
+);
+
+sweep_test!(
+    no_undo_survives_fault_sweep,
+    NoUndoStore,
+    OverwriteConfig {
+        logical_pages: PAGES,
+        scratch_slots: 16,
+    },
+    NoUndoStore::new,
+    |db: &NoUndoStore, cfg| NoUndoStore::recover(db.crash_image(), cfg).expect("recover").0
+);
+
+sweep_test!(
+    no_redo_survives_fault_sweep,
+    NoRedoStore,
+    OverwriteConfig {
+        logical_pages: PAGES,
+        scratch_slots: 16,
+    },
+    NoRedoStore::new,
+    |db: &NoRedoStore, cfg| NoRedoStore::recover(db.crash_image(), cfg).expect("recover").0
+);
+
+/// Differential files are tuple-granular, not a [`PageStore`], so they get
+/// their own sweep: same seeded device faults, same crashpoints, with a
+/// key → value oracle over `R = (B ∪ A) − D` instead of a page oracle.
+#[test]
+fn difffile_survives_fault_sweep() {
+    let mut crash_hits = 0usize;
+    for seed in SEEDS {
+        for crashpoint in CRASHPOINTS {
+            let cfg = DiffConfig::default();
+            let mut rng = StdRng::seed_from_u64(seed ^ (crashpoint << 32));
+            let mut db = DiffDb::new(cfg.clone());
+            let plan = FaultPlan::seeded(seed, 1 << 20).crash_after_write(crashpoint);
+            let handle = FaultInjector::handle(plan);
+            db.attach_faults(&handle);
+
+            // committed tuple state, plus the one ambiguous
+            // (crash-interrupted) commit's net effect
+            let mut committed: HashMap<u64, Option<Vec<u8>>> = HashMap::new();
+            let mut ambiguous: Vec<(u64, Option<Vec<u8>>)> = Vec::new();
+            let mut errored = false;
+            'storm: for _ in 0..600 {
+                let t = db.begin();
+                let mut staged: Vec<(u64, Option<Vec<u8>>)> = Vec::new();
+                for _ in 0..rng.gen_range(1..4) {
+                    let key = rng.gen_range(0..48u64);
+                    if staged.iter().any(|(k, _)| *k == key) {
+                        continue;
+                    }
+                    if rng.gen_bool(0.7) {
+                        let mut v = vec![0u8; 8];
+                        rng.fill(&mut v[..]);
+                        if db.insert(t, key, &v).is_err() {
+                            errored = true;
+                            break 'storm;
+                        }
+                        staged.push((key, Some(v)));
+                    } else {
+                        if db.delete(t, key).is_err() {
+                            errored = true;
+                            break 'storm;
+                        }
+                        staged.push((key, None));
+                    }
+                }
+                match db.commit(t) {
+                    Ok(()) => {
+                        for (k, v) in staged {
+                            committed.insert(k, v);
+                        }
+                    }
+                    Err(_) => {
+                        ambiguous = staged;
+                        errored = true;
+                        break 'storm;
+                    }
+                }
+            }
+            let ctx = format!("difffile seed {seed} crashpoint {crashpoint}");
+            assert!(errored, "{ctx}: storm ran dry without an error");
+            crash_hits += usize::from(handle.lock().crashed());
+
+            let mut db = DiffDb::recover(db.crash_image(), cfg).expect("recover");
+            let t = db.begin();
+            let got: HashMap<u64, Vec<u8>> = db
+                .query(t, |_| true, ScanStrategy::Optimal)
+                .expect("query after recovery")
+                .into_iter()
+                .map(|tp| (tp.key, tp.value))
+                .collect();
+            db.abort(t).expect("read-only abort");
+
+            let live = |m: &HashMap<u64, Option<Vec<u8>>>| -> HashMap<u64, Vec<u8>> {
+                m.iter()
+                    .filter_map(|(k, v)| v.clone().map(|v| (*k, v)))
+                    .collect()
+            };
+            let without = live(&committed);
+            for (k, v) in &ambiguous {
+                committed.insert(*k, v.clone());
+            }
+            let with = live(&committed);
+            assert!(
+                got == without || got == with,
+                "{ctx}: recovered relation matches neither side of the \
+                 interrupted commit\n got: {got:?}\n old: {without:?}\n new: {with:?}"
+            );
+
+            // the engine still works on the clean device
+            let t = db.begin();
+            db.insert(t, 1_000, b"post-recovery").expect("insert");
+            db.commit(t).expect("commit");
+        }
+    }
+    let grid = SEEDS.len() * CRASHPOINTS.len();
+    assert!(
+        crash_hits * 2 >= grid,
+        "scheduled crash fired in only {crash_hits}/{grid} runs"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: a fault schedule is pure data. Same seed, same plan, same
+// workload ⇒ byte-identical post-crash platters.
+// ---------------------------------------------------------------------------
+
+fn assert_disks_identical(a: &MemDisk, b: &MemDisk, what: &str) {
+    assert_eq!(a.capacity(), b.capacity(), "{what}: capacity");
+    for addr in 0..a.capacity() {
+        assert_eq!(
+            a.is_allocated(addr),
+            b.is_allocated(addr),
+            "{what}: allocation of frame {addr}"
+        );
+        if a.is_allocated(addr) {
+            let fa = a.read_frame(addr).expect("frame a");
+            let fb = b.read_frame(addr).expect("frame b");
+            assert!(fa == fb, "{what}: frame {addr} differs between runs");
+        }
+    }
+}
+
+#[test]
+fn fault_plan_replays_to_identical_crash_images() {
+    fn run_wal(seed: u64) -> recovery_machines::wal::CrashImage {
+        let cfg = WalConfig {
+            data_pages: PAGES,
+            pool_frames: 3,
+            log_streams: 3,
+            policy: SelectionPolicy::Cyclic,
+            ..WalConfig::default()
+        };
+        let mut db = WalDb::new(cfg);
+        let plan = FaultPlan::seeded(seed, 1 << 20).crash_after_write(37);
+        db.attach_faults(&FaultInjector::handle(plan));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut oracle = Oracle::new();
+        faulty_storm(&mut db, &mut oracle, &mut rng, 600);
+        db.crash_image()
+    }
+
+    fn run_shadow(seed: u64) -> recovery_machines::shadow::ShadowImage {
+        let cfg = ShadowConfig {
+            logical_pages: PAGES,
+            data_frames: PAGES * 4,
+            ..ShadowConfig::default()
+        };
+        let mut db = ShadowPager::new(cfg).expect("new");
+        let plan = FaultPlan::seeded(seed, 1 << 20).crash_after_write(37);
+        db.attach_faults(&FaultInjector::handle(plan));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut oracle = Oracle::new();
+        faulty_storm(&mut db, &mut oracle, &mut rng, 600);
+        db.crash_image()
+    }
+
+    for seed in [3u64, 1985] {
+        let (x, y) = (run_wal(seed), run_wal(seed));
+        assert_disks_identical(&x.data, &y.data, "wal data");
+        assert_eq!(x.logs.len(), y.logs.len(), "log stream count");
+        for (i, (lx, ly)) in x.logs.iter().zip(&y.logs).enumerate() {
+            assert_disks_identical(lx, ly, &format!("wal log {i}"));
+        }
+
+        let (x, y) = (run_shadow(seed), run_shadow(seed));
+        assert_disks_identical(&x.data, &y.data, "shadow data");
+        assert_disks_identical(&x.pt, &y.pt, "shadow page-table");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Never-panic: recovery on an *arbitrarily* scribbled crash image must
+// return Ok (possibly with quarantined state) or a typed error — it may
+// never panic, whatever garbage the platter holds.
+// ---------------------------------------------------------------------------
+
+/// Overwrite `hits` random frame prefixes of `disk` with random bytes.
+fn scribble(disk: &mut MemDisk, rng: &mut StdRng, hits: usize) {
+    for _ in 0..hits {
+        let addr = rng.gen_range(0..disk.capacity());
+        let mut junk = [0u8; FRAME_SIZE];
+        rng.fill(&mut junk[..]);
+        let cut = rng.gen_range(1..=FRAME_SIZE);
+        disk.write_partial(addr, &junk, cut).expect("scribble");
+    }
+}
+
+/// Build a store, commit real work, scribble the crash image, recover.
+/// `$corrupt` scribbles the image's disks in place; `$recover` consumes
+/// the image — Ok or a typed Err are both fine, a panic fails the test.
+macro_rules! never_panic_case {
+    ($rng:expr, $store:expr, $corrupt:expr, $recover:expr) => {{
+        let mut store = $store;
+        let mut oracle = Oracle::new();
+        let mut rng_w = StdRng::seed_from_u64(7);
+        faulty_storm(&mut store, &mut oracle, &mut rng_w, 30);
+        let mut image = store.crash_image();
+        #[allow(clippy::redundant_closure_call)]
+        ($corrupt)(&mut image, $rng);
+        #[allow(clippy::redundant_closure_call)]
+        ($recover)(image);
+    }};
+}
+
+#[test]
+fn recovery_never_panics_on_scribbled_images() {
+    for seed in SEEDS {
+        let rng = &mut StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+
+        never_panic_case!(
+            rng,
+            WalDb::new(WalConfig {
+                data_pages: PAGES,
+                pool_frames: 3,
+                log_streams: 3,
+                ..WalConfig::default()
+            }),
+            |i: &mut recovery_machines::wal::CrashImage, rng: &mut StdRng| {
+                scribble(&mut i.data, rng, 4);
+                for log in i.logs.iter_mut() {
+                    scribble(log, rng, 2);
+                }
+            },
+            |image| {
+                if let Ok((mut db, _)) = WalDb::recover(
+                    image,
+                    WalConfig {
+                        data_pages: PAGES,
+                        pool_frames: 3,
+                        log_streams: 3,
+                        ..WalConfig::default()
+                    },
+                ) {
+                    read_all(&mut db);
+                }
+            }
+        );
+
+        never_panic_case!(
+            rng,
+            ShadowPager::new(ShadowConfig {
+                logical_pages: PAGES,
+                data_frames: PAGES * 4,
+                ..ShadowConfig::default()
+            })
+            .expect("new"),
+            |i: &mut recovery_machines::shadow::ShadowImage, rng: &mut StdRng| {
+                scribble(&mut i.data, rng, 4);
+                scribble(&mut i.pt, rng, 2);
+            },
+            |image| {
+                if let Ok((mut db, _)) = ShadowPager::recover(
+                    image,
+                    ShadowConfig {
+                        logical_pages: PAGES,
+                        data_frames: PAGES * 4,
+                        ..ShadowConfig::default()
+                    },
+                ) {
+                    read_all(&mut db);
+                }
+            }
+        );
+
+        never_panic_case!(
+            rng,
+            VersionStore::new(VersionConfig {
+                logical_pages: PAGES,
+                commit_frames: 8,
+            }),
+            |i: &mut recovery_machines::shadow::VersionImage, rng: &mut StdRng| {
+                scribble(&mut i.disk, rng, 4);
+            },
+            |image| {
+                if let Ok((mut db, _)) = VersionStore::recover(
+                    image,
+                    VersionConfig {
+                        logical_pages: PAGES,
+                        commit_frames: 8,
+                    },
+                ) {
+                    read_all(&mut db);
+                }
+            }
+        );
+
+        never_panic_case!(
+            rng,
+            NoUndoStore::new(OverwriteConfig {
+                logical_pages: PAGES,
+                scratch_slots: 16,
+            }),
+            |i: &mut recovery_machines::shadow::OverwriteImage, rng: &mut StdRng| {
+                scribble(&mut i.disk, rng, 4);
+            },
+            |image| {
+                if let Ok((mut db, _)) = NoUndoStore::recover(
+                    image,
+                    OverwriteConfig {
+                        logical_pages: PAGES,
+                        scratch_slots: 16,
+                    },
+                ) {
+                    read_all(&mut db);
+                }
+            }
+        );
+
+        never_panic_case!(
+            rng,
+            NoRedoStore::new(OverwriteConfig {
+                logical_pages: PAGES,
+                scratch_slots: 16,
+            }),
+            |i: &mut recovery_machines::shadow::OverwriteImage, rng: &mut StdRng| {
+                scribble(&mut i.disk, rng, 4);
+            },
+            |image| {
+                if let Ok((mut db, _)) = NoRedoStore::recover(
+                    image,
+                    OverwriteConfig {
+                        logical_pages: PAGES,
+                        scratch_slots: 16,
+                    },
+                ) {
+                    read_all(&mut db);
+                }
+            }
+        );
+
+        // differential files are tuple-granular, not a PageStore — drive
+        // them directly
+        let mut db = DiffDb::new(DiffConfig::default());
+        for k in 0..40u64 {
+            let t = db.begin();
+            db.insert(t, k, &k.to_le_bytes()).expect("insert");
+            if k % 3 == 0 {
+                db.delete(t, k / 2).expect("delete");
+            }
+            db.commit(t).expect("commit");
+        }
+        let mut image = db.crash_image();
+        scribble(&mut image.disk, rng, 6);
+        if let Ok(mut db) = DiffDb::recover(image, DiffConfig::default()) {
+            let t = db.begin();
+            let _ = db.query(t, |_| true, ScanStrategy::Optimal);
+        }
+    }
+}
+
+/// Post-recovery read sweep: every page must read or fail typed, no panic.
+fn read_all<S: PageStore>(store: &mut S) {
+    let txn = store.begin();
+    for page in 0..PAGES {
+        let _ = store.read(txn, page, 0, SLOT);
+    }
+    let _ = store.abort(txn);
+}

@@ -14,7 +14,9 @@ use recovery_machines::wal::{WalConfig, WalDb};
 /// Maintain a heap file and a B+tree index over it in one transaction
 /// stream; return the final (sorted) table contents read back through
 /// *both* access paths.
-fn workload<S: PageStore>(store: &mut S) -> (Vec<(u64, Vec<u8>)>, Vec<(u64, Vec<u8>)>) {
+type Rows = Vec<(u64, Vec<u8>)>;
+
+fn workload<S: PageStore>(store: &mut S) -> (Rows, Rows) {
     let t = store.begin();
     let heap = HeapFile::create(store, t, 0, 32).unwrap();
     let index = BTree::create(store, t, 40, 64).unwrap();

@@ -3,6 +3,7 @@
 //! must always recover exactly the committed state.
 
 use proptest::prelude::*;
+use recovery_machines::storage::FRAME_SIZE;
 use recovery_machines::wal::{LogMode, SelectionPolicy, WalConfig, WalDb};
 use std::collections::HashMap;
 
@@ -72,7 +73,12 @@ fn run_script(ops: Vec<Op>, streams: usize, physical: bool, policy: SelectionPol
             }
             Op::Checkpoint => db.checkpoint().unwrap(),
             Op::Crash => {
-                let (recovered, _) = WalDb::recover(db.crash_image(), cfg.clone()).unwrap();
+                let (recovered, report) = WalDb::recover(db.crash_image(), cfg.clone()).unwrap();
+                // a clean crash tears nothing: salvage and quarantine are
+                // strictly fault-storm phenomena
+                assert_eq!(report.salvaged_records, 0, "clean crash salvaged records");
+                assert_eq!(report.quarantined_log_pages, 0, "clean crash quarantined log pages");
+                assert_eq!(report.quarantined_data_pages, 0, "clean crash quarantined data pages");
                 db = recovered;
             }
         }
@@ -141,4 +147,42 @@ proptest! {
         }
         db3.abort(t).unwrap();
     }
+}
+
+/// A torn (checksum-invalid) log page is quarantined, not fatal: recovery
+/// reports it and the database stays usable.
+#[test]
+fn torn_log_page_is_quarantined_not_fatal() {
+    let cfg = config(2, false, SelectionPolicy::Cyclic);
+    let mut db = WalDb::new(cfg.clone());
+    for byte in 0..6u8 {
+        let t = db.begin();
+        db.write(t, u64::from(byte) % PAGES, 0, &[byte; SLOT]).unwrap();
+        db.commit(t).unwrap();
+    }
+    let mut image = db.crash_image();
+
+    // scribble an allocated log frame past the stream header
+    let victim = (1..image.logs[0].capacity())
+        .find(|&a| image.logs[0].is_allocated(a))
+        .expect("no allocated log frame to corrupt");
+    image.logs[0]
+        .write_partial(victim, &[0xA5u8; FRAME_SIZE], FRAME_SIZE / 2)
+        .unwrap();
+
+    let (mut db, report) = WalDb::recover(image, cfg).expect("quarantine, not fatal");
+    assert!(
+        report.quarantined_log_pages >= 1,
+        "torn log page was not quarantined: {report:?}"
+    );
+    // updates at or past the torn page are lost, but the engine must still
+    // serve reads and new transactions
+    let t = db.begin();
+    for page in 0..PAGES {
+        db.read(t, page, 0, SLOT).unwrap();
+    }
+    db.abort(t).unwrap();
+    let t = db.begin();
+    db.write(t, 0, 0, &[0xBB; SLOT]).unwrap();
+    db.commit(t).unwrap();
 }
