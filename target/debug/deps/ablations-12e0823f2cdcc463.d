@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-12e0823f2cdcc463.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-12e0823f2cdcc463: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_tables-ac485d6be4922f97.d: crates/bench/src/bin/all_tables.rs
+
+/root/repo/target/debug/deps/all_tables-ac485d6be4922f97: crates/bench/src/bin/all_tables.rs
+
+crates/bench/src/bin/all_tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-074fe3517c2f1cef.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-074fe3517c2f1cef.rlib: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-074fe3517c2f1cef.rmeta: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-cf3a29ba1fd5bddf.d: crates/machine/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-cf3a29ba1fd5bddf: crates/machine/src/bin/calibrate.rs
+
+crates/machine/src/bin/calibrate.rs:

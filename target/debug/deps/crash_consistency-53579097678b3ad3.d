@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_consistency-53579097678b3ad3.d: tests/crash_consistency.rs
+
+/root/repo/target/debug/deps/crash_consistency-53579097678b3ad3: tests/crash_consistency.rs
+
+tests/crash_consistency.rs:

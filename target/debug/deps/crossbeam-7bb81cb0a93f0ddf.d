@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-7bb81cb0a93f0ddf.d: third_party/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-7bb81cb0a93f0ddf.rmeta: third_party/crossbeam/src/lib.rs Cargo.toml
+
+third_party/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

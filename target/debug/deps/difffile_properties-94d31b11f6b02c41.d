@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/difffile_properties-94d31b11f6b02c41.d: tests/difffile_properties.rs
+
+/root/repo/target/debug/deps/difffile_properties-94d31b11f6b02c41: tests/difffile_properties.rs
+
+tests/difffile_properties.rs:

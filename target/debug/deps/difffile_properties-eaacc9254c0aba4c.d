@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/difffile_properties-eaacc9254c0aba4c.d: tests/difffile_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifffile_properties-eaacc9254c0aba4c.rmeta: tests/difffile_properties.rs Cargo.toml
+
+tests/difffile_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

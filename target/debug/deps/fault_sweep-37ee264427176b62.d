@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-37ee264427176b62.d: tests/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-37ee264427176b62: tests/fault_sweep.rs
+
+tests/fault_sweep.rs:

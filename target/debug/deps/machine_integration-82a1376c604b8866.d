@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine_integration-82a1376c604b8866.d: tests/machine_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine_integration-82a1376c604b8866.rmeta: tests/machine_integration.rs Cargo.toml
+
+tests/machine_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

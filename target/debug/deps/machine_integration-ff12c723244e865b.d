@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine_integration-ff12c723244e865b.d: tests/machine_integration.rs
+
+/root/repo/target/debug/deps/machine_integration-ff12c723244e865b: tests/machine_integration.rs
+
+tests/machine_integration.rs:

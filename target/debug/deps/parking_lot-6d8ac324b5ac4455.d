@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-6d8ac324b5ac4455.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-6d8ac324b5ac4455.rlib: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-6d8ac324b5ac4455.rmeta: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_model-3c2d6fe1400d56bf.d: crates/storage/tests/pool_model.rs
+
+/root/repo/target/debug/deps/pool_model-3c2d6fe1400d56bf: crates/storage/tests/pool_model.rs
+
+crates/storage/tests/pool_model.rs:

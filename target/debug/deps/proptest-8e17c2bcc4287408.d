@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-8e17c2bcc4287408.d: third_party/proptest/src/lib.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-8e17c2bcc4287408.rmeta: third_party/proptest/src/lib.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs Cargo.toml
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

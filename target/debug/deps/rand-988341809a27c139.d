@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-988341809a27c139.d: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-988341809a27c139.rlib: third_party/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-988341809a27c139.rmeta: third_party/rand/src/lib.rs
+
+third_party/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_machines-19dbe5c8bed9d0dc.d: src/lib.rs
+
+/root/repo/target/debug/deps/recovery_machines-19dbe5c8bed9d0dc: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery_machines-3e1b701af3e8ebca.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery_machines-3e1b701af3e8ebca.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/recovery_machines-4b18422049a2ce4d.d: src/lib.rs
+
+/root/repo/target/debug/deps/librecovery_machines-4b18422049a2ce4d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librecovery_machines-4b18422049a2ce4d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery_machines-ddef174a1a64e2da.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery_machines-ddef174a1a64e2da.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

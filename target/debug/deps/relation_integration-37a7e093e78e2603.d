@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/relation_integration-37a7e093e78e2603.d: tests/relation_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/librelation_integration-37a7e093e78e2603.rmeta: tests/relation_integration.rs Cargo.toml
+
+tests/relation_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

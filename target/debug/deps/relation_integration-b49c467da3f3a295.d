@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/relation_integration-b49c467da3f3a295.d: tests/relation_integration.rs
+
+/root/repo/target/debug/deps/relation_integration-b49c467da3f3a295: tests/relation_integration.rs
+
+tests/relation_integration.rs:

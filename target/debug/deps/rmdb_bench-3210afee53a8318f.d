@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rmdb_bench-3210afee53a8318f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librmdb_bench-3210afee53a8318f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librmdb_bench-3210afee53a8318f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rmdb_bench-91066d5505a653d9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/rmdb_bench-91066d5505a653d9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

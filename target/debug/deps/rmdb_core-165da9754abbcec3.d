@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rmdb_core-165da9754abbcec3.d: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/store.rs
+
+/root/repo/target/debug/deps/librmdb_core-165da9754abbcec3.rlib: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/store.rs
+
+/root/repo/target/debug/deps/librmdb_core-165da9754abbcec3.rmeta: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/export.rs:
+crates/core/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rmdb_core-1f926c1ae63199ea.d: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmdb_core-1f926c1ae63199ea.rmeta: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/store.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/export.rs:
+crates/core/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

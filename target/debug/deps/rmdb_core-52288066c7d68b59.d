@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rmdb_core-52288066c7d68b59.d: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/store.rs
+
+/root/repo/target/debug/deps/rmdb_core-52288066c7d68b59: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/export.rs:
+crates/core/src/store.rs:

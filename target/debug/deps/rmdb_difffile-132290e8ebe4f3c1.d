@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rmdb_difffile-132290e8ebe4f3c1.d: crates/difffile/src/lib.rs crates/difffile/src/db.rs crates/difffile/src/ops.rs crates/difffile/src/tuple.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmdb_difffile-132290e8ebe4f3c1.rmeta: crates/difffile/src/lib.rs crates/difffile/src/db.rs crates/difffile/src/ops.rs crates/difffile/src/tuple.rs Cargo.toml
+
+crates/difffile/src/lib.rs:
+crates/difffile/src/db.rs:
+crates/difffile/src/ops.rs:
+crates/difffile/src/tuple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rmdb_difffile-47ae445400d31dfa.d: crates/difffile/src/lib.rs crates/difffile/src/db.rs crates/difffile/src/ops.rs crates/difffile/src/tuple.rs
+
+/root/repo/target/debug/deps/rmdb_difffile-47ae445400d31dfa: crates/difffile/src/lib.rs crates/difffile/src/db.rs crates/difffile/src/ops.rs crates/difffile/src/tuple.rs
+
+crates/difffile/src/lib.rs:
+crates/difffile/src/db.rs:
+crates/difffile/src/ops.rs:
+crates/difffile/src/tuple.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rmdb_difffile-7d65f47c7b5062f5.d: crates/difffile/src/lib.rs crates/difffile/src/db.rs crates/difffile/src/ops.rs crates/difffile/src/tuple.rs
+
+/root/repo/target/debug/deps/librmdb_difffile-7d65f47c7b5062f5.rlib: crates/difffile/src/lib.rs crates/difffile/src/db.rs crates/difffile/src/ops.rs crates/difffile/src/tuple.rs
+
+/root/repo/target/debug/deps/librmdb_difffile-7d65f47c7b5062f5.rmeta: crates/difffile/src/lib.rs crates/difffile/src/db.rs crates/difffile/src/ops.rs crates/difffile/src/tuple.rs
+
+crates/difffile/src/lib.rs:
+crates/difffile/src/db.rs:
+crates/difffile/src/ops.rs:
+crates/difffile/src/tuple.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rmdb_disk-0e4b7f5ed8f45c02.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/geometry.rs crates/disk/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmdb_disk-0e4b7f5ed8f45c02.rmeta: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/geometry.rs crates/disk/src/model.rs Cargo.toml
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/geometry.rs:
+crates/disk/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

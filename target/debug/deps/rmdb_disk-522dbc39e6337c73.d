@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rmdb_disk-522dbc39e6337c73.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/geometry.rs crates/disk/src/model.rs
+
+/root/repo/target/debug/deps/librmdb_disk-522dbc39e6337c73.rlib: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/geometry.rs crates/disk/src/model.rs
+
+/root/repo/target/debug/deps/librmdb_disk-522dbc39e6337c73.rmeta: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/geometry.rs crates/disk/src/model.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/geometry.rs:
+crates/disk/src/model.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rmdb_disk-5af08667716395ce.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/geometry.rs crates/disk/src/model.rs
+
+/root/repo/target/debug/deps/rmdb_disk-5af08667716395ce: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/geometry.rs crates/disk/src/model.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/geometry.rs:
+crates/disk/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rmdb_machine-29d2bbcf42fca129.d: crates/machine/src/lib.rs crates/machine/src/ablations.rs crates/machine/src/config.rs crates/machine/src/experiments.rs crates/machine/src/machine.rs crates/machine/src/report.rs crates/machine/src/workload.rs
+
+/root/repo/target/debug/deps/rmdb_machine-29d2bbcf42fca129: crates/machine/src/lib.rs crates/machine/src/ablations.rs crates/machine/src/config.rs crates/machine/src/experiments.rs crates/machine/src/machine.rs crates/machine/src/report.rs crates/machine/src/workload.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/ablations.rs:
+crates/machine/src/config.rs:
+crates/machine/src/experiments.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/report.rs:
+crates/machine/src/workload.rs:

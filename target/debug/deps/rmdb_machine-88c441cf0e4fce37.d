@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rmdb_machine-88c441cf0e4fce37.d: crates/machine/src/lib.rs crates/machine/src/ablations.rs crates/machine/src/config.rs crates/machine/src/experiments.rs crates/machine/src/machine.rs crates/machine/src/report.rs crates/machine/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmdb_machine-88c441cf0e4fce37.rmeta: crates/machine/src/lib.rs crates/machine/src/ablations.rs crates/machine/src/config.rs crates/machine/src/experiments.rs crates/machine/src/machine.rs crates/machine/src/report.rs crates/machine/src/workload.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/ablations.rs:
+crates/machine/src/config.rs:
+crates/machine/src/experiments.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/report.rs:
+crates/machine/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rmdb_machine-b3b2964516a54f13.d: crates/machine/src/lib.rs crates/machine/src/ablations.rs crates/machine/src/config.rs crates/machine/src/experiments.rs crates/machine/src/machine.rs crates/machine/src/report.rs crates/machine/src/workload.rs
+
+/root/repo/target/debug/deps/librmdb_machine-b3b2964516a54f13.rlib: crates/machine/src/lib.rs crates/machine/src/ablations.rs crates/machine/src/config.rs crates/machine/src/experiments.rs crates/machine/src/machine.rs crates/machine/src/report.rs crates/machine/src/workload.rs
+
+/root/repo/target/debug/deps/librmdb_machine-b3b2964516a54f13.rmeta: crates/machine/src/lib.rs crates/machine/src/ablations.rs crates/machine/src/config.rs crates/machine/src/experiments.rs crates/machine/src/machine.rs crates/machine/src/report.rs crates/machine/src/workload.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/ablations.rs:
+crates/machine/src/config.rs:
+crates/machine/src/experiments.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/report.rs:
+crates/machine/src/workload.rs:

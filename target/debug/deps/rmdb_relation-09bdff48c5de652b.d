@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rmdb_relation-09bdff48c5de652b.d: crates/relation/src/lib.rs crates/relation/src/btree.rs crates/relation/src/heap.rs crates/relation/src/query.rs
+
+/root/repo/target/debug/deps/rmdb_relation-09bdff48c5de652b: crates/relation/src/lib.rs crates/relation/src/btree.rs crates/relation/src/heap.rs crates/relation/src/query.rs
+
+crates/relation/src/lib.rs:
+crates/relation/src/btree.rs:
+crates/relation/src/heap.rs:
+crates/relation/src/query.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rmdb_relation-2f648cde065f61c4.d: crates/relation/src/lib.rs crates/relation/src/btree.rs crates/relation/src/heap.rs crates/relation/src/query.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmdb_relation-2f648cde065f61c4.rmeta: crates/relation/src/lib.rs crates/relation/src/btree.rs crates/relation/src/heap.rs crates/relation/src/query.rs Cargo.toml
+
+crates/relation/src/lib.rs:
+crates/relation/src/btree.rs:
+crates/relation/src/heap.rs:
+crates/relation/src/query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

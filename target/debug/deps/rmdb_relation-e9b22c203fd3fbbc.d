@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rmdb_relation-e9b22c203fd3fbbc.d: crates/relation/src/lib.rs crates/relation/src/btree.rs crates/relation/src/heap.rs crates/relation/src/query.rs
+
+/root/repo/target/debug/deps/librmdb_relation-e9b22c203fd3fbbc.rlib: crates/relation/src/lib.rs crates/relation/src/btree.rs crates/relation/src/heap.rs crates/relation/src/query.rs
+
+/root/repo/target/debug/deps/librmdb_relation-e9b22c203fd3fbbc.rmeta: crates/relation/src/lib.rs crates/relation/src/btree.rs crates/relation/src/heap.rs crates/relation/src/query.rs
+
+crates/relation/src/lib.rs:
+crates/relation/src/btree.rs:
+crates/relation/src/heap.rs:
+crates/relation/src/query.rs:

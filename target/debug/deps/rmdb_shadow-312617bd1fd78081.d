@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rmdb_shadow-312617bd1fd78081.d: crates/shadow/src/lib.rs crates/shadow/src/overwrite.rs crates/shadow/src/pagetable.rs crates/shadow/src/scratch.rs crates/shadow/src/version.rs
+
+/root/repo/target/debug/deps/librmdb_shadow-312617bd1fd78081.rlib: crates/shadow/src/lib.rs crates/shadow/src/overwrite.rs crates/shadow/src/pagetable.rs crates/shadow/src/scratch.rs crates/shadow/src/version.rs
+
+/root/repo/target/debug/deps/librmdb_shadow-312617bd1fd78081.rmeta: crates/shadow/src/lib.rs crates/shadow/src/overwrite.rs crates/shadow/src/pagetable.rs crates/shadow/src/scratch.rs crates/shadow/src/version.rs
+
+crates/shadow/src/lib.rs:
+crates/shadow/src/overwrite.rs:
+crates/shadow/src/pagetable.rs:
+crates/shadow/src/scratch.rs:
+crates/shadow/src/version.rs:

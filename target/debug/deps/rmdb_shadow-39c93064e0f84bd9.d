@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rmdb_shadow-39c93064e0f84bd9.d: crates/shadow/src/lib.rs crates/shadow/src/overwrite.rs crates/shadow/src/pagetable.rs crates/shadow/src/scratch.rs crates/shadow/src/version.rs
+
+/root/repo/target/debug/deps/rmdb_shadow-39c93064e0f84bd9: crates/shadow/src/lib.rs crates/shadow/src/overwrite.rs crates/shadow/src/pagetable.rs crates/shadow/src/scratch.rs crates/shadow/src/version.rs
+
+crates/shadow/src/lib.rs:
+crates/shadow/src/overwrite.rs:
+crates/shadow/src/pagetable.rs:
+crates/shadow/src/scratch.rs:
+crates/shadow/src/version.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rmdb_shadow-f9a153b36c62b5ab.d: crates/shadow/src/lib.rs crates/shadow/src/overwrite.rs crates/shadow/src/pagetable.rs crates/shadow/src/scratch.rs crates/shadow/src/version.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmdb_shadow-f9a153b36c62b5ab.rmeta: crates/shadow/src/lib.rs crates/shadow/src/overwrite.rs crates/shadow/src/pagetable.rs crates/shadow/src/scratch.rs crates/shadow/src/version.rs Cargo.toml
+
+crates/shadow/src/lib.rs:
+crates/shadow/src/overwrite.rs:
+crates/shadow/src/pagetable.rs:
+crates/shadow/src/scratch.rs:
+crates/shadow/src/version.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

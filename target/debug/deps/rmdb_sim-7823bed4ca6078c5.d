@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rmdb_sim-7823bed4ca6078c5.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/rmdb_sim-7823bed4ca6078c5: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calendar.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rmdb_sim-8d61f06bbc0f4215.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/librmdb_sim-8d61f06bbc0f4215.rlib: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/librmdb_sim-8d61f06bbc0f4215.rmeta: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calendar.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rmdb_storage-2f8a54e22caee9c5.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/memdisk.rs crates/storage/src/page.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmdb_storage-2f8a54e22caee9c5.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/memdisk.rs crates/storage/src/page.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/error.rs:
+crates/storage/src/fault.rs:
+crates/storage/src/memdisk.rs:
+crates/storage/src/page.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rmdb_storage-3d8ec16f49483f83.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/memdisk.rs crates/storage/src/page.rs
+
+/root/repo/target/debug/deps/librmdb_storage-3d8ec16f49483f83.rlib: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/memdisk.rs crates/storage/src/page.rs
+
+/root/repo/target/debug/deps/librmdb_storage-3d8ec16f49483f83.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/memdisk.rs crates/storage/src/page.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/error.rs:
+crates/storage/src/fault.rs:
+crates/storage/src/memdisk.rs:
+crates/storage/src/page.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rmdb_storage-c447eb6194e54292.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/memdisk.rs crates/storage/src/page.rs
+
+/root/repo/target/debug/deps/rmdb_storage-c447eb6194e54292: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/memdisk.rs crates/storage/src/page.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/error.rs:
+crates/storage/src/fault.rs:
+crates/storage/src/memdisk.rs:
+crates/storage/src/page.rs:

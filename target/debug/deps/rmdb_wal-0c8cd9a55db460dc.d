@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rmdb_wal-0c8cd9a55db460dc.d: crates/wal/src/lib.rs crates/wal/src/concurrent.rs crates/wal/src/db.rs crates/wal/src/lock.rs crates/wal/src/manager.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/scheduler.rs crates/wal/src/select.rs crates/wal/src/stream.rs
+
+/root/repo/target/debug/deps/rmdb_wal-0c8cd9a55db460dc: crates/wal/src/lib.rs crates/wal/src/concurrent.rs crates/wal/src/db.rs crates/wal/src/lock.rs crates/wal/src/manager.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/scheduler.rs crates/wal/src/select.rs crates/wal/src/stream.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/concurrent.rs:
+crates/wal/src/db.rs:
+crates/wal/src/lock.rs:
+crates/wal/src/manager.rs:
+crates/wal/src/record.rs:
+crates/wal/src/recovery.rs:
+crates/wal/src/scheduler.rs:
+crates/wal/src/select.rs:
+crates/wal/src/stream.rs:

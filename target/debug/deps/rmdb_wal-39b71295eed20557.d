@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rmdb_wal-39b71295eed20557.d: crates/wal/src/lib.rs crates/wal/src/concurrent.rs crates/wal/src/db.rs crates/wal/src/lock.rs crates/wal/src/manager.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/scheduler.rs crates/wal/src/select.rs crates/wal/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/librmdb_wal-39b71295eed20557.rmeta: crates/wal/src/lib.rs crates/wal/src/concurrent.rs crates/wal/src/db.rs crates/wal/src/lock.rs crates/wal/src/manager.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/scheduler.rs crates/wal/src/select.rs crates/wal/src/stream.rs Cargo.toml
+
+crates/wal/src/lib.rs:
+crates/wal/src/concurrent.rs:
+crates/wal/src/db.rs:
+crates/wal/src/lock.rs:
+crates/wal/src/manager.rs:
+crates/wal/src/record.rs:
+crates/wal/src/recovery.rs:
+crates/wal/src/scheduler.rs:
+crates/wal/src/select.rs:
+crates/wal/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

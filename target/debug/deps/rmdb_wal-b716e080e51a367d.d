@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rmdb_wal-b716e080e51a367d.d: crates/wal/src/lib.rs crates/wal/src/concurrent.rs crates/wal/src/db.rs crates/wal/src/lock.rs crates/wal/src/manager.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/scheduler.rs crates/wal/src/select.rs crates/wal/src/stream.rs
+
+/root/repo/target/debug/deps/librmdb_wal-b716e080e51a367d.rlib: crates/wal/src/lib.rs crates/wal/src/concurrent.rs crates/wal/src/db.rs crates/wal/src/lock.rs crates/wal/src/manager.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/scheduler.rs crates/wal/src/select.rs crates/wal/src/stream.rs
+
+/root/repo/target/debug/deps/librmdb_wal-b716e080e51a367d.rmeta: crates/wal/src/lib.rs crates/wal/src/concurrent.rs crates/wal/src/db.rs crates/wal/src/lock.rs crates/wal/src/manager.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/scheduler.rs crates/wal/src/select.rs crates/wal/src/stream.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/concurrent.rs:
+crates/wal/src/db.rs:
+crates/wal/src/lock.rs:
+crates/wal/src/manager.rs:
+crates/wal/src/record.rs:
+crates/wal/src/recovery.rs:
+crates/wal/src/scheduler.rs:
+crates/wal/src/select.rs:
+crates/wal/src/stream.rs:

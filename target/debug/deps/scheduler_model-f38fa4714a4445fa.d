@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_model-f38fa4714a4445fa.d: crates/wal/tests/scheduler_model.rs
+
+/root/repo/target/debug/deps/scheduler_model-f38fa4714a4445fa: crates/wal/tests/scheduler_model.rs
+
+crates/wal/tests/scheduler_model.rs:

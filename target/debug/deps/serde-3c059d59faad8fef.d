@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/serde-3c059d59faad8fef.d: third_party/serde/src/lib.rs third_party/serde/src/__private.rs
+
+/root/repo/target/debug/deps/serde-3c059d59faad8fef: third_party/serde/src/lib.rs third_party/serde/src/__private.rs
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/__private.rs:

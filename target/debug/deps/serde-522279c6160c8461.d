@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde-522279c6160c8461.d: third_party/serde/src/lib.rs third_party/serde/src/__private.rs
+
+/root/repo/target/debug/deps/libserde-522279c6160c8461.rlib: third_party/serde/src/lib.rs third_party/serde/src/__private.rs
+
+/root/repo/target/debug/deps/libserde-522279c6160c8461.rmeta: third_party/serde/src/lib.rs third_party/serde/src/__private.rs
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/__private.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/serde-c0854512c6211cc7.d: third_party/serde/src/lib.rs third_party/serde/src/__private.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-c0854512c6211cc7.rmeta: third_party/serde/src/lib.rs third_party/serde/src/__private.rs Cargo.toml
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/__private.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

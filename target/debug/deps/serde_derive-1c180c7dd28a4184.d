@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-1c180c7dd28a4184.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-1c180c7dd28a4184: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

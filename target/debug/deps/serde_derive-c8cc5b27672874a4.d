@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-c8cc5b27672874a4.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-c8cc5b27672874a4.so: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

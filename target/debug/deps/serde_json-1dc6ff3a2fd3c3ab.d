@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-1dc6ff3a2fd3c3ab.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-1dc6ff3a2fd3c3ab.rlib: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-1dc6ff3a2fd3c3ab.rmeta: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

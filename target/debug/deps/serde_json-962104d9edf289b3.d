@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-962104d9edf289b3.d: third_party/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-962104d9edf289b3.rmeta: third_party/serde_json/src/lib.rs Cargo.toml
+
+third_party/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-b09547d8adaa3612.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-b09547d8adaa3612: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

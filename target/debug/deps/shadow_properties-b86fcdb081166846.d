@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shadow_properties-b86fcdb081166846.d: tests/shadow_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_properties-b86fcdb081166846.rmeta: tests/shadow_properties.rs Cargo.toml
+
+tests/shadow_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shadow_properties-db659b196bb29ec4.d: tests/shadow_properties.rs
+
+/root/repo/target/debug/deps/shadow_properties-db659b196bb29ec4: tests/shadow_properties.rs
+
+tests/shadow_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table01-86de556488aa9ff5.d: crates/bench/src/bin/table01.rs
+
+/root/repo/target/debug/deps/table01-86de556488aa9ff5: crates/bench/src/bin/table01.rs
+
+crates/bench/src/bin/table01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table02-accb9123d9ca01ad.d: crates/bench/src/bin/table02.rs
+
+/root/repo/target/debug/deps/table02-accb9123d9ca01ad: crates/bench/src/bin/table02.rs
+
+crates/bench/src/bin/table02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table03-0ca55eb048464074.d: crates/bench/src/bin/table03.rs
+
+/root/repo/target/debug/deps/table03-0ca55eb048464074: crates/bench/src/bin/table03.rs
+
+crates/bench/src/bin/table03.rs:

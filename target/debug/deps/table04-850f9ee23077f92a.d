@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table04-850f9ee23077f92a.d: crates/bench/src/bin/table04.rs
+
+/root/repo/target/debug/deps/table04-850f9ee23077f92a: crates/bench/src/bin/table04.rs
+
+crates/bench/src/bin/table04.rs:

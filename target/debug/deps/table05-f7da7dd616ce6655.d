@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table05-f7da7dd616ce6655.d: crates/bench/src/bin/table05.rs
+
+/root/repo/target/debug/deps/table05-f7da7dd616ce6655: crates/bench/src/bin/table05.rs
+
+crates/bench/src/bin/table05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table06-5ffe3f91e4f124a8.d: crates/bench/src/bin/table06.rs
+
+/root/repo/target/debug/deps/table06-5ffe3f91e4f124a8: crates/bench/src/bin/table06.rs
+
+crates/bench/src/bin/table06.rs:

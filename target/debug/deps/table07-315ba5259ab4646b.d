@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table07-315ba5259ab4646b.d: crates/bench/src/bin/table07.rs
+
+/root/repo/target/debug/deps/table07-315ba5259ab4646b: crates/bench/src/bin/table07.rs
+
+crates/bench/src/bin/table07.rs:

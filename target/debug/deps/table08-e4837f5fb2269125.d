@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table08-e4837f5fb2269125.d: crates/bench/src/bin/table08.rs
+
+/root/repo/target/debug/deps/table08-e4837f5fb2269125: crates/bench/src/bin/table08.rs
+
+crates/bench/src/bin/table08.rs:

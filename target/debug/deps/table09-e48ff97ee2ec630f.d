@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table09-e48ff97ee2ec630f.d: crates/bench/src/bin/table09.rs
+
+/root/repo/target/debug/deps/table09-e48ff97ee2ec630f: crates/bench/src/bin/table09.rs
+
+crates/bench/src/bin/table09.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10-1e4659199a48d238.d: crates/bench/src/bin/table10.rs
+
+/root/repo/target/debug/deps/table10-1e4659199a48d238: crates/bench/src/bin/table10.rs
+
+crates/bench/src/bin/table10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11-3fb916051b9c2170.d: crates/bench/src/bin/table11.rs
+
+/root/repo/target/debug/deps/table11-3fb916051b9c2170: crates/bench/src/bin/table11.rs
+
+crates/bench/src/bin/table11.rs:

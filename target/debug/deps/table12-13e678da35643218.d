@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table12-13e678da35643218.d: crates/bench/src/bin/table12.rs
+
+/root/repo/target/debug/deps/table12-13e678da35643218: crates/bench/src/bin/table12.rs
+
+crates/bench/src/bin/table12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wal_properties-590463c64c616971.d: tests/wal_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwal_properties-590463c64c616971.rmeta: tests/wal_properties.rs Cargo.toml
+
+tests/wal_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

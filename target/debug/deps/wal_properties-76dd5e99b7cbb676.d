@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wal_properties-76dd5e99b7cbb676.d: tests/wal_properties.rs
+
+/root/repo/target/debug/deps/wal_properties-76dd5e99b7cbb676: tests/wal_properties.rs
+
+tests/wal_properties.rs:

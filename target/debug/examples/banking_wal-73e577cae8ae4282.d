@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/banking_wal-73e577cae8ae4282.d: examples/banking_wal.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbanking_wal-73e577cae8ae4282.rmeta: examples/banking_wal.rs Cargo.toml
+
+examples/banking_wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/banking_wal-b6208bf627b5113a.d: examples/banking_wal.rs
+
+/root/repo/target/debug/examples/banking_wal-b6208bf627b5113a: examples/banking_wal.rs
+
+examples/banking_wal.rs:

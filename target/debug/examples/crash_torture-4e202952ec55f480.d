@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crash_torture-4e202952ec55f480.d: examples/crash_torture.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrash_torture-4e202952ec55f480.rmeta: examples/crash_torture.rs Cargo.toml
+
+examples/crash_torture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_torture-578cc24a75c7d492.d: examples/crash_torture.rs
+
+/root/repo/target/debug/examples/crash_torture-578cc24a75c7d492: examples/crash_torture.rs
+
+examples/crash_torture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_demo-09e4527933246367.d: examples/fault_demo.rs
+
+/root/repo/target/debug/examples/fault_demo-09e4527933246367: examples/fault_demo.rs
+
+examples/fault_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_demo-1e1df048f2988068.d: examples/fault_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_demo-1e1df048f2988068.rmeta: examples/fault_demo.rs Cargo.toml
+
+examples/fault_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hypothetical_db-749f3a537621c765.d: examples/hypothetical_db.rs
+
+/root/repo/target/debug/examples/hypothetical_db-749f3a537621c765: examples/hypothetical_db.rs
+
+examples/hypothetical_db.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hypothetical_db-7c150a6c9e9356bb.d: examples/hypothetical_db.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhypothetical_db-7c150a6c9e9356bb.rmeta: examples/hypothetical_db.rs Cargo.toml
+
+examples/hypothetical_db.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

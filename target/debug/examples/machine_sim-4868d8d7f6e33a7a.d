@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/machine_sim-4868d8d7f6e33a7a.d: examples/machine_sim.rs
+
+/root/repo/target/debug/examples/machine_sim-4868d8d7f6e33a7a: examples/machine_sim.rs
+
+examples/machine_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/machine_sim-4b15d397bf713a3e.d: examples/machine_sim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmachine_sim-4b15d397bf713a3e.rmeta: examples/machine_sim.rs Cargo.toml
+
+examples/machine_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

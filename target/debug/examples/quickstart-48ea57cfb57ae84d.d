@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-48ea57cfb57ae84d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-48ea57cfb57ae84d: examples/quickstart.rs
+
+examples/quickstart.rs:

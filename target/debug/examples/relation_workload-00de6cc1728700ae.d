@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/relation_workload-00de6cc1728700ae.d: examples/relation_workload.rs
+
+/root/repo/target/debug/examples/relation_workload-00de6cc1728700ae: examples/relation_workload.rs
+
+examples/relation_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/relation_workload-b23807f8a3c8bbfc.d: examples/relation_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/librelation_workload-b23807f8a3c8bbfc.rmeta: examples/relation_workload.rs Cargo.toml
+
+examples/relation_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-cead7d17afbc6bcd.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-cead7d17afbc6bcd.rlib: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-cead7d17afbc6bcd.rmeta: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

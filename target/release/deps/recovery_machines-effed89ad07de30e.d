@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/recovery_machines-effed89ad07de30e.d: src/lib.rs
+
+/root/repo/target/release/deps/librecovery_machines-effed89ad07de30e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librecovery_machines-effed89ad07de30e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rmdb_core-c41d87bb1270d206.d: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/store.rs
+
+/root/repo/target/release/deps/librmdb_core-c41d87bb1270d206.rlib: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/store.rs
+
+/root/repo/target/release/deps/librmdb_core-c41d87bb1270d206.rmeta: crates/core/src/lib.rs crates/core/src/export.rs crates/core/src/store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/export.rs:
+crates/core/src/store.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rmdb_difffile-1cac135488f01f13.d: crates/difffile/src/lib.rs crates/difffile/src/db.rs crates/difffile/src/ops.rs crates/difffile/src/tuple.rs
+
+/root/repo/target/release/deps/librmdb_difffile-1cac135488f01f13.rlib: crates/difffile/src/lib.rs crates/difffile/src/db.rs crates/difffile/src/ops.rs crates/difffile/src/tuple.rs
+
+/root/repo/target/release/deps/librmdb_difffile-1cac135488f01f13.rmeta: crates/difffile/src/lib.rs crates/difffile/src/db.rs crates/difffile/src/ops.rs crates/difffile/src/tuple.rs
+
+crates/difffile/src/lib.rs:
+crates/difffile/src/db.rs:
+crates/difffile/src/ops.rs:
+crates/difffile/src/tuple.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rmdb_disk-d3395573430b0606.d: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/geometry.rs crates/disk/src/model.rs
+
+/root/repo/target/release/deps/librmdb_disk-d3395573430b0606.rlib: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/geometry.rs crates/disk/src/model.rs
+
+/root/repo/target/release/deps/librmdb_disk-d3395573430b0606.rmeta: crates/disk/src/lib.rs crates/disk/src/disk.rs crates/disk/src/geometry.rs crates/disk/src/model.rs
+
+crates/disk/src/lib.rs:
+crates/disk/src/disk.rs:
+crates/disk/src/geometry.rs:
+crates/disk/src/model.rs:

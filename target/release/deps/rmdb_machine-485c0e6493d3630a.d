@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rmdb_machine-485c0e6493d3630a.d: crates/machine/src/lib.rs crates/machine/src/ablations.rs crates/machine/src/config.rs crates/machine/src/experiments.rs crates/machine/src/machine.rs crates/machine/src/report.rs crates/machine/src/workload.rs
+
+/root/repo/target/release/deps/librmdb_machine-485c0e6493d3630a.rlib: crates/machine/src/lib.rs crates/machine/src/ablations.rs crates/machine/src/config.rs crates/machine/src/experiments.rs crates/machine/src/machine.rs crates/machine/src/report.rs crates/machine/src/workload.rs
+
+/root/repo/target/release/deps/librmdb_machine-485c0e6493d3630a.rmeta: crates/machine/src/lib.rs crates/machine/src/ablations.rs crates/machine/src/config.rs crates/machine/src/experiments.rs crates/machine/src/machine.rs crates/machine/src/report.rs crates/machine/src/workload.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/ablations.rs:
+crates/machine/src/config.rs:
+crates/machine/src/experiments.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/report.rs:
+crates/machine/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rmdb_relation-c4ee5e6261b85fee.d: crates/relation/src/lib.rs crates/relation/src/btree.rs crates/relation/src/heap.rs crates/relation/src/query.rs
+
+/root/repo/target/release/deps/librmdb_relation-c4ee5e6261b85fee.rlib: crates/relation/src/lib.rs crates/relation/src/btree.rs crates/relation/src/heap.rs crates/relation/src/query.rs
+
+/root/repo/target/release/deps/librmdb_relation-c4ee5e6261b85fee.rmeta: crates/relation/src/lib.rs crates/relation/src/btree.rs crates/relation/src/heap.rs crates/relation/src/query.rs
+
+crates/relation/src/lib.rs:
+crates/relation/src/btree.rs:
+crates/relation/src/heap.rs:
+crates/relation/src/query.rs:

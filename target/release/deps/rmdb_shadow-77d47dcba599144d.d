@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rmdb_shadow-77d47dcba599144d.d: crates/shadow/src/lib.rs crates/shadow/src/overwrite.rs crates/shadow/src/pagetable.rs crates/shadow/src/scratch.rs crates/shadow/src/version.rs
+
+/root/repo/target/release/deps/librmdb_shadow-77d47dcba599144d.rlib: crates/shadow/src/lib.rs crates/shadow/src/overwrite.rs crates/shadow/src/pagetable.rs crates/shadow/src/scratch.rs crates/shadow/src/version.rs
+
+/root/repo/target/release/deps/librmdb_shadow-77d47dcba599144d.rmeta: crates/shadow/src/lib.rs crates/shadow/src/overwrite.rs crates/shadow/src/pagetable.rs crates/shadow/src/scratch.rs crates/shadow/src/version.rs
+
+crates/shadow/src/lib.rs:
+crates/shadow/src/overwrite.rs:
+crates/shadow/src/pagetable.rs:
+crates/shadow/src/scratch.rs:
+crates/shadow/src/version.rs:

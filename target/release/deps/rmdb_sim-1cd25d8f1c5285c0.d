@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rmdb_sim-1cd25d8f1c5285c0.d: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/librmdb_sim-1cd25d8f1c5285c0.rlib: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/librmdb_sim-1cd25d8f1c5285c0.rmeta: crates/sim/src/lib.rs crates/sim/src/calendar.rs crates/sim/src/resource.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calendar.rs:
+crates/sim/src/resource.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rmdb_storage-9578b4bc010b8856.d: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/memdisk.rs crates/storage/src/page.rs
+
+/root/repo/target/release/deps/librmdb_storage-9578b4bc010b8856.rlib: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/memdisk.rs crates/storage/src/page.rs
+
+/root/repo/target/release/deps/librmdb_storage-9578b4bc010b8856.rmeta: crates/storage/src/lib.rs crates/storage/src/buffer.rs crates/storage/src/error.rs crates/storage/src/fault.rs crates/storage/src/memdisk.rs crates/storage/src/page.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/error.rs:
+crates/storage/src/fault.rs:
+crates/storage/src/memdisk.rs:
+crates/storage/src/page.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rmdb_wal-e2ac1283b9981f54.d: crates/wal/src/lib.rs crates/wal/src/concurrent.rs crates/wal/src/db.rs crates/wal/src/lock.rs crates/wal/src/manager.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/scheduler.rs crates/wal/src/select.rs crates/wal/src/stream.rs
+
+/root/repo/target/release/deps/librmdb_wal-e2ac1283b9981f54.rlib: crates/wal/src/lib.rs crates/wal/src/concurrent.rs crates/wal/src/db.rs crates/wal/src/lock.rs crates/wal/src/manager.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/scheduler.rs crates/wal/src/select.rs crates/wal/src/stream.rs
+
+/root/repo/target/release/deps/librmdb_wal-e2ac1283b9981f54.rmeta: crates/wal/src/lib.rs crates/wal/src/concurrent.rs crates/wal/src/db.rs crates/wal/src/lock.rs crates/wal/src/manager.rs crates/wal/src/record.rs crates/wal/src/recovery.rs crates/wal/src/scheduler.rs crates/wal/src/select.rs crates/wal/src/stream.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/concurrent.rs:
+crates/wal/src/db.rs:
+crates/wal/src/lock.rs:
+crates/wal/src/manager.rs:
+crates/wal/src/record.rs:
+crates/wal/src/recovery.rs:
+crates/wal/src/scheduler.rs:
+crates/wal/src/select.rs:
+crates/wal/src/stream.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/serde-63b7a3c68765d713.d: third_party/serde/src/lib.rs third_party/serde/src/__private.rs
+
+/root/repo/target/release/deps/libserde-63b7a3c68765d713.rlib: third_party/serde/src/lib.rs third_party/serde/src/__private.rs
+
+/root/repo/target/release/deps/libserde-63b7a3c68765d713.rmeta: third_party/serde/src/lib.rs third_party/serde/src/__private.rs
+
+third_party/serde/src/lib.rs:
+third_party/serde/src/__private.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-ecaa45ea026d3152.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-ecaa45ea026d3152.so: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-951bc4a9f1bb5b25.d: third_party/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-951bc4a9f1bb5b25.rlib: third_party/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-951bc4a9f1bb5b25.rmeta: third_party/serde_json/src/lib.rs
+
+third_party/serde_json/src/lib.rs:

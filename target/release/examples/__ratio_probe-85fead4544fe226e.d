@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__ratio_probe-85fead4544fe226e.d: examples/__ratio_probe.rs
+
+/root/repo/target/release/examples/__ratio_probe-85fead4544fe226e: examples/__ratio_probe.rs
+
+examples/__ratio_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crash_torture-4b21e784ff2e4191.d: examples/crash_torture.rs
+
+/root/repo/target/release/examples/crash_torture-4b21e784ff2e4191: examples/crash_torture.rs
+
+examples/crash_torture.rs:

@@ -1,0 +1,76 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (stable since 1.63). The crossbeam closure receives a `&Scope` so nested
+//! spawns are expressible; this stand-in supports nesting only from the
+//! outer closure, which is all the workspace uses.
+
+pub mod thread {
+    /// Result of a scoped computation: `Err` carries a thread panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Spawn handle mirroring crossbeam's scope object.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: Option<&'scope std::thread::Scope<'scope, 'env>>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread and return its result (`Err` on panic).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread bound to this scope. The closure's `&Scope`
+        /// argument cannot spawn further threads in this stand-in.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let s = self
+                .inner
+                .expect("crossbeam stand-in: nested scope spawn unsupported");
+            let inner = s.spawn(move || {
+                let leaf: Scope<'scope, 'env> = Scope { inner: None };
+                f(&leaf)
+            });
+            ScopedJoinHandle { inner }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads join before return.
+    ///
+    /// Unlike crossbeam, a panic in an unjoined thread propagates out of
+    /// `scope` (std semantics) instead of arriving as `Err`; joined-thread
+    /// panics behave identically.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: Some(s) })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

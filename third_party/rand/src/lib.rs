@@ -1,0 +1,301 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! `StdRng` is xoshiro256** seeded through SplitMix64 — deterministic and
+//! statistically solid for simulation workloads, but **not** the same
+//! stream as upstream `rand`'s StdRng (ChaCha12). Everything in this
+//! workspace seeds explicitly and asserts only self-consistency, so the
+//! stream identity does not matter; determinism does.
+
+pub mod rngs {
+    /// The standard seeded generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        rngs::StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    fn sample(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(next: &mut dyn FnMut() -> u64) -> Self {
+                next() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample(next: &mut dyn FnMut() -> u64) -> Self {
+        next() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(next: &mut dyn FnMut() -> u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1)
+        (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(next: &mut dyn FnMut() -> u64) -> Self {
+        (next() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges `Rng::gen_range` accepts; `T` is the produced type, left as an
+/// inference variable so integer literals adapt to the use site (as in
+/// real rand 0.8).
+pub trait SampleRange<T> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+/// Unbiased uniform draw from `[0, bound)` via Lemire-style rejection.
+fn uniform_below(bound: u64, next: &mut dyn FnMut() -> u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return next() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % bound) - 1;
+    loop {
+        let v = next();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(span, next) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return next() as $t;
+                }
+                lo + uniform_below(span + 1, next) as $t
+            }
+        }
+    )*};
+}
+sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_range_int {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_below(span, next) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return next() as $t;
+                }
+                lo.wrapping_add(uniform_below(span + 1, next) as $t)
+            }
+        }
+    )*};
+}
+sample_range_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(next) * (self.end - self.start)
+    }
+}
+
+/// The generator operations the workspace uses.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(&mut || self.next_u64())
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(&mut || self.next_u64())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+        fn choose<'a, R: Rng>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: Rng>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn determinism_and_ranges() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u64 = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u64 = r.gen_range(3..=3);
+            assert_eq!(w, 3);
+            let f = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+            let i: i64 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_covers_tail() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        r.fill(&mut buf[..]);
+        // overwhelming probability: some nonzero byte in the odd tail
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor-based zero-copy machinery, this stand-in
+//! serializes through one concrete data model: [`__private::Value`], a JSON
+//! value tree. `#[derive(Serialize, Deserialize)]` (from the companion
+//! `serde_derive` stand-in) generates conversions to and from that tree;
+//! the `serde_json` stand-in renders and parses it. The surface the
+//! workspace relies on — deriving on plain structs/enums and
+//! `serde_json::{to_string_pretty, from_str, Value}` — behaves like the
+//! real thing, emitting the same externally-tagged JSON shapes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod __private;
+
+/// Types that can serialize themselves into the [`__private::Value`] model.
+pub trait Serialize {
+    fn __to_value(&self) -> __private::Value;
+}
+
+/// Types reconstructible from the [`__private::Value`] model.
+pub trait Deserialize: Sized {
+    fn __from_value(v: &__private::Value) -> Result<Self, __private::Error>;
+}
+
+// ---- impls for primitives and std containers ------------------------------
+
+use __private::{Error, Value};
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn __from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) if n >= 0 => Ok(n as $t),
+                    Value::F64(n) if n >= 0.0 && n.fract() == 0.0 => Ok(n as $t),
+                    _ => Err(Error::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn __from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::I64(n) => Ok(n as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::F64(n) if n.fract() == 0.0 => Ok(n as $t),
+                    _ => Err(Error::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn __to_value(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn __from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::F64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    _ => Err(Error::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn __to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn __to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn __to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn __to_value(&self) -> Value {
+        (**self).__to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn __to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::__to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::__from_value).collect(),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn __to_value(&self) -> Value {
+        match self {
+            Some(x) => x.__to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::__from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn __to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.__to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn __from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => Ok(($(
+                        $t::__from_value(
+                            items.get($n).ok_or_else(|| Error::msg("tuple too short"))?,
+                        )?,
+                    )+)),
+                    _ => Err(Error::msg("expected tuple array")),
+                }
+            }
+        }
+    )*};
+}
+ser_de_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn __to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.__to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn __to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn __from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

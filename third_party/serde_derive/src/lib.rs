@@ -1,0 +1,373 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the deriving item's token stream by hand (no `syn`/`quote`) and
+//! emits `impl serde::Serialize` / `impl serde::Deserialize` against the
+//! stand-in serde's Value data model. Supported shapes — everything this
+//! workspace derives on:
+//!
+//! * structs with named fields → JSON object in field order
+//! * tuple structs with one field (newtypes) → the inner value
+//! * tuple structs with several fields → JSON array
+//! * enums of unit variants → the variant name as a string
+//! * enums mixing unit and one-field tuple variants → externally tagged
+//!   (`{"Variant": value}`), like real serde
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce a
+//! compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+enum Shape {
+    /// Named fields, in declaration order.
+    NamedStruct(Vec<String>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    /// Variants: (name, has one tuple field).
+    Enum(Vec<(String, bool)>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(x) => x,
+        Err(e) => {
+            return format!("compile_error!({e:?});").parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Ser => gen_serialize(&name, &shape),
+        Mode::De => gen_deserialize(&name, &shape),
+    };
+    code.parse().unwrap()
+}
+
+/// Skip leading attributes (`#[...]`) and doc comments in a token slice,
+/// returning the index of the first non-attribute token.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == '#' {
+                if let TokenTree::Group(g) = &tokens[i + 1] {
+                    if g.delimiter() == Delimiter::Bracket {
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+        }
+        break;
+    }
+    i
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, …).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stand-in derive: expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stand-in derive: expected item name".to_string()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in derive: generic type `{name}` unsupported"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            _ => Err(format!(
+                "serde stand-in derive: unsupported struct body for `{name}`"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            _ => Err(format!(
+                "serde stand-in derive: expected enum body for `{name}`"
+            )),
+        },
+        other => Err(format!(
+            "serde stand-in derive: cannot derive for `{other}`"
+        )),
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err("serde stand-in derive: expected field name".to_string()),
+        };
+        fields.push(field);
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err("serde stand-in derive: expected `:` after field".to_string()),
+        }
+        // Skip the type: advance to the comma at angle-bracket depth 0.
+        // Parens/brackets/braces arrive as single Group tokens, so only
+        // `<`/`>` need depth tracking.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if idx == tokens.len() - 1 {
+                        trailing_comma = true;
+                    } else {
+                        fields += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = trailing_comma;
+    fields
+}
+
+/// Enum variants: name plus whether the variant carries one tuple field.
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            _ => return Err("serde stand-in derive: expected variant name".to_string()),
+        };
+        i += 1;
+        let mut payload = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut angle = 0i32;
+                for (idx, t) in inner.iter().enumerate() {
+                    if let TokenTree::Punct(p) = t {
+                        match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            ',' if angle == 0 && idx != inner.len() - 1 => {
+                                return Err(format!(
+                                    "serde stand-in derive: multi-field variant `{name}` unsupported"
+                                ));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                payload = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde stand-in derive: struct variant `{name}` unsupported"
+                ));
+            }
+            _ => {}
+        }
+        // skip an optional discriminant and the separating comma
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, payload));
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push(({f:?}.to_string(), ::serde::Serialize::__to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, ::serde::__private::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::__private::Value::Object(fields)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::__to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::__to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::__private::Value::Array(vec![{}])",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, payload) in variants {
+                if *payload {
+                    arms.push_str(&format!(
+                        "{name}::{v}(inner) => ::serde::__private::Value::Object(vec![({v:?}.to_string(), ::serde::Serialize::__to_value(inner))]),\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::__private::Value::Str({v:?}.to_string()),\n"
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn __to_value(&self) -> ::serde::__private::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::__from_value(v.get_field({f:?})?)?,\n"
+                ));
+            }
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Shape::TupleStruct(1) => format!("Ok({name}(::serde::Deserialize::__from_value(v)?))"),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::__from_value(\
+                         arr.get({i}).ok_or_else(|| ::serde::__private::Error::msg(\"tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::__private::Value::Array(arr) => Ok({name}({items})),\n\
+                     _ => Err(::serde::__private::Error::msg(\"expected array\")),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, payload) in variants {
+                if *payload {
+                    arms.push_str(&format!(
+                        "::serde::__private::Value::Object(m) if m.len() == 1 && m[0].0 == {v:?} => \
+                         Ok({name}::{v}(::serde::Deserialize::__from_value(&m[0].1)?)),\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "::serde::__private::Value::Str(s) if s == {v:?} => Ok({name}::{v}),\n"
+                    ));
+                }
+            }
+            format!(
+                "match v {{\n{arms}\
+                 _ => Err(::serde::__private::Error::msg(concat!(\"unknown variant of \", {name:?}))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn __from_value(v: &::serde::__private::Value) -> Result<Self, ::serde::__private::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,43 @@
+//! Offline stand-in for `serde_json`, backed by the stand-in serde's
+//! [`Value`] data model: real JSON text out, real JSON text in.
+
+pub use serde::__private::{Error, Value};
+
+/// Serialize to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::__private::render_compact(&value.__to_value()))
+}
+
+/// Serialize to 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::__private::render_pretty(&value.__to_value()))
+}
+
+/// Serialize directly to a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.__to_value())
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let v = serde::__private::parse(text)?;
+    T::__from_value(&v)
+}
+
+/// Reconstruct a type from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    T::__from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn value_round_trip() {
+        let v: super::Value = super::from_str("{\"a\": [1, 2.5, \"x\"], \"b\": null}").unwrap();
+        assert_eq!(v["a"][2], "x");
+        assert_eq!(v["a"].as_array().unwrap().len(), 3);
+        let text = super::to_string_pretty(&v).unwrap();
+        let w: super::Value = super::from_str(&text).unwrap();
+        assert_eq!(v, w);
+    }
+}
