@@ -33,7 +33,10 @@ fn populated(base_tuples: u64, diff_ops: u64) -> DiffDb {
 
 fn bench_scan_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("difffile/scan");
-    for (label, strategy) in [("basic", ScanStrategy::Basic), ("optimal", ScanStrategy::Optimal)] {
+    for (label, strategy) in [
+        ("basic", ScanStrategy::Basic),
+        ("optimal", ScanStrategy::Optimal),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &s| {
             let mut db = populated(2000, 200);
             b.iter(|| {
@@ -75,5 +78,10 @@ fn bench_merge(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_scan_strategies, bench_parallel_scan, bench_merge);
+criterion_group!(
+    benches,
+    bench_scan_strategies,
+    bench_parallel_scan,
+    bench_merge
+);
 criterion_main!(benches);

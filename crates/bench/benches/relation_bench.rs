@@ -128,5 +128,10 @@ fn bench_architectures(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_point_lookup, bench_joins, bench_architectures);
+criterion_group!(
+    benches,
+    bench_point_lookup,
+    bench_joins,
+    bench_architectures
+);
 criterion_main!(benches);

@@ -12,7 +12,10 @@ use std::hint::black_box;
 
 fn bench_shadow_commit_alloc(c: &mut Criterion) {
     let mut group = c.benchmark_group("shadow/commit_16_pages");
-    for (label, alloc) in [("clustered", AllocPolicy::Clustered), ("scrambled", AllocPolicy::Scrambled)] {
+    for (label, alloc) in [
+        ("clustered", AllocPolicy::Clustered),
+        ("scrambled", AllocPolicy::Scrambled),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &alloc, |b, &a| {
             let mut pager = ShadowPager::new(ShadowConfig {
                 logical_pages: 64,

@@ -95,7 +95,12 @@ fn bench_recovery(c: &mut Criterion) {
                     data: image.data.snapshot(),
                     logs: image.logs.iter().map(|l| l.snapshot()).collect(),
                 };
-                black_box(WalDb::recover(img, WalConfig::default()).unwrap().1.records_scanned)
+                black_box(
+                    WalDb::recover(img, WalConfig::default())
+                        .unwrap()
+                        .1
+                        .records_scanned,
+                )
             })
         });
     }

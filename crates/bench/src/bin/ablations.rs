@@ -13,7 +13,10 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--txns" => {
-                txns = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(PAPER_TXNS);
+                txns = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(PAPER_TXNS);
                 i += 1;
             }
             "--out" => {

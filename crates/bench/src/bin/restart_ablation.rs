@@ -1,0 +1,99 @@
+//! Recovery-time ablation for the checkpoint-bounded parallel restart
+//! engine: `restart_ablation [--txns N] [--out DIR]`.
+//!
+//! Runs the restart-time table (recovery time vs checkpoint interval ×
+//! redo worker count) at a workload size where the trends are visible —
+//! the default is deliberately larger than the paper-table driver's,
+//! because the measured quantity is wall-clock of the restart itself, not
+//! simulator output. Also prints the full [`rmdb_restart::RestartReport`]
+//! of one representative K=4 restart, and a serial-vs-K=4 speedup line
+//! (the acceptance check for parallel redo).
+
+use rmdb_core::export::{tables_to_json, tables_to_text};
+use rmdb_machine::ablations::restart_time;
+use rmdb_restart::{restart, RestartConfig};
+use rmdb_wal::{WalConfig, WalDb};
+use std::time::Instant;
+
+const DEFAULT_TXNS: usize = 20_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut txns = DEFAULT_TXNS;
+    let mut out: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--txns" => {
+                txns = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(DEFAULT_TXNS);
+                i += 1;
+            }
+            "--out" => {
+                out = args.get(i + 1).cloned();
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let tables = vec![restart_time(txns)];
+    let text = tables_to_text(&tables);
+    print!("{text}");
+    if let Some(dir) = out {
+        std::fs::create_dir_all(&dir).expect("create output dir");
+        std::fs::write(format!("{dir}/restart_ablation.txt"), &text)
+            .expect("write restart_ablation.txt");
+        std::fs::write(
+            format!("{dir}/restart_ablation.json"),
+            tables_to_json(&tables),
+        )
+        .expect("write restart_ablation.json");
+        eprintln!("wrote {dir}/restart_ablation.txt and {dir}/restart_ablation.json");
+    }
+
+    // One representative run, end to end: fine checkpoints, K=4, with the
+    // full report and the serial-replay comparison. Mirrors the
+    // `restart_time` workload: 256-byte fragments over 1600 pages, an
+    // interval that leaves a redo remainder after the last checkpoint.
+    let ckpt_every = (txns as u64 / 16 + 1).max(2);
+    let cfg = || WalConfig {
+        data_pages: 2048,
+        pool_frames: 64,
+        log_streams: 4,
+        log_frames: 1 << 16,
+        ckpt_every_commits: ckpt_every,
+        ..WalConfig::default()
+    };
+    let mut db = WalDb::new(cfg());
+    let drone = db.begin();
+    db.write(drone, 2047, 0, b"drone").expect("drone write");
+    for i in 0..txns as u64 {
+        let t = db.begin();
+        let payload = [(i % 251) as u8; 256];
+        db.write(t, i % 1600, (i % 14) as usize * 256, &payload)
+            .expect("write");
+        db.commit(t).expect("commit");
+    }
+
+    let t0 = Instant::now();
+    let (_, serial) = WalDb::recover(db.crash_image(), cfg()).expect("serial recover");
+    let serial_elapsed = t0.elapsed();
+
+    let rcfg = RestartConfig::default();
+    let (_, report) = restart(db.crash_image(), cfg(), &rcfg).expect("restart");
+
+    println!();
+    println!("{report}");
+    println!(
+        "serial full-log replay: {:?} ({} records); K={} bounded restart: {:?} ({:.2}x)",
+        serial_elapsed,
+        serial.records_scanned,
+        report.workers,
+        report.timings.total,
+        serial_elapsed.as_secs_f64() / report.timings.total.as_secs_f64().max(1e-9),
+    );
+}

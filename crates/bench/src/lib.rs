@@ -35,7 +35,10 @@ pub fn run_table(f: fn(usize) -> ExpTable) {
     let (txns, json) = parse_args();
     let table = f(txns);
     if json {
-        println!("{}", rmdb_core::export::tables_to_json(std::slice::from_ref(&table)));
+        println!(
+            "{}",
+            rmdb_core::export::tables_to_json(std::slice::from_ref(&table))
+        );
     } else {
         print!("{}", table.render());
     }

@@ -47,7 +47,13 @@ impl PageStore for WalDb {
     fn begin(&mut self) -> u64 {
         WalDb::begin(self)
     }
-    fn read(&mut self, txn: u64, page: u64, offset: usize, len: usize) -> Result<Vec<u8>, WalError> {
+    fn read(
+        &mut self,
+        txn: u64,
+        page: u64,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, WalError> {
         WalDb::read(self, txn, page, offset, len)
     }
     fn write(&mut self, txn: u64, page: u64, offset: usize, data: &[u8]) -> Result<(), WalError> {
@@ -79,7 +85,13 @@ impl PageStore for ShadowPager {
     ) -> Result<Vec<u8>, ShadowError> {
         ShadowPager::read(self, txn, page, offset, len)
     }
-    fn write(&mut self, txn: u64, page: u64, offset: usize, data: &[u8]) -> Result<(), ShadowError> {
+    fn write(
+        &mut self,
+        txn: u64,
+        page: u64,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), ShadowError> {
         ShadowPager::write(self, txn, page, offset, data)
     }
     fn commit(&mut self, txn: u64) -> Result<(), ShadowError> {
@@ -108,7 +120,13 @@ impl PageStore for VersionStore {
     ) -> Result<Vec<u8>, ShadowError> {
         VersionStore::read(self, txn, page, offset, len)
     }
-    fn write(&mut self, txn: u64, page: u64, offset: usize, data: &[u8]) -> Result<(), ShadowError> {
+    fn write(
+        &mut self,
+        txn: u64,
+        page: u64,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), ShadowError> {
         VersionStore::write(self, txn, page, offset, data)
     }
     fn commit(&mut self, txn: u64) -> Result<(), ShadowError> {
@@ -137,7 +155,13 @@ impl PageStore for NoUndoStore {
     ) -> Result<Vec<u8>, ShadowError> {
         NoUndoStore::read(self, txn, page, offset, len)
     }
-    fn write(&mut self, txn: u64, page: u64, offset: usize, data: &[u8]) -> Result<(), ShadowError> {
+    fn write(
+        &mut self,
+        txn: u64,
+        page: u64,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), ShadowError> {
         NoUndoStore::write(self, txn, page, offset, data)
     }
     fn commit(&mut self, txn: u64) -> Result<(), ShadowError> {
@@ -166,7 +190,13 @@ impl PageStore for NoRedoStore {
     ) -> Result<Vec<u8>, ShadowError> {
         NoRedoStore::read(self, txn, page, offset, len)
     }
-    fn write(&mut self, txn: u64, page: u64, offset: usize, data: &[u8]) -> Result<(), ShadowError> {
+    fn write(
+        &mut self,
+        txn: u64,
+        page: u64,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), ShadowError> {
         NoRedoStore::write(self, txn, page, offset, data)
     }
     fn commit(&mut self, txn: u64) -> Result<(), ShadowError> {

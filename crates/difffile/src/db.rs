@@ -276,7 +276,12 @@ impl DiffDb {
             if n == 0 {
                 return Err(DiffError::SpaceExhausted); // entry larger than a page
             }
-            write_page_verified(&mut self.disk, start + pages.len() as u64, &page, IO_RETRIES)?;
+            write_page_verified(
+                &mut self.disk,
+                start + pages.len() as u64,
+                &page,
+                IO_RETRIES,
+            )?;
             pages.push(rest[..n].to_vec());
             rest = &rest[n..];
         }
@@ -842,7 +847,11 @@ impl DiffDb {
         let base_start = base_area as u64 * cfg.base_capacity;
         let mut base = Vec::with_capacity(base_pages as usize);
         for i in 0..base_pages {
-            base.push(read_entries(&read_page_retry(&disk, base_start + i, IO_RETRIES)?));
+            base.push(read_entries(&read_page_retry(
+                &disk,
+                base_start + i,
+                IO_RETRIES,
+            )?));
         }
 
         let read_region = |start: u64, capacity: u64| -> Result<Vec<Entry>, DiffError> {
@@ -973,11 +982,16 @@ mod tests {
         let t = db.begin();
         db.insert(t, 100, b"new").unwrap();
         // own view sees it
-        let own = db.query(t, |x| x.key == 100, ScanStrategy::Optimal).unwrap();
+        let own = db
+            .query(t, |x| x.key == 100, ScanStrategy::Optimal)
+            .unwrap();
         assert_eq!(own.len(), 1);
         // other txn does not
         let o = db.begin();
-        assert!(db.query(o, |x| x.key == 100, ScanStrategy::Optimal).unwrap().is_empty());
+        assert!(db
+            .query(o, |x| x.key == 100, ScanStrategy::Optimal)
+            .unwrap()
+            .is_empty());
         db.abort(o).unwrap();
         db.commit(t).unwrap();
         assert_eq!(all_of(&mut db).len(), 6);
@@ -1181,7 +1195,12 @@ mod tests {
             .query(q, |t| t.key % 3 == 0 || t.key >= 400, ScanStrategy::Optimal)
             .unwrap();
         let parallel = db
-            .query_parallel(q, |t| t.key % 3 == 0 || t.key >= 400, ScanStrategy::Optimal, 4)
+            .query_parallel(
+                q,
+                |t| t.key % 3 == 0 || t.key >= 400,
+                ScanStrategy::Optimal,
+                4,
+            )
             .unwrap();
         db.abort(q).unwrap();
         assert_eq!(serial, parallel);

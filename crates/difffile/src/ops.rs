@@ -18,7 +18,10 @@ use std::collections::HashSet;
 /// unique keys; the result is sorted.
 pub fn union(base: &[Tuple], additions: &[Tuple]) -> Vec<Tuple> {
     debug_assert!(is_sorted_unique(base), "base must be sorted+unique");
-    debug_assert!(is_sorted_unique(additions), "additions must be sorted+unique");
+    debug_assert!(
+        is_sorted_unique(additions),
+        "additions must be sorted+unique"
+    );
     let mut out = Vec::with_capacity(base.len() + additions.len());
     let (mut i, mut j) = (0, 0);
     while i < base.len() && j < additions.len() {
@@ -98,7 +101,11 @@ pub fn par_union(base: &[Tuple], additions: &[Tuple], workers: usize) -> Vec<Tup
         return union(base, additions);
     }
     // pick range boundaries from the larger input
-    let big = if base.len() >= additions.len() { base } else { additions };
+    let big = if base.len() >= additions.len() {
+        base
+    } else {
+        additions
+    };
     let step = big.len().div_ceil(workers);
     let mut bounds: Vec<u64> = (1..workers)
         .filter_map(|w| big.get(w * step).map(|t| t.key))

@@ -247,12 +247,12 @@ impl Disk {
             self.params.seek(dist) + self.params.latency() + self.params.page_transfer
         };
         self.arm = pos.cylinder;
-        self.contiguous_next = if page + 1 < g.total_pages() && g.cylinder_of(page + 1) == pos.cylinder
-        {
-            Some(page + 1)
-        } else {
-            None
-        };
+        self.contiguous_next =
+            if page + 1 < g.total_pages() && g.cylinder_of(page + 1) == pos.cylinder {
+                Some(page + 1)
+            } else {
+                None
+            };
         time
     }
 }
@@ -323,7 +323,10 @@ mod tests {
         let total = s.unwrap().done_at.as_ms();
         // one positioning (~min_seek+latency) + 20 transfers + track switches
         let per_page = total / 20.0;
-        assert!(per_page < 6.0, "sequential batch too slow: {per_page}ms/page");
+        assert!(
+            per_page < 6.0,
+            "sequential batch too slow: {per_page}ms/page"
+        );
     }
 
     #[test]
@@ -334,8 +337,7 @@ mod tests {
         let (_, s) = d.submit(SimTime::ZERO, RequestKind::Read, pages, 0);
         let t = s.unwrap().done_at;
         // one seek + latency + ONE page-transfer slot (all tracks parallel)
-        let expect =
-            d.params().seek(1) + d.params().latency() + d.params().page_transfer;
+        let expect = d.params().seek(1) + d.params().latency() + d.params().page_transfer;
         assert_eq!(t, expect);
     }
 
@@ -345,8 +347,7 @@ mod tests {
         let pages: Vec<u64> = (120..240).collect();
         let (_, s) = d.submit(SimTime::ZERO, RequestKind::Read, pages, 0);
         let t = s.unwrap().done_at;
-        let expect =
-            d.params().seek(1) + d.params().latency() + d.params().page_transfer * 4;
+        let expect = d.params().seek(1) + d.params().latency() + d.params().page_transfer * 4;
         assert_eq!(t, expect);
         assert_eq!(d.stats().pages.get(), 120);
         assert_eq!(d.stats().accesses.get(), 1);

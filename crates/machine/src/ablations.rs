@@ -14,7 +14,10 @@
 //!   machine to multiprogramming level and processor count (the companion
 //!   study \[22\], "Whither Hundreds of Processors in a Database Machine").
 
-use crate::config::{LoggingConfig, MachineConfig, OverwriteVariant, OverwritingConfig, RecoveryOverlay, ShadowPtConfig};
+use crate::config::{
+    LoggingConfig, MachineConfig, OverwriteVariant, OverwritingConfig, RecoveryOverlay,
+    ShadowPtConfig,
+};
 use crate::experiments::{ExpRow, ExpTable};
 use crate::machine::Machine;
 
@@ -159,7 +162,10 @@ pub fn overwrite_variants(txns: usize) -> ExpTable {
     let mut rows = Vec::new();
     for (name, cfg) in base_configs(txns) {
         let mut row = ExpRow::new(name);
-        row.push("bare", Machine::new(cfg.clone()).run().exec_time_per_page_ms);
+        row.push(
+            "bare",
+            Machine::new(cfg.clone()).run().exec_time_per_page_ms,
+        );
         for (label, variant) in [
             ("no-undo", OverwriteVariant::NoUndo),
             ("no-redo", OverwriteVariant::NoRedo),
@@ -182,6 +188,85 @@ pub fn overwrite_variants(txns: usize) -> ExpTable {
     }
 }
 
+/// Recovery time vs checkpoint interval × redo worker count, measured on
+/// the functional WAL engine with the checkpoint-bounded parallel restart
+/// engine ([`rmdb_restart`]).
+///
+/// The workload commits `txns` single-page transactions while one
+/// long-lived transaction stays open, so every auto-checkpoint is fuzzy
+/// and the logs are retained rather than truncated — the restart then has
+/// real analysis/redo work to bound and to parallelise. Rows sweep the
+/// checkpoint interval (none / coarse / fine); columns report serial
+/// full-log replay (`WalDb::recover`) against the restart engine at
+/// K ∈ {1, 2, 4} redo workers, plus the scan accounting that explains the
+/// trend: finer checkpoints exempt more records from redo, and more
+/// workers shrink the redo phase of what remains.
+pub fn restart_time(txns: usize) -> ExpTable {
+    use rmdb_restart::{restart, RestartConfig};
+    use rmdb_wal::{CrashImage, WalConfig, WalDb};
+    use std::time::Instant;
+
+    let mk_cfg = |ckpt_every: u64| WalConfig {
+        data_pages: 2048,
+        pool_frames: 64,
+        log_streams: 4,
+        log_frames: 1 << 16,
+        ckpt_every_commits: ckpt_every,
+        ..WalConfig::default()
+    };
+    // 256-byte fragments over 1600 pages: redo pushes real bytes, so the
+    // worker axis measures something. The `+ 1` on the intervals keeps
+    // them from dividing `txns` exactly — the last auto-checkpoint then
+    // lands before the log tail, leaving the restart a redo remainder.
+    let build = |ckpt_every: u64| -> CrashImage {
+        let mut db = WalDb::new(mk_cfg(ckpt_every));
+        let drone = db.begin();
+        db.write(drone, 2047, 0, b"drone").expect("drone write");
+        for i in 0..txns as u64 {
+            let t = db.begin();
+            let payload = [(i % 251) as u8; 256];
+            db.write(t, i % 1600, (i % 14) as usize * 256, &payload)
+                .expect("workload write");
+            db.commit(t).expect("workload commit");
+        }
+        db.crash_image()
+    };
+
+    let coarse = (txns as u64 / 4 + 1).max(2);
+    let fine = (txns as u64 / 16 + 1).max(2);
+    let mut rows = Vec::new();
+    for (label, interval) in [
+        ("no checkpoints".to_string(), 0u64),
+        (format!("ckpt every {coarse} commits"), coarse),
+        (format!("ckpt every {fine} commits"), fine),
+    ] {
+        let mut row = ExpRow::new(label);
+        let image = build(interval);
+        let t0 = Instant::now();
+        let (_, serial) = WalDb::recover(image, mk_cfg(interval)).expect("serial recover");
+        row.push("serial replay ms", t0.elapsed().as_secs_f64() * 1e3);
+        for k in [1usize, 2, 4] {
+            let rcfg = RestartConfig {
+                workers: k,
+                ..RestartConfig::default()
+            };
+            let (_, rep) = restart(build(interval), mk_cfg(interval), &rcfg).expect("restart");
+            row.push(format!("K={k} ms"), rep.timings.total.as_secs_f64() * 1e3);
+            if k == 4 {
+                row.push("records scanned", rep.base.records_scanned as f64);
+                row.push("records skipped", rep.records_skipped as f64);
+            }
+        }
+        row.push("serial records scanned", serial.records_scanned as f64);
+        rows.push(row);
+    }
+    ExpTable {
+        id: "ablation_restart_time",
+        title: "Recovery Time vs Checkpoint Interval and Redo Workers (restart engine)",
+        rows,
+    }
+}
+
 /// All ablations, in presentation order.
 pub fn all_ablations(txns: usize) -> Vec<ExpTable> {
     vec![
@@ -191,6 +276,7 @@ pub fn all_ablations(txns: usize) -> Vec<ExpTable> {
         overwrite_variants(txns),
         mpl_sweep(txns),
         qp_sweep(txns),
+        restart_time(txns),
     ]
 }
 
@@ -213,8 +299,7 @@ mod tests {
             );
             // but the slow link does make fragments (and their pages) wait
             assert!(
-                row.get("0.01 MB/s blocked").unwrap()
-                    >= row.get("1 MB/s blocked").unwrap() * 0.8
+                row.get("0.01 MB/s blocked").unwrap() >= row.get("1 MB/s blocked").unwrap() * 0.8
             );
         }
     }
@@ -250,8 +335,16 @@ mod tests {
         let t = overwrite_variants(T);
         for row in &t.rows {
             let bare = row.get("bare").unwrap();
-            assert!(row.get("no-undo exec").unwrap() > bare * 1.02, "{}", row.label);
-            assert!(row.get("no-redo exec").unwrap() > bare * 1.02, "{}", row.label);
+            assert!(
+                row.get("no-undo exec").unwrap() > bare * 1.02,
+                "{}",
+                row.label
+            );
+            assert!(
+                row.get("no-redo exec").unwrap() > bare * 1.02,
+                "{}",
+                row.label
+            );
         }
     }
 
@@ -262,6 +355,30 @@ mod tests {
             let c1 = row.get("mpl 1 compl").unwrap();
             let c8 = row.get("mpl 8 compl").unwrap();
             assert!(c8 > c1, "{}: completion must grow with MPL", row.label);
+        }
+    }
+
+    #[test]
+    fn restart_time_checkpoints_bound_the_scan() {
+        let t = restart_time(240);
+        assert_eq!(t.rows.len(), 3);
+        let none = &t.rows[0];
+        let fine = &t.rows[2];
+        // without checkpoints nothing can be skipped; with fine-grained
+        // checkpoints the bound must exempt a chunk of the log from redo
+        assert_eq!(none.get("records skipped"), Some(0.0));
+        assert!(
+            fine.get("records skipped").unwrap() > 0.0,
+            "checkpoint bound must skip records: {fine:?}"
+        );
+        assert!(fine.get("records scanned").unwrap() > 0.0);
+        // the coarse interval checkpoints too, so it must also skip
+        assert!(t.rows[1].get("records skipped").unwrap() > 0.0);
+        for row in &t.rows {
+            for k in [1, 2, 4] {
+                assert!(row.get(&format!("K={k} ms")).unwrap() >= 0.0);
+            }
+            assert!(row.get("serial replay ms").unwrap() >= 0.0);
         }
     }
 

@@ -15,7 +15,9 @@ fn main() {
     let mpl: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
 
     println!("cpu_per_page={cpu}ms mpl={mpl}");
-    println!("\n== bare machine (Table 1 targets: 18.0/16.6/11.0/1.9 exec, 7398/6476/4016/758 compl) ==");
+    println!(
+        "\n== bare machine (Table 1 targets: 18.0/16.6/11.0/1.9 exec, 7398/6476/4016/758 compl) =="
+    );
     for (name, mut cfg) in MachineConfig::paper_configurations() {
         cfg.cpu_per_page_ms = cpu;
         cfg.mpl = mpl;
@@ -74,7 +76,9 @@ fn main() {
         }
     }
 
-    println!("\n== shadow thru-PT (Table 4 targets: CR 20.5, PR 20.5, CS 11.0, PS 1.9 @buf10/1proc) ==");
+    println!(
+        "\n== shadow thru-PT (Table 4 targets: CR 20.5, PR 20.5, CS 11.0, PS 1.9 @buf10/1proc) =="
+    );
     for (name, mut cfg) in MachineConfig::paper_configurations() {
         cfg.cpu_per_page_ms = cpu;
         cfg.mpl = mpl;
@@ -101,10 +105,7 @@ fn main() {
             ..ShadowPtConfig::default()
         });
         let r = Machine::new(cfg).run();
-        println!(
-            "{name:<26} exec/page {:7.2}",
-            r.exec_time_per_page_ms
-        );
+        println!("{name:<26} exec/page {:7.2}", r.exec_time_per_page_ms);
     }
 
     println!("\n== overwriting (Table 7/8: CR 26.9, PR 21.6, CS 24.1, PS 2.3) ==");

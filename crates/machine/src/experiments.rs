@@ -7,8 +7,8 @@
 //! calibrated paper-scale batch; tests use smaller values.
 
 use crate::config::{
-    DiffFileConfig, LoggingConfig, MachineConfig, OverwritingConfig, RecoveryOverlay,
-    ScanApproach, ShadowPtConfig,
+    DiffFileConfig, LoggingConfig, MachineConfig, OverwritingConfig, RecoveryOverlay, ScanApproach,
+    ShadowPtConfig,
 };
 use crate::machine::Machine;
 use crate::report::MachineReport;
@@ -43,10 +43,7 @@ impl ExpRow {
 
     /// Look up a value by column label.
     pub fn get(&self, col: &str) -> Option<f64> {
-        self.values
-            .iter()
-            .find(|(c, _)| c == col)
-            .map(|&(_, v)| v)
+        self.values.iter().find(|(c, _)| c == col).map(|&(_, v)| v)
     }
 }
 
@@ -178,7 +175,10 @@ pub fn table03(txns: usize) -> ExpTable {
     let bare = run(machine);
     let mut row = ExpRow::new("w/o logging");
     for policy in SelectionPolicy::ALL {
-        row.push(format!("exec {}", policy.label()), bare.exec_time_per_page_ms);
+        row.push(
+            format!("exec {}", policy.label()),
+            bare.exec_time_per_page_ms,
+        );
         row.push(format!("compl {}", policy.label()), bare.mean_completion_ms);
     }
     rows.push(row);
@@ -393,7 +393,10 @@ pub fn table10(txns: usize) -> ExpTable {
                 output_fraction: frac,
                 ..DiffFileConfig::default()
             });
-            row.push(format!("{:.0}%", frac * 100.0), run(c).exec_time_per_page_ms);
+            row.push(
+                format!("{:.0}%", frac * 100.0),
+                run(c).exec_time_per_page_ms,
+            );
         }
         rows.push(row);
     }
@@ -417,7 +420,10 @@ pub fn table11(txns: usize) -> ExpTable {
                 size_fraction: frac,
                 ..DiffFileConfig::default()
             });
-            row.push(format!("{:.0}%", frac * 100.0), run(c).exec_time_per_page_ms);
+            row.push(
+                format!("{:.0}%", frac * 100.0),
+                run(c).exec_time_per_page_ms,
+            );
         }
         rows.push(row);
     }
@@ -540,12 +546,16 @@ mod tests {
         let t = table03(T);
         // more log disks improve cyclic execution time
         let exec = |row: usize| t.rows[row].get("exec cyclic").unwrap();
-        assert!(exec(0) > exec(3), "1 disk {} !> 4 disks {}", exec(0), exec(3));
+        assert!(
+            exec(0) > exec(3),
+            "1 disk {} !> 4 disks {}",
+            exec(0),
+            exec(3)
+        );
         // TranNo mod selection trails cyclic with many disks
         let row4 = &t.rows[3]; // 4 log disks
         assert!(
-            row4.get("exec TranNo mod TotLp").unwrap()
-                >= row4.get("exec cyclic").unwrap() * 0.99,
+            row4.get("exec TranNo mod TotLp").unwrap() >= row4.get("exec cyclic").unwrap() * 0.99,
             "txn-mod should not beat cyclic"
         );
         // baseline is fastest
@@ -619,11 +629,18 @@ mod tests {
     #[test]
     fn table09_basic_flat_and_worst() {
         let t = table09(T);
-        let basics: Vec<f64> = t.rows.iter().map(|r| r.get("exec basic").unwrap()).collect();
+        let basics: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| r.get("exec basic").unwrap())
+            .collect();
         let spread = (basics.iter().cloned().fold(f64::MIN, f64::max)
             - basics.iter().cloned().fold(f64::MAX, f64::min))
             / basics[0];
-        assert!(spread < 0.25, "basic approach should be CPU-bound flat: {basics:?}");
+        assert!(
+            spread < 0.25,
+            "basic approach should be CPU-bound flat: {basics:?}"
+        );
         for row in &t.rows {
             assert!(row.get("exec basic").unwrap() > row.get("exec optimal").unwrap());
         }
@@ -636,7 +653,11 @@ mod tests {
             let p10 = row.get("10%").unwrap();
             let p15 = row.get("15%").unwrap();
             let p20 = row.get("20%").unwrap();
-            assert!(p20 > p15 && p15 > p10, "{}: degradation must grow", row.label);
+            assert!(
+                p20 > p15 && p15 > p10,
+                "{}: degradation must grow",
+                row.label
+            );
         }
     }
 

@@ -110,10 +110,7 @@ impl DiskSched {
         for _ in 0..n {
             let txn = *self.order.front().expect("order nonempty");
             // writes first
-            let from_writes = self
-                .writes
-                .get(&txn)
-                .is_some_and(|q| !q.is_empty());
+            let from_writes = self.writes.get(&txn).is_some_and(|q| !q.is_empty());
             let has_read = self.reads.get(&txn).is_some_and(|q| !q.is_empty());
             let use_reads = !from_writes && has_read;
             if !from_writes && (!has_read || frames_free == 0) {
@@ -456,11 +453,7 @@ impl<'a> Sim<'a> {
                 // area and the scratch area (paper §4.2.4)
                 let base = geometry.cylinder_start(geometry.cylinders - cyls);
                 let len = cyls as u64 * geometry.pages_per_cylinder();
-                (
-                    vec![base; cfg.data_disks],
-                    len,
-                    vec![0u64; cfg.data_disks],
-                )
+                (vec![base; cfg.data_disks], len, vec![0u64; cfg.data_disks])
             }
             _ => (vec![0; cfg.data_disks], 0, vec![0; cfg.data_disks]),
         };
@@ -532,8 +525,7 @@ impl<'a> Sim<'a> {
         if self.scramble {
             // shadow versions scattered the placement: logically adjacent
             // pages live at effectively random addresses within the extent
-            let db_pages =
-                self.cfg.db_cylinders as u64 * self.geometry.pages_per_cylinder();
+            let db_pages = self.cfg.db_cylinders as u64 * self.geometry.pages_per_cylinder();
             self.rng.uniform(0, db_pages - 1)
         } else {
             loc.page
@@ -711,11 +703,9 @@ impl<'a> Sim<'a> {
         if self.disks[d].is_busy() || self.scheds[d].is_empty() {
             return;
         }
-        let Some(batch) = self.scheds[d].next_batch(
-            self.cfg.disk_mode,
-            &self.geometry,
-            self.frames_free,
-        ) else {
+        let Some(batch) =
+            self.scheds[d].next_batch(self.cfg.disk_mode, &self.geometry, self.frames_free)
+        else {
             return;
         };
         let kind = batch[0].kind;
@@ -770,9 +760,7 @@ impl<'a> Sim<'a> {
         let (t, i) = pr;
         let is_write = i < self.txns[t].spec.writes.len() && self.txns[t].spec.writes[i];
         match &self.cfg.overlay {
-            RecoveryOverlay::Logging(l) if is_write => {
-                base + SimTime::from_ms(l.fragment_cpu_ms)
-            }
+            RecoveryOverlay::Logging(l) if is_write => base + SimTime::from_ms(l.fragment_cpu_ms),
             RecoveryOverlay::DiffFile(d) => {
                 let n = self.txns[t].spec.n_pages() as f64;
                 let d_pages = (n * d.size_fraction).ceil();
@@ -913,7 +901,9 @@ impl<'a> Sim<'a> {
         let (t, i) = pr;
         let loc = self.txns[t].spec.pages[i];
         match &self.cfg.overlay {
-            RecoveryOverlay::None | RecoveryOverlay::ShadowPt(_) | RecoveryOverlay::VersionSelect => {
+            RecoveryOverlay::None
+            | RecoveryOverlay::ShadowPt(_)
+            | RecoveryOverlay::VersionSelect => {
                 // shadow clustered: new version allocated in the same
                 // cylinder — timing identical to in-place; scrambled: the
                 // scramble remap already randomized the address space
@@ -1187,9 +1177,7 @@ impl<'a> Sim<'a> {
 
     fn maybe_start_install(&mut self, t: usize) {
         let txn = &self.txns[t];
-        if txn.install_started
-            || !txn.processing_finished()
-            || txn.scratch_done < txn.scratch_total
+        if txn.install_started || !txn.processing_finished() || txn.scratch_done < txn.scratch_total
         {
             return;
         }

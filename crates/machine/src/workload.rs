@@ -80,7 +80,10 @@ pub fn generate(cfg: &MachineConfig, rng: &mut SimRng) -> Vec<TxnSpec> {
                             continue;
                         }
                         let start = rng.uniform(0, db_pages - len);
-                        v.extend((0..len).map(|i| PageLoc { disk, page: start + i }));
+                        v.extend((0..len).map(|i| PageLoc {
+                            disk,
+                            page: start + i,
+                        }));
                     }
                     v
                 }
@@ -88,7 +91,10 @@ pub fn generate(cfg: &MachineConfig, rng: &mut SimRng) -> Vec<TxnSpec> {
             // write set: random 20 % subset of the read set
             let k = ((n as f64) * cfg.write_fraction).round() as usize;
             let idx: Vec<usize> = (0..pages.len()).collect();
-            let chosen: HashSet<usize> = rng.sample_subset(&idx, k.min(idx.len())).into_iter().collect();
+            let chosen: HashSet<usize> = rng
+                .sample_subset(&idx, k.min(idx.len()))
+                .into_iter()
+                .collect();
             let writes = (0..pages.len()).map(|i| chosen.contains(&i)).collect();
             TxnSpec { pages, writes }
         })

@@ -89,7 +89,9 @@ impl BTree {
         txn: u64,
         page: u64,
     ) -> Result<Node, BTreeError<S::Error>> {
-        let head = store.read(txn, page, 0, LEAF_HDR).map_err(RelError::Store)?;
+        let head = store
+            .read(txn, page, 0, LEAF_HDR)
+            .map_err(RelError::Store)?;
         let count = u16::from_le_bytes(head[1..3].try_into().unwrap()) as usize;
         match head[0] {
             LEAF => {
@@ -97,9 +99,7 @@ impl BTree {
                 let mut entries = Vec::with_capacity(count);
                 let mut offset = LEAF_HDR;
                 for _ in 0..count {
-                    let hdr = store
-                        .read(txn, page, offset, 10)
-                        .map_err(RelError::Store)?;
+                    let hdr = store.read(txn, page, offset, 10).map_err(RelError::Store)?;
                     let key = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
                     let vlen = u16::from_le_bytes(hdr[8..10].try_into().unwrap()) as usize;
                     let value = store
@@ -119,7 +119,9 @@ impl BTree {
                 let mut children = Vec::with_capacity(count + 1);
                 children.push(child0);
                 for i in 0..count {
-                    keys.push(u64::from_le_bytes(body[i * 16..i * 16 + 8].try_into().unwrap()));
+                    keys.push(u64::from_le_bytes(
+                        body[i * 16..i * 16 + 8].try_into().unwrap(),
+                    ));
                     children.push(u64::from_le_bytes(
                         body[i * 16 + 8..i * 16 + 16].try_into().unwrap(),
                     ));
@@ -169,7 +171,12 @@ impl BTree {
     }
 
     fn leaf_bytes(leaf: &Leaf) -> usize {
-        LEAF_HDR + leaf.entries.iter().map(|e| 10 + e.value.len()).sum::<usize>()
+        LEAF_HDR
+            + leaf
+                .entries
+                .iter()
+                .map(|e| 10 + e.value.len())
+                .sum::<usize>()
     }
 
     fn internal_bytes(node: &Internal) -> usize {
@@ -509,7 +516,8 @@ mod tests {
         let t = db.begin();
         let tree = BTree::create(&mut db, t, 0, 32).unwrap();
         for k in [5u64, 1, 9, 3, 7] {
-            tree.insert(&mut db, t, k, format!("v{k}").as_bytes()).unwrap();
+            tree.insert(&mut db, t, k, format!("v{k}").as_bytes())
+                .unwrap();
         }
         assert_eq!(tree.get(&mut db, t, 3).unwrap(), Some(b"v3".to_vec()));
         assert_eq!(tree.get(&mut db, t, 4).unwrap(), None);
@@ -543,7 +551,10 @@ mod tests {
         for &k in &keys {
             tree.insert(&mut db, t, k, &[k as u8; 200]).unwrap();
         }
-        assert!(tree.height(&mut db, t).unwrap() >= 2, "tree must have split");
+        assert!(
+            tree.height(&mut db, t).unwrap() >= 2,
+            "tree must have split"
+        );
         let all = tree.range(&mut db, t, 0, u64::MAX).unwrap();
         assert_eq!(all.len(), n as usize);
         assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted order");
@@ -566,14 +577,20 @@ mod tests {
             let key = (k as u16).reverse_bits() as u64;
             tree.insert(&mut db, t, key, &[key as u8; 230]).unwrap();
         }
-        assert!(tree.height(&mut db, t).unwrap() >= 3, "root must have split");
+        assert!(
+            tree.height(&mut db, t).unwrap() >= 3,
+            "root must have split"
+        );
         let all = tree.range(&mut db, t, 0, u64::MAX).unwrap();
         assert_eq!(all.len(), n as usize);
         assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
         // spot-check lookups across the whole range
         for k in (0..n).step_by(97) {
             let key = (k as u16).reverse_bits() as u64;
-            assert_eq!(tree.get(&mut db, t, key).unwrap(), Some(vec![key as u8; 230]));
+            assert_eq!(
+                tree.get(&mut db, t, key).unwrap(),
+                Some(vec![key as u8; 230])
+            );
         }
         db.commit(t).unwrap();
     }

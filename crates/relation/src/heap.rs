@@ -88,7 +88,9 @@ impl HeapFile {
         header.extend_from_slice(MAGIC);
         header.extend_from_slice(&max_pages.to_le_bytes());
         header.extend_from_slice(&0u64.to_le_bytes()); // tuple pages in use
-        store.write(txn, base, 0, &header).map_err(RelError::Store)?;
+        store
+            .write(txn, base, 0, &header)
+            .map_err(RelError::Store)?;
         Ok(HeapFile { base, max_pages })
     }
 
@@ -137,7 +139,9 @@ impl HeapFile {
         txn: u64,
         page: u64,
     ) -> Result<(Vec<Slot>, usize), RelError<S::Error>> {
-        let head = store.read(txn, page, 0, PAGE_HDR).map_err(RelError::Store)?;
+        let head = store
+            .read(txn, page, 0, PAGE_HDR)
+            .map_err(RelError::Store)?;
         let count = u16::from_le_bytes(head.try_into().unwrap()) as usize;
         let mut slots = Vec::with_capacity(count);
         let mut offset = PAGE_HDR;
@@ -328,11 +332,7 @@ impl HeapFile {
     /// Rewrite the file without dead slots, reclaiming their space.
     /// Runs inside `txn` like any other operation (and therefore rolls
     /// back atomically if the transaction aborts).
-    pub fn compact<S: PageStore>(
-        &self,
-        store: &mut S,
-        txn: u64,
-    ) -> Result<(), RelError<S::Error>> {
+    pub fn compact<S: PageStore>(&self, store: &mut S, txn: u64) -> Result<(), RelError<S::Error>> {
         let live = self.scan(store, txn, |_, _| true)?;
         // reset to zero pages, then re-insert every live tuple
         self.set_pages_in_use(store, txn, 0)?;
@@ -362,7 +362,8 @@ mod tests {
         let t = store.begin();
         let rel = HeapFile::create(store, t, 0, 32).unwrap();
         for k in 0..100u64 {
-            rel.insert(store, t, k, format!("value-{k}").as_bytes()).unwrap();
+            rel.insert(store, t, k, format!("value-{k}").as_bytes())
+                .unwrap();
         }
         store.commit(t).unwrap();
 
@@ -371,7 +372,8 @@ mod tests {
         assert_eq!(rel.get(store, t, 7).unwrap(), Some(b"value-7".to_vec()));
         // the paper's profile: update 20 % of what we read
         for k in (0..100u64).step_by(5) {
-            rel.update(store, t, k, format!("updated!{k}").as_bytes()).unwrap();
+            rel.update(store, t, k, format!("updated!{k}").as_bytes())
+                .unwrap();
         }
         rel.delete(store, t, 3).unwrap();
         store.commit(t).unwrap();
@@ -493,7 +495,8 @@ mod tests {
         let t = db.begin();
         let rel = HeapFile::create(&mut db, t, 0, 8).unwrap();
         rel.insert(&mut db, t, 1, b"short").unwrap();
-        rel.update(&mut db, t, 1, b"a considerably longer value").unwrap();
+        rel.update(&mut db, t, 1, b"a considerably longer value")
+            .unwrap();
         assert_eq!(
             rel.get(&mut db, t, 1).unwrap(),
             Some(b"a considerably longer value".to_vec())

@@ -125,10 +125,14 @@ mod tests {
         let users = HeapFile::create(&mut db, t, 0, 8).unwrap();
         let orders = HeapFile::create(&mut db, t, 10, 8).unwrap();
         for k in 0..20u64 {
-            users.insert(&mut db, t, k, format!("user-{k}").as_bytes()).unwrap();
+            users
+                .insert(&mut db, t, k, format!("user-{k}").as_bytes())
+                .unwrap();
         }
         for k in (0..30u64).step_by(3) {
-            orders.insert(&mut db, t, k % 20, format!("order-{k}").as_bytes()).unwrap();
+            orders
+                .insert(&mut db, t, k % 20, format!("order-{k}").as_bytes())
+                .unwrap();
         }
         db.commit(t).unwrap();
         (db, users, orders)

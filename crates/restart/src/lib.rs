@@ -1,0 +1,509 @@
+//! Checkpoint-bounded parallel restart for the parallel-logging engine.
+//!
+//! Serial recovery ([`rmdb_wal::recovery`]) replays every durable record on
+//! every stream from its truncation point, one page at a time. This crate
+//! is the restart engine the paper's multiprocessor setting calls for:
+//!
+//! 1. **Checkpoint-bounded analysis** ([`analysis`]) — each stream's scan
+//!    is bounded by its last complete `CheckpointBegin`/`CheckpointEnd`
+//!    pair: a durable `CheckpointEnd` proves the fuzzy checkpoint's flush
+//!    finished, so updates logged before its `CheckpointBegin` need no
+//!    redo. Commits, compensation provenance, and the LSN/txn high-water
+//!    marks are still gathered from the full scan.
+//! 2. **Partitioned parallel redo** ([`parallel`]) — pages are hashed into
+//!    K shards and replayed by K worker threads against the shared data
+//!    disk, each with its own per-page idempotence checks. Per-page LSN
+//!    ordering is the only order redo needs, so shards never coordinate.
+//! 3. **Backward undo of losers** — serial, in the coordinator, reading
+//!    any page the bounded redo map does not cover straight from the data
+//!    disk (with doublewrite repair), and logging compensations so the
+//!    restart itself is crash-safe and idempotent.
+//!
+//! Afterwards the coordinator truncates each stream behind its checkpoint
+//! bound, so the next restart scans even less.
+//!
+//! The recovered state is **byte-identical for every worker count K**,
+//! including on images produced under fault injection: the shard hash is
+//! deterministic, shards own disjoint page sets, and everything
+//! order-sensitive (undo, doublewrite harvest, log appends, truncation)
+//! stays in the serial coordinator. A [`RestartReport`] extends the WAL
+//! crate's [`RecoveryReport`](rmdb_wal::RecoveryReport) with bound
+//! accounting, per-phase wall-clock, and a per-worker histogram.
+//!
+//! # Example
+//!
+//! ```
+//! use rmdb_restart::{restart, RestartConfig};
+//! use rmdb_wal::{WalConfig, WalDb};
+//!
+//! let mut db = WalDb::new(WalConfig::default());
+//! let t = db.begin();
+//! db.write(t, 3, 0, b"hello").unwrap();
+//! db.commit(t).unwrap();
+//!
+//! let (mut db2, report) =
+//!     restart(db.crash_image(), WalConfig::default(), &RestartConfig::default()).unwrap();
+//! let t2 = db2.begin();
+//! assert_eq!(db2.read(t2, 3, 0, 5).unwrap(), b"hello");
+//! assert_eq!(report.workers, 4);
+//! ```
+
+mod analysis;
+mod parallel;
+pub mod report;
+
+pub use report::{PhaseTimings, RestartReport, WorkerStats};
+
+use analysis::{analyze, harvest_doublewrite, read_data_retry};
+use parallel::run_redo;
+use rmdb_storage::{write_page_verified, Lsn, MemDisk, Page, PageId, StorageError};
+use rmdb_wal::{CrashImage, LogRecord, ParallelLogManager, WalConfig, WalDb, WalError};
+use std::collections::{btree_map::Entry, BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
+
+/// Knobs for the restart engine.
+#[derive(Debug, Clone)]
+pub struct RestartConfig {
+    /// Redo worker threads (K ≥ 1; 1 degenerates to serial redo).
+    pub workers: usize,
+    /// Durably truncate each stream behind its checkpoint bound once the
+    /// recovered state is home, so the next restart scans less.
+    pub truncate_behind_bound: bool,
+}
+
+impl Default for RestartConfig {
+    fn default() -> Self {
+        RestartConfig {
+            workers: 4,
+            truncate_behind_bound: true,
+        }
+    }
+}
+
+/// Run a checkpoint-bounded parallel restart of `image`; returns the
+/// reopened engine and a [`RestartReport`].
+///
+/// Accepts the same crash images as [`WalDb::recover`] and recovers the
+/// same committed state; the two differ only in how much log they replay
+/// and in redo parallelism.
+pub fn restart(
+    image: CrashImage,
+    cfg: WalConfig,
+    rcfg: &RestartConfig,
+) -> Result<(WalDb, RestartReport), WalError> {
+    let t_start = Instant::now();
+    let workers = rcfg.workers.max(1);
+    let CrashImage { data, logs } = image;
+    let mut data: MemDisk = data;
+    let mut log = ParallelLogManager::open(logs, cfg.policy, cfg.seed)?;
+
+    // ---- Phase 1: checkpoint-bounded analysis ----
+    let scans = log.scan_all_indexed();
+    let a = analyze(&scans);
+    drop(scans);
+    let mut report = RestartReport {
+        workers,
+        records_skipped: a.records_skipped,
+        checkpoints_found: a.checkpoints_found,
+        bounded_streams: a.bounded_streams(),
+        ..RestartReport::default()
+    };
+    report.base.streams_scanned = a.bounds.len();
+    report.base.records_scanned = a.records_scanned;
+    report.base.quarantined_log_pages = a.quarantined_log_pages;
+    report.base.salvaged_records = a.salvaged_records;
+    report.base.retried_ios = a.retried_ios;
+    report.base.committed_txns = a.committed.iter().copied().collect();
+    report.base.committed_txns.sort_unstable();
+    let doublewrite = harvest_doublewrite(&data, &cfg, &mut report.base.retried_ios);
+    report.timings.analysis = t_start.elapsed();
+
+    // ---- Phase 2: partitioned parallel redo ----
+    let t_redo = Instant::now();
+    let outcomes = run_redo(&data, &doublewrite, a.redo, workers)?;
+    let mut pages: BTreeMap<PageId, Page> = BTreeMap::new();
+    let mut quarantined: BTreeSet<PageId> = BTreeSet::new();
+    for out in outcomes {
+        report.base.redone_updates += out.redone;
+        report.base.torn_pages_repaired += out.torn_repaired;
+        report.base.quarantined_data_pages += out.quarantined.len() as u64;
+        report.base.retried_ios += out.retried_ios;
+        report.per_worker.push(WorkerStats {
+            shard: out.shard,
+            pages: out.pages.len() as u64 + out.quarantined.len() as u64,
+            redone: out.redone,
+            skipped_idempotent: out.skipped_idempotent,
+            busy: out.busy,
+        });
+        quarantined.extend(out.quarantined);
+        pages.extend(out.pages);
+    }
+    report.timings.redo = t_redo.elapsed();
+
+    // ---- Phase 3: backward undo of losers (serial) ----
+    let t_undo = Instant::now();
+    let mut updates_by_txn = a.updates_by_txn;
+    let mut losers: Vec<_> = updates_by_txn
+        .keys()
+        .copied()
+        .filter(|t| !a.committed.contains(t))
+        .collect();
+    losers.sort_unstable();
+    report.base.loser_txns = losers.clone();
+
+    let mut next_lsn = a.max_lsn + 1;
+    for &loser in &losers {
+        let mut cands = updates_by_txn.remove(&loser).expect("loser has updates");
+        cands.retain(|c| !a.compensated.contains(&c.new_lsn.0));
+        cands.sort_by_key(|c| std::cmp::Reverse(c.new_lsn));
+        let mut last_stream = None;
+        for cand in &cands {
+            if quarantined.contains(&cand.page) {
+                // unreadable either way; undoing onto a fresh frame would
+                // invent contents for the untouched bytes
+                continue;
+            }
+            if cand.offset as usize + cand.before.len() > rmdb_storage::PAYLOAD_SIZE {
+                return Err(WalError::Storage(StorageError::Protocol(
+                    "log fragment exceeds page payload",
+                )));
+            }
+            // A candidate from behind the checkpoint bound may touch a page
+            // the bounded redo map never loaded — fetch its current image
+            // from the data disk rather than starting from a blank frame.
+            let page = match pages.entry(cand.page) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(slot) => {
+                    match fetch_undo_page(&data, &doublewrite, cand.page, &mut report)? {
+                        Some(p) => slot.insert(p),
+                        None => {
+                            quarantined.insert(cand.page);
+                            continue;
+                        }
+                    }
+                }
+            };
+            let new_lsn = Lsn(next_lsn);
+            next_lsn += 1;
+            page.write_at(cand.offset as usize, &cand.before);
+            page.lsn = new_lsn;
+            report.base.undone_updates += 1;
+            log.append_to(
+                cand.stream,
+                &LogRecord::Compensation {
+                    txn: loser,
+                    page: cand.page,
+                    undoes: cand.new_lsn,
+                    new_lsn,
+                    offset: cand.offset,
+                    data: cand.before.clone(),
+                },
+            )?;
+            last_stream = Some(cand.stream);
+        }
+        log.append_to(last_stream.unwrap_or(0), &LogRecord::Abort { txn: loser })?;
+    }
+    report.timings.undo = t_undo.elapsed();
+
+    // ---- Phase 4: make it durable (log first, then data), then truncate
+    // each stream behind its checkpoint bound ----
+    let t_flush = Instant::now();
+    log.force_all()?;
+    for (id, page) in &pages {
+        write_page_verified(&mut data, id.0, page, 4)?;
+        report.base.pages_written += 1;
+    }
+    if rcfg.truncate_behind_bound {
+        for (stream, bound) in a.bounds.iter().enumerate() {
+            if let Some(frame) = bound {
+                log.truncate_stream_to(stream, *frame)?;
+                report.truncated_streams += 1;
+            }
+        }
+    }
+    report.timings.flush = t_flush.elapsed();
+    report.timings.total = t_start.elapsed();
+
+    let db = WalDb::from_parts(cfg, data, log, a.max_txn + 1, next_lsn);
+    Ok((db, report))
+}
+
+/// Load the current image of a page touched only behind the checkpoint
+/// bound, for undo: read the home frame, repairing a torn one from the
+/// doublewrite buffer; `None` means the page had to be quarantined.
+fn fetch_undo_page(
+    data: &MemDisk,
+    doublewrite: &HashMap<PageId, Page>,
+    id: PageId,
+    report: &mut RestartReport,
+) -> Result<Option<Page>, WalError> {
+    if !data.is_allocated(id.0) {
+        return Ok(Some(Page::new(id)));
+    }
+    match read_data_retry(data, id.0, &mut report.base.retried_ios) {
+        Ok(p) => Ok(Some(p)),
+        Err(StorageError::Corrupt { .. }) => {
+            if let Some(copy) = doublewrite.get(&id) {
+                report.base.torn_pages_repaired += 1;
+                Ok(Some(copy.clone()))
+            } else {
+                report.base.quarantined_data_pages += 1;
+                Ok(None)
+            }
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmdb_wal::SelectionPolicy;
+
+    fn cfg(streams: usize) -> WalConfig {
+        WalConfig {
+            data_pages: 32,
+            pool_frames: 8,
+            log_streams: streams,
+            ..WalConfig::default()
+        }
+    }
+
+    fn rcfg(k: usize) -> RestartConfig {
+        RestartConfig {
+            workers: k,
+            ..RestartConfig::default()
+        }
+    }
+
+    fn read_committed(db: &mut WalDb, page: u64, offset: usize, len: usize) -> Vec<u8> {
+        let t = db.begin();
+        let v = db.read(t, page, offset, len).unwrap();
+        db.commit(t).unwrap();
+        v
+    }
+
+    fn assert_disks_identical(a: &MemDisk, b: &MemDisk, what: &str) {
+        assert_eq!(a.capacity(), b.capacity(), "{what}: capacity");
+        for addr in 0..a.capacity() {
+            assert_eq!(
+                a.is_allocated(addr),
+                b.is_allocated(addr),
+                "{what}: allocation of frame {addr}"
+            );
+            if a.is_allocated(addr) {
+                let fa = a.read_frame(addr).expect("frame a");
+                let fb = b.read_frame(addr).expect("frame b");
+                assert!(fa == fb, "{what}: frame {addr} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn restart_recovers_committed_state() {
+        let mut db = WalDb::new(cfg(3));
+        let t = db.begin();
+        db.write(t, 5, 0, b"durable").unwrap();
+        db.commit(t).unwrap();
+        let (mut db2, report) = restart(db.crash_image(), cfg(3), &rcfg(4)).unwrap();
+        assert_eq!(read_committed(&mut db2, 5, 0, 7), b"durable");
+        assert_eq!(report.base.committed_txns.len(), 1);
+        assert!(report.base.loser_txns.is_empty());
+        assert_eq!(report.workers, 4);
+        assert_eq!(report.per_worker.len(), 4);
+    }
+
+    #[test]
+    fn checkpoint_bound_skips_prefix_records() {
+        let mut db = WalDb::new(cfg(2));
+        // Keep a drone transaction open so checkpoints stay fuzzy and the
+        // streams are retained rather than truncated.
+        let drone = db.begin();
+        db.write(drone, 31, 0, b"drone").unwrap();
+        for i in 0..8 {
+            let t = db.begin();
+            db.write(t, i, 0, b"bulk").unwrap();
+            db.commit(t).unwrap();
+        }
+        db.checkpoint().unwrap();
+        let t = db.begin();
+        db.write(t, 9, 0, b"tail").unwrap();
+        db.commit(t).unwrap();
+        let (mut db2, report) = restart(db.crash_image(), cfg(2), &rcfg(2)).unwrap();
+        assert!(
+            report.records_skipped > 0,
+            "pre-checkpoint updates must be exempt from redo"
+        );
+        assert_eq!(report.bounded_streams, 2);
+        assert!(report.checkpoints_found >= 2);
+        for i in 0..8 {
+            assert_eq!(read_committed(&mut db2, i, 0, 4), b"bulk");
+        }
+        assert_eq!(read_committed(&mut db2, 9, 0, 4), b"tail");
+        // the drone never committed: its write must be gone
+        assert_eq!(read_committed(&mut db2, 31, 0, 5), vec![0u8; 5]);
+        assert!(report.base.loser_txns.contains(&drone));
+    }
+
+    #[test]
+    fn active_loser_behind_bound_is_undone() {
+        // A loser whose stolen update predates the checkpoint: its redo is
+        // skipped, but the active list keeps it as an undo candidate, and
+        // undo must read the page image from disk (it is absent from the
+        // bounded redo map).
+        let mut db = WalDb::new(WalConfig {
+            data_pages: 32,
+            pool_frames: 2, // tiny pool forces steals
+            log_streams: 2,
+            ..WalConfig::default()
+        });
+        let setup = db.begin();
+        db.write(setup, 0, 0, b"base0").unwrap();
+        db.commit(setup).unwrap();
+        let loser = db.begin();
+        db.write(loser, 0, 0, b"evil0").unwrap();
+        db.checkpoint().unwrap(); // flushes the dirty page, loser active
+        let t = db.begin();
+        db.write(t, 9, 0, b"after").unwrap();
+        db.commit(t).unwrap();
+
+        let image = db.crash_image();
+        assert_eq!(image.data.read_page(0).unwrap().read_at(0, 5), b"evil0");
+        let (mut db2, report) = restart(image, cfg(2), &rcfg(4)).unwrap();
+        assert_eq!(read_committed(&mut db2, 0, 0, 5), b"base0");
+        assert_eq!(read_committed(&mut db2, 9, 0, 5), b"after");
+        assert!(report.base.loser_txns.contains(&loser));
+        assert!(report.base.undone_updates >= 1);
+    }
+
+    #[test]
+    fn truncation_shrinks_next_scan() {
+        let mut db = WalDb::new(cfg(2));
+        let drone = db.begin();
+        db.write(drone, 31, 0, b"drone").unwrap();
+        for i in 0..8 {
+            let t = db.begin();
+            db.write(t, i, 0, b"bulk").unwrap();
+            db.commit(t).unwrap();
+        }
+        db.checkpoint().unwrap();
+        let (db2, first) = restart(db.crash_image(), cfg(2), &rcfg(2)).unwrap();
+        assert!(first.truncated_streams > 0);
+        let (_, second) = restart(db2.crash_image(), cfg(2), &rcfg(2)).unwrap();
+        assert!(
+            second.base.records_scanned < first.base.records_scanned,
+            "truncation must shrink the next restart's scan: {} -> {}",
+            first.base.records_scanned,
+            second.base.records_scanned
+        );
+    }
+
+    #[test]
+    fn restart_is_idempotent() {
+        let mut db = WalDb::new(cfg(2));
+        let t0 = db.begin();
+        db.write(t0, 1, 0, b"base").unwrap();
+        db.commit(t0).unwrap();
+        let l = db.begin();
+        db.write(l, 1, 0, b"lost").unwrap();
+        let (db2, _) = restart(db.crash_image(), cfg(2), &rcfg(4)).unwrap();
+        let (mut db3, report) = restart(db2.crash_image(), cfg(2), &rcfg(4)).unwrap();
+        assert_eq!(read_committed(&mut db3, 1, 0, 4), b"base");
+        assert_eq!(report.base.undone_updates, 0, "idempotent undo");
+    }
+
+    #[test]
+    fn matches_serial_recovery_data_state() {
+        let mut db = WalDb::new(WalConfig {
+            data_pages: 32,
+            pool_frames: 4,
+            log_streams: 3,
+            policy: SelectionPolicy::Cyclic,
+            ..WalConfig::default()
+        });
+        let drone = db.begin();
+        db.write(drone, 30, 0, b"open").unwrap();
+        for i in 0..12u64 {
+            let t = db.begin();
+            db.write(
+                t,
+                i % 8,
+                (i % 4) as usize * 8,
+                format!("v{i:05}").as_bytes(),
+            )
+            .unwrap();
+            db.commit(t).unwrap();
+            if i == 6 {
+                db.checkpoint().unwrap();
+            }
+        }
+        let mk = || WalConfig {
+            data_pages: 32,
+            pool_frames: 4,
+            log_streams: 3,
+            policy: SelectionPolicy::Cyclic,
+            ..WalConfig::default()
+        };
+        let (serial_db, _) = WalDb::recover(db.crash_image(), mk()).unwrap();
+        let (restart_db, report) = restart(db.crash_image(), mk(), &rcfg(4)).unwrap();
+        assert!(report.records_skipped > 0);
+        let a = serial_db.crash_image().data;
+        let b = restart_db.crash_image().data;
+        assert_disks_identical(&a, &b, "serial vs restart data");
+    }
+
+    #[test]
+    fn worker_counts_agree_bytewise() {
+        let mut db = WalDb::new(cfg(4));
+        let drone = db.begin();
+        db.write(drone, 31, 0, b"drone").unwrap();
+        for i in 0..20u64 {
+            let t = db.begin();
+            db.write(t, i % 10, 0, format!("row{i:04}").as_bytes())
+                .unwrap();
+            db.commit(t).unwrap();
+            if i % 7 == 3 {
+                db.checkpoint().unwrap();
+            }
+        }
+        let mut summaries = Vec::new();
+        let mut images = Vec::new();
+        for k in [1usize, 2, 4, 8] {
+            let (dbk, rep) = restart(db.crash_image(), cfg(4), &rcfg(k)).unwrap();
+            summaries.push(rep.logical_summary());
+            images.push(dbk.crash_image());
+        }
+        for w in summaries.windows(2) {
+            assert_eq!(w[0], w[1], "logical reports diverge across K");
+        }
+        for w in images.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            assert_disks_identical(&a.data, &b.data, "data across K");
+            for (i, (la, lb)) in a.logs.iter().zip(&b.logs).enumerate() {
+                assert_disks_identical(la, lb, &format!("log stream {i} across K"));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_image_restarts_clean() {
+        let db = WalDb::new(cfg(2));
+        let (mut db2, report) = restart(db.crash_image(), cfg(2), &rcfg(4)).unwrap();
+        assert_eq!(report.base.records_scanned, 0);
+        assert_eq!(report.records_skipped, 0);
+        assert_eq!(report.bounded_streams, 0);
+        assert_eq!(read_committed(&mut db2, 0, 0, 4), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn report_displays() {
+        let mut db = WalDb::new(cfg(2));
+        let t = db.begin();
+        db.write(t, 1, 0, b"x").unwrap();
+        db.commit(t).unwrap();
+        let (_, report) = restart(db.crash_image(), cfg(2), &rcfg(2)).unwrap();
+        let text = format!("{report}");
+        assert!(text.contains("restart report (2 workers)"));
+        assert!(text.contains("worker  0:"));
+    }
+}

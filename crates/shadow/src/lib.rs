@@ -29,7 +29,11 @@ pub mod pagetable;
 pub mod scratch;
 pub mod version;
 
-pub use overwrite::{NoRedoStore, NoUndoStore, OverwriteConfig, OverwriteImage, OverwriteRecoveryReport};
-pub use pagetable::{AllocPolicy, ShadowConfig, ShadowError, ShadowImage, ShadowPager, ShadowRecoveryReport};
+pub use overwrite::{
+    NoRedoStore, NoUndoStore, OverwriteConfig, OverwriteImage, OverwriteRecoveryReport,
+};
+pub use pagetable::{
+    AllocPolicy, ShadowConfig, ShadowError, ShadowImage, ShadowPager, ShadowRecoveryReport,
+};
 pub use scratch::ScratchRing;
 pub use version::{VersionConfig, VersionImage, VersionRecoveryReport, VersionStore};

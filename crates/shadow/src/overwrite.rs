@@ -605,8 +605,14 @@ impl NoRedoStore {
     /// the previous version did NOT use.
     fn write_dir(&mut self, txn: TxnId) -> Result<(), ShadowError> {
         let state = self.active.get(&txn).expect("txn active");
-        let (a, b) = state.dir_slots.expect("dir slots allocated before write_dir");
-        let addr = if state.dir_writes.is_multiple_of(2) { a } else { b };
+        let (a, b) = state
+            .dir_slots
+            .expect("dir slots allocated before write_dir");
+        let addr = if state.dir_writes.is_multiple_of(2) {
+            a
+        } else {
+            b
+        };
         let entries: Vec<(u64, u64)> = state.saved.iter().map(|(&p, &s)| (p, s)).collect();
         let dir = encode_dir(DIR_LIVE, txn, &entries, addr - self.cfg.logical_pages);
         write_page_verified(&mut self.disk, addr, &dir, IO_RETRIES)?;

@@ -298,9 +298,8 @@ impl ShadowPager {
                 if idx >= cfg.logical_pages {
                     break;
                 }
-                table[idx as usize] = u64::from_le_bytes(
-                    page.read_at((e * 8) as usize, 8).try_into().unwrap(),
-                );
+                table[idx as usize] =
+                    u64::from_le_bytes(page.read_at((e * 8) as usize, 8).try_into().unwrap());
             }
         }
         let mut free = vec![true; cfg.data_frames as usize];
@@ -768,7 +767,9 @@ mod tests {
         }
         p.commit(t2).unwrap();
         let mean_move: f64 = (0..32)
-            .map(|pg| (p.frame_of(pg).unwrap() as i64 - olds[pg as usize] as i64).unsigned_abs() as f64)
+            .map(|pg| {
+                (p.frame_of(pg).unwrap() as i64 - olds[pg as usize] as i64).unsigned_abs() as f64
+            })
             .sum::<f64>()
             / 32.0;
         assert!(mean_move < 40.0, "clustered moved too far: {mean_move}");

@@ -74,7 +74,11 @@ impl ScratchRing {
         if self.free_slots() < n as u64 {
             return None;
         }
-        Some((0..n).map(|_| self.alloc().expect("checked free")).collect())
+        Some(
+            (0..n)
+                .map(|_| self.alloc().expect("checked free"))
+                .collect(),
+        )
     }
 
     /// Return a slot to the ring.

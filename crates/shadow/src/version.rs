@@ -453,7 +453,10 @@ mod tests {
         let (mut s2, report) = VersionStore::recover(s.crash_image(), cfg()).unwrap();
         assert_eq!(committed_read(&mut s2, 3, 0, 4), b"base");
         assert_eq!(report.committed, 1);
-        assert!(report.max_stamp >= t, "uncommitted stamp must raise the txn counter");
+        assert!(
+            report.max_stamp >= t,
+            "uncommitted stamp must raise the txn counter"
+        );
     }
 
     #[test]
@@ -562,10 +565,13 @@ mod tests {
             s.commit(t).unwrap();
         }
         assert_eq!(committed_read(&mut s, 3, 0, 4), 599u32.to_le_bytes());
-        let (mut s2, report) = VersionStore::recover(s.crash_image(), VersionConfig {
-            logical_pages: 4,
-            commit_frames: 3,
-        })
+        let (mut s2, report) = VersionStore::recover(
+            s.crash_image(),
+            VersionConfig {
+                logical_pages: 4,
+                commit_frames: 3,
+            },
+        )
         .unwrap();
         assert_eq!(report.committed, 600);
         assert_eq!(committed_read(&mut s2, 3, 0, 4), 599u32.to_le_bytes());

@@ -15,7 +15,7 @@
 use crate::error::StorageError;
 use crate::fault::{FaultHandle, WriteApply};
 use crate::page::{Page, FRAME_SIZE};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An in-memory array of durable frames.
 ///
@@ -30,14 +30,27 @@ use std::cell::Cell;
 /// let crash = disk.snapshot();          // 💥 the crash-injection primitive
 /// assert_eq!(crash.read_page(3).unwrap().read_at(0, 7), b"durable");
 /// ```
-#[derive(Clone)]
+/// The I/O counters are atomics (not `Cell`) so a `MemDisk` is `Sync`:
+/// parallel restart workers read pages from one shared data disk through
+/// `&MemDisk` without any coordination beyond the counters themselves.
 pub struct MemDisk {
     frames: Vec<Option<Box<[u8; FRAME_SIZE]>>>,
-    reads: Cell<u64>,
-    writes: Cell<u64>,
+    reads: AtomicU64,
+    writes: AtomicU64,
     /// Shared fault injector; cloning the disk shares it, snapshotting
     /// sheds it (a recovered image is a clean device).
     faults: Option<FaultHandle>,
+}
+
+impl Clone for MemDisk {
+    fn clone(&self) -> Self {
+        MemDisk {
+            frames: self.frames.clone(),
+            reads: AtomicU64::new(self.reads.load(Ordering::Relaxed)),
+            writes: AtomicU64::new(self.writes.load(Ordering::Relaxed)),
+            faults: self.faults.clone(),
+        }
+    }
 }
 
 impl MemDisk {
@@ -45,8 +58,8 @@ impl MemDisk {
     pub fn new(capacity: u64) -> Self {
         MemDisk {
             frames: vec![None; capacity as usize],
-            reads: Cell::new(0),
-            writes: Cell::new(0),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
             faults: None,
         }
     }
@@ -70,12 +83,12 @@ impl MemDisk {
 
     /// Number of frame reads served (for I/O accounting in tests/benches).
     pub fn reads(&self) -> u64 {
-        self.reads.get()
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Number of frame writes performed.
     pub fn writes(&self) -> u64 {
-        self.writes.get()
+        self.writes.load(Ordering::Relaxed)
     }
 
     fn check(&self, addr: u64) -> Result<usize, StorageError> {
@@ -96,7 +109,7 @@ impl MemDisk {
             Some(h) => h.lock().decide_read(addr)?,
             None => None,
         };
-        self.reads.set(self.reads.get() + 1);
+        self.reads.fetch_add(1, Ordering::Relaxed);
         let mut frame = self.frames[i]
             .clone()
             .ok_or(StorageError::Unallocated { addr })?;
@@ -119,7 +132,7 @@ impl MemDisk {
             Some(h) => h.lock().decide_write(addr)?,
             None => WriteApply::Full,
         };
-        self.writes.set(self.writes.get() + 1);
+        self.writes.fetch_add(1, Ordering::Relaxed);
         match apply {
             WriteApply::Full => self.frames[i] = Some(Box::new(*frame)),
             WriteApply::Prefix(cut) => self.merge_prefix(i, frame, cut),
@@ -154,7 +167,7 @@ impl MemDisk {
             Some(h) => h.lock().decide_write(addr)?,
             None => WriteApply::Full,
         };
-        self.writes.set(self.writes.get() + 1);
+        self.writes.fetch_add(1, Ordering::Relaxed);
         match apply {
             WriteApply::Full => self.merge_prefix(i, frame, bytes),
             WriteApply::Prefix(cut) => self.merge_prefix(i, frame, cut.min(bytes)),
@@ -193,8 +206,8 @@ impl MemDisk {
     pub fn snapshot(&self) -> MemDisk {
         MemDisk {
             frames: self.frames.clone(),
-            reads: Cell::new(0),
-            writes: Cell::new(0),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
             faults: None,
         }
     }
@@ -206,8 +219,8 @@ impl std::fmt::Debug for MemDisk {
         f.debug_struct("MemDisk")
             .field("capacity", &self.frames.len())
             .field("allocated", &allocated)
-            .field("reads", &self.reads.get())
-            .field("writes", &self.writes.get())
+            .field("reads", &self.reads.load(Ordering::Relaxed))
+            .field("writes", &self.writes.load(Ordering::Relaxed))
             .finish()
     }
 }

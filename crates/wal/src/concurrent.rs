@@ -100,10 +100,7 @@ impl SharedWal {
 impl TxnCtx<'_> {
     /// Read bytes under this transaction.
     pub fn read(&mut self, page: u64, offset: usize, len: usize) -> Result<Vec<u8>, WalError> {
-        self.shared
-            .inner
-            .lock()
-            .read(self.id, page, offset, len)
+        self.shared.inner.lock().read(self.id, page, offset, len)
     }
 
     /// Write bytes under this transaction (fragments attributed to this
@@ -187,8 +184,7 @@ mod tests {
                             continue;
                         }
                         db.run_txn(qp, |t| {
-                            let f =
-                                u64::from_le_bytes(t.read(from, 0, 8)?.try_into().unwrap());
+                            let f = u64::from_le_bytes(t.read(from, 0, 8)?.try_into().unwrap());
                             if f < 5 {
                                 return Ok(()); // declined
                             }
@@ -230,8 +226,7 @@ mod tests {
                             continue;
                         }
                         let _ = db.run_txn(qp, |t| {
-                            let f =
-                                u64::from_le_bytes(t.read(from, 0, 8)?.try_into().unwrap());
+                            let f = u64::from_le_bytes(t.read(from, 0, 8)?.try_into().unwrap());
                             if f < 1 {
                                 return Ok(());
                             }
@@ -261,7 +256,8 @@ mod tests {
             for qp in 0..6usize {
                 let db = db.clone();
                 s.spawn(move |_| {
-                    db.run_txn(qp, |t| t.write(qp as u64, 0, b"spread")).unwrap();
+                    db.run_txn(qp, |t| t.write(qp as u64, 0, b"spread"))
+                        .unwrap();
                 });
             }
         })

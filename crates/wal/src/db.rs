@@ -65,6 +65,10 @@ pub struct WalConfig {
     /// always be repaired — even under logical logging, whose fragments
     /// cannot rebuild a page from scratch. Zero disables the buffer.
     pub dw_slots: u64,
+    /// Auto-checkpoint knob: take a fuzzy [`WalDb::checkpoint`] after every
+    /// N commits (0 disables). Bounds the redo scan a checkpoint-aware
+    /// restart engine has to replay after a crash.
+    pub ckpt_every_commits: u64,
 }
 
 impl Default for WalConfig {
@@ -79,6 +83,7 @@ impl Default for WalConfig {
             evict: EvictPolicy::Lru,
             seed: 0xDB,
             dw_slots: 8,
+            ckpt_every_commits: 0,
         }
     }
 }
@@ -218,8 +223,11 @@ impl WalDb {
         self.log.attach_faults(handle);
     }
 
-    /// Construct from recovered parts (used by [`WalDb::recover`]).
-    pub(crate) fn from_parts(
+    /// Construct an engine from recovered parts: the repaired data disk,
+    /// the reopened log manager, and the next transaction/LSN counters.
+    /// Used by [`WalDb::recover`] and by external restart engines (the
+    /// `rmdb-restart` crate's checkpoint-bounded parallel restart).
+    pub fn from_parts(
         cfg: WalConfig,
         data: MemDisk,
         log: ParallelLogManager,
@@ -459,7 +467,13 @@ impl WalDb {
     }
 
     /// [`WalDb::write_via`] from query processor 0.
-    pub fn write(&mut self, txn: TxnId, page: u64, offset: usize, data: &[u8]) -> Result<(), WalError> {
+    pub fn write(
+        &mut self,
+        txn: TxnId,
+        page: u64,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), WalError> {
         self.write_via(0, txn, page, offset, data)
     }
 
@@ -475,6 +489,18 @@ impl WalDb {
         self.log.force(state.home)?;
         self.locks.release_all(txn);
         self.committed += 1;
+        self.maybe_auto_checkpoint()
+    }
+
+    /// Honour [`WalConfig::ckpt_every_commits`]: fuzzy-checkpoint when the
+    /// commit counter crosses the knob. An error here surfaces from the
+    /// committing call, but the commit record is already durable — exactly
+    /// the "ambiguous commit" a crash mid-checkpoint produces.
+    fn maybe_auto_checkpoint(&mut self) -> Result<(), WalError> {
+        let n = self.cfg.ckpt_every_commits;
+        if n > 0 && self.committed.is_multiple_of(n) {
+            self.checkpoint()?;
+        }
         Ok(())
     }
 
@@ -506,7 +532,8 @@ impl WalDb {
         // append all commit records, then force each home stream once
         let mut homes: BTreeSet<usize> = BTreeSet::new();
         for (txn, state) in &states {
-            self.log.append_to(state.home, &LogRecord::Commit { txn: *txn })?;
+            self.log
+                .append_to(state.home, &LogRecord::Commit { txn: *txn })?;
             homes.insert(state.home);
         }
         for h in homes {
@@ -516,7 +543,7 @@ impl WalDb {
             self.locks.release_all(*txn);
             self.committed += 1;
         }
-        Ok(())
+        self.maybe_auto_checkpoint()
     }
 
     /// Abort: undo the transaction's updates in reverse order, logging a
@@ -539,7 +566,10 @@ impl WalDb {
             };
             let pos = self.log.append_to(state.home, &rec)?;
             self.page_last_log.insert(entry.page, pos);
-            let p = self.pool.get_mut(entry.page).expect("fetched page resident");
+            let p = self
+                .pool
+                .get_mut(entry.page)
+                .expect("fetched page resident");
             p.write_at(entry.offset as usize, &entry.before);
             p.lsn = new_lsn;
         }
@@ -628,7 +658,10 @@ impl WalDb {
             };
             let pos = self.log.append_to(home, &rec)?;
             self.page_last_log.insert(entry.page, pos);
-            let p = self.pool.get_mut(entry.page).expect("fetched page resident");
+            let p = self
+                .pool
+                .get_mut(entry.page)
+                .expect("fetched page resident");
             p.write_at(entry.offset as usize, &entry.before);
             p.lsn = new_lsn;
         }
@@ -830,8 +863,7 @@ mod tests {
         db.commit(t).unwrap();
         // every stream that got fragments must be durable up to them
         let image = db.crash_image();
-        let reopened =
-            ParallelLogManager::open(image.logs, SelectionPolicy::Cyclic, 0).unwrap();
+        let reopened = ParallelLogManager::open(image.logs, SelectionPolicy::Cyclic, 0).unwrap();
         let n_updates: usize = reopened
             .scan_all()
             .iter()
@@ -889,7 +921,13 @@ mod tests {
             .flatten()
             .find(|r| matches!(r, LogRecord::Update { .. }))
             .unwrap();
-        if let LogRecord::Update { before, after, offset, .. } = rec {
+        if let LogRecord::Update {
+            before,
+            after,
+            offset,
+            ..
+        } = rec
+        {
             assert_eq!(*offset, 0);
             assert_eq!(before.len(), PAYLOAD_SIZE);
             assert_eq!(after.len(), PAYLOAD_SIZE);
@@ -1019,8 +1057,7 @@ mod tests {
         db.write(loser, 3, 0, b"in-flight").unwrap();
         // the data disk is destroyed; only the archive and the logs survive
         let logs = db.crash_image().logs;
-        let (mut db2, report) =
-            WalDb::recover_from_archive(archive, logs, tiny()).unwrap();
+        let (mut db2, report) = WalDb::recover_from_archive(archive, logs, tiny()).unwrap();
         let q = db2.begin();
         assert_eq!(db2.read(q, 1, 0, 11).unwrap(), b"pre-archive");
         assert_eq!(db2.read(q, 2, 0, 12).unwrap(), b"post-archive");

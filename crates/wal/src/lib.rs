@@ -64,4 +64,4 @@ pub use record::LogRecord;
 pub use recovery::RecoveryReport;
 pub use scheduler::{Decision, Scheduler};
 pub use select::SelectionPolicy;
-pub use stream::LogStream;
+pub use stream::{IndexedRecord, LogStream, ScanStats};

@@ -10,7 +10,7 @@
 
 use crate::record::LogRecord;
 use crate::select::{SelectionPolicy, Selector};
-use crate::stream::{LogStream, ScanStats};
+use crate::stream::{IndexedRecord, LogStream, ScanStats};
 use rmdb_storage::fault::FaultHandle;
 use rmdb_storage::{MemDisk, StorageError};
 
@@ -118,6 +118,20 @@ impl ParallelLogManager {
     /// [`ParallelLogManager::scan_all`] with per-stream salvage stats.
     pub fn scan_all_with_stats(&self) -> Vec<(Vec<LogRecord>, ScanStats)> {
         self.streams.iter().map(|s| s.scan_with_stats()).collect()
+    }
+
+    /// [`ParallelLogManager::scan_all_with_stats`] with each record tagged
+    /// by the log-disk frame holding its first byte — the input to
+    /// checkpoint-bounded restart analysis.
+    pub fn scan_all_indexed(&self) -> Vec<(Vec<IndexedRecord>, ScanStats)> {
+        self.streams.iter().map(|s| s.scan_indexed()).collect()
+    }
+
+    /// Durably drop one stream's scan prefix before `frame` (the
+    /// checkpoint-bound rule). `frame` must begin a record; see
+    /// [`LogStream::truncate_to`] for the contract.
+    pub fn truncate_stream_to(&mut self, stream: usize, frame: u64) -> Result<(), StorageError> {
+        self.streams[stream].truncate_to(frame)
     }
 
     /// Attach one shared fault injector to every log disk.

@@ -156,12 +156,76 @@ impl LogRecord {
     /// Encoded size in bytes.
     pub fn encoded_len(&self) -> usize {
         match self {
-            LogRecord::Update { before, after, .. } => 1 + 8 * 4 + 4 + 4 + before.len() + 4 + after.len(),
+            LogRecord::Update { before, after, .. } => {
+                1 + 8 * 4 + 4 + 4 + before.len() + 4 + after.len()
+            }
             LogRecord::Compensation { data, .. } => 1 + 8 * 4 + 4 + 4 + data.len(),
             LogRecord::Commit { .. } | LogRecord::Abort { .. } => 9,
             LogRecord::CheckpointBegin { active } => 5 + 8 * active.len(),
             LogRecord::CheckpointEnd => 1,
         }
+    }
+
+    /// Length of the complete encoded record at the front of `buf`,
+    /// without materialising it (no payload allocation). `None` exactly
+    /// when [`LogRecord::decode`] would return `None`.
+    ///
+    /// This is what lets log truncation walk record boundaries over
+    /// megabytes of log without paying decode's per-record allocations.
+    pub fn peek_len(buf: &[u8]) -> Option<usize> {
+        let mut b = buf;
+        if b.is_empty() {
+            return None;
+        }
+        let tag = b.get_u8();
+        let len = match tag {
+            TAG_UPDATE => {
+                if b.remaining() < 8 * 4 + 4 + 4 {
+                    return None;
+                }
+                b.advance(8 * 4 + 4);
+                let blen = b.get_u32_le() as usize;
+                if b.remaining() < blen + 4 {
+                    return None;
+                }
+                b.advance(blen);
+                let alen = b.get_u32_le() as usize;
+                if b.remaining() < alen {
+                    return None;
+                }
+                1 + 8 * 4 + 4 + 4 + blen + 4 + alen
+            }
+            TAG_COMPENSATION => {
+                if b.remaining() < 8 * 4 + 4 + 4 {
+                    return None;
+                }
+                b.advance(8 * 4 + 4);
+                let dlen = b.get_u32_le() as usize;
+                if b.remaining() < dlen {
+                    return None;
+                }
+                1 + 8 * 4 + 4 + 4 + dlen
+            }
+            TAG_COMMIT | TAG_ABORT => {
+                if b.remaining() < 8 {
+                    return None;
+                }
+                9
+            }
+            TAG_CKPT_BEGIN => {
+                if b.remaining() < 4 {
+                    return None;
+                }
+                let n = b.get_u32_le() as usize;
+                if b.remaining() < 8 * n {
+                    return None;
+                }
+                5 + 8 * n
+            }
+            TAG_CKPT_END => 1,
+            _ => return None,
+        };
+        Some(len)
     }
 
     /// Decode one record from the front of `buf`, consuming its bytes.
@@ -236,13 +300,17 @@ impl LogRecord {
                 if b.remaining() < 8 {
                     return None;
                 }
-                LogRecord::Commit { txn: b.get_u64_le() }
+                LogRecord::Commit {
+                    txn: b.get_u64_le(),
+                }
             }
             TAG_ABORT => {
                 if b.remaining() < 8 {
                     return None;
                 }
-                LogRecord::Abort { txn: b.get_u64_le() }
+                LogRecord::Abort {
+                    txn: b.get_u64_le(),
+                }
             }
             TAG_CKPT_BEGIN => {
                 if b.remaining() < 4 {
@@ -272,6 +340,11 @@ mod tests {
         let mut bytes = Vec::new();
         rec.encode(&mut bytes);
         assert_eq!(bytes.len(), rec.encoded_len());
+        assert_eq!(LogRecord::peek_len(&bytes), Some(bytes.len()));
+        // peek_len agrees with decode on every strict prefix too
+        for cut in 0..bytes.len() {
+            assert_eq!(LogRecord::peek_len(&bytes[..cut]), None, "cut at {cut}");
+        }
         let mut cursor = bytes.as_slice();
         let decoded = LogRecord::decode(&mut cursor).expect("decodes");
         assert!(cursor.is_empty(), "trailing bytes");
@@ -299,7 +372,9 @@ mod tests {
         });
         round_trip(&LogRecord::Commit { txn: 3 });
         round_trip(&LogRecord::Abort { txn: 4 });
-        round_trip(&LogRecord::CheckpointBegin { active: vec![1, 2, 3] });
+        round_trip(&LogRecord::CheckpointBegin {
+            active: vec![1, 2, 3],
+        });
         round_trip(&LogRecord::CheckpointBegin { active: vec![] });
         round_trip(&LogRecord::CheckpointEnd);
     }
@@ -346,7 +421,10 @@ mod tests {
             LogRecord::decode(&mut cursor),
             Some(LogRecord::Abort { txn: 2 })
         );
-        assert_eq!(LogRecord::decode(&mut cursor), Some(LogRecord::CheckpointEnd));
+        assert_eq!(
+            LogRecord::decode(&mut cursor),
+            Some(LogRecord::CheckpointEnd)
+        );
         assert_eq!(LogRecord::decode(&mut cursor), None);
     }
 

@@ -64,11 +64,7 @@ pub struct RecoveryReport {
 /// Bounded retry for data-disk reads during recovery: transient faults and
 /// one-off read bit flips are retried; persistent corruption surfaces as
 /// the final typed error for the caller's repair/quarantine logic.
-fn read_data_retry(
-    disk: &MemDisk,
-    addr: u64,
-    retried: &mut u64,
-) -> Result<Page, StorageError> {
+fn read_data_retry(disk: &MemDisk, addr: u64, retried: &mut u64) -> Result<Page, StorageError> {
     const ATTEMPTS: u32 = 4;
     let mut last = StorageError::Io { addr };
     for attempt in 0..ATTEMPTS {
@@ -222,10 +218,9 @@ pub fn recover(image: CrashImage, cfg: WalConfig) -> Result<(WalDb, RecoveryRepo
                         // verified full image written just before it.
                         report.torn_pages_repaired += 1;
                         copy.clone()
-                    } else if items
-                        .first()
-                        .is_some_and(|i| i.offset == 0 && i.data.len() == rmdb_storage::PAYLOAD_SIZE)
-                    {
+                    } else if items.first().is_some_and(|i| {
+                        i.offset == 0 && i.data.len() == rmdb_storage::PAYLOAD_SIZE
+                    }) {
                         // Under physical logging the earliest retained
                         // fragment carries a full page image, so the page
                         // can be rebuilt from scratch by replaying.
@@ -585,7 +580,10 @@ mod tests {
         fresh.write_at(0, b"newer");
         fresh.write_at(3000, b"tail-change"); // beyond the cut point
         fresh.lsn = rmdb_storage::Lsn(999);
-        image.data.write_partial(4, &fresh.to_frame(), 2000).unwrap();
+        image
+            .data
+            .write_partial(4, &fresh.to_frame(), 2000)
+            .unwrap();
         assert!(image.data.read_page(4).is_err(), "page must be torn");
 
         let (mut db2, report) = WalDb::recover(image, mk()).unwrap();
@@ -609,7 +607,10 @@ mod tests {
         let mut other = page.clone();
         other.write_at(0, b"XXXX");
         other.write_at(3000, b"YYYY");
-        image.data.write_partial(4, &other.to_frame(), 2000).unwrap();
+        image
+            .data
+            .write_partial(4, &other.to_frame(), 2000)
+            .unwrap();
         assert!(image.data.read_page(4).is_err());
         let (mut db2, report) = WalDb::recover(image, cfg(2)).unwrap();
         assert_eq!(report.torn_pages_repaired, 1);
@@ -637,7 +638,10 @@ mod tests {
         let mut other = page.clone();
         other.write_at(0, b"XXXX");
         other.write_at(3000, b"YYYY");
-        image.data.write_partial(4, &other.to_frame(), 2000).unwrap();
+        image
+            .data
+            .write_partial(4, &other.to_frame(), 2000)
+            .unwrap();
         assert!(image.data.read_page(4).is_err());
 
         let (mut db2, report) = WalDb::recover(image, mk()).unwrap();
@@ -647,7 +651,9 @@ mod tests {
         let q = db2.begin();
         assert!(matches!(
             db2.read(q, 4, 0, 4),
-            Err(WalError::Storage(rmdb_storage::StorageError::Corrupt { .. }))
+            Err(WalError::Storage(
+                rmdb_storage::StorageError::Corrupt { .. }
+            ))
         ));
         // untouched pages are unaffected
         assert_eq!(db2.read(q, 5, 0, 4).unwrap(), b"fine");

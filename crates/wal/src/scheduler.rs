@@ -193,7 +193,9 @@ impl Scheduler {
     /// Grant the longest FIFO-compatible prefix of a page's wait queue.
     fn drain_queue(&mut self, page: PageId, granted: &mut Vec<(u64, PageId)>) {
         loop {
-            let Some(q) = self.waiting.get_mut(&page) else { return };
+            let Some(q) = self.waiting.get_mut(&page) else {
+                return;
+            };
             let Some(&head) = q.front() else {
                 self.waiting.remove(&page);
                 return;
@@ -275,8 +277,8 @@ mod tests {
         let mut s = Scheduler::new();
         s.request(1, P, LockMode::Shared);
         s.request(2, P, LockMode::Exclusive); // waits behind the S lock
-        // txn 3's S-request is compatible with the held S lock, but must
-        // queue behind txn 2 (no starvation of writers)
+                                              // txn 3's S-request is compatible with the held S lock, but must
+                                              // queue behind txn 2 (no starvation of writers)
         assert_eq!(s.request(3, P, LockMode::Shared), Decision::Waiting);
         let granted = s.release_all(1);
         assert_eq!(granted[0], (2, P), "writer first");
@@ -344,7 +346,7 @@ mod tests {
         s.request(2, Q, LockMode::Exclusive);
         s.request(1, Q, LockMode::Exclusive); // 1 waits
         let _ = s.request(2, P, LockMode::Exclusive); // deadlock, rejected
-        // txn 2 is not waiting, so releasing it cascades to txn 1 only
+                                                      // txn 2 is not waiting, so releasing it cascades to txn 1 only
         assert_eq!(s.waiting_txns(), 1);
         let granted = s.release_all(2);
         assert_eq!(granted, vec![(1, Q)]);

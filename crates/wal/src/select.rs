@@ -148,7 +148,10 @@ mod tests {
             counts[p] += 1;
         }
         for &c in &counts {
-            assert!((700..1300).contains(&c), "skewed random selection: {counts:?}");
+            assert!(
+                (700..1300).contains(&c),
+                "skewed random selection: {counts:?}"
+            );
         }
     }
 

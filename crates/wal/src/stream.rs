@@ -46,6 +46,24 @@ pub struct ScanStats {
     pub retried_reads: u64,
 }
 
+/// One decoded record plus the log-disk frame holding its first byte.
+///
+/// The frame is what lets a checkpoint-bounded restart engine turn "skip
+/// everything before this record" into a durable [`LogStream::truncate_to`]
+/// of the stream's scan prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexedRecord {
+    /// The decoded record.
+    pub rec: LogRecord,
+    /// Log-disk frame containing the record's first byte.
+    pub frame: u64,
+    /// Whether the record's first byte is the first data byte of `frame`,
+    /// i.e. a scan starting at `frame` decodes from this record. Restart
+    /// uses this to pick a record-aligned truncation frame from the scan
+    /// it already did, instead of re-reading the log to find one.
+    pub frame_start: bool,
+}
+
 /// Bounded read retry for log frames: rides transient I/O faults and
 /// one-off bit flips, counting retries; persistent errors surface typed.
 fn read_retry(disk: &MemDisk, addr: u64, retried: &mut u64) -> Result<Page, StorageError> {
@@ -99,7 +117,8 @@ impl LogStream {
             pages_written: 0,
             forces: 0,
         };
-        s.write_header().expect("fresh log disk has room for a header");
+        s.write_header()
+            .expect("fresh log disk has room for a header");
         s
     }
 
@@ -280,8 +299,16 @@ impl LogStream {
     /// pages were quarantined (the scan stops at the first, salvaging the
     /// decodable prefix) and how many transient read faults were retried.
     pub fn scan_with_stats(&self) -> (Vec<LogRecord>, ScanStats) {
+        let (indexed, stats) = self.scan_indexed();
+        (indexed.into_iter().map(|r| r.rec).collect(), stats)
+    }
+
+    /// Collect the durable byte stream: per-page `(start offset, frame)`
+    /// extents, the concatenated record bytes, and salvage stats.
+    fn collect_pages(&self) -> (Vec<(usize, u64)>, Vec<u8>, ScanStats) {
         let mut stats = ScanStats::default();
         let mut bytes = Vec::new();
+        let mut extents: Vec<(usize, u64)> = Vec::new();
         let mut prev_epoch = 0u64;
         let mut page = self.start_page;
         while page < self.disk.capacity() {
@@ -293,6 +320,7 @@ impl LogStream {
                         break;
                     }
                     prev_epoch = epoch;
+                    extents.push((bytes.len(), page));
                     bytes.extend_from_slice(p.read_at(PAGE_HDR, used));
                     page += 1;
                 }
@@ -303,10 +331,29 @@ impl LogStream {
                 _ => break,
             }
         }
+        (extents, bytes, stats)
+    }
+
+    /// [`LogStream::scan_with_stats`] with each record tagged by the frame
+    /// holding its first byte — the input to checkpoint-bounded restart
+    /// analysis (see [`IndexedRecord`]).
+    pub fn scan_indexed(&self) -> (Vec<IndexedRecord>, ScanStats) {
+        let (extents, bytes, stats) = self.collect_pages();
         let mut records = Vec::new();
         let mut cursor = bytes.as_slice();
-        while let Some(rec) = LogRecord::decode(&mut cursor) {
-            records.push(rec);
+        loop {
+            let start = bytes.len() - cursor.len();
+            let Some(rec) = LogRecord::decode(&mut cursor) else {
+                break;
+            };
+            // extent covering `start`: the last one whose offset is ≤ start
+            let i = extents.partition_point(|&(off, _)| off <= start);
+            let (ext_off, frame) = extents[i - 1];
+            records.push(IndexedRecord {
+                rec,
+                frame,
+                frame_start: ext_off == start,
+            });
         }
         (records, stats)
     }
@@ -322,6 +369,52 @@ impl LogStream {
         // bump the epoch so anything beyond the new start is stale
         self.epoch += 1;
         self.write_header()
+    }
+
+    /// Advance the durable truncation point to `frame`, keeping everything
+    /// from `frame` onwards scannable.
+    ///
+    /// Used by checkpoint-bounded restart: once recovery establishes that
+    /// no record before the bounding checkpoint is needed, the stream's
+    /// scan prefix can be dropped durably. Because records may span log
+    /// pages, `frame` **must begin a record** — i.e. be the `frame` of an
+    /// [`IndexedRecord`] whose `frame_start` is set — or the shortened
+    /// scan would decode from mid-record garbage. The caller has this
+    /// information from the scan it already did, which is what makes
+    /// truncation a pure header write instead of a second pass over the
+    /// log (debug builds re-verify alignment). Requests at or before the
+    /// current truncation point are no-ops.
+    pub fn truncate_to(&mut self, frame: u64) -> Result<(), StorageError> {
+        let target = frame.min(self.next_page);
+        if target <= self.start_page {
+            return Ok(());
+        }
+        #[cfg(debug_assertions)]
+        self.assert_record_aligned(target);
+        self.start_page = target;
+        self.write_header()
+    }
+
+    /// Debug-build guard for [`LogStream::truncate_to`]: re-derives record
+    /// boundaries the expensive way and checks `target` begins one.
+    #[cfg(debug_assertions)]
+    fn assert_record_aligned(&self, target: u64) {
+        let (extents, bytes, _) = self.collect_pages();
+        let mut starts = std::collections::BTreeSet::new();
+        let mut off = 0usize;
+        loop {
+            starts.insert(off);
+            match LogRecord::peek_len(&bytes[off..]) {
+                Some(len) => off += len,
+                None => break,
+            }
+        }
+        assert!(
+            extents
+                .iter()
+                .any(|(off, f)| *f == target && starts.contains(off)),
+            "truncate_to({target}): frame does not begin a record"
+        );
     }
 
     /// Snapshot the log disk (crash image).

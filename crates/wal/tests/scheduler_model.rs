@@ -3,15 +3,19 @@
 //! conflicting locks, and never report a deadlock when none exists.
 
 use proptest::prelude::*;
+use rmdb_storage::PageId;
 use rmdb_wal::scheduler::{Decision, Scheduler};
 use rmdb_wal::LockMode;
-use rmdb_storage::PageId;
 use std::collections::{HashMap, HashSet};
 
 #[derive(Debug, Clone)]
 enum Op {
     /// txn requests a lock (ignored if the txn is already waiting).
-    Request { txn: u64, page: u64, exclusive: bool },
+    Request {
+        txn: u64,
+        page: u64,
+        exclusive: bool,
+    },
     /// txn finishes: release all locks, cancel any wait.
     Finish { txn: u64 },
 }

@@ -109,5 +109,9 @@ fn main() {
     }
 
     println!("{committed} transfers committed, {declined} declined, {crashes} crashes survived");
-    println!("final audit: {} == expected {} ✓", audit(&mut db), expected_total);
+    println!(
+        "final audit: {} == expected {} ✓",
+        audit(&mut db),
+        expected_total
+    );
 }

@@ -5,7 +5,7 @@
 //! cargo run --example fault_demo
 //! ```
 
-use recovery_machines::storage::{FaultInjector, FaultPlan, StorageError, MemDisk, FRAME_SIZE};
+use recovery_machines::storage::{FaultInjector, FaultPlan, MemDisk, StorageError, FRAME_SIZE};
 use recovery_machines::wal::{SelectionPolicy, WalConfig, WalDb};
 
 fn main() {

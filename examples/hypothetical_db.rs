@@ -31,7 +31,10 @@ fn main() {
     let hypothetical = db
         .query(what_if, |t| t.key >= 95, ScanStrategy::Optimal)
         .unwrap();
-    println!("hypothetical view of SKUs ≥ 95 ({} tuples):", hypothetical.len());
+    println!(
+        "hypothetical view of SKUs ≥ 95 ({} tuples):",
+        hypothetical.len()
+    );
     for t in &hypothetical {
         println!("  sku {:>3}  {}", t.key, String::from_utf8_lossy(&t.value));
     }
@@ -45,7 +48,10 @@ fn main() {
     db.commit(real).unwrap();
 
     let reader = db.begin();
-    let count = db.query(reader, |_| true, ScanStrategy::Optimal).unwrap().len();
+    let count = db
+        .query(reader, |_| true, ScanStrategy::Optimal)
+        .unwrap()
+        .len();
     assert_eq!(count, 99, "100 base - 1 delete");
     assert_eq!(db.get(reader, 7).unwrap().unwrap(), b"qty=0 (sold out)");
     assert_eq!(db.get(reader, 13).unwrap(), None);
@@ -77,7 +83,9 @@ fn main() {
     let reader = db.begin();
     assert_eq!(db.get(reader, 13).unwrap(), None);
     assert_eq!(
-        db.query(reader, |_| true, ScanStrategy::Optimal).unwrap().len(),
+        db.query(reader, |_| true, ScanStrategy::Optimal)
+            .unwrap()
+            .len(),
         99
     );
     db.abort(reader).unwrap();

@@ -54,10 +54,19 @@ fn main() {
         cfg.query_processors, cfg.cache_frames, cfg.data_disks
     );
     let report = Machine::new(cfg).run();
-    println!("  execution time per page : {:>9.2} ms", report.exec_time_per_page_ms);
-    println!("  transaction completion  : {:>9.1} ms", report.mean_completion_ms);
+    println!(
+        "  execution time per page : {:>9.2} ms",
+        report.exec_time_per_page_ms
+    );
+    println!(
+        "  transaction completion  : {:>9.1} ms",
+        report.mean_completion_ms
+    );
     println!("  pages processed         : {:>9}", report.pages_processed);
-    println!("  data disk accesses      : {:>9}", report.data_disk_accesses);
+    println!(
+        "  data disk accesses      : {:>9}",
+        report.data_disk_accesses
+    );
     println!(
         "  data disk utilization   : {:>9}",
         report
@@ -78,7 +87,10 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(" / ")
         );
-        println!("  blocked updated pages   : {:>9.1}", report.mean_blocked_pages);
+        println!(
+            "  blocked updated pages   : {:>9.1}",
+            report.mean_blocked_pages
+        );
     }
     if !report.pt_disk_util.is_empty() {
         println!(

@@ -40,7 +40,10 @@ fn main() {
     let image = db.crash_image();
     let (mut recovered, report) = WalDb::recover(image, config).unwrap();
 
-    println!("recovery scanned {} log stream(s), {} records", report.streams_scanned, report.records_scanned);
+    println!(
+        "recovery scanned {} log stream(s), {} records",
+        report.streams_scanned, report.records_scanned
+    );
     println!("winners: {:?}", report.committed_txns);
     println!("losers rolled back: {:?}", report.loser_txns);
 

@@ -41,8 +41,13 @@ fn transaction<S: PageStore>(store: &mut S, rel: &HeapFile, rng: &mut StdRng) {
     let mut updated = 0;
     for (k, _) in &slice {
         if rng.gen_bool(0.2) {
-            rel.update(store, txn, *k, format!("balance={:04}", rng.gen_range(0..999)).as_bytes())
-                .expect("update");
+            rel.update(
+                store,
+                txn,
+                *k,
+                format!("balance={:04}", rng.gen_range(0..999)).as_bytes(),
+            )
+            .expect("update");
             updated += 1;
         }
     }

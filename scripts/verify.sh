@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Full verification gate: build, every test in the workspace, and a
-# warning-free clippy pass. Run from anywhere inside the repo.
+# Full verification gate: formatting, build, every test in the workspace,
+# a warning-free clippy pass, and a restart-engine equivalence smoke run
+# (K=1 vs K=4 must recover byte-identical state). Run from anywhere
+# inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all -- --check
 cargo build --release
 cargo test -q
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
+cargo test -q --release --test restart_equivalence smoke_k1_vs_k4
 echo "verify: OK"

@@ -145,7 +145,9 @@ crash_cycle_test!(
         ..ShadowConfig::default()
     },
     |cfg| ShadowPager::new(cfg).expect("new"),
-    |db: &ShadowPager, cfg| ShadowPager::recover(db.crash_image(), cfg).expect("recover").0
+    |db: &ShadowPager, cfg| ShadowPager::recover(db.crash_image(), cfg)
+        .expect("recover")
+        .0
 );
 
 crash_cycle_test!(
@@ -156,7 +158,9 @@ crash_cycle_test!(
         commit_frames: 8,
     },
     VersionStore::new,
-    |db: &VersionStore, cfg| VersionStore::recover(db.crash_image(), cfg).expect("recover").0
+    |db: &VersionStore, cfg| VersionStore::recover(db.crash_image(), cfg)
+        .expect("recover")
+        .0
 );
 
 crash_cycle_test!(
@@ -167,7 +171,9 @@ crash_cycle_test!(
         scratch_slots: 12,
     },
     NoUndoStore::new,
-    |db: &NoUndoStore, cfg| NoUndoStore::recover(db.crash_image(), cfg).expect("recover").0
+    |db: &NoUndoStore, cfg| NoUndoStore::recover(db.crash_image(), cfg)
+        .expect("recover")
+        .0
 );
 
 crash_cycle_test!(
@@ -178,7 +184,9 @@ crash_cycle_test!(
         scratch_slots: 12,
     },
     NoRedoStore::new,
-    |db: &NoRedoStore, cfg| NoRedoStore::recover(db.crash_image(), cfg).expect("recover").0
+    |db: &NoRedoStore, cfg| NoRedoStore::recover(db.crash_image(), cfg)
+        .expect("recover")
+        .0
 );
 
 /// All architectures fed the *identical* operation stream end up with the

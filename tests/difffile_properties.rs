@@ -63,10 +63,8 @@ fn run_script(ops_list: Vec<Op>) {
             value: vec![0xBB; 8],
         })
         .collect();
-    let mut oracle: BTreeMap<u64, Vec<u8>> = base
-        .iter()
-        .map(|t| (t.key, t.value.clone()))
-        .collect();
+    let mut oracle: BTreeMap<u64, Vec<u8>> =
+        base.iter().map(|t| (t.key, t.value.clone())).collect();
     let mut db = DiffDb::with_base(cfg(), base).unwrap();
 
     for op in ops_list {

@@ -129,8 +129,7 @@ macro_rules! sweep_test {
                     let mut rng = StdRng::seed_from_u64(seed ^ (crashpoint << 32));
                     #[allow(clippy::redundant_closure_call)]
                     let mut store: $ty = ($new)(cfg.clone());
-                    let plan =
-                        FaultPlan::seeded(seed, 1 << 20).crash_after_write(crashpoint);
+                    let plan = FaultPlan::seeded(seed, 1 << 20).crash_after_write(crashpoint);
                     let handle = FaultInjector::handle(plan);
                     store.attach_faults(&handle);
 
@@ -213,7 +212,9 @@ sweep_test!(
         ..ShadowConfig::default()
     },
     |cfg| ShadowPager::new(cfg).expect("new"),
-    |db: &ShadowPager, cfg| ShadowPager::recover(db.crash_image(), cfg).expect("recover").0
+    |db: &ShadowPager, cfg| ShadowPager::recover(db.crash_image(), cfg)
+        .expect("recover")
+        .0
 );
 
 sweep_test!(
@@ -224,7 +225,9 @@ sweep_test!(
         commit_frames: 8,
     },
     VersionStore::new,
-    |db: &VersionStore, cfg| VersionStore::recover(db.crash_image(), cfg).expect("recover").0
+    |db: &VersionStore, cfg| VersionStore::recover(db.crash_image(), cfg)
+        .expect("recover")
+        .0
 );
 
 sweep_test!(
@@ -235,7 +238,9 @@ sweep_test!(
         scratch_slots: 16,
     },
     NoUndoStore::new,
-    |db: &NoUndoStore, cfg| NoUndoStore::recover(db.crash_image(), cfg).expect("recover").0
+    |db: &NoUndoStore, cfg| NoUndoStore::recover(db.crash_image(), cfg)
+        .expect("recover")
+        .0
 );
 
 sweep_test!(
@@ -246,7 +251,9 @@ sweep_test!(
         scratch_slots: 16,
     },
     NoRedoStore::new,
-    |db: &NoRedoStore, cfg| NoRedoStore::recover(db.crash_image(), cfg).expect("recover").0
+    |db: &NoRedoStore, cfg| NoRedoStore::recover(db.crash_image(), cfg)
+        .expect("recover")
+        .0
 );
 
 /// Differential files are tuple-granular, not a [`PageStore`], so they get
@@ -340,6 +347,80 @@ fn difffile_survives_fault_sweep() {
             let t = db.begin();
             db.insert(t, 1_000, b"post-recovery").expect("insert");
             db.commit(t).expect("commit");
+        }
+    }
+    let grid = SEEDS.len() * CRASHPOINTS.len();
+    assert!(
+        crash_hits * 2 >= grid,
+        "scheduled crash fired in only {crash_hits}/{grid} runs"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Restart engine under the same storm, with fuzzy checkpoints running every
+// few commits so the scheduled crash regularly lands *inside* an in-flight
+// checkpoint — after its Begin records but before its End, or mid-flush.
+// The checkpoint-bounded parallel restart must (a) recover the oracle state
+// like serial recovery does, and (b) produce byte-identical disks for K=1
+// and K=4 redo workers even on these faulted, half-checkpointed images.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn restart_survives_mid_checkpoint_fault_sweep() {
+    use recovery_machines::restart::{restart, RestartConfig};
+
+    let mut crash_hits = 0usize;
+    for seed in SEEDS {
+        for crashpoint in CRASHPOINTS {
+            let cfg = WalConfig {
+                data_pages: PAGES,
+                pool_frames: 3,
+                log_streams: 3,
+                policy: SelectionPolicy::Cyclic,
+                // a checkpoint every few commits: most crashpoints fall
+                // within a Begin → flush → End window on some stream
+                ckpt_every_commits: 5,
+                ..WalConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed ^ (crashpoint << 32));
+            let mut db = WalDb::new(cfg.clone());
+            let plan = FaultPlan::seeded(seed, 1 << 20).crash_after_write(crashpoint);
+            let handle = FaultInjector::handle(plan);
+            db.attach_faults(&handle);
+
+            let mut oracle = Oracle::new();
+            let ctx = format!("restart seed {seed} crashpoint {crashpoint}");
+            let errored = faulty_storm(&mut db, &mut oracle, &mut rng, 600);
+            assert!(errored, "{ctx}: storm ran dry without an error");
+            crash_hits += usize::from(handle.lock().crashed());
+
+            // K=1 and K=4 must agree byte-for-byte on the faulted image,
+            // data disk and log disks alike
+            let rcfg = |k| RestartConfig {
+                workers: k,
+                truncate_behind_bound: true,
+            };
+            let (db1, rep1) =
+                restart(db.crash_image(), cfg.clone(), &rcfg(1)).expect("restart K=1");
+            let (db4, rep4) =
+                restart(db.crash_image(), cfg.clone(), &rcfg(4)).expect("restart K=4");
+            assert_eq!(
+                rep1.logical_summary(),
+                rep4.logical_summary(),
+                "{ctx}: logical report diverged between K=1 and K=4"
+            );
+            let (i1, i4) = (db1.crash_image(), db4.crash_image());
+            assert_disks_identical(&i1.data, &i4.data, &format!("{ctx}: data K1/K4"));
+            for (i, (la, lb)) in i1.logs.iter().zip(&i4.logs).enumerate() {
+                assert_disks_identical(la, lb, &format!("{ctx}: log {i} K1/K4"));
+            }
+
+            // and the recovered store holds exactly the committed state
+            let mut store = db4;
+            verify_and_pin(&mut store, &mut oracle, &ctx);
+            let crashed = faulty_storm(&mut store, &mut oracle, &mut rng, 10);
+            assert!(!crashed, "{ctx}: error after recovery on a clean device");
+            verify_and_pin(&mut store, &mut oracle, &format!("{ctx} post"));
         }
     }
     let grid = SEEDS.len() * CRASHPOINTS.len();

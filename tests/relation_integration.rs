@@ -62,8 +62,14 @@ fn assert_consistent(label: &str, heap: &[(u64, Vec<u8>)], index: &[(u64, Vec<u8
     assert_eq!(heap.len(), 59, "{label}: 60 rows - 1 delete");
     assert_eq!(heap, index, "{label}: heap and index views must agree");
     assert_eq!(heap[0].1, b"upd-000", "{label}: update applied");
-    assert!(!heap.iter().any(|(k, _)| *k == 13), "{label}: delete applied");
-    assert!(!heap.iter().any(|(_, v)| v == b"ghost"), "{label}: abort clean");
+    assert!(
+        !heap.iter().any(|(k, _)| *k == 13),
+        "{label}: delete applied"
+    );
+    assert!(
+        !heap.iter().any(|(_, v)| v == b"ghost"),
+        "{label}: abort clean"
+    );
 }
 
 #[test]

@@ -1,0 +1,150 @@
+//! Restart-engine equivalence: the checkpoint-bounded parallel restart
+//! must produce **byte-identical** recovered state for every redo worker
+//! count K — data disk *and* log disks — and the same data-disk state as
+//! serial [`WalDb::recover`] full-log replay.
+//!
+//! The workloads here exercise the interesting structure: fuzzy
+//! auto-checkpoints held open by a long-lived drone transaction (so the
+//! checkpoint bound is real but never quiescent-truncates the log),
+//! aborted transactions, and in-flight losers cut by the crash.
+
+use proptest::prelude::*;
+use recovery_machines::restart::{restart, RestartConfig};
+use recovery_machines::storage::MemDisk;
+use recovery_machines::wal::{SelectionPolicy, WalConfig, WalDb};
+
+const PAGES: u64 = 64;
+
+fn assert_disks_identical(a: &MemDisk, b: &MemDisk, what: &str) {
+    assert_eq!(a.capacity(), b.capacity(), "{what}: capacity");
+    for addr in 0..a.capacity() {
+        assert_eq!(
+            a.is_allocated(addr),
+            b.is_allocated(addr),
+            "{what}: allocation of frame {addr}"
+        );
+        if a.is_allocated(addr) {
+            let fa = a.read_frame(addr).expect("frame a");
+            let fb = b.read_frame(addr).expect("frame b");
+            assert!(fa == fb, "{what}: frame {addr} differs");
+        }
+    }
+}
+
+fn cfg(streams: usize, ckpt_every: u64) -> WalConfig {
+    WalConfig {
+        data_pages: PAGES,
+        pool_frames: 8,
+        log_streams: streams,
+        policy: SelectionPolicy::Cyclic,
+        ckpt_every_commits: ckpt_every,
+        ..WalConfig::default()
+    }
+}
+
+/// Build a database mid-flight: a drone transaction pins every fuzzy
+/// checkpoint open, `txns` transactions commit or abort, and a loser is
+/// left in flight when the crash image is taken.
+fn build_crashed(streams: usize, ckpt_every: u64, txns: u64) -> WalDb {
+    let mut db = WalDb::new(cfg(streams, ckpt_every));
+    let drone = db.begin();
+    db.write(drone, PAGES - 1, 0, b"drone")
+        .expect("drone write");
+    for i in 0..txns {
+        let t = db.begin();
+        let payload = [(i % 251) as u8; 24];
+        db.write(t, i % (PAGES - 2), (i % 8) as usize * 24, &payload)
+            .expect("write");
+        if i % 7 == 3 {
+            db.abort(t).expect("abort");
+        } else {
+            db.commit(t).expect("commit");
+        }
+    }
+    let loser = db.begin();
+    db.write(loser, 1, 0, b"loser in flight")
+        .expect("loser write");
+    db
+}
+
+/// Restart the same image at each K and demand byte-identical outcomes:
+/// identical data disks, identical log disks (undo compensations and
+/// truncation included), and identical logical reports.
+fn assert_k_equivalence(db: &WalDb, streams: usize, ckpt_every: u64, ks: &[usize]) {
+    let mut baseline: Option<(recovery_machines::wal::CrashImage, String, usize)> = None;
+    for &k in ks {
+        let rcfg = RestartConfig {
+            workers: k,
+            truncate_behind_bound: true,
+        };
+        let (db_k, report) =
+            restart(db.crash_image(), cfg(streams, ckpt_every), &rcfg).expect("restart");
+        let image = db_k.crash_image();
+        let summary = report.logical_summary();
+        match &baseline {
+            None => baseline = Some((image, summary, k)),
+            Some((base, base_summary, base_k)) => {
+                assert_eq!(
+                    &summary, base_summary,
+                    "logical report differs between K={base_k} and K={k}"
+                );
+                assert_disks_identical(&base.data, &image.data, &format!("data K={base_k}/K={k}"));
+                assert_eq!(base.logs.len(), image.logs.len(), "stream count");
+                for (i, (la, lb)) in base.logs.iter().zip(&image.logs).enumerate() {
+                    assert_disks_identical(la, lb, &format!("log {i} K={base_k}/K={k}"));
+                }
+            }
+        }
+    }
+}
+
+/// Fast, deterministic K=1 vs K=4 check — the CI smoke target
+/// (`scripts/verify.sh` runs exactly this test by name).
+#[test]
+fn smoke_k1_vs_k4() {
+    let db = build_crashed(3, 11, 150);
+    assert_k_equivalence(&db, 3, 11, &[1, 4]);
+}
+
+/// The restart engine's data-disk state must match serial full-log replay
+/// exactly, checkpoints and all: bounding the scan may skip redo work only
+/// when the skipped updates are already home.
+#[test]
+fn restart_matches_serial_recovery() {
+    for (streams, ckpt_every, txns) in [(1, 0, 60), (2, 9, 120), (4, 17, 200)] {
+        let db = build_crashed(streams, ckpt_every, txns);
+        let (serial_db, _) =
+            WalDb::recover(db.crash_image(), cfg(streams, ckpt_every)).expect("serial recover");
+        let rcfg = RestartConfig::default();
+        let (restart_db, report) =
+            restart(db.crash_image(), cfg(streams, ckpt_every), &rcfg).expect("restart");
+        let what = format!("streams={streams} ckpt_every={ckpt_every}");
+        assert_disks_identical(
+            &serial_db.crash_image().data,
+            &restart_db.crash_image().data,
+            &what,
+        );
+        if ckpt_every > 0 {
+            assert!(
+                report.records_skipped > 0,
+                "{what}: checkpointed history produced no bound"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary stream counts, checkpoint intervals, and workload
+    /// sizes, every K ∈ {1, 2, 4, 8} recovers byte-identical state.
+    #[test]
+    fn workers_are_equivalent_bytewise(
+        streams in 1usize..=4,
+        ckpt_every in 0u64..24,
+        txns in 20u64..160,
+    ) {
+        let db = build_crashed(streams, ckpt_every, txns);
+        assert_k_equivalence(&db, streams, ckpt_every, &[1, 2, 4, 8]);
+    }
+}

@@ -15,7 +15,10 @@ const SLOT: usize = 16;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Txn { writes: Vec<(u64, u8)>, commit: bool },
+    Txn {
+        writes: Vec<(u64, u8)>,
+        commit: bool,
+    },
     Crash,
 }
 

@@ -15,7 +15,10 @@ const SLOT: usize = 16;
 enum Op {
     /// Begin a txn, write the listed (page, byte) pairs, then commit or
     /// abort.
-    Txn { writes: Vec<(u64, u8)>, commit: bool },
+    Txn {
+        writes: Vec<(u64, u8)>,
+        commit: bool,
+    },
     /// Take a checkpoint.
     Checkpoint,
     /// Crash and recover.
@@ -40,7 +43,11 @@ fn config(streams: usize, physical: bool, policy: SelectionPolicy) -> WalConfig 
         pool_frames: 2, // aggressive stealing
         log_streams: streams,
         log_frames: 1 << 14,
-        log_mode: if physical { LogMode::Physical } else { LogMode::Logical },
+        log_mode: if physical {
+            LogMode::Physical
+        } else {
+            LogMode::Logical
+        },
         policy,
         ..WalConfig::default()
     }
@@ -77,8 +84,14 @@ fn run_script(ops: Vec<Op>, streams: usize, physical: bool, policy: SelectionPol
                 // a clean crash tears nothing: salvage and quarantine are
                 // strictly fault-storm phenomena
                 assert_eq!(report.salvaged_records, 0, "clean crash salvaged records");
-                assert_eq!(report.quarantined_log_pages, 0, "clean crash quarantined log pages");
-                assert_eq!(report.quarantined_data_pages, 0, "clean crash quarantined data pages");
+                assert_eq!(
+                    report.quarantined_log_pages, 0,
+                    "clean crash quarantined log pages"
+                );
+                assert_eq!(
+                    report.quarantined_data_pages, 0,
+                    "clean crash quarantined data pages"
+                );
                 db = recovered;
             }
         }
@@ -157,7 +170,8 @@ fn torn_log_page_is_quarantined_not_fatal() {
     let mut db = WalDb::new(cfg.clone());
     for byte in 0..6u8 {
         let t = db.begin();
-        db.write(t, u64::from(byte) % PAGES, 0, &[byte; SLOT]).unwrap();
+        db.write(t, u64::from(byte) % PAGES, 0, &[byte; SLOT])
+            .unwrap();
         db.commit(t).unwrap();
     }
     let mut image = db.crash_image();

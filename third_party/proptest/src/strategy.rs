@@ -246,8 +246,7 @@ mod tests {
 
     #[test]
     fn vec_and_map_compose() {
-        let s = crate::collection::vec((0u64..5, any::<u8>()), 1..4)
-            .prop_map(|v| v.len());
+        let s = crate::collection::vec((0u64..5, any::<u8>()), 1..4).prop_map(|v| v.len());
         let mut rng = TestRng::for_case("strategy::compose", 2);
         for _ in 0..100 {
             let n = s.generate(&mut rng);
