@@ -1,14 +1,18 @@
 //! Regenerates every table of the paper and (optionally) persists the
-//! results: `all_tables [--txns N] [--out DIR]` writes `tables.txt` and
-//! `tables.json` into DIR when given.
+//! results: `all_tables [--txns N] [--out DIR] [--measured]` writes
+//! `tables.txt` and `tables.json` into DIR when given. `--measured`
+//! appends a wall-clock throughput table from the real-thread pipeline
+//! alongside the simulated tables.
 
 use rmdb_core::export::{tables_to_json, tables_to_text};
 use rmdb_machine::experiments::{all_tables, PAPER_TXNS};
+use rmdb_machine::measured::measured_throughput;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut txns = PAPER_TXNS;
     let mut out: Option<String> = None;
+    let mut measured = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -23,11 +27,15 @@ fn main() {
                 out = args.get(i + 1).cloned();
                 i += 1;
             }
+            "--measured" => measured = true,
             _ => {}
         }
         i += 1;
     }
-    let tables = all_tables(txns);
+    let mut tables = all_tables(txns);
+    if measured {
+        tables.push(measured_throughput(0.5));
+    }
     let text = tables_to_text(&tables);
     print!("{text}");
     if let Some(dir) = out {

@@ -1,0 +1,896 @@
+//! [`ExecDb`] — the concurrent transaction pipeline.
+//!
+//! This is the paper's machine organisation with the roles mapped onto
+//! real threads instead of a simulated event loop:
+//!
+//! * **query processors** — the caller's worker threads, each running
+//!   transactions against `&ExecDb`;
+//! * **log processors** — one [`LogAppender`] thread per log stream,
+//!   draining a bounded fragment channel into 4 KB log pages;
+//! * **back-end controller scheduler** — a [`Scheduler`] behind its own
+//!   mutex, with waiting workers parked on per-transaction condvar slots;
+//! * **back-end controller commit path** — the group-commit daemon
+//!   ([`crate::group`]), batching commit forces across streams.
+//!
+//! The monolithic engine mutex of `rmdb_wal::SharedWal` is decomposed
+//! into fine-grained locks: the scheduler mutex (lock table only), a
+//! sharded buffer pool (page content + per-page log tickets, one mutex
+//! per shard), one data-disk mutex (flush serialisation), and one tiny
+//! sender mutex per log stream (ticket issue). No lock is held across a
+//! blocking wait on another worker; waits on the appender threads are
+//! safe because appenders never take engine locks.
+//!
+//! ## Commit-ordering invariant
+//!
+//! A transaction's `Commit` record is appended to its home stream only
+//! after every stream holding one of its fragments has confirmed a force
+//! covering that fragment's ticket. Together with the crash-image
+//! protocol (commit gate + data-before-logs snapshot order, see
+//! [`ExecDb::crash_image`]), this guarantees any crash image containing
+//! a durable `Commit{t}` also contains every fragment of `t` — so
+//! [`rmdb_wal::WalDb::recover`] replays exactly the committed state.
+
+use crate::appender::LogAppender;
+use crate::group::{run_daemon, CommitHandle, CommitReq};
+use rmdb_storage::Lsn;
+use rmdb_storage::{
+    read_page_retry, write_page_verified, MemDisk, Page, PageId, ShardedPool, StorageError,
+    PAYLOAD_SIZE,
+};
+use rmdb_wal::db::{LogMode, WalConfig};
+use rmdb_wal::lock::LockMode;
+use rmdb_wal::record::LogRecord;
+use rmdb_wal::scheduler::{Decision, Scheduler, WaitStats};
+use rmdb_wal::select::Selector;
+use rmdb_wal::stream::{LogStream, IO_RETRIES};
+use rmdb_wal::{Backoff, CrashImage, WalError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Retries before a transaction is declared starved.
+const MAX_RETRIES: usize = 1000;
+/// Safety valve on lock waits; healthy runs never hit it.
+const LOCK_WAIT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Pipeline configuration: the WAL knobs plus the concurrency shape.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Underlying WAL layout (data pages, streams, log mode, seed, …).
+    /// `ckpt_every_commits` is ignored — the pipeline does not
+    /// checkpoint; recovery scans the distributed logs from the start.
+    pub wal: WalConfig,
+    /// Buffer-pool shards (page → shard by multiplicative hash).
+    pub pool_shards: usize,
+    /// Bounded fragment-channel depth per log appender (backpressure).
+    pub appender_queue: usize,
+    /// Bounded commit-channel depth (backpressure on committers).
+    pub commit_queue: usize,
+    /// Max transactions the daemon folds into one group commit.
+    pub max_group: usize,
+    /// Group-commit dwell: after the first commit of a batch arrives,
+    /// the daemon lingers up to this long for stragglers before forcing.
+    /// Trades a little single-transaction latency for batch depth under
+    /// load (the paper's group-commit knob, expressed as a window).
+    pub group_dwell_us: u64,
+    /// Modeled log-device service time per force, in microseconds. The
+    /// paper's log disks are rotational — a force is never free; this is
+    /// what makes sharing forces (group commit) worth anything. Zero
+    /// (the default) models an ideal device, which unit tests want.
+    pub force_delay_us: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            wal: WalConfig::default(),
+            pool_shards: 8,
+            appender_queue: 1024,
+            commit_queue: 1024,
+            max_group: 64,
+            group_dwell_us: 40,
+            force_delay_us: 0,
+        }
+    }
+}
+
+/// Counter snapshot (all monotonic since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Transactions durably committed (incl. read-only fast path).
+    pub committed: u64,
+    /// Transactions aborted (voluntary, victim, or failed commit).
+    pub aborted: u64,
+    /// `run_txn` attempts (first tries + retries).
+    pub attempts: u64,
+    /// Retries caused by lock conflicts / deadlock victimisation.
+    pub conflict_retries: u64,
+    /// Transactions that exhausted their retry budget.
+    pub starved: u64,
+    /// Fragment forces triggered by dirty-page eviction (WAL rule).
+    pub wal_forces: u64,
+    /// Group-commit batches flushed by the daemon.
+    pub group_commits: u64,
+    /// Transactions that went through the daemon (batch members).
+    pub commits_grouped: u64,
+    /// Largest batch the daemon flushed.
+    pub max_group_size: u64,
+    /// Waiters cancelled as deadlock victims.
+    pub deadlock_victims: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct Stats {
+    pub committed: AtomicU64,
+    pub aborted: AtomicU64,
+    pub attempts: AtomicU64,
+    pub conflict_retries: AtomicU64,
+    pub starved: AtomicU64,
+    pub wal_forces: AtomicU64,
+    pub group_commits: AtomicU64,
+    pub commits_grouped: AtomicU64,
+    pub max_group_size: AtomicU64,
+    pub deadlock_victims: AtomicU64,
+}
+
+/// Outcome delivered to a parked lock waiter.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// The scheduler granted the lock; the waiter now holds it.
+    Granted,
+    /// The waiter was cancelled as a deadlock victim; it must abort.
+    Victim,
+}
+
+/// One parked worker's wake-up slot.
+struct Slot {
+    state: Mutex<Option<Outcome>>,
+    cv: Condvar,
+}
+
+/// Per-transaction condvar slots. Signals and waits may race (a grant
+/// can land before the waiter parks), so both sides get-or-create.
+#[derive(Default)]
+struct WaitTable {
+    slots: Mutex<HashMap<u64, Arc<Slot>>>,
+}
+
+impl WaitTable {
+    fn slot(&self, txn: u64) -> Arc<Slot> {
+        let mut slots = self.slots.lock().expect("wait table");
+        Arc::clone(slots.entry(txn).or_insert_with(|| {
+            Arc::new(Slot {
+                state: Mutex::new(None),
+                cv: Condvar::new(),
+            })
+        }))
+    }
+
+    /// Deliver `outcome` to `txn`'s slot. Callers hold the scheduler
+    /// mutex, making signal/timeout interleavings serialisable.
+    fn signal(&self, txn: u64, outcome: Outcome) {
+        let slot = self.slot(txn);
+        *slot.state.lock().expect("wait slot") = Some(outcome);
+        slot.cv.notify_all();
+    }
+
+    /// Consume a delivered outcome without blocking (timeout re-check).
+    fn take(&self, txn: u64) -> Option<Outcome> {
+        let slot = self.slot(txn);
+        let out = slot.state.lock().expect("wait slot").take();
+        if out.is_some() {
+            self.slots.lock().expect("wait table").remove(&txn);
+        }
+        out
+    }
+
+    /// Park until an outcome arrives; `None` on timeout (slot retained —
+    /// the caller resolves the race under the scheduler mutex).
+    fn wait(&self, txn: u64) -> Option<Outcome> {
+        let slot = self.slot(txn);
+        let mut state = slot.state.lock().expect("wait slot");
+        let deadline = std::time::Instant::now() + LOCK_WAIT_TIMEOUT;
+        loop {
+            if let Some(out) = state.take() {
+                drop(state);
+                self.slots.lock().expect("wait table").remove(&txn);
+                return Some(out);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _) = slot
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("wait slot condvar");
+            state = next;
+        }
+    }
+}
+
+/// An undone-able update (worker-local; never crosses threads).
+struct UndoEntry {
+    page: PageId,
+    offset: u32,
+    before: Vec<u8>,
+    new_lsn: Lsn,
+}
+
+/// An in-flight transaction, owned by the worker driving it.
+pub struct Txn {
+    id: u64,
+    /// Home stream for the commit/abort record.
+    home: usize,
+    /// Per-stream high-water fragment tickets.
+    tickets: HashMap<usize, u64>,
+    undo: Vec<UndoEntry>,
+}
+
+impl Txn {
+    /// Transaction id (monotonic; doubles as age for victim selection).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Data disk plus the doublewrite cursor it protects.
+struct DataState {
+    disk: MemDisk,
+    dw_cursor: u64,
+}
+
+/// Everything shared between workers, the appenders, and the daemon.
+pub(crate) struct Inner {
+    cfg: ExecConfig,
+    sched: Mutex<Scheduler>,
+    waits: WaitTable,
+    /// Page cache, sharded; shard meta maps page → `(stream, ticket)` of
+    /// its latest fragment (the WAL rule's "which log holds this page's
+    /// fragment" table from the paper's back-end controller).
+    shards: ShardedPool<HashMap<PageId, (usize, u64)>>,
+    data: Mutex<DataState>,
+    pub(crate) appenders: Vec<LogAppender>,
+    selector: Mutex<Selector>,
+    /// Commit gate: held for every commit-record append + home force and
+    /// for the whole of [`ExecDb::crash_image`].
+    pub(crate) gate: Mutex<()>,
+    next_txn: AtomicU64,
+    next_lsn: AtomicU64,
+    pub(crate) stats: Stats,
+}
+
+impl Inner {
+    /// Release `txn`'s locks and wake every waiter the release granted.
+    /// Called by workers (abort) and the daemon (commit durable).
+    pub(crate) fn release_locks(&self, txn: u64) {
+        let mut sched = self.sched.lock().expect("scheduler");
+        for (granted, _page) in sched.release_all(txn) {
+            self.waits.signal(granted, Outcome::Granted);
+        }
+    }
+}
+
+/// The concurrent engine. Shared by reference across worker threads
+/// (wrap in [`Arc`] to move between threads).
+pub struct ExecDb {
+    inner: Arc<Inner>,
+    commit_tx: Option<SyncSender<CommitReq>>,
+    daemon: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ExecDb {
+    /// A fresh database with `cfg.wal.log_streams` appender threads and
+    /// the group-commit daemon running.
+    pub fn new(cfg: ExecConfig) -> Self {
+        assert!(cfg.pool_shards > 0, "need at least one pool shard");
+        let wal = &cfg.wal;
+        let force_delay = Duration::from_micros(cfg.force_delay_us);
+        let appenders = (0..wal.log_streams)
+            .map(|_| {
+                LogAppender::spawn(
+                    LogStream::create(wal.log_frames),
+                    cfg.appender_queue,
+                    force_delay,
+                )
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            sched: Mutex::new(Scheduler::new()),
+            waits: WaitTable::default(),
+            shards: ShardedPool::with_meta(
+                cfg.pool_shards,
+                wal.pool_frames,
+                wal.evict,
+                HashMap::new,
+            ),
+            data: Mutex::new(DataState {
+                disk: MemDisk::new(wal.data_pages + wal.dw_slots),
+                dw_cursor: 0,
+            }),
+            appenders,
+            selector: Mutex::new(Selector::new(wal.policy, wal.log_streams, wal.seed)),
+            gate: Mutex::new(()),
+            next_txn: AtomicU64::new(1),
+            next_lsn: AtomicU64::new(1),
+            stats: Stats::default(),
+            cfg: cfg.clone(),
+        });
+        let (commit_tx, commit_rx) = sync_channel(cfg.commit_queue.max(1));
+        let daemon_inner = Arc::clone(&inner);
+        let max_group = cfg.max_group;
+        let dwell = Duration::from_micros(cfg.group_dwell_us);
+        let daemon = std::thread::Builder::new()
+            .name("rmdb-group-commit".into())
+            .spawn(move || run_daemon(daemon_inner, commit_rx, max_group, dwell))
+            .expect("spawn group-commit daemon");
+        ExecDb {
+            inner,
+            commit_tx: Some(commit_tx),
+            daemon: Some(daemon),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ExecConfig {
+        &self.inner.cfg
+    }
+
+    /// Begin a transaction on behalf of query processor `qp`.
+    pub fn begin(&self, qp: usize) -> Txn {
+        let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
+        let home = self.inner.selector.lock().expect("selector").pick(qp, id);
+        Txn {
+            id,
+            home,
+            tickets: HashMap::new(),
+            undo: Vec::new(),
+        }
+    }
+
+    fn check_bounds(&self, page: u64, offset: usize, len: usize) -> Result<(), WalError> {
+        if page >= self.inner.cfg.wal.data_pages || offset + len > PAYLOAD_SIZE {
+            Err(WalError::OutOfBounds { page, offset, len })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Acquire `mode` on `page` for `txn`, parking on the wait table if
+    /// the scheduler queues us. Deadlock victims (us or others) surface
+    /// as [`WalError::LockConflict`], the retryable error.
+    fn lock_page(&self, txn: u64, page: PageId, mode: LockMode) -> Result<(), WalError> {
+        let decision = {
+            let mut sched = self.inner.sched.lock().expect("scheduler");
+            let decision = sched.request(txn, page, mode);
+            // signal victims while still holding the scheduler mutex so
+            // victim/grant deliveries are serialised
+            match &decision {
+                Decision::Waiting { victims } | Decision::Deadlock { victims, .. } => {
+                    for &v in victims {
+                        self.inner
+                            .stats
+                            .deadlock_victims
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.inner.waits.signal(v, Outcome::Victim);
+                    }
+                }
+                Decision::Granted => {}
+            }
+            decision
+        };
+        match decision {
+            Decision::Granted => Ok(()),
+            Decision::Deadlock { cycle, .. } => {
+                self.inner
+                    .stats
+                    .deadlock_victims
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(WalError::LockConflict {
+                    page,
+                    holder: cycle.get(1).copied().unwrap_or(0),
+                })
+            }
+            Decision::Waiting { .. } => match self.inner.waits.wait(txn) {
+                Some(Outcome::Granted) => Ok(()),
+                Some(Outcome::Victim) => Err(WalError::LockConflict { page, holder: 0 }),
+                None => {
+                    // timed out: resolve the race under the scheduler
+                    // mutex — either a signal landed after the timeout,
+                    // or we withdraw the wait
+                    let mut sched = self.inner.sched.lock().expect("scheduler");
+                    match self.inner.waits.take(txn) {
+                        Some(Outcome::Granted) => Ok(()),
+                        Some(Outcome::Victim) => Err(WalError::LockConflict { page, holder: 0 }),
+                        None => {
+                            sched.cancel_wait(txn);
+                            Err(WalError::LockConflict { page, holder: 0 })
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Ensure `page` is resident in its shard, flushing any evicted dirty
+    /// victim under the WAL rule. Caller holds the shard lock via `shard`.
+    fn ensure_resident(
+        &self,
+        shard: &mut rmdb_storage::PoolShard<HashMap<PageId, (usize, u64)>>,
+        id: PageId,
+    ) -> Result<(), WalError> {
+        if shard.pool.contains(id) {
+            return Ok(());
+        }
+        let page = {
+            let data = self.inner.data.lock().expect("data disk");
+            if data.disk.is_allocated(id.0) {
+                read_page_retry(&data.disk, id.0, IO_RETRIES)?
+            } else {
+                Page::new(id)
+            }
+        };
+        if let Some(evicted) = shard.pool.insert(id, page, false)? {
+            if evicted.dirty {
+                self.flush_page(shard, &evicted.page)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// WAL-rule flush: force the page's latest fragment if not yet
+    /// durable, then doublewrite + verified home write.
+    fn flush_page(
+        &self,
+        shard: &mut rmdb_storage::PoolShard<HashMap<PageId, (usize, u64)>>,
+        page: &Page,
+    ) -> Result<(), WalError> {
+        if let Some(&(stream, seq)) = shard.meta.get(&page.id) {
+            let appender = &self.inner.appenders[stream];
+            if !appender.is_forced(seq) {
+                appender.force_through(seq)?;
+                self.inner.stats.wal_forces.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut data = self.inner.data.lock().expect("data disk");
+        let wal = &self.inner.cfg.wal;
+        if wal.dw_slots > 0 {
+            let slot = wal.data_pages + data.dw_cursor % wal.dw_slots;
+            data.dw_cursor += 1;
+            write_page_verified(&mut data.disk, slot, page, IO_RETRIES)?;
+        }
+        write_page_verified(&mut data.disk, page.id.0, page, IO_RETRIES)?;
+        Ok(())
+    }
+
+    /// Read `len` bytes at `offset` of `page` under a shared lock.
+    pub fn read(
+        &self,
+        txn: &mut Txn,
+        page: u64,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, WalError> {
+        self.check_bounds(page, offset, len)?;
+        let id = PageId(page);
+        self.lock_page(txn.id, id, LockMode::Shared)?;
+        let mut shard = self.inner.shards.lock(id);
+        self.ensure_resident(&mut shard, id)?;
+        let p = shard.pool.get(id).expect("resident page");
+        Ok(p.read_at(offset, len).to_vec())
+    }
+
+    /// Write `data` at `offset` of `page`: X-lock, log a fragment to this
+    /// transaction's routed stream, then apply in the buffer pool. The
+    /// fragment ticket and the page content move together under one shard
+    /// lock, so a concurrent evicting flusher can never see new bytes
+    /// with a stale ticket.
+    pub fn write(
+        &self,
+        txn: &mut Txn,
+        page: u64,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), WalError> {
+        self.check_bounds(page, offset, data.len())?;
+        let id = PageId(page);
+        self.lock_page(txn.id, id, LockMode::Exclusive)?;
+
+        // pre-image under the shard lock (X lock pins the content)
+        let (rec, undo_entry, new_lsn) = {
+            let mut shard = self.inner.shards.lock(id);
+            self.ensure_resident(&mut shard, id)?;
+            let p = shard.pool.get(id).expect("resident page");
+            let prev_lsn = p.lsn;
+            let new_lsn = Lsn(self.inner.next_lsn.fetch_add(1, Ordering::Relaxed));
+            match self.inner.cfg.wal.log_mode {
+                LogMode::Logical => {
+                    let before = p.read_at(offset, data.len()).to_vec();
+                    (
+                        LogRecord::Update {
+                            txn: txn.id,
+                            page: id,
+                            prev_lsn,
+                            new_lsn,
+                            offset: offset as u32,
+                            before: before.clone(),
+                            after: data.to_vec(),
+                        },
+                        UndoEntry {
+                            page: id,
+                            offset: offset as u32,
+                            before,
+                            new_lsn,
+                        },
+                        new_lsn,
+                    )
+                }
+                LogMode::Physical => {
+                    let before = p.payload().to_vec();
+                    let mut after = before.clone();
+                    after[offset..offset + data.len()].copy_from_slice(data);
+                    (
+                        LogRecord::Update {
+                            txn: txn.id,
+                            page: id,
+                            prev_lsn,
+                            new_lsn,
+                            offset: 0,
+                            before: before.clone(),
+                            after,
+                        },
+                        UndoEntry {
+                            page: id,
+                            offset: 0,
+                            before,
+                            new_lsn,
+                        },
+                        new_lsn,
+                    )
+                }
+            }
+        };
+
+        // ship the fragment to this txn's home log processor
+        let stream = txn.home;
+        let seq = self.inner.appenders[stream].append(rec)?;
+        let high = txn.tickets.entry(stream).or_insert(0);
+        *high = (*high).max(seq);
+        txn.undo.push(undo_entry);
+
+        // apply + publish the ticket atomically w.r.t. the flusher
+        let mut shard = self.inner.shards.lock(id);
+        self.ensure_resident(&mut shard, id)?;
+        shard.meta.insert(id, (stream, seq));
+        let p = shard.pool.get_mut(id).expect("resident page");
+        p.write_at(offset, data);
+        p.lsn = new_lsn;
+        Ok(())
+    }
+
+    /// Commit: submit to the group-commit daemon and return a handle the
+    /// caller waits on. Read-only transactions resolve immediately.
+    pub fn commit(&self, txn: Txn) -> Result<CommitHandle, WalError> {
+        let (reply, rx) = sync_channel(1);
+        if txn.tickets.is_empty() {
+            // read-only fast path: nothing to force
+            self.inner.release_locks(txn.id);
+            self.inner.stats.committed.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(Ok(()));
+            return Ok(CommitHandle::new(rx));
+        }
+        let req = CommitReq {
+            txn: txn.id,
+            home: txn.home,
+            tickets: txn.tickets.into_iter().collect(),
+            reply,
+        };
+        let tx = self.commit_tx.as_ref().expect("pipeline running");
+        tx.send(req)
+            .map_err(|_| WalError::Storage(StorageError::Protocol("group-commit daemon gone")))?;
+        Ok(CommitHandle::new(rx))
+    }
+
+    /// Abort: walk the undo chain backwards, logging a compensation per
+    /// undone update, append the `Abort` record (no force needed), then
+    /// release locks.
+    pub fn abort(&self, mut txn: Txn) -> Result<(), WalError> {
+        let result = self.undo_all(&mut txn);
+        self.inner.release_locks(txn.id);
+        self.inner.stats.aborted.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    fn undo_all(&self, txn: &mut Txn) -> Result<(), WalError> {
+        let stream = txn.home;
+        for entry in txn.undo.drain(..).rev() {
+            let clr_lsn = Lsn(self.inner.next_lsn.fetch_add(1, Ordering::Relaxed));
+            let rec = LogRecord::Compensation {
+                txn: txn.id,
+                page: entry.page,
+                undoes: entry.new_lsn,
+                new_lsn: clr_lsn,
+                offset: entry.offset,
+                data: entry.before.clone(),
+            };
+            let seq = self.inner.appenders[stream].append(rec)?;
+            let mut shard = self.inner.shards.lock(entry.page);
+            self.ensure_resident(&mut shard, entry.page)?;
+            shard.meta.insert(entry.page, (stream, seq));
+            let p = shard.pool.get_mut(entry.page).expect("resident page");
+            p.write_at(entry.offset as usize, &entry.before);
+            p.lsn = clr_lsn;
+        }
+        self.inner.appenders[stream].append(LogRecord::Abort { txn: txn.id })?;
+        Ok(())
+    }
+
+    /// Run `body` as a transaction with conflict retry: on lock conflict
+    /// the transaction aborts, backs off (seeded exponential + jitter),
+    /// and retries up to an internal budget before reporting starvation.
+    pub fn run_txn<F>(&self, qp: usize, body: F) -> Result<(), WalError>
+    where
+        F: Fn(&mut ExecCtx<'_>) -> Result<(), WalError>,
+    {
+        let seed = self.inner.cfg.wal.seed ^ (qp as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut backoff = Backoff::with_bounds(seed, 10, 1_000);
+        for _ in 0..MAX_RETRIES {
+            self.inner.stats.attempts.fetch_add(1, Ordering::Relaxed);
+            let mut txn = self.begin(qp);
+            let mut ctx = ExecCtx {
+                db: self,
+                txn: &mut txn,
+            };
+            match body(&mut ctx) {
+                Ok(()) => match self.commit(txn)?.wait() {
+                    Ok(()) => return Ok(()),
+                    Err(e) => return Err(e),
+                },
+                Err(WalError::LockConflict { .. }) => {
+                    self.abort(txn)?;
+                    self.inner
+                        .stats
+                        .conflict_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    backoff.wait();
+                }
+                Err(e) => {
+                    self.abort(txn)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.inner.stats.starved.fetch_add(1, Ordering::Relaxed);
+        Err(WalError::Storage(StorageError::Protocol(
+            "transaction starved: retry budget exhausted",
+        )))
+    }
+
+    /// A crash-consistent image for [`rmdb_wal::WalDb::recover`].
+    ///
+    /// Protocol: hold the commit gate (no commit record can become
+    /// durable inside the window), snapshot the data disk **first**, then
+    /// every log disk. Data-first means any page visible on the data
+    /// snapshot had its fragment forced strictly before the log
+    /// snapshots (WAL rule holds in the image); the gate means any
+    /// durable commit record's fragment forces finished strictly before
+    /// the window (commit atomicity holds in the image).
+    pub fn crash_image(&self) -> Result<CrashImage, WalError> {
+        let _gate = self.inner.gate.lock().expect("commit gate");
+        let data = self.inner.data.lock().expect("data disk").disk.snapshot();
+        let logs = self
+            .inner
+            .appenders
+            .iter()
+            .map(|a| a.snapshot())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CrashImage { data, logs })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ExecStats {
+        let s = &self.inner.stats;
+        ExecStats {
+            committed: s.committed.load(Ordering::Relaxed),
+            aborted: s.aborted.load(Ordering::Relaxed),
+            attempts: s.attempts.load(Ordering::Relaxed),
+            conflict_retries: s.conflict_retries.load(Ordering::Relaxed),
+            starved: s.starved.load(Ordering::Relaxed),
+            wal_forces: s.wal_forces.load(Ordering::Relaxed),
+            group_commits: s.group_commits.load(Ordering::Relaxed),
+            commits_grouped: s.commits_grouped.load(Ordering::Relaxed),
+            max_group_size: s.max_group_size.load(Ordering::Relaxed),
+            deadlock_victims: s.deadlock_victims.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Scheduler wait-queue counters.
+    pub fn wait_stats(&self) -> WaitStats {
+        self.inner.sched.lock().expect("scheduler").wait_stats()
+    }
+
+    /// Buffer-pool hit/miss counters summed over shards.
+    pub fn pool_hit_miss(&self) -> (u64, u64) {
+        self.inner.shards.hit_miss()
+    }
+
+    /// Stop the daemon and the appender threads, surfacing any error the
+    /// pipeline hit. The database is consumed (its disks die with it —
+    /// take a [`ExecDb::crash_image`] first to keep the durable state).
+    pub fn shutdown(mut self) -> Result<(), WalError> {
+        self.stop_threads();
+        Ok(())
+    }
+
+    fn stop_threads(&mut self) {
+        self.commit_tx = None; // daemon exits on channel close
+        if let Some(daemon) = self.daemon.take() {
+            let _ = daemon.join();
+        }
+        // appender threads exit via LogAppender::drop when Inner drops
+    }
+}
+
+impl Drop for ExecDb {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Transaction scope handed to [`ExecDb::run_txn`] bodies.
+pub struct ExecCtx<'a> {
+    db: &'a ExecDb,
+    txn: &'a mut Txn,
+}
+
+impl ExecCtx<'_> {
+    /// Transaction id.
+    pub fn id(&self) -> u64 {
+        self.txn.id
+    }
+
+    /// Read under a shared lock.
+    pub fn read(&mut self, page: u64, offset: usize, len: usize) -> Result<Vec<u8>, WalError> {
+        self.db.read(self.txn, page, offset, len)
+    }
+
+    /// Write under an exclusive lock.
+    pub fn write(&mut self, page: u64, offset: usize, data: &[u8]) -> Result<(), WalError> {
+        self.db.write(self.txn, page, offset, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmdb_wal::WalDb;
+
+    fn small_cfg() -> ExecConfig {
+        ExecConfig {
+            wal: WalConfig {
+                data_pages: 64,
+                pool_frames: 16,
+                log_streams: 3,
+                log_frames: 4096,
+                seed: 42,
+                ..WalConfig::default()
+            },
+            pool_shards: 4,
+            ..ExecConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_txn_commits_and_recovers() {
+        let db = ExecDb::new(small_cfg());
+        let mut t = db.begin(0);
+        db.write(&mut t, 3, 0, b"hello").unwrap();
+        db.commit(t).unwrap().wait().unwrap();
+        let image = db.crash_image().unwrap();
+        let (mut recovered, report) = WalDb::recover(image, small_cfg().wal).unwrap();
+        assert_eq!(report.redone_updates, 1);
+        let t2 = recovered.begin();
+        assert_eq!(recovered.read(t2, 3, 0, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn abort_restores_before_image() {
+        let db = ExecDb::new(small_cfg());
+        let mut t = db.begin(0);
+        db.write(&mut t, 1, 0, b"aaaa").unwrap();
+        db.commit(t).unwrap().wait().unwrap();
+        let mut t = db.begin(0);
+        db.write(&mut t, 1, 0, b"bbbb").unwrap();
+        db.abort(t).unwrap();
+        let mut t = db.begin(0);
+        assert_eq!(db.read(&mut t, 1, 0, 4).unwrap(), b"aaaa");
+        db.commit(t).unwrap().wait().unwrap();
+    }
+
+    #[test]
+    fn uncommitted_txn_invisible_after_crash() {
+        let db = ExecDb::new(small_cfg());
+        let mut t1 = db.begin(0);
+        db.write(&mut t1, 2, 0, b"keep").unwrap();
+        db.commit(t1).unwrap().wait().unwrap();
+        let mut t2 = db.begin(1);
+        db.write(&mut t2, 5, 0, b"lose").unwrap();
+        // no commit for t2 — crash now
+        let image = db.crash_image().unwrap();
+        let (mut recovered, _) = WalDb::recover(image, small_cfg().wal).unwrap();
+        let t = recovered.begin();
+        assert_eq!(recovered.read(t, 2, 0, 4).unwrap(), b"keep");
+        assert_eq!(recovered.read(t, 5, 0, 4).unwrap(), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn eviction_pressure_preserves_wal_rule() {
+        // pool far smaller than the working set forces steady evictions
+        let mut cfg = small_cfg();
+        cfg.wal.pool_frames = 4;
+        cfg.pool_shards = 2;
+        let db = ExecDb::new(cfg.clone());
+        for round in 0..4u8 {
+            // one transaction touching 8× the pool: evictions must flush
+            // pages whose fragments are appended but not yet forced
+            let mut t = db.begin(0);
+            for page in 0..32u64 {
+                db.write(&mut t, page, 0, &[round; 8]).unwrap();
+            }
+            db.commit(t).unwrap().wait().unwrap();
+        }
+        assert!(db.stats().wal_forces > 0, "evictions must have forced");
+        let image = db.crash_image().unwrap();
+        let (mut recovered, _) = WalDb::recover(image, cfg.wal).unwrap();
+        let t = recovered.begin();
+        for page in 0..32u64 {
+            assert_eq!(recovered.read(t, page, 0, 8).unwrap(), vec![3u8; 8]);
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_group_commit() {
+        let db = Arc::new(ExecDb::new(small_cfg()));
+        crossbeam::thread::scope(|s| {
+            for w in 0..4usize {
+                let db = Arc::clone(&db);
+                s.spawn(move |_| {
+                    for i in 0..25u64 {
+                        let page = (w as u64) * 16 + (i % 16);
+                        db.run_txn(w, |ctx| ctx.write(page, 0, &i.to_le_bytes()))
+                            .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.committed, 100);
+        assert!(stats.group_commits <= stats.commits_grouped);
+    }
+
+    #[test]
+    fn deadlock_is_broken_and_both_txns_finish() {
+        let db = Arc::new(ExecDb::new(small_cfg()));
+        // classic crossover: worker 0 writes P then Q, worker 1 writes Q
+        // then P — must terminate via victimisation + retry
+        crossbeam::thread::scope(|s| {
+            for (w, (a, b)) in [(7u64, 9u64), (9, 7)].into_iter().enumerate() {
+                let db = Arc::clone(&db);
+                s.spawn(move |_| {
+                    for i in 0..20u64 {
+                        db.run_txn(w, |ctx| {
+                            ctx.write(a, 0, &i.to_le_bytes())?;
+                            ctx.write(b, 8, &i.to_le_bytes())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(db.stats().committed, 40);
+    }
+}

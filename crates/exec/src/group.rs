@@ -1,0 +1,185 @@
+//! The group-commit daemon: one thread batching commit forces across the
+//! log-processor bank.
+//!
+//! Workers submit [`CommitReq`]s over a bounded channel and park on a
+//! [`CommitHandle`]. The daemon drains a batch, forces every stream
+//! holding any batch member's fragments (one force per stream, not one
+//! per transaction), then — under the commit gate — appends and forces
+//! each member's `Commit` record on its home stream. Locks are released
+//! only after the commit record is durable, preserving strict 2PL.
+//!
+//! The commit gate (`Inner::gate`) is the crash-image linchpin: because
+//! every commit-record append + home force happens inside the gate, a
+//! snapshot that acquires the gate sees either all of a group's commit
+//! records durable or none mid-flight, and any commit record visible in
+//! a log snapshot had its fragments forced strictly earlier — so the
+//! recovered image can never contain a committed transaction with
+//! missing fragments.
+
+use crate::db::Inner;
+use rmdb_storage::StorageError;
+use rmdb_wal::record::LogRecord;
+use rmdb_wal::WalError;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A worker's commit submission.
+pub(crate) struct CommitReq {
+    /// Committing transaction.
+    pub txn: u64,
+    /// Home stream for the commit record.
+    pub home: usize,
+    /// Per-stream high-water fragment tickets: `(stream, max seq)`.
+    pub tickets: Vec<(usize, u64)>,
+    /// Completion channel the worker parks on.
+    pub reply: SyncSender<Result<(), WalError>>,
+}
+
+/// Completion handle for a submitted commit.
+pub struct CommitHandle {
+    rx: std::sync::mpsc::Receiver<Result<(), WalError>>,
+}
+
+impl CommitHandle {
+    pub(crate) fn new(rx: std::sync::mpsc::Receiver<Result<(), WalError>>) -> Self {
+        CommitHandle { rx }
+    }
+
+    /// Block until the commit record is durable (or the commit failed).
+    pub fn wait(self) -> Result<(), WalError> {
+        match self.rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(result) => result,
+            Err(_) => Err(WalError::Storage(StorageError::Protocol(
+                "group-commit daemon stalled",
+            ))),
+        }
+    }
+}
+
+/// Daemon main loop. Exits when every commit sender is dropped.
+pub(crate) fn run_daemon(
+    inner: Arc<Inner>,
+    rx: Receiver<CommitReq>,
+    max_group: usize,
+    dwell: Duration,
+) {
+    let max_group = max_group.max(1);
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        // dwell: linger briefly for stragglers so the force is shared
+        let deadline = std::time::Instant::now() + dwell;
+        while batch.len() < max_group {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => {
+                    if std::time::Instant::now() >= deadline {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        let results = commit_batch(&inner, &batch);
+        inner.stats.group_commits.fetch_add(1, Ordering::Relaxed);
+        inner
+            .stats
+            .commits_grouped
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        inner
+            .stats
+            .max_group_size
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        for (req, result) in batch.into_iter().zip(results) {
+            let ok = result.is_ok();
+            // strict 2PL: release only once the outcome is decided
+            inner.release_locks(req.txn);
+            if ok {
+                inner.stats.committed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                inner.stats.aborted.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = req.reply.send(result);
+        }
+    }
+}
+
+/// Force fragments for the whole batch, then gate + append + force the
+/// commit records. Returns one result per batch member, in order.
+fn commit_batch(inner: &Inner, batch: &[CommitReq]) -> Vec<Result<(), WalError>> {
+    // Phase 1: one fragment force per distinct stream across the group.
+    // Fragments on a transaction's own home stream are skipped: its
+    // commit record is appended to that stream *after* them, so the home
+    // force in phase 2 covers them for free (stream-local append order) —
+    // the durable-commit ⇒ durable-fragments invariant still holds.
+    let mut frag_high: BTreeMap<usize, u64> = BTreeMap::new();
+    for req in batch {
+        for &(stream, seq) in &req.tickets {
+            if stream == req.home {
+                continue;
+            }
+            let high = frag_high.entry(stream).or_insert(0);
+            *high = (*high).max(seq);
+        }
+    }
+    // request all forces first so the appenders work in parallel …
+    let mut phase1: Result<(), WalError> = Ok(());
+    for (&stream, &seq) in &frag_high {
+        if let Err(e) = inner.appenders[stream].request_force(seq) {
+            phase1 = Err(e);
+            break;
+        }
+    }
+    // … then wait for each.
+    if phase1.is_ok() {
+        for (&stream, &seq) in &frag_high {
+            if let Err(e) = inner.appenders[stream].wait_forced(seq) {
+                phase1 = Err(e);
+                break;
+            }
+        }
+    }
+    if let Err(e) = phase1 {
+        return batch.iter().map(|_| Err(e.clone())).collect();
+    }
+
+    // Phase 2: commit records, under the gate (see module docs).
+    let _gate = inner.gate.lock().expect("commit gate");
+    let mut results: Vec<Result<(), WalError>> = Vec::with_capacity(batch.len());
+    let mut home_high: BTreeMap<usize, u64> = BTreeMap::new();
+    for req in batch {
+        match inner.appenders[req.home].append(LogRecord::Commit { txn: req.txn }) {
+            Ok(seq) => {
+                let high = home_high.entry(req.home).or_insert(0);
+                *high = (*high).max(seq);
+                results.push(Ok(()));
+            }
+            Err(e) => results.push(Err(e)),
+        }
+    }
+    let mut phase2: Result<(), WalError> = Ok(());
+    for (&stream, &seq) in &home_high {
+        if let Err(e) = inner.appenders[stream].request_force(seq) {
+            phase2 = Err(e);
+            break;
+        }
+    }
+    if phase2.is_ok() {
+        for (&stream, &seq) in &home_high {
+            if let Err(e) = inner.appenders[stream].wait_forced(seq) {
+                phase2 = Err(e);
+                break;
+            }
+        }
+    }
+    if let Err(e) = phase2 {
+        for r in results.iter_mut() {
+            if r.is_ok() {
+                *r = Err(e.clone());
+            }
+        }
+    }
+    results
+}

@@ -31,6 +31,7 @@ pub mod ablations;
 pub mod config;
 pub mod experiments;
 pub mod machine;
+pub mod measured;
 pub mod report;
 pub mod workload;
 

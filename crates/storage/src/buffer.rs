@@ -10,6 +10,7 @@
 
 use crate::error::StorageError;
 use crate::page::{Page, PageId};
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
 
 /// Which replacement policy the pool runs.
@@ -299,6 +300,104 @@ impl BufferPool {
     }
 }
 
+/// One independently lockable slice of a [`ShardedPool`]: a
+/// [`BufferPool`] over the shard's pages plus caller-defined metadata
+/// that must stay consistent with the pool's contents (e.g. a WAL
+/// engine's page → last-log-position map).
+pub struct PoolShard<M> {
+    /// The shard's page cache.
+    pub pool: BufferPool,
+    /// Caller metadata updated under the same lock as `pool`.
+    pub meta: M,
+}
+
+/// A buffer pool split into independently locked shards so concurrent
+/// transactions touching different pages never contend on one mutex.
+///
+/// Pages are assigned to shards by a Fibonacci hash of the page id —
+/// deterministic, so a page always lives in exactly one shard and
+/// per-shard eviction preserves every [`BufferPool`] invariant. The total
+/// frame budget is divided evenly; each shard gets at least one frame.
+///
+/// ```
+/// use rmdb_storage::{EvictPolicy, Page, PageId, ShardedPool};
+///
+/// let pool: ShardedPool = ShardedPool::new(4, 32, EvictPolicy::Lru);
+/// let id = PageId(7);
+/// {
+///     let mut shard = pool.lock(id);
+///     shard.pool.insert(id, Page::new(id), false).unwrap();
+/// } // drop the guard: shard locks are not reentrant
+/// assert!(pool.lock(id).pool.contains(id));
+/// ```
+pub struct ShardedPool<M = ()> {
+    shards: Vec<Mutex<PoolShard<M>>>,
+}
+
+impl ShardedPool<()> {
+    /// `n_shards` shards sharing `total_frames` frames.
+    pub fn new(n_shards: usize, total_frames: usize, policy: EvictPolicy) -> Self {
+        ShardedPool::with_meta(n_shards, total_frames, policy, || ())
+    }
+}
+
+impl<M> ShardedPool<M> {
+    /// Like [`ShardedPool::new`], initialising each shard's metadata with
+    /// `mk_meta`.
+    pub fn with_meta(
+        n_shards: usize,
+        total_frames: usize,
+        policy: EvictPolicy,
+        mk_meta: impl Fn() -> M,
+    ) -> Self {
+        assert!(n_shards > 0, "sharded pool needs at least one shard");
+        let per_shard = (total_frames / n_shards).max(1);
+        ShardedPool {
+            shards: (0..n_shards)
+                .map(|_| {
+                    Mutex::new(PoolShard {
+                        pool: BufferPool::new(per_shard, policy),
+                        meta: mk_meta(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `id` (deterministic Fibonacci hash).
+    pub fn shard_of(&self, id: PageId) -> usize {
+        (id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.shards.len()
+    }
+
+    /// Lock the shard owning `id`.
+    pub fn lock(&self, id: PageId) -> MutexGuard<'_, PoolShard<M>> {
+        self.shards[self.shard_of(id)].lock()
+    }
+
+    /// Lock shard `i` directly (flush-all style sweeps).
+    pub fn lock_shard(&self, i: usize) -> MutexGuard<'_, PoolShard<M>> {
+        self.shards[i].lock()
+    }
+
+    /// Total resident pages across shards (locks each in turn).
+    pub fn resident(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().pool.len()).sum()
+    }
+
+    /// Aggregate (hits, misses) across shards.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            let g = s.lock();
+            (h + g.pool.hits(), m + g.pool.misses())
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,5 +528,76 @@ mod tests {
         pool.peek(PageId(1)); // must NOT refresh 1
         let ev = pool.insert(PageId(3), page(3), false).unwrap().unwrap();
         assert_eq!(ev.page.id, PageId(1));
+    }
+
+    #[test]
+    fn sharded_pool_routes_pages_deterministically() {
+        let pool: ShardedPool = ShardedPool::new(4, 64, EvictPolicy::Lru);
+        for n in 0..256u64 {
+            let a = pool.shard_of(PageId(n));
+            let b = pool.shard_of(PageId(n));
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+        // the hash actually spreads pages over shards
+        let mut seen = [false; 4];
+        for n in 0..256u64 {
+            seen[pool.shard_of(PageId(n))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all shards populated: {seen:?}");
+    }
+
+    #[test]
+    fn sharded_pool_isolates_evictions_per_shard() {
+        // 2 shards × 1 frame each: inserting two pages of the same shard
+        // evicts within that shard only
+        let pool: ShardedPool = ShardedPool::new(2, 2, EvictPolicy::Lru);
+        let (mut a, mut b) = (None, None);
+        for n in 0..64u64 {
+            match pool.shard_of(PageId(n)) {
+                0 if a.is_none() => a = Some(n),
+                1 if b.is_none() => b = Some(n),
+                _ => {}
+            }
+        }
+        let (a, b) = (a.unwrap(), b.unwrap());
+        pool.lock(PageId(a))
+            .pool
+            .insert(PageId(a), page(a), false)
+            .unwrap();
+        pool.lock(PageId(b))
+            .pool
+            .insert(PageId(b), page(b), false)
+            .unwrap();
+        assert_eq!(pool.resident(), 2);
+        // a second page in a's shard evicts a, not b
+        let a2 = (a + 1..1024)
+            .find(|&n| pool.shard_of(PageId(n)) == pool.shard_of(PageId(a)) && n != b)
+            .unwrap();
+        let ev = pool
+            .lock(PageId(a2))
+            .pool
+            .insert(PageId(a2), page(a2), false)
+            .unwrap()
+            .expect("shard was full");
+        assert_eq!(ev.page.id, PageId(a));
+        assert!(pool.lock(PageId(b)).pool.contains(PageId(b)));
+    }
+
+    #[test]
+    fn sharded_pool_meta_travels_with_shard() {
+        let pool: ShardedPool<Vec<u64>> = ShardedPool::with_meta(2, 8, EvictPolicy::Lru, Vec::new);
+        let id = PageId(9);
+        pool.lock(id).meta.push(42);
+        assert_eq!(pool.lock(id).meta, vec![42]);
+        // aggregate helpers see every shard
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.hit_miss(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _: ShardedPool = ShardedPool::new(0, 8, EvictPolicy::Lru);
     }
 }

@@ -1,0 +1,153 @@
+//! Seeded exponential backoff with jitter for lock-conflict retry loops.
+//!
+//! A transaction that loses a page-lock race and retries immediately tends
+//! to lose the same race again — and when several threads do it at once
+//! they convoy behind the lock holder, burning cycles without making
+//! progress. [`Backoff`] spaces the retries out exponentially and breaks
+//! the symmetry between threads with deterministic, seeded jitter, so a
+//! given (seed, attempt) pair always produces the same delay and
+//! multi-threaded tests stay replayable in aggregate.
+
+use std::time::Duration;
+
+/// Deterministic exponential backoff with jitter.
+///
+/// Delay for attempt `k` (0-based) is drawn uniformly from
+/// `[base·2ᵏ/2, base·2ᵏ]`, capped at `cap`. Attempt 0 yields the thread
+/// instead of sleeping — the first conflict is usually resolved by the
+/// time the scheduler runs us again.
+///
+/// ```
+/// use rmdb_wal::backoff::Backoff;
+///
+/// let mut b = Backoff::new(42);
+/// assert_eq!(b.attempts(), 0);
+/// let d1 = b.next_delay();
+/// let d2 = b.next_delay();
+/// assert!(d2 >= d1, "delays grow: {d1:?} then {d2:?}");
+/// // same seed, same schedule
+/// let mut c = Backoff::new(42);
+/// assert_eq!(c.next_delay(), d1);
+/// assert_eq!(c.next_delay(), d2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    attempt: u32,
+    base_us: u64,
+    cap_us: u64,
+    state: u64,
+}
+
+/// Default first-retry delay (microseconds).
+pub const DEFAULT_BASE_US: u64 = 20;
+/// Default delay ceiling (microseconds).
+pub const DEFAULT_CAP_US: u64 = 5_000;
+
+impl Backoff {
+    /// Backoff with the default bounds, seeded for deterministic jitter.
+    pub fn new(seed: u64) -> Self {
+        Backoff::with_bounds(seed, DEFAULT_BASE_US, DEFAULT_CAP_US)
+    }
+
+    /// Backoff sleeping `base_us·2ᵏ` (jittered) up to `cap_us`.
+    pub fn with_bounds(seed: u64, base_us: u64, cap_us: u64) -> Self {
+        Backoff {
+            attempt: 0,
+            base_us: base_us.max(1),
+            cap_us: cap_us.max(base_us.max(1)),
+            // xorshift state must be non-zero
+            state: seed | 1,
+        }
+    }
+
+    /// Retries scheduled so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Forget the history (a successful attempt resets contention).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// xorshift64* step — tiny, seeded, and good enough for jitter.
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The delay for the next retry (advances the attempt counter).
+    /// Attempt 0 returns a zero duration — callers yield instead.
+    pub fn next_delay(&mut self) -> Duration {
+        let k = self.attempt;
+        self.attempt = self.attempt.saturating_add(1);
+        if k == 0 {
+            return Duration::ZERO;
+        }
+        let ceiling = self
+            .base_us
+            .saturating_mul(1u64 << (k - 1).min(20))
+            .min(self.cap_us);
+        let floor = (ceiling / 2).max(1);
+        let jittered = floor + self.next_rand() % (ceiling - floor + 1);
+        Duration::from_micros(jittered)
+    }
+
+    /// Sleep (or yield, on the first attempt) for the next delay.
+    pub fn wait(&mut self) {
+        let d = self.next_delay();
+        if d.is_zero() {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_yields_not_sleeps() {
+        let mut b = Backoff::new(7);
+        assert_eq!(b.next_delay(), Duration::ZERO);
+        assert!(b.next_delay() > Duration::ZERO);
+    }
+
+    #[test]
+    fn delays_are_capped() {
+        let mut b = Backoff::with_bounds(9, 10, 500);
+        let mut last = Duration::ZERO;
+        for _ in 0..40 {
+            last = b.next_delay();
+            assert!(last <= Duration::from_micros(500));
+        }
+        assert!(last >= Duration::from_micros(250), "near the cap: {last:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed_distinct_across_seeds() {
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(seed);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(schedule(1), schedule(1));
+        assert_ne!(schedule(1), schedule(2), "different seeds must diverge");
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let mut b = Backoff::new(3);
+        for _ in 0..5 {
+            b.next_delay();
+        }
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert_eq!(b.next_delay(), Duration::ZERO);
+    }
+}

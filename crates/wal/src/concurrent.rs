@@ -6,21 +6,48 @@
 //! transactions from different threads genuinely interleave and contend
 //! for page locks exactly as the back-end controller's scheduler would
 //! see them. [`SharedWal::run_txn`] packages the standard application
-//! loop: begin, run the body, commit — aborting and retrying (with a
-//! yield) whenever the body hits a page-lock conflict.
+//! loop: begin, run the body, commit — aborting and retrying (with
+//! seeded exponential backoff, see [`crate::backoff`]) whenever the body
+//! hits a page-lock conflict. For a genuinely multi-threaded pipeline
+//! with fine-grained locks, see the `rmdb-exec` crate.
 
+use crate::backoff::Backoff;
 use crate::db::{CrashImage, TxnId, WalConfig, WalDb, WalError};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// How many times [`SharedWal::run_txn`] retries a conflicted transaction
 /// before giving up.
 pub const MAX_RETRIES: usize = 1000;
 
+/// Retry/abort counters accumulated across every [`SharedWal::run_txn`]
+/// call on a database (all clones share one set).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Transaction bodies started (first attempts + retries).
+    pub attempts: u64,
+    /// Retries forced by a page-lock conflict.
+    pub conflict_retries: u64,
+    /// Aborts issued on behalf of retrying or failing bodies.
+    pub aborts: u64,
+    /// Transactions that exhausted [`MAX_RETRIES`] and gave up.
+    pub starved: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    attempts: AtomicU64,
+    conflict_retries: AtomicU64,
+    aborts: AtomicU64,
+    starved: AtomicU64,
+}
+
 /// A cloneable, thread-safe handle to a [`WalDb`].
 #[derive(Clone)]
 pub struct SharedWal {
     inner: Arc<Mutex<WalDb>>,
+    counters: Arc<Counters>,
 }
 
 /// Per-transaction view handed to [`SharedWal::run_txn`] bodies.
@@ -37,6 +64,7 @@ impl SharedWal {
     pub fn new(cfg: WalConfig) -> Self {
         SharedWal {
             inner: Arc::new(Mutex::new(WalDb::new(cfg))),
+            counters: Arc::new(Counters::default()),
         }
     }
 
@@ -44,6 +72,17 @@ impl SharedWal {
     pub fn from_db(db: WalDb) -> Self {
         SharedWal {
             inner: Arc::new(Mutex::new(db)),
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// Retry/abort counters across all clones of this handle.
+    pub fn retry_stats(&self) -> RetryStats {
+        RetryStats {
+            attempts: self.counters.attempts.load(Ordering::Relaxed),
+            conflict_retries: self.counters.conflict_retries.load(Ordering::Relaxed),
+            aborts: self.counters.aborts.load(Ordering::Relaxed),
+            starved: self.counters.starved.load(Ordering::Relaxed),
         }
     }
 
@@ -62,14 +101,24 @@ impl SharedWal {
     ///
     /// The body may return `Err(WalError::LockConflict { .. })` (usually
     /// by propagating it from a read/write); the transaction is then
-    /// aborted, the thread yields, and the body runs again from scratch
-    /// inside a fresh transaction. Any other error aborts and propagates.
+    /// aborted, the thread backs off (exponentially, with jitter seeded
+    /// from the engine seed and `qp` so schedules are reproducible per
+    /// thread), and the body runs again from scratch inside a fresh
+    /// transaction. Any other error aborts and propagates.
     pub fn run_txn<R>(
         &self,
         qp: usize,
         body: impl Fn(&mut TxnCtx<'_>) -> Result<R, WalError>,
     ) -> Result<R, WalError> {
+        let seed = self.inner.lock().config().seed;
+        // cap at 1 ms so even a MAX_RETRIES starvation run stays snappy
+        let mut backoff = Backoff::with_bounds(
+            seed ^ (qp as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            10,
+            1_000,
+        );
         for _ in 0..MAX_RETRIES {
+            self.counters.attempts.fetch_add(1, Ordering::Relaxed);
             let id = self.inner.lock().begin();
             let mut ctx = TxnCtx {
                 shared: self,
@@ -82,15 +131,21 @@ impl SharedWal {
                     return Ok(value);
                 }
                 Err(WalError::LockConflict { .. }) => {
+                    self.counters.aborts.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .conflict_retries
+                        .fetch_add(1, Ordering::Relaxed);
                     self.inner.lock().abort(id)?;
-                    std::thread::yield_now();
+                    backoff.wait();
                 }
                 Err(other) => {
+                    self.counters.aborts.fetch_add(1, Ordering::Relaxed);
                     self.inner.lock().abort(id)?;
                     return Err(other);
                 }
             }
         }
+        self.counters.starved.fetch_add(1, Ordering::Relaxed);
         Err(WalError::Storage(rmdb_storage::StorageError::Protocol(
             "transaction starved: retry limit exceeded",
         )))
@@ -282,8 +337,36 @@ mod tests {
         });
         let result = db.run_txn(1, |t| t.write(0, 0, b"blocked"));
         assert!(result.is_err(), "must not hang forever");
+        let stats = db.retry_stats();
+        assert_eq!(stats.starved, 1);
+        assert_eq!(stats.conflict_retries, MAX_RETRIES as u64);
         db.with(|db| db.abort(holder)).unwrap();
         // and now it goes through
         db.run_txn(1, |t| t.write(0, 0, b"granted")).unwrap();
+    }
+
+    #[test]
+    fn retry_stats_count_conflicts_across_threads() {
+        let db = SharedWal::new(cfg());
+        crossbeam::thread::scope(|s| {
+            for qp in 0..4usize {
+                let db = db.clone();
+                s.spawn(move |_| {
+                    for _ in 0..25 {
+                        db.run_txn(qp, |t| {
+                            let b = t.read(0, 0, 8)?;
+                            let v = u64::from_le_bytes(b.try_into().unwrap());
+                            t.write(0, 0, &(v + 1).to_le_bytes())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let stats = db.retry_stats();
+        assert_eq!(stats.attempts, 100 + stats.conflict_retries);
+        assert_eq!(stats.aborts, stats.conflict_retries);
+        assert_eq!(stats.starved, 0);
     }
 }

@@ -46,6 +46,7 @@
 //! assert_eq!(report.redone_updates, 1);
 //! ```
 
+pub mod backoff;
 pub mod concurrent;
 pub mod db;
 pub mod lock;
@@ -56,12 +57,13 @@ pub mod scheduler;
 pub mod select;
 pub mod stream;
 
-pub use concurrent::{SharedWal, TxnCtx};
+pub use backoff::Backoff;
+pub use concurrent::{RetryStats, SharedWal, TxnCtx};
 pub use db::{CrashImage, LogMode, Savepoint, TxnId, WalConfig, WalDb, WalError};
 pub use lock::{LockMode, LockTable};
 pub use manager::ParallelLogManager;
 pub use record::LogRecord;
 pub use recovery::RecoveryReport;
-pub use scheduler::{Decision, Scheduler};
+pub use scheduler::{Decision, Scheduler, WaitStats};
 pub use select::SelectionPolicy;
 pub use stream::{IndexedRecord, LogStream, ScanStats};

@@ -19,14 +19,39 @@ pub enum Decision {
     Granted,
     /// Conflict: the transaction is enqueued and must wait for a
     /// [`Scheduler::release_all`] to grant it (reported there).
-    Waiting,
-    /// Granting the wait would close a cycle in the waits-for graph; the
-    /// request is *not* enqueued. The named victim (the requester) should
-    /// abort and retry.
+    Waiting {
+        /// Waiting transactions chosen as deadlock victims to keep this
+        /// wait acyclic. Their waits are already cancelled; the caller
+        /// **must abort them** (releasing their locks) or the system
+        /// stalls. Empty in the common, cycle-free case.
+        victims: Vec<u64>,
+    },
+    /// The requester itself is the youngest transaction in a cycle its
+    /// wait would close; the request is *not* enqueued and the requester
+    /// should abort and retry.
     Deadlock {
         /// Transactions forming the cycle, starting with the requester.
         cycle: Vec<u64>,
+        /// Other victims cancelled while resolving earlier cycles of the
+        /// same request (rare; the caller must abort these too).
+        victims: Vec<u64>,
     },
+}
+
+/// Point-in-time wait-queue statistics for observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitStats {
+    /// Transactions currently blocked.
+    pub waiting_txns: usize,
+    /// Total waits ever enqueued.
+    pub waits_enqueued: u64,
+    /// Deepest single-page wait queue ever observed.
+    pub max_wait_depth: usize,
+    /// Deadlock cycles detected.
+    pub deadlocks_detected: u64,
+    /// Times a *younger* transaction (not the requester) was chosen as
+    /// the victim.
+    pub victims_chosen: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,13 +62,23 @@ struct WaitEntry {
 
 /// Page-level locking scheduler with FIFO waiting and deadlock detection.
 ///
+/// Deadlocks are resolved by aborting the **youngest** transaction in the
+/// cycle — transaction ids are handed out monotonically, so the largest id
+/// has done the least work and is the cheapest to redo. When the youngest
+/// is the requester itself the request is rejected outright
+/// ([`Decision::Deadlock`]); otherwise the requester waits and the victim's
+/// wait is cancelled for the caller to abort ([`Decision::Waiting`]).
+///
 /// ```
 /// use rmdb_wal::{LockMode, scheduler::{Decision, Scheduler}};
 /// use rmdb_storage::PageId;
 ///
 /// let mut s = Scheduler::new();
 /// assert_eq!(s.request(1, PageId(7), LockMode::Exclusive), Decision::Granted);
-/// assert_eq!(s.request(2, PageId(7), LockMode::Exclusive), Decision::Waiting);
+/// assert_eq!(
+///     s.request(2, PageId(7), LockMode::Exclusive),
+///     Decision::Waiting { victims: vec![] },
+/// );
 /// // txn 1 finishes: the waiter is granted
 /// assert_eq!(s.release_all(1), vec![(2, PageId(7))]);
 /// ```
@@ -55,6 +90,9 @@ pub struct Scheduler {
     /// time: it is single-threaded until granted).
     waits_on: HashMap<u64, PageId>,
     deadlocks_detected: u64,
+    waits_enqueued: u64,
+    max_wait_depth: usize,
+    victims_chosen: u64,
 }
 
 impl Scheduler {
@@ -76,6 +114,22 @@ impl Scheduler {
     /// Deadlocks detected so far.
     pub fn deadlocks_detected(&self) -> u64 {
         self.deadlocks_detected
+    }
+
+    /// Current depth of the wait queue on `page`.
+    pub fn queue_depth(&self, page: PageId) -> usize {
+        self.waiting.get(&page).map_or(0, |q| q.len())
+    }
+
+    /// Snapshot of the wait-queue counters.
+    pub fn wait_stats(&self) -> WaitStats {
+        WaitStats {
+            waiting_txns: self.waits_on.len(),
+            waits_enqueued: self.waits_enqueued,
+            max_wait_depth: self.max_wait_depth,
+            deadlocks_detected: self.deadlocks_detected,
+            victims_chosen: self.victims_chosen,
+        }
     }
 
     /// Who blocks `txn` right now: the holders of the page it waits on
@@ -125,8 +179,8 @@ impl Scheduler {
         None
     }
 
-    /// Request `mode` on `page` for `txn`: grant, enqueue, or report a
-    /// deadlock.
+    /// Request `mode` on `page` for `txn`: grant, enqueue, or resolve a
+    /// deadlock by victimising the youngest transaction in the cycle.
     ///
     /// # Panics
     /// If `txn` is already waiting on another page (a transaction issues
@@ -142,19 +196,30 @@ impl Scheduler {
         if queue_empty && self.locks.acquire(txn, page, mode).is_ok() {
             return Decision::Granted;
         }
-        // the wait would be created — check for a cycle first
         self.waits_on.insert(txn, page);
         self.waiting
             .entry(page)
             .or_default()
             .push_back(WaitEntry { txn, mode });
-        if let Some(cycle) = self.find_cycle(txn, page) {
-            // undo the tentative wait
-            self.remove_waiter(txn, page);
+        self.waits_enqueued += 1;
+        self.max_wait_depth = self.max_wait_depth.max(self.queue_depth(page));
+        // The wait may close cycles; break each by aborting its youngest
+        // member (largest id — ids are monotonic, so least work lost).
+        let mut victims = Vec::new();
+        while let Some(cycle) = self.find_cycle(txn, page) {
             self.deadlocks_detected += 1;
-            return Decision::Deadlock { cycle };
+            let youngest = *cycle.iter().max().expect("cycle is non-empty");
+            if youngest == txn {
+                // the requester is the victim: undo the tentative wait
+                self.remove_waiter(txn, page);
+                return Decision::Deadlock { cycle, victims };
+            }
+            // cancel the younger waiter's wait; the caller aborts it
+            self.victims_chosen += 1;
+            self.cancel_wait(youngest);
+            victims.push(youngest);
         }
-        Decision::Waiting
+        Decision::Waiting { victims }
     }
 
     fn remove_waiter(&mut self, txn: u64, page: PageId) {
@@ -230,7 +295,10 @@ mod tests {
     fn conflicting_request_waits_and_is_granted_on_release() {
         let mut s = Scheduler::new();
         assert_eq!(s.request(1, P, LockMode::Exclusive), Decision::Granted);
-        assert_eq!(s.request(2, P, LockMode::Exclusive), Decision::Waiting);
+        assert_eq!(
+            s.request(2, P, LockMode::Exclusive),
+            Decision::Waiting { victims: vec![] }
+        );
         assert_eq!(s.waiting_txns(), 1);
         let granted = s.release_all(1);
         assert_eq!(granted, vec![(2, P)]);
@@ -241,8 +309,14 @@ mod tests {
     fn fifo_order_is_respected() {
         let mut s = Scheduler::new();
         s.request(1, P, LockMode::Exclusive);
-        assert_eq!(s.request(2, P, LockMode::Exclusive), Decision::Waiting);
-        assert_eq!(s.request(3, P, LockMode::Exclusive), Decision::Waiting);
+        assert_eq!(
+            s.request(2, P, LockMode::Exclusive),
+            Decision::Waiting { victims: vec![] }
+        );
+        assert_eq!(
+            s.request(3, P, LockMode::Exclusive),
+            Decision::Waiting { victims: vec![] }
+        );
         assert_eq!(s.release_all(1), vec![(2, P)]);
         assert_eq!(s.release_all(2), vec![(3, P)]);
         assert!(s.release_all(3).is_empty());
@@ -252,8 +326,14 @@ mod tests {
     fn shared_waiters_granted_together() {
         let mut s = Scheduler::new();
         s.request(1, P, LockMode::Exclusive);
-        assert_eq!(s.request(2, P, LockMode::Shared), Decision::Waiting);
-        assert_eq!(s.request(3, P, LockMode::Shared), Decision::Waiting);
+        assert_eq!(
+            s.request(2, P, LockMode::Shared),
+            Decision::Waiting { victims: vec![] }
+        );
+        assert_eq!(
+            s.request(3, P, LockMode::Shared),
+            Decision::Waiting { victims: vec![] }
+        );
         let granted = s.release_all(1);
         assert_eq!(granted, vec![(2, P), (3, P)]);
     }
@@ -279,7 +359,10 @@ mod tests {
         s.request(2, P, LockMode::Exclusive); // waits behind the S lock
                                               // txn 3's S-request is compatible with the held S lock, but must
                                               // queue behind txn 2 (no starvation of writers)
-        assert_eq!(s.request(3, P, LockMode::Shared), Decision::Waiting);
+        assert_eq!(
+            s.request(3, P, LockMode::Shared),
+            Decision::Waiting { victims: vec![] }
+        );
         let granted = s.release_all(1);
         assert_eq!(granted[0], (2, P), "writer first");
     }
@@ -289,9 +372,13 @@ mod tests {
         let mut s = Scheduler::new();
         s.request(1, P, LockMode::Exclusive);
         s.request(2, Q, LockMode::Exclusive);
-        assert_eq!(s.request(1, Q, LockMode::Exclusive), Decision::Waiting);
+        assert_eq!(
+            s.request(1, Q, LockMode::Exclusive),
+            Decision::Waiting { victims: vec![] }
+        );
         match s.request(2, P, LockMode::Exclusive) {
-            Decision::Deadlock { cycle } => {
+            Decision::Deadlock { cycle, victims } => {
+                assert!(victims.is_empty());
                 assert!(cycle.contains(&2));
                 assert_eq!(s.deadlocks_detected(), 1);
             }
@@ -309,8 +396,14 @@ mod tests {
         s.request(1, P, LockMode::Exclusive);
         s.request(2, Q, LockMode::Exclusive);
         s.request(3, r, LockMode::Exclusive);
-        assert_eq!(s.request(1, Q, LockMode::Exclusive), Decision::Waiting);
-        assert_eq!(s.request(2, r, LockMode::Exclusive), Decision::Waiting);
+        assert_eq!(
+            s.request(1, Q, LockMode::Exclusive),
+            Decision::Waiting { victims: vec![] }
+        );
+        assert_eq!(
+            s.request(2, r, LockMode::Exclusive),
+            Decision::Waiting { victims: vec![] }
+        );
         assert!(matches!(
             s.request(3, P, LockMode::Exclusive),
             Decision::Deadlock { .. }
@@ -321,12 +414,62 @@ mod tests {
     fn no_false_deadlocks_on_a_chain() {
         let mut s = Scheduler::new();
         s.request(1, P, LockMode::Exclusive);
-        assert_eq!(s.request(2, P, LockMode::Exclusive), Decision::Waiting);
+        assert_eq!(
+            s.request(2, P, LockMode::Exclusive),
+            Decision::Waiting { victims: vec![] }
+        );
         s.request(3, Q, LockMode::Exclusive);
         // 3 waits on P too — a chain, not a cycle
-        assert_eq!(s.request(1, Q, LockMode::Exclusive), Decision::Waiting);
+        assert_eq!(
+            s.request(1, Q, LockMode::Exclusive),
+            Decision::Waiting { victims: vec![] }
+        );
         // wait: txn 1 waits on Q held by 3; 3 holds Q and waits on nothing
         assert_eq!(s.waiting_txns(), 2);
+    }
+
+    #[test]
+    fn older_requester_victimises_youngest() {
+        // 1 holds P, 2 holds Q; 2 waits on P. When the OLDER txn 1 then
+        // waits on Q (closing the cycle), the younger txn 2 is chosen as
+        // the victim and its wait is cancelled — txn 1 keeps waiting.
+        let mut s = Scheduler::new();
+        s.request(1, P, LockMode::Exclusive);
+        s.request(2, Q, LockMode::Exclusive);
+        assert_eq!(
+            s.request(2, P, LockMode::Exclusive),
+            Decision::Waiting { victims: vec![] }
+        );
+        assert_eq!(
+            s.request(1, Q, LockMode::Exclusive),
+            Decision::Waiting { victims: vec![2] }
+        );
+        assert_eq!(s.wait_stats().victims_chosen, 1);
+        assert_eq!(s.deadlocks_detected(), 1);
+        // only txn 1 is still waiting; the caller now aborts the victim,
+        // which hands Q to txn 1
+        assert_eq!(s.waiting_txns(), 1);
+        assert_eq!(s.release_all(2), vec![(1, Q)]);
+        assert_eq!(s.waiting_txns(), 0);
+    }
+
+    #[test]
+    fn wait_stats_track_depth_and_enqueues() {
+        let mut s = Scheduler::new();
+        s.request(1, P, LockMode::Exclusive);
+        s.request(2, P, LockMode::Exclusive);
+        s.request(3, P, LockMode::Exclusive);
+        assert_eq!(s.queue_depth(P), 2);
+        assert_eq!(s.queue_depth(Q), 0);
+        let stats = s.wait_stats();
+        assert_eq!(stats.waits_enqueued, 2);
+        assert_eq!(stats.max_wait_depth, 2);
+        assert_eq!(stats.waiting_txns, 2);
+        s.release_all(1);
+        s.release_all(2);
+        // history survives the queues draining
+        assert_eq!(s.wait_stats().max_wait_depth, 2);
+        assert_eq!(s.wait_stats().waiting_txns, 0);
     }
 
     #[test]

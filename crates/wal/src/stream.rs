@@ -27,7 +27,7 @@ use rmdb_storage::fault::FaultHandle;
 use rmdb_storage::{write_page_verified, MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE};
 
 /// Bounded retry budget for riding through transient device faults.
-pub(crate) const IO_RETRIES: u32 = 4;
+pub const IO_RETRIES: u32 = 4;
 
 /// Per-page header inside the payload: `used: u32` + `epoch: u64`.
 const PAGE_HDR: usize = 12;

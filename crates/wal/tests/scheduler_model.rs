@@ -69,14 +69,25 @@ proptest! {
                             // granted lock must be visible in the table
                             prop_assert!(s.locks().holders(PageId(page)).contains(&txn));
                         }
-                        Decision::Waiting => {
+                        Decision::Waiting { victims } => {
                             model.waiting.insert(txn);
+                            for v in victims {
+                                // a victim was waiting; its wait is cancelled
+                                // (the caller is expected to abort it — the
+                                // model keeps its locks until Finish)
+                                prop_assert!(model.waiting.remove(&v), "victim was not waiting");
+                                prop_assert!(v != txn, "requester cannot be a Waiting victim");
+                            }
                         }
-                        Decision::Deadlock { cycle } => {
-                            // requester leads the reported cycle and is NOT
-                            // left waiting
+                        Decision::Deadlock { cycle, victims } => {
+                            // requester leads the reported cycle, is the
+                            // youngest member, and is NOT left waiting
                             prop_assert_eq!(cycle[0], txn);
+                            prop_assert!(cycle.iter().all(|&t| t <= txn), "requester not youngest");
                             prop_assert!(!model.waiting.contains(&txn));
+                            for v in victims {
+                                prop_assert!(model.waiting.remove(&v), "victim was not waiting");
+                            }
                         }
                     }
                 }

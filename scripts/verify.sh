@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification gate: formatting, build, every test in the workspace,
-# a warning-free clippy pass, and a restart-engine equivalence smoke run
-# (K=1 vs K=4 must recover byte-identical state). Run from anywhere
-# inside the repo.
+# a warning-free clippy pass, a restart-engine equivalence smoke run
+# (K=1 vs K=4 must recover byte-identical state), the concurrent-pipeline
+# stress tests, and a throughput smoke that must show >= 2x txns/sec at
+# 4 workers vs 1 (results land in results/BENCH_throughput.json). Run
+# from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,4 +14,16 @@ cargo test -q
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
 cargo test -q --release --test restart_equivalence smoke_k1_vs_k4
+cargo test -q --release --test exec_stress
+
+mkdir -p results
+./target/release/throughput --smoke --json > results/BENCH_throughput.json
+python3 - <<'EOF'
+import json
+cells = json.load(open("results/BENCH_throughput.json"))["cells"]
+rate = {c["workers"]: c["txns_per_sec"] for c in cells}
+ratio = rate[4] / rate[1]
+print(f"throughput smoke: 1w={rate[1]:.0f} 4w={rate[4]:.0f} txns/s ({ratio:.2f}x)")
+assert ratio >= 2.0, f"group commit scaling regressed: {ratio:.2f}x < 2x"
+EOF
 echo "verify: OK"

@@ -6,6 +6,7 @@
 //! crates for the functional recovery mechanisms:
 //!
 //! * [`rmdb_wal`] — parallel write-ahead logging
+//! * [`rmdb_exec`] — the concurrent transaction pipeline (real threads)
 //! * [`rmdb_shadow`] — shadow paging (thru page-table, version selection,
 //!   overwriting)
 //! * [`rmdb_difffile`] — differential files
@@ -15,6 +16,7 @@
 pub use rmdb_core as core;
 pub use rmdb_difffile as difffile;
 pub use rmdb_disk as disk;
+pub use rmdb_exec as exec;
 pub use rmdb_machine as machine;
 pub use rmdb_relation as relation;
 pub use rmdb_restart as restart;

@@ -1,0 +1,203 @@
+//! Stress tests for the concurrent transaction pipeline (`rmdb-exec`):
+//! invariant conservation under contention, and byte-identical crash
+//! recovery of concurrent runs against a committed-state oracle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recovery_machines::exec::{ExecConfig, ExecDb, Executor};
+use recovery_machines::wal::{WalConfig, WalDb};
+use std::sync::Arc;
+
+const ACCOUNTS: u64 = 16;
+const INITIAL: u64 = 100;
+
+fn bank_cfg(seed: u64) -> ExecConfig {
+    ExecConfig {
+        wal: WalConfig {
+            data_pages: 64,
+            pool_frames: 24,
+            log_streams: 3,
+            log_frames: 4096,
+            seed,
+            ..WalConfig::default()
+        },
+        pool_shards: 4,
+        ..ExecConfig::default()
+    }
+}
+
+fn read_balance(db: &ExecDb, ctx_page: u64) -> u64 {
+    let mut t = db.begin(0);
+    let bytes = db.read(&mut t, ctx_page, 0, 8).expect("read balance");
+    db.commit(t).expect("commit").wait().expect("ack");
+    u64::from_le_bytes(bytes.try_into().unwrap())
+}
+
+fn seed_accounts(db: &ExecDb) {
+    let mut t = db.begin(0);
+    for acct in 0..ACCOUNTS {
+        db.write(&mut t, acct, 0, &INITIAL.to_le_bytes()).unwrap();
+    }
+    db.commit(t).unwrap().wait().unwrap();
+}
+
+/// Transfer a random amount between two distinct random accounts; the
+/// total must be conserved no matter how transfers interleave.
+fn transfer_storm(db: &Arc<ExecDb>, workers: usize, txns_per_worker: usize, seed: u64) {
+    crossbeam::thread::scope(|s| {
+        for w in 0..workers {
+            let db = Arc::clone(db);
+            s.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (w as u64) << 17);
+                for _ in 0..txns_per_worker {
+                    let from = rng.gen_range(0..ACCOUNTS);
+                    let mut to = rng.gen_range(0..ACCOUNTS);
+                    while to == from {
+                        to = rng.gen_range(0..ACCOUNTS);
+                    }
+                    let amount = rng.gen_range(1..10u64);
+                    db.run_txn(w, |ctx| {
+                        let a = u64::from_le_bytes(ctx.read(from, 0, 8)?.try_into().unwrap());
+                        let b = u64::from_le_bytes(ctx.read(to, 0, 8)?.try_into().unwrap());
+                        let moved = amount.min(a); // never overdraw
+                        ctx.write(from, 0, &(a - moved).to_le_bytes())?;
+                        ctx.write(to, 0, &(b + moved).to_le_bytes())
+                    })
+                    .expect("transfer txn");
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn bank_transfers_conserve_total_balance() {
+    for workers in [1usize, 2, 4] {
+        let db = Arc::new(ExecDb::new(bank_cfg(0xBA2C + workers as u64)));
+        seed_accounts(&db);
+        transfer_storm(&db, workers, 50, 7 * workers as u64 + 1);
+        let total: u64 = (0..ACCOUNTS).map(|a| read_balance(&db, a)).sum();
+        assert_eq!(
+            total,
+            ACCOUNTS * INITIAL,
+            "{workers} workers: money created or destroyed"
+        );
+        let stats = db.stats();
+        assert_eq!(stats.starved, 0, "{workers} workers: starvation");
+        assert_eq!(
+            stats.committed,
+            // seeding txn + transfers + one read-only txn per account
+            1 + 50 * workers as u64 + ACCOUNTS,
+            "{workers} workers: commit count"
+        );
+    }
+}
+
+/// After a quiesced concurrent run (every commit acked), a crash image
+/// must recover byte-identical to the live committed state — for every
+/// worker count.
+#[test]
+fn quiesced_concurrent_run_recovers_byte_identical() {
+    for workers in [1usize, 2, 4] {
+        let cfg = bank_cfg(0x1DE0 + workers as u64);
+        let db = Arc::new(ExecDb::new(cfg.clone()));
+        seed_accounts(&db);
+        transfer_storm(&db, workers, 40, 31 * workers as u64 + 5);
+
+        // committed-state oracle: the live engine's own reads, quiesced
+        let oracle: Vec<Vec<u8>> = {
+            let mut t = db.begin(0);
+            let pages = (0..cfg.wal.data_pages)
+                .map(|p| db.read(&mut t, p, 0, 64).expect("oracle read"))
+                .collect();
+            db.commit(t).unwrap().wait().unwrap();
+            pages
+        };
+
+        let image = db.crash_image().expect("crash image");
+        let (mut recovered, _report) = WalDb::recover(image, cfg.wal.clone()).expect("recover");
+        let t = recovered.begin();
+        for (page, expect) in oracle.iter().enumerate() {
+            let got = recovered.read(t, page as u64, 0, 64).expect("read");
+            assert_eq!(
+                &got, expect,
+                "{workers} workers: page {page} not byte-identical after recovery"
+            );
+        }
+    }
+}
+
+/// A crash image taken *mid-run* (workers still transferring) recovers to
+/// a state that still conserves the total balance: group commit never
+/// exposes a half-applied transfer.
+#[test]
+fn mid_run_crash_image_conserves_balance() {
+    let cfg = bank_cfg(0xC4A5);
+    let db = Arc::new(ExecDb::new(cfg.clone()));
+    seed_accounts(&db);
+    let mut images = Vec::new();
+    crossbeam::thread::scope(|s| {
+        for w in 0..3usize {
+            let db = Arc::clone(&db);
+            s.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(0x5EED ^ (w as u64) << 9);
+                for _ in 0..60 {
+                    let from = rng.gen_range(0..ACCOUNTS);
+                    let mut to = rng.gen_range(0..ACCOUNTS);
+                    while to == from {
+                        to = rng.gen_range(0..ACCOUNTS);
+                    }
+                    db.run_txn(w, |ctx| {
+                        let a = u64::from_le_bytes(ctx.read(from, 0, 8)?.try_into().unwrap());
+                        let b = u64::from_le_bytes(ctx.read(to, 0, 8)?.try_into().unwrap());
+                        let moved = 5u64.min(a);
+                        ctx.write(from, 0, &(a - moved).to_le_bytes())?;
+                        ctx.write(to, 0, &(b + moved).to_le_bytes())
+                    })
+                    .expect("transfer txn");
+                }
+            });
+        }
+        // snapshot while the storm is in full swing, several times
+        for _ in 0..3 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            images.push(db.crash_image().expect("mid-run crash image"));
+        }
+    })
+    .unwrap();
+    for (i, image) in images.into_iter().enumerate() {
+        let (mut recovered, _) = WalDb::recover(image, cfg.wal.clone()).expect("recover");
+        let t = recovered.begin();
+        let total: u64 = (0..ACCOUNTS)
+            .map(|p| u64::from_le_bytes(recovered.read(t, p, 0, 8).unwrap().try_into().unwrap()))
+            .sum();
+        assert_eq!(
+            total,
+            ACCOUNTS * INITIAL,
+            "image {i}: balance not conserved"
+        );
+    }
+}
+
+/// The bounded executor keeps every submission and survives far more
+/// jobs than its queue depth (backpressure, not loss).
+#[test]
+fn executor_backpressure_loses_nothing() {
+    let db = Arc::new(ExecDb::new(bank_cfg(0xEC5)));
+    let pool = Executor::new(4, 2);
+    let mut handles = Vec::new();
+    for i in 0..200u64 {
+        let db = Arc::clone(&db);
+        handles.push(pool.submit(move || {
+            db.run_txn((i % 4) as usize, |ctx| {
+                ctx.write(i % 64, 0, &i.to_le_bytes())
+            })
+        }));
+    }
+    for h in handles {
+        h.wait().expect("txn via executor");
+    }
+    pool.join();
+    assert_eq!(db.stats().committed, 200);
+}
