@@ -6,15 +6,19 @@
 //! wall-clock companion to the simulated tables.
 //!
 //! ```text
-//! throughput [--secs F] [--smoke] [--json]
+//! throughput [--secs F] [--smoke] [--json] [--obs]
 //! ```
 //!
 //! * `--secs F`  — seconds per sweep cell (default 1.0)
 //! * `--smoke`   — CI-sized run: workers {1, 4} × streams {2} × low
 //!   contention at 0.8 s/cell (~2 s total)
 //! * `--json`    — machine-readable output only (one JSON object)
+//! * `--obs`     — share one observability registry across every cell
+//!   and dump the cumulative [`rmdb_obs::MetricsSnapshot`]: as a
+//!   `"metrics"` key with `--json`, as a readable table otherwise
 
 use rmdb_exec::{ExecConfig, ExecDb, Executor};
+use rmdb_obs::Registry;
 use rmdb_wal::WalConfig;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -50,7 +54,13 @@ struct Cell {
 
 const DATA_PAGES: u64 = 256;
 
-fn run_cell(workers: usize, streams: usize, contention: Contention, secs: f64) -> Cell {
+fn run_cell(
+    workers: usize,
+    streams: usize,
+    contention: Contention,
+    secs: f64,
+    obs: &Registry,
+) -> Cell {
     let cfg = ExecConfig {
         wal: WalConfig {
             data_pages: DATA_PAGES,
@@ -65,6 +75,7 @@ fn run_cell(workers: usize, streams: usize, contention: Contention, secs: f64) -
         // millisecond of service time per force so sharing forces
         // (group commit) has something to share
         force_delay_us: 500,
+        obs: obs.clone(),
         ..ExecConfig::default()
     };
     let db = Arc::new(ExecDb::new(cfg));
@@ -97,6 +108,11 @@ fn run_cell(workers: usize, streams: usize, contention: Contention, secs: f64) -
     pool.join();
     let elapsed = start.elapsed().as_secs_f64();
     let stats = db.stats();
+    // quiesce the appender queues (enqueued == appended afterwards) and
+    // fold this cell's pool counters into the shared registry before the
+    // database drops; gauges reflect the last cell, counters accumulate
+    let _ = db.drain_appenders();
+    let _ = db.metrics();
     let txns = committed.load(Ordering::Relaxed);
     Cell {
         workers,
@@ -115,6 +131,7 @@ fn main() {
     let mut secs = 1.0f64;
     let mut smoke = false;
     let mut json = false;
+    let mut obs_dump = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -124,6 +141,7 @@ fn main() {
             }
             "--smoke" => smoke = true,
             "--json" => json = true,
+            "--obs" => obs_dump = true,
             _ => {}
         }
         i += 1;
@@ -144,10 +162,12 @@ fn main() {
         v
     };
 
+    let obs = Registry::new();
     let cells: Vec<Cell> = sweep
         .into_iter()
-        .map(|(w, s, c)| run_cell(w, s, c, secs))
+        .map(|(w, s, c)| run_cell(w, s, c, secs, &obs))
         .collect();
+    let snapshot = obs.snapshot();
 
     if json {
         let body: Vec<String> = cells
@@ -166,9 +186,15 @@ fn main() {
                 )
             })
             .collect();
+        let metrics = if obs_dump {
+            format!(",\"metrics\":{}", snapshot.to_json())
+        } else {
+            String::new()
+        };
         println!(
-            "{{\"bench\":\"throughput\",\"cells\":[{}]}}",
-            body.join(",")
+            "{{\"bench\":\"throughput\",\"cells\":[{}]{}}}",
+            body.join(","),
+            metrics
         );
     } else {
         println!(
@@ -204,6 +230,10 @@ fn main() {
                     r4 / r1
                 );
             }
+        }
+        if obs_dump {
+            println!("\ncumulative pipeline metrics (all cells):");
+            print!("{snapshot}");
         }
     }
 }

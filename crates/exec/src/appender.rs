@@ -17,6 +17,7 @@
 //! the appender reports the ticket durable. The WAL rule and the commit
 //! protocol are both phrased as "force through ticket t".
 
+use rmdb_obs::{Counter, EventKind, Histogram, Registry};
 use rmdb_storage::{MemDisk, StorageError};
 use rmdb_wal::record::LogRecord;
 use rmdb_wal::stream::LogStream;
@@ -24,7 +25,7 @@ use rmdb_wal::WalError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a producer waits for the appender before declaring it
 /// stalled (defence against a wedged pipeline in tests; never hit in
@@ -59,6 +60,20 @@ struct State {
     error: Option<StorageError>,
 }
 
+/// The appender thread's metric handles (one set per stream).
+struct ThreadObs {
+    /// Stream index, for event attribution.
+    idx: u64,
+    /// Fragments the thread appended to the stream.
+    appended: Counter,
+    /// Forces the thread performed (not requests — actual `force()` calls).
+    forces: Counter,
+    /// Wall-clock per force, including the modeled device service time.
+    force_us: Histogram,
+    /// Event sink for [`EventKind::StreamForce`].
+    obs: Registry,
+}
+
 /// Handle to one log-processor thread.
 pub struct LogAppender {
     /// Ticket issue + enqueue, atomically (so channel order == seq order).
@@ -66,6 +81,9 @@ pub struct LogAppender {
     next_seq: AtomicU64,
     shared: Arc<Shared>,
     forces: AtomicU64,
+    /// Fragments enqueued — the producer-side half of the
+    /// `fragments_enqueued == fragments_appended` conservation law.
+    enqueued: Counter,
     handle: Option<std::thread::JoinHandle<LogStream>>,
 }
 
@@ -77,21 +95,44 @@ impl LogAppender {
     /// completed force, during which further commits pile up behind it
     /// and share the next force. Zero means an ideal device.
     pub fn spawn(stream: LogStream, queue: usize, force_delay: Duration) -> Self {
+        LogAppender::spawn_observed(stream, queue, force_delay, &Registry::new(), 0)
+    }
+
+    /// [`LogAppender::spawn`] publishing per-stream metrics into `obs`:
+    /// `wal.fragments_enqueued.s<idx>` (producer side, at ticket issue),
+    /// `wal.fragments_appended.s<idx>` (appender side, after the stream
+    /// write), `wal.forces.s<idx>` and the `wal.force_us.s<idx>` latency
+    /// histogram, plus a [`EventKind::StreamForce`] event per force.
+    pub fn spawn_observed(
+        stream: LogStream,
+        queue: usize,
+        force_delay: Duration,
+        obs: &Registry,
+        idx: usize,
+    ) -> Self {
         let (tx, rx) = sync_channel(queue.max(1));
         let shared = Arc::new(Shared {
             state: Mutex::new(State::default()),
             cv: Condvar::new(),
         });
         let thread_shared = Arc::clone(&shared);
+        let tobs = ThreadObs {
+            idx: idx as u64,
+            appended: obs.counter(&format!("wal.fragments_appended.s{idx}")),
+            forces: obs.counter(&format!("wal.forces.s{idx}")),
+            force_us: obs.histogram(&format!("wal.force_us.s{idx}")),
+            obs: obs.clone(),
+        };
         let handle = std::thread::Builder::new()
             .name("rmdb-log-appender".into())
-            .spawn(move || run(stream, rx, thread_shared, force_delay))
+            .spawn(move || run(stream, rx, thread_shared, force_delay, tobs))
             .expect("spawn log appender");
         LogAppender {
             tx: Mutex::new(tx),
             next_seq: AtomicU64::new(1),
             shared,
             forces: AtomicU64::new(0),
+            enqueued: obs.counter(&format!("wal.fragments_enqueued.s{idx}")),
             handle: Some(handle),
         }
     }
@@ -104,6 +145,7 @@ impl LogAppender {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         tx.send(Req::Append { rec, seq })
             .map_err(|_| stalled("log appender thread gone"))?;
+        self.enqueued.inc();
         Ok(seq)
     }
 
@@ -220,6 +262,7 @@ fn run(
     rx: Receiver<Req>,
     shared: Arc<Shared>,
     force_delay: Duration,
+    tobs: ThreadObs,
 ) -> LogStream {
     loop {
         let Ok(first) = rx.recv() else {
@@ -238,8 +281,9 @@ fn run(
             match req {
                 Req::Append { rec, seq } => {
                     if error.is_none() {
-                        if let Err(e) = stream.append(&rec) {
-                            error = Some(e);
+                        match stream.append(&rec) {
+                            Ok(_) => tobs.appended.inc(),
+                            Err(e) => error = Some(e),
                         }
                     }
                     appended_high = appended_high.max(seq);
@@ -260,11 +304,18 @@ fn run(
             let appended_now = state.appended;
             drop(state);
             if need_force {
+                let t_force = Instant::now();
                 if let Err(e) = stream.force() {
                     error = Some(e);
-                } else if !force_delay.is_zero() {
-                    // modeled device service time; commits queue behind it
-                    std::thread::sleep(force_delay);
+                } else {
+                    if !force_delay.is_zero() {
+                        // modeled device service time; commits queue behind it
+                        std::thread::sleep(force_delay);
+                    }
+                    let us = t_force.elapsed().as_micros() as u64;
+                    tobs.forces.inc();
+                    tobs.force_us.record(us);
+                    tobs.obs.emit(EventKind::StreamForce, 0, tobs.idx, 0, us);
                 }
             }
             let mut state = shared.state.lock().expect("appender state lock");

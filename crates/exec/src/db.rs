@@ -32,6 +32,7 @@
 
 use crate::appender::LogAppender;
 use crate::group::{run_daemon, CommitHandle, CommitReq};
+use rmdb_obs::{Counter, EventKind, Histogram, MetricsSnapshot, Registry};
 use rmdb_storage::Lsn;
 use rmdb_storage::{
     read_page_retry, write_page_verified, MemDisk, Page, PageId, ShardedPool, StorageError,
@@ -80,6 +81,11 @@ pub struct ExecConfig {
     /// what makes sharing forces (group commit) worth anything. Zero
     /// (the default) models an ideal device, which unit tests want.
     pub force_delay_us: u64,
+    /// Observability registry the pipeline publishes into. Cloneable and
+    /// Arc-backed, so a bench can hand several databases the same
+    /// registry and read cumulative metrics across all of them. Defaults
+    /// to a fresh private registry.
+    pub obs: Registry,
 }
 
 impl Default for ExecConfig {
@@ -92,6 +98,7 @@ impl Default for ExecConfig {
             max_group: 64,
             group_dwell_us: 40,
             force_delay_us: 0,
+            obs: Registry::new(),
         }
     }
 }
@@ -260,6 +267,13 @@ pub(crate) struct Inner {
     next_txn: AtomicU64,
     next_lsn: AtomicU64,
     pub(crate) stats: Stats,
+    /// Shared observability registry (see [`ExecConfig::obs`]).
+    pub(crate) obs: Registry,
+    /// Worker-side commit acks (paired with the daemon's
+    /// `group.completions`).
+    commits_acked: Counter,
+    /// End-to-end `run_txn` commit latency, µs.
+    commit_us: Histogram,
 }
 
 impl Inner {
@@ -288,12 +302,15 @@ impl ExecDb {
         assert!(cfg.pool_shards > 0, "need at least one pool shard");
         let wal = &cfg.wal;
         let force_delay = Duration::from_micros(cfg.force_delay_us);
+        let obs = cfg.obs.clone();
         let appenders = (0..wal.log_streams)
-            .map(|_| {
-                LogAppender::spawn(
+            .map(|idx| {
+                LogAppender::spawn_observed(
                     LogStream::create(wal.log_frames),
                     cfg.appender_queue,
                     force_delay,
+                    &obs,
+                    idx,
                 )
             })
             .collect();
@@ -316,6 +333,9 @@ impl ExecDb {
             next_txn: AtomicU64::new(1),
             next_lsn: AtomicU64::new(1),
             stats: Stats::default(),
+            commits_acked: obs.counter("txn.commits_acked"),
+            commit_us: obs.histogram("txn.commit_us"),
+            obs,
             cfg: cfg.clone(),
         });
         let (commit_tx, commit_rx) = sync_channel(cfg.commit_queue.max(1));
@@ -575,11 +595,13 @@ impl ExecDb {
     pub fn commit(&self, txn: Txn) -> Result<CommitHandle, WalError> {
         let (reply, rx) = sync_channel(1);
         if txn.tickets.is_empty() {
-            // read-only fast path: nothing to force
+            // read-only fast path: nothing to force — and no ack counter,
+            // so `txn.commits_acked` stays paired with the daemon's
+            // `group.completions`
             self.inner.release_locks(txn.id);
             self.inner.stats.committed.fetch_add(1, Ordering::Relaxed);
             let _ = reply.send(Ok(()));
-            return Ok(CommitHandle::new(rx));
+            return Ok(CommitHandle::new(rx, None));
         }
         let req = CommitReq {
             txn: txn.id,
@@ -590,7 +612,10 @@ impl ExecDb {
         let tx = self.commit_tx.as_ref().expect("pipeline running");
         tx.send(req)
             .map_err(|_| WalError::Storage(StorageError::Protocol("group-commit daemon gone")))?;
-        Ok(CommitHandle::new(rx))
+        Ok(CommitHandle::new(
+            rx,
+            Some(self.inner.commits_acked.clone()),
+        ))
     }
 
     /// Abort: walk the undo chain backwards, logging a compensation per
@@ -636,33 +661,68 @@ impl ExecDb {
     {
         let seed = self.inner.cfg.wal.seed ^ (qp as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut backoff = Backoff::with_bounds(seed, 10, 1_000);
+        let t_start = std::time::Instant::now();
         for _ in 0..MAX_RETRIES {
             self.inner.stats.attempts.fetch_add(1, Ordering::Relaxed);
             let mut txn = self.begin(qp);
+            let txn_id = txn.id;
             let mut ctx = ExecCtx {
                 db: self,
                 txn: &mut txn,
             };
             match body(&mut ctx) {
                 Ok(()) => match self.commit(txn)?.wait() {
-                    Ok(()) => return Ok(()),
+                    Ok(()) => {
+                        let us = t_start.elapsed().as_micros() as u64;
+                        self.inner.commit_us.record(us);
+                        self.inner
+                            .obs
+                            .emit(EventKind::TxnCommit, txn_id, qp as u64, 0, us);
+                        return Ok(());
+                    }
                     Err(e) => return Err(e),
                 },
-                Err(WalError::LockConflict { .. }) => {
+                Err(WalError::LockConflict { page, .. }) => {
                     self.abort(txn)?;
                     self.inner
                         .stats
                         .conflict_retries
                         .fetch_add(1, Ordering::Relaxed);
-                    backoff.wait();
+                    let delay = backoff.next_delay();
+                    self.inner.obs.emit(
+                        EventKind::TxnConflictRetry,
+                        txn_id,
+                        qp as u64,
+                        page.0,
+                        delay.as_micros() as u64,
+                    );
+                    if delay.is_zero() {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(delay);
+                    }
                 }
                 Err(e) => {
                     self.abort(txn)?;
+                    self.inner.obs.emit(
+                        EventKind::TxnAbort,
+                        txn_id,
+                        qp as u64,
+                        0,
+                        backoff.attempts() as u64,
+                    );
                     return Err(e);
                 }
             }
         }
         self.inner.stats.starved.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs.emit(
+            EventKind::TxnStarved,
+            0,
+            qp as u64,
+            0,
+            backoff.attempts() as u64,
+        );
         Err(WalError::Storage(StorageError::Protocol(
             "transaction starved: retry budget exhausted",
         )))
@@ -714,6 +774,55 @@ impl ExecDb {
     /// Buffer-pool hit/miss counters summed over shards.
     pub fn pool_hit_miss(&self) -> (u64, u64) {
         self.inner.shards.hit_miss()
+    }
+
+    /// The observability registry the pipeline publishes into (same
+    /// registry as [`ExecConfig::obs`]). Counters/histograms of note:
+    /// `txn.commits_acked`, `txn.commit_us`, `group.completions`,
+    /// `group.batch_size`, `group.dwell_us`, and per-stream
+    /// `wal.fragments_enqueued.s{i}` / `wal.fragments_appended.s{i}` /
+    /// `wal.forces.s{i}` / `wal.force_us.s{i}`.
+    pub fn obs(&self) -> &Registry {
+        &self.inner.obs
+    }
+
+    /// Quiesce the appender queues: force every stream through its last
+    /// issued ticket. A force completes only after all earlier appends
+    /// are processed, so after this returns `wal.fragments_appended.s{i}`
+    /// has caught up with `wal.fragments_enqueued.s{i}` — the state the
+    /// conservation-law assertions need.
+    pub fn drain_appenders(&self) -> Result<(), WalError> {
+        for appender in &self.inner.appenders {
+            appender.force_through(appender.tickets_issued())?;
+        }
+        Ok(())
+    }
+
+    /// Publish the buffer-pool shard counters as gauges and take a
+    /// [`MetricsSnapshot`]. Pool counters live as plain integers inside
+    /// the shard mutexes (storage stays observability-free), so they are
+    /// copied out here rather than updated on the hot path.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let obs = &self.inner.obs;
+        let (mut hits, mut misses, mut lookups, mut evictions) = (0u64, 0u64, 0u64, 0u64);
+        for s in self.inner.shards.shard_stats() {
+            obs.gauge(&format!("pool.s{}.hits", s.shard)).set(s.hits);
+            obs.gauge(&format!("pool.s{}.misses", s.shard))
+                .set(s.misses);
+            obs.gauge(&format!("pool.s{}.lookups", s.shard))
+                .set(s.lookups);
+            obs.gauge(&format!("pool.s{}.evictions", s.shard))
+                .set(s.evictions);
+            hits += s.hits;
+            misses += s.misses;
+            lookups += s.lookups;
+            evictions += s.evictions;
+        }
+        obs.gauge("pool.hits").set(hits);
+        obs.gauge("pool.misses").set(misses);
+        obs.gauge("pool.lookups").set(lookups);
+        obs.gauge("pool.evictions").set(evictions);
+        obs.snapshot()
     }
 
     /// Stop the daemon and the appender threads, surfacing any error the

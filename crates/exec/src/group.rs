@@ -17,6 +17,7 @@
 //! missing fragments.
 
 use crate::db::Inner;
+use rmdb_obs::{Counter, EventKind};
 use rmdb_storage::StorageError;
 use rmdb_wal::record::LogRecord;
 use rmdb_wal::WalError;
@@ -41,17 +42,32 @@ pub(crate) struct CommitReq {
 /// Completion handle for a submitted commit.
 pub struct CommitHandle {
     rx: std::sync::mpsc::Receiver<Result<(), WalError>>,
+    /// `txn.commits_acked`, bumped when the *waiter* observes success —
+    /// the worker-side half of the `commits_acked ==
+    /// group_commit_completions` conservation law. `None` on the
+    /// read-only fast path, which never crosses the daemon.
+    acked: Option<Counter>,
 }
 
 impl CommitHandle {
-    pub(crate) fn new(rx: std::sync::mpsc::Receiver<Result<(), WalError>>) -> Self {
-        CommitHandle { rx }
+    pub(crate) fn new(
+        rx: std::sync::mpsc::Receiver<Result<(), WalError>>,
+        acked: Option<Counter>,
+    ) -> Self {
+        CommitHandle { rx, acked }
     }
 
     /// Block until the commit record is durable (or the commit failed).
     pub fn wait(self) -> Result<(), WalError> {
         match self.rx.recv_timeout(Duration::from_secs(30)) {
-            Ok(result) => result,
+            Ok(result) => {
+                if result.is_ok() {
+                    if let Some(acked) = &self.acked {
+                        acked.inc();
+                    }
+                }
+                result
+            }
             Err(_) => Err(WalError::Storage(StorageError::Protocol(
                 "group-commit daemon stalled",
             ))),
@@ -67,10 +83,15 @@ pub(crate) fn run_daemon(
     dwell: Duration,
 ) {
     let max_group = max_group.max(1);
+    let obs = inner.obs.clone();
+    let completions = obs.counter("group.completions");
+    let batch_size = obs.histogram("group.batch_size");
+    let dwell_us = obs.histogram("group.dwell_us");
     while let Ok(first) = rx.recv() {
         let mut batch = vec![first];
         // dwell: linger briefly for stragglers so the force is shared
-        let deadline = std::time::Instant::now() + dwell;
+        let t_arrive = std::time::Instant::now();
+        let deadline = t_arrive + dwell;
         while batch.len() < max_group {
             match rx.try_recv() {
                 Ok(req) => batch.push(req),
@@ -82,6 +103,10 @@ pub(crate) fn run_daemon(
                 }
             }
         }
+        // how long the dwell window actually held the batch open
+        dwell_us.record(t_arrive.elapsed().as_micros() as u64);
+        batch_size.record(batch.len() as u64);
+        obs.emit(EventKind::GroupCommitBatch, 0, 0, 0, batch.len() as u64);
         let results = commit_batch(&inner, &batch);
         inner.stats.group_commits.fetch_add(1, Ordering::Relaxed);
         inner
@@ -98,6 +123,7 @@ pub(crate) fn run_daemon(
             inner.release_locks(req.txn);
             if ok {
                 inner.stats.committed.fetch_add(1, Ordering::Relaxed);
+                completions.inc();
             } else {
                 inner.stats.aborted.fetch_add(1, Ordering::Relaxed);
             }

@@ -53,6 +53,16 @@ fn measure_cell(workers: usize, streams: usize, secs: f64) -> f64 {
         i += 1;
     }
     pool.join();
+    // quiesce the appenders and check the pipeline's double-entry books
+    // before the cell is torn down: a measured rate from an engine whose
+    // own accounting disagrees is not a measurement
+    let _ = db.drain_appenders();
+    let snap = db.metrics();
+    debug_assert_eq!(
+        snap.counter("txn.commits_acked"),
+        snap.counter("group.completions"),
+        "commit acks must match group-commit completions"
+    );
     committed.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
 }
 

@@ -56,6 +56,7 @@ pub use report::{PhaseTimings, RestartReport, WorkerStats};
 
 use analysis::{analyze, harvest_doublewrite, read_data_retry};
 use parallel::run_redo;
+use rmdb_obs::{EventKind, Registry};
 use rmdb_storage::{write_page_verified, Lsn, MemDisk, Page, PageId, StorageError};
 use rmdb_wal::{CrashImage, LogRecord, ParallelLogManager, WalConfig, WalDb, WalError};
 use std::collections::{btree_map::Entry, BTreeMap, BTreeSet, HashMap};
@@ -91,6 +92,23 @@ pub fn restart(
     cfg: WalConfig,
     rcfg: &RestartConfig,
 ) -> Result<(WalDb, RestartReport), WalError> {
+    restart_observed(image, cfg, rcfg, &Registry::new())
+}
+
+/// [`restart`] with an observability registry: per-phase wall-clock
+/// histograms (`restart.{analysis,redo,undo,flush,total}_us`), accounting
+/// counters (`restart.records_scanned`, `restart.records_skipped`,
+/// `restart.pages_replayed`, `restart.undone_updates`,
+/// `restart.pages_written`) and one [`EventKind::RecoveryPhase`] event per
+/// phase (stream field 0–3 in phase order, payload = µs elapsed). The
+/// counters are published from the same sites that build the
+/// [`RestartReport`], so snapshot values and report fields must agree.
+pub fn restart_observed(
+    image: CrashImage,
+    cfg: WalConfig,
+    rcfg: &RestartConfig,
+    obs: &Registry,
+) -> Result<(WalDb, RestartReport), WalError> {
     let t_start = Instant::now();
     let workers = rcfg.workers.max(1);
     let CrashImage { data, logs } = image;
@@ -117,6 +135,13 @@ pub fn restart(
     report.base.committed_txns.sort_unstable();
     let doublewrite = harvest_doublewrite(&data, &cfg, &mut report.base.retried_ios);
     report.timings.analysis = t_start.elapsed();
+    obs.counter("restart.records_scanned")
+        .add(report.base.records_scanned as u64);
+    obs.counter("restart.records_skipped")
+        .add(report.records_skipped);
+    let us = report.timings.analysis.as_micros() as u64;
+    obs.histogram("restart.analysis_us").record(us);
+    obs.emit(EventKind::RecoveryPhase, 0, 0, 0, us);
 
     // ---- Phase 2: partitioned parallel redo ----
     let t_redo = Instant::now();
@@ -139,6 +164,13 @@ pub fn restart(
         pages.extend(out.pages);
     }
     report.timings.redo = t_redo.elapsed();
+    obs.counter("restart.pages_replayed")
+        .add(pages.len() as u64);
+    obs.counter("restart.redone_updates")
+        .add(report.base.redone_updates);
+    let us = report.timings.redo.as_micros() as u64;
+    obs.histogram("restart.redo_us").record(us);
+    obs.emit(EventKind::RecoveryPhase, 0, 1, 0, us);
 
     // ---- Phase 3: backward undo of losers (serial) ----
     let t_undo = Instant::now();
@@ -204,6 +236,11 @@ pub fn restart(
         log.append_to(last_stream.unwrap_or(0), &LogRecord::Abort { txn: loser })?;
     }
     report.timings.undo = t_undo.elapsed();
+    obs.counter("restart.undone_updates")
+        .add(report.base.undone_updates);
+    let us = report.timings.undo.as_micros() as u64;
+    obs.histogram("restart.undo_us").record(us);
+    obs.emit(EventKind::RecoveryPhase, 0, 2, 0, us);
 
     // ---- Phase 4: make it durable (log first, then data), then truncate
     // each stream behind its checkpoint bound ----
@@ -223,6 +260,13 @@ pub fn restart(
     }
     report.timings.flush = t_flush.elapsed();
     report.timings.total = t_start.elapsed();
+    obs.counter("restart.pages_written")
+        .add(report.base.pages_written);
+    let us = report.timings.flush.as_micros() as u64;
+    obs.histogram("restart.flush_us").record(us);
+    obs.emit(EventKind::RecoveryPhase, 0, 3, 0, us);
+    obs.histogram("restart.total_us")
+        .record(report.timings.total.as_micros() as u64);
 
     let db = WalDb::from_parts(cfg, data, log, a.max_txn + 1, next_lsn);
     Ok((db, report))

@@ -65,6 +65,8 @@ pub struct BufferPool {
     tick: u64,
     hits: u64,
     misses: u64,
+    lookups: u64,
+    evictions: u64,
 }
 
 impl BufferPool {
@@ -80,6 +82,8 @@ impl BufferPool {
             tick: 0,
             hits: 0,
             misses: 0,
+            lookups: 0,
+            evictions: 0,
         }
     }
 
@@ -108,6 +112,20 @@ impl BufferPool {
         self.misses
     }
 
+    /// Total lookups ([`BufferPool::get`] + [`BufferPool::get_mut`] calls).
+    /// Counted independently of the hit/miss split, so
+    /// `hits() + misses() == lookups()` is a checkable conservation law
+    /// rather than a definition.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Pages evicted to make room (does not count explicit
+    /// [`BufferPool::remove`] calls).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Whether `id` is resident (does not touch recency state).
     pub fn contains(&self, id: PageId) -> bool {
         self.slots.contains_key(&id)
@@ -120,6 +138,7 @@ impl BufferPool {
 
     /// Look up a resident page, updating recency. Records a hit or miss.
     pub fn get(&mut self, id: PageId) -> Option<&Page> {
+        self.lookups += 1;
         self.tick += 1;
         let tick = self.tick;
         match self.slots.get_mut(&id) {
@@ -137,6 +156,7 @@ impl BufferPool {
 
     /// Mutable lookup; marks the page dirty.
     pub fn get_mut(&mut self, id: PageId) -> Option<&mut Page> {
+        self.lookups += 1;
         self.tick += 1;
         let tick = self.tick;
         match self.slots.get_mut(&id) {
@@ -258,6 +278,7 @@ impl BufferPool {
             EvictPolicy::Clock => self.pick_clock(),
         }
         .ok_or(StorageError::PoolExhausted)?;
+        self.evictions += 1;
         let slot = self.slots.remove(&victim).expect("victim resident");
         self.order.retain(|&o| o != victim);
         if self.hand >= self.order.len() && !self.order.is_empty() {
@@ -396,6 +417,41 @@ impl<M> ShardedPool<M> {
             (h + g.pool.hits(), m + g.pool.misses())
         })
     }
+
+    /// Per-shard cache counters, indexed by shard number (locks each
+    /// shard in turn — counters from different shards are not mutually
+    /// atomic, but each shard's own quadruple is consistent).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| {
+                let g = s.lock();
+                ShardStats {
+                    shard,
+                    hits: g.pool.hits(),
+                    misses: g.pool.misses(),
+                    lookups: g.pool.lookups(),
+                    evictions: g.pool.evictions(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One shard's cache counters, as returned by [`ShardedPool::shard_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Lookups that found the page resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Total lookups (independently counted; `hits + misses == lookups`).
+    pub lookups: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
 }
 
 #[cfg(test)]

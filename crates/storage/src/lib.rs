@@ -29,7 +29,7 @@ pub mod fault;
 pub mod memdisk;
 pub mod page;
 
-pub use buffer::{BufferPool, EvictPolicy, Evicted, PoolShard, ShardedPool};
+pub use buffer::{BufferPool, EvictPolicy, Evicted, PoolShard, ShardStats, ShardedPool};
 pub use error::StorageError;
 pub use fault::{
     read_page_retry, write_page_verified, FaultHandle, FaultInjector, FaultPlan, ReadFault,

@@ -43,6 +43,26 @@ pub const DEFAULT_BASE_US: u64 = 20;
 /// Default delay ceiling (microseconds).
 pub const DEFAULT_CAP_US: u64 = 5_000;
 
+/// Map a caller seed to a non-zero xorshift state. The old mapping was
+/// `seed | 1`, which aliased every even/odd seed pair `(2k, 2k + 1)` to
+/// the same state — two runs seeded differently (e.g. neighbouring query
+/// processors) silently shared one jitter schedule, and replaying a run
+/// from its recorded seed could pick up the *other* member of the pair's
+/// schedule. splitmix64's finalizer is bijective on `u64`, so distinct
+/// seeds always yield distinct states; the single seed whose image is 0
+/// falls back to a fixed odd constant.
+fn scramble_seed(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z == 0 {
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        z
+    }
+}
+
 impl Backoff {
     /// Backoff with the default bounds, seeded for deterministic jitter.
     pub fn new(seed: u64) -> Self {
@@ -55,8 +75,7 @@ impl Backoff {
             attempt: 0,
             base_us: base_us.max(1),
             cap_us: cap_us.max(base_us.max(1)),
-            // xorshift state must be non-zero
-            state: seed | 1,
+            state: scramble_seed(seed),
         }
     }
 
@@ -138,6 +157,36 @@ mod tests {
         };
         assert_eq!(schedule(1), schedule(1));
         assert_ne!(schedule(1), schedule(2), "different seeds must diverge");
+    }
+
+    #[test]
+    fn adjacent_seeds_do_not_alias() {
+        // Regression: `seed | 1` collapsed every (2k, 2k+1) pair onto one
+        // xorshift state, so runs seeded 2 and 3 replayed each other's
+        // jitter. The scrambled mapping must keep them distinct.
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(seed);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        for k in [0u64, 1, 2, 10, 42, 992, 1_000_000] {
+            assert_ne!(
+                schedule(2 * k),
+                schedule(2 * k + 1),
+                "seeds {} and {} alias",
+                2 * k,
+                2 * k + 1
+            );
+        }
+        // replayability is unchanged: same seed, same schedule
+        assert_eq!(schedule(2), schedule(2));
+    }
+
+    #[test]
+    fn scrambled_state_is_never_zero() {
+        // xorshift's only absorbing state is 0; every seed must avoid it.
+        for seed in (0..1_000_000u64).step_by(997) {
+            assert_ne!(super::scramble_seed(seed), 0, "seed {seed} maps to 0");
+        }
     }
 
     #[test]

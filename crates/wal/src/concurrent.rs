@@ -14,8 +14,10 @@
 use crate::backoff::Backoff;
 use crate::db::{CrashImage, TxnId, WalConfig, WalDb, WalError};
 use parking_lot::Mutex;
+use rmdb_obs::{EventKind, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How many times [`SharedWal::run_txn`] retries a conflicted transaction
 /// before giving up.
@@ -48,6 +50,7 @@ struct Counters {
 pub struct SharedWal {
     inner: Arc<Mutex<WalDb>>,
     counters: Arc<Counters>,
+    obs: Registry,
 }
 
 /// Per-transaction view handed to [`SharedWal::run_txn`] bodies.
@@ -62,10 +65,7 @@ pub struct TxnCtx<'a> {
 impl SharedWal {
     /// Wrap a fresh engine.
     pub fn new(cfg: WalConfig) -> Self {
-        SharedWal {
-            inner: Arc::new(Mutex::new(WalDb::new(cfg))),
-            counters: Arc::new(Counters::default()),
-        }
+        SharedWal::from_db(WalDb::new(cfg))
     }
 
     /// Wrap an existing engine (e.g. one produced by recovery).
@@ -73,7 +73,16 @@ impl SharedWal {
         SharedWal {
             inner: Arc::new(Mutex::new(db)),
             counters: Arc::new(Counters::default()),
+            obs: Registry::new(),
         }
+    }
+
+    /// The observability registry all clones of this handle share:
+    /// `txn.commit_us` latency, `txn.commits` / `txn.conflict_retries` /
+    /// `txn.starved` counters, and retry/abort events with their backoff
+    /// delays as payloads.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
     }
 
     /// Retry/abort counters across all clones of this handle.
@@ -117,6 +126,7 @@ impl SharedWal {
             10,
             1_000,
         );
+        let t_start = Instant::now();
         for _ in 0..MAX_RETRIES {
             self.counters.attempts.fetch_add(1, Ordering::Relaxed);
             let id = self.inner.lock().begin();
@@ -128,24 +138,56 @@ impl SharedWal {
             match body(&mut ctx) {
                 Ok(value) => {
                     self.inner.lock().commit(id)?;
+                    let us = t_start.elapsed().as_micros() as u64;
+                    self.obs.counter("txn.commits").inc();
+                    self.obs.histogram("txn.commit_us").record(us);
+                    self.obs.emit(EventKind::TxnCommit, id, qp as u64, 0, us);
                     return Ok(value);
                 }
-                Err(WalError::LockConflict { .. }) => {
+                Err(WalError::LockConflict { page, .. }) => {
                     self.counters.aborts.fetch_add(1, Ordering::Relaxed);
                     self.counters
                         .conflict_retries
                         .fetch_add(1, Ordering::Relaxed);
                     self.inner.lock().abort(id)?;
-                    backoff.wait();
+                    let delay = backoff.next_delay();
+                    self.obs.counter("txn.conflict_retries").inc();
+                    self.obs.emit(
+                        EventKind::TxnConflictRetry,
+                        id,
+                        qp as u64,
+                        page.0,
+                        delay.as_micros() as u64,
+                    );
+                    if delay.is_zero() {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(delay);
+                    }
                 }
                 Err(other) => {
                     self.counters.aborts.fetch_add(1, Ordering::Relaxed);
                     self.inner.lock().abort(id)?;
+                    self.obs.emit(
+                        EventKind::TxnAbort,
+                        id,
+                        qp as u64,
+                        0,
+                        backoff.attempts() as u64,
+                    );
                     return Err(other);
                 }
             }
         }
         self.counters.starved.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter("txn.starved").inc();
+        self.obs.emit(
+            EventKind::TxnStarved,
+            0,
+            qp as u64,
+            0,
+            backoff.attempts() as u64,
+        );
         Err(WalError::Storage(rmdb_storage::StorageError::Protocol(
             "transaction starved: retry limit exceeded",
         )))

@@ -63,7 +63,7 @@ pub use db::{CrashImage, LogMode, Savepoint, TxnId, WalConfig, WalDb, WalError};
 pub use lock::{LockMode, LockTable};
 pub use manager::ParallelLogManager;
 pub use record::LogRecord;
-pub use recovery::RecoveryReport;
+pub use recovery::{recover_observed, RecoveryReport};
 pub use scheduler::{Decision, Scheduler, WaitStats};
 pub use select::SelectionPolicy;
 pub use stream::{IndexedRecord, LogStream, ScanStats};

@@ -2,28 +2,58 @@
 # Full verification gate: formatting, build, every test in the workspace,
 # a warning-free clippy pass, a restart-engine equivalence smoke run
 # (K=1 vs K=4 must recover byte-identical state), the concurrent-pipeline
-# stress tests, and a throughput smoke that must show >= 2x txns/sec at
-# 4 workers vs 1 (results land in results/BENCH_throughput.json). Run
-# from anywhere inside the repo.
+# stress tests, the observability property/conservation suites, and a
+# throughput smoke with --obs that must show >= 2x txns/sec at 4 workers
+# vs 1 AND emit a metrics snapshot whose conservation laws balance
+# (results land in results/BENCH_throughput.json). Run from anywhere
+# inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo build --release
+# `cargo build --release` alone builds the root package; the smoke below
+# runs the bench binary, so build it explicitly or it can go stale
+cargo build --release -p rmdb-bench --bin throughput
 cargo test -q
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
 cargo test -q --release --test restart_equivalence smoke_k1_vs_k4
 cargo test -q --release --test exec_stress
+cargo test -q --release --test obs_properties
+cargo test -q --release --test fault_sweep recovery_obs_counters_match_report_at_every_crashpoint
 
 mkdir -p results
-./target/release/throughput --smoke --json > results/BENCH_throughput.json
+./target/release/throughput --smoke --obs --json > results/BENCH_throughput.json
 python3 - <<'EOF'
 import json
-cells = json.load(open("results/BENCH_throughput.json"))["cells"]
+doc = json.load(open("results/BENCH_throughput.json"))
+cells = doc["cells"]
 rate = {c["workers"]: c["txns_per_sec"] for c in cells}
 ratio = rate[4] / rate[1]
 print(f"throughput smoke: 1w={rate[1]:.0f} 4w={rate[4]:.0f} txns/s ({ratio:.2f}x)")
 assert ratio >= 2.0, f"group commit scaling regressed: {ratio:.2f}x < 2x"
+
+# obs smoke gate: the snapshot must parse, its core counters must be
+# non-zero, and the double-entry conservation laws must balance
+m = doc["metrics"]
+c, g, h = m["counters"], m["gauges"], m["histograms"]
+acked, done = c["txn.commits_acked"], c["group.completions"]
+assert acked > 0 and acked == done, f"commit acks {acked} != completions {done}"
+enq = sum(v for k, v in c.items() if k.startswith("wal.fragments_enqueued."))
+app = sum(v for k, v in c.items() if k.startswith("wal.fragments_appended."))
+assert enq > 0 and enq == app, f"fragments enqueued {enq} != appended {app}"
+forces = sum(v for k, v in c.items() if k.startswith("wal.forces."))
+assert forces > 0, "no log forces recorded"
+assert g["pool.lookups"] > 0 and g["pool.hits"] + g["pool.misses"] == g["pool.lookups"], \
+    "pool hit/miss split does not tile lookups"
+commit_h = h["txn.commit_us"]
+assert commit_h["count"] > 0 and commit_h["p99"] >= commit_h["p50"] > 0, \
+    "commit latency histogram empty or non-monotone"
+force_h = [v for k, v in h.items() if k.startswith("wal.force_us.")]
+assert force_h and all(x["count"] > 0 and x["p95"] > 0 for x in force_h), \
+    "force latency histograms missing or empty"
+print(f"obs smoke: acked={acked} fragments={enq} forces={forces} "
+      f"commit p50/p95/p99={commit_h['p50']}/{commit_h['p95']}/{commit_h['p99']}us")
 EOF
 echo "verify: OK"

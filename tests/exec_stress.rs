@@ -180,6 +180,68 @@ fn mid_run_crash_image_conserves_balance() {
     }
 }
 
+/// Double-entry accounting over the observability registry: after a
+/// quiesced bank run the pipeline's independently-maintained counter
+/// pairs must balance exactly. Each side of every law is incremented by
+/// a different thread at a different layer, so agreement is evidence
+/// the pipeline lost nothing — not a restatement of one counter.
+#[test]
+fn metrics_obey_conservation_laws() {
+    for workers in [1usize, 2, 4] {
+        let cfg = bank_cfg(0x0B5 + workers as u64);
+        let streams = cfg.wal.log_streams;
+        let db = Arc::new(ExecDb::new(cfg));
+        seed_accounts(&db);
+        transfer_storm(&db, workers, 50, 13 * workers as u64 + 3);
+        // settle the appender queues so producer/consumer counters meet
+        db.drain_appenders().expect("drain appenders");
+        let snap = db.metrics();
+        let c = |name: &str| snap.counter(name).unwrap_or(0);
+
+        // Law 1: every commit ack a worker observed corresponds to one
+        // group-commit completion the daemon recorded (read-only commits
+        // bypass the daemon and are excluded from both sides).
+        assert_eq!(
+            c("txn.commits_acked"),
+            c("group.completions"),
+            "{workers} workers: acks vs completions"
+        );
+        assert!(c("txn.commits_acked") > 0, "no commits went through");
+
+        // Law 2: per stream, every fragment the producers enqueued was
+        // appended by the log-processor thread (nothing stuck, nothing
+        // invented). Also check the rollup across the bank.
+        for s in 0..streams {
+            assert_eq!(
+                c(&format!("wal.fragments_enqueued.s{s}")),
+                c(&format!("wal.fragments_appended.s{s}")),
+                "{workers} workers: stream {s} enqueue/append imbalance"
+            );
+        }
+        let enq = snap.counter_family("wal.fragments_enqueued.");
+        let app = snap.counter_family("wal.fragments_appended.");
+        assert_eq!(enq, app, "{workers} workers: total enqueue/append");
+        assert!(enq > 0, "no fragments flowed");
+
+        // Law 3: the pool counts lookups independently of the hit/miss
+        // split; the split must tile the lookups exactly, per shard.
+        let g = |name: &str| snap.gauge(name).unwrap_or(0);
+        assert_eq!(
+            g("pool.hits") + g("pool.misses"),
+            g("pool.lookups"),
+            "{workers} workers: pool split does not tile lookups"
+        );
+        assert!(g("pool.lookups") > 0, "pool never consulted");
+        let (hits, misses) = db.pool_hit_miss();
+        assert_eq!(g("pool.hits"), hits);
+        assert_eq!(g("pool.misses"), misses);
+
+        // Latency evidence: the commit histogram saw every daemon commit
+        let h = snap.histogram("txn.commit_us").expect("commit histogram");
+        assert!(h.count > 0 && h.quantile(0.99) >= h.quantile(0.5));
+    }
+}
+
 /// The bounded executor keeps every submission and survives far more
 /// jobs than its queue depth (backpressure, not loss).
 #[test]

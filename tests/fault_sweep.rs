@@ -431,6 +431,123 @@ fn restart_survives_mid_checkpoint_fault_sweep() {
 }
 
 // ---------------------------------------------------------------------------
+// Recovery accounting: the observability counters recovery publishes are
+// incremented at the same logical sites as the RecoveryReport fields. On
+// every faulted crash image in the sweep the two books must agree exactly —
+// a divergence means either the report or the metrics lies about what
+// recovery replayed.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn recovery_obs_counters_match_report_at_every_crashpoint() {
+    use recovery_machines::obs::{EventKind, Registry};
+    use recovery_machines::wal::recover_observed;
+
+    let mut crash_hits = 0usize;
+    for seed in SEEDS {
+        for crashpoint in CRASHPOINTS {
+            let cfg = WalConfig {
+                data_pages: PAGES,
+                pool_frames: 3,
+                log_streams: 3,
+                policy: SelectionPolicy::Cyclic,
+                ..WalConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed ^ (crashpoint << 32));
+            let mut db = WalDb::new(cfg.clone());
+            let plan = FaultPlan::seeded(seed, 1 << 20).crash_after_write(crashpoint);
+            let handle = FaultInjector::handle(plan);
+            db.attach_faults(&handle);
+
+            let mut oracle = Oracle::new();
+            let ctx = format!("obs-accounting seed {seed} crashpoint {crashpoint}");
+            let errored = faulty_storm(&mut db, &mut oracle, &mut rng, 600);
+            assert!(errored, "{ctx}: storm ran dry without an error");
+            crash_hits += usize::from(handle.lock().crashed());
+
+            let obs = Registry::new();
+            let (_recovered, report) =
+                recover_observed(db.crash_image(), cfg, &obs).expect("recover");
+            let snap = obs.snapshot();
+            let c = |name: &str| snap.counter(name).unwrap_or(0);
+            assert_eq!(
+                c("recovery.records_scanned"),
+                report.records_scanned as u64,
+                "{ctx}: records_scanned"
+            );
+            assert_eq!(
+                c("recovery.redone_updates"),
+                report.redone_updates,
+                "{ctx}: redone_updates"
+            );
+            assert_eq!(
+                c("recovery.undone_updates"),
+                report.undone_updates,
+                "{ctx}: undone_updates"
+            );
+            assert_eq!(
+                c("recovery.quarantined_log_pages"),
+                report.quarantined_log_pages,
+                "{ctx}: quarantined_log_pages"
+            );
+            assert_eq!(
+                c("recovery.quarantined_data_pages"),
+                report.quarantined_data_pages,
+                "{ctx}: quarantined_data_pages"
+            );
+            assert_eq!(
+                c("recovery.torn_pages_repaired"),
+                report.torn_pages_repaired,
+                "{ctx}: torn_pages_repaired"
+            );
+            assert_eq!(
+                c("recovery.salvaged_records"),
+                report.salvaged_records,
+                "{ctx}: salvaged_records"
+            );
+            assert_eq!(
+                c("recovery.pages_written"),
+                report.pages_written,
+                "{ctx}: pages_written"
+            );
+            assert_eq!(
+                c("recovery.retried_ios"),
+                report.retried_ios,
+                "{ctx}: retried_ios"
+            );
+            // phase structure: exactly one RecoveryPhase event per phase,
+            // in phase order, and every phase histogram saw one sample
+            let phases: Vec<_> = obs
+                .recent_events()
+                .into_iter()
+                .filter(|e| e.kind == EventKind::RecoveryPhase)
+                .collect();
+            assert_eq!(phases.len(), 4, "{ctx}: phase event count");
+            for (i, ev) in phases.iter().enumerate() {
+                assert_eq!(ev.stream, i as u64, "{ctx}: phase order");
+            }
+            for h in [
+                "recovery.analysis_us",
+                "recovery.redo_us",
+                "recovery.undo_us",
+                "recovery.flush_us",
+            ] {
+                assert_eq!(
+                    snap.histogram(h).map(|h| h.count),
+                    Some(1),
+                    "{ctx}: histogram {h}"
+                );
+            }
+        }
+    }
+    let grid = SEEDS.len() * CRASHPOINTS.len();
+    assert!(
+        crash_hits * 2 >= grid,
+        "scheduled crash fired in only {crash_hits}/{grid} runs"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Determinism: a fault schedule is pure data. Same seed, same plan, same
 // workload ⇒ byte-identical post-crash platters.
 // ---------------------------------------------------------------------------
