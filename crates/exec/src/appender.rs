@@ -143,9 +143,12 @@ impl LogAppender {
         self.check_error()?;
         let tx = self.tx.lock().expect("appender sender lock");
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        // Count before the send so a live sample never sees
+        // appended > enqueued; a failed send leaves enqueued one ahead,
+        // but then the appender is gone and the pipeline is erroring out.
+        self.enqueued.inc();
         tx.send(Req::Append { rec, seq })
             .map_err(|_| stalled("log appender thread gone"))?;
-        self.enqueued.inc();
         Ok(seq)
     }
 

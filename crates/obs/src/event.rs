@@ -6,14 +6,24 @@
 //! (`fetch_add`, so tickets are unique and dense), maps it to slot
 //! `t % capacity`, and publishes in three steps:
 //!
-//! 1. CAS the slot stamp from its current *even* value to the *odd*
-//!    value `2t - 1` (with `t` one-based this is always > any stamp a
-//!    previous occupant left). Failure means a writer for a *later*
-//!    lap already claimed the slot — this writer is lapped and drops
-//!    its event (the ring keeps the newest events, which is what a
-//!    flight recorder wants).
+//! 1. CAS the slot stamp from its current value to the *odd* value
+//!    `2t - 1` (with `t` one-based this is always > any stamp a
+//!    previous occupant left) — but **only if the current stamp is
+//!    even**. An even stamp means the slot is stable, so the claim
+//!    takes exclusive ownership. An odd stamp means another writer is
+//!    mid-publish in this slot; claiming it would let two writers
+//!    interleave field stores and publish a torn event, so the
+//!    newcomer drops its event instead (counted in `dropped`). A
+//!    stamp ≥ our claim means a later-lap writer already owns the
+//!    slot — we are lapped and likewise drop (the ring keeps the
+//!    newest events a flight recorder can publish without blocking).
 //! 2. Write the event fields with `Relaxed` stores.
-//! 3. Store the even stamp `2t` with `Release`.
+//! 3. Publish by CASing the stamp from `2t - 1` to the even `2t`
+//!    (`Release`). Because step 1 never claims an odd stamp, no other
+//!    writer can have touched the slot while we held it, so this CAS
+//!    cannot fail; it is a CAS rather than a blind store purely as a
+//!    guard — a failure (protocol bug) counts the event as dropped
+//!    instead of publishing a potentially torn slot.
 //!
 //! A reader snapshots a slot with the mirror-image protocol: load the
 //! stamp (`Acquire`), read the fields (`Relaxed`), `fence(Acquire)`,
@@ -146,7 +156,8 @@ pub struct EventRing {
     slots: Box<[Slot]>,
     /// Next ticket, one-based; `fetch_add` makes tickets unique.
     next: AtomicU64,
-    /// Events dropped because the writer was lapped mid-claim.
+    /// Events dropped because the writer was lapped mid-claim or found
+    /// its slot held by a mid-publish writer.
     dropped: AtomicU64,
     epoch: Instant,
 }
@@ -173,7 +184,9 @@ impl EventRing {
         self.next.load(Ordering::Relaxed) - 1
     }
 
-    /// Events abandoned because the writer was lapped mid-claim.
+    /// Events abandoned because the writer was lapped mid-claim or its
+    /// slot was held by another writer mid-publish. Always
+    /// `emitted() == published + dropped()`.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
@@ -185,11 +198,13 @@ impl EventRing {
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket as usize - 1) % self.slots.len()];
         let claim = 2 * ticket - 1;
-        // Claim: flip the slot to our odd stamp unless a later-lap writer
-        // beat us to it (their stamp is larger — we are lapped; drop).
+        // Claim: flip the slot from a *stable* (even) stamp to our odd
+        // stamp. Drop if a later-lap writer beat us to it (their stamp
+        // is ≥ ours — we are lapped) or if the slot is odd (another
+        // writer is mid-publish; stealing it would tear their event).
         let mut cur = slot.stamp.load(Ordering::Relaxed);
         loop {
-            if cur >= claim {
+            if cur >= claim || cur % 2 == 1 {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
                 return ticket - 1;
             }
@@ -207,7 +222,15 @@ impl EventRing {
         slot.stream.store(stream, Ordering::Relaxed);
         slot.page.store(page, Ordering::Relaxed);
         slot.payload.store(payload, Ordering::Relaxed);
-        slot.stamp.store(2 * ticket, Ordering::Release);
+        // Cannot fail (only we hold the odd stamp); guards the torn-event
+        // invariant if the protocol is ever broken — see module docs.
+        if slot
+            .stamp
+            .compare_exchange(claim, 2 * ticket, Ordering::Release, Ordering::Relaxed)
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
         ticket - 1
     }
 

@@ -15,8 +15,8 @@ use std::time::Duration;
 
 /// Histogram bucket upper bounds (inclusive), in the recorded unit
 /// (microseconds for every latency histogram in this workspace):
-/// powers of two from 1 µs to ~8.6 s, plus a catch-all overflow bucket.
-pub const BUCKET_BOUNDS: [u64; 24] = [
+/// powers of two from 1 µs to ~8.4 s, plus a catch-all overflow bucket.
+pub const BUCKET_BOUNDS: [u64; 25] = [
     1,
     2,
     4,
@@ -39,6 +39,7 @@ pub const BUCKET_BOUNDS: [u64; 24] = [
     1 << 19,
     1 << 20,
     1 << 21,
+    1 << 22,
     1 << 23,
     u64::MAX,
 ];
