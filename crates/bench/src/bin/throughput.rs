@@ -6,7 +6,7 @@
 //! wall-clock companion to the simulated tables.
 //!
 //! ```text
-//! throughput [--secs F] [--smoke] [--json] [--obs]
+//! throughput [--secs F] [--smoke] [--json] [--obs] [--kill-stream N@MS]
 //! ```
 //!
 //! * `--secs F`  — seconds per sweep cell (default 1.0)
@@ -16,10 +16,17 @@
 //! * `--obs`     — share one observability registry across every cell
 //!   and dump the cumulative [`rmdb_obs::MetricsSnapshot`]: as a
 //!   `"metrics"` key with `--json`, as a readable table otherwise
+//! * `--kill-stream N@MS` — run the failover benchmark instead of the
+//!   sweep: 4 workers × 4 log streams, with log stream `N`'s device
+//!   failed hard `MS` milliseconds into the run. Measures commit latency
+//!   p50/p99 before, during, and after the failover window, verifies
+//!   zero acked-commit loss against a recovered crash image, and writes
+//!   `results/BENCH_failover.json`.
 
 use rmdb_exec::{ExecConfig, ExecDb, Executor};
 use rmdb_obs::Registry;
-use rmdb_wal::WalConfig;
+use rmdb_storage::FaultPlan;
+use rmdb_wal::{WalConfig, WalDb};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -126,12 +133,305 @@ fn run_cell(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Failover benchmark (--kill-stream): latency through a mid-run stream death
+// ---------------------------------------------------------------------------
+
+/// `--kill-stream N@MS`: fail stream `N`'s device `MS` ms into the run.
+struct KillSpec {
+    stream: usize,
+    at_ms: u64,
+}
+
+fn parse_kill_spec(s: &str) -> Option<KillSpec> {
+    let (stream, at_ms) = match s.split_once('@') {
+        Some((n, t)) => (n.parse().ok()?, t.parse().ok()?),
+        None => (s.parse().ok()?, 500),
+    };
+    Some(KillSpec { stream, at_ms })
+}
+
+/// Inclusive-rank percentile of an unsorted latency sample, in place.
+fn percentile_us(lat: &mut [u64], q: f64) -> u64 {
+    if lat.is_empty() {
+        return 0;
+    }
+    lat.sort_unstable();
+    let idx = ((lat.len() as f64 - 1.0) * q).round() as usize;
+    lat[idx]
+}
+
+/// One commit observation: completion time relative to run start, latency.
+struct Sample {
+    done_ms: u64,
+    lat_us: u64,
+}
+
+fn phase_json(name: &str, samples: &[Sample]) -> String {
+    let mut lat: Vec<u64> = samples.iter().map(|s| s.lat_us).collect();
+    format!(
+        "{{\"phase\":\"{name}\",\"commits\":{},\"p50_us\":{},\"p99_us\":{}}}",
+        lat.len(),
+        percentile_us(&mut lat, 0.50),
+        percentile_us(&mut lat, 0.99),
+    )
+}
+
+const KILL_WORKERS: u64 = 4;
+const KILL_STREAMS: usize = 4;
+
+/// The failover cell: 4 dedicated worker threads over disjoint page ranges
+/// (one in-flight transaction per page, so acked values are per-page
+/// monotone and zero-loss is machine-checkable), stream `spec.stream`
+/// killed hard at `spec.at_ms`. Runs for `spec.at_ms + secs·1000` ms total.
+fn run_failover(spec: &KillSpec, secs: f64, json: bool) -> i32 {
+    assert!(
+        spec.stream < KILL_STREAMS,
+        "--kill-stream index {} out of range (fleet of {KILL_STREAMS})",
+        spec.stream
+    );
+    let obs = Registry::new();
+    let cfg = ExecConfig {
+        wal: WalConfig {
+            // +2: pages reserved for the long-transaction probe
+            data_pages: DATA_PAGES + 2,
+            pool_frames: 320,
+            log_streams: KILL_STREAMS,
+            log_frames: 1 << 18,
+            seed: 1985,
+            ..WalConfig::default()
+        },
+        pool_shards: 8,
+        force_delay_us: 500,
+        obs: obs.clone(),
+        ..ExecConfig::default()
+    };
+    let wal_cfg = cfg.wal.clone();
+    let db = Arc::new(ExecDb::new(cfg));
+    let pages_per_worker = DATA_PAGES / KILL_WORKERS;
+    // pages reserved for the long-transaction probe (see below)
+    let probe_pages = [DATA_PAGES, DATA_PAGES + 1];
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_millis(spec.at_ms) + Duration::from_secs_f64(secs);
+
+    // killer: arm the device fault at the kill point, then time detection
+    let kill_detect_ms = {
+        let db = Arc::clone(&db);
+        let stream = spec.stream;
+        let at = t0 + Duration::from_millis(spec.at_ms);
+        std::thread::spawn(move || {
+            std::thread::sleep(at.saturating_duration_since(Instant::now()));
+            let t_kill = Instant::now();
+            db.inject_stream_fault(stream, FaultPlan::new().fail_from_write(0))
+                .expect("inject kill fault");
+            while !db.is_stream_dead(stream) {
+                if t_kill.elapsed() > Duration::from_secs(30) {
+                    return u64::MAX; // never detected — reported, gates fail
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            t_kill.elapsed().as_millis() as u64
+        })
+    };
+
+    // worker w owns pages [w·ppw, (w+1)·ppw): vals per page are strictly
+    // increasing and at most one txn per page is in flight, so per-page
+    // "highest acked val" is exact
+    struct WorkerOut {
+        samples: Vec<Sample>,
+        acked_high: Vec<(u64, u64)>,  // (page, highest acked val)
+        issued_high: Vec<(u64, u64)>, // (page, highest issued val)
+        errors: u64,
+    }
+    let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+        // the long-transaction probe: a transaction homed on the victim,
+        // holding volatile fragments when the stream dies, committing only
+        // after quarantine — the paper's "transaction in flight across a
+        // log-processor failure". Its commit MUST reroute its fragments to
+        // a survivor, making the reroute path a deterministic part of every
+        // bench run rather than a timing accident.
+        {
+            let db = Arc::clone(&db);
+            let stream = spec.stream;
+            s.spawn(move || {
+                let mut txn = {
+                    let mut attempts = 0;
+                    loop {
+                        let t = db.begin(0);
+                        if t.home() == stream {
+                            break t;
+                        }
+                        db.abort(t).expect("abort empty probe txn");
+                        attempts += 1;
+                        assert!(
+                            attempts < 64,
+                            "selector never homed a txn on stream {stream}"
+                        );
+                    }
+                };
+                for (k, &page) in probe_pages.iter().enumerate() {
+                    db.write(&mut txn, page, 0, &(k as u64 + 1).to_le_bytes())
+                        .expect("probe write");
+                }
+                let t_wait = Instant::now();
+                while !db.is_stream_dead(stream) && t_wait.elapsed() < Duration::from_secs(60) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                db.commit(txn)
+                    .and_then(|h| h.wait())
+                    .expect("probe commit after failover");
+            });
+        }
+        let handles: Vec<_> = (0..KILL_WORKERS)
+            .map(|w| {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    let base = w * pages_per_worker;
+                    let mut out = WorkerOut {
+                        samples: Vec::new(),
+                        acked_high: vec![(0, 0); pages_per_worker as usize],
+                        issued_high: vec![(0, 0); pages_per_worker as usize],
+                        errors: 0,
+                    };
+                    let mut i: u64 = 0;
+                    while Instant::now() < deadline {
+                        let slot = (i % pages_per_worker) as usize;
+                        let page = base + slot as u64;
+                        // vals start at 1 so 0 always means "never written"
+                        let val = i + 1;
+                        out.issued_high[slot] = (page, val);
+                        let t_txn = Instant::now();
+                        match db.run_txn(w as usize, |ctx| ctx.write(page, 0, &val.to_le_bytes())) {
+                            Ok(()) => {
+                                out.samples.push(Sample {
+                                    done_ms: t0.elapsed().as_millis() as u64,
+                                    lat_us: t_txn.elapsed().as_micros() as u64,
+                                });
+                                out.acked_high[slot] = (page, val);
+                            }
+                            Err(_) => out.errors += 1,
+                        }
+                        i += 1;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let detect_ms = kill_detect_ms.join().unwrap();
+
+    // bucket commit latencies around the failover window
+    let quarantined_at_ms = spec.at_ms.saturating_add(detect_ms);
+    let mut before = Vec::new();
+    let mut during = Vec::new();
+    let mut after = Vec::new();
+    for out in &outs {
+        for s in &out.samples {
+            if s.done_ms < spec.at_ms {
+                before.push(Sample { ..*s });
+            } else if s.done_ms <= quarantined_at_ms {
+                during.push(Sample { ..*s });
+            } else {
+                after.push(Sample { ..*s });
+            }
+        }
+    }
+    let errors: u64 = outs.iter().map(|o| o.errors).sum();
+    let live_after = db.live_streams();
+    let degraded = db.is_degraded();
+
+    // zero-acked-loss audit: recover the final crash image and require
+    // every page to read back at least its highest acked value (per-page
+    // vals are monotone; the only other legal reading is the one unacked
+    // in-flight val)
+    let image = db.crash_image().expect("final crash image");
+    let (mut rec, _) = WalDb::recover(image, wal_cfg).expect("recovery after failover");
+    let t = rec.begin();
+    let mut lost_acked: u64 = 0;
+    for out in &outs {
+        for (slot, &(page, acked_val)) in out.acked_high.iter().enumerate() {
+            if acked_val == 0 {
+                continue;
+            }
+            let got = rec.read(t, page, 0, 8).expect("read after recovery");
+            let got_val = u64::from_le_bytes(got.try_into().expect("8-byte slot"));
+            let (_, issued_val) = out.issued_high[slot];
+            if got_val < acked_val || got_val > issued_val {
+                lost_acked += 1;
+                eprintln!(
+                    "LOST: page {page} recovered val {got_val}, acked {acked_val}, issued {issued_val}"
+                );
+            }
+        }
+    }
+    // the probe committed after the failover, so its rerouted fragments
+    // must have survived recovery exactly
+    for (k, &page) in probe_pages.iter().enumerate() {
+        let got = rec.read(t, page, 0, 8).expect("read probe page");
+        let got_val = u64::from_le_bytes(got.try_into().expect("8-byte slot"));
+        if got_val != k as u64 + 1 {
+            lost_acked += 1;
+            eprintln!(
+                "LOST: probe page {page} recovered val {got_val}, expected {}",
+                k + 1
+            );
+        }
+    }
+    rec.abort(t).expect("read-only abort");
+
+    let snap = obs.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let report = format!(
+        "{{\"bench\":\"failover\",\"kill_stream\":{},\"kill_at_ms\":{},\"detect_ms\":{},\
+\"phases\":[{},{},{}],\
+\"commits_after_failover\":{},\"errors\":{},\"lost_acked_commits\":{},\
+\"live_streams_after\":{},\"degraded\":{},\
+\"failover\":{{\"quarantined\":{},\"reroutes\":{},\"rerouted_fragments\":{},\
+\"txn_retries\":{},\"degraded_rejects\":{}}}}}",
+        spec.stream,
+        spec.at_ms,
+        detect_ms,
+        phase_json("before", &before),
+        phase_json("during", &during),
+        phase_json("after", &after),
+        after.len(),
+        errors,
+        lost_acked,
+        live_after,
+        degraded,
+        counter("failover.quarantined"),
+        counter("failover.reroutes"),
+        counter("failover.rerouted_fragments"),
+        counter("failover.txn_retries"),
+        counter("failover.degraded_rejects"),
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_failover.json", &report).expect("write BENCH_failover.json");
+    if json {
+        println!("{report}");
+    } else {
+        println!(
+            "failover bench: killed stream {} at {} ms (detected in {} ms)",
+            spec.stream, spec.at_ms, detect_ms
+        );
+        println!("{report}");
+        println!("wrote results/BENCH_failover.json");
+    }
+    if lost_acked > 0 || after.is_empty() || detect_ms == u64::MAX {
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut secs = 1.0f64;
     let mut smoke = false;
     let mut json = false;
     let mut obs_dump = false;
+    let mut kill: Option<KillSpec> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -142,9 +442,26 @@ fn main() {
             "--smoke" => smoke = true,
             "--json" => json = true,
             "--obs" => obs_dump = true,
+            "--kill-stream" => {
+                kill = args.get(i + 1).map(|s| {
+                    parse_kill_spec(s).unwrap_or_else(|| {
+                        eprintln!("bad --kill-stream spec {s:?} (want N or N@MS)");
+                        std::process::exit(2);
+                    })
+                });
+                if kill.is_none() {
+                    eprintln!("--kill-stream needs an argument (N or N@MS)");
+                    std::process::exit(2);
+                }
+                i += 1;
+            }
             _ => {}
         }
         i += 1;
+    }
+
+    if let Some(spec) = kill {
+        std::process::exit(run_failover(&spec, secs, json));
     }
 
     let sweep: Vec<(usize, usize, Contention)> = if smoke {

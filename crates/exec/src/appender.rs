@@ -16,21 +16,48 @@
 //! through [`LogAppender::wait_forced`], which parks on a condvar until
 //! the appender reports the ticket durable. The WAL rule and the commit
 //! protocol are both phrased as "force through ticket t".
+//!
+//! ## Failure surface
+//!
+//! The appender is the unit the failover supervisor watches, so its
+//! failure modes are typed ([`AppenderError`]) and observable:
+//!
+//! * a **heartbeat** counter the thread bumps every loop iteration
+//!   (idle ticks included) — a wedged thread stops bumping;
+//! * a **sticky storage error**: stream appends/forces go through
+//!   [`rmdb_wal::stream::IO_RETRIES`] bounded retries internally, so an
+//!   error surfacing here is post-retry and classified *persistent*;
+//! * a **vault**: the thread deposits its [`LogStream`] into a shared
+//!   slot on every exit path — including panic unwind — so the durable
+//!   log disk survives thread death and stays snapshot-able;
+//! * a **quarantine flag** set by failover: producers fail fast with
+//!   [`AppenderError::Quarantined`] instead of queueing work a dead
+//!   stream will never make durable.
+//!
+//! The thread itself keeps running after a sticky error *and* after
+//! quarantine, serving [`Req::Snapshot`] requests — crash images of a
+//! quarantined stream's durable prefix go through the ordinary snapshot
+//! path, which is what lets recovery merge that prefix with the
+//! survivors' logs.
 
+use crate::error::{AppenderError, ExecError};
+use crate::sync::lock_ok;
 use rmdb_obs::{Counter, EventKind, Histogram, Registry};
-use rmdb_storage::{MemDisk, StorageError};
+use rmdb_storage::{FaultHandle, MemDisk, StorageError};
 use rmdb_wal::record::LogRecord;
 use rmdb_wal::stream::LogStream;
-use rmdb_wal::WalError;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// How long a producer waits for the appender before declaring it
-/// stalled (defence against a wedged pipeline in tests; never hit in
-/// healthy runs).
-const WAIT_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default producer wait deadline (overridable per appender via
+/// [`LogAppender::spawn_observed`]; never hit in healthy runs).
+pub const DEFAULT_WAIT: Duration = Duration::from_secs(30);
+
+/// Idle receive timeout: the thread wakes at least this often to bump
+/// its heartbeat, so supervision can tell "idle" from "wedged".
+const HEARTBEAT_TICK: Duration = Duration::from_millis(10);
 
 /// Requests crossing the fragment channel.
 enum Req {
@@ -40,6 +67,12 @@ enum Req {
     Force { seq: u64 },
     /// Reply with a crash snapshot of the log disk.
     Snapshot { reply: SyncSender<MemDisk> },
+    /// Attach a fault injector to the stream's disk (mid-run failure
+    /// injection — the `--kill-stream` mechanism).
+    InjectFaults { handle: FaultHandle },
+    /// Panic the thread (failure-injection hook for supervision tests).
+    #[cfg(test)]
+    Panic,
     /// Drain and exit the thread.
     Shutdown,
 }
@@ -48,6 +81,13 @@ enum Req {
 struct Shared {
     state: Mutex<State>,
     cv: Condvar,
+    /// Bumped by the thread every loop iteration (see [`HEARTBEAT_TICK`]).
+    heartbeat: AtomicU64,
+    /// Cleared by the vault guard on every thread exit path.
+    alive: AtomicBool,
+    /// Where the thread deposits its stream on exit — normal return,
+    /// channel close, or panic unwind alike.
+    vault: Mutex<Option<LogStream>>,
 }
 
 #[derive(Default)]
@@ -58,6 +98,28 @@ struct State {
     forced: u64,
     /// First storage error the appender hit, if any; sticky.
     error: Option<StorageError>,
+    /// Set by failover: no new fragments should be routed here.
+    quarantined: bool,
+}
+
+/// A point-in-time health reading, consumed by the supervisor.
+#[derive(Debug, Clone)]
+pub struct AppenderProbe {
+    /// Thread loop iterations so far; a constant value across probes
+    /// separated by more than the heartbeat tick means a wedged thread.
+    pub heartbeat: u64,
+    /// Whether the thread is still running.
+    pub alive: bool,
+    /// Highest ticket appended (volatile).
+    pub appended: u64,
+    /// Highest ticket durable.
+    pub forced: u64,
+    /// Tickets issued by producers (work pending = `issued > appended`).
+    pub issued: u64,
+    /// The sticky storage error, if any.
+    pub error: Option<StorageError>,
+    /// Whether failover already quarantined this stream.
+    pub quarantined: bool,
 }
 
 /// The appender thread's metric handles (one set per stream).
@@ -76,15 +138,19 @@ struct ThreadObs {
 
 /// Handle to one log-processor thread.
 pub struct LogAppender {
+    /// Stream index in the fleet, for error attribution.
+    idx: usize,
     /// Ticket issue + enqueue, atomically (so channel order == seq order).
     tx: Mutex<SyncSender<Req>>,
     next_seq: AtomicU64,
     shared: Arc<Shared>,
     forces: AtomicU64,
+    /// Producer wait deadline for `wait_forced` / `snapshot`.
+    wait: Duration,
     /// Fragments enqueued — the producer-side half of the
     /// `fragments_enqueued == fragments_appended` conservation law.
     enqueued: Counter,
-    handle: Option<std::thread::JoinHandle<LogStream>>,
+    handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl LogAppender {
@@ -95,7 +161,14 @@ impl LogAppender {
     /// completed force, during which further commits pile up behind it
     /// and share the next force. Zero means an ideal device.
     pub fn spawn(stream: LogStream, queue: usize, force_delay: Duration) -> Self {
-        LogAppender::spawn_observed(stream, queue, force_delay, &Registry::new(), 0)
+        LogAppender::spawn_observed(
+            stream,
+            queue,
+            force_delay,
+            &Registry::new(),
+            0,
+            DEFAULT_WAIT,
+        )
     }
 
     /// [`LogAppender::spawn`] publishing per-stream metrics into `obs`:
@@ -103,17 +176,22 @@ impl LogAppender {
     /// `wal.fragments_appended.s<idx>` (appender side, after the stream
     /// write), `wal.forces.s<idx>` and the `wal.force_us.s<idx>` latency
     /// histogram, plus a [`EventKind::StreamForce`] event per force.
+    /// `wait` bounds every producer-side blocking wait on this appender.
     pub fn spawn_observed(
         stream: LogStream,
         queue: usize,
         force_delay: Duration,
         obs: &Registry,
         idx: usize,
+        wait: Duration,
     ) -> Self {
         let (tx, rx) = sync_channel(queue.max(1));
         let shared = Arc::new(Shared {
             state: Mutex::new(State::default()),
             cv: Condvar::new(),
+            heartbeat: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+            vault: Mutex::new(None),
         });
         let thread_shared = Arc::clone(&shared);
         let tobs = ThreadObs {
@@ -128,88 +206,200 @@ impl LogAppender {
             .spawn(move || run(stream, rx, thread_shared, force_delay, tobs))
             .expect("spawn log appender");
         LogAppender {
+            idx,
             tx: Mutex::new(tx),
             next_seq: AtomicU64::new(1),
             shared,
             forces: AtomicU64::new(0),
+            wait,
             enqueued: obs.counter(&format!("wal.fragments_enqueued.s{idx}")),
             handle: Some(handle),
         }
     }
 
+    /// Stream index in the fleet.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    fn err(&self, error: AppenderError) -> ExecError {
+        ExecError::Appender {
+            stream: self.idx,
+            error,
+        }
+    }
+
+    fn thread_gone(&self) -> ExecError {
+        self.err(AppenderError::ThreadDeath(
+            "fragment channel closed".to_string(),
+        ))
+    }
+
     /// Enqueue a fragment; returns its ticket. Blocks when the queue is
-    /// full (backpressure).
-    pub fn append(&self, rec: LogRecord) -> Result<u64, WalError> {
+    /// full (backpressure). Fails fast on a quarantined or errored stream.
+    pub fn append(&self, rec: LogRecord) -> Result<u64, ExecError> {
         self.check_error()?;
-        let tx = self.tx.lock().expect("appender sender lock");
+        let tx = lock_ok(&self.tx);
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         // Count before the send so a live sample never sees
         // appended > enqueued; a failed send leaves enqueued one ahead,
         // but then the appender is gone and the pipeline is erroring out.
         self.enqueued.inc();
         tx.send(Req::Append { rec, seq })
-            .map_err(|_| stalled("log appender thread gone"))?;
+            .map_err(|_| self.thread_gone())?;
         Ok(seq)
     }
 
     /// Ask the appender to make ticket `seq` durable (non-blocking).
-    pub fn request_force(&self, seq: u64) -> Result<(), WalError> {
+    pub fn request_force(&self, seq: u64) -> Result<(), ExecError> {
         if self.is_forced(seq) {
             return Ok(());
         }
         self.forces.fetch_add(1, Ordering::Relaxed);
-        let tx = self.tx.lock().expect("appender sender lock");
+        let tx = lock_ok(&self.tx);
         tx.send(Req::Force { seq })
-            .map_err(|_| stalled("log appender thread gone"))?;
+            .map_err(|_| self.thread_gone())?;
         Ok(())
     }
 
-    /// Whether ticket `seq` is already durable (cheap check).
+    /// Whether ticket `seq` is already durable (cheap check). `forced`
+    /// is monotone truth about the platter — it stays valid after an
+    /// error or a quarantine, which is exactly what lets the WAL-rule
+    /// flush path keep flushing pages whose fragments were durable on a
+    /// stream before it died.
     pub fn is_forced(&self, seq: u64) -> bool {
-        let state = self.shared.state.lock().expect("appender state lock");
-        state.forced >= seq && state.error.is_none()
+        lock_ok(&self.shared.state).forced >= seq
     }
 
-    /// Park until ticket `seq` is durable (or the appender reports an
-    /// error / stalls).
-    pub fn wait_forced(&self, seq: u64) -> Result<(), WalError> {
-        let mut state = self.shared.state.lock().expect("appender state lock");
+    /// Highest durable ticket — the quarantined stream's durable prefix
+    /// boundary the reroute logic partitions against.
+    pub fn forced_high(&self) -> u64 {
+        lock_ok(&self.shared.state).forced
+    }
+
+    /// Park until ticket `seq` is durable (or the appender fails —
+    /// classified, in precedence order: already durable wins over any
+    /// failure state, then quarantine, sticky error, thread death, and
+    /// finally the bounded-wait deadline).
+    pub fn wait_forced(&self, seq: u64) -> Result<(), ExecError> {
+        let start = Instant::now();
+        let mut state = lock_ok(&self.shared.state);
         loop {
-            if let Some(e) = &state.error {
-                return Err(WalError::Storage(e.clone()));
-            }
             if state.forced >= seq {
                 return Ok(());
             }
-            let (next, timeout) = self
+            if state.quarantined {
+                return Err(self.err(AppenderError::Quarantined));
+            }
+            if let Some(e) = &state.error {
+                return Err(self.err(AppenderError::Persistent(e.clone())));
+            }
+            if !self.shared.alive.load(Ordering::Acquire) {
+                return Err(self.err(AppenderError::ThreadDeath(
+                    "appender thread exited".to_string(),
+                )));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.wait {
+                return Err(self.err(AppenderError::Stalled {
+                    what: "force",
+                    waited_ms: elapsed.as_millis() as u64,
+                }));
+            }
+            let (next, _) = self
                 .shared
                 .cv
-                .wait_timeout(state, WAIT_TIMEOUT)
-                .expect("appender condvar");
+                .wait_timeout(state, self.wait - elapsed)
+                .unwrap_or_else(|e| e.into_inner());
             state = next;
-            if timeout.timed_out() && state.forced < seq && state.error.is_none() {
-                return Err(stalled("log appender stalled: force timed out"));
-            }
         }
     }
 
     /// Force + wait: returns once ticket `seq` is on stable storage.
-    pub fn force_through(&self, seq: u64) -> Result<(), WalError> {
+    pub fn force_through(&self, seq: u64) -> Result<(), ExecError> {
         self.request_force(seq)?;
         self.wait_forced(seq)
     }
 
     /// Crash snapshot of this stream's log disk, as of "now" in the
     /// appender's frame of reference (between batches, never mid-force).
-    pub fn snapshot(&self) -> Result<MemDisk, WalError> {
+    /// If the thread is dead the snapshot is served from the vaulted
+    /// stream instead — a quarantined stream's durable prefix stays
+    /// reachable for crash images.
+    pub fn snapshot(&self) -> Result<MemDisk, ExecError> {
         let (reply, rx) = sync_channel(1);
-        {
-            let tx = self.tx.lock().expect("appender sender lock");
-            tx.send(Req::Snapshot { reply })
-                .map_err(|_| stalled("log appender thread gone"))?;
+        let sent = {
+            let tx = lock_ok(&self.tx);
+            tx.send(Req::Snapshot { reply }).is_ok()
+        };
+        if sent {
+            match rx.recv_timeout(self.wait) {
+                Ok(disk) => return Ok(disk),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(self.err(AppenderError::Stalled {
+                        what: "snapshot",
+                        waited_ms: self.wait.as_millis() as u64,
+                    }));
+                }
+                // the thread exited with our request still queued: its
+                // vault guard has already deposited the stream (locals
+                // drop before the channel receiver) — fall through
+                Err(RecvTimeoutError::Disconnected) => {}
+            }
         }
-        rx.recv_timeout(WAIT_TIMEOUT)
-            .map_err(|_| stalled("log appender stalled: snapshot timed out"))
+        let vault = lock_ok(&self.shared.vault);
+        match vault.as_ref() {
+            Some(stream) => Ok(stream.disk_snapshot()),
+            None => Err(self.err(AppenderError::ThreadDeath(
+                "appender thread gone and stream unrecoverable".to_string(),
+            ))),
+        }
+    }
+
+    /// Attach a fault injector to the stream's disk, from inside the
+    /// appender thread (so it composes with in-flight appends exactly
+    /// like a real device failing under load).
+    pub fn inject_faults(&self, handle: FaultHandle) -> Result<(), ExecError> {
+        let tx = lock_ok(&self.tx);
+        tx.send(Req::InjectFaults { handle })
+            .map_err(|_| self.thread_gone())?;
+        Ok(())
+    }
+
+    /// Panic the appender thread (supervision/diagnostics tests).
+    #[cfg(test)]
+    pub(crate) fn inject_panic(&self) {
+        let tx = lock_ok(&self.tx);
+        let _ = tx.send(Req::Panic);
+    }
+
+    /// Mark this stream quarantined: producers fail fast, and waiters
+    /// currently parked in [`LogAppender::wait_forced`] wake immediately
+    /// with [`AppenderError::Quarantined`] instead of riding out their
+    /// full deadline.
+    pub fn quarantine(&self) {
+        let mut state = lock_ok(&self.shared.state);
+        state.quarantined = true;
+        self.shared.cv.notify_all();
+    }
+
+    /// Whether failover has quarantined this stream.
+    pub fn is_quarantined(&self) -> bool {
+        lock_ok(&self.shared.state).quarantined
+    }
+
+    /// A point-in-time health reading for the supervisor.
+    pub fn probe(&self) -> AppenderProbe {
+        let state = lock_ok(&self.shared.state);
+        AppenderProbe {
+            heartbeat: self.shared.heartbeat.load(Ordering::Relaxed),
+            alive: self.shared.alive.load(Ordering::Acquire),
+            appended: state.appended,
+            forced: state.forced,
+            issued: self.next_seq.load(Ordering::Relaxed) - 1,
+            error: state.error.clone(),
+            quarantined: state.quarantined,
+        }
     }
 
     /// Force requests issued against this stream (observability).
@@ -222,31 +412,45 @@ impl LogAppender {
         self.next_seq.load(Ordering::Relaxed) - 1
     }
 
-    fn check_error(&self) -> Result<(), WalError> {
-        let state = self.shared.state.lock().expect("appender state lock");
+    fn check_error(&self) -> Result<(), ExecError> {
+        let state = lock_ok(&self.shared.state);
+        if state.quarantined {
+            return Err(self.err(AppenderError::Quarantined));
+        }
         match &state.error {
-            Some(e) => Err(WalError::Storage(e.clone())),
+            Some(e) => Err(self.err(AppenderError::Persistent(e.clone()))),
             None => Ok(()),
         }
     }
 
-    /// Stop the thread and take the stream back (final shutdown).
-    pub fn shutdown(mut self) -> Result<LogStream, WalError> {
+    /// Stop the thread and take the stream back (final shutdown). A
+    /// panicked thread surfaces as [`AppenderError::ThreadDeath`] with
+    /// the panic payload preserved for diagnosis.
+    pub fn shutdown(mut self) -> Result<LogStream, ExecError> {
         {
-            let tx = self.tx.lock().expect("appender sender lock");
+            let tx = lock_ok(&self.tx);
             let _ = tx.send(Req::Shutdown);
         }
         let handle = self.handle.take().expect("appender joined twice");
-        handle
-            .join()
-            .map_err(|_| stalled("log appender thread panicked"))
+        match handle.join() {
+            Ok(()) => {
+                let mut vault = lock_ok(&self.shared.vault);
+                vault.take().ok_or_else(|| {
+                    self.err(AppenderError::ThreadDeath(
+                        "appender exited without depositing its stream".to_string(),
+                    ))
+                })
+            }
+            Err(payload) => Err(self.err(AppenderError::ThreadDeath(panic_message(&*payload)))),
+        }
     }
 }
 
 impl Drop for LogAppender {
     fn drop(&mut self) {
         if let Some(handle) = self.handle.take() {
-            if let Ok(tx) = self.tx.lock() {
+            {
+                let tx = lock_ok(&self.tx);
                 let _ = tx.send(Req::Shutdown);
             }
             let _ = handle.join();
@@ -254,22 +458,61 @@ impl Drop for LogAppender {
     }
 }
 
-fn stalled(msg: &'static str) -> WalError {
-    WalError::Storage(StorageError::Protocol(msg))
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Deposits the thread's stream into the shared vault on every exit
+/// path — normal return and panic unwind alike — and clears `alive` so
+/// waiters and the supervisor observe the death promptly.
+struct VaultGuard {
+    shared: Arc<Shared>,
+    stream: Option<LogStream>,
+}
+
+impl VaultGuard {
+    fn stream(&mut self) -> &mut LogStream {
+        self.stream.as_mut().expect("stream vaulted while running")
+    }
+}
+
+impl Drop for VaultGuard {
+    fn drop(&mut self) {
+        if let Some(stream) = self.stream.take() {
+            *lock_ok(&self.shared.vault) = Some(stream);
+        }
+        self.shared.alive.store(false, Ordering::Release);
+        // wake parked waiters so they classify the death immediately
+        self.shared.cv.notify_all();
+    }
 }
 
 /// The appender thread: drain → append in ticket order → force once per
 /// batch if anyone asked → publish progress.
 fn run(
-    mut stream: LogStream,
+    stream: LogStream,
     rx: Receiver<Req>,
     shared: Arc<Shared>,
     force_delay: Duration,
     tobs: ThreadObs,
-) -> LogStream {
+) {
+    let mut guard = VaultGuard {
+        shared: Arc::clone(&shared),
+        stream: Some(stream),
+    };
     loop {
-        let Ok(first) = rx.recv() else {
-            return stream; // all senders gone
+        shared.heartbeat.fetch_add(1, Ordering::Relaxed);
+        let first = match rx.recv_timeout(HEARTBEAT_TICK) {
+            Ok(req) => req,
+            Err(RecvTimeoutError::Timeout) => continue, // idle heartbeat
+            Err(RecvTimeoutError::Disconnected) => return, // all senders gone
         };
         let mut batch = vec![first];
         while let Ok(more) = rx.try_recv() {
@@ -284,7 +527,7 @@ fn run(
             match req {
                 Req::Append { rec, seq } => {
                     if error.is_none() {
-                        match stream.append(&rec) {
+                        match guard.stream().append(&rec) {
                             Ok(_) => tobs.appended.inc(),
                             Err(e) => error = Some(e),
                         }
@@ -295,11 +538,14 @@ fn run(
                     force_to = Some(force_to.map_or(seq, |f| f.max(seq)));
                 }
                 Req::Snapshot { reply } => snapshots.push(reply),
+                Req::InjectFaults { handle } => guard.stream().attach_faults(handle),
+                #[cfg(test)]
+                Req::Panic => panic!("injected appender panic"),
                 Req::Shutdown => shutdown = true,
             }
         }
         {
-            let mut state = shared.state.lock().expect("appender state lock");
+            let mut state = lock_ok(&shared.state);
             if appended_high > 0 {
                 state.appended = state.appended.max(appended_high);
             }
@@ -308,7 +554,7 @@ fn run(
             drop(state);
             if need_force {
                 let t_force = Instant::now();
-                if let Err(e) = stream.force() {
+                if let Err(e) = guard.stream().force() {
                     error = Some(e);
                 } else {
                     if !force_delay.is_zero() {
@@ -321,7 +567,7 @@ fn run(
                     tobs.obs.emit(EventKind::StreamForce, 0, tobs.idx, 0, us);
                 }
             }
-            let mut state = shared.state.lock().expect("appender state lock");
+            let mut state = lock_ok(&shared.state);
             if need_force && error.is_none() {
                 // everything appended before the force is now durable
                 state.forced = state.forced.max(appended_now);
@@ -332,10 +578,10 @@ fn run(
             shared.cv.notify_all();
         }
         for reply in snapshots {
-            let _ = reply.send(stream.disk_snapshot());
+            let _ = reply.send(guard.stream().disk_snapshot());
         }
         if shutdown {
-            return stream;
+            return;
         }
     }
 }
@@ -343,6 +589,7 @@ fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rmdb_storage::{FaultInjector, FaultPlan};
     use rmdb_wal::ParallelLogManager;
     use rmdb_wal::SelectionPolicy;
 
@@ -415,5 +662,107 @@ mod tests {
         app.force_through(seq).unwrap();
         let stream = app.shutdown().unwrap();
         assert_eq!(stream.scan(), vec![commit(7)]);
+    }
+
+    #[test]
+    fn panicked_thread_surfaces_payload_in_typed_error() {
+        let app = LogAppender::spawn(LogStream::create(256), 64, Duration::ZERO);
+        let seq = app.append(commit(1)).unwrap();
+        app.force_through(seq).unwrap();
+        app.inject_panic();
+        match app.shutdown().map(|_| ()) {
+            Err(ExecError::Appender {
+                stream: 0,
+                error: AppenderError::ThreadDeath(msg),
+            }) => assert!(
+                msg.contains("injected appender panic"),
+                "panic payload lost: {msg:?}"
+            ),
+            other => panic!("expected ThreadDeath with payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_thread_still_serves_snapshot_from_vault() {
+        let app = LogAppender::spawn(LogStream::create(256), 64, Duration::ZERO);
+        let seq = app.append(commit(9)).unwrap();
+        app.force_through(seq).unwrap();
+        app.inject_panic();
+        // wait for the unwind to deposit the stream
+        let t0 = Instant::now();
+        while app.probe().alive && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!app.probe().alive, "thread should have died");
+        let disk = app.snapshot().expect("vault snapshot");
+        let mgr = ParallelLogManager::open(vec![disk], SelectionPolicy::Cyclic, 0).unwrap();
+        assert_eq!(mgr.scan_all()[0], vec![commit(9)]);
+        // waiters on new work classify the death rather than hanging
+        match app.wait_forced(seq + 1) {
+            Err(ExecError::Appender {
+                error: AppenderError::ThreadDeath(_),
+                ..
+            }) => {}
+            other => panic!("expected ThreadDeath, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn persistent_device_fault_is_classified_and_prefix_survives() {
+        let app = LogAppender::spawn(LogStream::create(256), 64, Duration::ZERO);
+        let t1 = app.append(commit(1)).unwrap();
+        app.force_through(t1).unwrap();
+        // kill the device: every write from now on fails
+        app.inject_faults(FaultInjector::handle(FaultPlan::new().fail_from_write(0)))
+            .unwrap();
+        let t2 = app.append(commit(2)).unwrap();
+        match app.force_through(t2) {
+            Err(ExecError::Appender {
+                error: AppenderError::Persistent(_),
+                ..
+            }) => {}
+            other => panic!("expected Persistent, got {other:?}"),
+        }
+        // the durable prefix is still reachable: forced is monotone truth
+        assert!(app.is_forced(t1));
+        let disk = app.snapshot().unwrap();
+        let mgr = ParallelLogManager::open(vec![disk], SelectionPolicy::Cyclic, 0).unwrap();
+        assert_eq!(mgr.scan_all()[0], vec![commit(1)]);
+    }
+
+    #[test]
+    fn quarantine_fails_fast_and_wakes_waiters() {
+        let app = std::sync::Arc::new(LogAppender::spawn(
+            LogStream::create(256),
+            64,
+            Duration::ZERO,
+        ));
+        let t1 = app.append(commit(1)).unwrap();
+        app.force_through(t1).unwrap();
+        let t2 = app.append(commit(2)).unwrap();
+        let waiter = {
+            let app = std::sync::Arc::clone(&app);
+            std::thread::spawn(move || app.wait_forced(t2 + 100))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        app.quarantine();
+        // the parked waiter wakes with Quarantined, well inside the deadline
+        match waiter.join().expect("waiter") {
+            Err(ExecError::Appender {
+                error: AppenderError::Quarantined,
+                ..
+            }) => {}
+            other => panic!("expected Quarantined, got {other:?}"),
+        }
+        // new appends fail fast; durable facts remain queryable
+        assert!(matches!(
+            app.append(commit(3)),
+            Err(ExecError::Appender {
+                error: AppenderError::Quarantined,
+                ..
+            })
+        ));
+        assert!(app.is_forced(t1));
+        assert!(app.is_quarantined());
     }
 }

@@ -10,7 +10,9 @@
 //! * **back-end controller scheduler** — a [`Scheduler`] behind its own
 //!   mutex, with waiting workers parked on per-transaction condvar slots;
 //! * **back-end controller commit path** — the group-commit daemon
-//!   ([`crate::group`]), batching commit forces across streams.
+//!   ([`crate::group`]), batching commit forces across streams;
+//! * **supervisor** — a health-check thread ([`crate::supervisor`])
+//!   probing each log processor and quarantining failed ones.
 //!
 //! The monolithic engine mutex of `rmdb_wal::SharedWal` is decomposed
 //! into fine-grained locks: the scheduler mutex (lock table only), a
@@ -29,14 +31,32 @@
 //! [`ExecDb::crash_image`]), this guarantees any crash image containing
 //! a durable `Commit{t}` also contains every fragment of `t` — so
 //! [`rmdb_wal::WalDb::recover`] replays exactly the committed state.
+//!
+//! ## Failover
+//!
+//! A log stream whose device fails persistently (or whose thread dies or
+//! wedges) is **quarantined**: the [`Selector`] stops routing new
+//! transactions to it, and in-flight transactions **reroute** the
+//! volatile tail of their fragments — everything above the dead stream's
+//! durable high-water ticket — to a surviving stream, re-pinning each
+//! affected page's WAL-rule entry as they go
+//! ([`Inner::reroute_if_needed`]). The durable prefix stays where it is:
+//! recovery scans the quarantined stream's disk like any other and
+//! deduplicates rerouted fragments by their globally unique LSN.
+//! Commits acked before the failure therefore survive it. When fewer
+//! than [`ExecConfig::min_live_streams`] streams survive, the pipeline
+//! degrades: [`ExecDb::run_txn`] sheds load with a typed
+//! [`ExecError::Degraded`] instead of queueing work that cannot commit.
 
 use crate::appender::LogAppender;
+use crate::error::{AppenderError, ExecError};
 use crate::group::{run_daemon, CommitHandle, CommitReq};
+use crate::sync::lock_ok;
 use rmdb_obs::{Counter, EventKind, Histogram, MetricsSnapshot, Registry};
 use rmdb_storage::Lsn;
 use rmdb_storage::{
-    read_page_retry, write_page_verified, MemDisk, Page, PageId, ShardedPool, StorageError,
-    PAYLOAD_SIZE,
+    read_page_retry, write_page_verified, FaultInjector, FaultPlan, MemDisk, Page, PageId,
+    ShardedPool, StorageError, PAYLOAD_SIZE,
 };
 use rmdb_wal::db::{LogMode, WalConfig};
 use rmdb_wal::lock::LockMode;
@@ -46,10 +66,10 @@ use rmdb_wal::select::Selector;
 use rmdb_wal::stream::{LogStream, IO_RETRIES};
 use rmdb_wal::{Backoff, CrashImage, WalError};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Retries before a transaction is declared starved.
 const MAX_RETRIES: usize = 1000;
@@ -81,6 +101,23 @@ pub struct ExecConfig {
     /// what makes sharing forces (group commit) worth anything. Zero
     /// (the default) models an ideal device, which unit tests want.
     pub force_delay_us: u64,
+    /// Minimum surviving log streams below which the pipeline degrades:
+    /// `run_txn` sheds load with [`ExecError::Degraded`] instead of
+    /// committing against a fleet too small to be safe. Default 1 — run
+    /// as long as any stream lives.
+    pub min_live_streams: usize,
+    /// Supervisor probe interval, microseconds.
+    pub health_interval_us: u64,
+    /// Supervisor verdict deadline: an appender whose heartbeat has not
+    /// advanced for this long while it has work pending is declared
+    /// stalled and quarantined.
+    pub force_deadline_ms: u64,
+    /// [`CommitHandle::wait`] deadline before it gives up with a typed
+    /// [`ExecError::Timeout`].
+    pub commit_timeout_ms: u64,
+    /// Producer-side wait deadline per appender interaction (force
+    /// waits, snapshot replies).
+    pub append_wait_ms: u64,
     /// Observability registry the pipeline publishes into. Cloneable and
     /// Arc-backed, so a bench can hand several databases the same
     /// registry and read cumulative metrics across all of them. Defaults
@@ -98,6 +135,11 @@ impl Default for ExecConfig {
             max_group: 64,
             group_dwell_us: 40,
             force_delay_us: 0,
+            min_live_streams: 1,
+            health_interval_us: 1_000,
+            force_deadline_ms: 1_000,
+            commit_timeout_ms: 30_000,
+            append_wait_ms: 30_000,
             obs: Registry::new(),
         }
     }
@@ -166,7 +208,7 @@ struct WaitTable {
 
 impl WaitTable {
     fn slot(&self, txn: u64) -> Arc<Slot> {
-        let mut slots = self.slots.lock().expect("wait table");
+        let mut slots = lock_ok(&self.slots);
         Arc::clone(slots.entry(txn).or_insert_with(|| {
             Arc::new(Slot {
                 state: Mutex::new(None),
@@ -179,16 +221,16 @@ impl WaitTable {
     /// mutex, making signal/timeout interleavings serialisable.
     fn signal(&self, txn: u64, outcome: Outcome) {
         let slot = self.slot(txn);
-        *slot.state.lock().expect("wait slot") = Some(outcome);
+        *lock_ok(&slot.state) = Some(outcome);
         slot.cv.notify_all();
     }
 
     /// Consume a delivered outcome without blocking (timeout re-check).
     fn take(&self, txn: u64) -> Option<Outcome> {
         let slot = self.slot(txn);
-        let out = slot.state.lock().expect("wait slot").take();
+        let out = lock_ok(&slot.state).take();
         if out.is_some() {
-            self.slots.lock().expect("wait table").remove(&txn);
+            lock_ok(&self.slots).remove(&txn);
         }
         out
     }
@@ -197,33 +239,46 @@ impl WaitTable {
     /// the caller resolves the race under the scheduler mutex).
     fn wait(&self, txn: u64) -> Option<Outcome> {
         let slot = self.slot(txn);
-        let mut state = slot.state.lock().expect("wait slot");
-        let deadline = std::time::Instant::now() + LOCK_WAIT_TIMEOUT;
+        let mut state = lock_ok(&slot.state);
+        let deadline = Instant::now() + LOCK_WAIT_TIMEOUT;
         loop {
             if let Some(out) = state.take() {
                 drop(state);
-                self.slots.lock().expect("wait table").remove(&txn);
+                lock_ok(&self.slots).remove(&txn);
                 return Some(out);
             }
-            let now = std::time::Instant::now();
+            let now = Instant::now();
             if now >= deadline {
                 return None;
             }
             let (next, _) = slot
                 .cv
                 .wait_timeout(state, deadline - now)
-                .expect("wait slot condvar");
+                .unwrap_or_else(|e| e.into_inner());
             state = next;
         }
     }
 }
 
-/// An undone-able update (worker-local; never crosses threads).
-struct UndoEntry {
+/// An undone-able update. Travels with the transaction: worker-local
+/// while the body runs, handed to the group-commit daemon at submit so a
+/// commit that fails mid-batch can be rolled back daemon-side.
+pub(crate) struct UndoEntry {
     page: PageId,
     offset: u32,
     before: Vec<u8>,
     new_lsn: Lsn,
+}
+
+/// One not-yet-committed fragment, retained so failover can re-append it
+/// to a surviving stream if its original stream dies. Fragments at or
+/// below the dead stream's durable high-water ticket never move — their
+/// stream's disk outlives its thread and recovery reads them from it.
+struct PendingFrag {
+    stream: usize,
+    seq: u64,
+    page: PageId,
+    rec: LogRecord,
 }
 
 /// An in-flight transaction, owned by the worker driving it.
@@ -234,12 +289,19 @@ pub struct Txn {
     /// Per-stream high-water fragment tickets.
     tickets: HashMap<usize, u64>,
     undo: Vec<UndoEntry>,
+    /// Volatile fragments, kept for failover rerouting.
+    pending: Vec<PendingFrag>,
 }
 
 impl Txn {
     /// Transaction id (monotonic; doubles as age for victim selection).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Current home stream (may change if the original home dies).
+    pub fn home(&self) -> usize {
+        self.home
     }
 }
 
@@ -249,9 +311,10 @@ struct DataState {
     dw_cursor: u64,
 }
 
-/// Everything shared between workers, the appenders, and the daemon.
+/// Everything shared between workers, the appenders, the daemon, and
+/// the supervisor.
 pub(crate) struct Inner {
-    cfg: ExecConfig,
+    pub(crate) cfg: ExecConfig,
     sched: Mutex<Scheduler>,
     waits: WaitTable,
     /// Page cache, sharded; shard meta maps page → `(stream, ticket)` of
@@ -266,6 +329,8 @@ pub(crate) struct Inner {
     pub(crate) gate: Mutex<()>,
     next_txn: AtomicU64,
     next_lsn: AtomicU64,
+    /// Latched once the live fleet shrinks below `min_live_streams`.
+    degraded: AtomicBool,
     pub(crate) stats: Stats,
     /// Shared observability registry (see [`ExecConfig::obs`]).
     pub(crate) obs: Registry,
@@ -279,10 +344,305 @@ pub(crate) struct Inner {
 impl Inner {
     /// Release `txn`'s locks and wake every waiter the release granted.
     /// Called by workers (abort) and the daemon (commit durable).
+    /// Poison-tolerant: on the release path the lock table must keep
+    /// draining even if another worker panicked, or the whole pipeline
+    /// wedges behind the dead transaction's locks.
     pub(crate) fn release_locks(&self, txn: u64) {
-        let mut sched = self.sched.lock().expect("scheduler");
+        let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
         for (granted, _page) in sched.release_all(txn) {
             self.waits.signal(granted, Outcome::Granted);
+        }
+    }
+
+    /// Log streams not yet quarantined.
+    pub(crate) fn live_streams(&self) -> usize {
+        lock_ok(&self.selector).live_count()
+    }
+
+    /// Whether `stream` has been quarantined.
+    pub(crate) fn is_stream_dead(&self, stream: usize) -> bool {
+        lock_ok(&self.selector).is_dead(stream)
+    }
+
+    /// A surviving stream for rerouted work, if any.
+    fn pick_live(&self, salt: u64) -> Option<usize> {
+        let mut sel = lock_ok(&self.selector);
+        if sel.live_count() == 0 {
+            return None;
+        }
+        Some(sel.pick(0, salt))
+    }
+
+    /// Quarantine `stream`: take it out of routing, fail its producers
+    /// fast, and record the failover. Idempotent — concurrent detectors
+    /// (worker append errors, daemon force errors, supervisor probes)
+    /// may all report the same stream; only the first wins.
+    pub(crate) fn quarantine_stream(&self, stream: usize, error: &AppenderError) {
+        let live = {
+            let mut sel = lock_ok(&self.selector);
+            if sel.is_dead(stream) {
+                return;
+            }
+            sel.mark_dead(stream);
+            sel.live_count()
+        };
+        self.obs.emit(
+            EventKind::FailoverStarted,
+            0,
+            stream as u64,
+            0,
+            error.class_ordinal(),
+        );
+        self.appenders[stream].quarantine();
+        self.obs.counter("failover.quarantined").inc();
+        self.obs
+            .counter(&format!("failover.quarantined.{}", error.class()))
+            .inc();
+        self.obs.gauge("failover.live_streams").set(live as u64);
+        self.obs.emit(
+            EventKind::StreamQuarantined,
+            0,
+            stream as u64,
+            0,
+            live as u64,
+        );
+        if live < self.cfg.min_live_streams {
+            self.degraded.store(true, Ordering::Release);
+        }
+    }
+
+    /// Classify an error from an appender interaction; quarantine the
+    /// stream when the failure class warrants it.
+    pub(crate) fn note_appender_failure(&self, e: &ExecError) {
+        if let ExecError::Appender { stream, error } = e {
+            if error.is_fatal_to_stream() {
+                self.quarantine_stream(*stream, error);
+            }
+        }
+    }
+
+    /// Ensure `page` is resident in its shard, flushing any evicted dirty
+    /// victim under the WAL rule. Caller holds the shard lock via `shard`.
+    fn ensure_resident(
+        &self,
+        shard: &mut rmdb_storage::PoolShard<HashMap<PageId, (usize, u64)>>,
+        id: PageId,
+    ) -> Result<(), ExecError> {
+        if shard.pool.contains(id) {
+            return Ok(());
+        }
+        let page = {
+            let data = lock_ok(&self.data);
+            if data.disk.is_allocated(id.0) {
+                read_page_retry(&data.disk, id.0, IO_RETRIES).map_err(ExecError::from)?
+            } else {
+                Page::new(id)
+            }
+        };
+        if let Some(evicted) = shard
+            .pool
+            .insert(id, page, false)
+            .map_err(ExecError::from)?
+        {
+            if evicted.dirty {
+                if let Err(e) = self.flush_page(shard, &evicted.page) {
+                    // The victim's fragment is not durable (e.g. its
+                    // stream just died): un-evict it so the dirty bytes
+                    // are not lost, give back the frame we took, and let
+                    // the caller retry once failover has rerouted the
+                    // fragment. The pool regained a free slot, so the
+                    // re-insert cannot cascade.
+                    shard.pool.remove(id);
+                    let victim = evicted.page.id;
+                    shard
+                        .pool
+                        .insert(victim, evicted.page, true)
+                        .map_err(ExecError::from)?;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// WAL-rule flush: force the page's latest fragment if not yet
+    /// durable, then doublewrite + verified home write.
+    fn flush_page(
+        &self,
+        shard: &mut rmdb_storage::PoolShard<HashMap<PageId, (usize, u64)>>,
+        page: &Page,
+    ) -> Result<(), ExecError> {
+        if let Some(&(stream, seq)) = shard.meta.get(&page.id) {
+            let appender = &self.appenders[stream];
+            if !appender.is_forced(seq) {
+                if let Err(e) = appender.force_through(seq) {
+                    // A quarantined stream with an un-durable fragment:
+                    // the fragment's owner will reroute it (and re-pin
+                    // this page's meta) on its next append or at commit;
+                    // until then this page cannot be flushed.
+                    self.note_appender_failure(&e);
+                    return Err(e);
+                }
+                self.stats.wal_forces.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut data = lock_ok(&self.data);
+        let wal = &self.cfg.wal;
+        if wal.dw_slots > 0 {
+            let slot = wal.data_pages + data.dw_cursor % wal.dw_slots;
+            data.dw_cursor += 1;
+            write_page_verified(&mut data.disk, slot, page, IO_RETRIES).map_err(ExecError::from)?;
+        }
+        write_page_verified(&mut data.disk, page.id.0, page, IO_RETRIES)
+            .map_err(ExecError::from)?;
+        Ok(())
+    }
+
+    /// Move `txn` off any quarantined stream: re-pick its home and
+    /// re-append the volatile tail of its fragments (everything above
+    /// the dead stream's durable high-water ticket) to the new home,
+    /// re-pinning each page's WAL-rule entry. Fragments within the
+    /// durable prefix keep their ticket, clamped so commit-time forces
+    /// against the dead stream are satisfied without touching it —
+    /// recovery reads them from the quarantined disk and dedups the
+    /// rerouted copies by LSN. Idempotent; cheap no-op when nothing the
+    /// transaction touched is dead.
+    pub(crate) fn reroute_if_needed(&self, txn: &mut Txn) -> Result<(), ExecError> {
+        let (dead, new_home) = {
+            let mut sel = lock_ok(&self.selector);
+            let mut dead: Vec<usize> = txn
+                .tickets
+                .keys()
+                .copied()
+                .filter(|&s| sel.is_dead(s))
+                .collect();
+            if sel.is_dead(txn.home) && !dead.contains(&txn.home) {
+                dead.push(txn.home);
+            }
+            if dead.is_empty() {
+                return Ok(());
+            }
+            let home = if sel.is_dead(txn.home) {
+                sel.pick(txn.home, txn.id)
+            } else {
+                txn.home
+            };
+            (dead, home)
+        };
+        let t0 = Instant::now();
+        txn.home = new_home;
+        let rerouted = self.obs.counter("failover.rerouted_fragments");
+        for s in dead {
+            let forced = self.appenders[s].forced_high();
+            for frag in txn
+                .pending
+                .iter_mut()
+                .filter(|f| f.stream == s && f.seq > forced)
+            {
+                let new_seq = self.appenders[new_home].append(frag.rec.clone())?;
+                // Re-pin the page's WAL-rule entry — but only if it still
+                // names the fragment we just moved; a newer fragment (or
+                // a CLR) may have superseded it.
+                let mut shard = self.shards.lock(frag.page);
+                if shard.meta.get(&frag.page) == Some(&(s, frag.seq)) {
+                    shard.meta.insert(frag.page, (new_home, new_seq));
+                }
+                drop(shard);
+                let high = txn.tickets.entry(new_home).or_insert(0);
+                *high = (*high).max(new_seq);
+                self.obs.emit(
+                    EventKind::FragmentRerouted,
+                    txn.id,
+                    new_home as u64,
+                    frag.page.0,
+                    s as u64,
+                );
+                rerouted.inc();
+                frag.stream = new_home;
+                frag.seq = new_seq;
+            }
+            // The durable prefix is already forced: clamp the ticket so
+            // the commit-time force against the dead stream resolves via
+            // `is_forced` without waking its (possibly dead) thread.
+            if let Some(high) = txn.tickets.get_mut(&s) {
+                *high = (*high).min(forced);
+                if *high == 0 {
+                    txn.tickets.remove(&s);
+                }
+            }
+        }
+        self.obs.counter("failover.reroutes").inc();
+        self.obs
+            .histogram("failover.reroute_us")
+            .record(t0.elapsed().as_micros() as u64);
+        Ok(())
+    }
+
+    /// Roll back and release: compensations, lock release, abort count.
+    /// Used by the worker abort path and by the daemon when a batch
+    /// member's commit fails (the worker no longer owns the undo chain
+    /// by then — it travelled with the [`CommitReq`]).
+    pub(crate) fn undo_and_release(&self, txn_id: u64, home: usize, undo: Vec<UndoEntry>) {
+        self.undo_apply(txn_id, home, undo);
+        self.release_locks(txn_id);
+        self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Walk the undo chain backwards, logging a compensation per undone
+    /// update and restoring before-images in the pool. Best-effort with
+    /// respect to the log: CLRs route around dead streams, and when no
+    /// stream survives the bytes are still restored — but the page LSN
+    /// is left untouched, since advancing it to an LSN that exists on no
+    /// durable log could defeat redo idempotence after recovery.
+    fn undo_apply(&self, txn_id: u64, home: usize, mut undo: Vec<UndoEntry>) {
+        let mut clr_stream = if !self.is_stream_dead(home) {
+            Some(home)
+        } else {
+            self.pick_live(txn_id)
+        };
+        for entry in undo.drain(..).rev() {
+            let clr_lsn = Lsn(self.next_lsn.fetch_add(1, Ordering::Relaxed));
+            let rec = LogRecord::Compensation {
+                txn: txn_id,
+                page: entry.page,
+                undoes: entry.new_lsn,
+                new_lsn: clr_lsn,
+                offset: entry.offset,
+                data: entry.before.clone(),
+            };
+            let mut appended: Option<(usize, u64)> = None;
+            while let Some(s) = clr_stream {
+                match self.appenders[s].append(rec.clone()) {
+                    Ok(seq) => {
+                        appended = Some((s, seq));
+                        break;
+                    }
+                    Err(e) => {
+                        self.note_appender_failure(&e);
+                        let next = self.pick_live(txn_id);
+                        clr_stream = if next == Some(s) { None } else { next };
+                    }
+                }
+            }
+            let mut shard = self.shards.lock(entry.page);
+            if self.ensure_resident(&mut shard, entry.page).is_err() {
+                // Can't load the page (e.g. every stream dead, eviction
+                // blocked). The CLR (if any) still covers recovery; the
+                // volatile copy is unreachable anyway.
+                continue;
+            }
+            if let Some((s, seq)) = appended {
+                shard.meta.insert(entry.page, (s, seq));
+            }
+            if let Some(p) = shard.pool.get_mut(entry.page) {
+                p.write_at(entry.offset as usize, &entry.before);
+                if appended.is_some() {
+                    p.lsn = clr_lsn;
+                }
+            }
+        }
+        if let Some(s) = clr_stream {
+            let _ = self.appenders[s].append(LogRecord::Abort { txn: txn_id });
         }
     }
 }
@@ -293,15 +653,18 @@ pub struct ExecDb {
     inner: Arc<Inner>,
     commit_tx: Option<SyncSender<CommitReq>>,
     daemon: Option<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+    sup_stop: Arc<AtomicBool>,
 }
 
 impl ExecDb {
-    /// A fresh database with `cfg.wal.log_streams` appender threads and
-    /// the group-commit daemon running.
+    /// A fresh database with `cfg.wal.log_streams` appender threads, the
+    /// group-commit daemon, and the failover supervisor running.
     pub fn new(cfg: ExecConfig) -> Self {
         assert!(cfg.pool_shards > 0, "need at least one pool shard");
         let wal = &cfg.wal;
         let force_delay = Duration::from_micros(cfg.force_delay_us);
+        let append_wait = Duration::from_millis(cfg.append_wait_ms.max(1));
         let obs = cfg.obs.clone();
         let appenders = (0..wal.log_streams)
             .map(|idx| {
@@ -311,9 +674,12 @@ impl ExecDb {
                     force_delay,
                     &obs,
                     idx,
+                    append_wait,
                 )
             })
             .collect();
+        obs.gauge("failover.live_streams")
+            .set(wal.log_streams as u64);
         let inner = Arc::new(Inner {
             sched: Mutex::new(Scheduler::new()),
             waits: WaitTable::default(),
@@ -332,6 +698,7 @@ impl ExecDb {
             gate: Mutex::new(()),
             next_txn: AtomicU64::new(1),
             next_lsn: AtomicU64::new(1),
+            degraded: AtomicBool::new(false),
             stats: Stats::default(),
             commits_acked: obs.counter("txn.commits_acked"),
             commit_us: obs.histogram("txn.commit_us"),
@@ -346,10 +713,19 @@ impl ExecDb {
             .name("rmdb-group-commit".into())
             .spawn(move || run_daemon(daemon_inner, commit_rx, max_group, dwell))
             .expect("spawn group-commit daemon");
+        let sup_stop = Arc::new(AtomicBool::new(false));
+        let sup_inner = Arc::clone(&inner);
+        let stop = Arc::clone(&sup_stop);
+        let supervisor = std::thread::Builder::new()
+            .name("rmdb-failover-supervisor".into())
+            .spawn(move || crate::supervisor::run_supervisor(sup_inner, stop))
+            .expect("spawn failover supervisor");
         ExecDb {
             inner,
             commit_tx: Some(commit_tx),
             daemon: Some(daemon),
+            supervisor: Some(supervisor),
+            sup_stop,
         }
     }
 
@@ -358,21 +734,52 @@ impl ExecDb {
         &self.inner.cfg
     }
 
+    /// Log streams not yet quarantined.
+    pub fn live_streams(&self) -> usize {
+        self.inner.live_streams()
+    }
+
+    /// Whether the fleet has shrunk below [`ExecConfig::min_live_streams`].
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::Acquire)
+    }
+
+    /// Whether `stream` has been quarantined by failover.
+    pub fn is_stream_dead(&self, stream: usize) -> bool {
+        self.inner.is_stream_dead(stream)
+    }
+
+    /// Direct appender access for in-crate tests (fault steering).
+    #[cfg(test)]
+    pub(crate) fn appender(&self, stream: usize) -> &LogAppender {
+        &self.inner.appenders[stream]
+    }
+
+    /// Attach a fault plan to `stream`'s log device, injected from inside
+    /// its appender thread so it composes with in-flight appends exactly
+    /// like a real device failing under load. `FaultPlan::fail_from_write`
+    /// is the mid-run kill switch the failover tests and the
+    /// `--kill-stream` bench flag use.
+    pub fn inject_stream_fault(&self, stream: usize, plan: FaultPlan) -> Result<(), ExecError> {
+        self.inner.appenders[stream].inject_faults(FaultInjector::handle(plan))
+    }
+
     /// Begin a transaction on behalf of query processor `qp`.
     pub fn begin(&self, qp: usize) -> Txn {
         let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
-        let home = self.inner.selector.lock().expect("selector").pick(qp, id);
+        let home = lock_ok(&self.inner.selector).pick(qp, id);
         Txn {
             id,
             home,
             tickets: HashMap::new(),
             undo: Vec::new(),
+            pending: Vec::new(),
         }
     }
 
-    fn check_bounds(&self, page: u64, offset: usize, len: usize) -> Result<(), WalError> {
+    fn check_bounds(&self, page: u64, offset: usize, len: usize) -> Result<(), ExecError> {
         if page >= self.inner.cfg.wal.data_pages || offset + len > PAYLOAD_SIZE {
-            Err(WalError::OutOfBounds { page, offset, len })
+            Err(ExecError::Wal(WalError::OutOfBounds { page, offset, len }))
         } else {
             Ok(())
         }
@@ -380,10 +787,15 @@ impl ExecDb {
 
     /// Acquire `mode` on `page` for `txn`, parking on the wait table if
     /// the scheduler queues us. Deadlock victims (us or others) surface
-    /// as [`WalError::LockConflict`], the retryable error.
-    fn lock_page(&self, txn: u64, page: PageId, mode: LockMode) -> Result<(), WalError> {
+    /// as a lock-conflict error, the retryable kind. The scheduler mutex
+    /// guards the multi-step waits-for graph, so poisoning there is NOT
+    /// repaired — it surfaces as [`ExecError::Poisoned`].
+    fn lock_page(&self, txn: u64, page: PageId, mode: LockMode) -> Result<(), ExecError> {
+        const POISONED: ExecError = ExecError::Poisoned {
+            what: "scheduler lock table",
+        };
         let decision = {
-            let mut sched = self.inner.sched.lock().expect("scheduler");
+            let mut sched = self.inner.sched.lock().map_err(|_| POISONED)?;
             let decision = sched.request(txn, page, mode);
             // signal victims while still holding the scheduler mutex so
             // victim/grant deliveries are serialised
@@ -401,6 +813,7 @@ impl ExecDb {
             }
             decision
         };
+        let conflict = |holder: u64| ExecError::Wal(WalError::LockConflict { page, holder });
         match decision {
             Decision::Granted => Ok(()),
             Decision::Deadlock { cycle, .. } => {
@@ -408,81 +821,27 @@ impl ExecDb {
                     .stats
                     .deadlock_victims
                     .fetch_add(1, Ordering::Relaxed);
-                Err(WalError::LockConflict {
-                    page,
-                    holder: cycle.get(1).copied().unwrap_or(0),
-                })
+                Err(conflict(cycle.get(1).copied().unwrap_or(0)))
             }
             Decision::Waiting { .. } => match self.inner.waits.wait(txn) {
                 Some(Outcome::Granted) => Ok(()),
-                Some(Outcome::Victim) => Err(WalError::LockConflict { page, holder: 0 }),
+                Some(Outcome::Victim) => Err(conflict(0)),
                 None => {
                     // timed out: resolve the race under the scheduler
                     // mutex — either a signal landed after the timeout,
                     // or we withdraw the wait
-                    let mut sched = self.inner.sched.lock().expect("scheduler");
+                    let mut sched = self.inner.sched.lock().map_err(|_| POISONED)?;
                     match self.inner.waits.take(txn) {
                         Some(Outcome::Granted) => Ok(()),
-                        Some(Outcome::Victim) => Err(WalError::LockConflict { page, holder: 0 }),
+                        Some(Outcome::Victim) => Err(conflict(0)),
                         None => {
                             sched.cancel_wait(txn);
-                            Err(WalError::LockConflict { page, holder: 0 })
+                            Err(conflict(0))
                         }
                     }
                 }
             },
         }
-    }
-
-    /// Ensure `page` is resident in its shard, flushing any evicted dirty
-    /// victim under the WAL rule. Caller holds the shard lock via `shard`.
-    fn ensure_resident(
-        &self,
-        shard: &mut rmdb_storage::PoolShard<HashMap<PageId, (usize, u64)>>,
-        id: PageId,
-    ) -> Result<(), WalError> {
-        if shard.pool.contains(id) {
-            return Ok(());
-        }
-        let page = {
-            let data = self.inner.data.lock().expect("data disk");
-            if data.disk.is_allocated(id.0) {
-                read_page_retry(&data.disk, id.0, IO_RETRIES)?
-            } else {
-                Page::new(id)
-            }
-        };
-        if let Some(evicted) = shard.pool.insert(id, page, false)? {
-            if evicted.dirty {
-                self.flush_page(shard, &evicted.page)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// WAL-rule flush: force the page's latest fragment if not yet
-    /// durable, then doublewrite + verified home write.
-    fn flush_page(
-        &self,
-        shard: &mut rmdb_storage::PoolShard<HashMap<PageId, (usize, u64)>>,
-        page: &Page,
-    ) -> Result<(), WalError> {
-        if let Some(&(stream, seq)) = shard.meta.get(&page.id) {
-            let appender = &self.inner.appenders[stream];
-            if !appender.is_forced(seq) {
-                appender.force_through(seq)?;
-                self.inner.stats.wal_forces.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        let mut data = self.inner.data.lock().expect("data disk");
-        let wal = &self.inner.cfg.wal;
-        if wal.dw_slots > 0 {
-            let slot = wal.data_pages + data.dw_cursor % wal.dw_slots;
-            data.dw_cursor += 1;
-            write_page_verified(&mut data.disk, slot, page, IO_RETRIES)?;
-        }
-        write_page_verified(&mut data.disk, page.id.0, page, IO_RETRIES)?;
-        Ok(())
     }
 
     /// Read `len` bytes at `offset` of `page` under a shared lock.
@@ -492,12 +851,12 @@ impl ExecDb {
         page: u64,
         offset: usize,
         len: usize,
-    ) -> Result<Vec<u8>, WalError> {
+    ) -> Result<Vec<u8>, ExecError> {
         self.check_bounds(page, offset, len)?;
         let id = PageId(page);
         self.lock_page(txn.id, id, LockMode::Shared)?;
         let mut shard = self.inner.shards.lock(id);
-        self.ensure_resident(&mut shard, id)?;
+        self.inner.ensure_resident(&mut shard, id)?;
         let p = shard.pool.get(id).expect("resident page");
         Ok(p.read_at(offset, len).to_vec())
     }
@@ -506,14 +865,17 @@ impl ExecDb {
     /// transaction's routed stream, then apply in the buffer pool. The
     /// fragment ticket and the page content move together under one shard
     /// lock, so a concurrent evicting flusher can never see new bytes
-    /// with a stale ticket.
+    /// with a stale ticket. If the routed stream fails mid-append the
+    /// failure is classified, the stream quarantined, and the fragment —
+    /// plus the transaction's earlier volatile fragments — rerouted to a
+    /// survivor before retrying.
     pub fn write(
         &self,
         txn: &mut Txn,
         page: u64,
         offset: usize,
         data: &[u8],
-    ) -> Result<(), WalError> {
+    ) -> Result<(), ExecError> {
         self.check_bounds(page, offset, data.len())?;
         let id = PageId(page);
         self.lock_page(txn.id, id, LockMode::Exclusive)?;
@@ -521,7 +883,7 @@ impl ExecDb {
         // pre-image under the shard lock (X lock pins the content)
         let (rec, undo_entry, new_lsn) = {
             let mut shard = self.inner.shards.lock(id);
-            self.ensure_resident(&mut shard, id)?;
+            self.inner.ensure_resident(&mut shard, id)?;
             let p = shard.pool.get(id).expect("resident page");
             let prev_lsn = p.lsn;
             let new_lsn = Lsn(self.inner.next_lsn.fetch_add(1, Ordering::Relaxed));
@@ -573,16 +935,40 @@ impl ExecDb {
             }
         };
 
-        // ship the fragment to this txn's home log processor
-        let stream = txn.home;
-        let seq = self.inner.appenders[stream].append(rec)?;
+        // ship the fragment to this txn's home log processor, routing
+        // around streams that die mid-transaction
+        let mut attempts = 0usize;
+        let (stream, seq) = loop {
+            let stream = txn.home;
+            match self.inner.appenders[stream].append(rec.clone()) {
+                Ok(seq) => break (stream, seq),
+                Err(e) => {
+                    self.inner.note_appender_failure(&e);
+                    attempts += 1;
+                    if attempts >= self.inner.cfg.wal.log_streams {
+                        return Err(e);
+                    }
+                    self.inner.reroute_if_needed(txn)?;
+                    if txn.home == stream {
+                        // no live alternative was found
+                        return Err(e);
+                    }
+                }
+            }
+        };
         let high = txn.tickets.entry(stream).or_insert(0);
         *high = (*high).max(seq);
         txn.undo.push(undo_entry);
+        txn.pending.push(PendingFrag {
+            stream,
+            seq,
+            page: id,
+            rec,
+        });
 
         // apply + publish the ticket atomically w.r.t. the flusher
         let mut shard = self.inner.shards.lock(id);
-        self.ensure_resident(&mut shard, id)?;
+        self.inner.ensure_resident(&mut shard, id)?;
         shard.meta.insert(id, (stream, seq));
         let p = shard.pool.get_mut(id).expect("resident page");
         p.write_at(offset, data);
@@ -591,8 +977,14 @@ impl ExecDb {
     }
 
     /// Commit: submit to the group-commit daemon and return a handle the
-    /// caller waits on. Read-only transactions resolve immediately.
-    pub fn commit(&self, txn: Txn) -> Result<CommitHandle, WalError> {
+    /// caller waits on. Read-only transactions resolve immediately. If
+    /// the transaction's fragments sit on a stream that has since been
+    /// quarantined, they are rerouted here, before submission — the
+    /// daemon only ever forces live streams (or durable prefixes). On
+    /// any failure the transaction is rolled back and its locks released
+    /// before the error returns: the caller never owns cleanup.
+    pub fn commit(&self, mut txn: Txn) -> Result<CommitHandle, ExecError> {
+        let timeout = Duration::from_millis(self.inner.cfg.commit_timeout_ms.max(1));
         let (reply, rx) = sync_channel(1);
         if txn.tickets.is_empty() {
             // read-only fast path: nothing to force — and no ack counter,
@@ -601,68 +993,74 @@ impl ExecDb {
             self.inner.release_locks(txn.id);
             self.inner.stats.committed.fetch_add(1, Ordering::Relaxed);
             let _ = reply.send(Ok(()));
-            return Ok(CommitHandle::new(rx, None));
+            return Ok(CommitHandle::new(rx, None, timeout));
+        }
+        if let Err(e) = self.inner.reroute_if_needed(&mut txn) {
+            self.inner.note_appender_failure(&e);
+            self.inner.undo_and_release(txn.id, txn.home, txn.undo);
+            return Err(e);
         }
         let req = CommitReq {
             txn: txn.id,
             home: txn.home,
             tickets: txn.tickets.into_iter().collect(),
+            undo: txn.undo,
             reply,
         };
         let tx = self.commit_tx.as_ref().expect("pipeline running");
-        tx.send(req)
-            .map_err(|_| WalError::Storage(StorageError::Protocol("group-commit daemon gone")))?;
+        if let Err(send_err) = tx.send(req) {
+            let req = send_err.0;
+            self.inner.undo_and_release(req.txn, req.home, req.undo);
+            return Err(ExecError::Wal(WalError::Storage(StorageError::Protocol(
+                "group-commit daemon gone",
+            ))));
+        }
         Ok(CommitHandle::new(
             rx,
             Some(self.inner.commits_acked.clone()),
+            timeout,
         ))
     }
 
     /// Abort: walk the undo chain backwards, logging a compensation per
     /// undone update, append the `Abort` record (no force needed), then
-    /// release locks.
-    pub fn abort(&self, mut txn: Txn) -> Result<(), WalError> {
-        let result = self.undo_all(&mut txn);
-        self.inner.release_locks(txn.id);
-        self.inner.stats.aborted.fetch_add(1, Ordering::Relaxed);
-        result
-    }
-
-    fn undo_all(&self, txn: &mut Txn) -> Result<(), WalError> {
-        let stream = txn.home;
-        for entry in txn.undo.drain(..).rev() {
-            let clr_lsn = Lsn(self.inner.next_lsn.fetch_add(1, Ordering::Relaxed));
-            let rec = LogRecord::Compensation {
-                txn: txn.id,
-                page: entry.page,
-                undoes: entry.new_lsn,
-                new_lsn: clr_lsn,
-                offset: entry.offset,
-                data: entry.before.clone(),
-            };
-            let seq = self.inner.appenders[stream].append(rec)?;
-            let mut shard = self.inner.shards.lock(entry.page);
-            self.ensure_resident(&mut shard, entry.page)?;
-            shard.meta.insert(entry.page, (stream, seq));
-            let p = shard.pool.get_mut(entry.page).expect("resident page");
-            p.write_at(entry.offset as usize, &entry.before);
-            p.lsn = clr_lsn;
-        }
-        self.inner.appenders[stream].append(LogRecord::Abort { txn: txn.id })?;
+    /// release locks. Compensations route around quarantined streams.
+    pub fn abort(&self, txn: Txn) -> Result<(), ExecError> {
+        self.inner.undo_and_release(txn.id, txn.home, txn.undo);
         Ok(())
     }
 
-    /// Run `body` as a transaction with conflict retry: on lock conflict
-    /// the transaction aborts, backs off (seeded exponential + jitter),
-    /// and retries up to an internal budget before reporting starvation.
-    pub fn run_txn<F>(&self, qp: usize, body: F) -> Result<(), WalError>
+    /// Run `body` as a transaction with bounded retry: lock conflicts
+    /// abort and back off (seeded exponential + jitter); appender
+    /// failures quarantine the stream and retry on the survivors; a
+    /// fleet below [`ExecConfig::min_live_streams`] sheds the request
+    /// with [`ExecError::Degraded`]; an exhausted budget reports
+    /// [`ExecError::Starved`].
+    pub fn run_txn<F>(&self, qp: usize, body: F) -> Result<(), ExecError>
     where
-        F: Fn(&mut ExecCtx<'_>) -> Result<(), WalError>,
+        F: Fn(&mut ExecCtx<'_>) -> Result<(), ExecError>,
     {
         let seed = self.inner.cfg.wal.seed ^ (qp as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut backoff = Backoff::with_bounds(seed, 10, 1_000);
-        let t_start = std::time::Instant::now();
+        let t_start = Instant::now();
+        fn pause(backoff: &mut Backoff) -> Duration {
+            let delay = backoff.next_delay();
+            if delay.is_zero() {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(delay);
+            }
+            delay
+        }
         for _ in 0..MAX_RETRIES {
+            // degraded gate, checked per attempt: shed load instead of
+            // queueing against a fleet that cannot commit safely
+            let live = self.inner.live_streams();
+            let min = self.inner.cfg.min_live_streams;
+            if live < min {
+                self.inner.obs.counter("failover.degraded_rejects").inc();
+                return Err(ExecError::Degraded { live, min });
+            }
             self.inner.stats.attempts.fetch_add(1, Ordering::Relaxed);
             let mut txn = self.begin(qp);
             let txn_id = txn.id;
@@ -671,47 +1069,64 @@ impl ExecDb {
                 txn: &mut txn,
             };
             match body(&mut ctx) {
-                Ok(()) => match self.commit(txn)?.wait() {
-                    Ok(()) => {
-                        let us = t_start.elapsed().as_micros() as u64;
-                        self.inner.commit_us.record(us);
-                        self.inner
-                            .obs
-                            .emit(EventKind::TxnCommit, txn_id, qp as u64, 0, us);
-                        return Ok(());
-                    }
-                    Err(e) => return Err(e),
-                },
-                Err(WalError::LockConflict { page, .. }) => {
-                    self.abort(txn)?;
-                    self.inner
-                        .stats
-                        .conflict_retries
-                        .fetch_add(1, Ordering::Relaxed);
-                    let delay = backoff.next_delay();
-                    self.inner.obs.emit(
-                        EventKind::TxnConflictRetry,
-                        txn_id,
-                        qp as u64,
-                        page.0,
-                        delay.as_micros() as u64,
-                    );
-                    if delay.is_zero() {
-                        std::thread::yield_now();
-                    } else {
-                        std::thread::sleep(delay);
+                Ok(()) => {
+                    let commit = self.commit(txn).and_then(CommitHandle::wait);
+                    match commit {
+                        Ok(()) => {
+                            let us = t_start.elapsed().as_micros() as u64;
+                            self.inner.commit_us.record(us);
+                            self.inner
+                                .obs
+                                .emit(EventKind::TxnCommit, txn_id, qp as u64, 0, us);
+                            return Ok(());
+                        }
+                        // the commit path already rolled back and
+                        // released locks — no abort here, just retry
+                        // (the failed stream is quarantined by now, so
+                        // the retry routes around it)
+                        Err(e) if e.is_retryable() => {
+                            pause(&mut backoff);
+                        }
+                        Err(e) => return Err(e),
                     }
                 }
                 Err(e) => {
-                    self.abort(txn)?;
-                    self.inner.obs.emit(
-                        EventKind::TxnAbort,
-                        txn_id,
-                        qp as u64,
-                        0,
-                        backoff.attempts() as u64,
-                    );
-                    return Err(e);
+                    if let Some(_holder) = e.lock_conflict() {
+                        let page = match &e {
+                            ExecError::Wal(WalError::LockConflict { page, .. }) => page.0,
+                            _ => 0,
+                        };
+                        self.abort(txn)?;
+                        self.inner
+                            .stats
+                            .conflict_retries
+                            .fetch_add(1, Ordering::Relaxed);
+                        let delay = pause(&mut backoff);
+                        self.inner.obs.emit(
+                            EventKind::TxnConflictRetry,
+                            txn_id,
+                            qp as u64,
+                            page,
+                            delay.as_micros() as u64,
+                        );
+                    } else if e.is_retryable() {
+                        // appender failure inside the body: the stream is
+                        // quarantined (note_appender_failure ran at the
+                        // failure site); roll back and retry on survivors
+                        self.abort(txn)?;
+                        self.inner.obs.counter("failover.txn_retries").inc();
+                        pause(&mut backoff);
+                    } else {
+                        self.abort(txn)?;
+                        self.inner.obs.emit(
+                            EventKind::TxnAbort,
+                            txn_id,
+                            qp as u64,
+                            0,
+                            backoff.attempts() as u64,
+                        );
+                        return Err(e);
+                    }
                 }
             }
         }
@@ -723,9 +1138,9 @@ impl ExecDb {
             0,
             backoff.attempts() as u64,
         );
-        Err(WalError::Storage(StorageError::Protocol(
-            "transaction starved: retry budget exhausted",
-        )))
+        Err(ExecError::Starved {
+            attempts: backoff.attempts() as u64,
+        })
     }
 
     /// A crash-consistent image for [`rmdb_wal::WalDb::recover`].
@@ -736,10 +1151,12 @@ impl ExecDb {
     /// snapshot had its fragment forced strictly before the log
     /// snapshots (WAL rule holds in the image); the gate means any
     /// durable commit record's fragment forces finished strictly before
-    /// the window (commit atomicity holds in the image).
-    pub fn crash_image(&self) -> Result<CrashImage, WalError> {
-        let _gate = self.inner.gate.lock().expect("commit gate");
-        let data = self.inner.data.lock().expect("data disk").disk.snapshot();
+    /// the window (commit atomicity holds in the image). Quarantined
+    /// streams are included — their durable prefix is exactly what
+    /// recovery merges with the survivors' logs.
+    pub fn crash_image(&self) -> Result<CrashImage, ExecError> {
+        let _gate = lock_ok(&self.inner.gate);
+        let data = lock_ok(&self.inner.data).disk.snapshot();
         let logs = self
             .inner
             .appenders
@@ -768,7 +1185,11 @@ impl ExecDb {
 
     /// Scheduler wait-queue counters.
     pub fn wait_stats(&self) -> WaitStats {
-        self.inner.sched.lock().expect("scheduler").wait_stats()
+        self.inner
+            .sched
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .wait_stats()
     }
 
     /// Buffer-pool hit/miss counters summed over shards.
@@ -779,20 +1200,30 @@ impl ExecDb {
     /// The observability registry the pipeline publishes into (same
     /// registry as [`ExecConfig::obs`]). Counters/histograms of note:
     /// `txn.commits_acked`, `txn.commit_us`, `group.completions`,
-    /// `group.batch_size`, `group.dwell_us`, and per-stream
+    /// `group.batch_size`, `group.dwell_us`, per-stream
     /// `wal.fragments_enqueued.s{i}` / `wal.fragments_appended.s{i}` /
-    /// `wal.forces.s{i}` / `wal.force_us.s{i}`.
+    /// `wal.forces.s{i}` / `wal.force_us.s{i}`, the per-stream
+    /// `appender.health.s{i}` gauges, and the failover family:
+    /// `failover.quarantined`, `failover.reroutes`,
+    /// `failover.rerouted_fragments`, `failover.degraded_rejects`,
+    /// `failover.live_streams` (gauge), `failover.detect_us` and
+    /// `failover.reroute_us` (histograms).
     pub fn obs(&self) -> &Registry {
         &self.inner.obs
     }
 
-    /// Quiesce the appender queues: force every stream through its last
-    /// issued ticket. A force completes only after all earlier appends
-    /// are processed, so after this returns `wal.fragments_appended.s{i}`
-    /// has caught up with `wal.fragments_enqueued.s{i}` — the state the
-    /// conservation-law assertions need.
-    pub fn drain_appenders(&self) -> Result<(), WalError> {
+    /// Quiesce the appender queues: force every live stream through its
+    /// last issued ticket. A force completes only after all earlier
+    /// appends are processed, so after this returns
+    /// `wal.fragments_appended.s{i}` has caught up with
+    /// `wal.fragments_enqueued.s{i}` on every live stream — the state
+    /// the conservation-law assertions need. Quarantined streams are
+    /// skipped: their queues can never drain.
+    pub fn drain_appenders(&self) -> Result<(), ExecError> {
         for appender in &self.inner.appenders {
+            if appender.is_quarantined() {
+                continue;
+            }
             appender.force_through(appender.tickets_issued())?;
         }
         Ok(())
@@ -825,15 +1256,20 @@ impl ExecDb {
         obs.snapshot()
     }
 
-    /// Stop the daemon and the appender threads, surfacing any error the
-    /// pipeline hit. The database is consumed (its disks die with it —
-    /// take a [`ExecDb::crash_image`] first to keep the durable state).
-    pub fn shutdown(mut self) -> Result<(), WalError> {
+    /// Stop the supervisor, the daemon, and the appender threads,
+    /// surfacing any error the pipeline hit. The database is consumed
+    /// (its disks die with it — take a [`ExecDb::crash_image`] first to
+    /// keep the durable state).
+    pub fn shutdown(mut self) -> Result<(), ExecError> {
         self.stop_threads();
         Ok(())
     }
 
     fn stop_threads(&mut self) {
+        self.sup_stop.store(true, Ordering::Release);
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
         self.commit_tx = None; // daemon exits on channel close
         if let Some(daemon) = self.daemon.take() {
             let _ = daemon.join();
@@ -861,12 +1297,12 @@ impl ExecCtx<'_> {
     }
 
     /// Read under a shared lock.
-    pub fn read(&mut self, page: u64, offset: usize, len: usize) -> Result<Vec<u8>, WalError> {
+    pub fn read(&mut self, page: u64, offset: usize, len: usize) -> Result<Vec<u8>, ExecError> {
         self.db.read(self.txn, page, offset, len)
     }
 
     /// Write under an exclusive lock.
-    pub fn write(&mut self, page: u64, offset: usize, data: &[u8]) -> Result<(), WalError> {
+    pub fn write(&mut self, page: u64, offset: usize, data: &[u8]) -> Result<(), ExecError> {
         self.db.write(self.txn, page, offset, data)
     }
 }
@@ -1001,5 +1437,96 @@ mod tests {
         })
         .unwrap();
         assert_eq!(db.stats().committed, 40);
+    }
+
+    #[test]
+    fn killed_stream_reroutes_and_acked_commits_recover() {
+        let cfg = small_cfg(); // 3 streams
+        let db = ExecDb::new(cfg.clone());
+        // phase 1: healthy commits spread across all streams
+        for i in 0..12u64 {
+            db.run_txn(i as usize, |ctx| ctx.write(i, 0, &(0xA0 | i).to_le_bytes()))
+                .unwrap();
+        }
+        // kill stream 0's device: every write from now on fails
+        db.inject_stream_fault(0, FaultPlan::new().fail_from_write(0))
+            .unwrap();
+        // phase 2: every transaction must still land — those routed to
+        // the dead stream fail, quarantine it, and retry on survivors
+        for i in 0..24u64 {
+            db.run_txn(i as usize, |ctx| {
+                ctx.write(24 + i, 0, &(0xB0 | i).to_le_bytes())
+            })
+            .unwrap();
+        }
+        assert_eq!(db.stats().committed, 36);
+        assert!(db.live_streams() >= 2, "at most one stream may die");
+        // recovery merges the quarantined stream's durable prefix with
+        // the survivors: every acked value is present
+        let image = db.crash_image().unwrap();
+        let (mut recovered, _) = WalDb::recover(image, cfg.wal).unwrap();
+        let t = recovered.begin();
+        for i in 0..12u64 {
+            assert_eq!(
+                recovered.read(t, i, 0, 8).unwrap(),
+                (0xA0 | i).to_le_bytes(),
+                "pre-kill commit on page {i} lost"
+            );
+        }
+        for i in 0..24u64 {
+            assert_eq!(
+                recovered.read(t, 24 + i, 0, 8).unwrap(),
+                (0xB0 | i).to_le_bytes(),
+                "post-kill commit on page {} lost",
+                24 + i
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_mode_sheds_load_below_minimum_fleet() {
+        let mut cfg = small_cfg();
+        cfg.min_live_streams = 3; // all three streams required
+        let db = ExecDb::new(cfg);
+        db.run_txn(0, |ctx| ctx.write(1, 0, b"ok")).unwrap();
+        assert!(!db.is_degraded());
+        db.inner
+            .quarantine_stream(1, &AppenderError::ThreadDeath("induced".into()));
+        match db.run_txn(0, |ctx| ctx.write(2, 0, b"no")) {
+            Err(ExecError::Degraded { live: 2, min: 3 }) => {}
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        assert!(db.is_degraded());
+        assert!(db.obs().snapshot().counter("failover.degraded_rejects") >= Some(1));
+    }
+
+    #[test]
+    fn commit_wait_times_out_with_typed_error_against_stuck_appender() {
+        // satellite: the commit-gate timeout path. One stream whose
+        // device stalls 2 s per I/O; commit deadline 50 ms.
+        let mut cfg = small_cfg();
+        cfg.wal.log_streams = 1;
+        cfg.commit_timeout_ms = 50;
+        cfg.append_wait_ms = 400;
+        let db = ExecDb::new(cfg);
+        let mut t = db.begin(0);
+        db.write(&mut t, 1, 0, b"stuck").unwrap();
+        // stall the next log write for 2 s, then fail the device outright
+        db.inject_stream_fault(0, FaultPlan::new().stick_write(0, 2_000).fail_from_write(1))
+            .unwrap();
+        let t0 = Instant::now();
+        let err = db.commit(t).unwrap().wait().unwrap_err();
+        let waited = t0.elapsed();
+        match err {
+            ExecError::Timeout { what, waited_ms } => {
+                assert_eq!(what, "group commit");
+                assert!(waited_ms >= 50);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(
+            waited < Duration::from_millis(1_500),
+            "wait returned in {waited:?}, after the stall rather than the deadline"
+        );
     }
 }

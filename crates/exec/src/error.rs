@@ -1,0 +1,170 @@
+//! Typed errors for the concurrent pipeline.
+//!
+//! The failover machinery needs to *classify* failures, not just report
+//! them: a transient storage hiccup is retried in place, a persistent
+//! device fault quarantines the stream and reroutes its fragments, and a
+//! dead appender thread is diagnosed with its panic payload intact.
+//! [`AppenderError`] is that classification; [`ExecError`] wraps it with
+//! the rest of the pipeline's failure surface (lock conflicts, degraded
+//! mode, poisoned locks) and carries a single `is_retryable` verdict that
+//! [`crate::ExecDb::run_txn`] uses for its bounded retry loop.
+
+use rmdb_storage::StorageError;
+use rmdb_wal::WalError;
+
+/// Why a log-appender interaction failed, classified for failover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppenderError {
+    /// A storage fault that cleared (or may clear) on retry. The stream
+    /// stays in the fleet; the caller should back off and try again.
+    Transient(StorageError),
+    /// The stream's device failed after bounded in-stream retries
+    /// ([`rmdb_wal::stream::IO_RETRIES`]); the stream must be
+    /// quarantined and its volatile fragments rerouted.
+    Persistent(StorageError),
+    /// The appender thread is gone — panicked (payload preserved) or its
+    /// channel closed underneath a producer.
+    ThreadDeath(String),
+    /// The appender is alive but unresponsive: a wait exceeded its
+    /// deadline without the thread reporting an error.
+    Stalled { what: &'static str, waited_ms: u64 },
+    /// The stream was already quarantined by failover; the fragment must
+    /// be rerouted to a survivor.
+    Quarantined,
+}
+
+impl AppenderError {
+    /// Short class label for metrics and event payloads.
+    pub fn class(&self) -> &'static str {
+        match self {
+            AppenderError::Transient(_) => "transient",
+            AppenderError::Persistent(_) => "persistent",
+            AppenderError::ThreadDeath(_) => "thread_death",
+            AppenderError::Stalled { .. } => "stalled",
+            AppenderError::Quarantined => "quarantined",
+        }
+    }
+
+    /// Ordinal for event payloads (stable, matches `class` order).
+    pub fn class_ordinal(&self) -> u64 {
+        match self {
+            AppenderError::Transient(_) => 0,
+            AppenderError::Persistent(_) => 1,
+            AppenderError::ThreadDeath(_) => 2,
+            AppenderError::Stalled { .. } => 3,
+            AppenderError::Quarantined => 4,
+        }
+    }
+
+    /// Whether the failure warrants quarantining the stream (as opposed
+    /// to retrying against it).
+    pub fn is_fatal_to_stream(&self) -> bool {
+        matches!(
+            self,
+            AppenderError::Persistent(_)
+                | AppenderError::ThreadDeath(_)
+                | AppenderError::Stalled { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for AppenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppenderError::Transient(e) => write!(f, "transient storage fault: {e}"),
+            AppenderError::Persistent(e) => write!(f, "persistent storage fault: {e}"),
+            AppenderError::ThreadDeath(msg) => write!(f, "appender thread died: {msg}"),
+            AppenderError::Stalled { what, waited_ms } => {
+                write!(f, "appender stalled: {what} timed out after {waited_ms} ms")
+            }
+            AppenderError::Quarantined => write!(f, "stream is quarantined"),
+        }
+    }
+}
+
+/// Pipeline-level error: everything [`crate::ExecDb`] can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// An underlying WAL error (lock conflicts, storage faults outside
+    /// the appender fleet, protocol violations).
+    Wal(WalError),
+    /// A log-appender failure, tagged with the stream it happened on so
+    /// failover can quarantine the right one.
+    Appender { stream: usize, error: AppenderError },
+    /// A bounded wait gave up (e.g. [`crate::CommitHandle::wait`]).
+    Timeout { what: &'static str, waited_ms: u64 },
+    /// The retry budget ran out without a commit.
+    Starved { attempts: u64 },
+    /// Degraded mode: fewer than the configured minimum of log streams
+    /// survive, so the pipeline sheds load instead of wedging.
+    Degraded { live: usize, min: usize },
+    /// A lock guarding non-repairable state was poisoned by a panicking
+    /// thread; the protected invariants cannot be trusted.
+    Poisoned { what: &'static str },
+}
+
+impl ExecError {
+    /// Whether [`crate::ExecDb::run_txn`] should abort, back off, and try
+    /// again: lock conflicts and appender failures are retryable (a
+    /// failed stream is quarantined and the retry routes around it);
+    /// degraded mode, starvation, and poisoning are terminal.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ExecError::Wal(WalError::LockConflict { .. }) => true,
+            ExecError::Appender { .. } => true,
+            ExecError::Timeout { .. } => true,
+            ExecError::Wal(_)
+            | ExecError::Starved { .. }
+            | ExecError::Degraded { .. }
+            | ExecError::Poisoned { .. } => false,
+        }
+    }
+
+    /// The lock-conflict holder, when that is what this error is.
+    pub fn lock_conflict(&self) -> Option<rmdb_wal::TxnId> {
+        match self {
+            ExecError::Wal(WalError::LockConflict { holder, .. }) => Some(*holder),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Wal(e) => write!(f, "{e}"),
+            ExecError::Appender { stream, error } => {
+                write!(f, "log stream {stream}: {error}")
+            }
+            ExecError::Timeout { what, waited_ms } => {
+                write!(f, "{what} timed out after {waited_ms} ms")
+            }
+            ExecError::Starved { attempts } => {
+                write!(f, "transaction starved after {attempts} attempts")
+            }
+            ExecError::Degraded { live, min } => {
+                write!(
+                    f,
+                    "degraded mode: {live} live log streams < minimum {min}; shedding load"
+                )
+            }
+            ExecError::Poisoned { what } => {
+                write!(f, "poisoned lock: {what}")
+            }
+        }
+    }
+}
+
+impl From<WalError> for ExecError {
+    fn from(e: WalError) -> Self {
+        ExecError::Wal(e)
+    }
+}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Wal(WalError::Storage(e))
+    }
+}
+
+impl std::error::Error for ExecError {}

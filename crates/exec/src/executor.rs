@@ -5,6 +5,7 @@
 //! the pipeline's admission control. Workers are plain threads running a
 //! recv loop; the pool drains and joins on [`Executor::join`] (or drop).
 
+use crate::sync::lock_ok;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -50,7 +51,9 @@ impl Executor {
                     .name(format!("rmdb-worker-{i}"))
                     .spawn(move || loop {
                         let job = {
-                            let rx = rx.lock().expect("job queue");
+                            // poison-tolerant: a sibling dying with the
+                            // guard held must not wedge the whole pool
+                            let rx = lock_ok(&rx);
                             rx.recv()
                         };
                         match job {

@@ -15,17 +15,28 @@
 //! a log snapshot had its fragments forced strictly earlier — so the
 //! recovered image can never contain a committed transaction with
 //! missing fragments.
+//!
+//! ## Failure isolation
+//!
+//! A stream failing mid-batch fails only the members that needed it:
+//! force errors are kept per stream and mapped back per member, so a
+//! batch spanning four streams loses one stream's transactions, not all
+//! of them. Failed members are rolled back **daemon-side** — the worker
+//! handed over the undo chain with the [`CommitReq`] — before their
+//! locks release, so strict 2PL holds even for commits that die in the
+//! daemon. Each failure is also reported to the failover machinery,
+//! which quarantines the stream so retries route around it.
 
-use crate::db::Inner;
+use crate::db::{Inner, UndoEntry};
+use crate::error::ExecError;
+use crate::sync::lock_ok;
 use rmdb_obs::{Counter, EventKind};
-use rmdb_storage::StorageError;
 use rmdb_wal::record::LogRecord;
-use rmdb_wal::WalError;
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A worker's commit submission.
 pub(crate) struct CommitReq {
@@ -35,31 +46,41 @@ pub(crate) struct CommitReq {
     pub home: usize,
     /// Per-stream high-water fragment tickets: `(stream, max seq)`.
     pub tickets: Vec<(usize, u64)>,
+    /// The undo chain, surrendered at submit so the daemon can roll the
+    /// transaction back if its commit fails mid-batch.
+    pub undo: Vec<UndoEntry>,
     /// Completion channel the worker parks on.
-    pub reply: SyncSender<Result<(), WalError>>,
+    pub reply: SyncSender<Result<(), ExecError>>,
 }
 
 /// Completion handle for a submitted commit.
 pub struct CommitHandle {
-    rx: std::sync::mpsc::Receiver<Result<(), WalError>>,
+    rx: std::sync::mpsc::Receiver<Result<(), ExecError>>,
     /// `txn.commits_acked`, bumped when the *waiter* observes success —
     /// the worker-side half of the `commits_acked ==
     /// group_commit_completions` conservation law. `None` on the
     /// read-only fast path, which never crosses the daemon.
     acked: Option<Counter>,
+    /// Wait deadline ([`crate::ExecConfig::commit_timeout_ms`]).
+    timeout: Duration,
 }
 
 impl CommitHandle {
     pub(crate) fn new(
-        rx: std::sync::mpsc::Receiver<Result<(), WalError>>,
+        rx: std::sync::mpsc::Receiver<Result<(), ExecError>>,
         acked: Option<Counter>,
+        timeout: Duration,
     ) -> Self {
-        CommitHandle { rx, acked }
+        CommitHandle { rx, acked, timeout }
     }
 
     /// Block until the commit record is durable (or the commit failed).
-    pub fn wait(self) -> Result<(), WalError> {
-        match self.rx.recv_timeout(Duration::from_secs(30)) {
+    /// Gives up after the configured deadline with a typed
+    /// [`ExecError::Timeout`] — a stuck daemon (or a stuck appender the
+    /// daemon is waiting on) sheds the waiter instead of wedging it.
+    pub fn wait(self) -> Result<(), ExecError> {
+        let t0 = Instant::now();
+        match self.rx.recv_timeout(self.timeout) {
             Ok(result) => {
                 if result.is_ok() {
                     if let Some(acked) = &self.acked {
@@ -68,9 +89,14 @@ impl CommitHandle {
                 }
                 result
             }
-            Err(_) => Err(WalError::Storage(StorageError::Protocol(
-                "group-commit daemon stalled",
-            ))),
+            Err(RecvTimeoutError::Timeout) => Err(ExecError::Timeout {
+                what: "group commit",
+                waited_ms: t0.elapsed().as_millis() as u64,
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(ExecError::Timeout {
+                what: "group commit (daemon gone)",
+                waited_ms: t0.elapsed().as_millis() as u64,
+            }),
         }
     }
 }
@@ -90,13 +116,13 @@ pub(crate) fn run_daemon(
     while let Ok(first) = rx.recv() {
         let mut batch = vec![first];
         // dwell: linger briefly for stragglers so the force is shared
-        let t_arrive = std::time::Instant::now();
+        let t_arrive = Instant::now();
         let deadline = t_arrive + dwell;
         while batch.len() < max_group {
             match rx.try_recv() {
                 Ok(req) => batch.push(req),
                 Err(_) => {
-                    if std::time::Instant::now() >= deadline {
+                    if Instant::now() >= deadline {
                         break;
                     }
                     std::hint::spin_loop();
@@ -118,23 +144,29 @@ pub(crate) fn run_daemon(
             .max_group_size
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
         for (req, result) in batch.into_iter().zip(results) {
-            let ok = result.is_ok();
-            // strict 2PL: release only once the outcome is decided
-            inner.release_locks(req.txn);
-            if ok {
-                inner.stats.committed.fetch_add(1, Ordering::Relaxed);
-                completions.inc();
-            } else {
-                inner.stats.aborted.fetch_add(1, Ordering::Relaxed);
+            match result {
+                Ok(()) => {
+                    // strict 2PL: release only once the outcome is decided
+                    inner.release_locks(req.txn);
+                    inner.stats.committed.fetch_add(1, Ordering::Relaxed);
+                    completions.inc();
+                    let _ = req.reply.send(Ok(()));
+                }
+                Err(e) => {
+                    // roll the member back before its locks release, so
+                    // no other transaction ever reads its dirty writes
+                    inner.undo_and_release(req.txn, req.home, req.undo);
+                    let _ = req.reply.send(Err(e));
+                }
             }
-            let _ = req.reply.send(result);
         }
     }
 }
 
 /// Force fragments for the whole batch, then gate + append + force the
-/// commit records. Returns one result per batch member, in order.
-fn commit_batch(inner: &Inner, batch: &[CommitReq]) -> Vec<Result<(), WalError>> {
+/// commit records. Returns one result per batch member, in order; a
+/// stream failure condemns only the members that needed that stream.
+fn commit_batch(inner: &Inner, batch: &[CommitReq]) -> Vec<Result<(), ExecError>> {
     // Phase 1: one fragment force per distinct stream across the group.
     // Fragments on a transaction's own home stream are skipped: its
     // commit record is appended to that stream *after* them, so the home
@@ -150,60 +182,80 @@ fn commit_batch(inner: &Inner, batch: &[CommitReq]) -> Vec<Result<(), WalError>>
             *high = (*high).max(seq);
         }
     }
-    // request all forces first so the appenders work in parallel …
-    let mut phase1: Result<(), WalError> = Ok(());
+    // request all forces first so the appenders work in parallel, then
+    // wait for each; keep the result per stream so one dead stream fails
+    // only its own dependents
+    let mut stream_res: BTreeMap<usize, Result<(), ExecError>> = BTreeMap::new();
     for (&stream, &seq) in &frag_high {
-        if let Err(e) = inner.appenders[stream].request_force(seq) {
-            phase1 = Err(e);
-            break;
+        let r = inner.appenders[stream].request_force(seq);
+        if let Err(e) = &r {
+            inner.note_appender_failure(e);
         }
+        stream_res.insert(stream, r);
     }
-    // … then wait for each.
-    if phase1.is_ok() {
-        for (&stream, &seq) in &frag_high {
+    for (&stream, &seq) in &frag_high {
+        if stream_res.get(&stream).is_some_and(|r| r.is_ok()) {
             if let Err(e) = inner.appenders[stream].wait_forced(seq) {
-                phase1 = Err(e);
-                break;
+                inner.note_appender_failure(&e);
+                stream_res.insert(stream, Err(e));
             }
         }
     }
-    if let Err(e) = phase1 {
-        return batch.iter().map(|_| Err(e.clone())).collect();
-    }
+    let mut results: Vec<Result<(), ExecError>> = batch
+        .iter()
+        .map(|req| {
+            for &(stream, _) in &req.tickets {
+                if stream == req.home {
+                    continue;
+                }
+                if let Some(Err(e)) = stream_res.get(&stream) {
+                    return Err(e.clone());
+                }
+            }
+            Ok(())
+        })
+        .collect();
 
     // Phase 2: commit records, under the gate (see module docs).
-    let _gate = inner.gate.lock().expect("commit gate");
-    let mut results: Vec<Result<(), WalError>> = Vec::with_capacity(batch.len());
+    let _gate = lock_ok(&inner.gate);
+    let mut appended: Vec<bool> = vec![false; batch.len()];
     let mut home_high: BTreeMap<usize, u64> = BTreeMap::new();
-    for req in batch {
+    for (i, req) in batch.iter().enumerate() {
+        if results[i].is_err() {
+            continue;
+        }
         match inner.appenders[req.home].append(LogRecord::Commit { txn: req.txn }) {
             Ok(seq) => {
+                appended[i] = true;
                 let high = home_high.entry(req.home).or_insert(0);
                 *high = (*high).max(seq);
-                results.push(Ok(()));
             }
-            Err(e) => results.push(Err(e)),
+            Err(e) => {
+                inner.note_appender_failure(&e);
+                results[i] = Err(e);
+            }
         }
     }
-    let mut phase2: Result<(), WalError> = Ok(());
+    let mut force_res: BTreeMap<usize, Result<(), ExecError>> = BTreeMap::new();
     for (&stream, &seq) in &home_high {
-        if let Err(e) = inner.appenders[stream].request_force(seq) {
-            phase2 = Err(e);
-            break;
+        let r = inner.appenders[stream].request_force(seq);
+        if let Err(e) = &r {
+            inner.note_appender_failure(e);
         }
+        force_res.insert(stream, r);
     }
-    if phase2.is_ok() {
-        for (&stream, &seq) in &home_high {
+    for (&stream, &seq) in &home_high {
+        if force_res.get(&stream).is_some_and(|r| r.is_ok()) {
             if let Err(e) = inner.appenders[stream].wait_forced(seq) {
-                phase2 = Err(e);
-                break;
+                inner.note_appender_failure(&e);
+                force_res.insert(stream, Err(e));
             }
         }
     }
-    if let Err(e) = phase2 {
-        for r in results.iter_mut() {
-            if r.is_ok() {
-                *r = Err(e.clone());
+    for (i, req) in batch.iter().enumerate() {
+        if results[i].is_ok() && appended[i] {
+            if let Some(Err(e)) = force_res.get(&req.home) {
+                results[i] = Err(e.clone());
             }
         }
     }

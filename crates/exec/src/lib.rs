@@ -10,6 +10,7 @@
 //! | log processor | [`LogAppender`] — one per log stream |
 //! | back-end controller, scheduler | [`ExecDb`] lock path + wait slots |
 //! | back-end controller, commit | group-commit daemon ([`CommitHandle`]) |
+//! | recovery supervisor | health-check thread ([`supervisor`]) |
 //!
 //! Fragments flow from workers to their transaction's log processor over
 //! bounded channels; commit forces are batched across streams by the
@@ -18,6 +19,11 @@
 //! state. Crash images taken from a live pipeline recover through the
 //! ordinary [`rmdb_wal::WalDb::recover`] path — same log format, same
 //! distributed-log analysis, no merging.
+//!
+//! A supervisor thread health-checks the appender fleet; a log processor
+//! that dies mid-run (device failure, thread panic, wedged I/O) is
+//! quarantined and its in-flight fragments rerouted to survivors — see
+//! [`supervisor`] and [`error::AppenderError`] for the failure taxonomy.
 //!
 //! # Example
 //!
@@ -39,12 +45,39 @@
 //! assert_eq!(db.stats().committed, 4);
 //! ```
 
+// This crate is failover-critical: a mutex `unwrap()` that panics while a
+// sibling holds poisoned state turns one stream's death into a pipeline-wide
+// outage. Library code must use `sync::lock_ok` (or a typed error path)
+// instead; `scripts/verify.sh` promotes this to an error. Test modules are
+// exempt — panicking on a poisoned lock in a test is exactly right.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod appender;
 pub mod db;
+pub mod error;
 pub mod executor;
 pub mod group;
+pub mod supervisor;
 
-pub use appender::LogAppender;
+pub use appender::{AppenderProbe, LogAppender};
 pub use db::{ExecConfig, ExecCtx, ExecDb, ExecStats, Txn};
+pub use error::{AppenderError, ExecError};
 pub use executor::{Executor, JobHandle};
 pub use group::CommitHandle;
+
+/// Poison-tolerant lock helpers shared by the pipeline's actors.
+pub(crate) mod sync {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Acquire `m`, repairing poisoning: every mutex this is used on
+    /// guards state whose invariants hold at *every* store (counters,
+    /// deposited values, already-validated queues), so a panic in one
+    /// holder cannot leave the data half-updated — the right response
+    /// is to keep the pipeline alive, not to cascade the panic into
+    /// every thread that touches the lock afterwards. Locks whose
+    /// guarded state *can* be mid-update (the scheduler's lock table)
+    /// instead surface [`crate::ExecError::Poisoned`] at the call site.
+    pub(crate) fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

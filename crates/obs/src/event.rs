@@ -60,6 +60,15 @@ pub enum EventKind {
     RecoveryPhase = 8,
     /// A checkpoint or crash image was taken (payload: pages captured).
     Checkpoint = 9,
+    /// The supervisor began handling a suspected appender failure
+    /// (stream field: stream ordinal, payload: failure-class ordinal).
+    FailoverStarted = 10,
+    /// A log stream was quarantined — no new fragments will be routed
+    /// to it (stream field: stream ordinal, payload: surviving streams).
+    StreamQuarantined = 11,
+    /// An in-flight fragment was rerouted from a quarantined stream to
+    /// a survivor (stream field: new stream, payload: old stream).
+    FragmentRerouted = 12,
     /// Catch-all for unrecognised kinds decoded from raw slots.
     Unknown = 0,
 }
@@ -77,6 +86,9 @@ impl EventKind {
             7 => EventKind::PoolEviction,
             8 => EventKind::RecoveryPhase,
             9 => EventKind::Checkpoint,
+            10 => EventKind::FailoverStarted,
+            11 => EventKind::StreamQuarantined,
+            12 => EventKind::FragmentRerouted,
             _ => EventKind::Unknown,
         }
     }
@@ -93,6 +105,9 @@ impl EventKind {
             EventKind::PoolEviction => "pool_eviction",
             EventKind::RecoveryPhase => "recovery_phase",
             EventKind::Checkpoint => "checkpoint",
+            EventKind::FailoverStarted => "failover_started",
+            EventKind::StreamQuarantined => "stream_quarantined",
+            EventKind::FragmentRerouted => "fragment_rerouted",
             EventKind::Unknown => "unknown",
         }
     }
@@ -340,6 +355,9 @@ mod tests {
             EventKind::PoolEviction,
             EventKind::RecoveryPhase,
             EventKind::Checkpoint,
+            EventKind::FailoverStarted,
+            EventKind::StreamQuarantined,
+            EventKind::FragmentRerouted,
         ] {
             assert_eq!(EventKind::from_u16(kind as u16), kind);
             assert!(!kind.name().is_empty());

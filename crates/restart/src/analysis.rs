@@ -65,6 +65,10 @@ pub(crate) struct Analysis {
     pub bounds: Vec<Option<u64>>,
     pub records_scanned: usize,
     pub records_skipped: u64,
+    /// Rerouted duplicate update/compensation fragments (same globally
+    /// unique `new_lsn` durable on two streams after a failover) analysed
+    /// exactly once; the extra copies are counted here.
+    pub duplicates: u64,
     pub checkpoints_found: u64,
     pub quarantined_log_pages: u64,
     pub salvaged_records: u64,
@@ -80,6 +84,9 @@ impl Analysis {
 /// Run checkpoint-bounded analysis over the indexed scans of every stream.
 pub(crate) fn analyze(scans: &[(Vec<IndexedRecord>, ScanStats)]) -> Analysis {
     let mut a = Analysis::default();
+    // Cross-stream dedup of failover-rerouted fragments by their globally
+    // unique `new_lsn` (see the matching logic in serial recovery).
+    let mut seen_lsns: HashSet<u64> = HashSet::new();
     for (stream_idx, (records, stats)) in scans.iter().enumerate() {
         a.quarantined_log_pages += stats.corrupt_pages;
         a.retried_ios += stats.retried_reads;
@@ -144,7 +151,9 @@ pub(crate) fn analyze(scans: &[(Vec<IndexedRecord>, ScanStats)]) -> Analysis {
                     ..
                 } => {
                     a.max_lsn = a.max_lsn.max(new_lsn.0);
-                    if behind {
+                    if !seen_lsns.insert(new_lsn.0) {
+                        a.duplicates += 1;
+                    } else if behind {
                         a.records_skipped += 1;
                         if active.contains(txn) {
                             // still in flight at the checkpoint instant —
@@ -182,7 +191,9 @@ pub(crate) fn analyze(scans: &[(Vec<IndexedRecord>, ScanStats)]) -> Analysis {
                 } => {
                     a.max_lsn = a.max_lsn.max(new_lsn.0);
                     a.compensated.insert(undoes.0);
-                    if behind {
+                    if !seen_lsns.insert(new_lsn.0) {
+                        a.duplicates += 1;
+                    } else if behind {
                         a.records_skipped += 1;
                     } else {
                         a.redo.entry(*page).or_default().push(RedoItem {

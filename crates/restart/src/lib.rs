@@ -130,6 +130,7 @@ pub fn restart_observed(
     report.base.records_scanned = a.records_scanned;
     report.base.quarantined_log_pages = a.quarantined_log_pages;
     report.base.salvaged_records = a.salvaged_records;
+    report.base.duplicate_fragments = a.duplicates;
     report.base.retried_ios = a.retried_ios;
     report.base.committed_txns = a.committed.iter().copied().collect();
     report.base.committed_txns.sort_unstable();
@@ -139,6 +140,8 @@ pub fn restart_observed(
         .add(report.base.records_scanned as u64);
     obs.counter("restart.records_skipped")
         .add(report.records_skipped);
+    obs.counter("restart.duplicate_fragments")
+        .add(report.base.duplicate_fragments);
     let us = report.timings.analysis.as_micros() as u64;
     obs.histogram("restart.analysis_us").record(us);
     obs.emit(EventKind::RecoveryPhase, 0, 0, 0, us);

@@ -25,6 +25,16 @@
 //! * **Crash** — after the k-th write attempt the device goes
 //!   [`StorageError::Offline`]; the recovery tests then snapshot and
 //!   rebuild, exactly as for a clean crash.
+//! * **Stuck I/O** — the operation hangs for a scheduled stall and then
+//!   fails with [`StorageError::Io`]: a device that has stopped
+//!   responding rather than one that errors promptly. The stall is
+//!   served by the disk *after* releasing the injector lock, so a stuck
+//!   device never wedges the other disks sharing the injector.
+//! * **Permanent failure** — from the k-th write attempt on, every
+//!   operation fails with [`StorageError::Io`] forever. Unlike a crash
+//!   the device is not [`StorageError::Offline`]: its durable frames
+//!   remain snapshot-able, which is exactly the state a failover layer
+//!   must recover from (the dead log stream's durable prefix survives).
 //!
 //! Counters count *attempts*: a write that fails with a transient fault
 //! still consumed its operation index. This keeps replay trivially
@@ -54,6 +64,13 @@ pub enum WriteFault {
         /// Total failing attempts (≥ 1).
         attempts: u32,
     },
+    /// The write hangs for `millis` before failing with
+    /// [`StorageError::Io`]; nothing lands. Models a device that has
+    /// stopped responding (the failover supervisor's stall case).
+    Stuck {
+        /// Stall served before the failure, in milliseconds.
+        millis: u64,
+    },
 }
 
 /// Scheduled fate of one frame read, keyed by global read index.
@@ -71,6 +88,12 @@ pub enum ReadFault {
     TransientIo {
         /// Total failing attempts (≥ 1).
         attempts: u32,
+    },
+    /// The read hangs for `millis` before failing with
+    /// [`StorageError::Io`].
+    Stuck {
+        /// Stall served before the failure, in milliseconds.
+        millis: u64,
     },
 }
 
@@ -94,6 +117,11 @@ pub struct FaultPlan {
     /// Crash after this write attempt completes (its fault, if any, still
     /// applies). Every later operation returns [`StorageError::Offline`].
     pub crash_after: Option<u64>,
+    /// Permanent device failure: every write attempt with a global index
+    /// at or past this one fails with [`StorageError::Io`], and once
+    /// tripped every read fails too — forever. The durable frames stay
+    /// intact (and snapshot-able), unlike a crash.
+    pub fail_from: Option<u64>,
 }
 
 impl FaultPlan {
@@ -139,6 +167,27 @@ impl FaultPlan {
     /// Crash the device after the `idx`-th write attempt.
     pub fn crash_after_write(mut self, idx: u64) -> Self {
         self.crash_after = Some(idx);
+        self
+    }
+
+    /// Hang the `idx`-th write for `millis`, then fail it.
+    pub fn stick_write(mut self, idx: u64, millis: u64) -> Self {
+        self.on_write.insert(idx, WriteFault::Stuck { millis });
+        self
+    }
+
+    /// Hang the `idx`-th read for `millis`, then fail it.
+    pub fn stick_read(mut self, idx: u64, millis: u64) -> Self {
+        self.on_read.insert(idx, ReadFault::Stuck { millis });
+        self
+    }
+
+    /// Permanently fail the device from the `idx`-th write attempt on.
+    /// `fail_from_write(0)` kills the device immediately: every
+    /// subsequent operation fails with [`StorageError::Io`], but the
+    /// frames already durable remain readable through a snapshot.
+    pub fn fail_from_write(mut self, idx: u64) -> Self {
+        self.fail_from = Some(idx);
         self
     }
 
@@ -206,6 +255,7 @@ pub struct FaultInjector {
     reads: u64,
     writes: u64,
     crashed: bool,
+    failed: bool,
     /// Remaining transient failures per (is_write, addr).
     pending: HashMap<(bool, u64), u32>,
 }
@@ -221,6 +271,22 @@ pub(crate) enum WriteApply {
     Skip,
 }
 
+/// A write verdict plus any stall the disk must serve *after* releasing
+/// the injector lock (so one stuck device never blocks the others
+/// sharing the injector).
+#[derive(Debug)]
+pub(crate) struct WriteDecision {
+    pub stall_ms: u64,
+    pub outcome: Result<WriteApply, StorageError>,
+}
+
+/// A read verdict (optional bit flip) plus the post-unlock stall.
+#[derive(Debug)]
+pub(crate) struct ReadDecision {
+    pub stall_ms: u64,
+    pub outcome: Result<Option<(usize, u8)>, StorageError>,
+}
+
 impl FaultInjector {
     /// An injector executing `plan` from operation zero.
     pub fn new(plan: FaultPlan) -> Self {
@@ -229,6 +295,7 @@ impl FaultInjector {
             reads: 0,
             writes: 0,
             crashed: false,
+            failed: false,
             pending: HashMap::new(),
         }
     }
@@ -243,6 +310,11 @@ impl FaultInjector {
         self.crashed
     }
 
+    /// Whether the scheduled permanent failure has tripped.
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
     /// Write attempts seen so far.
     pub fn writes(&self) -> u64 {
         self.writes
@@ -253,14 +325,22 @@ impl FaultInjector {
         self.reads
     }
 
-    pub(crate) fn decide_write(&mut self, addr: u64) -> Result<WriteApply, StorageError> {
+    pub(crate) fn decide_write(&mut self, addr: u64) -> WriteDecision {
         if self.crashed {
-            return Err(StorageError::Offline);
+            return WriteDecision {
+                stall_ms: 0,
+                outcome: Err(StorageError::Offline),
+            };
         }
         let idx = self.writes;
         self.writes += 1;
         let crash_now = self.plan.crash_after == Some(idx);
-        let decision = if let Some(remaining) = self.pending.get_mut(&(true, addr)) {
+        let mut stall_ms = 0;
+        let outcome = if self.failed || self.plan.fail_from.is_some_and(|k| idx >= k) {
+            // permanent failure: fail this and everything after it
+            self.failed = true;
+            Err(StorageError::Io { addr })
+        } else if let Some(remaining) = self.pending.get_mut(&(true, addr)) {
             *remaining -= 1;
             if *remaining == 0 {
                 self.pending.remove(&(true, addr));
@@ -277,28 +357,45 @@ impl FaultInjector {
                     }
                     Err(StorageError::Io { addr })
                 }
+                Some(WriteFault::Stuck { millis }) => {
+                    stall_ms = *millis;
+                    Err(StorageError::Io { addr })
+                }
             }
         };
         if crash_now {
             self.crashed = true;
         }
-        decision
+        WriteDecision { stall_ms, outcome }
     }
 
-    pub(crate) fn decide_read(&mut self, addr: u64) -> Result<Option<(usize, u8)>, StorageError> {
+    pub(crate) fn decide_read(&mut self, addr: u64) -> ReadDecision {
         if self.crashed {
-            return Err(StorageError::Offline);
+            return ReadDecision {
+                stall_ms: 0,
+                outcome: Err(StorageError::Offline),
+            };
         }
         let idx = self.reads;
         self.reads += 1;
+        if self.failed {
+            return ReadDecision {
+                stall_ms: 0,
+                outcome: Err(StorageError::Io { addr }),
+            };
+        }
         if let Some(remaining) = self.pending.get_mut(&(false, addr)) {
             *remaining -= 1;
             if *remaining == 0 {
                 self.pending.remove(&(false, addr));
             }
-            return Err(StorageError::Io { addr });
+            return ReadDecision {
+                stall_ms: 0,
+                outcome: Err(StorageError::Io { addr }),
+            };
         }
-        match self.plan.on_read.get(&idx) {
+        let mut stall_ms = 0;
+        let outcome = match self.plan.on_read.get(&idx) {
             None => Ok(None),
             Some(ReadFault::FlipBit { byte, bit }) => Ok(Some((byte % FRAME_SIZE, bit % 8))),
             Some(ReadFault::TransientIo { attempts }) => {
@@ -307,7 +404,12 @@ impl FaultInjector {
                 }
                 Err(StorageError::Io { addr })
             }
-        }
+            Some(ReadFault::Stuck { millis }) => {
+                stall_ms = *millis;
+                Err(StorageError::Io { addr })
+            }
+        };
+        ReadDecision { stall_ms, outcome }
     }
 }
 
@@ -455,6 +557,68 @@ mod tests {
         d.attach_faults(handle);
         write_page_verified(&mut d, 0, &page(7), 3).unwrap();
         assert_eq!(d.read_page(0).unwrap(), page(7));
+    }
+
+    #[test]
+    fn permanent_failure_kills_device_but_not_snapshot() {
+        let handle = FaultInjector::handle(FaultPlan::new().fail_from_write(1));
+        let mut d = MemDisk::new(4);
+        d.attach_faults(handle.clone());
+        d.write_page(0, &page(1)).unwrap(); // write 0: clean
+        assert_eq!(d.write_page(1, &page(2)), Err(StorageError::Io { addr: 1 }));
+        // every later write fails too, and once tripped reads fail as well
+        assert_eq!(d.write_page(2, &page(3)), Err(StorageError::Io { addr: 2 }));
+        assert_eq!(d.read_page(0), Err(StorageError::Io { addr: 0 }));
+        assert!(handle.lock().failed());
+        assert!(!handle.lock().crashed(), "failed device is not Offline");
+        // the durable platter survives: a snapshot sheds the injector and
+        // serves everything that landed before the failure
+        let snap = d.snapshot();
+        assert_eq!(snap.read_page(0).unwrap(), page(1));
+        assert!(!snap.is_allocated(1), "failed write must not have landed");
+    }
+
+    #[test]
+    fn fail_from_zero_kills_device_immediately() {
+        let handle = FaultInjector::handle(FaultPlan::new().fail_from_write(0));
+        let mut d = MemDisk::new(4);
+        d.write_page(0, &page(1)).unwrap();
+        d.attach_faults(handle);
+        assert!(matches!(
+            d.write_page(1, &page(2)),
+            Err(StorageError::Io { .. })
+        ));
+        assert!(matches!(d.read_page(0), Err(StorageError::Io { .. })));
+        assert_eq!(d.snapshot().read_page(0).unwrap(), page(1));
+    }
+
+    #[test]
+    fn stuck_write_stalls_then_fails() {
+        let handle = FaultInjector::handle(FaultPlan::new().stick_write(0, 20));
+        let mut d = MemDisk::new(4);
+        d.attach_faults(handle.clone());
+        let t0 = std::time::Instant::now();
+        assert!(matches!(
+            d.write_page(0, &page(1)),
+            Err(StorageError::Io { .. })
+        ));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+        assert!(!d.is_allocated(0), "stuck write deposits nothing");
+        // a stuck op is transient, not permanent: the retry lands
+        d.write_page(0, &page(1)).unwrap();
+        assert!(!handle.lock().failed());
+    }
+
+    #[test]
+    fn stuck_read_stalls_then_fails() {
+        let handle = FaultInjector::handle(FaultPlan::new().stick_read(0, 20));
+        let mut d = MemDisk::new(4);
+        d.write_page(0, &page(4)).unwrap();
+        d.attach_faults(handle);
+        let t0 = std::time::Instant::now();
+        assert!(matches!(d.read_page(0), Err(StorageError::Io { .. })));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+        assert_eq!(d.read_page(0).unwrap(), page(4));
     }
 
     #[test]

@@ -106,7 +106,15 @@ impl MemDisk {
     pub fn read_frame(&self, addr: u64) -> Result<Box<[u8; FRAME_SIZE]>, StorageError> {
         let i = self.check(addr)?;
         let flip = match &self.faults {
-            Some(h) => h.lock().decide_read(addr)?,
+            Some(h) => {
+                // the injector lock is released before any scheduled stall
+                // so a stuck device never wedges disks sharing the injector
+                let d = h.lock().decide_read(addr);
+                if d.stall_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(d.stall_ms));
+                }
+                d.outcome?
+            }
             None => None,
         };
         self.reads.fetch_add(1, Ordering::Relaxed);
@@ -129,7 +137,13 @@ impl MemDisk {
     pub fn write_frame(&mut self, addr: u64, frame: &[u8; FRAME_SIZE]) -> Result<(), StorageError> {
         let i = self.check(addr)?;
         let apply = match &self.faults {
-            Some(h) => h.lock().decide_write(addr)?,
+            Some(h) => {
+                let d = h.lock().decide_write(addr);
+                if d.stall_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(d.stall_ms));
+                }
+                d.outcome?
+            }
             None => WriteApply::Full,
         };
         self.writes.fetch_add(1, Ordering::Relaxed);
@@ -164,7 +178,13 @@ impl MemDisk {
         // explicit partial writes still advance the op counters and respect
         // crash/transient scheduling; a scheduled tear shortens the prefix
         let apply = match &self.faults {
-            Some(h) => h.lock().decide_write(addr)?,
+            Some(h) => {
+                let d = h.lock().decide_write(addr);
+                if d.stall_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(d.stall_ms));
+                }
+                d.outcome?
+            }
             None => WriteApply::Full,
         };
         self.writes.fetch_add(1, Ordering::Relaxed);

@@ -60,6 +60,11 @@ pub struct RecoveryReport {
     pub quarantined_data_pages: u64,
     /// Transient I/O faults ridden through by bounded retry.
     pub retried_ios: u64,
+    /// Duplicate update/compensation fragments skipped during analysis.
+    /// Failover reroutes a dead stream's volatile fragments to a survivor;
+    /// if the original turned out to be durable after all, both copies are
+    /// in the logs, keyed by the same globally-unique `new_lsn`.
+    pub duplicate_fragments: u64,
 }
 
 /// Bounded retry for data-disk reads during recovery: transient faults and
@@ -113,6 +118,7 @@ pub fn recover_observed(
     let c_torn = obs.counter("recovery.torn_pages_repaired");
     let c_salvaged = obs.counter("recovery.salvaged_records");
     let c_written = obs.counter("recovery.pages_written");
+    let c_dupes = obs.counter("recovery.duplicate_fragments");
     let t_start = std::time::Instant::now();
 
     let CrashImage { data, logs } = image;
@@ -172,6 +178,10 @@ pub fn recover_observed(
         stream: usize,
     }
     let mut updates_by_txn: HashMap<TxnId, Vec<UndoCand>> = HashMap::new();
+    // `new_lsn`s are globally unique, so a second update/compensation with
+    // the same one is a rerouted duplicate of a fragment that was durable
+    // on the quarantined stream after all — analyse it exactly once.
+    let mut seen_lsns: HashSet<u64> = HashSet::new();
 
     for (stream_idx, records) in scans.iter().enumerate() {
         for rec in records {
@@ -191,6 +201,11 @@ pub fn recover_observed(
                     ..
                 } => {
                     max_lsn = max_lsn.max(new_lsn.0);
+                    if !seen_lsns.insert(new_lsn.0) {
+                        report.duplicate_fragments += 1;
+                        c_dupes.inc();
+                        continue;
+                    }
                     redo.entry(*page).or_default().push(RedoItem {
                         new_lsn: *new_lsn,
                         offset: *offset,
@@ -214,6 +229,11 @@ pub fn recover_observed(
                 } => {
                     max_lsn = max_lsn.max(new_lsn.0);
                     compensated.insert(undoes.0);
+                    if !seen_lsns.insert(new_lsn.0) {
+                        report.duplicate_fragments += 1;
+                        c_dupes.inc();
+                        continue;
+                    }
                     redo.entry(*page).or_default().push(RedoItem {
                         new_lsn: *new_lsn,
                         offset: *offset,

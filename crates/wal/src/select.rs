@@ -43,13 +43,21 @@ impl SelectionPolicy {
     }
 }
 
-/// Stateful selector: owns the round-robin cursor and the random stream.
+/// Stateful selector: owns the round-robin cursor, the random stream,
+/// and the failover dead-stream mask.
+///
+/// Failover routes *around* quarantined streams rather than renumbering
+/// them: the raw policy choice is computed over all N streams (so the
+/// mod-based policies stay stable for survivors), then walked cyclically
+/// forward to the next live stream. With no dead streams the behaviour
+/// is bit-identical to the plain policies.
 #[derive(Debug, Clone)]
 pub struct Selector {
     policy: SelectionPolicy,
     streams: usize,
     cursor: usize,
     rng_state: u64,
+    dead: Vec<bool>,
 }
 
 impl Selector {
@@ -62,12 +70,30 @@ impl Selector {
             cursor: 0,
             // xorshift state must be nonzero
             rng_state: seed | 1,
+            dead: vec![false; streams],
         }
     }
 
     /// Number of streams being selected over.
     pub fn streams(&self) -> usize {
         self.streams
+    }
+
+    /// Quarantine stream `idx`: `pick` will never return it again.
+    pub fn mark_dead(&mut self, idx: usize) {
+        if idx < self.streams {
+            self.dead[idx] = true;
+        }
+    }
+
+    /// Whether stream `idx` is quarantined.
+    pub fn is_dead(&self, idx: usize) -> bool {
+        idx < self.streams && self.dead[idx]
+    }
+
+    /// Streams still accepting fragments.
+    pub fn live_count(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
     }
 
     /// The configured policy.
@@ -86,9 +112,12 @@ impl Selector {
     }
 
     /// Pick the stream for a fragment produced by query processor `qp` on
-    /// behalf of transaction `txn`.
+    /// behalf of transaction `txn`. Quarantined streams are skipped by
+    /// walking cyclically forward from the raw policy choice; if every
+    /// stream is dead the raw choice is returned (the caller's degraded
+    /// gate is responsible for refusing work at that point).
     pub fn pick(&mut self, qp: usize, txn: u64) -> usize {
-        match self.policy {
+        let raw = match self.policy {
             SelectionPolicy::Cyclic => {
                 let s = self.cursor;
                 self.cursor = (self.cursor + 1) % self.streams;
@@ -97,7 +126,17 @@ impl Selector {
             SelectionPolicy::Random => (self.next_rand() % self.streams as u64) as usize,
             SelectionPolicy::QpMod => qp % self.streams,
             SelectionPolicy::TxnMod => (txn % self.streams as u64) as usize,
+        };
+        if !self.dead[raw] {
+            return raw;
         }
+        for step in 1..self.streams {
+            let s = (raw + step) % self.streams;
+            if !self.dead[s] {
+                return s;
+            }
+        }
+        raw
     }
 }
 
@@ -168,5 +207,54 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_streams_rejected() {
         Selector::new(SelectionPolicy::Cyclic, 0, 0);
+    }
+
+    #[test]
+    fn dead_streams_are_never_picked() {
+        for policy in SelectionPolicy::ALL {
+            let mut s = Selector::new(policy, 4, 7);
+            s.mark_dead(2);
+            assert!(s.is_dead(2));
+            assert_eq!(s.live_count(), 3);
+            for i in 0..200 {
+                let p = s.pick(i, i as u64);
+                assert_ne!(p, 2, "{policy:?} routed to a quarantined stream");
+                assert!(p < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_stream_reroutes_to_next_live_cyclically() {
+        // QpMod raw choice is qp % 4; dead stream 1 must land on 2,
+        // and with 2 also dead on 3 — the next live stream forward.
+        let mut s = Selector::new(SelectionPolicy::QpMod, 4, 0);
+        s.mark_dead(1);
+        assert_eq!(s.pick(1, 0), 2);
+        s.mark_dead(2);
+        assert_eq!(s.pick(1, 0), 3);
+        assert_eq!(s.pick(2, 0), 3);
+        assert_eq!(s.pick(3, 0), 3);
+        assert_eq!(s.pick(0, 0), 0, "live raw picks are untouched");
+        assert_eq!(s.live_count(), 2);
+    }
+
+    #[test]
+    fn no_dead_streams_is_bit_identical_to_plain_policy() {
+        let mut masked = Selector::new(SelectionPolicy::Random, 5, 31);
+        let mut plain = Selector::new(SelectionPolicy::Random, 5, 31);
+        for i in 0..500 {
+            assert_eq!(masked.pick(i, i as u64), plain.pick(i, i as u64));
+        }
+    }
+
+    #[test]
+    fn all_dead_falls_back_to_raw_pick() {
+        let mut s = Selector::new(SelectionPolicy::QpMod, 3, 0);
+        for i in 0..3 {
+            s.mark_dead(i);
+        }
+        assert_eq!(s.live_count(), 0);
+        assert_eq!(s.pick(5, 0), 2, "raw choice when nothing is live");
     }
 }

@@ -18,6 +18,11 @@ cargo build --release -p rmdb-bench --bin throughput
 cargo test -q
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
+# the exec library is failover-critical: a mutex unwrap that panics while a
+# sibling thread holds poisoned state turns one stream's death into a
+# pipeline-wide outage. Its lib.rs warns on clippy::unwrap_used in non-test
+# code (test modules exempt); -D warnings promotes that to a hard failure
+cargo clippy -p rmdb-exec --lib -- -D warnings
 cargo test -q --release --test restart_equivalence smoke_k1_vs_k4
 cargo test -q --release --test exec_stress
 cargo test -q --release --test obs_properties
@@ -55,5 +60,24 @@ assert force_h and all(x["count"] > 0 and x["p95"] > 0 for x in force_h), \
     "force latency histograms missing or empty"
 print(f"obs smoke: acked={acked} fragments={enq} forces={forces} "
       f"commit p50/p95/p99={commit_h['p50']}/{commit_h['p95']}/{commit_h['p99']}us")
+EOF
+
+# failover smoke: kill log stream 1 mid-run; the fleet must reroute (the
+# long-transaction probe makes >= 1 reroute deterministic), keep committing
+# on the survivors, and lose zero acked commits against a recovered image
+# (the binary itself exits non-zero on acked loss or a silent fleet)
+./target/release/throughput --kill-stream 1@300 --secs 0.6 --json > results/BENCH_failover.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("results/BENCH_failover.json"))
+assert doc["failover"]["reroutes"] > 0, "failover smoke: no fragment reroutes recorded"
+assert doc["failover"]["quarantined"] > 0, "failover smoke: victim never quarantined"
+assert doc["commits_after_failover"] > 0, "failover smoke: fleet stopped committing after the kill"
+assert doc["lost_acked_commits"] == 0, f"failover smoke: {doc['lost_acked_commits']} acked commits lost"
+assert doc["live_streams_after"] == 3, f"failover smoke: expected 3 survivors, got {doc['live_streams_after']}"
+phases = {p["phase"]: p for p in doc["phases"]}
+print(f"failover smoke: detect={doc['detect_ms']}ms reroutes={doc['failover']['reroutes']} "
+      f"p99 before/during/after={phases['before']['p99_us']}/{phases['during']['p99_us']}"
+      f"/{phases['after']['p99_us']}us commits_after={doc['commits_after_failover']}")
 EOF
 echo "verify: OK"

@@ -899,3 +899,181 @@ fn exec_pipeline_acked_commits_survive_mid_run_crash() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Appender-death sweep: one log processor dies *mid-run* — its device starts
+// failing every write while worker threads are streaming commits through it —
+// across seeds × kill points × fleet sizes. The failover contract under test:
+//
+//   1. no acked commit is ever lost (the ack is a durability promise and a
+//      quarantined stream's durable prefix still counts);
+//   2. the survivors keep committing after the kill (rerouting works and the
+//      fleet does not degrade at min_live = 1);
+//   3. recovery is deterministic — recovering the same crash image twice
+//      yields byte-identical data disks, for every crashpoint in the sweep.
+// ---------------------------------------------------------------------------
+
+/// Deep-copy a crash image so it can be recovered more than once. Snapshots
+/// shed any attached fault handle — recovery always reads honest bytes, which
+/// is exactly what a real restart off the platter would see.
+fn clone_image(image: &recovery_machines::wal::CrashImage) -> recovery_machines::wal::CrashImage {
+    recovery_machines::wal::CrashImage {
+        data: image.data.snapshot(),
+        logs: image.logs.iter().map(MemDisk::snapshot).collect(),
+    }
+}
+
+#[test]
+fn exec_pipeline_survives_mid_run_appender_death() {
+    use recovery_machines::exec::{ExecConfig, ExecDb};
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    const WORKERS: u64 = 4;
+    const TXNS_PER_WORKER: u64 = 12;
+    const STORM_PAGES: u64 = WORKERS * TXNS_PER_WORKER;
+    // extra guaranteed-post-kill commits, after the storm joins
+    const TAIL_TXNS: u64 = 8;
+
+    for seed in [7u64, 42, 31337] {
+        for streams in [3usize, 4] {
+            // kill point = acked-commit count that triggers the device kill
+            for (kp, kill_after) in [3u64, 14].into_iter().enumerate() {
+                let kill_stream = (seed as usize + kp) % streams;
+                let cfg = ExecConfig {
+                    wal: WalConfig {
+                        data_pages: STORM_PAGES + TAIL_TXNS,
+                        pool_frames: 24,
+                        log_streams: streams,
+                        log_frames: 1 << 14,
+                        seed,
+                        ..WalConfig::default()
+                    },
+                    pool_shards: 4,
+                    ..ExecConfig::default()
+                };
+                let ctx = format!("kill seed {seed} streams {streams} kill_after {kill_after}");
+                let db = Arc::new(ExecDb::new(cfg.clone()));
+                let acked: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+                let acked_count = Arc::new(AtomicU64::new(0));
+                let mut snaps: Vec<(HashSet<u64>, recovery_machines::wal::CrashImage)> = Vec::new();
+
+                let value = |page: u64| (seed << 32 | 0xFA_1107_u64 << 8 | page).to_le_bytes();
+                crossbeam::thread::scope(|s| {
+                    // the killer: waits for the kill point, then makes every
+                    // subsequent write to the victim's device fail forever —
+                    // mid-run, while workers are racing commits through it
+                    {
+                        let db = Arc::clone(&db);
+                        let acked_count = Arc::clone(&acked_count);
+                        s.spawn(move |_| {
+                            while acked_count.load(Ordering::Acquire) < kill_after {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            db.inject_stream_fault(
+                                kill_stream,
+                                FaultPlan::new().fail_from_write(0),
+                            )
+                            .expect("inject kill fault");
+                        });
+                    }
+                    for w in 0..WORKERS {
+                        let db = Arc::clone(&db);
+                        let acked = Arc::clone(&acked);
+                        let acked_count = Arc::clone(&acked_count);
+                        s.spawn(move |_| {
+                            for i in 0..TXNS_PER_WORKER {
+                                let page = w * TXNS_PER_WORKER + i;
+                                db.run_txn(w as usize, |ctx| ctx.write(page, 0, &value(page)))
+                                    .expect("storm txn");
+                                acked.lock().unwrap().insert(page);
+                                acked_count.fetch_add(1, Ordering::Release);
+                            }
+                        });
+                    }
+                    // crash images snapped during the storm — these land
+                    // before, across, and after the kill point
+                    for _ in 0..3 {
+                        std::thread::sleep(Duration::from_millis(2));
+                        let before = acked.lock().unwrap().clone();
+                        let image = db.crash_image().expect("mid-storm crash image");
+                        snaps.push((before, image));
+                    }
+                })
+                .unwrap();
+                assert_eq!(
+                    acked.lock().unwrap().len() as u64,
+                    STORM_PAGES,
+                    "{ctx}: storm txn lost"
+                );
+
+                // deterministic post-kill tail: the fault has fired (the
+                // storm committed well past the kill point), so these
+                // commits prove the survivors still make progress
+                for page in STORM_PAGES..STORM_PAGES + TAIL_TXNS {
+                    db.run_txn(page as usize % WORKERS as usize, |ctx| {
+                        ctx.write(page, 0, &value(page))
+                    })
+                    .unwrap_or_else(|e| panic!("{ctx}: post-kill txn failed: {e}"));
+                    acked.lock().unwrap().insert(page);
+                }
+
+                // the victim must be quarantined, the survivors alive
+                assert!(
+                    db.is_stream_dead(kill_stream),
+                    "{ctx}: killed stream never quarantined"
+                );
+                assert_eq!(db.live_streams(), streams - 1, "{ctx}: wrong live count");
+                assert!(!db.is_degraded(), "{ctx}: degraded at min_live=1");
+                let metrics = db.obs().snapshot();
+                assert!(
+                    metrics.counter("failover.quarantined") >= Some(1),
+                    "{ctx}: quarantine counter missing"
+                );
+
+                // final crashpoint: everything acked
+                let before = acked.lock().unwrap().clone();
+                snaps.push((before, db.crash_image().expect("final crash image")));
+
+                for (snap, (acked_before, image)) in snaps.into_iter().enumerate() {
+                    let sctx = format!("{ctx} snap {snap}");
+                    let copy = clone_image(&image);
+                    let (mut rec, _) = WalDb::recover(image, cfg.wal.clone())
+                        .unwrap_or_else(|e| panic!("{sctx}: recovery failed: {e}"));
+                    let t = rec.begin();
+                    for page in 0..STORM_PAGES + TAIL_TXNS {
+                        let got = rec.read(t, page, 0, 8).expect("read after recovery");
+                        if acked_before.contains(&page) {
+                            assert_eq!(
+                                got,
+                                value(page),
+                                "{sctx}: acked page {page} lost after recovery"
+                            );
+                        } else {
+                            assert!(
+                                got == [0u8; 8] || got == value(page),
+                                "{sctx}: unacked page {page} torn: {got:?}"
+                            );
+                        }
+                    }
+                    rec.abort(t).expect("read-only abort");
+                    // recovery determinism: same image, same bytes
+                    let (rec2, _) = WalDb::recover(copy, cfg.wal.clone())
+                        .unwrap_or_else(|e| panic!("{sctx}: second recovery failed: {e}"));
+                    assert_disks_identical(
+                        &rec.crash_image().data,
+                        &rec2.crash_image().data,
+                        &sctx,
+                    );
+                }
+                Arc::try_unwrap(db)
+                    .ok()
+                    .expect("storm threads joined")
+                    .shutdown()
+                    .ok();
+            }
+        }
+    }
+}
