@@ -23,7 +23,10 @@
 //! failure modes are typed ([`AppenderError`]) and observable:
 //!
 //! * a **heartbeat** counter the thread bumps every loop iteration
-//!   (idle ticks included) — a wedged thread stops bumping;
+//!   (idle ticks included) *and* around each long I/O section — per
+//!   batched request, after every force, and through each slice of the
+//!   modeled device delay — so a frozen heartbeat means one device I/O
+//!   is wedged, not merely that a batch is long or the device slow;
 //! * a **sticky storage error**: stream appends/forces go through
 //!   [`rmdb_wal::stream::IO_RETRIES`] bounded retries internally, so an
 //!   error surfacing here is post-retry and classified *persistent*;
@@ -81,7 +84,10 @@ enum Req {
 struct Shared {
     state: Mutex<State>,
     cv: Condvar,
-    /// Bumped by the thread every loop iteration (see [`HEARTBEAT_TICK`]).
+    /// Bumped by the thread every loop iteration (see [`HEARTBEAT_TICK`])
+    /// and around each long I/O section — per batched request, after each
+    /// force, and through each slice of the modeled device delay — so a
+    /// frozen heartbeat isolates a single wedged I/O.
     heartbeat: AtomicU64,
     /// Cleared by the vault guard on every thread exit path.
     alive: AtomicBool,
@@ -524,6 +530,11 @@ fn run(
         let mut shutdown = false;
         let mut error: Option<StorageError> = None;
         for req in batch {
+            // one beat per request: a large batch of appends (each a
+            // potential page write) must not freeze the heartbeat for
+            // the whole batch — the supervisor's stall deadline is meant
+            // to bound a *single* wedged device I/O, not batch length
+            shared.heartbeat.fetch_add(1, Ordering::Relaxed);
             match req {
                 Req::Append { rec, seq } => {
                     if error.is_none() {
@@ -554,12 +565,27 @@ fn run(
             drop(state);
             if need_force {
                 let t_force = Instant::now();
-                if let Err(e) = guard.stream().force() {
+                let force_res = guard.stream().force();
+                // the force is the longest single I/O section; beat as
+                // soon as it returns so only time spent *inside* the
+                // device counts against the supervisor's stall deadline
+                shared.heartbeat.fetch_add(1, Ordering::Relaxed);
+                if let Err(e) = force_res {
                     error = Some(e);
                 } else {
                     if !force_delay.is_zero() {
-                        // modeled device service time; commits queue behind it
-                        std::thread::sleep(force_delay);
+                        // modeled device service time; commits queue
+                        // behind it. Sleep in heartbeat-sized slices so
+                        // a configured delay near (or beyond) the
+                        // supervisor deadline does not read as a wedged
+                        // thread — the device is slow, not stuck.
+                        let mut left = force_delay;
+                        while !left.is_zero() {
+                            let step = left.min(HEARTBEAT_TICK);
+                            std::thread::sleep(step);
+                            shared.heartbeat.fetch_add(1, Ordering::Relaxed);
+                            left -= step;
+                        }
                     }
                     let us = t_force.elapsed().as_micros() as u64;
                     tobs.forces.inc();

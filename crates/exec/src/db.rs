@@ -364,13 +364,16 @@ impl Inner {
         lock_ok(&self.selector).is_dead(stream)
     }
 
-    /// A surviving stream for rerouted work, if any.
+    /// A surviving stream for rerouted work, if any. The salt feeds the
+    /// policy's qp argument too, so mod-based policies spread failover
+    /// traffic (CLR reroutes, undo-path re-homes) across the live fleet
+    /// instead of always walking forward from stream 0.
     fn pick_live(&self, salt: u64) -> Option<usize> {
         let mut sel = lock_ok(&self.selector);
         if sel.live_count() == 0 {
             return None;
         }
-        Some(sel.pick(0, salt))
+        Some(sel.pick(salt as usize, salt))
     }
 
     /// Quarantine `stream`: take it out of routing, fail its producers
@@ -948,7 +951,13 @@ impl ExecDb {
                     if attempts >= self.inner.cfg.wal.log_streams {
                         return Err(e);
                     }
-                    self.inner.reroute_if_needed(txn)?;
+                    if let Err(re) = self.inner.reroute_if_needed(txn) {
+                        // the survivor we rerouted to may itself have
+                        // just died — classify it so this site
+                        // quarantines it too, like the commit path
+                        self.inner.note_appender_failure(&re);
+                        return Err(re);
+                    }
                     if txn.home == stream {
                         // no live alternative was found
                         return Err(e);
@@ -1035,7 +1044,13 @@ impl ExecDb {
     /// failures quarantine the stream and retry on the survivors; a
     /// fleet below [`ExecConfig::min_live_streams`] sheds the request
     /// with [`ExecError::Degraded`]; an exhausted budget reports
-    /// [`ExecError::Starved`].
+    /// [`ExecError::Starved`]. A commit wait that exceeds
+    /// [`ExecConfig::commit_timeout_ms`] surfaces as
+    /// [`ExecError::Timeout`] **without retrying**: the group-commit
+    /// daemon still owns the request and may yet make the original
+    /// commit durable, so re-executing the body could apply the
+    /// transaction twice — the indeterminate outcome belongs to the
+    /// caller.
     pub fn run_txn<F>(&self, qp: usize, body: F) -> Result<(), ExecError>
     where
         F: Fn(&mut ExecCtx<'_>) -> Result<(), ExecError>,
@@ -1080,10 +1095,15 @@ impl ExecDb {
                                 .emit(EventKind::TxnCommit, txn_id, qp as u64, 0, us);
                             return Ok(());
                         }
-                        // the commit path already rolled back and
-                        // released locks — no abort here, just retry
-                        // (the failed stream is quarantined by now, so
-                        // the retry routes around it)
+                        // Every retryable commit error is *determinate*:
+                        // it was either rejected before submission or
+                        // rolled back daemon-side with locks released —
+                        // no abort here, just retry (the failed stream
+                        // is quarantined by now, so the retry routes
+                        // around it). ExecError::Timeout never lands
+                        // here: the daemon still owns that request and
+                        // may yet commit it, so it is non-retryable and
+                        // returns below.
                         Err(e) if e.is_retryable() => {
                             pause(&mut backoff);
                         }
@@ -1498,6 +1518,52 @@ mod tests {
         }
         assert!(db.is_degraded());
         assert!(db.obs().snapshot().counter("failover.degraded_rejects") >= Some(1));
+    }
+
+    #[test]
+    fn run_txn_does_not_retry_indeterminate_commit_timeout() {
+        // A timed-out commit wait leaves the request owned by the
+        // group-commit daemon, which commits it once the device stall
+        // clears — retrying would apply the transaction twice. run_txn
+        // must return the Timeout without re-executing the body.
+        let mut cfg = small_cfg();
+        cfg.wal.log_streams = 1;
+        cfg.commit_timeout_ms = 40;
+        let db = ExecDb::new(cfg.clone());
+        // stall the first log write (the commit force) past the waiter's
+        // deadline, but let it complete; the device stays healthy after
+        db.inject_stream_fault(0, FaultPlan::new().stick_write(0, 300))
+            .unwrap();
+        let bodies = AtomicU64::new(0);
+        let err = db
+            .run_txn(0, |ctx| {
+                bodies.fetch_add(1, Ordering::Relaxed);
+                ctx.write(1, 0, b"once")
+            })
+            .unwrap_err();
+        match err {
+            ExecError::Timeout { what, .. } => assert_eq!(what, "group commit"),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert_eq!(
+            bodies.load(Ordering::Relaxed),
+            1,
+            "an indeterminate commit timeout must not re-execute the body"
+        );
+        // the daemon still owned the request: once the stall cleared the
+        // original commit became durable anyway — exactly the outcome a
+        // retry would have doubled
+        let image = db.crash_image().unwrap();
+        let (mut recovered, _) = WalDb::recover(image, cfg.wal).unwrap();
+        let t = recovered.begin();
+        assert_eq!(recovered.read(t, 1, 0, 4).unwrap(), b"once");
+        // the daemon bumps `committed` after the gate releases; give the
+        // bookkeeping a moment to land
+        let t0 = Instant::now();
+        while db.stats().committed != 1 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::yield_now();
+        }
+        assert_eq!(db.stats().committed, 1);
     }
 
     #[test]

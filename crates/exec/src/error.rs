@@ -108,12 +108,20 @@ impl ExecError {
     /// again: lock conflicts and appender failures are retryable (a
     /// failed stream is quarantined and the retry routes around it);
     /// degraded mode, starvation, and poisoning are terminal.
+    ///
+    /// [`ExecError::Timeout`] is deliberately **not** retryable: a
+    /// timed-out [`crate::CommitHandle::wait`] leaves the request owned
+    /// by the group-commit daemon, which may still force the commit
+    /// record after the waiter gives up (e.g. a device stall that clears
+    /// inside the daemon's own bounded waits). Re-executing the body
+    /// then would apply the transaction's effects twice. The outcome is
+    /// *indeterminate* — only the caller can decide what that means.
     pub fn is_retryable(&self) -> bool {
         match self {
             ExecError::Wal(WalError::LockConflict { .. }) => true,
             ExecError::Appender { .. } => true,
-            ExecError::Timeout { .. } => true,
-            ExecError::Wal(_)
+            ExecError::Timeout { .. }
+            | ExecError::Wal(_)
             | ExecError::Starved { .. }
             | ExecError::Degraded { .. }
             | ExecError::Poisoned { .. } => false,

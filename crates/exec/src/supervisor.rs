@@ -15,10 +15,11 @@
 //! * a **wedged thread** — the heartbeat has not advanced for
 //!   [`ExecConfig::force_deadline_ms`](crate::ExecConfig) → quarantine
 //!   as *stalled*. A healthy appender bumps its heartbeat every loop
-//!   iteration, *including idle ticks* (it wakes from its channel wait
-//!   every few milliseconds), so a frozen heartbeat can only mean the
-//!   thread is stuck inside an append, a force, or a snapshot — stuck
-//!   device I/O being the canonical cause.
+//!   iteration *including idle ticks* (it wakes from its channel wait
+//!   every few milliseconds), per batched request, after every force,
+//!   and through each slice of the modeled device delay — so a frozen
+//!   heartbeat isolates a **single** device I/O that is stuck, never a
+//!   long batch or a slow-but-working device.
 //!
 //! Quarantining goes through [`Inner::quarantine_stream`] — the same
 //! idempotent path worker append errors and daemon force errors use, so
@@ -76,9 +77,9 @@ pub(crate) fn run_supervisor(inner: Arc<Inner>, stop: Arc<AtomicBool>) {
                     "appender thread found dead by supervisor".to_string(),
                 ))
             } else if t_suspect.elapsed() >= deadline {
-                // the loop has not turned over for a whole deadline —
-                // the thread is wedged mid-batch (e.g. stuck device I/O);
-                // a healthy thread heartbeats every few ms even when idle
+                // no beat for a whole deadline — a single device I/O is
+                // wedged (a healthy thread beats every few ms when idle,
+                // per batched request, and through modeled device delays)
                 Some(AppenderError::Stalled {
                     what: "heartbeat",
                     waited_ms: t_suspect.elapsed().as_millis() as u64,
@@ -131,6 +132,25 @@ mod tests {
             assert!(t0.elapsed() < deadline, "timed out waiting for {what}");
             std::thread::sleep(Duration::from_millis(2));
         }
+    }
+
+    #[test]
+    fn slow_forces_do_not_convict_a_healthy_appender() {
+        // A modeled device service time well past the stall deadline:
+        // the appender heartbeats through the delay in slices, so the
+        // supervisor must keep telling "slow" apart from "stuck".
+        let mut c = cfg(2);
+        c.force_delay_us = 250_000; // 250 ms per force
+        c.force_deadline_ms = 100; // stall verdict after 100 ms
+        let db = ExecDb::new(c);
+        for i in 0..3u64 {
+            db.run_txn(i as usize, |ctx| ctx.write(i, 0, b"slow"))
+                .unwrap();
+        }
+        assert_eq!(db.live_streams(), 2, "slow stream falsely quarantined");
+        assert!(!db.is_degraded());
+        let snap = db.obs().snapshot();
+        assert_eq!(snap.counter("failover.quarantined").unwrap_or(0), 0);
     }
 
     #[test]
