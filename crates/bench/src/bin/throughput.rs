@@ -6,7 +6,8 @@
 //! wall-clock companion to the simulated tables.
 //!
 //! ```text
-//! throughput [--secs F] [--smoke] [--json] [--obs] [--kill-stream N@MS]
+//! throughput [--secs F] [--smoke] [--json] [--obs]
+//!            [--kill-stream N@MS] [--streams K] [--rejoin-at MS]
 //! ```
 //!
 //! * `--secs F`  — seconds per sweep cell (default 1.0)
@@ -17,15 +18,23 @@
 //!   and dump the cumulative [`rmdb_obs::MetricsSnapshot`]: as a
 //!   `"metrics"` key with `--json`, as a readable table otherwise
 //! * `--kill-stream N@MS` — run the failover benchmark instead of the
-//!   sweep: 4 workers × 4 log streams, with log stream `N`'s device
-//!   failed hard `MS` milliseconds into the run. Measures commit latency
-//!   p50/p99 before, during, and after the failover window, verifies
-//!   zero acked-commit loss against a recovered crash image, and writes
-//!   `results/BENCH_failover.json`.
+//!   sweep: 4 workers × `--streams` log streams, with log stream `N`'s
+//!   device failed hard `MS` milliseconds into the run. Measures commit
+//!   latency p50/p99 before, during, and after the failover window,
+//!   verifies zero acked-commit loss against a recovered crash image,
+//!   and writes `results/BENCH_failover.json`.
+//! * `--streams K` — failover-bench fleet size (default 4, min 2); the
+//!   emitted JSON carries it so gates derive expectations from the
+//!   document instead of hardcoding the fleet size
+//! * `--rejoin-at MS` — membership churn: heal the killed device `MS`
+//!   milliseconds into the run (after the kill) and readmit the stream
+//!   via [`rmdb_exec::ExecDb::rejoin_stream`]. Adds a `post_rejoin`
+//!   latency phase and a `churn` row (throughput before the kill,
+//!   during the outage, and after the rejoin) to the JSON.
 
 use rmdb_exec::{ExecConfig, ExecDb, Executor};
 use rmdb_obs::Registry;
-use rmdb_storage::FaultPlan;
+use rmdb_storage::{FaultInjector, FaultPlan};
 use rmdb_wal::{WalConfig, WalDb};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -178,25 +187,38 @@ fn phase_json(name: &str, samples: &[Sample]) -> String {
 }
 
 const KILL_WORKERS: u64 = 4;
-const KILL_STREAMS: usize = 4;
 
 /// The failover cell: 4 dedicated worker threads over disjoint page ranges
 /// (one in-flight transaction per page, so acked values are per-page
 /// monotone and zero-loss is machine-checkable), stream `spec.stream`
-/// killed hard at `spec.at_ms`. Runs for `spec.at_ms + secs·1000` ms total.
-fn run_failover(spec: &KillSpec, secs: f64, json: bool) -> i32 {
+/// killed hard at `spec.at_ms`, optionally healed and readmitted at
+/// `rejoin_at_ms`. Runs for `spec.at_ms + secs·1000` ms total.
+fn run_failover(
+    spec: &KillSpec,
+    streams: usize,
+    rejoin_at_ms: Option<u64>,
+    secs: f64,
+    json: bool,
+) -> i32 {
     assert!(
-        spec.stream < KILL_STREAMS,
-        "--kill-stream index {} out of range (fleet of {KILL_STREAMS})",
+        spec.stream < streams,
+        "--kill-stream index {} out of range (fleet of {streams})",
         spec.stream
     );
+    if let Some(r) = rejoin_at_ms {
+        assert!(
+            r > spec.at_ms,
+            "--rejoin-at {r} must come after the kill at {} ms",
+            spec.at_ms
+        );
+    }
     let obs = Registry::new();
     let cfg = ExecConfig {
         wal: WalConfig {
             // +2: pages reserved for the long-transaction probe
             data_pages: DATA_PAGES + 2,
             pool_frames: 320,
-            log_streams: KILL_STREAMS,
+            log_streams: streams,
             log_frames: 1 << 18,
             seed: 1985,
             ..WalConfig::default()
@@ -214,23 +236,43 @@ fn run_failover(spec: &KillSpec, secs: f64, json: bool) -> i32 {
     let t0 = Instant::now();
     let deadline = t0 + Duration::from_millis(spec.at_ms) + Duration::from_secs_f64(secs);
 
-    // killer: arm the device fault at the kill point, then time detection
-    let kill_detect_ms = {
+    // killer: arm the device fault at the kill point, time detection, and
+    // — under --rejoin-at — heal the device and readmit the stream. The
+    // bench keeps the fault handle so the "repair" is the real protocol:
+    // revive the injector, then rejoin_stream revalidates the durable
+    // prefix and swaps in a successor appender.
+    let fault = FaultInjector::handle(FaultPlan::new().fail_from_write(0));
+    let kill_outcome = {
         let db = Arc::clone(&db);
+        let fault = Arc::clone(&fault);
         let stream = spec.stream;
         let at = t0 + Duration::from_millis(spec.at_ms);
+        let rejoin_at = rejoin_at_ms.map(|ms| t0 + Duration::from_millis(ms));
         std::thread::spawn(move || {
             std::thread::sleep(at.saturating_duration_since(Instant::now()));
             let t_kill = Instant::now();
-            db.inject_stream_fault(stream, FaultPlan::new().fail_from_write(0))
+            db.inject_stream_fault_handle(stream, Arc::clone(&fault))
                 .expect("inject kill fault");
             while !db.is_stream_dead(stream) {
                 if t_kill.elapsed() > Duration::from_secs(30) {
-                    return u64::MAX; // never detected — reported, gates fail
+                    return (u64::MAX, None); // never detected — reported, gates fail
                 }
                 std::thread::sleep(Duration::from_micros(200));
             }
-            t_kill.elapsed().as_millis() as u64
+            let detect_ms = t_kill.elapsed().as_millis() as u64;
+            let Some(rejoin_at) = rejoin_at else {
+                return (detect_ms, None);
+            };
+            std::thread::sleep(rejoin_at.saturating_duration_since(Instant::now()));
+            fault.lock().revive();
+            let t_rejoin = Instant::now();
+            while db.rejoin_stream(stream).is_err() {
+                if t_rejoin.elapsed() > Duration::from_secs(30) {
+                    return (detect_ms, Some(u64::MAX)); // never rejoined — gates fail
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            (detect_ms, Some(t0.elapsed().as_millis() as u64))
         })
     };
 
@@ -319,21 +361,26 @@ fn run_failover(spec: &KillSpec, secs: f64, json: bool) -> i32 {
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    let detect_ms = kill_detect_ms.join().unwrap();
+    let (detect_ms, rejoined_at_ms) = kill_outcome.join().unwrap();
+    let rejoin_boundary = rejoined_at_ms.filter(|&ms| ms != u64::MAX);
 
-    // bucket commit latencies around the failover window
+    // bucket commit latencies around the failover window; with a rejoin,
+    // everything past the readmission lands in a fourth phase
     let quarantined_at_ms = spec.at_ms.saturating_add(detect_ms);
     let mut before = Vec::new();
     let mut during = Vec::new();
     let mut after = Vec::new();
+    let mut post_rejoin = Vec::new();
     for out in &outs {
         for s in &out.samples {
             if s.done_ms < spec.at_ms {
                 before.push(Sample { ..*s });
             } else if s.done_ms <= quarantined_at_ms {
                 during.push(Sample { ..*s });
-            } else {
+            } else if rejoin_boundary.map_or(true, |r| s.done_ms < r) {
                 after.push(Sample { ..*s });
+            } else {
+                post_rejoin.push(Sample { ..*s });
             }
         }
     }
@@ -382,24 +429,61 @@ fn run_failover(spec: &KillSpec, secs: f64, json: bool) -> i32 {
 
     let snap = obs.snapshot();
     let counter = |name: &str| snap.counter(name).unwrap_or(0);
+
+    // the membership-churn row: throughput before the kill, during the
+    // outage (kill → rejoin), and after the rejoin — the acceptance gate
+    // compares the last against the first
+    let end_ms = spec.at_ms + (secs * 1000.0) as u64;
+    let tps = |commits: usize, window_ms: u64| {
+        if window_ms == 0 {
+            0.0
+        } else {
+            commits as f64 * 1000.0 / window_ms as f64
+        }
+    };
+    let churn = rejoin_at_ms.map_or("null".to_string(), |requested| {
+        let rejoined = rejoin_boundary.unwrap_or(end_ms);
+        format!(
+            "{{\"rejoin_at_ms\":{requested},\"rejoined_at_ms\":{},\
+\"tps_before\":{:.1},\"tps_outage\":{:.1},\"tps_after_rejoin\":{:.1}}}",
+            rejoin_boundary.map_or("null".to_string(), |r| r.to_string()),
+            tps(before.len(), spec.at_ms),
+            tps(
+                during.len() + after.len(),
+                rejoined.saturating_sub(spec.at_ms)
+            ),
+            tps(post_rejoin.len(), end_ms.saturating_sub(rejoined)),
+        )
+    });
+    let mut phases = vec![
+        phase_json("before", &before),
+        phase_json("during", &during),
+        phase_json("after", &after),
+    ];
+    if rejoin_at_ms.is_some() {
+        phases.push(phase_json("post_rejoin", &post_rejoin));
+    }
+    let commits_after = after.len() + post_rejoin.len();
     let report = format!(
-        "{{\"bench\":\"failover\",\"kill_stream\":{},\"kill_at_ms\":{},\"detect_ms\":{},\
-\"phases\":[{},{},{}],\
+        "{{\"bench\":\"failover\",\"kill_stream\":{},\"kill_at_ms\":{},\"streams\":{},\
+\"detect_ms\":{},\
+\"phases\":[{}],\
 \"commits_after_failover\":{},\"errors\":{},\"lost_acked_commits\":{},\
-\"live_streams_after\":{},\"degraded\":{},\
+\"live_streams_after\":{},\"degraded\":{},\"rejoins\":{},\"churn\":{},\
 \"failover\":{{\"quarantined\":{},\"reroutes\":{},\"rerouted_fragments\":{},\
 \"txn_retries\":{},\"degraded_rejects\":{}}}}}",
         spec.stream,
         spec.at_ms,
+        streams,
         detect_ms,
-        phase_json("before", &before),
-        phase_json("during", &during),
-        phase_json("after", &after),
-        after.len(),
+        phases.join(","),
+        commits_after,
         errors,
         lost_acked,
         live_after,
         degraded,
+        counter("failover.rejoins"),
+        churn,
         counter("failover.quarantined"),
         counter("failover.reroutes"),
         counter("failover.rerouted_fragments"),
@@ -412,13 +496,22 @@ fn run_failover(spec: &KillSpec, secs: f64, json: bool) -> i32 {
         println!("{report}");
     } else {
         println!(
-            "failover bench: killed stream {} at {} ms (detected in {} ms)",
-            spec.stream, spec.at_ms, detect_ms
+            "failover bench: killed stream {} of {} at {} ms (detected in {} ms)",
+            spec.stream, streams, spec.at_ms, detect_ms
         );
+        if let Some(r) = rejoin_boundary {
+            println!("rejoined stream {} at {} ms", spec.stream, r);
+        }
         println!("{report}");
         println!("wrote results/BENCH_failover.json");
     }
-    if lost_acked > 0 || after.is_empty() || detect_ms == u64::MAX {
+    let rejoin_failed = rejoin_at_ms.is_some()
+        && (rejoin_boundary.is_none()
+            || live_after != streams
+            || degraded
+            || post_rejoin.is_empty()
+            || counter("failover.rejoins") == 0);
+    if lost_acked > 0 || commits_after == 0 || detect_ms == u64::MAX || rejoin_failed {
         1
     } else {
         0
@@ -432,6 +525,8 @@ fn main() {
     let mut json = false;
     let mut obs_dump = false;
     let mut kill: Option<KillSpec> = None;
+    let mut kill_streams: usize = 4;
+    let mut rejoin_at: Option<u64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -455,13 +550,33 @@ fn main() {
                 }
                 i += 1;
             }
+            "--streams" => {
+                kill_streams = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 2)
+                    .unwrap_or_else(|| {
+                        eprintln!("--streams needs an integer argument >= 2");
+                        std::process::exit(2);
+                    });
+                i += 1;
+            }
+            "--rejoin-at" => {
+                rejoin_at = Some(args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(
+                    || {
+                        eprintln!("--rejoin-at needs a millisecond argument");
+                        std::process::exit(2);
+                    },
+                ));
+                i += 1;
+            }
             _ => {}
         }
         i += 1;
     }
 
     if let Some(spec) = kill {
-        std::process::exit(run_failover(&spec, secs, json));
+        std::process::exit(run_failover(&spec, kill_streams, rejoin_at, secs, json));
     }
 
     let sweep: Vec<(usize, usize, Contention)> = if smoke {

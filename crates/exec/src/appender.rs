@@ -142,6 +142,21 @@ struct ThreadObs {
     obs: Registry,
 }
 
+/// Ticket-space state a rejoined stream incarnation inherits from its
+/// predecessor, so tickets stay unique per stream across churn and the
+/// durable prefix stays queryable through the fresh handle.
+#[derive(Debug, Clone, Default)]
+pub struct TicketInheritance {
+    /// First ticket the new incarnation will issue (old `issued + 1`).
+    pub next_seq: u64,
+    /// Highest durable ticket of the old incarnation; `is_forced` keeps
+    /// answering true for the inherited prefix.
+    pub forced: u64,
+    /// Orphan ranges `(lo, hi]`: tickets issued by a dead incarnation but
+    /// never forced — lost with its volatile tail, never durable here.
+    pub orphans: Vec<(u64, u64)>,
+}
+
 /// Handle to one log-processor thread.
 pub struct LogAppender {
     /// Stream index in the fleet, for error attribution.
@@ -153,6 +168,11 @@ pub struct LogAppender {
     forces: AtomicU64,
     /// Producer wait deadline for `wait_forced` / `snapshot`.
     wait: Duration,
+    /// Tickets issued by dead predecessor incarnations that never became
+    /// durable: `(lo, hi]` ranges, immutable for this incarnation's
+    /// lifetime. `is_forced` must never report them durable even though
+    /// the inherited `forced` watermark has passed them.
+    orphans: Vec<(u64, u64)>,
     /// Fragments enqueued — the producer-side half of the
     /// `fragments_enqueued == fragments_appended` conservation law.
     enqueued: Counter,
@@ -191,9 +211,43 @@ impl LogAppender {
         idx: usize,
         wait: Duration,
     ) -> Self {
+        LogAppender::spawn_rejoined(
+            stream,
+            queue,
+            force_delay,
+            obs,
+            idx,
+            wait,
+            TicketInheritance {
+                next_seq: 1,
+                forced: 0,
+                orphans: Vec::new(),
+            },
+        )
+    }
+
+    /// [`LogAppender::spawn_observed`] for a rejoined stream incarnation:
+    /// the fresh appender continues the predecessor's ticket space so the
+    /// inherited durable prefix stays `is_forced` and the orphaned tail
+    /// stays *not* durable — forever. The `appended` and `forced`
+    /// watermarks both start at the inherited `forced`, so a post-rejoin
+    /// force can never sweep the orphan range into durability.
+    pub fn spawn_rejoined(
+        stream: LogStream,
+        queue: usize,
+        force_delay: Duration,
+        obs: &Registry,
+        idx: usize,
+        wait: Duration,
+        inherit: TicketInheritance,
+    ) -> Self {
         let (tx, rx) = sync_channel(queue.max(1));
         let shared = Arc::new(Shared {
-            state: Mutex::new(State::default()),
+            state: Mutex::new(State {
+                appended: inherit.forced,
+                forced: inherit.forced,
+                ..State::default()
+            }),
             cv: Condvar::new(),
             heartbeat: AtomicU64::new(0),
             alive: AtomicBool::new(true),
@@ -214,10 +268,11 @@ impl LogAppender {
         LogAppender {
             idx,
             tx: Mutex::new(tx),
-            next_seq: AtomicU64::new(1),
+            next_seq: AtomicU64::new(inherit.next_seq.max(1)),
             shared,
             forces: AtomicU64::new(0),
             wait,
+            orphans: inherit.orphans,
             enqueued: obs.counter(&format!("wal.fragments_enqueued.s{idx}")),
             handle: Some(handle),
         }
@@ -258,6 +313,9 @@ impl LogAppender {
 
     /// Ask the appender to make ticket `seq` durable (non-blocking).
     pub fn request_force(&self, seq: u64) -> Result<(), ExecError> {
+        if self.orphaned(seq) {
+            return Err(self.err(AppenderError::Orphaned { seq }));
+        }
         if self.is_forced(seq) {
             return Ok(());
         }
@@ -274,7 +332,21 @@ impl LogAppender {
     /// flush path keep flushing pages whose fragments were durable on a
     /// stream before it died.
     pub fn is_forced(&self, seq: u64) -> bool {
-        lock_ok(&self.shared.state).forced >= seq
+        !self.orphaned(seq) && lock_ok(&self.shared.state).forced >= seq
+    }
+
+    /// Whether ticket `seq` was orphaned by a predecessor incarnation's
+    /// death: issued but never forced before the rejoin, so its bytes
+    /// are gone. Such a ticket can never become durable here — the
+    /// fragment must be re-appended (here or elsewhere) under a new
+    /// ticket.
+    pub fn orphaned(&self, seq: u64) -> bool {
+        self.orphans.iter().any(|&(lo, hi)| lo < seq && seq <= hi)
+    }
+
+    /// The accumulated orphan ranges `(lo, hi]`, oldest first.
+    pub fn orphan_ranges(&self) -> &[(u64, u64)] {
+        &self.orphans
     }
 
     /// Highest durable ticket — the quarantined stream's durable prefix
@@ -288,6 +360,10 @@ impl LogAppender {
     /// failure state, then quarantine, sticky error, thread death, and
     /// finally the bounded-wait deadline).
     pub fn wait_forced(&self, seq: u64) -> Result<(), ExecError> {
+        if self.orphaned(seq) {
+            // never durable here — waiting out the deadline would be lying
+            return Err(self.err(AppenderError::Orphaned { seq }));
+        }
         let start = Instant::now();
         let mut state = lock_ok(&self.shared.state);
         loop {
@@ -427,6 +503,64 @@ impl LogAppender {
             Some(e) => Err(self.err(AppenderError::Persistent(e.clone()))),
             None => Ok(()),
         }
+    }
+
+    /// Stop the thread in place without consuming the handle (the rejoin
+    /// protocol's first step: producers may still hold stale clones of
+    /// this handle while the fleet slot is being replaced). Sends
+    /// shutdown and waits — bounded by the producer deadline — for the
+    /// vault guard to run. Idempotent: an already-dead thread returns
+    /// `Ok` immediately.
+    pub fn retire(&self) -> Result<(), ExecError> {
+        {
+            let tx = lock_ok(&self.tx);
+            let _ = tx.send(Req::Shutdown);
+        }
+        let start = Instant::now();
+        while self.shared.alive.load(Ordering::Acquire) {
+            let elapsed = start.elapsed();
+            if elapsed >= self.wait {
+                return Err(self.err(AppenderError::Stalled {
+                    what: "retire",
+                    waited_ms: elapsed.as_millis() as u64,
+                }));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(())
+    }
+
+    /// Probe the vaulted stream's device in place: one header-frame read
+    /// and write-back through the fault injector. Cheap health gate for
+    /// the membership manager's rejoin probe — fails while the device's
+    /// permanent fault is still tripped, succeeds once a fault-clear has
+    /// revived it. Errors if the thread has not deposited the stream.
+    pub fn probe_vaulted_device(&self) -> Result<(), ExecError> {
+        let mut vault = lock_ok(&self.shared.vault);
+        match vault.as_mut() {
+            Some(stream) => stream
+                .probe_device()
+                .map_err(|e| self.err(AppenderError::Persistent(e))),
+            None => Err(self.err(AppenderError::ThreadDeath(
+                "stream not vaulted; retire the thread first".to_string(),
+            ))),
+        }
+    }
+
+    /// Take the vaulted stream (rejoin hand-off); the caller now owns the
+    /// device and this handle can no longer serve snapshots.
+    pub fn take_vaulted(&self) -> Result<LogStream, ExecError> {
+        lock_ok(&self.shared.vault).take().ok_or_else(|| {
+            self.err(AppenderError::ThreadDeath(
+                "appender exited without depositing its stream".to_string(),
+            ))
+        })
+    }
+
+    /// Put a stream back in the vault (a rejoin step failed after the
+    /// hand-off; crash images must keep finding the durable prefix).
+    pub fn return_to_vault(&self, stream: LogStream) {
+        *lock_ok(&self.shared.vault) = Some(stream);
     }
 
     /// Stop the thread and take the stream back (final shutdown). A
@@ -790,5 +924,92 @@ mod tests {
         ));
         assert!(app.is_forced(t1));
         assert!(app.is_quarantined());
+    }
+
+    #[test]
+    fn rejoined_incarnation_inherits_prefix_and_orphans_the_volatile_tail() {
+        let app = LogAppender::spawn(LogStream::create(256), 64, Duration::ZERO);
+        let t1 = app.append(commit(1)).unwrap();
+        app.force_through(t1).unwrap();
+        let t2 = app.append(commit(2)).unwrap(); // never forced
+        app.retire().unwrap();
+        app.probe_vaulted_device().unwrap();
+        let issued = app.tickets_issued();
+        let forced = app.forced_high();
+        assert_eq!((forced, issued), (t1, t2));
+        let disk = app.take_vaulted().unwrap().into_disk();
+        let reopened = LogStream::open(disk).unwrap();
+        let next = LogAppender::spawn_rejoined(
+            reopened,
+            64,
+            Duration::ZERO,
+            &rmdb_obs::Registry::new(),
+            0,
+            Duration::from_secs(5),
+            TicketInheritance {
+                next_seq: issued + 1,
+                forced,
+                orphans: vec![(forced, issued)],
+            },
+        );
+        // the durable prefix keeps reading as forced; the lost tail never does
+        assert!(next.is_forced(t1));
+        assert!(next.orphaned(t2));
+        assert!(!next.is_forced(t2));
+        match next.request_force(t2) {
+            Err(ExecError::Appender {
+                error: AppenderError::Orphaned { seq },
+                ..
+            }) => assert_eq!(seq, t2),
+            other => panic!("expected Orphaned, got {other:?}"),
+        }
+        let t0 = Instant::now();
+        match next.wait_forced(t2) {
+            Err(ExecError::Appender {
+                error: AppenderError::Orphaned { .. },
+                ..
+            }) => {}
+            other => panic!("expected Orphaned, got {other:?}"),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "orphan wait must fail fast, not ride out the deadline"
+        );
+        // ticket space continues past the dead incarnation's issue point
+        let t3 = next.append(commit(3)).unwrap();
+        assert!(t3 > t2);
+        next.force_through(t3).unwrap();
+        // forcing new work must not sweep the orphan range into durability
+        assert!(!next.is_forced(t2) && next.orphaned(t2));
+        assert!(next.is_forced(t1) && next.is_forced(t3));
+        // the platter holds exactly the durable records: old prefix + new tail
+        let disk = next.snapshot().unwrap();
+        let mgr = ParallelLogManager::open(vec![disk], SelectionPolicy::Cyclic, 0).unwrap();
+        assert_eq!(mgr.scan_all()[0], vec![commit(1), commit(3)]);
+    }
+
+    #[test]
+    fn retire_is_idempotent_and_vault_roundtrips() {
+        let app = LogAppender::spawn(LogStream::create(256), 64, Duration::ZERO);
+        let t1 = app.append(commit(1)).unwrap();
+        app.force_through(t1).unwrap();
+        app.retire().unwrap();
+        app.retire().unwrap(); // already dead: immediate Ok
+                               // snapshots are served from the vault while retired
+        let disk = app.snapshot().unwrap();
+        let mgr = ParallelLogManager::open(vec![disk], SelectionPolicy::Cyclic, 0).unwrap();
+        assert_eq!(mgr.scan_all()[0], vec![commit(1)]);
+        // a failed rejoin step puts the stream back: the vault keeps serving
+        let stream = app.take_vaulted().unwrap();
+        assert!(
+            app.take_vaulted().is_err(),
+            "vault must be empty after take"
+        );
+        assert!(app.probe_vaulted_device().is_err());
+        app.return_to_vault(stream);
+        app.probe_vaulted_device().unwrap();
+        let disk = app.snapshot().unwrap();
+        let mgr = ParallelLogManager::open(vec![disk], SelectionPolicy::Cyclic, 0).unwrap();
+        assert_eq!(mgr.scan_all()[0], vec![commit(1)]);
     }
 }

@@ -47,16 +47,37 @@
 //! than [`ExecConfig::min_live_streams`] streams survive, the pipeline
 //! degrades: [`ExecDb::run_txn`] sheds load with a typed
 //! [`ExecError::Degraded`] instead of queueing work that cannot commit.
+//!
+//! ## Membership churn
+//!
+//! Quarantine is no longer a one-way door. [`ExecDb::rejoin_stream`]
+//! readmits a recovered device: the dead incarnation's thread is
+//! retired, the vaulted device probed through its fault injector, the
+//! durable prefix revalidated by reopening the stream (torn-tail cut +
+//! epoch bump), and a fresh appender spawned that *inherits the ticket
+//! space* — the durable prefix stays forced, while tickets issued but
+//! never forced by the dead incarnation become an **orphan range** that
+//! can never read as durable again ([`LogAppender::orphaned`]). Owners
+//! of orphaned fragments re-append them under new tickets via the same
+//! reroute path used for dead streams; recovery deduplicates any copies
+//! by LSN exactly as it does for rerouted fragments. A device that will
+//! never return is swapped out by [`ExecDb::replace_stream`], which
+//! archives the old platter for recovery and spawns the successor on a
+//! blank one. [`ExecDb::park_stream`] / [`ExecDb::unpark_stream`]
+//! resize the *serving* fleet without touching durability (a parked
+//! appender keeps answering forces). Every membership change recomputes
+//! degraded mode from the live count — the latch clears when the fleet
+//! recovers.
 
-use crate::appender::LogAppender;
+use crate::appender::{LogAppender, TicketInheritance};
 use crate::error::{AppenderError, ExecError};
 use crate::group::{run_daemon, CommitHandle, CommitReq};
 use crate::sync::lock_ok;
 use rmdb_obs::{Counter, EventKind, Histogram, MetricsSnapshot, Registry};
 use rmdb_storage::Lsn;
 use rmdb_storage::{
-    read_page_retry, write_page_verified, FaultInjector, FaultPlan, MemDisk, Page, PageId,
-    ShardedPool, StorageError, PAYLOAD_SIZE,
+    read_page_retry, write_page_verified, FaultHandle, FaultInjector, FaultPlan, MemDisk, Page,
+    PageId, ShardedPool, StorageError, PAYLOAD_SIZE,
 };
 use rmdb_wal::db::{LogMode, WalConfig};
 use rmdb_wal::lock::LockMode;
@@ -118,6 +139,20 @@ pub struct ExecConfig {
     /// Producer-side wait deadline per appender interaction (force
     /// waits, snapshot replies).
     pub append_wait_ms: u64,
+    /// Membership-manager probe period for quarantined streams, in
+    /// milliseconds. When non-zero the supervisor periodically attempts
+    /// [`ExecDb::rejoin_stream`] on every quarantined stream; a device
+    /// whose fault has cleared (or was cleared by an operator) rejoins
+    /// automatically, one that is still broken fails the probe and
+    /// stays quarantined until the next period. Zero (the default)
+    /// disables auto-rejoin — failed streams stay out until readmitted
+    /// explicitly.
+    pub rejoin_probe_ms: u64,
+    /// Let the supervisor resize the serving fleet under load: park the
+    /// highest live stream after a sustained idle spell, unpark parked
+    /// streams when appender backlog builds. Parking never shrinks the
+    /// serving fleet below `min_live_streams` (or 1). Off by default.
+    pub autoscale: bool,
     /// Observability registry the pipeline publishes into. Cloneable and
     /// Arc-backed, so a bench can hand several databases the same
     /// registry and read cumulative metrics across all of them. Defaults
@@ -140,6 +175,8 @@ impl Default for ExecConfig {
             force_deadline_ms: 1_000,
             commit_timeout_ms: 30_000,
             append_wait_ms: 30_000,
+            rejoin_probe_ms: 0,
+            autoscale: false,
             obs: Registry::new(),
         }
     }
@@ -305,10 +342,70 @@ impl Txn {
     }
 }
 
+/// What a successful [`ExecDb::rejoin_stream`] /
+/// [`ExecDb::replace_stream`] did.
+#[derive(Debug, Clone)]
+pub struct RejoinReport {
+    /// The readmitted stream.
+    pub stream: usize,
+    /// `true` for [`ExecDb::replace_stream`] (old platter archived, new
+    /// device blank), `false` for a same-device rejoin.
+    pub replaced_device: bool,
+    /// Records revalidated on the durable prefix (0 for a replacement —
+    /// its prefix lives in the archive, not on the new device).
+    pub durable_records: u64,
+    /// Torn log pages the prefix validation cut away.
+    pub corrupt_pages: u64,
+    /// Tickets orphaned across all of this stream's incarnations:
+    /// issued but never forced, lost with a dead incarnation's volatile
+    /// tail. Owners re-append them under new tickets.
+    pub orphaned_tickets: u64,
+    /// Serving streams after readmission.
+    pub live_streams: usize,
+    /// Wall-clock from the rejoin request to the stream serving again.
+    pub catchup_us: u64,
+}
+
 /// Data disk plus the doublewrite cursor it protects.
 struct DataState {
     disk: MemDisk,
     dw_cursor: u64,
+}
+
+/// The appender fleet with replaceable membership: one slot per stream,
+/// each holding the current incarnation behind its own tiny mutex so a
+/// rejoin can swap in a fresh appender while producers keep cloning
+/// handles. Producers hold an `Arc` across an interaction; a handle that
+/// goes stale mid-call fails with a quarantine/orphan error and the
+/// retry re-resolves through the slot.
+pub(crate) struct Fleet {
+    slots: Vec<Mutex<Arc<LogAppender>>>,
+}
+
+impl Fleet {
+    fn new(appenders: Vec<LogAppender>) -> Self {
+        Fleet {
+            slots: appenders
+                .into_iter()
+                .map(|a| Mutex::new(Arc::new(a)))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The current incarnation serving `stream`.
+    pub(crate) fn get(&self, stream: usize) -> Arc<LogAppender> {
+        Arc::clone(&lock_ok(&self.slots[stream]))
+    }
+
+    /// Swap in a fresh incarnation; returns the retired one (kept alive
+    /// by any producer still mid-interaction with it).
+    fn replace(&self, stream: usize, next: LogAppender) -> Arc<LogAppender> {
+        std::mem::replace(&mut *lock_ok(&self.slots[stream]), Arc::new(next))
+    }
 }
 
 /// Everything shared between workers, the appenders, the daemon, and
@@ -322,14 +419,28 @@ pub(crate) struct Inner {
     /// fragment" table from the paper's back-end controller).
     shards: ShardedPool<HashMap<PageId, (usize, u64)>>,
     data: Mutex<DataState>,
-    pub(crate) appenders: Vec<LogAppender>,
+    pub(crate) appenders: Fleet,
     selector: Mutex<Selector>,
+    /// Serialises membership changes (rejoin, replace, park, unpark) so
+    /// two probes cannot hand the same vaulted device to two incarnations.
+    membership: Mutex<()>,
+    /// Streams taken out of routing by scale-down, per stream. Parked is
+    /// *not* quarantined: the appender keeps running and serving forces
+    /// for already-issued tickets; the selector just stops routing new
+    /// work at it.
+    parked: Vec<AtomicBool>,
+    /// Platters archived by [`ExecDb::replace_stream`]: the durable
+    /// prefix of every device that was swapped out rather than rejoined.
+    /// [`ExecDb::crash_image`] appends them so recovery still merges the
+    /// commits they hold.
+    archived_logs: Mutex<Vec<MemDisk>>,
     /// Commit gate: held for every commit-record append + home force and
     /// for the whole of [`ExecDb::crash_image`].
     pub(crate) gate: Mutex<()>,
     next_txn: AtomicU64,
     next_lsn: AtomicU64,
-    /// Latched once the live fleet shrinks below `min_live_streams`.
+    /// `live < min_live_streams`, recomputed on every membership change
+    /// ([`Inner::recompute_degraded`]) — clears when the fleet recovers.
     degraded: AtomicBool,
     pub(crate) stats: Stats,
     /// Shared observability registry (see [`ExecConfig::obs`]).
@@ -396,12 +507,11 @@ impl Inner {
             0,
             error.class_ordinal(),
         );
-        self.appenders[stream].quarantine();
+        self.appenders.get(stream).quarantine();
         self.obs.counter("failover.quarantined").inc();
         self.obs
             .counter(&format!("failover.quarantined.{}", error.class()))
             .inc();
-        self.obs.gauge("failover.live_streams").set(live as u64);
         self.obs.emit(
             EventKind::StreamQuarantined,
             0,
@@ -409,19 +519,332 @@ impl Inner {
             0,
             live as u64,
         );
-        if live < self.cfg.min_live_streams {
-            self.degraded.store(true, Ordering::Release);
-        }
+        self.recompute_degraded();
+    }
+
+    /// Recompute degraded mode from the current live count and publish
+    /// the gauge. Every membership change (quarantine, rejoin, replace,
+    /// park, unpark) funnels through here, so degraded mode is always
+    /// `live < min_live_streams` — no one-way latch.
+    pub(crate) fn recompute_degraded(&self) -> usize {
+        let live = self.live_streams();
+        self.degraded
+            .store(live < self.cfg.min_live_streams, Ordering::Release);
+        self.obs.gauge("failover.live_streams").set(live as u64);
+        live
     }
 
     /// Classify an error from an appender interaction; quarantine the
     /// stream when the failure class warrants it.
+    ///
+    /// Guarded against stale handles: after a rejoin, a producer still
+    /// holding the retired incarnation's `Arc` can report that
+    /// incarnation's sticky error. The verdict is confirmed against the
+    /// *current* slot before convicting — a healthy successor absorbs
+    /// the stale report. `Stalled` always convicts (a probe cannot see
+    /// a wedged I/O; a mistaken conviction is undone by the next rejoin
+    /// probe).
     pub(crate) fn note_appender_failure(&self, e: &ExecError) {
         if let ExecError::Appender { stream, error } = e {
-            if error.is_fatal_to_stream() {
-                self.quarantine_stream(*stream, error);
+            if !error.is_fatal_to_stream() {
+                return;
             }
+            if *stream < self.appenders.len() {
+                let probe = self.appenders.get(*stream).probe();
+                let confirmed = match error {
+                    AppenderError::Persistent(_) => probe.error.is_some(),
+                    AppenderError::ThreadDeath(_) => !probe.alive,
+                    _ => true,
+                };
+                if !confirmed {
+                    return;
+                }
+            }
+            self.quarantine_stream(*stream, error);
         }
+    }
+
+    /// Whether `stream` is parked (scale-down, not failure).
+    pub(crate) fn is_parked(&self, stream: usize) -> bool {
+        self.parked[stream].load(Ordering::Acquire)
+    }
+
+    /// Parked stream count.
+    pub(crate) fn parked_count(&self) -> usize {
+        self.parked
+            .iter()
+            .filter(|p| p.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// The ticket space the successor of `old` inherits: the durable
+    /// prefix stays forced, everything issued-but-unforced becomes a new
+    /// orphan range, and earlier incarnations' orphan ranges carry over.
+    fn inheritance_from(old: &LogAppender) -> TicketInheritance {
+        let issued = old.tickets_issued();
+        let forced = old.forced_high();
+        let mut orphans = old.orphan_ranges().to_vec();
+        if issued > forced {
+            orphans.push((forced, issued));
+        }
+        TicketInheritance {
+            next_seq: issued + 1,
+            forced,
+            orphans,
+        }
+    }
+
+    fn spawn_successor(
+        &self,
+        stream: usize,
+        log: LogStream,
+        inherit: TicketInheritance,
+    ) -> LogAppender {
+        LogAppender::spawn_rejoined(
+            log,
+            self.cfg.appender_queue,
+            Duration::from_micros(self.cfg.force_delay_us),
+            &self.obs,
+            stream,
+            Duration::from_millis(self.cfg.append_wait_ms.max(1)),
+            inherit,
+        )
+    }
+
+    /// Validate a rejoin/replace target under the membership lock: must
+    /// exist, be quarantined (selector-dead), and not merely parked.
+    fn check_rejoinable(&self, stream: usize) -> Result<(), ExecError> {
+        if stream >= self.appenders.len() {
+            return Err(ExecError::Rejoin {
+                stream,
+                reason: "no such stream".into(),
+            });
+        }
+        if !self.is_stream_dead(stream) {
+            return Err(ExecError::Rejoin {
+                stream,
+                reason: "stream is live".into(),
+            });
+        }
+        if self.is_parked(stream) {
+            return Err(ExecError::Rejoin {
+                stream,
+                reason: "stream is parked, not quarantined (unpark it)".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Readmission bookkeeping shared by rejoin and replace: swap the
+    /// fleet slot, clear the selector dead bit, publish the event and
+    /// metrics, and un-latch degraded mode — in that order. The slot
+    /// swap comes first so no producer routed by `mark_live` can reach
+    /// the retired handle through the slot; degraded clears last so load
+    /// is shed until the stream can actually serve.
+    fn readmit(&self, stream: usize, successor: LogAppender, t0: Instant) -> (usize, u64) {
+        let _retired = self.appenders.replace(stream, successor);
+        let live = {
+            let mut sel = lock_ok(&self.selector);
+            sel.mark_live(stream);
+            sel.live_count()
+        };
+        let catchup_us = t0.elapsed().as_micros() as u64;
+        self.obs.counter("failover.rejoins").inc();
+        self.obs.histogram("failover.catchup_us").record(catchup_us);
+        self.obs
+            .emit(EventKind::StreamRejoined, 0, stream as u64, 0, live as u64);
+        self.recompute_degraded();
+        (live, catchup_us)
+    }
+
+    /// Readmit a quarantined stream on its own (recovered) device.
+    ///
+    /// Protocol, in order: **retire** the dead incarnation's thread (its
+    /// vault guard deposits the device even if it panicked); **probe**
+    /// the vaulted device *through its fault injector* — a still-broken
+    /// device fails here and the stream stays vaulted for the next
+    /// probe; **revalidate** the durable prefix by reopening the stream
+    /// on the honest platter (injector detached — the probe already
+    /// vouched for the device and validation I/O must not be refused by
+    /// a fault plan scheduled for later), which cuts any torn tail
+    /// record and bumps the write epoch; re-attach the injector so
+    /// future faults quarantine correctly; **spawn** a successor
+    /// appender inheriting the ticket space; then [`Inner::readmit`].
+    pub(crate) fn rejoin_stream(&self, stream: usize) -> Result<RejoinReport, ExecError> {
+        let _membership = lock_ok(&self.membership);
+        self.check_rejoinable(stream)?;
+        let t0 = Instant::now();
+        let old = self.appenders.get(stream);
+        old.retire().map_err(|e| ExecError::Rejoin {
+            stream,
+            reason: format!("retire: {e}"),
+        })?;
+        old.probe_vaulted_device().map_err(|e| ExecError::Rejoin {
+            stream,
+            reason: format!("device probe: {e}"),
+        })?;
+        let inherit = Self::inheritance_from(&old);
+        let recovered = old.take_vaulted().map_err(|e| ExecError::Rejoin {
+            stream,
+            reason: format!("vault hand-off: {e}"),
+        })?;
+        let mut disk = recovered.into_disk();
+        let faults = disk.detach_faults();
+        let mut reopened = match LogStream::open(disk) {
+            Ok(s) => s,
+            // Unreachable after a successful probe (the platter is
+            // injector-free here), but if it ever fires the device is
+            // gone for good: report it — replace_stream is the way out.
+            Err(e) => {
+                return Err(ExecError::Rejoin {
+                    stream,
+                    reason: format!("durable-prefix validation failed: {e}"),
+                })
+            }
+        };
+        let (records, stats) = reopened.scan_with_stats();
+        let durable_records = records.len() as u64;
+        if let Some(handle) = faults {
+            reopened.attach_faults(handle);
+        }
+        let orphaned_tickets = inherit.orphans.iter().map(|&(lo, hi)| hi - lo).sum();
+        let successor = self.spawn_successor(stream, reopened, inherit);
+        let (live, catchup_us) = self.readmit(stream, successor, t0);
+        Ok(RejoinReport {
+            stream,
+            replaced_device: false,
+            durable_records,
+            corrupt_pages: stats.corrupt_pages,
+            orphaned_tickets,
+            live_streams: live,
+            catchup_us,
+        })
+    }
+
+    /// Swap a quarantined stream onto a brand-new device. The old
+    /// platter's durable prefix is archived (snapshotted past the
+    /// injector) so [`ExecDb::crash_image`] — and therefore recovery —
+    /// still merges the commits it holds; the successor appender starts
+    /// on a blank platter but inherits the ticket space, so the durable
+    /// prefix keeps reading as forced and the unforced tail as orphaned.
+    /// For devices that will never come back.
+    pub(crate) fn replace_stream(&self, stream: usize) -> Result<RejoinReport, ExecError> {
+        let _membership = lock_ok(&self.membership);
+        self.check_rejoinable(stream)?;
+        let t0 = Instant::now();
+        let old = self.appenders.get(stream);
+        old.retire().map_err(|e| ExecError::Rejoin {
+            stream,
+            reason: format!("retire: {e}"),
+        })?;
+        let inherit = Self::inheritance_from(&old);
+        let recovered = old.take_vaulted().map_err(|e| ExecError::Rejoin {
+            stream,
+            reason: format!("vault hand-off: {e}"),
+        })?;
+        let archived = recovered.into_disk().snapshot();
+        lock_ok(&self.archived_logs).push(archived);
+        let orphaned_tickets = inherit.orphans.iter().map(|&(lo, hi)| hi - lo).sum();
+        let fresh = LogStream::create(self.cfg.wal.log_frames);
+        let successor = self.spawn_successor(stream, fresh, inherit);
+        let (live, catchup_us) = self.readmit(stream, successor, t0);
+        Ok(RejoinReport {
+            stream,
+            replaced_device: true,
+            durable_records: 0,
+            corrupt_pages: 0,
+            orphaned_tickets,
+            live_streams: live,
+            catchup_us,
+        })
+    }
+
+    /// Scale-down: take a healthy stream out of routing. Its appender
+    /// keeps running (forces against already-issued tickets still
+    /// serve); only new work stops arriving. Refuses to shrink the
+    /// serving fleet below `min_live_streams` (or 1).
+    pub(crate) fn park_stream(&self, stream: usize) -> Result<usize, ExecError> {
+        let _membership = lock_ok(&self.membership);
+        if stream >= self.appenders.len() {
+            return Err(ExecError::Rejoin {
+                stream,
+                reason: "no such stream".into(),
+            });
+        }
+        let floor = self.cfg.min_live_streams.max(1);
+        let live = {
+            let mut sel = lock_ok(&self.selector);
+            if sel.is_dead(stream) {
+                return Err(ExecError::Rejoin {
+                    stream,
+                    reason: "stream is not serving (quarantined or already parked)".into(),
+                });
+            }
+            if sel.live_count() <= floor {
+                return Err(ExecError::Rejoin {
+                    stream,
+                    reason: format!("serving fleet is at its floor ({floor})"),
+                });
+            }
+            self.parked[stream].store(true, Ordering::Release);
+            sel.mark_dead(stream);
+            sel.live_count()
+        };
+        self.obs.counter("fleet.parks").inc();
+        self.obs
+            .gauge("fleet.parked_streams")
+            .set(self.parked_count() as u64);
+        self.obs
+            .emit(EventKind::FleetResized, 0, stream as u64, 0, live as u64);
+        self.recompute_degraded();
+        Ok(live)
+    }
+
+    /// Scale-up: put a parked stream back into routing. The appender
+    /// never stopped, so this is pure bookkeeping — unless the device
+    /// failed *while parked*, in which case the stream is readmitted
+    /// and immediately quarantined through the normal failure path
+    /// (parked streams dodge the supervisor, so this is where such a
+    /// failure surfaces).
+    pub(crate) fn unpark_stream(&self, stream: usize) -> Result<usize, ExecError> {
+        let _membership = lock_ok(&self.membership);
+        if stream >= self.appenders.len() || !self.is_parked(stream) {
+            return Err(ExecError::Rejoin {
+                stream,
+                reason: "stream is not parked".into(),
+            });
+        }
+        self.parked[stream].store(false, Ordering::Release);
+        let live = {
+            let mut sel = lock_ok(&self.selector);
+            sel.mark_live(stream);
+            sel.live_count()
+        };
+        let probe = self.appenders.get(stream).probe();
+        let sick = if let Some(e) = probe.error {
+            Some(AppenderError::Persistent(e))
+        } else if !probe.alive {
+            Some(AppenderError::ThreadDeath(
+                "appender died while parked".to_string(),
+            ))
+        } else {
+            None
+        };
+        if let Some(error) = sick {
+            self.quarantine_stream(stream, &error);
+            return Err(ExecError::Rejoin {
+                stream,
+                reason: format!("unparked straight into quarantine: {error}"),
+            });
+        }
+        self.obs.counter("fleet.unparks").inc();
+        self.obs
+            .gauge("fleet.parked_streams")
+            .set(self.parked_count() as u64);
+        self.obs
+            .emit(EventKind::FleetResized, 0, stream as u64, 0, live as u64);
+        self.recompute_degraded();
+        Ok(live)
     }
 
     /// Ensure `page` is resident in its shard, flushing any evicted dirty
@@ -476,7 +899,7 @@ impl Inner {
         page: &Page,
     ) -> Result<(), ExecError> {
         if let Some(&(stream, seq)) = shard.meta.get(&page.id) {
-            let appender = &self.appenders[stream];
+            let appender = self.appenders.get(stream);
             if !appender.is_forced(seq) {
                 if let Err(e) = appender.force_through(seq) {
                     // A quarantined stream with an un-durable fragment:
@@ -511,6 +934,24 @@ impl Inner {
     /// rerouted copies by LSN. Idempotent; cheap no-op when nothing the
     /// transaction touched is dead.
     pub(crate) fn reroute_if_needed(&self, txn: &mut Txn) -> Result<(), ExecError> {
+        // Streams a rejoin has orphaned fragments of this transaction on:
+        // the fragment's ticket was issued by a dead incarnation and
+        // never forced, so it can never read as durable again — on a
+        // stream that is otherwise perfectly live.
+        let orphaned: Vec<usize> = {
+            let mut streams: Vec<usize> = txn.pending.iter().map(|f| f.stream).collect();
+            streams.sort_unstable();
+            streams.dedup();
+            streams
+                .into_iter()
+                .filter(|&s| {
+                    let app = self.appenders.get(s);
+                    txn.pending
+                        .iter()
+                        .any(|f| f.stream == s && app.orphaned(f.seq))
+                })
+                .collect()
+        };
         let (dead, new_home) = {
             let mut sel = lock_ok(&self.selector);
             let mut dead: Vec<usize> = txn
@@ -522,7 +963,7 @@ impl Inner {
             if sel.is_dead(txn.home) && !dead.contains(&txn.home) {
                 dead.push(txn.home);
             }
-            if dead.is_empty() {
+            if dead.is_empty() && orphaned.is_empty() {
                 return Ok(());
             }
             let home = if sel.is_dead(txn.home) {
@@ -535,14 +976,72 @@ impl Inner {
         let t0 = Instant::now();
         txn.home = new_home;
         let rerouted = self.obs.counter("failover.rerouted_fragments");
+        // Pass 1 — orphans, before the dead-stream pass: a rejoined
+        // incarnation's forced watermark sweeps past the orphan range as
+        // soon as it forces new work, so the `seq > forced` partition
+        // below would mistake orphans for durable prefix. Re-append them
+        // under fresh tickets and recompute the source ticket exactly
+        // (clamping cannot excise a hole in the middle of the range).
+        for s in orphaned {
+            let app = self.appenders.get(s);
+            let target = self.appenders.get(new_home);
+            for frag in txn.pending.iter_mut().filter(|f| f.stream == s) {
+                if !app.orphaned(frag.seq) {
+                    continue;
+                }
+                let new_seq = target.append(frag.rec.clone())?;
+                let mut shard = self.shards.lock(frag.page);
+                if shard.meta.get(&frag.page) == Some(&(s, frag.seq)) {
+                    shard.meta.insert(frag.page, (new_home, new_seq));
+                }
+                drop(shard);
+                self.obs.emit(
+                    EventKind::FragmentRerouted,
+                    txn.id,
+                    new_home as u64,
+                    frag.page.0,
+                    s as u64,
+                );
+                rerouted.inc();
+                frag.stream = new_home;
+                frag.seq = new_seq;
+            }
+            match txn
+                .pending
+                .iter()
+                .filter(|f| f.stream == s)
+                .map(|f| f.seq)
+                .max()
+            {
+                Some(high) => {
+                    txn.tickets.insert(s, high);
+                }
+                None => {
+                    txn.tickets.remove(&s);
+                }
+            }
+            if let Some(high) = txn
+                .pending
+                .iter()
+                .filter(|f| f.stream == new_home)
+                .map(|f| f.seq)
+                .max()
+            {
+                let t = txn.tickets.entry(new_home).or_insert(0);
+                *t = (*t).max(high);
+            }
+        }
+        // Pass 2 — quarantined streams: move the volatile tail, keep the
+        // durable prefix in place.
         for s in dead {
-            let forced = self.appenders[s].forced_high();
+            let forced = self.appenders.get(s).forced_high();
+            let target = self.appenders.get(new_home);
             for frag in txn
                 .pending
                 .iter_mut()
                 .filter(|f| f.stream == s && f.seq > forced)
             {
-                let new_seq = self.appenders[new_home].append(frag.rec.clone())?;
+                let new_seq = target.append(frag.rec.clone())?;
                 // Re-pin the page's WAL-rule entry — but only if it still
                 // names the fragment we just moved; a newer fragment (or
                 // a CLR) may have superseded it.
@@ -615,7 +1114,7 @@ impl Inner {
             };
             let mut appended: Option<(usize, u64)> = None;
             while let Some(s) = clr_stream {
-                match self.appenders[s].append(rec.clone()) {
+                match self.appenders.get(s).append(rec.clone()) {
                     Ok(seq) => {
                         appended = Some((s, seq));
                         break;
@@ -645,7 +1144,10 @@ impl Inner {
             }
         }
         if let Some(s) = clr_stream {
-            let _ = self.appenders[s].append(LogRecord::Abort { txn: txn_id });
+            let _ = self
+                .appenders
+                .get(s)
+                .append(LogRecord::Abort { txn: txn_id });
         }
     }
 }
@@ -696,8 +1198,13 @@ impl ExecDb {
                 disk: MemDisk::new(wal.data_pages + wal.dw_slots),
                 dw_cursor: 0,
             }),
-            appenders,
+            appenders: Fleet::new(appenders),
             selector: Mutex::new(Selector::new(wal.policy, wal.log_streams, wal.seed)),
+            membership: Mutex::new(()),
+            parked: (0..wal.log_streams)
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+            archived_logs: Mutex::new(Vec::new()),
             gate: Mutex::new(()),
             next_txn: AtomicU64::new(1),
             next_lsn: AtomicU64::new(1),
@@ -754,8 +1261,8 @@ impl ExecDb {
 
     /// Direct appender access for in-crate tests (fault steering).
     #[cfg(test)]
-    pub(crate) fn appender(&self, stream: usize) -> &LogAppender {
-        &self.inner.appenders[stream]
+    pub(crate) fn appender(&self, stream: usize) -> Arc<LogAppender> {
+        self.inner.appenders.get(stream)
     }
 
     /// Attach a fault plan to `stream`'s log device, injected from inside
@@ -764,7 +1271,50 @@ impl ExecDb {
     /// is the mid-run kill switch the failover tests and the
     /// `--kill-stream` bench flag use.
     pub fn inject_stream_fault(&self, stream: usize, plan: FaultPlan) -> Result<(), ExecError> {
-        self.inner.appenders[stream].inject_faults(FaultInjector::handle(plan))
+        self.inject_stream_fault_handle(stream, FaultInjector::handle(plan))
+    }
+
+    /// Like [`ExecDb::inject_stream_fault`], but with a caller-built
+    /// [`FaultHandle`] so the caller keeps a clone — the bench's
+    /// `--rejoin-at` flag revives the device through its retained handle
+    /// mid-run, then lets the membership manager readmit the stream.
+    pub fn inject_stream_fault_handle(
+        &self,
+        stream: usize,
+        handle: FaultHandle,
+    ) -> Result<(), ExecError> {
+        self.inner.appenders.get(stream).inject_faults(handle)
+    }
+
+    /// Readmit a quarantined stream on its recovered device. See
+    /// [`Inner::rejoin_stream`]'s protocol notes; fails with a typed
+    /// [`ExecError::Rejoin`] (stream stays quarantined, crash images
+    /// keep working) if the device is still broken.
+    pub fn rejoin_stream(&self, stream: usize) -> Result<RejoinReport, ExecError> {
+        self.inner.rejoin_stream(stream)
+    }
+
+    /// Swap a quarantined stream onto a brand-new device, archiving the
+    /// old platter for recovery.
+    pub fn replace_stream(&self, stream: usize) -> Result<RejoinReport, ExecError> {
+        self.inner.replace_stream(stream)
+    }
+
+    /// Scale-down: take a healthy stream out of routing (its appender
+    /// keeps serving forces). Returns the serving count after.
+    pub fn park_stream(&self, stream: usize) -> Result<usize, ExecError> {
+        self.inner.park_stream(stream)
+    }
+
+    /// Scale-up: return a parked stream to routing. Returns the serving
+    /// count after.
+    pub fn unpark_stream(&self, stream: usize) -> Result<usize, ExecError> {
+        self.inner.unpark_stream(stream)
+    }
+
+    /// Streams currently parked by scale-down.
+    pub fn parked_streams(&self) -> usize {
+        self.inner.parked_count()
     }
 
     /// Begin a transaction on behalf of query processor `qp`.
@@ -943,7 +1493,7 @@ impl ExecDb {
         let mut attempts = 0usize;
         let (stream, seq) = loop {
             let stream = txn.home;
-            match self.inner.appenders[stream].append(rec.clone()) {
+            match self.inner.appenders.get(stream).append(rec.clone()) {
                 Ok(seq) => break (stream, seq),
                 Err(e) => {
                     self.inner.note_appender_failure(&e);
@@ -1177,12 +1727,17 @@ impl ExecDb {
     pub fn crash_image(&self) -> Result<CrashImage, ExecError> {
         let _gate = lock_ok(&self.inner.gate);
         let data = lock_ok(&self.inner.data).disk.snapshot();
-        let logs = self
-            .inner
-            .appenders
-            .iter()
-            .map(|a| a.snapshot())
+        let mut logs = (0..self.inner.appenders.len())
+            .map(|i| self.inner.appenders.get(i).snapshot())
             .collect::<Result<Vec<_>, _>>()?;
+        // Platters archived by replace_stream: their durable prefixes
+        // are nowhere else, and recovery merges any number of log disks
+        // (duplicates of rerouted fragments dedup by LSN).
+        logs.extend(
+            lock_ok(&self.inner.archived_logs)
+                .iter()
+                .map(MemDisk::snapshot),
+        );
         Ok(CrashImage { data, logs })
     }
 
@@ -1226,8 +1781,10 @@ impl ExecDb {
     /// `appender.health.s{i}` gauges, and the failover family:
     /// `failover.quarantined`, `failover.reroutes`,
     /// `failover.rerouted_fragments`, `failover.degraded_rejects`,
-    /// `failover.live_streams` (gauge), `failover.detect_us` and
-    /// `failover.reroute_us` (histograms).
+    /// `failover.rejoins`, `fleet.parks` / `fleet.unparks`,
+    /// `failover.live_streams` and `fleet.parked_streams` (gauges),
+    /// `failover.detect_us`, `failover.reroute_us` and
+    /// `failover.catchup_us` (histograms).
     pub fn obs(&self) -> &Registry {
         &self.inner.obs
     }
@@ -1240,7 +1797,8 @@ impl ExecDb {
     /// the conservation-law assertions need. Quarantined streams are
     /// skipped: their queues can never drain.
     pub fn drain_appenders(&self) -> Result<(), ExecError> {
-        for appender in &self.inner.appenders {
+        for i in 0..self.inner.appenders.len() {
+            let appender = self.inner.appenders.get(i);
             if appender.is_quarantined() {
                 continue;
             }
@@ -1518,6 +2076,300 @@ mod tests {
         }
         assert!(db.is_degraded());
         assert!(db.obs().snapshot().counter("failover.degraded_rejects") >= Some(1));
+    }
+
+    #[test]
+    fn rejoin_clears_degraded_and_restores_routing() {
+        // Satellite regression: degraded mode used to be a one-way
+        // latch — quarantine below min_live_streams set it, nothing
+        // cleared it. A rejoin that restores the fleet must un-latch it.
+        let mut cfg = small_cfg();
+        cfg.min_live_streams = 3;
+        let db = ExecDb::new(cfg.clone());
+        for i in 0..6u64 {
+            db.run_txn(i as usize, |ctx| ctx.write(i, 0, &(0xC0 | i).to_le_bytes()))
+                .unwrap();
+        }
+        db.inner
+            .quarantine_stream(1, &AppenderError::ThreadDeath("induced".into()));
+        assert!(db.is_degraded());
+        assert!(matches!(
+            db.run_txn(0, |ctx| ctx.write(20, 0, b"no")),
+            Err(ExecError::Degraded { live: 2, min: 3 })
+        ));
+        let report = db.rejoin_stream(1).expect("healthy device must rejoin");
+        assert_eq!(report.stream, 1);
+        assert_eq!(report.live_streams, 3);
+        assert!(!report.replaced_device);
+        assert!(!db.is_degraded(), "rejoin must un-latch degraded mode");
+        assert!(!db.is_stream_dead(1));
+        // the readmitted fleet serves again, including stream 1
+        for i in 0..12u64 {
+            db.run_txn(i as usize, |ctx| {
+                ctx.write(32 + i, 0, &(0xD0 | i).to_le_bytes())
+            })
+            .unwrap();
+        }
+        let snap = db.obs().snapshot();
+        assert!(snap.counter("failover.rejoins") >= Some(1));
+        assert_eq!(snap.gauge("failover.live_streams"), Some(3));
+        // nothing acked before, during, or after the churn is lost
+        let image = db.crash_image().unwrap();
+        let (mut recovered, _) = WalDb::recover(image, cfg.wal).unwrap();
+        let t = recovered.begin();
+        for i in 0..6u64 {
+            assert_eq!(
+                recovered.read(t, i, 0, 8).unwrap(),
+                (0xC0 | i).to_le_bytes()
+            );
+        }
+        for i in 0..12u64 {
+            assert_eq!(
+                recovered.read(t, 32 + i, 0, 8).unwrap(),
+                (0xD0 | i).to_le_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn rejoin_refuses_a_still_broken_device_and_stays_quarantined() {
+        let cfg = small_cfg();
+        let db = ExecDb::new(cfg);
+        db.inject_stream_fault(0, FaultPlan::new().fail_from_write(0))
+            .unwrap();
+        // drive work until the stream is quarantined
+        for i in 0..24u64 {
+            db.run_txn(i as usize, |ctx| ctx.write(i, 0, b"x")).unwrap();
+        }
+        let t0 = Instant::now();
+        while !db.is_stream_dead(0) && t0.elapsed() < Duration::from_secs(5) {
+            db.run_txn(0, |ctx| ctx.write(1, 0, b"y")).unwrap();
+        }
+        assert!(db.is_stream_dead(0));
+        let err = db.rejoin_stream(0).unwrap_err();
+        match err {
+            ExecError::Rejoin { stream: 0, reason } => {
+                assert!(
+                    reason.contains("device probe"),
+                    "unexpected reason: {reason}"
+                )
+            }
+            other => panic!("expected Rejoin, got {other:?}"),
+        }
+        assert!(db.is_stream_dead(0), "failed rejoin must leave quarantine");
+        // the vaulted durable prefix still serves crash images
+        let image = db.crash_image().unwrap();
+        assert_eq!(image.logs.len(), 3);
+        // rejoining a live stream is refused too
+        assert!(matches!(
+            db.rejoin_stream(1),
+            Err(ExecError::Rejoin { stream: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn orphaned_fragments_reroute_after_rejoin() {
+        // A transaction writes a fragment that is still volatile when
+        // its stream dies; the stream rejoins (volatile tail lost, the
+        // ticket now orphaned) before the transaction commits. The
+        // commit path must re-append the orphan under a new ticket —
+        // against the rejoined incarnation itself — and still land.
+        let cfg = small_cfg();
+        let db = ExecDb::new(cfg.clone());
+        for i in 0..6u64 {
+            db.run_txn(i as usize, |ctx| ctx.write(i, 0, &(0xE0 | i).to_le_bytes()))
+                .unwrap();
+        }
+        let mut t = db.begin(0);
+        db.write(&mut t, 40, 0, b"orphan-me").unwrap();
+        let victim = t.home();
+        let old_seq = *t.tickets.get(&victim).expect("fragment ticket");
+        db.inner
+            .quarantine_stream(victim, &AppenderError::ThreadDeath("induced".into()));
+        let report = db.rejoin_stream(victim).unwrap();
+        assert!(
+            report.orphaned_tickets >= 1,
+            "the volatile fragment must be orphaned"
+        );
+        assert!(db.appender(victim).orphaned(old_seq));
+        // commit re-appends the orphan and succeeds
+        db.commit(t).unwrap().wait().unwrap();
+        let snap = db.obs().snapshot();
+        assert!(snap.counter("failover.rerouted_fragments") >= Some(1));
+        let image = db.crash_image().unwrap();
+        let (mut recovered, _) = WalDb::recover(image, cfg.wal).unwrap();
+        let tr = recovered.begin();
+        assert_eq!(recovered.read(tr, 40, 0, 9).unwrap(), b"orphan-me");
+    }
+
+    #[test]
+    fn replace_stream_archives_platter_and_keeps_acked_commits() {
+        let cfg = small_cfg();
+        let db = ExecDb::new(cfg.clone());
+        for i in 0..12u64 {
+            db.run_txn(i as usize, |ctx| ctx.write(i, 0, &(0x10 | i).to_le_bytes()))
+                .unwrap();
+        }
+        db.inject_stream_fault(0, FaultPlan::new().fail_from_write(0))
+            .unwrap();
+        for i in 0..24u64 {
+            db.run_txn(i as usize, |ctx| {
+                ctx.write(24 + i, 0, &(0x20 | i).to_le_bytes())
+            })
+            .unwrap();
+        }
+        let t0 = Instant::now();
+        while !db.is_stream_dead(0) && t0.elapsed() < Duration::from_secs(5) {
+            db.run_txn(0, |ctx| ctx.write(1, 0, b"y")).unwrap();
+        }
+        // the device never recovers: swap in a blank one, archive the old
+        let report = db.replace_stream(0).unwrap();
+        assert!(report.replaced_device);
+        assert_eq!(report.live_streams, 3);
+        assert!(!db.is_stream_dead(0));
+        for i in 0..12u64 {
+            db.run_txn(i as usize, |ctx| {
+                ctx.write(50 + i, 0, &(0x30 | i).to_le_bytes())
+            })
+            .unwrap();
+        }
+        // the crash image carries the archived platter alongside the
+        // three live ones; recovery merges all four
+        let image = db.crash_image().unwrap();
+        assert_eq!(image.logs.len(), 4, "archived platter missing from image");
+        let (mut recovered, _) = WalDb::recover(image, cfg.wal).unwrap();
+        let t = recovered.begin();
+        for i in 0..12u64 {
+            assert_eq!(
+                recovered.read(t, i, 0, 8).unwrap(),
+                (0x10 | i).to_le_bytes()
+            );
+        }
+        for i in 0..24u64 {
+            assert_eq!(
+                recovered.read(t, 24 + i, 0, 8).unwrap(),
+                (0x20 | i).to_le_bytes()
+            );
+        }
+        for i in 0..12u64 {
+            assert_eq!(
+                recovered.read(t, 50 + i, 0, 8).unwrap(),
+                (0x30 | i).to_le_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn park_and_unpark_resize_the_serving_fleet() {
+        let cfg = small_cfg(); // 3 streams, min_live 1
+        let db = ExecDb::new(cfg);
+        for i in 0..6u64 {
+            db.run_txn(i as usize, |ctx| ctx.write(i, 0, b"warm"))
+                .unwrap();
+        }
+        assert_eq!(db.park_stream(2).unwrap(), 2);
+        assert!(db.is_stream_dead(2), "parked streams leave routing");
+        assert_eq!(db.parked_streams(), 1);
+        assert!(!db.is_degraded());
+        // parked is not quarantined: commits keep flowing, the parked
+        // appender still answers forces for its issued tickets
+        for i in 0..8u64 {
+            db.run_txn(i as usize, |ctx| ctx.write(10 + i, 0, b"park"))
+                .unwrap();
+        }
+        // a parked stream cannot be parked again or rejoined
+        assert!(db.park_stream(2).is_err());
+        assert!(matches!(
+            db.rejoin_stream(2),
+            Err(ExecError::Rejoin { stream: 2, .. })
+        ));
+        // the floor holds: with min_live 1, parking down to one stream is
+        // allowed, parking the last is refused
+        assert_eq!(db.park_stream(1).unwrap(), 1);
+        assert!(db.park_stream(0).is_err());
+        assert_eq!(db.unpark_stream(1).unwrap(), 2);
+        assert_eq!(db.unpark_stream(2).unwrap(), 3);
+        assert_eq!(db.parked_streams(), 0);
+        assert!(db.unpark_stream(2).is_err(), "double unpark must fail");
+        for i in 0..8u64 {
+            db.run_txn(i as usize, |ctx| ctx.write(30 + i, 0, b"back"))
+                .unwrap();
+        }
+        let snap = db.obs().snapshot();
+        assert!(snap.counter("fleet.parks") >= Some(2));
+        assert!(snap.counter("fleet.unparks") >= Some(2));
+        assert_eq!(snap.gauge("fleet.parked_streams"), Some(0));
+    }
+
+    #[test]
+    fn membership_manager_auto_rejoins_a_recovered_device() {
+        // End-to-end tentpole path: device dies mid-run, the fault later
+        // clears (operator fixes the platter), and the supervisor's
+        // rejoin probe readmits the stream with no explicit call.
+        let mut cfg = small_cfg();
+        cfg.health_interval_us = 500;
+        cfg.rejoin_probe_ms = 20;
+        let db = ExecDb::new(cfg.clone());
+        for i in 0..6u64 {
+            db.run_txn(i as usize, |ctx| ctx.write(i, 0, &(0x40 | i).to_le_bytes()))
+                .unwrap();
+        }
+        // a handle we keep: fail every write from now on, until revived
+        let handle = FaultInjector::handle(FaultPlan::new().fail_from_write(0));
+        db.inject_stream_fault_handle(0, handle.clone()).unwrap();
+        for i in 0..24u64 {
+            db.run_txn(i as usize, |ctx| {
+                ctx.write(24 + i, 0, &(0x50 | i).to_le_bytes())
+            })
+            .unwrap();
+        }
+        let t0 = Instant::now();
+        while !db.is_stream_dead(0) && t0.elapsed() < Duration::from_secs(5) {
+            db.run_txn(0, |ctx| ctx.write(1, 0, b"y")).unwrap();
+        }
+        assert!(db.is_stream_dead(0));
+        // while broken, probes keep failing and the stream stays out
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(db.is_stream_dead(0));
+        assert!(db.obs().snapshot().counter("failover.rejoin_probes_failed") >= Some(1));
+        // the device comes back: clear the fault in place
+        handle.lock().revive();
+        let t0 = Instant::now();
+        while db.is_stream_dead(0) && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            !db.is_stream_dead(0),
+            "supervisor never rejoined the stream"
+        );
+        assert_eq!(db.live_streams(), 3);
+        for i in 0..12u64 {
+            db.run_txn(i as usize, |ctx| {
+                ctx.write(50 + i, 0, &(0x60 | i).to_le_bytes())
+            })
+            .unwrap();
+        }
+        let image = db.crash_image().unwrap();
+        let (mut recovered, _) = WalDb::recover(image, cfg.wal).unwrap();
+        let t = recovered.begin();
+        for i in 0..6u64 {
+            assert_eq!(
+                recovered.read(t, i, 0, 8).unwrap(),
+                (0x40 | i).to_le_bytes()
+            );
+        }
+        for i in 0..24u64 {
+            assert_eq!(
+                recovered.read(t, 24 + i, 0, 8).unwrap(),
+                (0x50 | i).to_le_bytes()
+            );
+        }
+        for i in 0..12u64 {
+            assert_eq!(
+                recovered.read(t, 50 + i, 0, 8).unwrap(),
+                (0x60 | i).to_le_bytes()
+            );
+        }
     }
 
     #[test]

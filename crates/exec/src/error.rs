@@ -31,6 +31,14 @@ pub enum AppenderError {
     /// The stream was already quarantined by failover; the fragment must
     /// be rerouted to a survivor.
     Quarantined,
+    /// The ticket was issued against a stream incarnation that died
+    /// before forcing it: the fragment was lost with the old appender's
+    /// volatile tail and can never become durable here. The caller must
+    /// reroute it — the stream itself is healthy (post-rejoin).
+    Orphaned {
+        /// The orphaned ticket.
+        seq: u64,
+    },
 }
 
 impl AppenderError {
@@ -42,6 +50,7 @@ impl AppenderError {
             AppenderError::ThreadDeath(_) => "thread_death",
             AppenderError::Stalled { .. } => "stalled",
             AppenderError::Quarantined => "quarantined",
+            AppenderError::Orphaned { .. } => "orphaned",
         }
     }
 
@@ -53,6 +62,7 @@ impl AppenderError {
             AppenderError::ThreadDeath(_) => 2,
             AppenderError::Stalled { .. } => 3,
             AppenderError::Quarantined => 4,
+            AppenderError::Orphaned { .. } => 5,
         }
     }
 
@@ -78,6 +88,9 @@ impl std::fmt::Display for AppenderError {
                 write!(f, "appender stalled: {what} timed out after {waited_ms} ms")
             }
             AppenderError::Quarantined => write!(f, "stream is quarantined"),
+            AppenderError::Orphaned { seq } => {
+                write!(f, "ticket {seq} orphaned by a stream rejoin; reroute it")
+            }
         }
     }
 }
@@ -101,6 +114,10 @@ pub enum ExecError {
     /// A lock guarding non-repairable state was poisoned by a panicking
     /// thread; the protected invariants cannot be trusted.
     Poisoned { what: &'static str },
+    /// A stream-rejoin step failed (device still unhealthy, thread not
+    /// retired, prefix revalidation error): the stream stays quarantined
+    /// and the membership manager retries on a later probe.
+    Rejoin { stream: usize, reason: String },
 }
 
 impl ExecError {
@@ -124,7 +141,8 @@ impl ExecError {
             | ExecError::Wal(_)
             | ExecError::Starved { .. }
             | ExecError::Degraded { .. }
-            | ExecError::Poisoned { .. } => false,
+            | ExecError::Poisoned { .. }
+            | ExecError::Rejoin { .. } => false,
         }
     }
 
@@ -158,6 +176,9 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::Poisoned { what } => {
                 write!(f, "poisoned lock: {what}")
+            }
+            ExecError::Rejoin { stream, reason } => {
+                write!(f, "stream {stream} rejoin failed: {reason}")
             }
         }
     }

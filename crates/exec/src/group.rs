@@ -187,7 +187,7 @@ fn commit_batch(inner: &Inner, batch: &[CommitReq]) -> Vec<Result<(), ExecError>
     // only its own dependents
     let mut stream_res: BTreeMap<usize, Result<(), ExecError>> = BTreeMap::new();
     for (&stream, &seq) in &frag_high {
-        let r = inner.appenders[stream].request_force(seq);
+        let r = inner.appenders.get(stream).request_force(seq);
         if let Err(e) = &r {
             inner.note_appender_failure(e);
         }
@@ -195,7 +195,7 @@ fn commit_batch(inner: &Inner, batch: &[CommitReq]) -> Vec<Result<(), ExecError>
     }
     for (&stream, &seq) in &frag_high {
         if stream_res.get(&stream).is_some_and(|r| r.is_ok()) {
-            if let Err(e) = inner.appenders[stream].wait_forced(seq) {
+            if let Err(e) = inner.appenders.get(stream).wait_forced(seq) {
                 inner.note_appender_failure(&e);
                 stream_res.insert(stream, Err(e));
             }
@@ -224,7 +224,11 @@ fn commit_batch(inner: &Inner, batch: &[CommitReq]) -> Vec<Result<(), ExecError>
         if results[i].is_err() {
             continue;
         }
-        match inner.appenders[req.home].append(LogRecord::Commit { txn: req.txn }) {
+        match inner
+            .appenders
+            .get(req.home)
+            .append(LogRecord::Commit { txn: req.txn })
+        {
             Ok(seq) => {
                 appended[i] = true;
                 let high = home_high.entry(req.home).or_insert(0);
@@ -238,7 +242,7 @@ fn commit_batch(inner: &Inner, batch: &[CommitReq]) -> Vec<Result<(), ExecError>
     }
     let mut force_res: BTreeMap<usize, Result<(), ExecError>> = BTreeMap::new();
     for (&stream, &seq) in &home_high {
-        let r = inner.appenders[stream].request_force(seq);
+        let r = inner.appenders.get(stream).request_force(seq);
         if let Err(e) = &r {
             inner.note_appender_failure(e);
         }
@@ -246,7 +250,7 @@ fn commit_batch(inner: &Inner, batch: &[CommitReq]) -> Vec<Result<(), ExecError>
     }
     for (&stream, &seq) in &home_high {
         if force_res.get(&stream).is_some_and(|r| r.is_ok()) {
-            if let Err(e) = inner.appenders[stream].wait_forced(seq) {
+            if let Err(e) = inner.appenders.get(stream).wait_forced(seq) {
                 inner.note_appender_failure(&e);
                 force_res.insert(stream, Err(e));
             }

@@ -24,6 +24,10 @@
 //! that dies mid-run (device failure, thread panic, wedged I/O) is
 //! quarantined and its in-flight fragments rerouted to survivors — see
 //! [`supervisor`] and [`error::AppenderError`] for the failure taxonomy.
+//! The same supervisor doubles as the membership manager: recovered
+//! devices rejoin the fleet ([`ExecDb::rejoin_stream`]), dead ones are
+//! replaced ([`ExecDb::replace_stream`]), and the serving fleet can be
+//! resized live ([`ExecDb::park_stream`] / [`ExecDb::unpark_stream`]).
 //!
 //! # Example
 //!
@@ -59,8 +63,8 @@ pub mod executor;
 pub mod group;
 pub mod supervisor;
 
-pub use appender::{AppenderProbe, LogAppender};
-pub use db::{ExecConfig, ExecCtx, ExecDb, ExecStats, Txn};
+pub use appender::{AppenderProbe, LogAppender, TicketInheritance};
+pub use db::{ExecConfig, ExecCtx, ExecDb, ExecStats, RejoinReport, Txn};
 pub use error::{AppenderError, ExecError};
 pub use executor::{Executor, JobHandle};
 pub use group::CommitHandle;

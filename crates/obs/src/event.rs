@@ -69,6 +69,14 @@ pub enum EventKind {
     /// An in-flight fragment was rerouted from a quarantined stream to
     /// a survivor (stream field: new stream, payload: old stream).
     FragmentRerouted = 12,
+    /// A quarantined log stream was readmitted to the fleet after its
+    /// device recovered and its durable prefix revalidated (stream field:
+    /// stream ordinal, payload: live streams after the rejoin).
+    StreamRejoined = 13,
+    /// The membership manager resized the serving fleet — a stream was
+    /// parked or unparked for load (stream field: stream ordinal,
+    /// payload: live streams after the resize).
+    FleetResized = 14,
     /// Catch-all for unrecognised kinds decoded from raw slots.
     Unknown = 0,
 }
@@ -89,6 +97,8 @@ impl EventKind {
             10 => EventKind::FailoverStarted,
             11 => EventKind::StreamQuarantined,
             12 => EventKind::FragmentRerouted,
+            13 => EventKind::StreamRejoined,
+            14 => EventKind::FleetResized,
             _ => EventKind::Unknown,
         }
     }
@@ -108,6 +118,8 @@ impl EventKind {
             EventKind::FailoverStarted => "failover_started",
             EventKind::StreamQuarantined => "stream_quarantined",
             EventKind::FragmentRerouted => "fragment_rerouted",
+            EventKind::StreamRejoined => "stream_rejoined",
+            EventKind::FleetResized => "fleet_resized",
             EventKind::Unknown => "unknown",
         }
     }
@@ -358,6 +370,8 @@ mod tests {
             EventKind::FailoverStarted,
             EventKind::StreamQuarantined,
             EventKind::FragmentRerouted,
+            EventKind::StreamRejoined,
+            EventKind::FleetResized,
         ] {
             assert_eq!(EventKind::from_u16(kind as u16), kind);
             assert!(!kind.name().is_empty());

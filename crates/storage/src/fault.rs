@@ -122,6 +122,17 @@ pub struct FaultPlan {
     /// tripped every read fails too — forever. The durable frames stay
     /// intact (and snapshot-able), unlike a crash.
     pub fail_from: Option<u64>,
+    /// Device revival: every write attempt with a global index at or past
+    /// this one succeeds unconditionally — the tripped [`FaultPlan::fail_from`]
+    /// state is cleared, pending transients for writes are dropped, and any
+    /// scheduled write fault at a cleared index (including [`WriteFault::Stuck`])
+    /// is skipped. Models a device that comes back after repair or
+    /// replacement. A scheduled crash still fires: [`FaultPlan::crash_after`]
+    /// means the device is *gone*, not sick.
+    pub clear_write_from: Option<u64>,
+    /// Read-side revival, keyed by global read index: clears the tripped
+    /// permanent failure and skips scheduled read faults from this index on.
+    pub clear_read_from: Option<u64>,
 }
 
 impl FaultPlan {
@@ -188,6 +199,23 @@ impl FaultPlan {
     /// frames already durable remain readable through a snapshot.
     pub fn fail_from_write(mut self, idx: u64) -> Self {
         self.fail_from = Some(idx);
+        self
+    }
+
+    /// Revive the device from the `idx`-th write attempt on: the tripped
+    /// permanent failure clears and scheduled write faults at or past `idx`
+    /// (including stuck I/O) are skipped. Compose with
+    /// [`FaultPlan::fail_from_write`] to model an outage window:
+    /// `fail_from_write(5).clear_from_write(20)` is a device that dies on
+    /// the 6th write and serves again from the 21st.
+    pub fn clear_from_write(mut self, idx: u64) -> Self {
+        self.clear_write_from = Some(idx);
+        self
+    }
+
+    /// Revive the read path from the `idx`-th read attempt on.
+    pub fn clear_from_read(mut self, idx: u64) -> Self {
+        self.clear_read_from = Some(idx);
         self
     }
 
@@ -325,6 +353,19 @@ impl FaultInjector {
         self.reads
     }
 
+    /// Revive the device unconditionally, as if repaired in place: the
+    /// remaining plan is discarded, the tripped permanent-failure and crash
+    /// states clear, and pending transients are dropped. The operation
+    /// counters keep their positions (they are monotone by design), so a
+    /// replay of the same workload against the same plan stays
+    /// deterministic up to the revive point.
+    pub fn revive(&mut self) {
+        self.plan = FaultPlan::new();
+        self.failed = false;
+        self.crashed = false;
+        self.pending.clear();
+    }
+
     pub(crate) fn decide_write(&mut self, addr: u64) -> WriteDecision {
         if self.crashed {
             return WriteDecision {
@@ -335,6 +376,20 @@ impl FaultInjector {
         let idx = self.writes;
         self.writes += 1;
         let crash_now = self.plan.crash_after == Some(idx);
+        if self.plan.clear_write_from.is_some_and(|k| idx >= k) {
+            // device revival: un-trip the permanent failure, drop pending
+            // write transients, skip whatever fault was scheduled here.
+            // A scheduled crash still fires below — crashed means gone.
+            self.failed = false;
+            self.pending.retain(|&(is_write, _), _| !is_write);
+            if crash_now {
+                self.crashed = true;
+            }
+            return WriteDecision {
+                stall_ms: 0,
+                outcome: Ok(WriteApply::Full),
+            };
+        }
         let mut stall_ms = 0;
         let outcome = if self.failed || self.plan.fail_from.is_some_and(|k| idx >= k) {
             // permanent failure: fail this and everything after it
@@ -378,6 +433,14 @@ impl FaultInjector {
         }
         let idx = self.reads;
         self.reads += 1;
+        if self.plan.clear_read_from.is_some_and(|k| idx >= k) {
+            self.failed = false;
+            self.pending.retain(|&(is_write, _), _| is_write);
+            return ReadDecision {
+                stall_ms: 0,
+                outcome: Ok(None),
+            };
+        }
         if self.failed {
             return ReadDecision {
                 stall_ms: 0,
@@ -619,6 +682,95 @@ mod tests {
         assert!(matches!(d.read_page(0), Err(StorageError::Io { .. })));
         assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
         assert_eq!(d.read_page(0).unwrap(), page(4));
+    }
+
+    #[test]
+    fn clear_from_write_revives_failed_device() {
+        // outage window: dead from write 1, back from write 3
+        let handle = FaultInjector::handle(FaultPlan::new().fail_from_write(1).clear_from_write(3));
+        let mut d = MemDisk::new(4);
+        d.attach_faults(handle.clone());
+        d.write_page(0, &page(1)).unwrap(); // write 0: clean
+        assert!(d.write_page(1, &page(2)).is_err()); // write 1: trips
+        assert!(d.write_page(1, &page(2)).is_err()); // write 2: still dead
+        assert!(handle.lock().failed());
+        d.write_page(1, &page(2)).unwrap(); // write 3: revived
+        assert!(!handle.lock().failed(), "clear must un-trip the failure");
+        d.write_page(2, &page(3)).unwrap(); // stays revived past fail_from
+        assert_eq!(d.read_page(0).unwrap(), page(1));
+        assert_eq!(d.read_page(1).unwrap(), page(2));
+        assert_eq!(d.read_page(2).unwrap(), page(3));
+    }
+
+    #[test]
+    fn clear_from_read_revives_read_path() {
+        let handle = FaultInjector::handle(FaultPlan::new().fail_from_write(0).clear_from_read(2));
+        let mut d = MemDisk::new(4);
+        d.write_page(0, &page(6)).unwrap();
+        d.attach_faults(handle);
+        assert!(d.write_page(1, &page(7)).is_err()); // trips the failure
+        assert!(d.read_page(0).is_err()); // read 0: failed
+        assert!(d.read_page(0).is_err()); // read 1: failed
+        assert_eq!(d.read_page(0).unwrap(), page(6)); // read 2: revived
+        assert_eq!(d.read_page(0).unwrap(), page(6));
+    }
+
+    #[test]
+    fn clear_unsticks_scheduled_faults() {
+        // a Stuck fault scheduled inside the cleared range must be skipped
+        // entirely: no stall, no error
+        let handle =
+            FaultInjector::handle(FaultPlan::new().stick_write(1, 5_000).clear_from_write(1));
+        let mut d = MemDisk::new(4);
+        d.attach_faults(handle);
+        d.write_page(0, &page(1)).unwrap();
+        let t0 = std::time::Instant::now();
+        d.write_page(1, &page(2)).unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(1_000),
+            "cleared stuck fault must not stall"
+        );
+        assert_eq!(d.read_page(1).unwrap(), page(2));
+    }
+
+    #[test]
+    fn clear_drops_pending_write_transients() {
+        // the transient at write 0 schedules 2 more failing attempts; the
+        // clear at write 1 must drop them
+        let handle =
+            FaultInjector::handle(FaultPlan::new().transient_write(0, 3).clear_from_write(1));
+        let mut d = MemDisk::new(4);
+        d.attach_faults(handle);
+        assert!(d.write_page(0, &page(9)).is_err()); // write 0: transient
+        d.write_page(0, &page(9)).unwrap(); // write 1: cleared
+        assert_eq!(d.read_page(0).unwrap(), page(9));
+    }
+
+    #[test]
+    fn crash_fires_even_inside_cleared_range() {
+        let handle =
+            FaultInjector::handle(FaultPlan::new().crash_after_write(1).clear_from_write(0));
+        let mut d = MemDisk::new(4);
+        d.attach_faults(handle.clone());
+        d.write_page(0, &page(1)).unwrap();
+        d.write_page(1, &page(2)).unwrap(); // crash fires after this one
+        assert!(handle.lock().crashed(), "clear must not cancel a crash");
+        assert_eq!(d.write_page(2, &page(3)), Err(StorageError::Offline));
+    }
+
+    #[test]
+    fn revive_restores_a_dead_device_in_place() {
+        let handle = FaultInjector::handle(FaultPlan::new().fail_from_write(0));
+        let mut d = MemDisk::new(4);
+        d.write_page(0, &page(1)).unwrap();
+        d.attach_faults(handle.clone());
+        assert!(d.write_page(1, &page(2)).is_err());
+        assert!(d.read_page(0).is_err());
+        handle.lock().revive();
+        d.write_page(1, &page(2)).unwrap();
+        assert_eq!(d.read_page(0).unwrap(), page(1));
+        assert_eq!(d.read_page(1).unwrap(), page(2));
+        assert!(!handle.lock().failed());
     }
 
     #[test]

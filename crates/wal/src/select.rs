@@ -86,6 +86,16 @@ impl Selector {
         }
     }
 
+    /// Readmit stream `idx`: `pick` may return it again. The cursor and
+    /// rng state are untouched — they advance identically whatever the
+    /// mask says — so a kill→rejoin round trip restores the original
+    /// routing function exactly.
+    pub fn mark_live(&mut self, idx: usize) {
+        if idx < self.streams {
+            self.dead[idx] = false;
+        }
+    }
+
     /// Whether stream `idx` is quarantined.
     pub fn is_dead(&self, idx: usize) -> bool {
         idx < self.streams && self.dead[idx]
@@ -256,5 +266,151 @@ mod tests {
         }
         assert_eq!(s.live_count(), 0);
         assert_eq!(s.pick(5, 0), 2, "raw choice when nothing is live");
+    }
+
+    #[test]
+    fn mark_live_readmits_a_dead_stream() {
+        let mut s = Selector::new(SelectionPolicy::QpMod, 4, 0);
+        s.mark_dead(1);
+        assert_eq!(s.pick(1, 0), 2);
+        s.mark_live(1);
+        assert!(!s.is_dead(1));
+        assert_eq!(s.live_count(), 4);
+        assert_eq!(s.pick(1, 0), 1, "readmitted stream serves again");
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn any_policy() -> impl Strategy<Value = SelectionPolicy> {
+        prop_oneof![
+            Just(SelectionPolicy::Cyclic),
+            Just(SelectionPolicy::Random),
+            Just(SelectionPolicy::QpMod),
+            Just(SelectionPolicy::TxnMod),
+        ]
+    }
+
+    /// Independent reference model of the raw policies — no dead-mask
+    /// machinery at all — for the bit-identity property.
+    struct PlainModel {
+        policy: SelectionPolicy,
+        streams: usize,
+        cursor: usize,
+        rng_state: u64,
+    }
+
+    impl PlainModel {
+        fn new(policy: SelectionPolicy, streams: usize, seed: u64) -> Self {
+            PlainModel {
+                policy,
+                streams,
+                cursor: 0,
+                rng_state: seed | 1,
+            }
+        }
+
+        fn pick(&mut self, qp: usize, txn: u64) -> usize {
+            match self.policy {
+                SelectionPolicy::Cyclic => {
+                    let s = self.cursor;
+                    self.cursor = (self.cursor + 1) % self.streams;
+                    s
+                }
+                SelectionPolicy::Random => {
+                    let mut x = self.rng_state;
+                    x ^= x >> 12;
+                    x ^= x << 25;
+                    x ^= x >> 27;
+                    self.rng_state = x;
+                    (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % self.streams as u64) as usize
+                }
+                SelectionPolicy::QpMod => qp % self.streams,
+                SelectionPolicy::TxnMod => (txn % self.streams as u64) as usize,
+            }
+        }
+    }
+
+    proptest! {
+        /// With no stream dead, the masked selector is bit-identical to a
+        /// plain implementation of the raw policy.
+        #[test]
+        fn empty_mask_is_bit_identical_to_plain_policy(
+            policy in any_policy(),
+            seed in any::<u64>(),
+            streams in 1usize..8,
+            picks in proptest::collection::vec((0usize..16, 0u64..64), 1..200),
+        ) {
+            let mut masked = Selector::new(policy, streams, seed);
+            let mut plain = PlainModel::new(policy, streams, seed);
+            for (qp, txn) in picks {
+                prop_assert_eq!(masked.pick(qp, txn), plain.pick(qp, txn));
+            }
+        }
+
+        /// Under an arbitrary dead-mask with at least one live stream, the
+        /// selector only ever picks live streams, and they are in range.
+        #[test]
+        fn arbitrary_masks_only_pick_live_streams(
+            policy in any_policy(),
+            seed in any::<u64>(),
+            streams in 2usize..8,
+            dead_bits in any::<u8>(),
+            picks in proptest::collection::vec((0usize..16, 0u64..64), 1..200),
+        ) {
+            let keep_live = (dead_bits >> 4) as usize % streams;
+            let mut s = Selector::new(policy, streams, seed);
+            for i in 0..streams {
+                if i != keep_live && dead_bits >> i & 1 == 1 {
+                    s.mark_dead(i);
+                }
+            }
+            prop_assert!(s.live_count() >= 1);
+            for (qp, txn) in picks {
+                let p = s.pick(qp, txn);
+                prop_assert!(p < streams, "pick out of range: {}", p);
+                prop_assert!(!s.is_dead(p), "picked quarantined stream {}", p);
+            }
+        }
+
+        /// A kill→rejoin round trip restores the original routing function:
+        /// picks after mark_live are identical to a selector that never saw
+        /// the failure, because cursor and rng advance identically under
+        /// any mask.
+        #[test]
+        fn kill_rejoin_restores_original_routing(
+            policy in any_policy(),
+            seed in any::<u64>(),
+            streams in 2usize..8,
+            victim_pick in any::<u8>(),
+            pre in 0usize..50,
+            outage in 1usize..50,
+            post in 1usize..100,
+        ) {
+            let victim = victim_pick as usize % streams;
+            let mut churned = Selector::new(policy, streams, seed);
+            let mut steady = Selector::new(policy, streams, seed);
+            for i in 0..pre {
+                prop_assert_eq!(churned.pick(i, i as u64), steady.pick(i, i as u64));
+            }
+            churned.mark_dead(victim);
+            for i in pre..pre + outage {
+                let p = churned.pick(i, i as u64);
+                steady.pick(i, i as u64); // advances identically
+                prop_assert_ne!(p, victim, "routed to the dead stream");
+                prop_assert!(p < streams);
+            }
+            churned.mark_live(victim);
+            for i in 0..post {
+                prop_assert_eq!(
+                    churned.pick(i, i as u64),
+                    steady.pick(i, i as u64),
+                    "routing function not restored after rejoin"
+                );
+            }
+        }
     }
 }

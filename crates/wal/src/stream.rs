@@ -206,6 +206,29 @@ impl LogStream {
         self.disk.attach_faults(handle);
     }
 
+    /// Detach and return the disk's fault injector, if any.
+    pub fn detach_faults(&mut self) -> Option<FaultHandle> {
+        self.disk.detach_faults()
+    }
+
+    /// Surrender the underlying disk (fault injector still attached).
+    /// Used by the failover layer's rejoin path, which re-validates the
+    /// durable prefix via [`LogStream::open`] on a fresh stream.
+    pub fn into_disk(self) -> MemDisk {
+        self.disk
+    }
+
+    /// Cheap device-health probe through the fault injector: read the
+    /// header frame and write it back. Fails while the device's permanent
+    /// failure is tripped; succeeds once a fault-clear (or replacement)
+    /// has revived both paths. Consumes one read and one write from the
+    /// injector's operation budget.
+    pub fn probe_device(&mut self) -> Result<(), StorageError> {
+        let h = self.disk.read_page(0)?;
+        self.disk.write_page(0, &h)?;
+        Ok(())
+    }
+
     fn write_header(&mut self) -> Result<(), StorageError> {
         let mut h = Page::new(HEADER_ID);
         h.write_at(0, &self.start_page.to_le_bytes());

@@ -5,8 +5,9 @@
 # stress tests, the observability property/conservation suites, and a
 # throughput smoke with --obs that must show >= 2x txns/sec at 4 workers
 # vs 1 AND emit a metrics snapshot whose conservation laws balance
-# (results land in results/BENCH_throughput.json). Run from anywhere
-# inside the repo.
+# (results land in results/BENCH_throughput.json), plus failover and
+# membership-churn smokes whose gates derive from the emitted JSON
+# (results/BENCH_failover.json). Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,8 +66,10 @@ EOF
 # failover smoke: kill log stream 1 mid-run; the fleet must reroute (the
 # long-transaction probe makes >= 1 reroute deterministic), keep committing
 # on the survivors, and lose zero acked commits against a recovered image
-# (the binary itself exits non-zero on acked loss or a silent fleet)
-./target/release/throughput --kill-stream 1@300 --secs 0.6 --json > results/BENCH_failover.json
+# (the binary itself exits non-zero on acked loss or a silent fleet).
+# Expectations are derived from the emitted JSON (survivors = streams - 1),
+# not hardcoded to a fleet size.
+./target/release/throughput --kill-stream 1@300 --secs 0.6 --json > /dev/null
 python3 - <<'EOF'
 import json
 doc = json.load(open("results/BENCH_failover.json"))
@@ -74,10 +77,37 @@ assert doc["failover"]["reroutes"] > 0, "failover smoke: no fragment reroutes re
 assert doc["failover"]["quarantined"] > 0, "failover smoke: victim never quarantined"
 assert doc["commits_after_failover"] > 0, "failover smoke: fleet stopped committing after the kill"
 assert doc["lost_acked_commits"] == 0, f"failover smoke: {doc['lost_acked_commits']} acked commits lost"
-assert doc["live_streams_after"] == 3, f"failover smoke: expected 3 survivors, got {doc['live_streams_after']}"
+want = doc["streams"] - 1
+assert doc["live_streams_after"] == want, \
+    f"failover smoke: expected {want} survivors, got {doc['live_streams_after']}"
 phases = {p["phase"]: p for p in doc["phases"]}
 print(f"failover smoke: detect={doc['detect_ms']}ms reroutes={doc['failover']['reroutes']} "
       f"p99 before/during/after={phases['before']['p99_us']}/{phases['during']['p99_us']}"
       f"/{phases['after']['p99_us']}us commits_after={doc['commits_after_failover']}")
+EOF
+
+# membership-churn smoke: kill stream 1, heal the device and rejoin it
+# mid-run. The full fleet must be serving again (no degraded latch), zero
+# acked commits lost across kill AND rejoin, and post-rejoin throughput
+# within 10% of the pre-kill baseline. The churn row lands in
+# results/BENCH_failover.json for the records.
+./target/release/throughput --kill-stream 1@300 --rejoin-at 700 --secs 1.2 --json > /dev/null
+python3 - <<'EOF'
+import json
+doc = json.load(open("results/BENCH_failover.json"))
+assert doc["rejoins"] >= 1, "churn smoke: stream never rejoined"
+assert doc["live_streams_after"] == doc["streams"], \
+    f"churn smoke: fleet not restored ({doc['live_streams_after']}/{doc['streams']} live)"
+assert not doc["degraded"], "churn smoke: degraded latch stuck after rejoin"
+assert doc["lost_acked_commits"] == 0, f"churn smoke: {doc['lost_acked_commits']} acked commits lost"
+churn = doc["churn"]
+assert churn and churn["rejoined_at_ms"] is not None, "churn smoke: no churn row emitted"
+ratio = churn["tps_after_rejoin"] / churn["tps_before"]
+assert ratio >= 0.9, \
+    f"churn smoke: post-rejoin throughput {churn['tps_after_rejoin']:.0f} tps is " \
+    f"{ratio:.2f}x the pre-kill {churn['tps_before']:.0f} tps (< 0.9x)"
+print(f"churn smoke: rejoined at {churn['rejoined_at_ms']}ms, tps "
+      f"before/outage/after-rejoin={churn['tps_before']:.0f}/{churn['tps_outage']:.0f}"
+      f"/{churn['tps_after_rejoin']:.0f} ({ratio:.2f}x baseline)")
 EOF
 echo "verify: OK"

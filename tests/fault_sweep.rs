@@ -1077,3 +1077,163 @@ fn exec_pipeline_survives_mid_run_appender_death() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Membership-churn sweep: kill → rejoin → kill cycles on a 4-stream fleet.
+// The elastic-fleet contract under test:
+//
+//   1. zero acked-commit loss across arbitrary churn (kills, rejoins, a
+//      repeat kill of an already-rejoined stream);
+//   2. a rejoin restores routing — the readmitted stream serves again and
+//      degraded mode stays clear;
+//   3. recovery stays deterministic across churn: every crash image, snapped
+//      between cycles, recovers to byte-identical data disks twice.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn exec_pipeline_survives_kill_rejoin_kill_churn() {
+    use recovery_machines::exec::{ExecConfig, ExecDb};
+    use recovery_machines::storage::FaultHandle;
+    use std::time::{Duration, Instant};
+
+    const STREAMS: usize = 4;
+    const PAGES: u64 = 96;
+
+    // One committed burst: `n` sequential transactions over a rolling page
+    // window; the acked map tracks the exact durable value per page.
+    fn burst(
+        db: &ExecDb,
+        acked: &mut HashMap<u64, [u8; 8]>,
+        next: &mut u64,
+        n: u64,
+        seed: u64,
+        round: u64,
+    ) {
+        for _ in 0..n {
+            let page = *next % PAGES;
+            *next += 1;
+            let v = (seed << 48 | round << 32 | 0xC0DE_0000 | page).to_le_bytes();
+            db.run_txn(page as usize, move |ctx| ctx.write(page, 0, &v))
+                .expect("churn txn");
+            acked.insert(page, v);
+        }
+    }
+
+    // Kill `stream`'s device through a retained handle and drive commits
+    // until failover quarantines it.
+    fn kill(
+        db: &ExecDb,
+        stream: usize,
+        acked: &mut HashMap<u64, [u8; 8]>,
+        next: &mut u64,
+        seed: u64,
+        round: u64,
+        ctx: &str,
+    ) -> FaultHandle {
+        let handle = FaultInjector::handle(FaultPlan::new().fail_from_write(0));
+        db.inject_stream_fault_handle(stream, handle.clone())
+            .expect("inject kill fault");
+        let t0 = Instant::now();
+        while !db.is_stream_dead(stream) {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "{ctx}: stream {stream} never quarantined"
+            );
+            burst(db, acked, next, 1, seed, round);
+        }
+        handle
+    }
+
+    for seed in SEEDS {
+        let cfg = ExecConfig {
+            wal: WalConfig {
+                data_pages: PAGES,
+                pool_frames: 24,
+                log_streams: STREAMS,
+                log_frames: 1 << 14,
+                seed,
+                ..WalConfig::default()
+            },
+            pool_shards: 4,
+            ..ExecConfig::default()
+        };
+        let ctx = format!("churn seed {seed}");
+        let db = ExecDb::new(cfg.clone());
+        let mut acked: HashMap<u64, [u8; 8]> = HashMap::new();
+        let mut next = 0u64;
+        let mut snaps: Vec<(HashMap<u64, [u8; 8]>, recovery_machines::wal::CrashImage)> =
+            Vec::new();
+
+        // healthy baseline
+        burst(&db, &mut acked, &mut next, 24, seed, 0);
+        snaps.push((acked.clone(), db.crash_image().expect("baseline image")));
+
+        // cycle 1: kill a stream, revive its device, rejoin it
+        let k1 = seed as usize % STREAMS;
+        let handle = kill(&db, k1, &mut acked, &mut next, seed, 1, &ctx);
+        burst(&db, &mut acked, &mut next, 16, seed, 1);
+        handle.lock().revive();
+        let report = db
+            .rejoin_stream(k1)
+            .unwrap_or_else(|e| panic!("{ctx}: rejoin of {k1} failed: {e}"));
+        assert_eq!(report.live_streams, STREAMS, "{ctx}: fleet not restored");
+        assert!(!db.is_stream_dead(k1), "{ctx}: rejoined stream still dead");
+        assert!(!db.is_degraded(), "{ctx}: degraded after rejoin");
+        burst(&db, &mut acked, &mut next, 32, seed, 2);
+        snaps.push((acked.clone(), db.crash_image().expect("post-rejoin image")));
+
+        // cycle 2: a different stream dies and rejoins
+        let k2 = (k1 + 1) % STREAMS;
+        let handle = kill(&db, k2, &mut acked, &mut next, seed, 3, &ctx);
+        burst(&db, &mut acked, &mut next, 16, seed, 3);
+        handle.lock().revive();
+        db.rejoin_stream(k2)
+            .unwrap_or_else(|e| panic!("{ctx}: rejoin of {k2} failed: {e}"));
+        assert_eq!(
+            db.live_streams(),
+            STREAMS,
+            "{ctx}: fleet not restored twice"
+        );
+        burst(&db, &mut acked, &mut next, 32, seed, 4);
+
+        // cycle 3: the first victim dies AGAIN (orphan ranges accumulate
+        // across incarnations) and this time stays out
+        let _handle = kill(&db, k1, &mut acked, &mut next, seed, 5, &ctx);
+        burst(&db, &mut acked, &mut next, 24, seed, 5);
+        assert_eq!(
+            db.live_streams(),
+            STREAMS - 1,
+            "{ctx}: second kill miscounted"
+        );
+        assert!(!db.is_degraded(), "{ctx}: degraded at min_live=1");
+        assert!(
+            db.obs().snapshot().counter("failover.rejoins") >= Some(2),
+            "{ctx}: rejoin counter missing"
+        );
+        snaps.push((acked.clone(), db.crash_image().expect("final churn image")));
+
+        for (snap, (acked_at, image)) in snaps.into_iter().enumerate() {
+            let sctx = format!("{ctx} snap {snap}");
+            let copy = clone_image(&image);
+            let (mut rec, _) = WalDb::recover(image, cfg.wal.clone())
+                .unwrap_or_else(|e| panic!("{sctx}: recovery failed: {e}"));
+            let t = rec.begin();
+            for page in 0..PAGES {
+                let got = rec.read(t, page, 0, 8).expect("read after recovery");
+                match acked_at.get(&page) {
+                    Some(v) => assert_eq!(
+                        got, *v,
+                        "{sctx}: acked page {page} lost or stale after churn"
+                    ),
+                    None => assert_eq!(got, [0u8; 8], "{sctx}: page {page} dirty"),
+                }
+            }
+            rec.abort(t).expect("read-only abort");
+            // recovery determinism survives membership churn
+            let (rec2, _) = WalDb::recover(copy, cfg.wal.clone())
+                .unwrap_or_else(|e| panic!("{sctx}: second recovery failed: {e}"));
+            assert_disks_identical(&rec.crash_image().data, &rec2.crash_image().data, &sctx);
+        }
+        db.shutdown().ok();
+    }
+}
