@@ -31,6 +31,15 @@
 //!   via [`rmdb_exec::ExecDb::rejoin_stream`]. Adds a `post_rejoin`
 //!   latency phase and a `churn` row (throughput before the kill,
 //!   during the outage, and after the rejoin) to the JSON.
+//! * `--read-pct P[,P2,…]` — run the read-mix benchmark instead of the
+//!   sweep: for each percentage, a `P`% read / `(100−P)`% bank-transfer
+//!   mix runs twice — reads routed through the lock-free MVCC snapshot
+//!   path (`run_ro_txn`) and through the lock table — with the
+//!   conservation-sum invariant checked inside every read. Emits read
+//!   tps, write tps, read p99, and snapshot-age p99 per row plus the
+//!   mvcc/locked read-throughput speedup into
+//!   `results/BENCH_readmix.json`; exits non-zero on any
+//!   snapshot-consistency violation.
 
 use rmdb_exec::{ExecConfig, ExecDb, Executor};
 use rmdb_obs::Registry;
@@ -518,6 +527,290 @@ fn run_failover(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Read-mix benchmark (--read-pct): MVCC snapshot reads vs the locked path
+// ---------------------------------------------------------------------------
+
+/// How a read-mix cell routes its reads.
+#[derive(Clone, Copy, PartialEq)]
+enum ReadPath {
+    /// `run_ro_txn`: lock-free MVCC snapshot reads.
+    Mvcc,
+    /// `run_txn` with shared locks: readers queue behind writers' X
+    /// locks, which are held across the group-commit force.
+    Locked,
+}
+
+impl ReadPath {
+    fn name(self) -> &'static str {
+        match self {
+            ReadPath::Mvcc => "mvcc",
+            ReadPath::Locked => "locked",
+        }
+    }
+}
+
+/// Bank pages for the read-mix cell: every reader sums all of them and
+/// checks conservation, every writer moves value between a random pair.
+const MIX_ACCOUNTS: u64 = 16;
+const MIX_INITIAL: u64 = 1_000;
+const MIX_WORKERS: usize = 4;
+
+struct MixRow {
+    read_pct: u32,
+    path: ReadPath,
+    reads: u64,
+    writes: u64,
+    violations: u64,
+    errors: u64,
+    secs: f64,
+    read_p99_us: u64,
+    snapshot_age_p99: u64,
+}
+
+impl MixRow {
+    fn read_tps(&self) -> f64 {
+        self.reads as f64 / self.secs
+    }
+    fn write_tps(&self) -> f64 {
+        self.writes as f64 / self.secs
+    }
+    fn json(&self) -> String {
+        format!(
+            "{{\"mode\":\"{}\",\"read_pct\":{},\"reads\":{},\"writes\":{},\
+\"read_tps\":{:.1},\"write_tps\":{:.1},\"violations\":{},\"errors\":{},\
+\"read_p99_us\":{},\"snapshot_age_p99\":{}}}",
+            self.path.name(),
+            self.read_pct,
+            self.reads,
+            self.writes,
+            self.read_tps(),
+            self.write_tps(),
+            self.violations,
+            self.errors,
+            self.read_p99_us,
+            self.snapshot_age_p99,
+        )
+    }
+}
+
+/// One read-mix cell: `MIX_WORKERS` threads each issuing `read_pct`%
+/// conservation-sum reads (routed per `path`) and the rest bank
+/// transfers, against hot pages and a rotational-model log device. The
+/// sum invariant is checked inside every read — in MVCC mode that is
+/// the snapshot-consistency oracle, in locked mode 2PL guarantees it.
+fn run_mix_cell(read_pct: u32, path: ReadPath, secs: f64) -> MixRow {
+    let obs = Registry::new();
+    let cfg = ExecConfig {
+        wal: WalConfig {
+            data_pages: DATA_PAGES,
+            pool_frames: 320,
+            log_streams: 2,
+            log_frames: 1 << 18,
+            seed: 1985,
+            ..WalConfig::default()
+        },
+        pool_shards: 8,
+        force_delay_us: 500,
+        obs: obs.clone(),
+        ..ExecConfig::default()
+    };
+    let db = Arc::new(ExecDb::new(cfg));
+    // seed the accounts (one txn so a snapshot can never see a partial
+    // seeding)
+    db.run_txn(0, |ctx| {
+        for p in 0..MIX_ACCOUNTS {
+            ctx.write(p, 0, &MIX_INITIAL.to_le_bytes())?;
+        }
+        Ok(())
+    })
+    .expect("seed accounts");
+    let expected_total = MIX_ACCOUNTS * MIX_INITIAL;
+
+    struct Out {
+        reads: u64,
+        writes: u64,
+        violations: u64,
+        errors: u64,
+        read_lat_us: Vec<u64>,
+    }
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs_f64(secs);
+    let outs: Vec<Out> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..MIX_WORKERS)
+            .map(|w| {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    let mut out = Out {
+                        reads: 0,
+                        writes: 0,
+                        violations: 0,
+                        errors: 0,
+                        read_lat_us: Vec::new(),
+                    };
+                    // xorshift: deterministic per worker, no rand dep
+                    let mut rng: u64 = 0x9E37_79B9_7F4A_7C15 ^ (w as u64 + 1);
+                    let mut next = move || {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        rng
+                    };
+                    while Instant::now() < deadline {
+                        if next() % 100 < read_pct as u64 {
+                            // conservation-sum read over every account
+                            let t_read = Instant::now();
+                            let sum: Result<u64, _> = match path {
+                                ReadPath::Mvcc => db.run_ro_txn(w, |snap| {
+                                    let mut sum = 0u64;
+                                    for p in 0..MIX_ACCOUNTS {
+                                        let b = snap.read(p, 0, 8)?;
+                                        sum += u64::from_le_bytes(b.try_into().expect("8 bytes"));
+                                    }
+                                    Ok(sum)
+                                }),
+                                ReadPath::Locked => {
+                                    let total = std::sync::atomic::AtomicU64::new(0);
+                                    db.run_txn(w, |ctx| {
+                                        let mut sum = 0u64;
+                                        for p in 0..MIX_ACCOUNTS {
+                                            let b = ctx.read(p, 0, 8)?;
+                                            sum +=
+                                                u64::from_le_bytes(b.try_into().expect("8 bytes"));
+                                        }
+                                        total.store(sum, Ordering::Relaxed);
+                                        Ok(())
+                                    })
+                                    .map(|()| total.load(Ordering::Relaxed))
+                                }
+                            };
+                            match sum {
+                                Ok(sum) => {
+                                    out.reads += 1;
+                                    out.read_lat_us.push(t_read.elapsed().as_micros() as u64);
+                                    if sum != expected_total {
+                                        out.violations += 1;
+                                        eprintln!(
+                                            "VIOLATION ({}): sum {sum} != {expected_total}",
+                                            path.name()
+                                        );
+                                    }
+                                }
+                                Err(_) => out.errors += 1,
+                            }
+                        } else {
+                            // bank transfer between a random pair
+                            let from = next() % MIX_ACCOUNTS;
+                            let to = (from + 1 + next() % (MIX_ACCOUNTS - 1)) % MIX_ACCOUNTS;
+                            let amount = next() % 5;
+                            match db.run_txn(w, |ctx| {
+                                let f =
+                                    u64::from_le_bytes(ctx.read(from, 0, 8)?.try_into().unwrap());
+                                let t = u64::from_le_bytes(ctx.read(to, 0, 8)?.try_into().unwrap());
+                                let moved = amount.min(f);
+                                ctx.write(from, 0, &(f - moved).to_le_bytes())?;
+                                ctx.write(to, 0, &(t + moved).to_le_bytes())?;
+                                Ok(())
+                            }) {
+                                Ok(()) => out.writes += 1,
+                                Err(_) => out.errors += 1,
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let snap = obs.snapshot();
+    let mut read_lat: Vec<u64> = outs.iter().flat_map(|o| o.read_lat_us.clone()).collect();
+    MixRow {
+        read_pct,
+        path,
+        reads: outs.iter().map(|o| o.reads).sum(),
+        writes: outs.iter().map(|o| o.writes).sum(),
+        violations: outs.iter().map(|o| o.violations).sum(),
+        errors: outs.iter().map(|o| o.errors).sum(),
+        secs: elapsed,
+        read_p99_us: percentile_us(&mut read_lat, 0.99),
+        snapshot_age_p99: snap
+            .histogram("mvcc.snapshot_age")
+            .map_or(0, |h| h.quantile(0.99)),
+    }
+}
+
+/// `--read-pct`: for each requested mix, run the same workload once with
+/// MVCC snapshot reads and once through the lock table, write
+/// `results/BENCH_readmix.json`, and fail (exit 1) on any
+/// snapshot-consistency violation.
+fn run_readmix(pcts: &[u32], secs: f64, json: bool) -> i32 {
+    let mut rows = Vec::new();
+    for &pct in pcts {
+        rows.push(run_mix_cell(pct, ReadPath::Mvcc, secs));
+        rows.push(run_mix_cell(pct, ReadPath::Locked, secs));
+    }
+    let speedup = |pct: u32| -> Option<f64> {
+        let tps = |path: ReadPath| {
+            rows.iter()
+                .find(|r| r.read_pct == pct && r.path == path)
+                .map(MixRow::read_tps)
+        };
+        match (tps(ReadPath::Mvcc), tps(ReadPath::Locked)) {
+            (Some(m), Some(l)) if l > 0.0 => Some(m / l),
+            _ => None,
+        }
+    };
+    let speedups: Vec<String> = pcts
+        .iter()
+        .filter_map(|&p| speedup(p).map(|s| format!("\"{p}\":{s:.2}")))
+        .collect();
+    let violations: u64 = rows.iter().map(|r| r.violations).sum();
+    let body: Vec<String> = rows.iter().map(MixRow::json).collect();
+    let report = format!(
+        "{{\"bench\":\"readmix\",\"workers\":{MIX_WORKERS},\"accounts\":{MIX_ACCOUNTS},\
+\"rows\":[{}],\"read_speedup\":{{{}}},\"violations\":{violations}}}",
+        body.join(","),
+        speedups.join(","),
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_readmix.json", &report).expect("write BENCH_readmix.json");
+    if json {
+        println!("{report}");
+    } else {
+        println!(
+            "{:>5} {:>8} {:>10} {:>10} {:>12} {:>12} {:>12} {:>10}",
+            "mix", "mode", "reads", "writes", "read_tps", "write_tps", "read_p99_us", "violations"
+        );
+        for r in &rows {
+            println!(
+                "{:>4}% {:>8} {:>10} {:>10} {:>12.0} {:>12.0} {:>12} {:>10}",
+                r.read_pct,
+                r.path.name(),
+                r.reads,
+                r.writes,
+                r.read_tps(),
+                r.write_tps(),
+                r.read_p99_us,
+                r.violations
+            );
+        }
+        for &p in pcts {
+            if let Some(s) = speedup(p) {
+                println!("read speedup (mvcc/locked) @ {p}% reads: {s:.2}x");
+            }
+        }
+        println!("{report}");
+        println!("wrote results/BENCH_readmix.json");
+    }
+    if violations > 0 {
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut secs = 1.0f64;
@@ -527,6 +820,7 @@ fn main() {
     let mut kill: Option<KillSpec> = None;
     let mut kill_streams: usize = 4;
     let mut rejoin_at: Option<u64> = None;
+    let mut read_pcts: Option<Vec<u32>> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -570,11 +864,40 @@ fn main() {
                 ));
                 i += 1;
             }
+            "--read-pct" => {
+                let parsed: Option<Vec<u32>> = args.get(i + 1).map(|s| {
+                    s.split(',')
+                        .map(|p| {
+                            p.trim()
+                                .parse()
+                                .ok()
+                                .filter(|&v| v < 100)
+                                .unwrap_or_else(|| {
+                                    eprintln!(
+                                        "bad --read-pct {p:?} (want 0..=99, comma-separated)"
+                                    );
+                                    std::process::exit(2);
+                                })
+                        })
+                        .collect()
+                });
+                read_pcts = match parsed {
+                    Some(v) if !v.is_empty() => Some(v),
+                    _ => {
+                        eprintln!("--read-pct needs an argument (e.g. 95 or 95,99)");
+                        std::process::exit(2);
+                    }
+                };
+                i += 1;
+            }
             _ => {}
         }
         i += 1;
     }
 
+    if let Some(pcts) = read_pcts {
+        std::process::exit(run_readmix(&pcts, secs, json));
+    }
     if let Some(spec) = kill {
         std::process::exit(run_failover(&spec, kill_streams, rejoin_at, secs, json));
     }

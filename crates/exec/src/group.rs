@@ -49,6 +49,12 @@ pub(crate) struct CommitReq {
     /// The undo chain, surrendered at submit so the daemon can roll the
     /// transaction back if its commit fails mid-batch.
     pub undo: Vec<UndoEntry>,
+    /// Full images of every page this transaction wrote, captured at
+    /// submit under its X locks. On success the daemon installs them in
+    /// the MVCC version pool (before releasing locks), making the commit
+    /// visible to lock-free snapshot readers; on failure they are simply
+    /// dropped.
+    pub images: Vec<Arc<rmdb_storage::Page>>,
     /// Completion channel the worker parks on.
     pub reply: SyncSender<Result<(), ExecError>>,
 }
@@ -146,6 +152,11 @@ pub(crate) fn run_daemon(
         for (req, result) in batch.into_iter().zip(results) {
             match result {
                 Ok(()) => {
+                    // publish the commit's page versions to the MVCC pool
+                    // *before* releasing locks: the X locks pin the
+                    // captured images, and publish order under the single
+                    // daemon thread is commit order
+                    inner.mvcc.commit(&req.images);
                     // strict 2PL: release only once the outcome is decided
                     inner.release_locks(req.txn);
                     inner.stats.committed.fetch_add(1, Ordering::Relaxed);

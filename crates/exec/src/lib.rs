@@ -64,7 +64,7 @@ pub mod group;
 pub mod supervisor;
 
 pub use appender::{AppenderProbe, LogAppender, TicketInheritance};
-pub use db::{ExecConfig, ExecCtx, ExecDb, ExecStats, RejoinReport, Txn};
+pub use db::{ExecConfig, ExecCtx, ExecDb, ExecStats, RejoinReport, SnapshotCtx, Txn};
 pub use error::{AppenderError, ExecError};
 pub use executor::{Executor, JobHandle};
 pub use group::CommitHandle;

@@ -183,6 +183,11 @@ pub(crate) fn run_supervisor(inner: Arc<Inner>, stop: Arc<AtomicBool>) {
             }
         }
         live_gauge.set(inner.live_streams() as u64);
+        // MVCC housekeeping: sweep dead page versions below the snapshot
+        // watermark. Cheap when idle (read-latch probe per chain), and
+        // riding the supervisor tick keeps chains bounded without a
+        // dedicated GC thread.
+        inner.mvcc.gc();
         std::thread::sleep(interval);
     }
 }

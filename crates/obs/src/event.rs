@@ -77,6 +77,12 @@ pub enum EventKind {
     /// parked or unparked for load (stream field: stream ordinal,
     /// payload: live streams after the resize).
     FleetResized = 14,
+    /// A read-only transaction opened an MVCC snapshot (txn field: txn
+    /// id, stream field: home queue processor, payload: snapshot LSN).
+    SnapshotOpened = 15,
+    /// The MVCC garbage collector reclaimed dead page versions below the
+    /// snapshot watermark (payload: versions reclaimed).
+    VersionsPruned = 16,
     /// Catch-all for unrecognised kinds decoded from raw slots.
     Unknown = 0,
 }
@@ -99,6 +105,8 @@ impl EventKind {
             12 => EventKind::FragmentRerouted,
             13 => EventKind::StreamRejoined,
             14 => EventKind::FleetResized,
+            15 => EventKind::SnapshotOpened,
+            16 => EventKind::VersionsPruned,
             _ => EventKind::Unknown,
         }
     }
@@ -120,6 +128,8 @@ impl EventKind {
             EventKind::FragmentRerouted => "fragment_rerouted",
             EventKind::StreamRejoined => "stream_rejoined",
             EventKind::FleetResized => "fleet_resized",
+            EventKind::SnapshotOpened => "snapshot_opened",
+            EventKind::VersionsPruned => "versions_pruned",
             EventKind::Unknown => "unknown",
         }
     }
@@ -372,6 +382,8 @@ mod tests {
             EventKind::FragmentRerouted,
             EventKind::StreamRejoined,
             EventKind::FleetResized,
+            EventKind::SnapshotOpened,
+            EventKind::VersionsPruned,
         ] {
             assert_eq!(EventKind::from_u16(kind as u16), kind);
             assert!(!kind.name().is_empty());

@@ -7,7 +7,10 @@
 # vs 1 AND emit a metrics snapshot whose conservation laws balance
 # (results land in results/BENCH_throughput.json), plus failover and
 # membership-churn smokes whose gates derive from the emitted JSON
-# (results/BENCH_failover.json). Run from anywhere inside the repo.
+# (results/BENCH_failover.json), and a read-mix smoke gating MVCC
+# snapshot reads at >= 1.5x locked read throughput with zero consistency
+# violations (results/BENCH_readmix.json). Run from anywhere inside the
+# repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -109,5 +112,29 @@ assert ratio >= 0.9, \
 print(f"churn smoke: rejoined at {churn['rejoined_at_ms']}ms, tps "
       f"before/outage/after-rejoin={churn['tps_before']:.0f}/{churn['tps_outage']:.0f}"
       f"/{churn['tps_after_rejoin']:.0f} ({ratio:.2f}x baseline)")
+EOF
+# read-mix smoke: run the same read-heavy bank workload through MVCC
+# snapshot reads and through the lock table. Snapshot reads must deliver
+# >= 1.5x the locked read throughput at a 95/5 mix with zero consistency
+# violations and zero errors on either path (the binary itself exits
+# non-zero on a violation). Rows + speedups land in
+# results/BENCH_readmix.json.
+./target/release/throughput --read-pct 95,99 --json > /dev/null
+python3 - <<'EOF'
+import json
+doc = json.load(open("results/BENCH_readmix.json"))
+assert doc["violations"] == 0, f"readmix smoke: {doc['violations']} consistency violations"
+rows = {(r["mode"], r["read_pct"]): r for r in doc["rows"]}
+for (mode, pct), r in rows.items():
+    assert r["errors"] == 0, f"readmix smoke: {mode}@{pct} had {r['errors']} errors"
+    assert r["reads"] > 0 and r["writes"] > 0, f"readmix smoke: {mode}@{pct} cell is empty"
+speedup = doc["read_speedup"]["95"]
+assert speedup >= 1.5, \
+    f"readmix smoke: snapshot reads only {speedup:.2f}x locked at 95/5 (< 1.5x)"
+mvcc95, lock95 = rows[("mvcc", 95)], rows[("locked", 95)]
+print(f"readmix smoke: 95/5 read tps mvcc={mvcc95['read_tps']:.0f} "
+      f"locked={lock95['read_tps']:.0f} ({speedup:.2f}x), read p99 "
+      f"{mvcc95['read_p99_us']}us vs {lock95['read_p99_us']}us, "
+      f"99/1 speedup {doc['read_speedup']['99']:.2f}x")
 EOF
 echo "verify: OK"

@@ -18,6 +18,7 @@ pub use rmdb_difffile as difffile;
 pub use rmdb_disk as disk;
 pub use rmdb_exec as exec;
 pub use rmdb_machine as machine;
+pub use rmdb_mvcc as mvcc;
 pub use rmdb_obs as obs;
 pub use rmdb_relation as relation;
 pub use rmdb_restart as restart;

@@ -242,6 +242,85 @@ fn metrics_obey_conservation_laws() {
     }
 }
 
+/// Snapshot-consistency oracle: while a transfer storm runs, concurrent
+/// lock-free readers open MVCC snapshots and assert the bank-transfer
+/// conservation invariant *inside every snapshot*. A transfer moves
+/// value between two pages in one transaction, so any snapshot that
+/// caught a half-applied transfer — or mixed two different commit
+/// points — reads a wrong total. Afterwards, a quiesced check that the
+/// GC watermark reclaims every version but the newest per page.
+#[test]
+fn snapshot_readers_see_conserved_balance_during_storm() {
+    let db = Arc::new(ExecDb::new(bank_cfg(0x53AB)));
+    seed_accounts(&db);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    crossbeam::thread::scope(|s| {
+        // lock-free readers: sum all accounts inside one snapshot, over
+        // and over, while the writers run
+        let mut readers = Vec::new();
+        for r in 0..3usize {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            readers.push(s.spawn(move |_| {
+                let mut checked = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let total = db
+                        .run_ro_txn(r, |snap| {
+                            let mut sum = 0u64;
+                            for acct in 0..ACCOUNTS {
+                                let b = snap.read(acct, 0, 8)?;
+                                sum += u64::from_le_bytes(b.try_into().unwrap());
+                            }
+                            Ok(sum)
+                        })
+                        .expect("snapshot read must never error");
+                    assert_eq!(
+                        total,
+                        ACCOUNTS * INITIAL,
+                        "reader {r}: snapshot saw a torn transfer"
+                    );
+                    checked += 1;
+                }
+                checked
+            }));
+        }
+        transfer_storm(&db, 3, 60, 0x53AB);
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        let checked: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(checked > 0, "readers never completed a snapshot");
+    })
+    .unwrap();
+
+    // quiesced GC check: with no snapshots open, the watermark sits at
+    // the published LSN and a sweep reclaims all but the newest version
+    // of every versioned page
+    let mvcc = db.mvcc();
+    assert_eq!(mvcc.open_snapshots(), 0, "a snapshot guard leaked");
+    db.mvcc_gc();
+    let snap = db.metrics();
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    let pages_versioned = snap.gauge("mvcc.pages_versioned").unwrap_or(0);
+    assert_eq!(
+        mvcc.live_versions(),
+        pages_versioned,
+        "GC left more than one live version on some page"
+    );
+    assert!(
+        pages_versioned >= ACCOUNTS,
+        "fewer versioned pages than accounts"
+    );
+    // conservation law: every installed version was either pruned or is
+    // still live — the registry never lost track of one
+    assert_eq!(
+        c("mvcc.versions_installed"),
+        c("mvcc.versions_pruned") + mvcc.live_versions(),
+        "mvcc version conservation violated"
+    );
+    assert!(c("mvcc.versions_installed") > 0, "no versions ever flowed");
+    assert!(c("mvcc.ro_txns") > 0, "ro-txn counter never moved");
+    assert_eq!(snap.gauge("mvcc.snapshots_open"), Some(0));
+}
+
 /// The bounded executor keeps every submission and survives far more
 /// jobs than its queue depth (backpressure, not loss).
 #[test]

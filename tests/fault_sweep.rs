@@ -1237,3 +1237,161 @@ fn exec_pipeline_survives_kill_rejoin_kill_churn() {
         db.shutdown().ok();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Readers-during-failover: the MVCC snapshot read path must be completely
+// indifferent to log-processor failure. While a kill → rejoin cycle runs,
+// concurrent lock-free readers open snapshots nonstop; the contract:
+//
+//   1. snapshot reads NEVER error — not during the outage, not during the
+//      rejoin (they depend only on already-published memory, never on the
+//      appender fleet);
+//   2. every snapshot sees a conserved bank total (transfer atomicity
+//      inside every snapshot, across every failover phase);
+//   3. recovery with MVCC enabled stays byte-identical across a double
+//      recovery of the same crash image — version publication is strictly
+//      a side channel and leaves no trace in the durable state.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn snapshot_readers_stay_consistent_through_kill_and_rejoin() {
+    use recovery_machines::exec::{ExecConfig, ExecDb};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const ACCOUNTS: u64 = 12;
+    const INITIAL: u64 = 64;
+    const STREAMS: usize = 3;
+
+    // two seeds keep the tier-1 wall-clock modest; the elastic-fleet churn
+    // sweep above already covers the full seed battery for the write path
+    for seed in [7u64, 31337] {
+        let cfg = ExecConfig {
+            wal: WalConfig {
+                data_pages: 32,
+                pool_frames: 24,
+                log_streams: STREAMS,
+                log_frames: 1 << 14,
+                seed,
+                ..WalConfig::default()
+            },
+            pool_shards: 4,
+            ..ExecConfig::default()
+        };
+        let ctx = format!("ro-failover seed {seed}");
+        let db = Arc::new(ExecDb::new(cfg.clone()));
+        db.run_txn(0, |c| {
+            for acct in 0..ACCOUNTS {
+                c.write(acct, 0, &INITIAL.to_le_bytes())?;
+            }
+            Ok(())
+        })
+        .expect("seed accounts");
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let checked = Arc::new(AtomicU64::new(0));
+        crossbeam::thread::scope(|s| {
+            // lock-free readers, running across every failover phase
+            for r in 0..2usize {
+                let db = Arc::clone(&db);
+                let stop = Arc::clone(&stop);
+                let checked = Arc::clone(&checked);
+                let rctx = format!("{ctx} reader {r}");
+                s.spawn(move |_| {
+                    while !stop.load(Ordering::Acquire) {
+                        let total = db
+                            .run_ro_txn(r, |snap| {
+                                let mut sum = 0u64;
+                                for acct in 0..ACCOUNTS {
+                                    let b = snap.read(acct, 0, 8)?;
+                                    sum += u64::from_le_bytes(b.try_into().unwrap());
+                                }
+                                Ok(sum)
+                            })
+                            .unwrap_or_else(|e| {
+                                panic!("{rctx}: snapshot read errored during failover: {e}")
+                            });
+                        assert_eq!(
+                            total,
+                            ACCOUNTS * INITIAL,
+                            "{rctx}: snapshot saw a torn transfer"
+                        );
+                        checked.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+
+            // the writer drives transfers through a kill → rejoin cycle
+            let transfer = |round: u64, n: u64| {
+                for i in 0..n {
+                    let from = (seed ^ round.wrapping_mul(31) ^ i) % ACCOUNTS;
+                    let to = (from + 1 + (i % (ACCOUNTS - 1))) % ACCOUNTS;
+                    db.run_txn((i % 3) as usize, |c| {
+                        let a = u64::from_le_bytes(c.read(from, 0, 8)?.try_into().unwrap());
+                        let b = u64::from_le_bytes(c.read(to, 0, 8)?.try_into().unwrap());
+                        let moved = 3u64.min(a);
+                        c.write(from, 0, &(a - moved).to_le_bytes())?;
+                        c.write(to, 0, &(b + moved).to_le_bytes())
+                    })
+                    .expect("transfer during failover");
+                }
+            };
+            transfer(0, 16);
+
+            // kill: readers keep running while the fleet loses a stream
+            let victim = seed as usize % STREAMS;
+            let handle = FaultInjector::handle(FaultPlan::new().fail_from_write(0));
+            db.inject_stream_fault_handle(victim, handle.clone())
+                .expect("inject kill fault");
+            let t0 = Instant::now();
+            while !db.is_stream_dead(victim) {
+                assert!(
+                    t0.elapsed() < Duration::from_secs(10),
+                    "{ctx}: stream {victim} never quarantined"
+                );
+                transfer(1, 1);
+            }
+            transfer(2, 12);
+
+            // rejoin: readers keep running while the stream readmits
+            handle.lock().revive();
+            db.rejoin_stream(victim)
+                .unwrap_or_else(|e| panic!("{ctx}: rejoin failed: {e}"));
+            assert!(!db.is_degraded(), "{ctx}: degraded after rejoin");
+            transfer(3, 16);
+
+            stop.store(true, Ordering::Release);
+        })
+        .unwrap();
+        assert!(
+            checked.load(Ordering::Relaxed) > 0,
+            "{ctx}: readers never completed a snapshot"
+        );
+
+        // recovered image must be byte-identical across a double recovery
+        // with MVCC enabled, and still conserve the bank total
+        let image = db.crash_image().expect("final crash image");
+        let copy = clone_image(&image);
+        let (mut rec, _) = WalDb::recover(image, cfg.wal.clone())
+            .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+        let t = rec.begin();
+        let total: u64 = (0..ACCOUNTS)
+            .map(|p| u64::from_le_bytes(rec.read(t, p, 0, 8).unwrap().try_into().unwrap()))
+            .sum();
+        assert_eq!(
+            total,
+            ACCOUNTS * INITIAL,
+            "{ctx}: recovered state lost money"
+        );
+        rec.abort(t).expect("read-only abort");
+        let (rec2, _) = WalDb::recover(copy, cfg.wal.clone())
+            .unwrap_or_else(|e| panic!("{ctx}: second recovery failed: {e}"));
+        assert_disks_identical(&rec.crash_image().data, &rec2.crash_image().data, &ctx);
+        Arc::try_unwrap(db)
+            .ok()
+            .expect("reader threads joined")
+            .shutdown()
+            .ok();
+    }
+}
