@@ -80,14 +80,14 @@ use rmdb_storage::{
     read_page_retry, write_page_verified, FaultHandle, FaultInjector, FaultPlan, MemDisk, Page,
     PageId, ShardedPool, StorageError, PAYLOAD_SIZE,
 };
-use rmdb_wal::db::{LogMode, WalConfig};
+use rmdb_wal::db::{LogMode, LoggingPolicy, WalConfig};
 use rmdb_wal::lock::LockMode;
-use rmdb_wal::record::LogRecord;
+use rmdb_wal::record::{LogRecord, LogicalOp, DECISION_COST, DECISION_FORCED};
 use rmdb_wal::scheduler::{Decision, Scheduler, WaitStats};
 use rmdb_wal::select::Selector;
 use rmdb_wal::stream::{LogStream, IO_RETRIES};
 use rmdb_wal::{Backoff, CrashImage, WalError};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -319,6 +319,29 @@ struct PendingFrag {
     rec: LogRecord,
 }
 
+/// Deferred-capture state for a transaction running under
+/// [`LoggingPolicy::Command`] or [`LoggingPolicy::Adaptive`]: nothing is
+/// appended while the body runs. The fragments each write *would* have
+/// appended are retained for a possible commit-time spill, the logical
+/// ops for the command record, and every written page is pinned in the
+/// pool so the steal-policy flusher can never put un-logged bytes on the
+/// data disk. Deferred losers log nothing at all.
+#[derive(Default)]
+struct ExecDeferred {
+    /// Retained after-image fragments, in write order (the spill path).
+    frags: Vec<(PageId, LogRecord)>,
+    /// Logical ops, in execution order (the command-record path).
+    ops: Vec<LogicalOp>,
+    /// Distinct written pages, each holding one pool pin.
+    pages: BTreeSet<PageId>,
+    /// Pages read under shared locks — the command record's read set,
+    /// which the replay DAG turns into write→read precedence edges.
+    reads: BTreeSet<PageId>,
+    /// Encoded bytes the retained fragments would cost: the physical
+    /// side of the commit-time cost comparison.
+    phys_bytes: usize,
+}
+
 /// An in-flight transaction, owned by the worker driving it.
 pub struct Txn {
     id: u64,
@@ -329,6 +352,9 @@ pub struct Txn {
     undo: Vec<UndoEntry>,
     /// Volatile fragments, kept for failover rerouting.
     pending: Vec<PendingFrag>,
+    /// Deferred-capture state; `Some` exactly while the logging policy
+    /// is still deciding (a spill resets it to `None` for good).
+    deferred: Option<ExecDeferred>,
 }
 
 impl Txn {
@@ -880,6 +906,25 @@ impl Inner {
         Ok(images)
     }
 
+    /// Point `pages`' WAL-rule meta entries at `(stream, seq)` — the
+    /// just-appended logical commit record that now covers their deferred
+    /// writes. Called by the daemon before the home force; the pages are
+    /// still pinned, so no eviction can race the re-pin.
+    pub(crate) fn cover_deferred(&self, pages: &[PageId], stream: usize, seq: u64) {
+        for &id in pages {
+            let mut shard = self.shards.lock(id);
+            shard.meta.insert(id, (stream, seq));
+        }
+    }
+
+    /// Drop the deferred-capture pins on `pages` (one pin per page).
+    pub(crate) fn unpin_pages(&self, pages: &[PageId]) {
+        for &id in pages {
+            let mut shard = self.shards.lock(id);
+            shard.pool.unpin(id);
+        }
+    }
+
     /// Ensure `page` is resident in its shard, flushing any evicted dirty
     /// victim under the WAL rule. Caller holds the shard lock via `shard`.
     fn ensure_resident(
@@ -1185,6 +1230,15 @@ impl Inner {
     }
 }
 
+/// Whether `e` is the buffer pool's "every frame pinned" signal — the
+/// cue for a deferred transaction to spill its pins.
+fn is_pool_exhausted(e: &ExecError) -> bool {
+    matches!(
+        e,
+        ExecError::Wal(WalError::Storage(StorageError::PoolExhausted))
+    )
+}
+
 /// The concurrent engine. Shared by reference across worker threads
 /// (wrap in [`Arc`] to move between threads).
 pub struct ExecDb {
@@ -1357,12 +1411,20 @@ impl ExecDb {
     pub fn begin(&self, qp: usize) -> Txn {
         let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
         let home = lock_ok(&self.inner.selector).pick(qp, id);
+        // Command/Adaptive arm deferred capture: the logging decision
+        // moves from each write to the commit point.
+        let deferred = if self.inner.cfg.wal.logging == LoggingPolicy::Fragments {
+            None
+        } else {
+            Some(ExecDeferred::default())
+        };
         Txn {
             id,
             home,
             tickets: HashMap::new(),
             undo: Vec::new(),
             pending: Vec::new(),
+            deferred,
         }
     }
 
@@ -1433,7 +1495,10 @@ impl ExecDb {
         }
     }
 
-    /// Read `len` bytes at `offset` of `page` under a shared lock.
+    /// Read `len` bytes at `offset` of `page` under a shared lock. Under
+    /// deferred capture the page joins the transaction's read set — the
+    /// command record ships it so the replay DAG can order this
+    /// transaction after the writers it observed.
     pub fn read(
         &self,
         txn: &mut Txn,
@@ -1444,8 +1509,23 @@ impl ExecDb {
         self.check_bounds(page, offset, len)?;
         let id = PageId(page);
         self.lock_page(txn.id, id, LockMode::Shared)?;
+        if let Some(d) = txn.deferred.as_mut() {
+            d.reads.insert(id);
+        }
         let mut shard = self.inner.shards.lock(id);
-        self.inner.ensure_resident(&mut shard, id)?;
+        if let Err(e) = self.inner.ensure_resident(&mut shard, id) {
+            let self_pinned = txn.deferred.as_ref().is_some_and(|d| !d.pages.is_empty());
+            if !is_pool_exhausted(&e) || !self_pinned {
+                return Err(e);
+            }
+            // our own deferred pins may be what starved the shard: spill
+            // them (logging the retained fragments, dropping the pins)
+            // and retry the residency once
+            drop(shard);
+            self.spill_deferred(txn)?;
+            shard = self.inner.shards.lock(id);
+            self.inner.ensure_resident(&mut shard, id)?;
+        }
         let p = shard.pool.get(id).expect("resident page");
         Ok(p.read_at(offset, len).to_vec())
     }
@@ -1457,7 +1537,10 @@ impl ExecDb {
     /// with a stale ticket. If the routed stream fails mid-append the
     /// failure is classified, the stream quarantined, and the fragment —
     /// plus the transaction's earlier volatile fragments — rerouted to a
-    /// survivor before retrying.
+    /// survivor before retrying. Under [`LoggingPolicy::Command`] /
+    /// [`LoggingPolicy::Adaptive`] nothing is appended here at all — the
+    /// write is deferred-captured and the logging decision happens at
+    /// commit ([`ExecDb::commit`]).
     pub fn write(
         &self,
         txn: &mut Txn,
@@ -1468,7 +1551,237 @@ impl ExecDb {
         self.check_bounds(page, offset, data.len())?;
         let id = PageId(page);
         self.lock_page(txn.id, id, LockMode::Exclusive)?;
+        if txn.deferred.is_some() && self.write_deferred(txn, id, offset, data, None)? {
+            return Ok(());
+        }
+        self.write_physical(txn, id, offset, data)
+    }
 
+    /// Add `delta` (wrapping) to the little-endian u64 at `offset` of
+    /// `page` under an exclusive lock. Under deferred capture the
+    /// increment is recorded as a [`LogicalOp::AddU64`] — 29 bytes on the
+    /// command record no matter how large the page — making hot-counter
+    /// transactions the textbook win for command logging; otherwise it is
+    /// an ordinary read-modify-write fragment.
+    pub fn add_u64(
+        &self,
+        txn: &mut Txn,
+        page: u64,
+        offset: usize,
+        delta: u64,
+    ) -> Result<(), ExecError> {
+        self.check_bounds(page, offset, 8)?;
+        let id = PageId(page);
+        self.lock_page(txn.id, id, LockMode::Exclusive)?;
+        let next = {
+            let mut shard = self.inner.shards.lock(id);
+            self.inner.ensure_resident(&mut shard, id)?;
+            let p = shard.pool.get(id).expect("resident page");
+            let mut cur = [0u8; 8];
+            cur.copy_from_slice(p.read_at(offset, 8));
+            u64::from_le_bytes(cur).wrapping_add(delta)
+        };
+        let data = next.to_le_bytes();
+        if txn.deferred.is_some() && self.write_deferred(txn, id, offset, &data, Some(delta))? {
+            return Ok(());
+        }
+        self.write_physical(txn, id, offset, &data)
+    }
+
+    /// Deferred-capture write: no append — retain the fragment the
+    /// immediate path would have logged, record the logical op, pin the
+    /// page on first touch, and apply the bytes. Returns `Ok(false)` when
+    /// the capture was abandoned instead (pin budget or pool pressure →
+    /// the transaction spilled to fragments); the caller then writes
+    /// through the immediate path.
+    fn write_deferred(
+        &self,
+        txn: &mut Txn,
+        id: PageId,
+        offset: usize,
+        data: &[u8],
+        delta: Option<u64>,
+    ) -> Result<bool, ExecError> {
+        // Pin budget: a deferred transaction must never pin a whole pool
+        // shard solid, or its own next page could find nothing to evict.
+        // Conservative (all pins could hash to one shard), like the
+        // deferred engine's frame guard.
+        let per_shard = (self.inner.cfg.wal.pool_frames / self.inner.cfg.pool_shards.max(1)).max(1);
+        let budget = per_shard.saturating_sub(1).max(1);
+        {
+            let d = txn.deferred.as_ref().expect("deferred capture armed");
+            if !d.pages.contains(&id) && d.pages.len() + 1 > budget {
+                self.spill_deferred(txn)?;
+                return Ok(false);
+            }
+        }
+        let mut shard = self.inner.shards.lock(id);
+        if let Err(e) = self.inner.ensure_resident(&mut shard, id) {
+            if !is_pool_exhausted(&e) {
+                return Err(e);
+            }
+            // shard starved (possibly by our own pins): spill and let the
+            // immediate path — which can now evict — take this write
+            drop(shard);
+            self.spill_deferred(txn)?;
+            return Ok(false);
+        }
+        let p = shard.pool.get(id).expect("resident page");
+        let prev_lsn = p.lsn;
+        let new_lsn = Lsn(self.inner.next_lsn.fetch_add(1, Ordering::Relaxed));
+        let (frag_offset, before, after) = match self.inner.cfg.wal.log_mode {
+            LogMode::Logical => (
+                offset as u32,
+                p.read_at(offset, data.len()).to_vec(),
+                data.to_vec(),
+            ),
+            LogMode::Physical => {
+                let before = p.payload().to_vec();
+                let mut after = before.clone();
+                after[offset..offset + data.len()].copy_from_slice(data);
+                (0, before, after)
+            }
+        };
+        let rec = LogRecord::Update {
+            txn: txn.id,
+            page: id,
+            prev_lsn,
+            new_lsn,
+            offset: frag_offset,
+            before: before.clone(),
+            after,
+        };
+        let op = match delta {
+            Some(dv) => LogicalOp::AddU64 {
+                page: id,
+                lsn: new_lsn,
+                offset: offset as u32,
+                delta: dv,
+            },
+            None => LogicalOp::Put {
+                page: id,
+                lsn: new_lsn,
+                offset: offset as u32,
+                data: data.to_vec(),
+            },
+        };
+        let d = txn.deferred.as_mut().expect("deferred capture armed");
+        if d.pages.insert(id) {
+            // first touch: pin, so the steal-policy flusher can never
+            // evict a page whose only log coverage is transaction-local
+            shard.pool.pin(id);
+        }
+        d.phys_bytes += rec.encoded_len();
+        d.frags.push((id, rec));
+        d.ops.push(op);
+        txn.undo.push(UndoEntry {
+            page: id,
+            offset: frag_offset,
+            before,
+            new_lsn,
+        });
+        let page = shard.pool.get_mut(id).expect("resident page");
+        page.write_at(offset, data);
+        page.lsn = new_lsn;
+        Ok(true)
+    }
+
+    /// Append `rec` to the transaction's home stream, routing around
+    /// streams that die mid-append (classify → quarantine → reroute →
+    /// retry on the new home). Returns the stream + ticket.
+    fn append_routed(&self, txn: &mut Txn, rec: &LogRecord) -> Result<(usize, u64), ExecError> {
+        let mut attempts = 0usize;
+        loop {
+            let stream = txn.home;
+            match self.inner.appenders.get(stream).append(rec.clone()) {
+                Ok(seq) => return Ok((stream, seq)),
+                Err(e) => {
+                    self.inner.note_appender_failure(&e);
+                    attempts += 1;
+                    if attempts >= self.inner.cfg.wal.log_streams {
+                        return Err(e);
+                    }
+                    if let Err(re) = self.inner.reroute_if_needed(txn) {
+                        // the survivor we rerouted to may itself have
+                        // just died — classify it so this site
+                        // quarantines it too, like the commit path
+                        self.inner.note_appender_failure(&re);
+                        return Err(re);
+                    }
+                    if txn.home == stream {
+                        // no live alternative was found
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spill a deferred transaction to ordinary fragments: append every
+    /// retained fragment (routing around dead streams), publish tickets,
+    /// pending entries, and WAL-rule meta, then drop the pins. After this
+    /// the transaction is a plain fragments transaction for the rest of
+    /// its life. If a mid-spill append fails, the un-appended suffix is
+    /// reverted in memory and its undo entries forgotten — the appended
+    /// prefix keeps its undo chain for the caller's rollback.
+    fn spill_deferred(&self, txn: &mut Txn) -> Result<(), ExecError> {
+        let Some(d) = txn.deferred.take() else {
+            return Ok(());
+        };
+        debug_assert_eq!(
+            txn.undo.len(),
+            d.frags.len(),
+            "one undo entry per deferred write"
+        );
+        if !d.frags.is_empty() {
+            self.inner.obs.counter("wal.deferred_spills").inc();
+        }
+        let mut out = Ok(());
+        for (i, (id, rec)) in d.frags.into_iter().enumerate() {
+            match self.append_routed(txn, &rec) {
+                Ok((stream, seq)) => {
+                    let high = txn.tickets.entry(stream).or_insert(0);
+                    *high = (*high).max(seq);
+                    txn.pending.push(PendingFrag {
+                        stream,
+                        seq,
+                        page: id,
+                        rec,
+                    });
+                    let mut shard = self.inner.shards.lock(id);
+                    shard.meta.insert(id, (stream, seq));
+                }
+                Err(e) => {
+                    // nothing from this write on reached a log: revert
+                    // those writes in memory (reverse order) and forget
+                    // their undo entries, so rollback never compensates
+                    // an update no log stream has heard of
+                    let tail = txn.undo.split_off(i);
+                    for entry in tail.iter().rev() {
+                        let mut shard = self.inner.shards.lock(entry.page);
+                        if let Some(p) = shard.pool.get_mut(entry.page) {
+                            p.write_at(entry.offset as usize, &entry.before);
+                        }
+                    }
+                    out = Err(e);
+                    break;
+                }
+            }
+        }
+        let pages: Vec<PageId> = d.pages.into_iter().collect();
+        self.inner.unpin_pages(&pages);
+        out
+    }
+
+    /// The immediate (fragments) write path: log the after-image
+    /// fragment, then apply in the buffer pool.
+    fn write_physical(
+        &self,
+        txn: &mut Txn,
+        id: PageId,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), ExecError> {
         // pre-image under the shard lock (X lock pins the content)
         let (rec, undo_entry, new_lsn) = {
             let mut shard = self.inner.shards.lock(id);
@@ -1526,31 +1839,7 @@ impl ExecDb {
 
         // ship the fragment to this txn's home log processor, routing
         // around streams that die mid-transaction
-        let mut attempts = 0usize;
-        let (stream, seq) = loop {
-            let stream = txn.home;
-            match self.inner.appenders.get(stream).append(rec.clone()) {
-                Ok(seq) => break (stream, seq),
-                Err(e) => {
-                    self.inner.note_appender_failure(&e);
-                    attempts += 1;
-                    if attempts >= self.inner.cfg.wal.log_streams {
-                        return Err(e);
-                    }
-                    if let Err(re) = self.inner.reroute_if_needed(txn) {
-                        // the survivor we rerouted to may itself have
-                        // just died — classify it so this site
-                        // quarantines it too, like the commit path
-                        self.inner.note_appender_failure(&re);
-                        return Err(re);
-                    }
-                    if txn.home == stream {
-                        // no live alternative was found
-                        return Err(e);
-                    }
-                }
-            }
-        };
+        let (stream, seq) = self.append_routed(txn, &rec)?;
         let high = txn.tickets.entry(stream).or_insert(0);
         *high = (*high).max(seq);
         txn.undo.push(undo_entry);
@@ -1581,7 +1870,7 @@ impl ExecDb {
     pub fn commit(&self, mut txn: Txn) -> Result<CommitHandle, ExecError> {
         let timeout = Duration::from_millis(self.inner.cfg.commit_timeout_ms.max(1));
         let (reply, rx) = sync_channel(1);
-        if txn.tickets.is_empty() {
+        if txn.tickets.is_empty() && txn.deferred.as_ref().is_none_or(|d| d.ops.is_empty()) {
             // read-only fast path: nothing to force — and no ack counter,
             // so `txn.commits_acked` stays paired with the daemon's
             // `group.completions`
@@ -1590,9 +1879,22 @@ impl ExecDb {
             let _ = reply.send(Ok(()));
             return Ok(CommitHandle::new(rx, None, timeout));
         }
+        // The logging decision: one Logical record for a deferred txn the
+        // cost policy keeps (it doubles as the commit record), or a spill
+        // to fragments plus the plain Commit record.
+        let (commit_rec, unpin, bytes_saved) = match self.decide_commit(&mut txn) {
+            Ok(v) => v,
+            Err(e) => {
+                // the spill failed; it already reverted the un-appended
+                // suffix and dropped the pins — roll back what was logged
+                self.inner.undo_and_release(txn.id, txn.home, txn.undo);
+                return Err(e);
+            }
+        };
         if let Err(e) = self.inner.reroute_if_needed(&mut txn) {
             self.inner.note_appender_failure(&e);
             self.inner.undo_and_release(txn.id, txn.home, txn.undo);
+            self.inner.unpin_pages(&unpin);
             return Err(e);
         }
         // capture page images for MVCC publication while this txn's X
@@ -1602,6 +1904,7 @@ impl ExecDb {
             Ok(images) => images,
             Err(e) => {
                 self.inner.undo_and_release(txn.id, txn.home, txn.undo);
+                self.inner.unpin_pages(&unpin);
                 return Err(e);
             }
         };
@@ -1611,12 +1914,16 @@ impl ExecDb {
             tickets: txn.tickets.into_iter().collect(),
             undo: txn.undo,
             images,
+            commit_rec,
+            unpin,
+            bytes_saved,
             reply,
         };
         let tx = self.commit_tx.as_ref().expect("pipeline running");
         if let Err(send_err) = tx.send(req) {
             let req = send_err.0;
             self.inner.undo_and_release(req.txn, req.home, req.undo);
+            self.inner.unpin_pages(&req.unpin);
             return Err(ExecError::Wal(WalError::Storage(StorageError::Protocol(
                 "group-commit daemon gone",
             ))));
@@ -1628,10 +1935,85 @@ impl ExecDb {
         ))
     }
 
+    /// Run the commit-time logging policy. For a deferred transaction:
+    /// command-log (return its [`LogRecord::Logical`] — the commit record
+    /// — plus the pages to unpin once it is durable and the log bytes
+    /// saved), or spill the retained fragments and commit physically.
+    /// Everything else commits with the plain `Commit` record. The
+    /// per-transaction decision is recorded in the frame
+    /// (`DECISION_FORCED` / `DECISION_COST`), so recovery needs no policy
+    /// configuration to replay.
+    fn decide_commit(&self, txn: &mut Txn) -> Result<(LogRecord, Vec<PageId>, u64), ExecError> {
+        let commit = LogRecord::Commit { txn: txn.id };
+        let Some(d) = txn.deferred.as_ref() else {
+            return Ok((commit, Vec::new(), 0));
+        };
+        if d.ops.is_empty() {
+            let d = txn.deferred.take().expect("checked deferred");
+            return Ok((commit, d.pages.into_iter().collect(), 0));
+        }
+        let threshold = match self.inner.cfg.wal.logging {
+            LoggingPolicy::Command => None, // always command-log
+            LoggingPolicy::Adaptive { threshold_pct } => Some(threshold_pct),
+            LoggingPolicy::Fragments => {
+                // unreachable in practice — deferred capture is only
+                // armed under Command/Adaptive — but spilling is the
+                // correct fallback either way
+                self.spill_deferred(txn)?;
+                return Ok((commit, Vec::new(), 0));
+            }
+        };
+        let mut rec = LogRecord::Logical {
+            txn: txn.id,
+            commit_lsn: Lsn(0), // sized first; allocated only if kept
+            decision: if threshold.is_some() {
+                DECISION_COST
+            } else {
+                DECISION_FORCED
+            },
+            reads: d.reads.iter().copied().collect(),
+            ops: d.ops.clone(),
+        };
+        if let Some(pct) = threshold {
+            if rec.encoded_len() as u128 * 100 > u128::from(pct) * d.phys_bytes as u128 {
+                // the fragments are cheaper: spill and commit physically
+                self.spill_deferred(txn)?;
+                return Ok((commit, Vec::new(), 0));
+            }
+        }
+        let d = txn.deferred.take().expect("checked deferred");
+        if let LogRecord::Logical { commit_lsn, .. } = &mut rec {
+            *commit_lsn = Lsn(self.inner.next_lsn.fetch_add(1, Ordering::Relaxed));
+        }
+        let bytes_saved = (d.phys_bytes as u64).saturating_sub(rec.encoded_len() as u64);
+        Ok((rec, d.pages.into_iter().collect(), bytes_saved))
+    }
+
     /// Abort: walk the undo chain backwards, logging a compensation per
     /// undone update, append the `Abort` record (no force needed), then
-    /// release locks. Compensations route around quarantined streams.
+    /// release locks. Compensations route around quarantined streams. A
+    /// still-deferred transaction takes a cheaper exit: none of its
+    /// writes ever reached a log, so there is nothing to compensate —
+    /// its bytes are reverted in memory, its pins dropped, and no log
+    /// stream hears of it at all.
     pub fn abort(&self, txn: Txn) -> Result<(), ExecError> {
+        if let Some(d) = txn.deferred {
+            for entry in txn.undo.iter().rev() {
+                let mut shard = self.inner.shards.lock(entry.page);
+                if let Some(p) = shard.pool.get_mut(entry.page) {
+                    // bytes only; the page LSN stays where the deferred
+                    // writes left it, matching the no-CLR undo rule —
+                    // advancing past it is safe because every later
+                    // durable record allocates a higher LSN
+                    p.write_at(entry.offset as usize, &entry.before);
+                }
+            }
+            let pages: Vec<PageId> = d.pages.into_iter().collect();
+            self.inner.unpin_pages(&pages);
+            self.inner.release_locks(txn.id);
+            self.inner.stats.aborted.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
         self.inner.undo_and_release(txn.id, txn.home, txn.undo);
         Ok(())
     }
@@ -1648,6 +2030,17 @@ impl ExecDb {
     /// commit durable, so re-executing the body could apply the
     /// transaction twice — the indeterminate outcome belongs to the
     /// caller.
+    /// [`ExecError::is_retryable`], widened for deferred capture: a pool
+    /// exhausted by *other* transactions' deferred pins clears as soon as
+    /// they commit and unpin, so under Command/Adaptive logging the
+    /// condition is transient and worth a backed-off retry. Under
+    /// `Fragments` nothing pins, so exhaustion means the pool is simply
+    /// too small — still a hard error.
+    fn retryable(&self, e: &ExecError) -> bool {
+        e.is_retryable()
+            || (is_pool_exhausted(e) && self.inner.cfg.wal.logging != LoggingPolicy::Fragments)
+    }
+
     pub fn run_txn<F>(&self, qp: usize, body: F) -> Result<(), ExecError>
     where
         F: Fn(&mut ExecCtx<'_>) -> Result<(), ExecError>,
@@ -1701,7 +2094,7 @@ impl ExecDb {
                         // here: the daemon still owns that request and
                         // may yet commit it, so it is non-retryable and
                         // returns below.
-                        Err(e) if e.is_retryable() => {
+                        Err(e) if self.retryable(&e) => {
                             pause(&mut backoff);
                         }
                         Err(e) => return Err(e),
@@ -1726,7 +2119,7 @@ impl ExecDb {
                             page,
                             delay.as_micros() as u64,
                         );
-                    } else if e.is_retryable() {
+                    } else if self.retryable(&e) {
                         // appender failure inside the body: the stream is
                         // quarantined (note_appender_failure ran at the
                         // failure site); roll back and retry on survivors
@@ -1987,6 +2380,13 @@ impl ExecCtx<'_> {
     /// Write under an exclusive lock.
     pub fn write(&mut self, page: u64, offset: usize, data: &[u8]) -> Result<(), ExecError> {
         self.db.write(self.txn, page, offset, data)
+    }
+
+    /// Add `delta` (wrapping) to the u64 at `offset` under an exclusive
+    /// lock — one logical op on the command record under deferred
+    /// capture (see [`ExecDb::add_u64`]).
+    pub fn add_u64(&mut self, page: u64, offset: usize, delta: u64) -> Result<(), ExecError> {
+        self.db.add_u64(self.txn, page, offset, delta)
     }
 }
 
@@ -2641,5 +3041,143 @@ mod tests {
         let reclaimed = db.mvcc_gc();
         assert!(reclaimed >= 2, "old pinned versions not reclaimed");
         assert_eq!(db.mvcc().pool().chain_len(PageId(1)), 1);
+    }
+
+    fn policy_cfg(logging: LoggingPolicy) -> ExecConfig {
+        let mut cfg = small_cfg();
+        cfg.wal.logging = logging;
+        cfg
+    }
+
+    #[test]
+    fn command_logged_txns_survive_crash_recovery() {
+        let cfg = policy_cfg(LoggingPolicy::Command);
+        let db = ExecDb::new(cfg.clone());
+        db.run_txn(0, |ctx| {
+            ctx.write(3, 0, b"cmd")?;
+            ctx.add_u64(4, 0, 7)
+        })
+        .unwrap();
+        db.run_txn(1, |ctx| ctx.add_u64(4, 0, 5)).unwrap();
+        // committed effects are visible live, through the pinned pages
+        let mut t = db.begin(0);
+        assert_eq!(db.read(&mut t, 4, 0, 8).unwrap(), 12u64.to_le_bytes());
+        db.commit(t).unwrap().wait().unwrap();
+        let snap = db.obs().snapshot();
+        assert!(snap.counter("wal.logical_records") >= Some(2));
+        assert!(snap.counter("wal.bytes_saved") > Some(0));
+        // and re-execution from the command records alone reproduces them
+        let image = db.crash_image().unwrap();
+        let (mut recovered, report) = WalDb::recover(image, cfg.wal).unwrap();
+        assert!(report.logical_commits >= 2);
+        assert!(report.reexecuted_ops >= 3);
+        // every redo item was an op re-execution: no fragments were logged
+        assert_eq!(report.redone_updates, report.reexecuted_ops);
+        let t2 = recovered.begin();
+        assert_eq!(recovered.read(t2, 3, 0, 3).unwrap(), b"cmd");
+        assert_eq!(recovered.read(t2, 4, 0, 8).unwrap(), 12u64.to_le_bytes());
+    }
+
+    #[test]
+    fn adaptive_policy_decides_per_txn() {
+        let cfg = policy_cfg(LoggingPolicy::Adaptive { threshold_pct: 100 });
+        let db = ExecDb::new(cfg.clone());
+        // small write: the command record undercuts its fragment
+        db.run_txn(0, |ctx| ctx.add_u64(1, 0, 9)).unwrap();
+        // read-heavy: the read set (8 bytes/page on the command record)
+        // outweighs the one small fragment, so this txn spills to physical
+        db.run_txn(1, |ctx| {
+            for page in 10..30u64 {
+                ctx.read(page, 0, 4)?;
+            }
+            ctx.write(2, 0, b"phys")
+        })
+        .unwrap();
+        let snap = db.obs().snapshot();
+        assert!(snap.counter("wal.logical_records") >= Some(1));
+        assert!(snap.counter("wal.deferred_spills") >= Some(1));
+        let image = db.crash_image().unwrap();
+        let (mut recovered, report) = WalDb::recover(image, cfg.wal).unwrap();
+        assert!(report.logical_commits >= 1);
+        assert!(report.redone_updates >= 1, "spilled txn logged fragments");
+        let t = recovered.begin();
+        assert_eq!(recovered.read(t, 1, 0, 8).unwrap(), 9u64.to_le_bytes());
+        assert_eq!(recovered.read(t, 2, 0, 4).unwrap(), b"phys");
+    }
+
+    #[test]
+    fn deferred_abort_reverts_in_memory_and_logs_nothing() {
+        let cfg = policy_cfg(LoggingPolicy::Command);
+        let db = ExecDb::new(cfg.clone());
+        db.run_txn(0, |ctx| ctx.write(6, 0, b"base")).unwrap();
+        let mut t = db.begin(0);
+        db.write(&mut t, 6, 0, b"gone").unwrap();
+        db.add_u64(&mut t, 7, 0, 3).unwrap();
+        db.abort(t).unwrap();
+        let mut t = db.begin(0);
+        assert_eq!(db.read(&mut t, 6, 0, 4).unwrap(), b"base");
+        assert_eq!(db.read(&mut t, 7, 0, 8).unwrap(), 0u64.to_le_bytes());
+        db.commit(t).unwrap().wait().unwrap();
+        let image = db.crash_image().unwrap();
+        let (mut recovered, report) = WalDb::recover(image, cfg.wal).unwrap();
+        // the aborted txn hit the log zero times: no fragments, no CLRs,
+        // and exactly the one committed command record to replay
+        assert_eq!(report.redone_updates, report.reexecuted_ops);
+        assert_eq!(report.undone_updates, 0);
+        assert_eq!(report.logical_commits, 1);
+        let t2 = recovered.begin();
+        assert_eq!(recovered.read(t2, 6, 0, 4).unwrap(), b"base");
+        assert_eq!(recovered.read(t2, 7, 0, 8).unwrap(), 0u64.to_le_bytes());
+    }
+
+    #[test]
+    fn pin_budget_overflow_spills_and_stays_correct() {
+        // per-shard budget = 16/4 - 1 = 3 distinct pinned pages; a txn
+        // touching 32 pages must spill to physical logging mid-flight
+        let cfg = policy_cfg(LoggingPolicy::Command);
+        let db = ExecDb::new(cfg.clone());
+        db.run_txn(0, |ctx| {
+            for page in 0..32u64 {
+                ctx.write(page, 0, &page.to_le_bytes())?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert!(db.obs().snapshot().counter("wal.deferred_spills") >= Some(1));
+        let image = db.crash_image().unwrap();
+        let (mut recovered, _) = WalDb::recover(image, cfg.wal).unwrap();
+        let t = recovered.begin();
+        for page in 0..32u64 {
+            assert_eq!(recovered.read(t, page, 0, 8).unwrap(), page.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn mixed_policy_workload_recovers_under_concurrency() {
+        let cfg = policy_cfg(LoggingPolicy::Adaptive { threshold_pct: 100 });
+        let db = Arc::new(ExecDb::new(cfg.clone()));
+        crossbeam::thread::scope(|s| {
+            for w in 0..4usize {
+                let db = Arc::clone(&db);
+                s.spawn(move |_| {
+                    for i in 0..20u64 {
+                        // hot counter page per worker + a private write
+                        db.run_txn(w, |ctx| {
+                            ctx.add_u64(w as u64, 0, 1)?;
+                            ctx.write(8 + w as u64 * 8 + (i % 8), 0, &i.to_le_bytes())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let image = db.crash_image().unwrap();
+        let (mut recovered, report) = WalDb::recover(image, cfg.wal).unwrap();
+        assert!(report.logical_commits > 0, "adaptive never command-logged");
+        let t = recovered.begin();
+        for w in 0..4u64 {
+            assert_eq!(recovered.read(t, w, 0, 8).unwrap(), 20u64.to_le_bytes());
+        }
     }
 }

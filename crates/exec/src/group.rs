@@ -31,6 +31,7 @@ use crate::db::{Inner, UndoEntry};
 use crate::error::ExecError;
 use crate::sync::lock_ok;
 use rmdb_obs::{Counter, EventKind};
+use rmdb_storage::PageId;
 use rmdb_wal::record::LogRecord;
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
@@ -55,6 +56,19 @@ pub(crate) struct CommitReq {
     /// visible to lock-free snapshot readers; on failure they are simply
     /// dropped.
     pub images: Vec<Arc<rmdb_storage::Page>>,
+    /// The commit record the daemon appends on the home stream: a plain
+    /// `Commit`, or the transaction's `Logical` record under command
+    /// logging — in which case the one record IS the commit record.
+    pub commit_rec: LogRecord,
+    /// Pages the worker left pinned under deferred capture. The daemon
+    /// unpins them only after the appended commit record's ticket is in
+    /// their WAL-rule meta entries (success) or after rollback restored
+    /// their before-images (failure) — either way, no un-logged dirty
+    /// byte can reach the data disk through an eviction.
+    pub unpin: Vec<PageId>,
+    /// Log bytes command logging saved vs the retained fragments
+    /// (`wal.bytes_saved`; 0 for physical commits).
+    pub bytes_saved: u64,
     /// Completion channel the worker parks on.
     pub reply: SyncSender<Result<(), ExecError>>,
 }
@@ -119,6 +133,8 @@ pub(crate) fn run_daemon(
     let completions = obs.counter("group.completions");
     let batch_size = obs.histogram("group.batch_size");
     let dwell_us = obs.histogram("group.dwell_us");
+    let logical_records = obs.counter("wal.logical_records");
+    let bytes_saved = obs.counter("wal.bytes_saved");
     while let Ok(first) = rx.recv() {
         let mut batch = vec![first];
         // dwell: linger briefly for stragglers so the force is shared
@@ -157,6 +173,14 @@ pub(crate) fn run_daemon(
                     // captured images, and publish order under the single
                     // daemon thread is commit order
                     inner.mvcc.commit(&req.images);
+                    if matches!(req.commit_rec, LogRecord::Logical { .. }) {
+                        logical_records.inc();
+                        bytes_saved.add(req.bytes_saved);
+                    }
+                    // deferred pins drop only now: the durable logical
+                    // record is in the pages' WAL-rule meta entries (set
+                    // at append time), so eviction forces through it
+                    inner.unpin_pages(&req.unpin);
                     // strict 2PL: release only once the outcome is decided
                     inner.release_locks(req.txn);
                     inner.stats.committed.fetch_add(1, Ordering::Relaxed);
@@ -167,6 +191,7 @@ pub(crate) fn run_daemon(
                     // roll the member back before its locks release, so
                     // no other transaction ever reads its dirty writes
                     inner.undo_and_release(req.txn, req.home, req.undo);
+                    inner.unpin_pages(&req.unpin);
                     let _ = req.reply.send(Err(e));
                 }
             }
@@ -235,13 +260,13 @@ fn commit_batch(inner: &Inner, batch: &[CommitReq]) -> Vec<Result<(), ExecError>
         if results[i].is_err() {
             continue;
         }
-        match inner
-            .appenders
-            .get(req.home)
-            .append(LogRecord::Commit { txn: req.txn })
-        {
+        match inner.appenders.get(req.home).append(req.commit_rec.clone()) {
             Ok(seq) => {
                 appended[i] = true;
+                // a command-logged member's deferred pages now answer to
+                // this record: re-pin their WAL-rule meta before any
+                // unpin can expose them to the evicting flusher
+                inner.cover_deferred(&req.unpin, req.home, seq);
                 let high = home_high.entry(req.home).or_insert(0);
                 *high = (*high).max(seq);
             }

@@ -83,6 +83,10 @@ pub enum EventKind {
     /// The MVCC garbage collector reclaimed dead page versions below the
     /// snapshot watermark (payload: versions reclaimed).
     VersionsPruned = 16,
+    /// The dependency-aware replay scheduler finished its redo pass
+    /// (stream field: worker count, page field: DAG nodes, payload:
+    /// wall-clock µs).
+    ReplayPhase = 17,
     /// Catch-all for unrecognised kinds decoded from raw slots.
     Unknown = 0,
 }
@@ -107,6 +111,7 @@ impl EventKind {
             14 => EventKind::FleetResized,
             15 => EventKind::SnapshotOpened,
             16 => EventKind::VersionsPruned,
+            17 => EventKind::ReplayPhase,
             _ => EventKind::Unknown,
         }
     }
@@ -130,6 +135,7 @@ impl EventKind {
             EventKind::FleetResized => "fleet_resized",
             EventKind::SnapshotOpened => "snapshot_opened",
             EventKind::VersionsPruned => "versions_pruned",
+            EventKind::ReplayPhase => "replay_phase",
             EventKind::Unknown => "unknown",
         }
     }
@@ -384,6 +390,7 @@ mod tests {
             EventKind::FleetResized,
             EventKind::SnapshotOpened,
             EventKind::VersionsPruned,
+            EventKind::ReplayPhase,
         ] {
             assert_eq!(EventKind::from_u16(kind as u16), kind);
             assert!(!kind.name().is_empty());

@@ -30,10 +30,12 @@
 //! compensations precede the bound in the same stream and are therefore
 //! durable and scanned).
 
-use crate::parallel::RedoItem;
-use rmdb_storage::{Lsn, MemDisk, Page, PageId, StorageError};
+use rmdb_replay::{LogicalMeta, RedoBody, RedoItem};
+use rmdb_storage::{Lsn, MemDisk, Page, PageId};
 use rmdb_wal::{IndexedRecord, LogRecord, ScanStats, TxnId, WalConfig};
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub(crate) use rmdb_replay::read_data_retry;
 
 /// One not-yet-ruled-out undo unit of a potential loser.
 pub(crate) struct UndoCand {
@@ -54,6 +56,12 @@ pub(crate) struct Analysis {
     pub updates_by_txn: HashMap<TxnId, Vec<UndoCand>>,
     /// Transactions with a durable commit record on any stream.
     pub committed: HashSet<TxnId>,
+    /// Command-logged transactions whose record sits ahead of the bound:
+    /// commit LSN (the DAG ordering key) and read set, for the
+    /// dependency-aware scheduler.
+    pub logical: HashMap<TxnId, LogicalMeta>,
+    /// Command-logged (logical) commit records found anywhere in the scan.
+    pub logical_commits: u64,
     /// `undoes` LSNs of every durable compensation record.
     pub compensated: HashSet<u64>,
     /// High-water marks for the reopened engine.
@@ -169,8 +177,11 @@ pub(crate) fn analyze(scans: &[(Vec<IndexedRecord>, ScanStats)]) -> Analysis {
                     } else {
                         a.redo.entry(*page).or_default().push(RedoItem {
                             new_lsn: *new_lsn,
-                            offset: *offset,
-                            data: after.clone(),
+                            txn: *txn,
+                            body: RedoBody::Install {
+                                offset: *offset,
+                                data: after.clone(),
+                            },
                         });
                         a.updates_by_txn.entry(*txn).or_default().push(UndoCand {
                             page: *page,
@@ -182,12 +193,12 @@ pub(crate) fn analyze(scans: &[(Vec<IndexedRecord>, ScanStats)]) -> Analysis {
                     }
                 }
                 LogRecord::Compensation {
+                    txn,
                     page,
                     undoes,
                     new_lsn,
                     offset,
                     data,
-                    ..
                 } => {
                     a.max_lsn = a.max_lsn.max(new_lsn.0);
                     a.compensated.insert(undoes.0);
@@ -198,13 +209,57 @@ pub(crate) fn analyze(scans: &[(Vec<IndexedRecord>, ScanStats)]) -> Analysis {
                     } else {
                         a.redo.entry(*page).or_default().push(RedoItem {
                             new_lsn: *new_lsn,
-                            offset: *offset,
-                            data: data.clone(),
+                            txn: *txn,
+                            body: RedoBody::Install {
+                                offset: *offset,
+                                data: data.clone(),
+                            },
                         });
                     }
                 }
                 LogRecord::Commit { txn } => {
                     a.committed.insert(*txn);
+                }
+                LogRecord::Logical {
+                    txn,
+                    commit_lsn,
+                    reads,
+                    ops,
+                    ..
+                } => {
+                    // The logical record IS the commit record; dedup whole
+                    // records by their globally unique commit LSN.
+                    a.max_lsn = a.max_lsn.max(commit_lsn.0);
+                    for op in ops {
+                        a.max_lsn = a.max_lsn.max(op.lsn().0);
+                    }
+                    if !seen_lsns.insert(commit_lsn.0) {
+                        a.duplicates += 1;
+                    } else {
+                        a.committed.insert(*txn);
+                        a.logical_commits += 1;
+                        if behind {
+                            // committed before the bounding CheckpointBegin,
+                            // so its dirtied pages were in the fuzzy
+                            // checkpoint's flush set: no redo needed
+                            a.records_skipped += 1;
+                        } else {
+                            a.logical.insert(
+                                *txn,
+                                LogicalMeta {
+                                    commit_lsn: commit_lsn.0,
+                                    reads: reads.clone(),
+                                },
+                            );
+                            for op in ops {
+                                a.redo.entry(op.page()).or_default().push(RedoItem {
+                                    new_lsn: op.lsn(),
+                                    txn: *txn,
+                                    body: RedoBody::Op(op.clone()),
+                                });
+                            }
+                        }
+                    }
                 }
                 LogRecord::Abort { .. }
                 | LogRecord::CheckpointBegin { .. }
@@ -213,30 +268,6 @@ pub(crate) fn analyze(scans: &[(Vec<IndexedRecord>, ScanStats)]) -> Analysis {
         }
     }
     a
-}
-
-/// Bounded retry for data-disk reads: transient faults are retried,
-/// persistent corruption surfaces as the final typed error for the
-/// caller's repair/quarantine logic (mirrors serial recovery).
-pub(crate) fn read_data_retry(
-    disk: &MemDisk,
-    addr: u64,
-    retried: &mut u64,
-) -> Result<Page, StorageError> {
-    const ATTEMPTS: u32 = 4;
-    let mut last = StorageError::Io { addr };
-    for attempt in 0..ATTEMPTS {
-        match disk.read_page(addr) {
-            Err(e @ (StorageError::Io { .. } | StorageError::Corrupt { .. }))
-                if attempt + 1 < ATTEMPTS =>
-            {
-                *retried += 1;
-                last = e;
-            }
-            other => return other,
-        }
-    }
-    Err(last)
 }
 
 /// Harvest the doublewrite buffer: the latest valid full image per page,

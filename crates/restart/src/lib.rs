@@ -52,7 +52,7 @@ mod analysis;
 mod parallel;
 pub mod report;
 
-pub use report::{PhaseTimings, RestartReport, WorkerStats};
+pub use report::{PhaseTimings, ReplaySummary, RestartReport, WorkerStats};
 
 use analysis::{analyze, harvest_doublewrite, read_data_retry};
 use parallel::run_redo;
@@ -62,6 +62,22 @@ use rmdb_wal::{CrashImage, LogRecord, ParallelLogManager, WalConfig, WalDb, WalE
 use std::collections::{btree_map::Entry, BTreeMap, BTreeSet, HashMap};
 use std::time::Instant;
 
+/// Which parallel redo scheduler the restart engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RedoScheduler {
+    /// Hash pages into K shards, one worker per shard (the original
+    /// scheduler). Parallelism is bounded by page-set skew.
+    #[default]
+    PageSharded,
+    /// Build a transaction-level precedence DAG from page-set
+    /// intersections and run a K-worker topological executor
+    /// ([`rmdb_replay`]): physical records short-circuit to page installs,
+    /// command records re-execute. Required for exploiting command-logged
+    /// (logical) records' read-set ordering; byte-identical to
+    /// `PageSharded` for every K.
+    TxnDag,
+}
+
 /// Knobs for the restart engine.
 #[derive(Debug, Clone)]
 pub struct RestartConfig {
@@ -70,6 +86,8 @@ pub struct RestartConfig {
     /// Durably truncate each stream behind its checkpoint bound once the
     /// recovered state is home, so the next restart scans less.
     pub truncate_behind_bound: bool,
+    /// Parallel redo scheduler.
+    pub scheduler: RedoScheduler,
 }
 
 impl Default for RestartConfig {
@@ -77,6 +95,7 @@ impl Default for RestartConfig {
         RestartConfig {
             workers: 4,
             truncate_behind_bound: true,
+            scheduler: RedoScheduler::PageSharded,
         }
     }
 }
@@ -132,6 +151,7 @@ pub fn restart_observed(
     report.base.salvaged_records = a.salvaged_records;
     report.base.duplicate_fragments = a.duplicates;
     report.base.retried_ios = a.retried_ios;
+    report.base.logical_commits = a.logical_commits;
     report.base.committed_txns = a.committed.iter().copied().collect();
     report.base.committed_txns.sort_unstable();
     let doublewrite = harvest_doublewrite(&data, &cfg, &mut report.base.retried_ios);
@@ -146,31 +166,80 @@ pub fn restart_observed(
     obs.histogram("restart.analysis_us").record(us);
     obs.emit(EventKind::RecoveryPhase, 0, 0, 0, us);
 
-    // ---- Phase 2: partitioned parallel redo ----
+    // ---- Phase 2: parallel redo (page-sharded or transaction-DAG) ----
     let t_redo = Instant::now();
-    let outcomes = run_redo(&data, &doublewrite, a.redo, workers)?;
     let mut pages: BTreeMap<PageId, Page> = BTreeMap::new();
     let mut quarantined: BTreeSet<PageId> = BTreeSet::new();
-    for out in outcomes {
-        report.base.redone_updates += out.redone;
-        report.base.torn_pages_repaired += out.torn_repaired;
-        report.base.quarantined_data_pages += out.quarantined.len() as u64;
-        report.base.retried_ios += out.retried_ios;
-        report.per_worker.push(WorkerStats {
-            shard: out.shard,
-            pages: out.pages.len() as u64 + out.quarantined.len() as u64,
-            redone: out.redone,
-            skipped_idempotent: out.skipped_idempotent,
-            busy: out.busy,
-        });
-        quarantined.extend(out.quarantined);
-        pages.extend(out.pages);
+    match rcfg.scheduler {
+        RedoScheduler::PageSharded => {
+            let outcomes = run_redo(&data, &doublewrite, a.redo, workers)?;
+            for out in outcomes {
+                report.base.redone_updates += out.redone;
+                report.base.reexecuted_ops += out.reexecuted_ops;
+                report.base.torn_pages_repaired += out.torn_repaired;
+                report.base.quarantined_data_pages += out.quarantined.len() as u64;
+                report.base.retried_ios += out.retried_ios;
+                report.per_worker.push(WorkerStats {
+                    shard: out.shard,
+                    pages: out.pages.len() as u64 + out.quarantined.len() as u64,
+                    redone: out.redone,
+                    skipped_idempotent: out.skipped_idempotent,
+                    busy: out.busy,
+                });
+                quarantined.extend(out.quarantined);
+                pages.extend(out.pages);
+            }
+        }
+        RedoScheduler::TxnDag => {
+            let out = rmdb_replay::replay_dag(&data, &doublewrite, a.redo, &a.logical, workers)?;
+            report.base.redone_updates = out.redone;
+            report.base.reexecuted_ops = out.reexecuted_ops;
+            report.base.torn_pages_repaired += out.torn_repaired;
+            report.base.quarantined_data_pages += out.quarantined.len() as u64;
+            report.base.retried_ios += out.retried_ios;
+            report.replay = Some(ReplaySummary {
+                dag_nodes: out.dag_nodes,
+                dag_edges: out.dag_edges,
+                txns_reexecuted: out.txns_reexecuted,
+                pages_installed: out.pages_installed,
+                work_us: out.work_us,
+                span_us: out.span_us,
+            });
+            for w in &out.per_worker {
+                report.per_worker.push(WorkerStats {
+                    shard: w.worker,
+                    pages: w.nodes,
+                    redone: w.redone,
+                    skipped_idempotent: w.skipped_idempotent,
+                    busy: w.busy,
+                });
+                obs.histogram("replay.worker_nodes").record(w.nodes);
+                obs.histogram("replay.worker_busy_us")
+                    .record(w.busy.as_micros() as u64);
+            }
+            quarantined.extend(out.quarantined);
+            pages.extend(out.pages);
+            let r = report.replay.as_ref().expect("just set");
+            obs.counter("replay.dag_nodes").add(r.dag_nodes);
+            obs.counter("replay.dag_edges").add(r.dag_edges);
+            obs.counter("replay.txns_reexecuted").add(r.txns_reexecuted);
+            obs.counter("replay.pages_installed").add(r.pages_installed);
+            obs.emit(
+                EventKind::ReplayPhase,
+                0,
+                workers as u64,
+                r.dag_nodes,
+                t_redo.elapsed().as_micros() as u64,
+            );
+        }
     }
     report.timings.redo = t_redo.elapsed();
     obs.counter("restart.pages_replayed")
         .add(pages.len() as u64);
     obs.counter("restart.redone_updates")
         .add(report.base.redone_updates);
+    obs.counter("restart.reexecuted_ops")
+        .add(report.base.reexecuted_ops);
     let us = report.timings.redo.as_micros() as u64;
     obs.histogram("restart.redo_us").record(us);
     obs.emit(EventKind::RecoveryPhase, 0, 1, 0, us);
@@ -530,6 +599,165 @@ mod tests {
                 assert_disks_identical(la, lb, &format!("log stream {i} across K"));
             }
         }
+    }
+
+    /// A mixed workload: command-logged counter bumps (hot pages, read
+    /// sets), physical writes, an in-flight loser, and a checkpoint.
+    fn mixed_adaptive_image() -> rmdb_wal::CrashImage {
+        let mut db = WalDb::new(WalConfig {
+            data_pages: 32,
+            pool_frames: 16,
+            log_streams: 3,
+            logging: rmdb_wal::LoggingPolicy::Adaptive { threshold_pct: 100 },
+            ..WalConfig::default()
+        });
+        let drone = db.begin();
+        db.write(drone, 30, 0, b"open").unwrap();
+        for i in 0..24u64 {
+            let t = db.begin();
+            if i % 3 == 0 {
+                // hot-key counter bumps: command-logged
+                db.add_u64(t, i % 4, 0, 1 + i).unwrap();
+                db.add_u64(t, (i + 1) % 4, 8, 7).unwrap();
+            } else {
+                // read-heavy writers: the read set is pure logical-record
+                // overhead, so the cost policy spills these to fragments
+                for r in 0..6u64 {
+                    db.read(t, 8 + ((i + r) % 8), 0, 4).unwrap();
+                }
+                db.write(t, 8 + (i % 8), 0, format!("v{i:06}").as_bytes())
+                    .unwrap();
+            }
+            db.commit(t).unwrap();
+            if i == 11 {
+                db.checkpoint().unwrap();
+            }
+        }
+        db.crash_image()
+    }
+
+    #[test]
+    fn txn_dag_matches_page_sharded_bytewise() {
+        let image = mixed_adaptive_image();
+        let cfg = || WalConfig {
+            data_pages: 32,
+            pool_frames: 16,
+            log_streams: 3,
+            logging: rmdb_wal::LoggingPolicy::Adaptive { threshold_pct: 100 },
+            ..WalConfig::default()
+        };
+        let mut images = Vec::new();
+        let mut dag_summaries = Vec::new();
+        for scheduler in [RedoScheduler::PageSharded, RedoScheduler::TxnDag] {
+            for k in [1usize, 2, 4, 8] {
+                let rcfg = RestartConfig {
+                    workers: k,
+                    scheduler,
+                    ..RestartConfig::default()
+                };
+                let (dbk, rep) = restart(clone_image(&image), cfg(), &rcfg).unwrap();
+                if scheduler == RedoScheduler::TxnDag {
+                    let r = rep.replay.expect("TxnDag sets replay summary");
+                    assert!(r.dag_nodes > 0);
+                    assert!(r.txns_reexecuted > 0, "command records must re-execute");
+                    assert!(r.pages_installed > 0, "physical records must install");
+                    dag_summaries.push(rep.logical_summary());
+                } else {
+                    assert!(rep.replay.is_none());
+                }
+                assert!(rep.base.logical_commits > 0);
+                images.push(dbk.crash_image());
+            }
+        }
+        for w in dag_summaries.windows(2) {
+            assert_eq!(w[0], w[1], "TxnDag logical reports diverge across K");
+        }
+        for w in images.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            assert_disks_identical(&a.data, &b.data, "data across schedulers/K");
+            for (i, (la, lb)) in a.logs.iter().zip(&b.logs).enumerate() {
+                assert_disks_identical(la, lb, &format!("log stream {i}"));
+            }
+        }
+    }
+
+    fn clone_image(image: &rmdb_wal::CrashImage) -> rmdb_wal::CrashImage {
+        rmdb_wal::CrashImage {
+            data: image.data.snapshot(),
+            logs: image.logs.iter().map(MemDisk::snapshot).collect(),
+        }
+    }
+
+    #[test]
+    fn txn_dag_handles_pure_physical_logs() {
+        // The DAG scheduler must also replay logs with no logical records.
+        let mut db = WalDb::new(cfg(3));
+        for i in 0..10u64 {
+            let t = db.begin();
+            db.write(t, i % 5, 0, format!("p{i:03}").as_bytes())
+                .unwrap();
+            db.commit(t).unwrap();
+        }
+        let rcfg = RestartConfig {
+            workers: 4,
+            scheduler: RedoScheduler::TxnDag,
+            ..RestartConfig::default()
+        };
+        let (mut db2, rep) = restart(db.crash_image(), cfg(3), &rcfg).unwrap();
+        for i in 5..10u64 {
+            assert_eq!(
+                read_committed(&mut db2, i % 5, 0, 4),
+                format!("p{i:03}").as_bytes()
+            );
+        }
+        let r = rep.replay.expect("summary present");
+        assert_eq!(r.txns_reexecuted, 0);
+        assert!(r.pages_installed > 0);
+    }
+
+    #[test]
+    fn replay_obs_counters_match_report() {
+        let image = mixed_adaptive_image();
+        let cfg = WalConfig {
+            data_pages: 32,
+            pool_frames: 16,
+            log_streams: 3,
+            logging: rmdb_wal::LoggingPolicy::Adaptive { threshold_pct: 100 },
+            ..WalConfig::default()
+        };
+        let rcfg = RestartConfig {
+            workers: 4,
+            scheduler: RedoScheduler::TxnDag,
+            ..RestartConfig::default()
+        };
+        let obs = Registry::new();
+        let (_db, report) = restart_observed(image, cfg, &rcfg, &obs).unwrap();
+        let r = report.replay.expect("summary present");
+        let snap = obs.snapshot();
+        let c = |name: &str| snap.counter(name).unwrap_or(0);
+        assert_eq!(c("replay.dag_nodes"), r.dag_nodes);
+        assert_eq!(c("replay.dag_edges"), r.dag_edges);
+        assert_eq!(c("replay.txns_reexecuted"), r.txns_reexecuted);
+        assert_eq!(c("replay.pages_installed"), r.pages_installed);
+        assert_eq!(c("restart.reexecuted_ops"), report.base.reexecuted_ops);
+        assert_eq!(c("restart.redone_updates"), report.base.redone_updates);
+        // per-worker histograms: one sample per worker
+        assert_eq!(
+            snap.histogram("replay.worker_busy_us").map(|h| h.count),
+            Some(4)
+        );
+        assert_eq!(
+            snap.histogram("replay.worker_nodes").map(|h| h.count),
+            Some(4)
+        );
+        // the ReplayPhase event fired with the worker count and DAG size
+        let ev = obs
+            .recent_events()
+            .into_iter()
+            .find(|e| e.kind == EventKind::ReplayPhase)
+            .expect("ReplayPhase event");
+        assert_eq!(ev.stream, 4);
+        assert_eq!(ev.page, r.dag_nodes);
     }
 
     #[test]

@@ -8,23 +8,22 @@
 //! is `Sync`). Workers never write the disk — each returns its rebuilt
 //! page images, and the serial coordinator writes them home afterwards.
 //!
+//! Redo units come in two kinds (shared vocabulary in [`rmdb_replay`]):
+//! physical fragments install bytes, command records re-execute their
+//! logical op. Both go through [`rmdb_replay::apply_item`], the same
+//! routine the dependency-aware scheduler uses, so the two schedulers
+//! cannot drift.
+//!
 //! Determinism: the shard hash depends only on the page id, each worker
 //! replays its pages in ascending page order with items in LSN order, and
 //! shard outcomes are merged over disjoint page sets — so the recovered
 //! state is byte-identical for every worker count K, which the
 //! equivalence tests pin.
 
-use rmdb_storage::{Lsn, MemDisk, Page, PageId, StorageError};
+use rmdb_replay::{apply_item, load_redo_page, PageLoad, RedoBody, RedoItem};
+use rmdb_storage::{MemDisk, Page, PageId, StorageError};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
-
-/// One redo unit: apply `data` at `offset` if the page is older than
-/// `new_lsn`.
-pub(crate) struct RedoItem {
-    pub new_lsn: Lsn,
-    pub offset: u32,
-    pub data: Vec<u8>,
-}
 
 /// Shard a page id into `0..k` (Fibonacci hashing on the high bits, so
 /// consecutive page ids spread instead of clustering).
@@ -41,6 +40,8 @@ pub(crate) struct ShardOutcome {
     pub quarantined: BTreeSet<PageId>,
     pub redone: u64,
     pub skipped_idempotent: u64,
+    /// Of `redone`: logical ops re-executed (command-replay path).
+    pub reexecuted_ops: u64,
     pub torn_repaired: u64,
     pub retried_ios: u64,
     pub busy: Duration,
@@ -96,48 +97,35 @@ fn replay_shard(
         quarantined: BTreeSet::new(),
         redone: 0,
         skipped_idempotent: 0,
+        reexecuted_ops: 0,
         torn_repaired: 0,
         retried_ios: 0,
         busy: Duration::ZERO,
     };
     for (page_id, mut items) in plan {
         items.sort_by_key(|i| i.new_lsn);
-        let mut page = if data.is_allocated(page_id.0) {
-            match crate::analysis::read_data_retry(data, page_id.0, &mut out.retried_ios) {
-                Ok(p) => p,
-                Err(StorageError::Corrupt { .. }) => {
-                    if let Some(copy) = doublewrite.get(&page_id) {
-                        // torn home write: the doublewrite buffer holds a
-                        // verified full image written just before it
+        let rebuild = items.first().is_some_and(|i| i.is_full_image());
+        let mut page =
+            match load_redo_page(data, doublewrite, page_id, rebuild, &mut out.retried_ios)? {
+                PageLoad::Ready(p, torn) => {
+                    if torn {
                         out.torn_repaired += 1;
-                        copy.clone()
-                    } else if items.first().is_some_and(|i| {
-                        i.offset == 0 && i.data.len() == rmdb_storage::PAYLOAD_SIZE
-                    }) {
-                        // physical logging: the earliest retained fragment
-                        // is a full image, so replay rebuilds from scratch
-                        out.torn_repaired += 1;
-                        Page::new(page_id)
-                    } else {
-                        // unrebuildable: leave the torn frame in place so
-                        // reads yield a typed error, not invented contents
-                        out.quarantined.insert(page_id);
-                        continue;
                     }
+                    p
                 }
-                Err(e) => return Err(e),
-            }
-        } else {
-            Page::new(page_id)
-        };
+                PageLoad::Quarantined => {
+                    // unrebuildable: leave the torn frame in place so reads
+                    // yield a typed error, not invented contents
+                    out.quarantined.insert(page_id);
+                    continue;
+                }
+            };
         for item in items {
-            if item.offset as usize + item.data.len() > rmdb_storage::PAYLOAD_SIZE {
-                return Err(StorageError::Protocol("log fragment exceeds page payload"));
-            }
-            if page.lsn < item.new_lsn {
-                page.write_at(item.offset as usize, &item.data);
-                page.lsn = item.new_lsn;
+            if apply_item(&mut page, &item)? {
                 out.redone += 1;
+                if matches!(item.body, RedoBody::Op(_)) {
+                    out.reexecuted_ops += 1;
+                }
             } else {
                 out.skipped_idempotent += 1;
             }

@@ -16,7 +16,7 @@
 
 use crate::lock::{LockMode, LockTable};
 use crate::manager::{LogPos, ParallelLogManager};
-use crate::record::LogRecord;
+use crate::record::{LogRecord, LogicalOp, DECISION_COST, DECISION_FORCED};
 use crate::recovery;
 use crate::select::SelectionPolicy;
 use rmdb_storage::fault::FaultHandle;
@@ -38,6 +38,34 @@ pub enum LogMode {
     /// Fragments carry the full before and after page images (two log
     /// pages of data per update, as in the paper's Table 3 experiment).
     Physical,
+}
+
+/// Per-transaction logging policy: physical after-image fragments, command
+/// (logical) records, or a per-commit cost-based choice between the two.
+///
+/// Under [`Command`](LoggingPolicy::Command) and
+/// [`Adaptive`](LoggingPolicy::Adaptive), writes are *deferred-captured*:
+/// nothing is appended while the transaction runs — its dirty pages are
+/// pinned in the pool (so STEAL cannot leak un-logged data to disk) and its
+/// fragments + logical ops are retained transaction-locally. At commit the
+/// engine either appends one [`LogRecord::Logical`] record (which doubles as
+/// the commit record) or *spills* the retained fragments and commits
+/// physically. Deferred transactions that abort log nothing at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoggingPolicy {
+    /// Always log physical after-image fragments as writes happen (the
+    /// engine's original behavior).
+    Fragments,
+    /// Always command-log: every deferred transaction commits with one
+    /// logical record, regardless of relative size.
+    Command,
+    /// Choose per transaction at commit: command-log iff
+    /// `logical_bytes * 100 <= threshold_pct * fragment_bytes`.
+    Adaptive {
+        /// Percentage threshold; 100 means "whenever the logical record is
+        /// no bigger than the fragments it replaces".
+        threshold_pct: u32,
+    },
 }
 
 /// Configuration for a [`WalDb`].
@@ -69,6 +97,8 @@ pub struct WalConfig {
     /// N commits (0 disables). Bounds the redo scan a checkpoint-aware
     /// restart engine has to replay after a crash.
     pub ckpt_every_commits: u64,
+    /// Per-transaction logging policy (see [`LoggingPolicy`]).
+    pub logging: LoggingPolicy,
 }
 
 impl Default for WalConfig {
@@ -84,6 +114,7 @@ impl Default for WalConfig {
             seed: 0xDB,
             dw_slots: 8,
             ckpt_every_commits: 0,
+            logging: LoggingPolicy::Fragments,
         }
     }
 }
@@ -161,11 +192,30 @@ struct UndoEntry {
     new_lsn: Lsn,
 }
 
+/// Deferred capture for a [`LoggingPolicy::Command`]/`Adaptive` transaction:
+/// the fragments it *would* have appended (kept for a physical spill), the
+/// logical ops mirroring them one-to-one, and the pages it read. Each
+/// retained fragment holds one pin on its page in the buffer pool.
+#[derive(Debug, Default)]
+struct Deferred {
+    /// `(qp, fragment)` per write, in execution order — parallel to `undo`.
+    frags: Vec<(usize, LogRecord)>,
+    /// Logical op per write, in execution order — parallel to `frags`.
+    ops: Vec<LogicalOp>,
+    /// Pages read under shared locks (for replay-DAG edges).
+    reads: BTreeSet<PageId>,
+    /// Total encoded size of `frags` (the physical cost side).
+    phys_bytes: usize,
+}
+
 #[derive(Debug)]
 struct TxnState {
     home: usize,
     streams: BTreeSet<usize>,
     undo: Vec<UndoEntry>,
+    /// `Some` while the transaction is deferred-captured; spilling to
+    /// fragment mode takes it.
+    deferred: Option<Deferred>,
 }
 
 /// The parallel-logging database engine.
@@ -259,12 +309,17 @@ impl WalDb {
         let txn = self.next_txn;
         self.next_txn += 1;
         let home = self.log.pick_home(0, txn);
+        let deferred = match self.cfg.logging {
+            LoggingPolicy::Fragments => None,
+            LoggingPolicy::Command | LoggingPolicy::Adaptive { .. } => Some(Deferred::default()),
+        };
         self.active.insert(
             txn,
             TxnState {
                 home,
                 streams: BTreeSet::new(),
                 undo: Vec::new(),
+                deferred,
             },
         );
         txn
@@ -373,7 +428,10 @@ impl WalDb {
                 page: c.page,
                 holder: c.holder,
             })?;
-        self.fetch(id)?;
+        self.fetch_spilling(id)?;
+        if let Some(d) = self.active.get_mut(&txn).and_then(|s| s.deferred.as_mut()) {
+            d.reads.insert(id);
+        }
         let p = self.pool.get(id).expect("fetched page resident");
         Ok(p.read_at(offset, len).to_vec())
     }
@@ -388,6 +446,57 @@ impl WalDb {
         offset: usize,
         data: &[u8],
     ) -> Result<(), WalError> {
+        self.write_op(qp, txn, page, offset, data, None)
+    }
+
+    /// Add `delta` (wrapping) to the little-endian u64 at `offset` of
+    /// `page`, returning the new value. Physically this is a plain 8-byte
+    /// write; under deferred capture it is logged as a [`LogicalOp::AddU64`]
+    /// — the canonical case where a command record (8-byte delta) beats an
+    /// after-image fragment (before + after images).
+    pub fn add_u64(
+        &mut self,
+        txn: TxnId,
+        page: u64,
+        offset: usize,
+        delta: u64,
+    ) -> Result<u64, WalError> {
+        self.check_bounds(page, offset, 8)?;
+        if !self.active.contains_key(&txn) {
+            return Err(WalError::UnknownTxn(txn));
+        }
+        let id = PageId(page);
+        self.locks
+            .acquire(txn, id, LockMode::Exclusive)
+            .map_err(|c| WalError::LockConflict {
+                page: c.page,
+                holder: c.holder,
+            })?;
+        self.fetch_spilling(id)?;
+        let mut cur = [0u8; 8];
+        cur.copy_from_slice(
+            self.pool
+                .get(id)
+                .expect("fetched page resident")
+                .read_at(offset, 8),
+        );
+        let next = u64::from_le_bytes(cur).wrapping_add(delta);
+        self.write_op(0, txn, page, offset, &next.to_le_bytes(), Some(delta))?;
+        Ok(next)
+    }
+
+    /// Shared write path: `add_delta` is `Some` when the write is an
+    /// [`WalDb::add_u64`] (so deferred capture records the delta, not the
+    /// resulting bytes).
+    fn write_op(
+        &mut self,
+        qp: usize,
+        txn: TxnId,
+        page: u64,
+        offset: usize,
+        data: &[u8],
+        add_delta: Option<u64>,
+    ) -> Result<(), WalError> {
         self.check_bounds(page, offset, data.len())?;
         if !self.active.contains_key(&txn) {
             return Err(WalError::UnknownTxn(txn));
@@ -399,7 +508,18 @@ impl WalDb {
                 page: c.page,
                 holder: c.holder,
             })?;
-        self.fetch(id)?;
+        // a deferred txn pinning the whole pool would wedge every fetch —
+        // convert it to fragment mode before its pins fill the last frame
+        let pins = self
+            .active
+            .get(&txn)
+            .and_then(|s| s.deferred.as_ref())
+            .map(|d| d.ops.len())
+            .unwrap_or(0);
+        if pins + 1 > self.cfg.pool_frames.saturating_sub(1).max(1) {
+            self.spill_deferred(txn)?;
+        }
+        self.fetch_spilling(id)?;
 
         let new_lsn = Lsn(self.next_lsn);
         self.next_lsn += 1;
@@ -454,15 +574,113 @@ impl WalDb {
             }
         };
 
-        let pos = self.log.append_routed(qp, txn, &rec)?;
         let state = self.active.get_mut(&txn).expect("txn checked active");
-        state.streams.insert(pos.stream);
-        state.undo.push(undo_entry);
-        self.page_last_log.insert(id, pos);
+        if let Some(d) = state.deferred.as_mut() {
+            // Deferred capture: retain the fragment instead of appending it,
+            // pin the page (once per write) so STEAL can never put un-logged
+            // bytes on disk, and mirror the write as a logical op. The LSN
+            // sequence is identical to fragment mode, so per-page ordering —
+            // and therefore replay equivalence — is policy-independent.
+            let op = match add_delta {
+                Some(delta) => LogicalOp::AddU64 {
+                    page: id,
+                    lsn: new_lsn,
+                    offset: offset as u32,
+                    delta,
+                },
+                None => LogicalOp::Put {
+                    page: id,
+                    lsn: new_lsn,
+                    offset: offset as u32,
+                    data: data.to_vec(),
+                },
+            };
+            d.phys_bytes += rec.encoded_len();
+            d.frags.push((qp, rec));
+            d.ops.push(op);
+            state.undo.push(undo_entry);
+            self.pool.pin(id);
+        } else {
+            let pos = self.log.append_routed(qp, txn, &rec)?;
+            let state = self.active.get_mut(&txn).expect("txn checked active");
+            state.streams.insert(pos.stream);
+            state.undo.push(undo_entry);
+            self.page_last_log.insert(id, pos);
+        }
 
         let p = self.pool.get_mut(id).expect("fetched page resident");
         p.write_at(offset, data);
         p.lsn = new_lsn;
+        Ok(())
+    }
+
+    /// [`WalDb::fetch`], spilling deferred transactions and retrying once
+    /// if the pool is exhausted (their pins are what fill it up).
+    fn fetch_spilling(&mut self, id: PageId) -> Result<(), WalError> {
+        match self.fetch(id) {
+            Err(WalError::Storage(StorageError::PoolExhausted)) => {
+                self.spill_all_deferred()?;
+                self.fetch(id)
+            }
+            other => other,
+        }
+    }
+
+    /// Convert a deferred transaction to fragment mode: append every
+    /// retained fragment (routed through the qp recorded at write time),
+    /// release its pins, and drop the logical capture. After this the
+    /// transaction commits/aborts exactly like a
+    /// [`LoggingPolicy::Fragments`] one.
+    fn spill_deferred(&mut self, txn: TxnId) -> Result<(), WalError> {
+        let Some(state) = self.active.get_mut(&txn) else {
+            return Ok(());
+        };
+        let Some(d) = state.deferred.take() else {
+            return Ok(());
+        };
+        for (i, (qp, rec)) in d.frags.iter().enumerate() {
+            match self.log.append_routed(*qp, txn, rec) {
+                Ok(pos) => {
+                    let state = self.active.get_mut(&txn).expect("spilling active txn");
+                    state.streams.insert(pos.stream);
+                    self.page_last_log.insert(d.ops[i].page(), pos);
+                    self.pool.unpin(d.ops[i].page());
+                }
+                Err(e) => {
+                    // The un-appended tail would sit in the pool as
+                    // un-logged dirty bytes — a STEAL hazard once unpinned.
+                    // Revert it in memory (before-images, reverse order)
+                    // and forget it, leaving the txn consistent with the
+                    // appended prefix. Then release every remaining pin.
+                    let state = self.active.get_mut(&txn).expect("spilling active txn");
+                    let tail: Vec<UndoEntry> = state.undo.split_off(i);
+                    for entry in tail.iter().rev() {
+                        if let Some(p) = self.pool.get_mut(entry.page) {
+                            p.write_at(entry.offset as usize, &entry.before);
+                        }
+                    }
+                    for op in &d.ops[i..] {
+                        self.pool.unpin(op.page());
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Spill every deferred transaction (checkpoint/flush prelude and the
+    /// pool-exhaustion escape hatch).
+    fn spill_all_deferred(&mut self) -> Result<(), WalError> {
+        let deferred: Vec<TxnId> = self
+            .active
+            .iter()
+            .filter(|(_, s)| s.deferred.is_some())
+            .map(|(t, _)| *t)
+            .collect();
+        for txn in deferred {
+            self.spill_deferred(txn)?;
+        }
         Ok(())
     }
 
@@ -480,7 +698,51 @@ impl WalDb {
     /// Commit: force every stream holding the transaction's fragments,
     /// then append + force the commit record on its home stream, then
     /// release locks. Dirty pages stay in the pool (NO-FORCE).
+    ///
+    /// A deferred-captured transaction instead decides its logging here: a
+    /// single [`LogRecord::Logical`] record (which *is* the commit record)
+    /// when the policy picks command logging, or a spill to fragments plus
+    /// the normal commit protocol otherwise.
     pub fn commit(&mut self, txn: TxnId) -> Result<(), WalError> {
+        if !self.active.contains_key(&txn) {
+            return Err(WalError::UnknownTxn(txn));
+        }
+        if let Some(rec) = self.build_logical_commit(txn) {
+            let state = self.active.remove(&txn).expect("checked active");
+            let d = state.deferred.expect("logical commit is deferred");
+            self.next_lsn += 1; // the commit_lsn baked into `rec`
+            let append = self.log.append_to(state.home, &rec);
+            let pos = match append {
+                Ok(pos) => pos,
+                Err(e) => {
+                    // nothing was logged: revert in memory and unpin, as a
+                    // deferred abort would
+                    for entry in state.undo.iter().rev() {
+                        if let Some(p) = self.pool.get_mut(entry.page) {
+                            p.write_at(entry.offset as usize, &entry.before);
+                        }
+                    }
+                    for op in &d.ops {
+                        self.pool.unpin(op.page());
+                    }
+                    self.locks.release_all(txn);
+                    self.aborted += 1;
+                    return Err(e.into());
+                }
+            };
+            // pins drop before the force: page_last_log now names the
+            // logical record, so a later eviction re-forces under the WAL
+            // rule even if this force fails
+            for op in &d.ops {
+                self.page_last_log.insert(op.page(), pos);
+                self.pool.unpin(op.page());
+            }
+            self.log.force(state.home)?;
+            self.locks.release_all(txn);
+            self.committed += 1;
+            return self.maybe_auto_checkpoint();
+        }
+        self.spill_deferred(txn)?;
         let state = self.active.remove(&txn).ok_or(WalError::UnknownTxn(txn))?;
         for &s in &state.streams {
             self.log.force(s)?;
@@ -490,6 +752,38 @@ impl WalDb {
         self.locks.release_all(txn);
         self.committed += 1;
         self.maybe_auto_checkpoint()
+    }
+
+    /// Run the cost-based policy for a deferred transaction about to
+    /// commit. `Some(record)` means command-log it (the record carries the
+    /// next LSN as its commit LSN — the caller consumes that LSN);
+    /// `None` means spill to fragments (or the txn was never deferred).
+    fn build_logical_commit(&mut self, txn: TxnId) -> Option<LogRecord> {
+        let state = self.active.get(&txn)?;
+        let d = state.deferred.as_ref()?;
+        if d.ops.is_empty() {
+            // read-only: the plain Commit record path is already minimal
+            return None;
+        }
+        let decision = match self.cfg.logging {
+            LoggingPolicy::Command => DECISION_FORCED,
+            LoggingPolicy::Adaptive { .. } => DECISION_COST,
+            LoggingPolicy::Fragments => return None,
+        };
+        let rec = LogRecord::Logical {
+            txn,
+            commit_lsn: Lsn(self.next_lsn),
+            decision,
+            reads: d.reads.iter().copied().collect(),
+            ops: d.ops.clone(),
+        };
+        if let LoggingPolicy::Adaptive { threshold_pct } = self.cfg.logging {
+            let logical = rec.encoded_len() as u128;
+            if logical * 100 > u128::from(threshold_pct) * d.phys_bytes as u128 {
+                return None;
+            }
+        }
+        Some(rec)
     }
 
     /// Honour [`WalConfig::ckpt_every_commits`]: fuzzy-checkpoint when the
@@ -516,6 +810,11 @@ impl WalDb {
             if !self.active.contains_key(txn) {
                 return Err(WalError::UnknownTxn(*txn));
             }
+        }
+        // group commit shares forces across physical commit records; spill
+        // any deferred members so the whole group takes that path
+        for txn in txns {
+            self.spill_deferred(*txn)?;
         }
         let mut states = Vec::with_capacity(txns.len());
         for txn in txns {
@@ -552,6 +851,22 @@ impl WalDb {
     /// re-undoes the remainder.
     pub fn abort(&mut self, txn: TxnId) -> Result<(), WalError> {
         let state = self.active.remove(&txn).ok_or(WalError::UnknownTxn(txn))?;
+        if let Some(d) = state.deferred {
+            // Deferred abort: nothing was ever logged, so there is nothing
+            // to compensate — restore the before-images in memory, release
+            // the pins, and vanish without a trace in the log.
+            for entry in state.undo.iter().rev() {
+                if let Some(p) = self.pool.get_mut(entry.page) {
+                    p.write_at(entry.offset as usize, &entry.before);
+                }
+            }
+            for op in &d.ops {
+                self.pool.unpin(op.page());
+            }
+            self.locks.release_all(txn);
+            self.aborted += 1;
+            return Ok(());
+        }
         for entry in state.undo.iter().rev() {
             self.fetch(entry.page)?;
             let new_lsn = Lsn(self.next_lsn);
@@ -582,6 +897,9 @@ impl WalDb {
     /// Flush every dirty page to the data disk (honouring the WAL rule)
     /// without writing checkpoint records or truncating the logs.
     pub fn flush_all(&mut self) -> Result<(), WalError> {
+        // deferred txns hold un-logged dirty pages; spill first so every
+        // flushed byte is covered by a durable-forceable fragment (WAL rule)
+        self.spill_all_deferred()?;
         for id in self.pool.dirty_ids() {
             let page = self.pool.peek(id).expect("dirty page resident").clone();
             self.flush_page(&page)?;
@@ -594,6 +912,9 @@ impl WalDb {
     /// (honouring the WAL rule), record the end, and — when no transaction
     /// is active — truncate every log stream.
     pub fn checkpoint(&mut self) -> Result<(), WalError> {
+        // a fuzzy checkpoint flushes every dirty page; spill deferred txns
+        // so none of those pages carries un-logged bytes
+        self.spill_all_deferred()?;
         let active: Vec<TxnId> = self.active_txns();
         let begin = LogRecord::CheckpointBegin {
             active: active.clone(),
@@ -640,6 +961,26 @@ impl WalDb {
             )));
         }
         let home = state.home;
+        if state.deferred.is_some() {
+            // Deferred partial rollback: the undone suffix was never logged
+            // (frags/ops/undo grow in lockstep, so `undo_len` indexes all
+            // three) — revert it in memory and drop the captured tail.
+            let state = self.active.get_mut(&txn).expect("checked active");
+            let d = state.deferred.as_mut().expect("checked deferred");
+            let dropped_ops = d.ops.split_off(sp.undo_len);
+            d.frags.truncate(sp.undo_len);
+            d.phys_bytes = d.frags.iter().map(|(_, r)| r.encoded_len()).sum();
+            let to_undo: Vec<UndoEntry> = state.undo.split_off(sp.undo_len);
+            for entry in to_undo.iter().rev() {
+                if let Some(p) = self.pool.get_mut(entry.page) {
+                    p.write_at(entry.offset as usize, &entry.before);
+                }
+            }
+            for op in &dropped_ops {
+                self.pool.unpin(op.page());
+            }
+            return Ok(());
+        }
         let to_undo: Vec<UndoEntry> = {
             let state = self.active.get_mut(&txn).expect("checked active");
             state.undo.split_off(sp.undo_len)
@@ -1069,6 +1410,229 @@ mod tests {
     fn savepoint_of_unknown_txn_fails() {
         let mut db = WalDb::new(tiny());
         assert!(db.savepoint(99).is_err());
+    }
+
+    fn command_cfg() -> WalConfig {
+        WalConfig {
+            logging: LoggingPolicy::Command,
+            ..tiny()
+        }
+    }
+
+    fn count_recs(db: &WalDb, pred: fn(&LogRecord) -> bool) -> usize {
+        db.log()
+            .scan_all()
+            .iter()
+            .flatten()
+            .filter(|r| pred(r))
+            .count()
+    }
+
+    #[test]
+    fn command_policy_logs_one_record_per_txn() {
+        let mut db = WalDb::new(command_cfg());
+        let t = db.begin();
+        db.write(t, 1, 0, b"cmd").unwrap();
+        db.write(t, 2, 8, b"cmd2").unwrap();
+        db.add_u64(t, 3, 0, 5).unwrap();
+        db.commit(t).unwrap();
+        assert_eq!(
+            count_recs(&db, |r| matches!(r, LogRecord::Logical { .. })),
+            1
+        );
+        assert_eq!(
+            count_recs(&db, |r| matches!(r, LogRecord::Update { .. })),
+            0
+        );
+        assert_eq!(
+            count_recs(&db, |r| matches!(r, LogRecord::Commit { .. })),
+            0
+        );
+    }
+
+    #[test]
+    fn command_logged_txn_survives_crash() {
+        let mut db = WalDb::new(command_cfg());
+        let t = db.begin();
+        db.write(t, 1, 0, b"keepme").unwrap();
+        db.add_u64(t, 2, 0, 41).unwrap();
+        db.add_u64(t, 2, 0, 1).unwrap();
+        db.commit(t).unwrap();
+        // an in-flight deferred loser leaves no trace at all
+        let loser = db.begin();
+        db.write(loser, 3, 0, b"ghost").unwrap();
+        let (mut db2, report) = WalDb::recover(db.crash_image(), command_cfg()).unwrap();
+        assert_eq!(report.logical_commits, 1);
+        assert_eq!(report.reexecuted_ops, 3);
+        assert!(report.loser_txns.is_empty(), "deferred loser logs nothing");
+        let q = db2.begin();
+        assert_eq!(db2.read(q, 1, 0, 6).unwrap(), b"keepme");
+        assert_eq!(db2.read(q, 2, 0, 8).unwrap(), 42u64.to_le_bytes());
+        assert_eq!(db2.read(q, 3, 0, 5).unwrap(), vec![0u8; 5]);
+    }
+
+    #[test]
+    fn adaptive_policy_decides_per_txn() {
+        let cfg = WalConfig {
+            logging: LoggingPolicy::Adaptive { threshold_pct: 100 },
+            ..tiny()
+        };
+        let mut db = WalDb::new(cfg.clone());
+        // counter bumps: logical record (no before-images, 8-byte deltas)
+        // is far smaller than two fragments
+        let small = db.begin();
+        db.add_u64(small, 1, 0, 1).unwrap();
+        db.add_u64(small, 1, 8, 2).unwrap();
+        db.commit(small).unwrap();
+        assert_eq!(
+            count_recs(&db, |r| matches!(r, LogRecord::Logical { .. })),
+            1
+        );
+        // a read-heavy txn with one tiny write: the read-set (8 bytes per
+        // page, logical-only overhead) outweighs the fragment, so it spills
+        let big = db.begin();
+        for p in 2..12 {
+            db.read(big, p, 0, 1).unwrap();
+        }
+        db.write(big, 2, 0, b"x").unwrap();
+        db.commit(big).unwrap();
+        assert_eq!(
+            count_recs(&db, |r| matches!(r, LogRecord::Logical { .. })),
+            1,
+            "read-heavy txn must spill to fragments"
+        );
+        assert_eq!(
+            count_recs(&db, |r| matches!(r, LogRecord::Update { .. })),
+            1
+        );
+        // both survive recovery
+        let (mut db2, _) = WalDb::recover(db.crash_image(), cfg).unwrap();
+        let q = db2.begin();
+        assert_eq!(db2.read(q, 1, 0, 8).unwrap(), 1u64.to_le_bytes());
+        assert_eq!(db2.read(q, 2, 0, 1).unwrap(), b"x");
+    }
+
+    #[test]
+    fn deferred_abort_and_savepoints_leave_no_log_trace() {
+        let mut db = WalDb::new(command_cfg());
+        let base = db.begin();
+        db.write(base, 1, 0, b"base").unwrap();
+        db.commit(base).unwrap();
+
+        let t = db.begin();
+        db.write(t, 1, 0, b"AAAA").unwrap();
+        let sp = db.savepoint(t).unwrap();
+        db.write(t, 1, 0, b"BBBB").unwrap();
+        db.write(t, 2, 0, b"CCCC").unwrap();
+        db.rollback_to(sp).unwrap();
+        assert_eq!(db.read(t, 1, 0, 4).unwrap(), b"AAAA");
+        assert_eq!(db.read(t, 2, 0, 4).unwrap(), vec![0u8; 4]);
+        db.abort(t).unwrap();
+        let q = db.begin();
+        assert_eq!(db.read(q, 1, 0, 4).unwrap(), b"base");
+        db.commit(q).unwrap();
+        assert_eq!(
+            count_recs(&db, |r| matches!(
+                r,
+                LogRecord::Compensation { .. } | LogRecord::Abort { .. }
+            )),
+            0,
+            "deferred rollback/abort must not log"
+        );
+        // no pins leaked: the pool can still turn over every frame
+        let t2 = db.begin();
+        for p in 0..8 {
+            db.write(t2, p, 0, b"turn").unwrap();
+        }
+        db.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_spills_deferred_txns() {
+        let mut db = WalDb::new(command_cfg());
+        let t = db.begin();
+        db.write(t, 1, 0, b"spilled").unwrap();
+        db.checkpoint().unwrap();
+        // the deferred write became a durable fragment under the WAL rule
+        assert_eq!(
+            count_recs(&db, |r| matches!(r, LogRecord::Update { .. })),
+            1
+        );
+        db.commit(t).unwrap();
+        let (mut db2, _) = WalDb::recover(db.crash_image(), command_cfg()).unwrap();
+        let q = db2.begin();
+        assert_eq!(db2.read(q, 1, 0, 7).unwrap(), b"spilled");
+    }
+
+    #[test]
+    fn pool_exhaustion_spills_instead_of_failing() {
+        // pool of 4 frames, a deferred txn pinning pages: the cap (pool/2)
+        // plus the exhaustion retry must keep writes succeeding
+        let mut db = WalDb::new(WalConfig {
+            data_pages: 16,
+            pool_frames: 4,
+            log_streams: 2,
+            logging: LoggingPolicy::Command,
+            ..WalConfig::default()
+        });
+        let t = db.begin();
+        for p in 0..10 {
+            db.write(t, p, 0, b"spill-pressure").unwrap();
+        }
+        db.commit(t).unwrap();
+        let (mut db2, _) = WalDb::recover(
+            db.crash_image(),
+            WalConfig {
+                data_pages: 16,
+                pool_frames: 4,
+                log_streams: 2,
+                logging: LoggingPolicy::Command,
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
+        let q = db2.begin();
+        for p in 0..10 {
+            assert_eq!(db2.read(q, p, 0, 5).unwrap(), b"spill");
+        }
+    }
+
+    #[test]
+    fn adaptive_recovers_same_payloads_as_fragments() {
+        // same workload under Fragments and Adaptive: recovered page
+        // payloads must agree byte-for-byte
+        let run = |logging: LoggingPolicy| -> Vec<Vec<u8>> {
+            let cfg = WalConfig {
+                data_pages: 16,
+                pool_frames: 8,
+                log_streams: 3,
+                logging,
+                ..WalConfig::default()
+            };
+            let mut db = WalDb::new(cfg.clone());
+            for i in 0..20u64 {
+                let t = db.begin();
+                let p = i % 6;
+                db.write(t, p, (i as usize % 4) * 16, format!("w{i:04}").as_bytes())
+                    .unwrap();
+                db.add_u64(t, 6, 0, i).unwrap();
+                if i % 5 == 3 {
+                    db.abort(t).unwrap();
+                } else {
+                    db.commit(t).unwrap();
+                }
+            }
+            let loser = db.begin();
+            db.write(loser, 7, 0, b"in-flight").unwrap();
+            let (mut db2, _) = WalDb::recover(db.crash_image(), cfg).unwrap();
+            let q = db2.begin();
+            (0..8).map(|p| db2.read(q, p, 0, 64).unwrap()).collect()
+        };
+        let physical = run(LoggingPolicy::Fragments);
+        let adaptive = run(LoggingPolicy::Adaptive { threshold_pct: 100 });
+        let command = run(LoggingPolicy::Command);
+        assert_eq!(physical, adaptive, "adaptive != fragments after recovery");
+        assert_eq!(physical, command, "command != fragments after recovery");
     }
 
     #[test]

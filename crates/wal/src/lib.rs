@@ -59,10 +59,10 @@ pub mod stream;
 
 pub use backoff::Backoff;
 pub use concurrent::{RetryStats, SharedWal, TxnCtx};
-pub use db::{CrashImage, LogMode, Savepoint, TxnId, WalConfig, WalDb, WalError};
+pub use db::{CrashImage, LogMode, LoggingPolicy, Savepoint, TxnId, WalConfig, WalDb, WalError};
 pub use lock::{LockMode, LockTable};
 pub use manager::ParallelLogManager;
-pub use record::LogRecord;
+pub use record::{LogRecord, LogicalOp, DECISION_COST, DECISION_FORCED};
 pub use recovery::{recover_observed, RecoveryReport};
 pub use scheduler::{Decision, Scheduler, WaitStats};
 pub use select::SelectionPolicy;

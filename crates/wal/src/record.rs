@@ -8,10 +8,259 @@
 //! round-trip test.
 
 use bytes::{Buf, BufMut};
-use rmdb_storage::{Lsn, PageId};
+use rmdb_storage::{Lsn, Page, PageId, StorageError, PAYLOAD_SIZE};
 
 /// Transaction identifier.
 pub type RawTxnId = u64;
+
+/// One logical (command) operation inside a [`LogRecord::Logical`] record.
+///
+/// Every op names the single page it writes and the globally unique LSN the
+/// write produced; single-page ops are what keep command redo idempotent
+/// under STEAL — recovery re-executes an op only while `page.lsn < op.lsn`,
+/// exactly the rule physical fragments use, so per-page LSN order is the
+/// one total order all replay paths agree on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicalOp {
+    /// Store `data` at `offset` (the logical form of a blind write).
+    Put {
+        /// Written page.
+        page: PageId,
+        /// Page LSN the write produced.
+        lsn: Lsn,
+        /// Payload offset of the written bytes.
+        offset: u32,
+        /// Bytes written.
+        data: Vec<u8>,
+    },
+    /// Add `delta` (wrapping) to the little-endian u64 at `offset`.
+    AddU64 {
+        /// Written page.
+        page: PageId,
+        /// Page LSN the write produced.
+        lsn: Lsn,
+        /// Payload offset of the counter.
+        offset: u32,
+        /// Wrapping increment.
+        delta: u64,
+    },
+    /// Fill `len` bytes at `offset` with `byte`.
+    Fill {
+        /// Written page.
+        page: PageId,
+        /// Page LSN the write produced.
+        lsn: Lsn,
+        /// Payload offset of the filled range.
+        offset: u32,
+        /// Length of the filled range.
+        len: u32,
+        /// Fill byte.
+        byte: u8,
+    },
+}
+
+const OP_PUT: u8 = 1;
+const OP_ADD_U64: u8 = 2;
+const OP_FILL: u8 = 3;
+
+impl LogicalOp {
+    /// The page this op writes.
+    pub fn page(&self) -> PageId {
+        match *self {
+            LogicalOp::Put { page, .. }
+            | LogicalOp::AddU64 { page, .. }
+            | LogicalOp::Fill { page, .. } => page,
+        }
+    }
+
+    /// The page LSN this op produced.
+    pub fn lsn(&self) -> Lsn {
+        match *self {
+            LogicalOp::Put { lsn, .. }
+            | LogicalOp::AddU64 { lsn, .. }
+            | LogicalOp::Fill { lsn, .. } => lsn,
+        }
+    }
+
+    /// Re-execute the op against `page` (the command-redo path). Does not
+    /// stamp the page LSN — the caller owns the `page.lsn < op.lsn` check.
+    pub fn apply(&self, page: &mut Page) -> Result<(), StorageError> {
+        match self {
+            LogicalOp::Put { offset, data, .. } => {
+                let off = *offset as usize;
+                if off + data.len() > PAYLOAD_SIZE {
+                    return Err(StorageError::Protocol("logical op exceeds page payload"));
+                }
+                page.write_at(off, data);
+            }
+            LogicalOp::AddU64 { offset, delta, .. } => {
+                let off = *offset as usize;
+                if off + 8 > PAYLOAD_SIZE {
+                    return Err(StorageError::Protocol("logical op exceeds page payload"));
+                }
+                let mut cur = [0u8; 8];
+                cur.copy_from_slice(page.read_at(off, 8));
+                let next = u64::from_le_bytes(cur).wrapping_add(*delta);
+                page.write_at(off, &next.to_le_bytes());
+            }
+            LogicalOp::Fill {
+                offset, len, byte, ..
+            } => {
+                let (off, n) = (*offset as usize, *len as usize);
+                if off + n > PAYLOAD_SIZE {
+                    return Err(StorageError::Protocol("logical op exceeds page payload"));
+                }
+                page.payload_mut()[off..off + n].fill(*byte);
+            }
+        }
+        Ok(())
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            LogicalOp::Put {
+                page,
+                lsn,
+                offset,
+                data,
+            } => {
+                out.put_u8(OP_PUT);
+                out.put_u64_le(page.0);
+                out.put_u64_le(lsn.0);
+                out.put_u32_le(*offset);
+                out.put_u32_le(data.len() as u32);
+                out.put_slice(data);
+            }
+            LogicalOp::AddU64 {
+                page,
+                lsn,
+                offset,
+                delta,
+            } => {
+                out.put_u8(OP_ADD_U64);
+                out.put_u64_le(page.0);
+                out.put_u64_le(lsn.0);
+                out.put_u32_le(*offset);
+                out.put_u64_le(*delta);
+            }
+            LogicalOp::Fill {
+                page,
+                lsn,
+                offset,
+                len,
+                byte,
+            } => {
+                out.put_u8(OP_FILL);
+                out.put_u64_le(page.0);
+                out.put_u64_le(lsn.0);
+                out.put_u32_le(*offset);
+                out.put_u32_le(*len);
+                out.put_u8(*byte);
+            }
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            LogicalOp::Put { data, .. } => 1 + 8 + 8 + 4 + 4 + data.len(),
+            LogicalOp::AddU64 { .. } => 1 + 8 + 8 + 4 + 8,
+            LogicalOp::Fill { .. } => 1 + 8 + 8 + 4 + 4 + 1,
+        }
+    }
+
+    /// Length of the op at the front of `buf`; `None` on a torn prefix.
+    fn peek_len(b: &mut &[u8]) -> Option<usize> {
+        if b.is_empty() {
+            return None;
+        }
+        let tag = b.get_u8();
+        let len = match tag {
+            OP_PUT => {
+                if b.remaining() < 8 + 8 + 4 + 4 {
+                    return None;
+                }
+                b.advance(8 + 8 + 4);
+                let dlen = b.get_u32_le() as usize;
+                if b.remaining() < dlen {
+                    return None;
+                }
+                b.advance(dlen);
+                1 + 8 + 8 + 4 + 4 + dlen
+            }
+            OP_ADD_U64 => {
+                if b.remaining() < 8 + 8 + 4 + 8 {
+                    return None;
+                }
+                b.advance(8 + 8 + 4 + 8);
+                1 + 8 + 8 + 4 + 8
+            }
+            OP_FILL => {
+                if b.remaining() < 8 + 8 + 4 + 4 + 1 {
+                    return None;
+                }
+                b.advance(8 + 8 + 4 + 4 + 1);
+                1 + 8 + 8 + 4 + 4 + 1
+            }
+            _ => return None,
+        };
+        Some(len)
+    }
+
+    fn decode(b: &mut &[u8]) -> Option<LogicalOp> {
+        if b.is_empty() {
+            return None;
+        }
+        let tag = b.get_u8();
+        let op = match tag {
+            OP_PUT => {
+                if b.remaining() < 8 + 8 + 4 + 4 {
+                    return None;
+                }
+                let page = PageId(b.get_u64_le());
+                let lsn = Lsn(b.get_u64_le());
+                let offset = b.get_u32_le();
+                let dlen = b.get_u32_le() as usize;
+                if b.remaining() < dlen {
+                    return None;
+                }
+                let data = b[..dlen].to_vec();
+                b.advance(dlen);
+                LogicalOp::Put {
+                    page,
+                    lsn,
+                    offset,
+                    data,
+                }
+            }
+            OP_ADD_U64 => {
+                if b.remaining() < 8 + 8 + 4 + 8 {
+                    return None;
+                }
+                LogicalOp::AddU64 {
+                    page: PageId(b.get_u64_le()),
+                    lsn: Lsn(b.get_u64_le()),
+                    offset: b.get_u32_le(),
+                    delta: b.get_u64_le(),
+                }
+            }
+            OP_FILL => {
+                if b.remaining() < 8 + 8 + 4 + 4 + 1 {
+                    return None;
+                }
+                LogicalOp::Fill {
+                    page: PageId(b.get_u64_le()),
+                    lsn: Lsn(b.get_u64_le()),
+                    offset: b.get_u32_le(),
+                    len: b.get_u32_le(),
+                    byte: b.get_u8(),
+                }
+            }
+            _ => return None,
+        };
+        Some(op)
+    }
+}
 
 /// One record in a log stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,7 +322,33 @@ pub enum LogRecord {
     /// End of a fuzzy checkpoint: every page dirty at `CheckpointBegin`
     /// has been written to the data disk.
     CheckpointEnd,
+    /// Command-logged transaction: the whole txn in one record, appended at
+    /// commit in place of its after-image fragments AND its `Commit` record
+    /// (presence implies the txn committed). Deferred-captured transactions
+    /// that abort log nothing, so undo never sees a logical loser.
+    Logical {
+        /// Committing transaction.
+        txn: RawTxnId,
+        /// Commit LSN — allocated from the same global LSN counter as
+        /// fragment LSNs, so it both dedups rerouted duplicates and keys the
+        /// txn's position in the replay precedence DAG.
+        commit_lsn: Lsn,
+        /// Why this txn was command-logged (`DECISION_*`): recovery is
+        /// self-describing, no policy config needed to replay.
+        decision: u8,
+        /// Pages the txn read (for replay-DAG read→write edges).
+        reads: Vec<PageId>,
+        /// The txn's writes, in execution order.
+        ops: Vec<LogicalOp>,
+    },
 }
+
+/// `decision` value: the policy was [`Command`](crate::LoggingPolicy) — every
+/// deferred txn is command-logged regardless of size.
+pub const DECISION_FORCED: u8 = 0;
+/// `decision` value: adaptive cost comparison picked the logical record
+/// because it encoded smaller than the after-image fragments.
+pub const DECISION_COST: u8 = 1;
 
 const TAG_UPDATE: u8 = 1;
 const TAG_COMPENSATION: u8 = 2;
@@ -81,6 +356,7 @@ const TAG_COMMIT: u8 = 3;
 const TAG_ABORT: u8 = 4;
 const TAG_CKPT_BEGIN: u8 = 5;
 const TAG_CKPT_END: u8 = 6;
+const TAG_LOGICAL: u8 = 7;
 
 impl LogRecord {
     /// The transaction a record belongs to, if any.
@@ -89,7 +365,8 @@ impl LogRecord {
             LogRecord::Update { txn, .. }
             | LogRecord::Compensation { txn, .. }
             | LogRecord::Commit { txn }
-            | LogRecord::Abort { txn } => Some(txn),
+            | LogRecord::Abort { txn }
+            | LogRecord::Logical { txn, .. } => Some(txn),
             LogRecord::CheckpointBegin { .. } | LogRecord::CheckpointEnd => None,
         }
     }
@@ -150,6 +427,26 @@ impl LogRecord {
                 }
             }
             LogRecord::CheckpointEnd => out.put_u8(TAG_CKPT_END),
+            LogRecord::Logical {
+                txn,
+                commit_lsn,
+                decision,
+                reads,
+                ops,
+            } => {
+                out.put_u8(TAG_LOGICAL);
+                out.put_u64_le(*txn);
+                out.put_u64_le(commit_lsn.0);
+                out.put_u8(*decision);
+                out.put_u32_le(reads.len() as u32);
+                for p in reads {
+                    out.put_u64_le(p.0);
+                }
+                out.put_u32_le(ops.len() as u32);
+                for op in ops {
+                    op.encode(out);
+                }
+            }
         }
     }
 
@@ -163,6 +460,15 @@ impl LogRecord {
             LogRecord::Commit { .. } | LogRecord::Abort { .. } => 9,
             LogRecord::CheckpointBegin { active } => 5 + 8 * active.len(),
             LogRecord::CheckpointEnd => 1,
+            LogRecord::Logical { reads, ops, .. } => {
+                1 + 8
+                    + 8
+                    + 1
+                    + 4
+                    + 8 * reads.len()
+                    + 4
+                    + ops.iter().map(LogicalOp::encoded_len).sum::<usize>()
+            }
         }
     }
 
@@ -223,6 +529,23 @@ impl LogRecord {
                 5 + 8 * n
             }
             TAG_CKPT_END => 1,
+            TAG_LOGICAL => {
+                if b.remaining() < 8 + 8 + 1 + 4 {
+                    return None;
+                }
+                b.advance(8 + 8 + 1);
+                let nreads = b.get_u32_le() as usize;
+                if b.remaining() < 8 * nreads + 4 {
+                    return None;
+                }
+                b.advance(8 * nreads);
+                let nops = b.get_u32_le() as usize;
+                let mut ops_len = 0usize;
+                for _ in 0..nops {
+                    ops_len += LogicalOp::peek_len(&mut b)?;
+                }
+                1 + 8 + 8 + 1 + 4 + 8 * nreads + 4 + ops_len
+            }
             _ => return None,
         };
         Some(len)
@@ -324,6 +647,31 @@ impl LogRecord {
                 LogRecord::CheckpointBegin { active }
             }
             TAG_CKPT_END => LogRecord::CheckpointEnd,
+            TAG_LOGICAL => {
+                if b.remaining() < 8 + 8 + 1 + 4 {
+                    return None;
+                }
+                let txn = b.get_u64_le();
+                let commit_lsn = Lsn(b.get_u64_le());
+                let decision = b.get_u8();
+                let nreads = b.get_u32_le() as usize;
+                if b.remaining() < 8 * nreads + 4 {
+                    return None;
+                }
+                let reads = (0..nreads).map(|_| PageId(b.get_u64_le())).collect();
+                let nops = b.get_u32_le() as usize;
+                let mut ops = Vec::with_capacity(nops.min(1024));
+                for _ in 0..nops {
+                    ops.push(LogicalOp::decode(&mut b)?);
+                }
+                LogRecord::Logical {
+                    txn,
+                    commit_lsn,
+                    decision,
+                    reads,
+                    ops,
+                }
+            }
             _ => return None,
         };
         *buf = b;
@@ -377,6 +725,107 @@ mod tests {
         });
         round_trip(&LogRecord::CheckpointBegin { active: vec![] });
         round_trip(&LogRecord::CheckpointEnd);
+        round_trip(&LogRecord::Logical {
+            txn: 12,
+            commit_lsn: Lsn(99),
+            decision: DECISION_COST,
+            reads: vec![PageId(3), PageId(9)],
+            ops: vec![
+                LogicalOp::Put {
+                    page: PageId(3),
+                    lsn: Lsn(90),
+                    offset: 16,
+                    data: vec![1, 2, 3, 4],
+                },
+                LogicalOp::AddU64 {
+                    page: PageId(9),
+                    lsn: Lsn(91),
+                    offset: 0,
+                    delta: u64::MAX,
+                },
+                LogicalOp::Fill {
+                    page: PageId(3),
+                    lsn: Lsn(92),
+                    offset: 64,
+                    len: 17,
+                    byte: 0xAB,
+                },
+            ],
+        });
+        round_trip(&LogRecord::Logical {
+            txn: 13,
+            commit_lsn: Lsn(100),
+            decision: DECISION_FORCED,
+            reads: vec![],
+            ops: vec![],
+        });
+    }
+
+    #[test]
+    fn logical_ops_apply_and_bound_check() {
+        let mut page = Page::new(PageId(1));
+        LogicalOp::Put {
+            page: PageId(1),
+            lsn: Lsn(1),
+            offset: 8,
+            data: vec![7; 4],
+        }
+        .apply(&mut page)
+        .expect("put applies");
+        assert_eq!(page.read_at(8, 4), &[7; 4]);
+        LogicalOp::AddU64 {
+            page: PageId(1),
+            lsn: Lsn(2),
+            offset: 0,
+            delta: 41,
+        }
+        .apply(&mut page)
+        .expect("add applies");
+        LogicalOp::AddU64 {
+            page: PageId(1),
+            lsn: Lsn(3),
+            offset: 0,
+            delta: 1,
+        }
+        .apply(&mut page)
+        .expect("add applies");
+        let mut cur = [0u8; 8];
+        cur.copy_from_slice(page.read_at(0, 8));
+        assert_eq!(u64::from_le_bytes(cur), 42);
+        LogicalOp::Fill {
+            page: PageId(1),
+            lsn: Lsn(4),
+            offset: 32,
+            len: 8,
+            byte: 0xCC,
+        }
+        .apply(&mut page)
+        .expect("fill applies");
+        assert_eq!(page.read_at(32, 8), &[0xCC; 8]);
+        // every op kind rejects out-of-payload ranges instead of panicking
+        for op in [
+            LogicalOp::Put {
+                page: PageId(1),
+                lsn: Lsn(5),
+                offset: PAYLOAD_SIZE as u32 - 2,
+                data: vec![0; 4],
+            },
+            LogicalOp::AddU64 {
+                page: PageId(1),
+                lsn: Lsn(6),
+                offset: PAYLOAD_SIZE as u32 - 4,
+                delta: 1,
+            },
+            LogicalOp::Fill {
+                page: PageId(1),
+                lsn: Lsn(7),
+                offset: PAYLOAD_SIZE as u32,
+                len: 1,
+                byte: 0,
+            },
+        ] {
+            assert!(op.apply(&mut page).is_err(), "op {op:?} must bound-check");
+        }
     }
 
     #[test]
@@ -453,6 +902,40 @@ mod tests {
         #[test]
         fn round_trip_arbitrary_ckpt(active in proptest::collection::vec(any::<u64>(), 0..50)) {
             round_trip(&LogRecord::CheckpointBegin { active });
+        }
+
+        #[test]
+        fn round_trip_arbitrary_logical(
+            txn in any::<u64>(),
+            commit in any::<u64>(),
+            decision in any::<u8>(),
+            reads in proptest::collection::vec(any::<u64>(), 0..8),
+            ops in proptest::collection::vec(
+                prop_oneof![
+                    (any::<u64>(), any::<u64>(), any::<u32>(),
+                     proptest::collection::vec(any::<u8>(), 0..64))
+                        .prop_map(|(p, l, o, d)| LogicalOp::Put {
+                            page: PageId(p), lsn: Lsn(l), offset: o, data: d,
+                        }),
+                    (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>())
+                        .prop_map(|(p, l, o, d)| LogicalOp::AddU64 {
+                            page: PageId(p), lsn: Lsn(l), offset: o, delta: d,
+                        }),
+                    (any::<u64>(), any::<u64>(), any::<u32>(), any::<u32>(), any::<u8>())
+                        .prop_map(|(p, l, o, n, b)| LogicalOp::Fill {
+                            page: PageId(p), lsn: Lsn(l), offset: o, len: n, byte: b,
+                        }),
+                ],
+                0..12,
+            ),
+        ) {
+            round_trip(&LogRecord::Logical {
+                txn,
+                commit_lsn: Lsn(commit),
+                decision,
+                reads: reads.into_iter().map(PageId).collect(),
+                ops,
+            });
         }
     }
 }

@@ -24,7 +24,7 @@
 
 use crate::db::{CrashImage, TxnId, WalConfig, WalDb, WalError};
 use crate::manager::ParallelLogManager;
-use crate::record::LogRecord;
+use crate::record::{LogRecord, LogicalOp};
 use rmdb_obs::{EventKind, Registry};
 use rmdb_storage::{write_page_verified, Lsn, MemDisk, Page, PageId, StorageError};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -65,6 +65,11 @@ pub struct RecoveryReport {
     /// if the original turned out to be durable after all, both copies are
     /// in the logs, keyed by the same globally-unique `new_lsn`.
     pub duplicate_fragments: u64,
+    /// Command-logged (logical) commit records found during analysis.
+    pub logical_commits: u64,
+    /// Logical ops re-executed during redo (the command-replay path, as
+    /// opposed to fragment installs).
+    pub reexecuted_ops: u64,
 }
 
 /// Bounded retry for data-disk reads during recovery: transient faults and
@@ -89,8 +94,12 @@ fn read_data_retry(disk: &MemDisk, addr: u64, retried: &mut u64) -> Result<Page,
 
 struct RedoItem {
     new_lsn: Lsn,
-    offset: u32,
-    data: Vec<u8>,
+    body: RedoBody,
+}
+
+enum RedoBody {
+    Install { offset: u32, data: Vec<u8> },
+    Op(LogicalOp),
 }
 
 /// Run crash recovery; returns the reopened engine and a report.
@@ -119,6 +128,8 @@ pub fn recover_observed(
     let c_salvaged = obs.counter("recovery.salvaged_records");
     let c_written = obs.counter("recovery.pages_written");
     let c_dupes = obs.counter("recovery.duplicate_fragments");
+    let c_logical = obs.counter("recovery.logical_commits");
+    let c_reexec = obs.counter("recovery.reexecuted_ops");
     let t_start = std::time::Instant::now();
 
     let CrashImage { data, logs } = image;
@@ -208,8 +219,10 @@ pub fn recover_observed(
                     }
                     redo.entry(*page).or_default().push(RedoItem {
                         new_lsn: *new_lsn,
-                        offset: *offset,
-                        data: after.clone(),
+                        body: RedoBody::Install {
+                            offset: *offset,
+                            data: after.clone(),
+                        },
                     });
                     updates_by_txn.entry(*txn).or_default().push(UndoCand {
                         page: *page,
@@ -236,12 +249,43 @@ pub fn recover_observed(
                     }
                     redo.entry(*page).or_default().push(RedoItem {
                         new_lsn: *new_lsn,
-                        offset: *offset,
-                        data: data.clone(),
+                        body: RedoBody::Install {
+                            offset: *offset,
+                            data: data.clone(),
+                        },
                     });
                 }
                 LogRecord::Commit { txn } => {
                     committed.insert(*txn);
+                }
+                LogRecord::Logical {
+                    txn,
+                    commit_lsn,
+                    ops,
+                    ..
+                } => {
+                    // The logical record IS the commit record; its ops carry
+                    // their own per-write LSNs, so redo orders them exactly
+                    // like fragments. commit_lsn comes from the same global
+                    // counter, which makes it the dedup key for reroutes.
+                    max_lsn = max_lsn.max(commit_lsn.0);
+                    for op in ops {
+                        max_lsn = max_lsn.max(op.lsn().0);
+                    }
+                    if !seen_lsns.insert(commit_lsn.0) {
+                        report.duplicate_fragments += 1;
+                        c_dupes.inc();
+                        continue;
+                    }
+                    committed.insert(*txn);
+                    report.logical_commits += 1;
+                    c_logical.inc();
+                    for op in ops {
+                        redo.entry(op.page()).or_default().push(RedoItem {
+                            new_lsn: op.lsn(),
+                            body: RedoBody::Op(op.clone()),
+                        });
+                    }
                 }
                 LogRecord::Abort { .. }
                 | LogRecord::CheckpointBegin { .. }
@@ -273,7 +317,8 @@ pub fn recover_observed(
                         c_torn.inc();
                         copy.clone()
                     } else if items.first().is_some_and(|i| {
-                        i.offset == 0 && i.data.len() == rmdb_storage::PAYLOAD_SIZE
+                        matches!(&i.body, RedoBody::Install { offset: 0, data }
+                            if data.len() == rmdb_storage::PAYLOAD_SIZE)
                     }) {
                         // Under physical logging the earliest retained
                         // fragment carries a full page image, so the page
@@ -297,17 +342,32 @@ pub fn recover_observed(
             Page::new(page_id)
         };
         for item in items {
-            if item.offset as usize + item.data.len() > rmdb_storage::PAYLOAD_SIZE {
-                // a fragment that was never writable; refuse rather than panic
-                return Err(WalError::Storage(StorageError::Protocol(
-                    "log fragment exceeds page payload",
-                )));
-            }
-            if page.lsn < item.new_lsn {
-                page.write_at(item.offset as usize, &item.data);
-                page.lsn = item.new_lsn;
-                report.redone_updates += 1;
-                c_redone.inc();
+            match &item.body {
+                RedoBody::Install { offset, data } => {
+                    if *offset as usize + data.len() > rmdb_storage::PAYLOAD_SIZE {
+                        // a fragment that was never writable; refuse rather
+                        // than panic
+                        return Err(WalError::Storage(StorageError::Protocol(
+                            "log fragment exceeds page payload",
+                        )));
+                    }
+                    if page.lsn < item.new_lsn {
+                        page.write_at(*offset as usize, data);
+                        page.lsn = item.new_lsn;
+                        report.redone_updates += 1;
+                        c_redone.inc();
+                    }
+                }
+                RedoBody::Op(op) => {
+                    if page.lsn < item.new_lsn {
+                        op.apply(&mut page)?;
+                        page.lsn = item.new_lsn;
+                        report.redone_updates += 1;
+                        c_redone.inc();
+                        report.reexecuted_ops += 1;
+                        c_reexec.inc();
+                    }
+                }
             }
         }
         pages.insert(page_id, page);

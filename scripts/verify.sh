@@ -9,8 +9,11 @@
 # membership-churn smokes whose gates derive from the emitted JSON
 # (results/BENCH_failover.json), and a read-mix smoke gating MVCC
 # snapshot reads at >= 1.5x locked read throughput with zero consistency
-# violations (results/BENCH_readmix.json). Run from anywhere inside the
-# repo.
+# violations (results/BENCH_readmix.json), and a replay smoke gating the
+# adaptive logging + dependency-aware replay subsystem: adaptive log bytes
+# <= 0.7x physical on a 90/10 hot-key workload, modeled K=4 replay speedup
+# >= 2x K=1, and zero byte-equivalence violations across worker counts
+# (results/BENCH_replay.json). Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +22,7 @@ cargo build --release
 # `cargo build --release` alone builds the root package; the smoke below
 # runs the bench binary, so build it explicitly or it can go stale
 cargo build --release -p rmdb-bench --bin throughput
+cargo build --release -p rmdb-bench --bin restart_ablation
 cargo test -q
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
@@ -31,6 +35,7 @@ cargo test -q --release --test restart_equivalence smoke_k1_vs_k4
 cargo test -q --release --test exec_stress
 cargo test -q --release --test obs_properties
 cargo test -q --release --test fault_sweep recovery_obs_counters_match_report_at_every_crashpoint
+cargo test -q --release --test fault_sweep mixed_logical_physical_log_recovers_at_every_crashpoint
 
 mkdir -p results
 ./target/release/throughput --smoke --obs --json > results/BENCH_throughput.json
@@ -136,5 +141,39 @@ print(f"readmix smoke: 95/5 read tps mvcc={mvcc95['read_tps']:.0f} "
       f"locked={lock95['read_tps']:.0f} ({speedup:.2f}x), read p99 "
       f"{mvcc95['read_p99_us']}us vs {lock95['read_p99_us']}us, "
       f"99/1 speedup {doc['read_speedup']['99']:.2f}x")
+EOF
+
+# replay smoke: adaptive command/logical logging + dependency-aware parallel
+# replay. Gates: (1) adaptive logging shrinks the log to <= 0.7x the physical
+# after-image bytes on a 90/10 hot-key counter workload; (2) the precedence
+# DAG admits >= 2x replay speedup at K=4 by Brent's bound (span + work/4 vs
+# span + work), modeled from per-node replay times measured at K=1 — CI boxes
+# are often single-core, so wall-clock cannot express the scaling the DAG
+# structure provides; (3) recovered disks are byte-identical for every
+# K in {1,2,4,8} (zero equivalence violations).
+./target/release/restart_ablation --replay-json results/BENCH_replay.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("results/BENCH_replay.json"))
+hot = doc["hotkey"]
+ratio = hot["adaptive_vs_physical"]
+assert ratio <= 0.7, \
+    f"replay smoke: adaptive log bytes {ratio:.2f}x physical (> 0.7x) on hot-key"
+sc = doc["scaling"]
+assert sc["equivalence_violations"] == 0, \
+    f"replay smoke: {sc['equivalence_violations']} byte-equivalence violations across K"
+assert sc["speedup_k4"] >= 2.0, \
+    f"replay smoke: modeled K=4 replay speedup {sc['speedup_k4']:.2f}x < 2x"
+cells = {c["workers"]: c for c in sc["cells"]}
+base = cells[1]
+for k, c in cells.items():
+    assert (c["dag_nodes"], c["dag_edges"], c["txns_reexecuted"], c["pages_installed"]) \
+        == (base["dag_nodes"], base["dag_edges"], base["txns_reexecuted"],
+            base["pages_installed"]), \
+        f"replay smoke: K={k} DAG/replay accounting differs from K=1"
+print(f"replay smoke: adaptive={hot['adaptive_bytes']}B vs physical="
+      f"{hot['physical_bytes']}B ({ratio:.2f}x), dag={base['dag_nodes']}n/"
+      f"{base['dag_edges']}e, modeled K=4 speedup {sc['speedup_k4']:.2f}x "
+      f"(work={sc['work_us']}us span={sc['span_us']}us), violations=0")
 EOF
 echo "verify: OK"

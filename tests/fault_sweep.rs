@@ -399,6 +399,7 @@ fn restart_survives_mid_checkpoint_fault_sweep() {
             let rcfg = |k| RestartConfig {
                 workers: k,
                 truncate_behind_bound: true,
+                ..RestartConfig::default()
             };
             let (db1, rep1) =
                 restart(db.crash_image(), cfg.clone(), &rcfg(1)).expect("restart K=1");
@@ -428,6 +429,300 @@ fn restart_survives_mid_checkpoint_fault_sweep() {
         crash_hits * 2 >= grid,
         "scheduled crash fired in only {crash_hits}/{grid} runs"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Mixed logical+physical logs under the same storm: adaptive logging makes
+// some transactions commit as one command record (re-executed at recovery)
+// while wide transactions spill to physical after-image fragments — so every
+// crash image in this sweep holds both record kinds, torn however the device
+// faults landed. The contract:
+//
+//   1. recovery succeeds at every (seed, crashpoint) and the recovered
+//      state matches the committed-state oracle (ambiguous tail included);
+//   2. the transaction-DAG scheduler is byte-identical across K=1 and K=4,
+//      logical report included, and byte-identical to page-sharded redo —
+//      on faulted images, not just clean ones;
+//   3. double recovery of the same image is deterministic;
+//   4. the sweep actually exercises the mix: summed over the grid, command
+//      re-execution AND physical installs both happened.
+// ---------------------------------------------------------------------------
+
+/// Counter pages (0..MIXED_COUNTERS) take `add_u64` bumps — the canonical
+/// command-loggable op; pages MIXED_COUNTERS..PAGES take plain writes.
+const MIXED_COUNTERS: u64 = 8;
+
+/// Like [`faulty_storm`], but mixes command-loggable counter bumps, small
+/// writes, and wide spilling transactions, so adaptive logging produces a
+/// genuinely mixed log. Returns true once an operation observed the crash.
+fn mixed_storm(db: &mut WalDb, oracle: &mut Oracle, rng: &mut StdRng, max_ops: usize) -> bool {
+    for _ in 0..max_ops {
+        let txn = db.begin();
+        let mut staged: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut doomed = false;
+        // a third of the transactions go wide: six distinct write pages
+        // blows the deferred pin budget and spills to physical fragments
+        let wide = rng.gen_bool(0.33);
+        let ops = if wide { 6 } else { rng.gen_range(1..4) };
+        for _ in 0..ops {
+            let page = if wide || rng.gen_bool(0.4) {
+                MIXED_COUNTERS + rng.gen_range(0..PAGES - MIXED_COUNTERS)
+            } else {
+                rng.gen_range(0..MIXED_COUNTERS)
+            };
+            if staged.iter().any(|(p, _)| *p == page) {
+                continue;
+            }
+            if page < MIXED_COUNTERS {
+                match db.add_u64(txn, page, 0, rng.gen_range(1..1_000)) {
+                    Ok(new) => {
+                        let mut v = vec![0u8; SLOT];
+                        v[..8].copy_from_slice(&new.to_le_bytes());
+                        staged.push((page, v));
+                    }
+                    Err(e) => {
+                        eprintln!("[mixed] add_u64 error: {e}");
+                        doomed = true;
+                        break;
+                    }
+                }
+            } else {
+                let mut data = vec![0u8; SLOT];
+                rng.fill(&mut data[..]);
+                if let Err(e) = db.write(txn, page, 0, &data) {
+                    eprintln!("[mixed] write error: {e}");
+                    doomed = true;
+                    break;
+                }
+                staged.push((page, data));
+            }
+        }
+        if doomed {
+            return true;
+        }
+        if rng.gen_bool(0.75) {
+            match db.commit(txn) {
+                Ok(()) => {
+                    for (page, data) in staged {
+                        oracle.insert(page, vec![data]);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("[mixed] commit error: {e}");
+                    for (page, data) in staged {
+                        oracle.entry(page).or_insert_with(zeros).push(data);
+                    }
+                    return true;
+                }
+            }
+        } else if let Err(e) = db.abort(txn) {
+            eprintln!("[mixed] abort error: {e}");
+            return true;
+        }
+    }
+    false
+}
+
+#[test]
+fn mixed_logical_physical_log_recovers_at_every_crashpoint() {
+    use recovery_machines::restart::{restart, RedoScheduler, RestartConfig};
+    use recovery_machines::wal::LoggingPolicy;
+
+    let mut crash_hits = 0usize;
+    let mut reexecuted = 0u64;
+    let mut installed = 0u64;
+    for seed in SEEDS {
+        for crashpoint in CRASHPOINTS {
+            let cfg = WalConfig {
+                data_pages: PAGES,
+                // pin budget pool_frames - 1 = 5: the wide (6-page)
+                // transactions spill, the narrow ones command-log
+                pool_frames: 6,
+                log_streams: 3,
+                policy: SelectionPolicy::Cyclic,
+                logging: LoggingPolicy::Adaptive { threshold_pct: 100 },
+                ..WalConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed ^ (crashpoint << 32));
+            let mut db = WalDb::new(cfg.clone());
+            let plan = FaultPlan::seeded(seed, 1 << 20).crash_after_write(crashpoint);
+            let handle = FaultInjector::handle(plan);
+            db.attach_faults(&handle);
+
+            let mut oracle = Oracle::new();
+            let ctx = format!("mixed seed {seed} crashpoint {crashpoint}");
+            let errored = mixed_storm(&mut db, &mut oracle, &mut rng, 600);
+            assert!(errored, "{ctx}: storm ran dry without an error");
+            crash_hits += usize::from(handle.lock().crashed());
+
+            let image = db.crash_image();
+            let rcfg = |k, scheduler| RestartConfig {
+                workers: k,
+                scheduler,
+                truncate_behind_bound: true,
+            };
+            // transaction-DAG replay: K=1 and K=4 must agree on every byte
+            // and on the logical report, faults and all
+            let (db1, rep1) = restart(
+                clone_image(&image),
+                cfg.clone(),
+                &rcfg(1, RedoScheduler::TxnDag),
+            )
+            .unwrap_or_else(|e| panic!("{ctx}: TxnDag K=1 restart failed: {e}"));
+            let (db4, rep4) = restart(
+                clone_image(&image),
+                cfg.clone(),
+                &rcfg(4, RedoScheduler::TxnDag),
+            )
+            .unwrap_or_else(|e| panic!("{ctx}: TxnDag K=4 restart failed: {e}"));
+            assert_eq!(
+                rep1.logical_summary(),
+                rep4.logical_summary(),
+                "{ctx}: logical report diverged between K=1 and K=4"
+            );
+            let (i1, i4) = (db1.crash_image(), db4.crash_image());
+            assert_disks_identical(&i1.data, &i4.data, &format!("{ctx}: data K1/K4"));
+            for (i, (la, lb)) in i1.logs.iter().zip(&i4.logs).enumerate() {
+                assert_disks_identical(la, lb, &format!("{ctx}: log {i} K1/K4"));
+            }
+            if let Some(r) = &rep4.replay {
+                reexecuted += r.txns_reexecuted;
+                installed += r.pages_installed;
+            }
+
+            // page-sharded redo on the same mixed image: same bytes
+            let (dbp, _) = restart(
+                clone_image(&image),
+                cfg.clone(),
+                &rcfg(4, RedoScheduler::PageSharded),
+            )
+            .unwrap_or_else(|e| panic!("{ctx}: PageSharded restart failed: {e}"));
+            let ip = dbp.crash_image();
+            assert_disks_identical(
+                &i1.data,
+                &ip.data,
+                &format!("{ctx}: data TxnDag/PageSharded"),
+            );
+
+            // double recovery of the same image is deterministic
+            let (db4b, _) = restart(
+                clone_image(&image),
+                cfg.clone(),
+                &rcfg(4, RedoScheduler::TxnDag),
+            )
+            .unwrap_or_else(|e| panic!("{ctx}: second TxnDag restart failed: {e}"));
+            assert_disks_identical(
+                &i4.data,
+                &db4b.crash_image().data,
+                &format!("{ctx}: double recovery"),
+            );
+
+            // the recovered store holds exactly the committed state and
+            // still works on the clean device
+            let mut store = db4;
+            verify_and_pin(&mut store, &mut oracle, &ctx);
+            let crashed = faulty_storm(&mut store, &mut oracle, &mut rng, 10);
+            assert!(!crashed, "{ctx}: error after recovery on a clean device");
+            verify_and_pin(&mut store, &mut oracle, &format!("{ctx} post"));
+        }
+    }
+    let grid = SEEDS.len() * CRASHPOINTS.len();
+    assert!(
+        crash_hits * 2 >= grid,
+        "scheduled crash fired in only {crash_hits}/{grid} runs"
+    );
+    assert!(
+        reexecuted > 0 && installed > 0,
+        "sweep never produced a mixed log: {reexecuted} command re-executions, \
+         {installed} physical installs"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Torn logical frame: a command-logged stream's page is corrupted mid-stream.
+// The scan must salvage the decodable prefix (quarantining the torn page),
+// re-execute whatever command records survive, and stay deterministic and
+// K-equivalent on the maimed image — never error, never panic.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn torn_logical_frame_is_salvaged_and_quarantined() {
+    use recovery_machines::restart::{restart, RedoScheduler, RestartConfig};
+    use recovery_machines::wal::LoggingPolicy;
+
+    for seed in [7u64, 42, 1985] {
+        let cfg = WalConfig {
+            data_pages: PAGES,
+            pool_frames: 6,
+            log_streams: 3,
+            policy: SelectionPolicy::Cyclic,
+            logging: LoggingPolicy::Command,
+            seed,
+            ..WalConfig::default()
+        };
+        // clean command-logged history: every commit is one logical record
+        let mut db = WalDb::new(cfg.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut oracle = Oracle::new();
+        let crashed = mixed_storm(&mut db, &mut oracle, &mut rng, 120);
+        assert!(!crashed, "seed {seed}: clean storm errored");
+
+        // tear a frame in the middle of a log stream's allocated run
+        let mut image = db.crash_image();
+        let victim = &mut image.logs[seed as usize % 3];
+        let allocated: Vec<u64> = (1..victim.capacity())
+            .filter(|&a| victim.is_allocated(a))
+            .collect();
+        assert!(
+            allocated.len() >= 2,
+            "seed {seed}: stream too short to tear mid-stream"
+        );
+        let torn = allocated[allocated.len() / 2];
+        let mut junk = [0u8; FRAME_SIZE];
+        rng.fill(&mut junk[..]);
+        victim
+            .write_partial(torn, &junk, FRAME_SIZE / 2)
+            .expect("tear log frame");
+
+        let ctx = format!("torn-logical seed {seed}");
+        let rcfg = |k| RestartConfig {
+            workers: k,
+            scheduler: RedoScheduler::TxnDag,
+            truncate_behind_bound: true,
+        };
+        let (db1, rep1) = restart(clone_image(&image), cfg.clone(), &rcfg(1))
+            .unwrap_or_else(|e| panic!("{ctx}: K=1 restart failed: {e}"));
+        let (db4, rep4) = restart(clone_image(&image), cfg.clone(), &rcfg(4))
+            .unwrap_or_else(|e| panic!("{ctx}: K=4 restart failed: {e}"));
+        assert!(
+            rep4.base.quarantined_log_pages > 0,
+            "{ctx}: torn frame never quarantined"
+        );
+        assert!(
+            rep4.base.salvaged_records > 0,
+            "{ctx}: no records salvaged from the decodable prefix"
+        );
+        assert!(
+            rep4.base.logical_commits > 0,
+            "{ctx}: salvage re-executed no command records"
+        );
+        assert_eq!(
+            rep1.logical_summary(),
+            rep4.logical_summary(),
+            "{ctx}: logical report diverged between K=1 and K=4"
+        );
+        let (i1, i4) = (db1.crash_image(), db4.crash_image());
+        assert_disks_identical(&i1.data, &i4.data, &format!("{ctx}: data K1/K4"));
+
+        // determinism on the maimed image
+        let (db4b, _) = restart(clone_image(&image), cfg, &rcfg(4))
+            .unwrap_or_else(|e| panic!("{ctx}: second restart failed: {e}"));
+        assert_disks_identical(
+            &i4.data,
+            &db4b.crash_image().data,
+            &format!("{ctx}: double recovery"),
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

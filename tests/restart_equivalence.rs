@@ -9,9 +9,11 @@
 //! aborted transactions, and in-flight losers cut by the crash.
 
 use proptest::prelude::*;
-use recovery_machines::restart::{restart, RestartConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recovery_machines::restart::{restart, RedoScheduler, RestartConfig};
 use recovery_machines::storage::MemDisk;
-use recovery_machines::wal::{SelectionPolicy, WalConfig, WalDb};
+use recovery_machines::wal::{LoggingPolicy, SelectionPolicy, WalConfig, WalDb};
 
 const PAGES: u64 = 64;
 
@@ -76,6 +78,7 @@ fn assert_k_equivalence(db: &WalDb, streams: usize, ckpt_every: u64, ks: &[usize
         let rcfg = RestartConfig {
             workers: k,
             truncate_behind_bound: true,
+            ..RestartConfig::default()
         };
         let (db_k, report) =
             restart(db.crash_image(), cfg(streams, ckpt_every), &rcfg).expect("restart");
@@ -146,5 +149,151 @@ proptest! {
     ) {
         let db = build_crashed(streams, ckpt_every, txns);
         assert_k_equivalence(&db, streams, ckpt_every, &[1, 2, 4, 8]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive logging × dependency-aware replay equivalence. Two databases run
+// the *same* random workload — one under adaptive command/logical logging
+// (recovered by the transaction-DAG scheduler), one under pure physical
+// fragment logging (recovered by serial full-log replay). Re-executing
+// command records in DAG order must land exactly the payload bytes that
+// physical after-image installation lands; and the DAG schedule itself must
+// be byte-identical (disks, logs, logical report) for every K ∈ {1,2,4,8}.
+//
+// The comparison is page *payloads*, not raw disks: deferred capture pins
+// pages and allocates commit LSNs differently from fragment logging, so the
+// two runs' frame headers legitimately differ — the recovered contents may
+// not.
+// ---------------------------------------------------------------------------
+
+/// Counter pages (0..16) take `add_u64` bumps; pages 16..PAGES-1 take plain
+/// writes; PAGES-1 hosts the in-flight loser.
+const EQ_COUNTERS: u64 = 16;
+
+fn mixed_cfg(ckpt_every: u64, logging: LoggingPolicy) -> WalConfig {
+    WalConfig {
+        logging,
+        ..cfg(3, ckpt_every)
+    }
+}
+
+/// Deterministic mixed workload: the same (seed, txns) pair drives the
+/// identical op sequence whatever the logging policy, so two builds are
+/// comparable transaction for transaction. Wide (8-page) transactions blow
+/// the deferred pin budget and spill to fragments even under command
+/// logging; every ninth transaction aborts; a loser is left in flight.
+fn build_mixed_crashed(seed: u64, txns: u64, ckpt_every: u64, logging: LoggingPolicy) -> WalDb {
+    let mut db = WalDb::new(mixed_cfg(ckpt_every, logging));
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..txns {
+        let t = db.begin();
+        let wide = rng.gen_bool(0.3);
+        let ops = if wide { 8 } else { rng.gen_range(1..4) };
+        let mut touched: Vec<u64> = Vec::new();
+        for _ in 0..ops {
+            let page = if wide || rng.gen_bool(0.5) {
+                EQ_COUNTERS + rng.gen_range(0..PAGES - EQ_COUNTERS - 1)
+            } else {
+                rng.gen_range(0..EQ_COUNTERS)
+            };
+            if touched.contains(&page) {
+                continue;
+            }
+            touched.push(page);
+            if page < EQ_COUNTERS {
+                db.add_u64(t, page, 0, rng.gen_range(1..1_000))
+                    .expect("add_u64");
+            } else {
+                let payload = [(i % 251) as u8; 24];
+                db.write(t, page, rng.gen_range(0..8usize) * 24, &payload)
+                    .expect("write");
+            }
+        }
+        if i % 9 == 4 {
+            db.abort(t).expect("abort");
+        } else {
+            db.commit(t).expect("commit");
+        }
+    }
+    let loser = db.begin();
+    db.write(loser, PAGES - 1, 0, b"loser in flight")
+        .expect("loser write");
+    db
+}
+
+/// Every page's full recovered payload.
+fn payloads(db: &mut WalDb) -> Vec<Vec<u8>> {
+    let t = db.begin();
+    let out = (0..PAGES)
+        .map(|p| {
+            db.read(t, p, 0, recovery_machines::storage::PAYLOAD_SIZE)
+                .expect("read recovered page")
+        })
+        .collect();
+    db.abort(t).expect("read-only abort");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn adaptive_dag_replay_matches_serial_physical_replay(
+        seed in any::<u64>(),
+        ckpt_every in 0u64..16,
+        txns in 30u64..140,
+    ) {
+        let adaptive = LoggingPolicy::Adaptive { threshold_pct: 100 };
+        let db = build_mixed_crashed(seed, txns, ckpt_every, adaptive);
+
+        // the DAG schedule is byte-identical for every worker count
+        let mut k1: Option<WalDb> = None;
+        let mut baseline: Option<(recovery_machines::wal::CrashImage, String)> = None;
+        for k in [1usize, 2, 4, 8] {
+            let rcfg = RestartConfig {
+                workers: k,
+                truncate_behind_bound: true,
+                scheduler: RedoScheduler::TxnDag,
+            };
+            let (db_k, report) =
+                restart(db.crash_image(), mixed_cfg(ckpt_every, adaptive), &rcfg)
+                    .expect("TxnDag restart");
+            let image = db_k.crash_image();
+            let summary = report.logical_summary();
+            prop_assert!(report.replay.is_some(), "TxnDag restart reported no replay summary");
+            match &baseline {
+                None => {
+                    baseline = Some((image, summary));
+                    k1 = Some(db_k);
+                }
+                Some((base, base_summary)) => {
+                    prop_assert_eq!(&summary, base_summary, "logical report differs at K={}", k);
+                    assert_disks_identical(&base.data, &image.data, &format!("data K=1/K={k}"));
+                    for (i, (la, lb)) in base.logs.iter().zip(&image.logs).enumerate() {
+                        assert_disks_identical(la, lb, &format!("log {i} K=1/K={k}"));
+                    }
+                }
+            }
+        }
+
+        // the same workload under pure physical logging, serially recovered:
+        // command re-execution and after-image installation agree on every
+        // payload byte of every page
+        let physical = build_mixed_crashed(seed, txns, ckpt_every, LoggingPolicy::Fragments);
+        let (mut serial, _) = WalDb::recover(
+            physical.crash_image(),
+            mixed_cfg(ckpt_every, LoggingPolicy::Fragments),
+        )
+        .expect("serial physical recover");
+        let mut dag_db = k1.expect("K=1 restart ran");
+        let (dag, phys) = (payloads(&mut dag_db), payloads(&mut serial));
+        for (page, (d, p)) in dag.iter().zip(&phys).enumerate() {
+            prop_assert!(
+                d == p,
+                "page {} payload diverged between adaptive DAG replay and serial physical replay",
+                page
+            );
+        }
     }
 }
