@@ -19,7 +19,7 @@
 use rmdb_core::export::{tables_to_json, tables_to_text};
 use rmdb_machine::ablations::restart_time;
 use rmdb_restart::{restart, RedoScheduler, RestartConfig};
-use rmdb_storage::MemDisk;
+use rmdb_storage::Disk;
 use rmdb_wal::{CrashImage, LoggingPolicy, WalConfig, WalDb};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -225,7 +225,7 @@ fn replay_sweep() -> String {
     let image = db.crash_image();
     let clone = |img: &CrashImage| CrashImage {
         data: img.data.snapshot(),
-        logs: img.logs.iter().map(MemDisk::snapshot).collect(),
+        logs: img.logs.iter().map(Disk::snapshot).collect(),
     };
 
     // Modeled scaling comes from the K=1 run — its per-node times are
@@ -238,7 +238,7 @@ fn replay_sweep() -> String {
     let mut work_us = 0u64;
     let mut span_us = 0u64;
     let mut modeled = std::collections::BTreeMap::new();
-    let mut baseline: Option<MemDisk> = None;
+    let mut baseline: Option<Disk> = None;
     let mut violations = 0u64;
     for k in [1usize, 2, 4, 8] {
         let rcfg = RestartConfig {

@@ -46,7 +46,7 @@
 use crate::error::{AppenderError, ExecError};
 use crate::sync::lock_ok;
 use rmdb_obs::{Counter, EventKind, Histogram, Registry};
-use rmdb_storage::{FaultHandle, MemDisk, StorageError};
+use rmdb_storage::{Disk, FaultHandle, StorageError};
 use rmdb_wal::record::LogRecord;
 use rmdb_wal::stream::LogStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -69,7 +69,7 @@ enum Req {
     /// Make everything appended up to (at least) `seq` durable.
     Force { seq: u64 },
     /// Reply with a crash snapshot of the log disk.
-    Snapshot { reply: SyncSender<MemDisk> },
+    Snapshot { reply: SyncSender<Disk> },
     /// Attach a fault injector to the stream's disk (mid-run failure
     /// injection — the `--kill-stream` mechanism).
     InjectFaults { handle: FaultHandle },
@@ -408,7 +408,7 @@ impl LogAppender {
     /// If the thread is dead the snapshot is served from the vaulted
     /// stream instead — a quarantined stream's durable prefix stays
     /// reachable for crash images.
-    pub fn snapshot(&self) -> Result<MemDisk, ExecError> {
+    pub fn snapshot(&self) -> Result<Disk, ExecError> {
         let (reply, rx) = sync_channel(1);
         let sent = {
             let tx = lock_ok(&self.tx);
@@ -660,7 +660,7 @@ fn run(
         }
         let mut appended_high = 0u64;
         let mut force_to: Option<u64> = None;
-        let mut snapshots: Vec<SyncSender<MemDisk>> = Vec::new();
+        let mut snapshots: Vec<SyncSender<Disk>> = Vec::new();
         let mut shutdown = false;
         let mut error: Option<StorageError> = None;
         for req in batch {

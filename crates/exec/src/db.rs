@@ -77,7 +77,7 @@ use rmdb_mvcc::{Mvcc, Snapshot};
 use rmdb_obs::{Counter, EventKind, Histogram, MetricsSnapshot, Registry};
 use rmdb_storage::Lsn;
 use rmdb_storage::{
-    read_page_retry, write_page_verified, FaultHandle, FaultInjector, FaultPlan, MemDisk, Page,
+    read_page_retry, write_page_verified, Disk, FaultHandle, FaultInjector, FaultPlan, Page,
     PageId, ShardedPool, StorageError, PAYLOAD_SIZE,
 };
 use rmdb_wal::db::{LogMode, LoggingPolicy, WalConfig};
@@ -395,7 +395,7 @@ pub struct RejoinReport {
 
 /// Data disk plus the doublewrite cursor it protects.
 struct DataState {
-    disk: MemDisk,
+    disk: Disk,
     dw_cursor: u64,
 }
 
@@ -460,7 +460,7 @@ pub(crate) struct Inner {
     /// prefix of every device that was swapped out rather than rejoined.
     /// [`ExecDb::crash_image`] appends them so recovery still merges the
     /// commits they hold.
-    archived_logs: Mutex<Vec<MemDisk>>,
+    archived_logs: Mutex<Vec<Disk>>,
     /// Commit gate: held for every commit-record append + home force and
     /// for the whole of [`ExecDb::crash_image`].
     pub(crate) gate: Mutex<()>,
@@ -780,7 +780,16 @@ impl Inner {
         let archived = recovered.into_disk().snapshot();
         lock_ok(&self.archived_logs).push(archived);
         let orphaned_tickets = inherit.orphans.iter().map(|&(lo, hi)| hi - lo).sum();
-        let fresh = LogStream::create(self.cfg.wal.log_frames);
+        let fresh = self
+            .cfg
+            .wal
+            .backend
+            .provision(self.cfg.wal.log_frames)
+            .and_then(LogStream::create_on)
+            .map_err(|e| ExecError::Rejoin {
+                stream,
+                reason: format!("provision replacement platter: {e}"),
+            })?;
         let successor = self.spawn_successor(stream, fresh, inherit);
         let (live, catchup_us) = self.readmit(stream, successor, t0);
         Ok(RejoinReport {
@@ -1258,10 +1267,16 @@ impl ExecDb {
         let force_delay = Duration::from_micros(cfg.force_delay_us);
         let append_wait = Duration::from_millis(cfg.append_wait_ms.max(1));
         let obs = cfg.obs.clone();
+        let provision = |frames| {
+            wal.backend
+                .provision(frames)
+                .expect("provisioning a disk on the configured backend")
+        };
         let appenders = (0..wal.log_streams)
             .map(|idx| {
                 LogAppender::spawn_observed(
-                    LogStream::create(wal.log_frames),
+                    LogStream::create_on(provision(wal.log_frames))
+                        .expect("fresh log disk has room for a header"),
                     cfg.appender_queue,
                     force_delay,
                     &obs,
@@ -1282,7 +1297,7 @@ impl ExecDb {
                 HashMap::new,
             ),
             data: Mutex::new(DataState {
-                disk: MemDisk::new(wal.data_pages + wal.dw_slots),
+                disk: provision(wal.data_pages + wal.dw_slots),
                 dw_cursor: 0,
             }),
             appenders: Fleet::new(appenders),
@@ -2234,7 +2249,7 @@ impl ExecDb {
         logs.extend(
             lock_ok(&self.inner.archived_logs)
                 .iter()
-                .map(MemDisk::snapshot),
+                .map(Disk::snapshot),
         );
         Ok(CrashImage { data, logs })
     }

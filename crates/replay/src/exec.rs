@@ -13,7 +13,7 @@
 //! the quarantine set) after the scope joins.
 
 use crate::{apply_item, build_dag, load_redo_page, LogicalMeta, PageLoad, RedoBody, RedoItem};
-use rmdb_storage::{MemDisk, Page, PageId, StorageError};
+use rmdb_storage::{Disk, Page, PageId, StorageError};
 use rmdb_wal::TxnId;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
@@ -98,7 +98,7 @@ struct Sched {
 }
 
 struct Shared<'a> {
-    data: &'a MemDisk,
+    data: &'a Disk,
     doublewrite: &'a HashMap<PageId, Page>,
     nodes: &'a [crate::DagNode],
     succ: &'a [Vec<u32>],
@@ -114,7 +114,7 @@ struct Shared<'a> {
 /// logical fields (everything but `per_worker`) and the page images are
 /// identical for every K.
 pub fn replay_dag(
-    data: &MemDisk,
+    data: &Disk,
     doublewrite: &HashMap<PageId, Page>,
     redo: BTreeMap<PageId, Vec<RedoItem>>,
     logical: &HashMap<TxnId, LogicalMeta>,

@@ -44,7 +44,7 @@ mod exec;
 pub use dag::{build_dag, Dag, DagNode};
 pub use exec::{replay_dag, ReplayOutcome, ReplayWorkerStats};
 
-use rmdb_storage::{Lsn, MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE};
+use rmdb_storage::{Disk, Lsn, Page, PageId, StorageError, PAYLOAD_SIZE};
 use rmdb_wal::{LogicalOp, TxnId};
 use std::collections::HashMap;
 
@@ -130,7 +130,7 @@ pub enum PageLoad {
 /// earliest retained item is a full-image install — from scratch. Both
 /// replay schedulers and serial recovery share this decision tree.
 pub fn load_redo_page(
-    data: &MemDisk,
+    data: &Disk,
     doublewrite: &HashMap<PageId, Page>,
     page_id: PageId,
     rebuild_from_log: bool,
@@ -161,7 +161,7 @@ pub fn load_redo_page(
 /// Bounded retry for data-disk reads: transient faults are retried,
 /// persistent corruption surfaces as the final typed error for the
 /// caller's repair/quarantine logic.
-pub fn read_data_retry(disk: &MemDisk, addr: u64, retried: &mut u64) -> Result<Page, StorageError> {
+pub fn read_data_retry(disk: &Disk, addr: u64, retried: &mut u64) -> Result<Page, StorageError> {
     const ATTEMPTS: u32 = 4;
     let mut last = StorageError::Io { addr };
     for attempt in 0..ATTEMPTS {

@@ -31,7 +31,7 @@
 //! durable and scanned).
 
 use rmdb_replay::{LogicalMeta, RedoBody, RedoItem};
-use rmdb_storage::{Lsn, MemDisk, Page, PageId};
+use rmdb_storage::{Disk, Lsn, Page, PageId};
 use rmdb_wal::{IndexedRecord, LogRecord, ScanStats, TxnId, WalConfig};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -275,7 +275,7 @@ pub(crate) fn analyze(scans: &[(Vec<IndexedRecord>, ScanStats)]) -> Analysis {
 /// crash hit the doublewrite write itself — the home frame is then still
 /// intact, so the slot is simply ignored.
 pub(crate) fn harvest_doublewrite(
-    data: &MemDisk,
+    data: &Disk,
     cfg: &WalConfig,
     retried: &mut u64,
 ) -> HashMap<PageId, Page> {

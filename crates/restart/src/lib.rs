@@ -57,7 +57,7 @@ pub use report::{PhaseTimings, ReplaySummary, RestartReport, WorkerStats};
 use analysis::{analyze, harvest_doublewrite, read_data_retry};
 use parallel::run_redo;
 use rmdb_obs::{EventKind, Registry};
-use rmdb_storage::{write_page_verified, Lsn, MemDisk, Page, PageId, StorageError};
+use rmdb_storage::{write_page_verified, Disk, Lsn, Page, PageId, StorageError};
 use rmdb_wal::{CrashImage, LogRecord, ParallelLogManager, WalConfig, WalDb, WalError};
 use std::collections::{btree_map::Entry, BTreeMap, BTreeSet, HashMap};
 use std::time::Instant;
@@ -131,7 +131,7 @@ pub fn restart_observed(
     let t_start = Instant::now();
     let workers = rcfg.workers.max(1);
     let CrashImage { data, logs } = image;
-    let mut data: MemDisk = data;
+    let mut data: Disk = data;
     let mut log = ParallelLogManager::open(logs, cfg.policy, cfg.seed)?;
 
     // ---- Phase 1: checkpoint-bounded analysis ----
@@ -348,7 +348,7 @@ pub fn restart_observed(
 /// bound, for undo: read the home frame, repairing a torn one from the
 /// doublewrite buffer; `None` means the page had to be quarantined.
 fn fetch_undo_page(
-    data: &MemDisk,
+    data: &Disk,
     doublewrite: &HashMap<PageId, Page>,
     id: PageId,
     report: &mut RestartReport,
@@ -399,7 +399,7 @@ mod tests {
         v
     }
 
-    fn assert_disks_identical(a: &MemDisk, b: &MemDisk, what: &str) {
+    fn assert_disks_identical(a: &Disk, b: &Disk, what: &str) {
         assert_eq!(a.capacity(), b.capacity(), "{what}: capacity");
         for addr in 0..a.capacity() {
             assert_eq!(
@@ -684,7 +684,7 @@ mod tests {
     fn clone_image(image: &rmdb_wal::CrashImage) -> rmdb_wal::CrashImage {
         rmdb_wal::CrashImage {
             data: image.data.snapshot(),
-            logs: image.logs.iter().map(MemDisk::snapshot).collect(),
+            logs: image.logs.iter().map(Disk::snapshot).collect(),
         }
     }
 

@@ -4,7 +4,7 @@
 //! the only order recovery needs (the whole point of the unmerged-log
 //! architecture), and no two pages share state. Pages are hashed into K
 //! shards; each shard is replayed by one worker thread reading the shared
-//! data disk through `&MemDisk` (its I/O counters are atomics, so the disk
+//! data disk through `&Disk` (its I/O counters are atomics, so the disk
 //! is `Sync`). Workers never write the disk — each returns its rebuilt
 //! page images, and the serial coordinator writes them home afterwards.
 //!
@@ -21,7 +21,7 @@
 //! equivalence tests pin.
 
 use rmdb_replay::{apply_item, load_redo_page, PageLoad, RedoBody, RedoItem};
-use rmdb_storage::{MemDisk, Page, PageId, StorageError};
+use rmdb_storage::{Disk, Page, PageId, StorageError};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
@@ -49,7 +49,7 @@ pub(crate) struct ShardOutcome {
 
 /// Replay the redo map across `workers` threads; outcome `i` is shard `i`.
 pub(crate) fn run_redo(
-    data: &MemDisk,
+    data: &Disk,
     doublewrite: &HashMap<PageId, Page>,
     redo: BTreeMap<PageId, Vec<RedoItem>>,
     workers: usize,
@@ -85,7 +85,7 @@ pub(crate) fn run_redo(
 /// check. Mirrors the serial redo loop exactly — the equivalence tests
 /// depend on that.
 fn replay_shard(
-    data: &MemDisk,
+    data: &Disk,
     doublewrite: &HashMap<PageId, Page>,
     shard: usize,
     plan: Vec<(PageId, Vec<RedoItem>)>,

@@ -17,7 +17,8 @@
 
 use rmdb_storage::fault::FaultHandle;
 use rmdb_storage::{
-    read_page_retry, write_page_verified, Lsn, MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE,
+    read_page_retry, write_page_verified, BackendKind, Disk, Lsn, Page, PageId, StorageError,
+    PAYLOAD_SIZE,
 };
 use std::collections::{BTreeMap, HashMap};
 
@@ -54,6 +55,8 @@ pub struct ShadowConfig {
     pub data_frames: u64,
     /// Shadow allocation policy.
     pub alloc: AllocPolicy,
+    /// Block-device backend for the data and page-table disks.
+    pub backend: BackendKind,
 }
 
 impl Default for ShadowConfig {
@@ -62,6 +65,7 @@ impl Default for ShadowConfig {
             logical_pages: 128,
             data_frames: 512,
             alloc: AllocPolicy::Clustered,
+            backend: BackendKind::Mem,
         }
     }
 }
@@ -144,9 +148,9 @@ impl ExclusiveLocks {
 #[derive(Debug)]
 pub struct ShadowImage {
     /// Data disk.
-    pub data: MemDisk,
+    pub data: Disk,
     /// Page-table disk (master + two table areas).
-    pub pt: MemDisk,
+    pub pt: Disk,
 }
 
 /// What recovery found.
@@ -201,8 +205,8 @@ struct ShadowTxn {
 /// ```
 pub struct ShadowPager {
     cfg: ShadowConfig,
-    data: MemDisk,
-    pt: MemDisk,
+    data: Disk,
+    pt: Disk,
     /// Committed mapping: logical page → frame (or `FREE`).
     table: Vec<u64>,
     /// Free map over data frames.
@@ -247,8 +251,8 @@ impl ShadowPager {
             active: HashMap::new(),
             next_txn: 1,
             stats: ShadowStats::default(),
-            data: MemDisk::new(cfg.data_frames),
-            pt: MemDisk::new(pt_frames),
+            data: cfg.backend.provision(cfg.data_frames)?,
+            pt: cfg.backend.provision(pt_frames)?,
             cfg,
         };
         let table = pager.table.clone();
@@ -370,7 +374,7 @@ impl ShadowPager {
     /// Write the master frame for `generation` into its ping-pong slot
     /// (`generation % 2`), verified by read-back so a silently lost or torn
     /// write cannot pass for a commit point.
-    fn write_master_frame(pt: &mut MemDisk, area: u8, generation: u64) -> Result<(), ShadowError> {
+    fn write_master_frame(pt: &mut Disk, area: u8, generation: u64) -> Result<(), ShadowError> {
         let mut m = Page::new(PageId(u64::MAX));
         m.write_at(0, &[area]);
         m.write_at(1, &generation.to_le_bytes());
@@ -380,7 +384,7 @@ impl ShadowPager {
 
     /// Write `table` into area `area`, verifying each frame by read-back.
     fn write_table_frames(
-        pt: &mut MemDisk,
+        pt: &mut Disk,
         cfg: &ShadowConfig,
         stats: &mut ShadowStats,
         table: &[u64],
@@ -617,6 +621,7 @@ mod tests {
             logical_pages: 64,
             data_frames: 256,
             alloc,
+            ..ShadowConfig::default()
         }
     }
 
@@ -751,6 +756,7 @@ mod tests {
             logical_pages: 64,
             data_frames: 1024,
             alloc: AllocPolicy::Clustered,
+            ..ShadowConfig::default()
         })
         .unwrap();
         // lay down a contiguous committed range
@@ -781,6 +787,7 @@ mod tests {
             logical_pages: 64,
             data_frames: 1024,
             alloc: AllocPolicy::Scrambled,
+            ..ShadowConfig::default()
         })
         .unwrap();
         let t = p.begin();
@@ -804,6 +811,7 @@ mod tests {
             logical_pages: 4,
             data_frames: 8,
             alloc: AllocPolicy::Clustered,
+            ..ShadowConfig::default()
         })
         .unwrap();
         // many generations of updates in 8 frames for 4 pages: must recycle
@@ -823,6 +831,7 @@ mod tests {
             logical_pages: 4,
             data_frames: 4,
             alloc: AllocPolicy::Clustered,
+            ..ShadowConfig::default()
         })
         .unwrap();
         let t0 = p.begin();

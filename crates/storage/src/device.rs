@@ -1,0 +1,403 @@
+//! The pluggable block-device layer: one trait, three backends.
+//!
+//! Every recovery mechanism in this workspace sits on the same primitive —
+//! a device of fixed-size frames where a single-frame write is atomic and a
+//! crash preserves exactly the durable state. [`BlockDevice`] names that
+//! primitive; [`Disk`] is the concrete, enum-dispatched device every engine
+//! holds, so the whole stack (log streams, buffer-pool flush paths, the
+//! exec pipeline, parallel restart) is backend-generic without a generic
+//! parameter rippling through every struct.
+//!
+//! Backends:
+//!
+//! * [`MemDisk`](crate::MemDisk) — the original in-memory array of frames.
+//!   Writes are instant; `force` is accounting only. The simulator backend
+//!   every existing test ran on, and still the default.
+//! * [`FileDisk`](crate::FileDisk) — a real file: `pwrite`-per-frame,
+//!   `fdatasync` on [`BlockDevice::force`], crash snapshot via file copy.
+//!   This is the backend that turns "modeled durability" into actual
+//!   syscalls with actual latencies.
+//! * [`NvmeDisk`](crate::NvmeDisk) — an NVMe-class timing model over
+//!   in-memory frames: queue-depth-aware service times in the 10–100 µs
+//!   band with submission/completion accounting, optionally realtime
+//!   (each I/O sleeps its modeled service time) for benchmarks.
+//!
+//! Fault injection ([`crate::FaultPlan`]) attaches uniformly: the injector
+//! decides torn/lost/transient outcomes *before* the backend performs the
+//! operation, so a fault plan written against `MemDisk` replays bit-for-bit
+//! against a file or the NVMe model.
+
+use crate::error::StorageError;
+use crate::fault::FaultHandle;
+use crate::filedisk::FileDisk;
+use crate::memdisk::MemDisk;
+use crate::nvmedisk::{NvmeConfig, NvmeDisk, NvmeModel};
+use crate::page::{Page, FRAME_SIZE};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The storage primitive the recovery architectures are built on.
+///
+/// Reads take `&self` (parallel restart workers share one data disk across
+/// threads); mutations take `&mut self` and are serialised by the owning
+/// engine's locking, exactly as with the original `MemDisk`.
+pub trait BlockDevice: Send + Sync + std::fmt::Debug {
+    /// Capacity in frames.
+    fn capacity(&self) -> u64;
+
+    /// Whether `addr` has ever been written.
+    fn is_allocated(&self, addr: u64) -> bool;
+
+    /// Read the raw frame at `addr`.
+    fn read_frame(&self, addr: u64) -> Result<Box<[u8; FRAME_SIZE]>, StorageError>;
+
+    /// Durably and atomically write the raw frame at `addr` — unless an
+    /// attached fault plan tears, drops, or fails this write.
+    fn write_frame(&mut self, addr: u64, frame: &[u8; FRAME_SIZE]) -> Result<(), StorageError>;
+
+    /// Write only the first `bytes` bytes of `frame` (a torn write); the
+    /// stored frame afterwards is `frame[..bytes] ++ old[bytes..]`.
+    fn write_partial(
+        &mut self,
+        addr: u64,
+        frame: &[u8; FRAME_SIZE],
+        bytes: usize,
+    ) -> Result<(), StorageError>;
+
+    /// Make every completed write durable (fsync on a file backend; a
+    /// counted no-op on the in-memory backends, whose writes are durable
+    /// the moment they return).
+    fn force(&mut self) -> Result<(), StorageError>;
+
+    /// Capture the exact durable state — the crash-injection primitive.
+    /// The snapshot is an independent device of the same backend with
+    /// counters reset and no fault injector attached.
+    fn snapshot(&self) -> Disk;
+
+    /// Attach a fault injector; every subsequent read/write consults it.
+    fn attach_faults(&mut self, handle: FaultHandle);
+
+    /// Detach the fault injector, returning the device to clean operation.
+    fn detach_faults(&mut self) -> Option<FaultHandle>;
+
+    /// Frame reads served.
+    fn reads(&self) -> u64;
+
+    /// Frame writes performed.
+    fn writes(&self) -> u64;
+
+    /// Forces issued.
+    fn forces(&self) -> u64;
+
+    /// Backend name for reports and bench labels.
+    fn kind(&self) -> &'static str;
+
+    /// Read and decode a [`Page`], verifying its checksum.
+    fn read_page(&self, addr: u64) -> Result<Page, StorageError> {
+        let frame = self.read_frame(addr)?;
+        Page::from_frame(&frame, addr)
+    }
+
+    /// Encode and write a [`Page`].
+    fn write_page(&mut self, addr: u64, page: &Page) -> Result<(), StorageError> {
+        self.write_frame(addr, &page.to_frame())
+    }
+}
+
+/// Which backend to provision when an engine creates its devices.
+///
+/// Lives in engine configs (`WalConfig`, `ShadowConfig`, …) so a single
+/// field switches a whole engine — data disk, doublewrite slots, every log
+/// platter — onto a different device class.
+#[derive(Clone, Debug, Default)]
+pub enum BackendKind {
+    /// In-memory frames (the original simulator device).
+    #[default]
+    Mem,
+    /// A real file with pwrite/fdatasync durability. `dir` overrides the
+    /// directory the backing files are created in (default: the OS temp
+    /// dir). Files are deleted when the [`FileDisk`] drops — including on
+    /// panic unwind, so a failing test leaves no litter.
+    File {
+        /// Directory for backing files (`None` = `std::env::temp_dir()`).
+        dir: Option<PathBuf>,
+    },
+    /// The NVMe-class timing model. Each [`BackendKind::provision`] call
+    /// gets its own controller unless `device` pins a shared one — share
+    /// it across a fleet's platters and their I/O queues on one another,
+    /// which is what makes queue-depth effects visible in the scaling
+    /// bench.
+    Nvme {
+        /// Service-time model parameters.
+        cfg: NvmeConfig,
+        /// Shared controller; `None` provisions a private one per disk.
+        device: Option<Arc<NvmeModel>>,
+    },
+}
+
+impl BackendKind {
+    /// A file backend in the OS temp dir.
+    pub fn file() -> Self {
+        BackendKind::File { dir: None }
+    }
+
+    /// An NVMe backend with a private controller per provisioned disk.
+    pub fn nvme(cfg: NvmeConfig) -> Self {
+        BackendKind::Nvme { cfg, device: None }
+    }
+
+    /// An NVMe backend whose provisioned disks all share one controller
+    /// (one submission/completion queue pair, one queue-depth signal).
+    pub fn nvme_shared(cfg: NvmeConfig) -> Self {
+        let device = Some(Arc::new(NvmeModel::new(cfg)));
+        BackendKind::Nvme { cfg, device }
+    }
+
+    /// Short name for reports and bench labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Mem => "mem",
+            BackendKind::File { .. } => "file",
+            BackendKind::Nvme { .. } => "nvme",
+        }
+    }
+
+    /// Provision a fresh, empty device of `frames` frames on this backend.
+    pub fn provision(&self, frames: u64) -> Result<Disk, StorageError> {
+        Ok(match self {
+            BackendKind::Mem => Disk::Mem(MemDisk::new(frames)),
+            BackendKind::File { dir } => Disk::File(FileDisk::create(dir.clone(), frames)?),
+            BackendKind::Nvme { cfg, device } => {
+                let model = device
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(NvmeModel::new(*cfg)));
+                Disk::Nvme(NvmeDisk::on_model(frames, model))
+            }
+        })
+    }
+}
+
+/// The concrete device every engine holds: enum dispatch over the three
+/// backends. Mirrors the [`BlockDevice`] API as inherent methods so call
+/// sites need no trait import.
+#[derive(Debug)]
+pub enum Disk {
+    /// In-memory frames.
+    Mem(MemDisk),
+    /// Real file, pwrite/fdatasync.
+    File(FileDisk),
+    /// NVMe-class timing model.
+    Nvme(NvmeDisk),
+}
+
+impl From<MemDisk> for Disk {
+    fn from(d: MemDisk) -> Self {
+        Disk::Mem(d)
+    }
+}
+
+impl From<FileDisk> for Disk {
+    fn from(d: FileDisk) -> Self {
+        Disk::File(d)
+    }
+}
+
+impl From<NvmeDisk> for Disk {
+    fn from(d: NvmeDisk) -> Self {
+        Disk::Nvme(d)
+    }
+}
+
+macro_rules! each {
+    ($self:expr, $d:ident => $body:expr) => {
+        match $self {
+            Disk::Mem($d) => $body,
+            Disk::File($d) => $body,
+            Disk::Nvme($d) => $body,
+        }
+    };
+}
+
+impl Disk {
+    /// Capacity in frames.
+    pub fn capacity(&self) -> u64 {
+        each!(self, d => d.capacity())
+    }
+
+    /// Whether `addr` has ever been written.
+    pub fn is_allocated(&self, addr: u64) -> bool {
+        each!(self, d => d.is_allocated(addr))
+    }
+
+    /// Read the raw frame at `addr`.
+    pub fn read_frame(&self, addr: u64) -> Result<Box<[u8; FRAME_SIZE]>, StorageError> {
+        each!(self, d => d.read_frame(addr))
+    }
+
+    /// Write the raw frame at `addr` (subject to any attached fault plan).
+    pub fn write_frame(&mut self, addr: u64, frame: &[u8; FRAME_SIZE]) -> Result<(), StorageError> {
+        each!(self, d => d.write_frame(addr, frame))
+    }
+
+    /// Torn write: only the first `bytes` bytes of `frame` land.
+    pub fn write_partial(
+        &mut self,
+        addr: u64,
+        frame: &[u8; FRAME_SIZE],
+        bytes: usize,
+    ) -> Result<(), StorageError> {
+        each!(self, d => d.write_partial(addr, frame, bytes))
+    }
+
+    /// Make every completed write durable.
+    pub fn force(&mut self) -> Result<(), StorageError> {
+        each!(self, d => BlockDevice::force(d))
+    }
+
+    /// Capture the durable state as an independent device (crash image).
+    pub fn snapshot(&self) -> Disk {
+        each!(self, d => BlockDevice::snapshot(d))
+    }
+
+    /// Attach a fault injector.
+    pub fn attach_faults(&mut self, handle: FaultHandle) {
+        each!(self, d => d.attach_faults(handle))
+    }
+
+    /// Detach the fault injector, if any.
+    pub fn detach_faults(&mut self) -> Option<FaultHandle> {
+        each!(self, d => d.detach_faults())
+    }
+
+    /// Frame reads served.
+    pub fn reads(&self) -> u64 {
+        each!(self, d => d.reads())
+    }
+
+    /// Frame writes performed.
+    pub fn writes(&self) -> u64 {
+        each!(self, d => d.writes())
+    }
+
+    /// Forces issued.
+    pub fn forces(&self) -> u64 {
+        each!(self, d => BlockDevice::forces(d))
+    }
+
+    /// Backend name (`"mem"`, `"file"`, `"nvme"`).
+    pub fn kind(&self) -> &'static str {
+        each!(self, d => BlockDevice::kind(d))
+    }
+
+    /// Read and decode a [`Page`], verifying its checksum.
+    pub fn read_page(&self, addr: u64) -> Result<Page, StorageError> {
+        let frame = self.read_frame(addr)?;
+        Page::from_frame(&frame, addr)
+    }
+
+    /// Encode and write a [`Page`].
+    pub fn write_page(&mut self, addr: u64, page: &Page) -> Result<(), StorageError> {
+        self.write_frame(addr, &page.to_frame())
+    }
+}
+
+impl BlockDevice for Disk {
+    fn capacity(&self) -> u64 {
+        Disk::capacity(self)
+    }
+    fn is_allocated(&self, addr: u64) -> bool {
+        Disk::is_allocated(self, addr)
+    }
+    fn read_frame(&self, addr: u64) -> Result<Box<[u8; FRAME_SIZE]>, StorageError> {
+        Disk::read_frame(self, addr)
+    }
+    fn write_frame(&mut self, addr: u64, frame: &[u8; FRAME_SIZE]) -> Result<(), StorageError> {
+        Disk::write_frame(self, addr, frame)
+    }
+    fn write_partial(
+        &mut self,
+        addr: u64,
+        frame: &[u8; FRAME_SIZE],
+        bytes: usize,
+    ) -> Result<(), StorageError> {
+        Disk::write_partial(self, addr, frame, bytes)
+    }
+    fn force(&mut self) -> Result<(), StorageError> {
+        Disk::force(self)
+    }
+    fn snapshot(&self) -> Disk {
+        Disk::snapshot(self)
+    }
+    fn attach_faults(&mut self, handle: FaultHandle) {
+        Disk::attach_faults(self, handle)
+    }
+    fn detach_faults(&mut self) -> Option<FaultHandle> {
+        Disk::detach_faults(self)
+    }
+    fn reads(&self) -> u64 {
+        Disk::reads(self)
+    }
+    fn writes(&self) -> u64 {
+        Disk::writes(self)
+    }
+    fn forces(&self) -> u64 {
+        Disk::forces(self)
+    }
+    fn kind(&self) -> &'static str {
+        Disk::kind(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageId;
+
+    #[test]
+    fn provision_matches_kind() {
+        for (bk, name) in [
+            (BackendKind::Mem, "mem"),
+            (BackendKind::file(), "file"),
+            (BackendKind::nvme(NvmeConfig::default()), "nvme"),
+        ] {
+            let d = bk.provision(8).unwrap();
+            assert_eq!(d.kind(), name);
+            assert_eq!(bk.name(), name);
+            assert_eq!(d.capacity(), 8);
+        }
+    }
+
+    #[test]
+    fn enum_dispatch_round_trips_each_backend() {
+        for bk in [
+            BackendKind::Mem,
+            BackendKind::file(),
+            BackendKind::nvme(NvmeConfig::default()),
+        ] {
+            let mut d = bk.provision(4).unwrap();
+            let mut p = Page::new(PageId(2));
+            p.write_at(0, b"via-enum");
+            d.write_page(1, &p).unwrap();
+            d.force().unwrap();
+            assert_eq!(d.read_page(1).unwrap(), p, "{}", d.kind());
+            assert_eq!(d.writes(), 1);
+            assert_eq!(d.forces(), 1);
+        }
+    }
+
+    #[test]
+    fn shared_nvme_controller_spans_disks() {
+        let bk = BackendKind::nvme_shared(NvmeConfig::default());
+        let mut a = bk.provision(4).unwrap();
+        let mut b = bk.provision(4).unwrap();
+        let p = Page::new(PageId(0));
+        a.write_page(0, &p).unwrap();
+        b.write_page(0, &p).unwrap();
+        let (Disk::Nvme(a), Disk::Nvme(b)) = (&a, &b) else {
+            panic!("nvme provision produced a non-nvme disk");
+        };
+        // both disks submitted through the one controller
+        assert_eq!(a.model().submissions(), 2);
+        assert!(Arc::ptr_eq(a.model(), b.model()));
+    }
+}

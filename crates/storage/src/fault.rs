@@ -41,7 +41,6 @@
 //! deterministic even when consumers retry.
 
 use crate::error::StorageError;
-use crate::memdisk::MemDisk;
 use crate::page::{Page, FRAME_SIZE};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
@@ -484,7 +483,11 @@ impl FaultInjector {
 /// resolves it. Persistent corruption (a genuinely torn frame) still
 /// surfaces as the last [`StorageError::Corrupt`] once attempts are
 /// exhausted; other errors return immediately.
-pub fn read_page_retry(disk: &MemDisk, addr: u64, attempts: u32) -> Result<Page, StorageError> {
+pub fn read_page_retry<D: crate::device::BlockDevice + ?Sized>(
+    disk: &D,
+    addr: u64,
+    attempts: u32,
+) -> Result<Page, StorageError> {
     let mut last = StorageError::Io { addr };
     for _ in 0..attempts.max(1) {
         match disk.read_page(addr) {
@@ -502,8 +505,8 @@ pub fn read_page_retry(disk: &MemDisk, addr: u64, attempts: u32) -> Result<Page,
 /// dropped write would otherwise let commit report durability it does not
 /// have. Up to `attempts` write+verify rounds; returns the last error if
 /// the frame never verifies.
-pub fn write_page_verified(
-    disk: &mut MemDisk,
+pub fn write_page_verified<D: crate::device::BlockDevice + ?Sized>(
+    disk: &mut D,
     addr: u64,
     page: &Page,
     attempts: u32,
@@ -534,6 +537,7 @@ pub fn write_page_verified(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::memdisk::MemDisk;
     use crate::page::PageId;
 
     fn page(tag: u8) -> Page {

@@ -24,16 +24,22 @@
 //! one from a disk snapshot via that architecture's `recover` entry point.
 
 pub mod buffer;
+pub mod device;
 pub mod error;
 pub mod fault;
+pub mod filedisk;
 pub mod memdisk;
+pub mod nvmedisk;
 pub mod page;
 
 pub use buffer::{BufferPool, EvictPolicy, Evicted, PoolShard, ShardStats, ShardedPool};
+pub use device::{BackendKind, BlockDevice, Disk};
 pub use error::StorageError;
 pub use fault::{
     read_page_retry, write_page_verified, FaultHandle, FaultInjector, FaultPlan, ReadFault,
     WriteFault,
 };
+pub use filedisk::FileDisk;
 pub use memdisk::MemDisk;
+pub use nvmedisk::{NvmeConfig, NvmeDisk, NvmeModel};
 pub use page::{Lsn, Page, PageId, FRAME_SIZE, PAYLOAD_SIZE};

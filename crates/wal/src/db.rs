@@ -21,8 +21,8 @@ use crate::recovery;
 use crate::select::SelectionPolicy;
 use rmdb_storage::fault::FaultHandle;
 use rmdb_storage::{
-    read_page_retry, write_page_verified, BufferPool, EvictPolicy, Lsn, MemDisk, Page, PageId,
-    StorageError, PAYLOAD_SIZE,
+    read_page_retry, write_page_verified, BackendKind, BufferPool, Disk, EvictPolicy, Lsn, Page,
+    PageId, StorageError, PAYLOAD_SIZE,
 };
 use std::collections::{BTreeSet, HashMap};
 
@@ -99,6 +99,9 @@ pub struct WalConfig {
     pub ckpt_every_commits: u64,
     /// Per-transaction logging policy (see [`LoggingPolicy`]).
     pub logging: LoggingPolicy,
+    /// Which block-device backend the engine provisions its disks on —
+    /// data disk, doublewrite slots, and every log platter alike.
+    pub backend: BackendKind,
 }
 
 impl Default for WalConfig {
@@ -115,6 +118,7 @@ impl Default for WalConfig {
             dw_slots: 8,
             ckpt_every_commits: 0,
             logging: LoggingPolicy::Fragments,
+            backend: BackendKind::Mem,
         }
     }
 }
@@ -172,9 +176,9 @@ impl std::error::Error for WalError {}
 #[derive(Debug)]
 pub struct CrashImage {
     /// Durable data disk contents.
-    pub data: MemDisk,
+    pub data: Disk,
     /// Durable log disk contents, one per stream.
-    pub logs: Vec<MemDisk>,
+    pub logs: Vec<Disk>,
 }
 
 /// A point inside a transaction that [`WalDb::rollback_to`] can return to.
@@ -221,7 +225,7 @@ struct TxnState {
 /// The parallel-logging database engine.
 pub struct WalDb {
     cfg: WalConfig,
-    data: MemDisk,
+    data: Disk,
     pool: BufferPool,
     log: ParallelLogManager,
     locks: LockTable,
@@ -241,12 +245,22 @@ pub struct WalDb {
 impl WalDb {
     /// A fresh, empty database.
     pub fn new(cfg: WalConfig) -> Self {
-        let log = ParallelLogManager::new(cfg.log_streams, cfg.log_frames, cfg.policy, cfg.seed);
-        let data = MemDisk::new(cfg.data_pages + cfg.dw_slots);
+        let log = ParallelLogManager::new_on(
+            cfg.log_streams,
+            cfg.log_frames,
+            cfg.policy,
+            cfg.seed,
+            &cfg.backend,
+        )
+        .expect("provisioning log disks on the configured backend");
+        let data = cfg
+            .backend
+            .provision(cfg.data_pages + cfg.dw_slots)
+            .expect("provisioning the data disk on the configured backend");
         WalDb::assemble(cfg, log, data)
     }
 
-    fn assemble(cfg: WalConfig, log: ParallelLogManager, data: MemDisk) -> Self {
+    fn assemble(cfg: WalConfig, log: ParallelLogManager, data: Disk) -> Self {
         let pool = BufferPool::new(cfg.pool_frames, cfg.evict);
         WalDb {
             data,
@@ -279,7 +293,7 @@ impl WalDb {
     /// `rmdb-restart` crate's checkpoint-bounded parallel restart).
     pub fn from_parts(
         cfg: WalConfig,
-        data: MemDisk,
+        data: Disk,
         log: ParallelLogManager,
         next_txn: TxnId,
         next_lsn: u64,
@@ -1014,7 +1028,7 @@ impl WalDb {
     /// disk. Keep the log disks from the archive point onward — a
     /// quiescent checkpoint truncates them, so archives should be taken
     /// before relying on such a checkpoint.
-    pub fn archive(&mut self) -> Result<MemDisk, WalError> {
+    pub fn archive(&mut self) -> Result<Disk, WalError> {
         self.flush_all()?;
         Ok(self.data.snapshot())
     }
@@ -1024,8 +1038,8 @@ impl WalDb {
     /// everything logged since the archive (per-page LSNs skip what the
     /// archive already contains); losers are rolled back as usual.
     pub fn recover_from_archive(
-        archive: MemDisk,
-        logs: Vec<MemDisk>,
+        archive: Disk,
+        logs: Vec<Disk>,
         cfg: WalConfig,
     ) -> Result<(WalDb, recovery::RecoveryReport), WalError> {
         recovery::recover(

@@ -12,7 +12,7 @@ use crate::record::LogRecord;
 use crate::select::{SelectionPolicy, Selector};
 use crate::stream::{IndexedRecord, LogStream, ScanStats};
 use rmdb_storage::fault::FaultHandle;
-use rmdb_storage::{MemDisk, StorageError};
+use rmdb_storage::{BackendKind, Disk, StorageError};
 
 /// A durable location in the distributed log: stream index and byte
 /// position within that stream.
@@ -32,19 +32,35 @@ pub struct ParallelLogManager {
 }
 
 impl ParallelLogManager {
-    /// Create `n` fresh streams of `frames_per_log` frames each.
+    /// Create `n` fresh in-memory streams of `frames_per_log` frames each.
     pub fn new(n: usize, frames_per_log: u64, policy: SelectionPolicy, seed: u64) -> Self {
+        ParallelLogManager::new_on(n, frames_per_log, policy, seed, &BackendKind::Mem)
+            .expect("in-memory log disks always provision")
+    }
+
+    /// Create `n` fresh streams, each on its own device provisioned from
+    /// `backend` (one log platter per log processor, as in the paper).
+    pub fn new_on(
+        n: usize,
+        frames_per_log: u64,
+        policy: SelectionPolicy,
+        seed: u64,
+        backend: &BackendKind,
+    ) -> Result<Self, StorageError> {
         assert!(n > 0, "need at least one log processor");
-        ParallelLogManager {
-            streams: (0..n).map(|_| LogStream::create(frames_per_log)).collect(),
+        let streams = (0..n)
+            .map(|_| LogStream::create_on(backend.provision(frames_per_log)?))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ParallelLogManager {
+            streams,
             selector: Selector::new(policy, n, seed),
             fragments: vec![0; n],
-        }
+        })
     }
 
     /// Re-open from crash-image log disks.
     pub fn open(
-        disks: Vec<MemDisk>,
+        disks: Vec<Disk>,
         policy: SelectionPolicy,
         seed: u64,
     ) -> Result<Self, StorageError> {
@@ -150,7 +166,7 @@ impl ParallelLogManager {
     }
 
     /// Crash image of every log disk.
-    pub fn disk_snapshots(&self) -> Vec<MemDisk> {
+    pub fn disk_snapshots(&self) -> Vec<Disk> {
         self.streams.iter().map(|s| s.disk_snapshot()).collect()
     }
 

@@ -26,7 +26,7 @@ use crate::db::{CrashImage, TxnId, WalConfig, WalDb, WalError};
 use crate::manager::ParallelLogManager;
 use crate::record::{LogRecord, LogicalOp};
 use rmdb_obs::{EventKind, Registry};
-use rmdb_storage::{write_page_verified, Lsn, MemDisk, Page, PageId, StorageError};
+use rmdb_storage::{write_page_verified, Disk, Lsn, Page, PageId, StorageError};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// What recovery did, for observability and tests.
@@ -75,7 +75,7 @@ pub struct RecoveryReport {
 /// Bounded retry for data-disk reads during recovery: transient faults and
 /// one-off read bit flips are retried; persistent corruption surfaces as
 /// the final typed error for the caller's repair/quarantine logic.
-fn read_data_retry(disk: &MemDisk, addr: u64, retried: &mut u64) -> Result<Page, StorageError> {
+fn read_data_retry(disk: &Disk, addr: u64, retried: &mut u64) -> Result<Page, StorageError> {
     const ATTEMPTS: u32 = 4;
     let mut last = StorageError::Io { addr };
     for attempt in 0..ATTEMPTS {
@@ -133,7 +133,7 @@ pub fn recover_observed(
     let t_start = std::time::Instant::now();
 
     let CrashImage { data, logs } = image;
-    let mut data: MemDisk = data;
+    let mut data: Disk = data;
     let mut log = ParallelLogManager::open(logs, cfg.policy, cfg.seed)?;
 
     let scanned = log.scan_all_with_stats();

@@ -24,7 +24,7 @@
 
 use crate::record::LogRecord;
 use rmdb_storage::fault::FaultHandle;
-use rmdb_storage::{write_page_verified, MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE};
+use rmdb_storage::{write_page_verified, Disk, MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE};
 
 /// Bounded retry budget for riding through transient device faults.
 pub const IO_RETRIES: u32 = 4;
@@ -66,7 +66,7 @@ pub struct IndexedRecord {
 
 /// Bounded read retry for log frames: rides transient I/O faults and
 /// one-off bit flips, counting retries; persistent errors surface typed.
-fn read_retry(disk: &MemDisk, addr: u64, retried: &mut u64) -> Result<Page, StorageError> {
+fn read_retry(disk: &Disk, addr: u64, retried: &mut u64) -> Result<Page, StorageError> {
     let mut last = StorageError::Io { addr };
     for attempt in 0..IO_RETRIES {
         match disk.read_page(addr) {
@@ -84,7 +84,7 @@ fn read_retry(disk: &MemDisk, addr: u64, retried: &mut u64) -> Result<Page, Stor
 
 /// A single sequential log on its own disk.
 pub struct LogStream {
-    disk: MemDisk,
+    disk: Disk,
     /// Next frame to write (header is frame 0; log pages start at 1).
     next_page: u64,
     /// Bytes appended but not yet on disk (current partial log page).
@@ -104,10 +104,17 @@ pub struct LogStream {
 }
 
 impl LogStream {
-    /// Create a fresh stream on an empty disk of `frames` frames.
+    /// Create a fresh stream on an empty in-memory disk of `frames` frames.
     pub fn create(frames: u64) -> Self {
+        LogStream::create_on(MemDisk::new(frames).into())
+            .expect("fresh in-memory log disk has room for a header")
+    }
+
+    /// Create a fresh stream on an already-provisioned empty device — the
+    /// backend-generic entry point (see [`rmdb_storage::BackendKind`]).
+    pub fn create_on(disk: Disk) -> Result<Self, StorageError> {
         let mut s = LogStream {
-            disk: MemDisk::new(frames),
+            disk,
             next_page: 1,
             buf: Vec::new(),
             start_page: 1,
@@ -117,9 +124,8 @@ impl LogStream {
             pages_written: 0,
             forces: 0,
         };
-        s.write_header()
-            .expect("fresh log disk has room for a header");
-        s
+        s.write_header()?;
+        Ok(s)
     }
 
     /// Re-open a stream from a (possibly crash-cut) log disk.
@@ -127,7 +133,8 @@ impl LogStream {
     /// Finds the valid prefix (see module docs), drops any record cut by
     /// the crash, rewrites the cut page, and bumps the epoch so stale
     /// pages beyond the frontier can never be mistaken for live ones.
-    pub fn open(disk: MemDisk) -> Result<Self, StorageError> {
+    pub fn open(disk: impl Into<Disk>) -> Result<Self, StorageError> {
+        let disk = disk.into();
         let (start_page, old_epoch) = match read_retry(&disk, 0, &mut 0) {
             Ok(h) if h.id == HEADER_ID => (
                 u64::from_le_bytes(h.read_at(0, 8).try_into().unwrap()),
@@ -214,7 +221,7 @@ impl LogStream {
     /// Surrender the underlying disk (fault injector still attached).
     /// Used by the failover layer's rejoin path, which re-validates the
     /// durable prefix via [`LogStream::open`] on a fresh stream.
-    pub fn into_disk(self) -> MemDisk {
+    pub fn into_disk(self) -> Disk {
         self.disk
     }
 
@@ -272,17 +279,17 @@ impl LogStream {
         Ok(self.appended)
     }
 
-    /// Flush the partial log page, making every appended record durable.
+    /// Flush the partial log page and force the device, making every
+    /// appended record durable (on a file backend this is the fdatasync).
     pub fn force(&mut self) -> Result<(), StorageError> {
         self.forces += 1;
-        if self.buf.is_empty() {
-            return Ok(());
+        if !self.buf.is_empty() {
+            let page = self.buf.clone();
+            self.write_log_page(&page)?;
+            self.buf.clear();
+            self.durable += page.len() as u64;
         }
-        let page = self.buf.clone();
-        self.write_log_page(&page)?;
-        self.buf.clear();
-        self.durable += page.len() as u64;
-        Ok(())
+        self.disk.force()
     }
 
     /// Total bytes appended (durable or not).
@@ -440,8 +447,8 @@ impl LogStream {
         );
     }
 
-    /// Snapshot the log disk (crash image).
-    pub fn disk_snapshot(&self) -> MemDisk {
+    /// Snapshot the log disk (crash image) — same backend as the stream.
+    pub fn disk_snapshot(&self) -> Disk {
         self.disk.snapshot()
     }
 }

@@ -13,7 +13,13 @@
 # adaptive logging + dependency-aware replay subsystem: adaptive log bytes
 # <= 0.7x physical on a 90/10 hot-key workload, modeled K=4 replay speedup
 # >= 2x K=1, and zero byte-equivalence violations across worker counts
-# (results/BENCH_replay.json). Run from anywhere inside the repo.
+# (results/BENCH_replay.json), and a block-device backend gate: the
+# backend-parametrized conformance suite (mem/file/nvme), the NVMe
+# timing-model property tests, the FileDisk crashpoint sweeps, and a
+# scaling-sweep smoke that must cover >= 2 backends x >= 3 worker counts
+# with zero conservation violations in every cell plus a byte-identical
+# FileDisk recovery audit (results/BENCH_scaling.json). Run from anywhere
+# inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +29,7 @@ cargo build --release
 # runs the bench binary, so build it explicitly or it can go stale
 cargo build --release -p rmdb-bench --bin throughput
 cargo build --release -p rmdb-bench --bin restart_ablation
+cargo build --release -p rmdb-bench --bin scaling
 cargo test -q
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
@@ -36,6 +43,13 @@ cargo test -q --release --test exec_stress
 cargo test -q --release --test obs_properties
 cargo test -q --release --test fault_sweep recovery_obs_counters_match_report_at_every_crashpoint
 cargo test -q --release --test fault_sweep mixed_logical_physical_log_recovers_at_every_crashpoint
+# backend gate: every BlockDevice backend must present the MemDisk storage
+# contract (conformance), the NVMe timing model must obey its laws
+# (conservation / bounded latency / determinism), and the crash-recovery
+# oracle must hold on a real file with fsync, not just the in-memory model
+cargo test -q --release --test backend_conformance
+cargo test -q --release --test nvme_model_properties
+cargo test -q --release --test fault_sweep filedisk
 
 mkdir -p results
 ./target/release/throughput --smoke --obs --json > results/BENCH_throughput.json
@@ -175,5 +189,37 @@ print(f"replay smoke: adaptive={hot['adaptive_bytes']}B vs physical="
       f"{hot['physical_bytes']}B ({ratio:.2f}x), dag={base['dag_nodes']}n/"
       f"{base['dag_edges']}e, modeled K=4 speedup {sc['speedup_k4']:.2f}x "
       f"(work={sc['work_us']}us span={sc['span_us']}us), violations=0")
+EOF
+# scaling smoke: high-concurrency sweep over the pluggable block-device
+# backends. The binary itself exits non-zero on any conservation violation
+# or a non-identical FileDisk recovery; the gate below re-derives both from
+# the emitted JSON and additionally requires the sweep to have actually
+# covered >= 2 backends x >= 3 worker counts (so a silently shrunk sweep
+# cannot pass) with every cell committing work and probing conservation.
+./target/release/scaling --smoke --json > /dev/null
+python3 - <<'EOF'
+import json
+doc = json.load(open("results/BENCH_scaling.json"))
+cells = doc["cells"]
+backends = sorted({c["backend"] for c in cells})
+workers = sorted({c["workers"] for c in cells})
+assert len(backends) >= 2, f"scaling smoke: only {backends} backends swept (< 2)"
+assert len(workers) >= 3, f"scaling smoke: only {workers} worker counts swept (< 3)"
+for c in cells:
+    key = f"{c['backend']}/{c['workers']}w/{c['streams']}s"
+    assert c["txns"] > 0, f"scaling smoke: cell {key} committed nothing"
+    assert c["conservation_reads"] > 0, f"scaling smoke: cell {key} never probed conservation"
+    assert c["conservation_violations"] == 0, \
+        f"scaling smoke: {c['conservation_violations']} conservation violations in {key}"
+    assert c["commit_p99_us"] >= c["commit_p50_us"] > 0, \
+        f"scaling smoke: cell {key} latency percentiles empty or non-monotone"
+rec = doc["filedisk_recovery"]
+assert rec["identical"] and len(rec["runs"]) >= 3 and \
+    all(r["identical"] for r in rec["runs"]), \
+    f"scaling smoke: FileDisk recovery not byte-identical: {rec}"
+peak = max(cells, key=lambda c: c["txns_per_sec"])
+print(f"scaling smoke: {len(cells)} cells over {backends} x workers={workers}, "
+      f"peak {peak['txns_per_sec']:.0f} txns/s ({peak['backend']}@{peak['workers']}w), "
+      f"0 violations, filedisk recovery identical across {len(rec['runs'])} seeds")
 EOF
 echo "verify: OK"

@@ -1,0 +1,213 @@
+//! Backend conformance: every [`BlockDevice`] backend must present the
+//! same storage contract — the contract all the recovery mechanisms were
+//! written against on `MemDisk`. One generic suite, instantiated per
+//! backend, pins it down:
+//!
+//! * write/read roundtrip at frame and page granularity;
+//! * virgin frames error `Unallocated`, out-of-range errors are typed;
+//! * a torn write (partial frame) surfaces as a checksum `Corrupt` on the
+//!   next page read — never as silently wrong data;
+//! * `snapshot` captures the durable state at an instant: later mutations
+//!   of the origin never leak into it, it is the same backend as its
+//!   origin, and its counters start at zero;
+//! * `force` is counted and never loses completed writes;
+//! * an attached fault injector drives identical outcomes on every
+//!   backend, so a fault plan authored against `MemDisk` replays
+//!   faithfully against a real file or the NVMe model.
+
+use recovery_machines::storage::{
+    BackendKind, Disk, FaultInjector, FaultPlan, NvmeConfig, Page, PageId, StorageError, FRAME_SIZE,
+};
+
+const FRAMES: u64 = 16;
+
+fn backends() -> Vec<BackendKind> {
+    vec![
+        BackendKind::Mem,
+        BackendKind::file(),
+        BackendKind::nvme(NvmeConfig::default()),
+    ]
+}
+
+fn filled_page(id: u64, fill: u8) -> Page {
+    let mut p = Page::new(PageId(id));
+    // fill well past any tear point, so a merged old/new frame always
+    // disagrees with the new header's checksum
+    p.write_at(0, &[fill; 2048]);
+    p
+}
+
+/// Run `case` once per backend, labelling failures with the backend name.
+fn for_each_backend(case: impl Fn(&mut Disk, &str)) {
+    for bk in backends() {
+        let mut disk = bk.provision(FRAMES).expect("provision");
+        assert_eq!(disk.kind(), bk.name());
+        case(&mut disk, bk.name());
+    }
+}
+
+#[test]
+fn write_read_roundtrip() {
+    for_each_backend(|disk, name| {
+        // raw frames
+        let mut frame = [0u8; FRAME_SIZE];
+        for (i, b) in frame.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        disk.write_frame(3, &frame).expect("write");
+        let back = disk.read_frame(3).expect("read");
+        assert!(back[..] == frame[..], "{name}: raw frame roundtrip");
+
+        // checksummed pages
+        let p = filled_page(7, 0xA5);
+        disk.write_page(7, &p).expect("write_page");
+        assert_eq!(disk.read_page(7).expect("read_page"), p, "{name}");
+        assert_eq!(disk.reads(), 2, "{name}: read count");
+        assert_eq!(disk.writes(), 2, "{name}: write count");
+    });
+}
+
+#[test]
+fn virgin_and_out_of_range_frames_error_typed() {
+    for_each_backend(|disk, name| {
+        assert!(!disk.is_allocated(2), "{name}");
+        assert!(
+            matches!(
+                disk.read_frame(2),
+                Err(StorageError::Unallocated { addr: 2 })
+            ),
+            "{name}: virgin frame must read as Unallocated"
+        );
+        assert!(
+            matches!(
+                disk.read_frame(FRAMES),
+                Err(StorageError::OutOfRange { addr, capacity })
+                    if addr == FRAMES && capacity == FRAMES
+            ),
+            "{name}: out-of-range read"
+        );
+        let frame = [1u8; FRAME_SIZE];
+        assert!(
+            matches!(
+                disk.write_frame(FRAMES + 5, &frame),
+                Err(StorageError::OutOfRange { .. })
+            ),
+            "{name}: out-of-range write"
+        );
+    });
+}
+
+#[test]
+fn torn_write_surfaces_as_checksum_corruption() {
+    for_each_backend(|disk, name| {
+        let p = filled_page(4, 0x3C);
+        disk.write_page(4, &p).expect("full write");
+        // tear a rewrite of the same frame: only the first 100 bytes of the
+        // new image land, the old tail shows through
+        let p2 = filled_page(4, 0xC3);
+        disk.write_partial(4, &p2.to_frame(), 100).expect("tear");
+        assert!(
+            matches!(disk.read_page(4), Err(StorageError::Corrupt { addr: 4 })),
+            "{name}: torn page must fail its checksum"
+        );
+        // a torn write still allocates (a crash mid-first-write leaves a
+        // torn frame, not a virgin one)
+        let q = filled_page(5, 0x11);
+        disk.write_partial(5, &q.to_frame(), 64)
+            .expect("tear virgin");
+        assert!(disk.is_allocated(5), "{name}: torn frame is allocated");
+    });
+}
+
+#[test]
+fn snapshot_is_isolated_same_backend_with_fresh_counters() {
+    for_each_backend(|disk, name| {
+        let before = filled_page(2, 0xAA);
+        disk.write_page(2, &before).expect("write");
+        let snap = disk.snapshot();
+        assert_eq!(snap.kind(), disk.kind(), "{name}: snapshot backend");
+        assert_eq!(snap.capacity(), disk.capacity(), "{name}");
+        assert_eq!(snap.reads(), 0, "{name}: snapshot read counter");
+        assert_eq!(snap.writes(), 0, "{name}: snapshot write counter");
+        assert_eq!(snap.forces(), 0, "{name}: snapshot force counter");
+
+        // mutate the origin after the snapshot — and vice versa
+        let mut snap = snap;
+        disk.write_page(2, &filled_page(2, 0xBB)).expect("origin");
+        snap.write_page(3, &filled_page(3, 0xCC)).expect("snap");
+        assert_eq!(snap.read_page(2).expect("snap read"), before, "{name}");
+        assert!(!disk.is_allocated(3), "{name}: snapshot write leaked back");
+    });
+}
+
+#[test]
+fn force_is_counted_and_loses_nothing() {
+    for_each_backend(|disk, name| {
+        let p = filled_page(1, 0x77);
+        disk.write_page(1, &p).expect("write");
+        disk.force().expect("force");
+        disk.force().expect("force again");
+        assert_eq!(disk.forces(), 2, "{name}: force count");
+        assert_eq!(disk.read_page(1).expect("read"), p, "{name}");
+        // forced state survives a crash snapshot
+        assert_eq!(disk.snapshot().read_page(1).expect("snap"), p, "{name}");
+    });
+}
+
+#[test]
+fn fault_injector_drives_identical_outcomes_on_every_backend() {
+    // One plan: lose write #1, tear write #2 at 80 bytes, flip a read bit
+    // on read #2, then go permanently offline from write #3.
+    let plan = || {
+        FaultPlan::new()
+            .lose_write(1)
+            .tear_write(2, 80)
+            .flip_on_read(2, 9, 3)
+            .fail_from_write(3)
+    };
+    for_each_backend(|disk, name| {
+        disk.attach_faults(FaultInjector::handle(plan()));
+        let a = filled_page(0, 0x01);
+        disk.write_page(0, &a).expect("write 0 applies");
+        disk.write_page(1, &filled_page(1, 0x02))
+            .expect("write 1 lost");
+        disk.write_page(2, &filled_page(2, 0x03))
+            .expect("write 2 torn");
+
+        assert_eq!(disk.read_page(0).expect("read 0"), a, "{name}");
+        assert!(
+            matches!(disk.read_page(1), Err(StorageError::Unallocated { .. })),
+            "{name}: lost write must leave the frame virgin"
+        );
+        // read #2 carries the bit flip — on the already-torn frame both
+        // corruptions fold into the same typed error
+        assert!(
+            matches!(disk.read_page(2), Err(StorageError::Corrupt { .. })),
+            "{name}: torn+flipped page must fail its checksum"
+        );
+        assert!(
+            matches!(
+                disk.write_page(3, &filled_page(3, 0x04)),
+                Err(StorageError::Io { .. })
+            ),
+            "{name}: failed device must error its writes"
+        );
+        // detaching returns the device to clean operation
+        assert!(disk.detach_faults().is_some(), "{name}");
+        disk.write_page(3, &filled_page(3, 0x04))
+            .expect("clean again");
+    });
+}
+
+#[test]
+fn filedisk_snapshot_copies_survive_origin_drop() {
+    // File-specific: the snapshot owns an independent backing file, so it
+    // must stay readable after the origin (and its file) are gone.
+    let mut disk = BackendKind::file().provision(FRAMES).expect("provision");
+    let p = filled_page(6, 0x5E);
+    disk.write_page(6, &p).expect("write");
+    disk.force().expect("force");
+    let snap = disk.snapshot();
+    drop(disk);
+    assert_eq!(snap.read_page(6).expect("after drop"), p);
+}

@@ -27,7 +27,9 @@ use recovery_machines::shadow::{
     NoRedoStore, NoUndoStore, OverwriteConfig, ShadowConfig, ShadowPager, VersionConfig,
     VersionStore,
 };
-use recovery_machines::storage::{FaultInjector, FaultPlan, MemDisk, FRAME_SIZE};
+use recovery_machines::storage::{
+    BackendKind, BlockDevice, Disk, FaultInjector, FaultPlan, FRAME_SIZE,
+};
 use recovery_machines::wal::{LogMode, SelectionPolicy, WalConfig, WalDb};
 use std::collections::HashMap;
 
@@ -35,6 +37,11 @@ const PAGES: u64 = 16;
 const SLOT: usize = 24;
 const SEEDS: [u64; 8] = [1, 2, 7, 11, 42, 1985, 4242, 31337];
 const CRASHPOINTS: [u64; 5] = [3, 17, 41, 97, 211];
+/// Reduced grid for the real-file backend: every write is a pwrite and
+/// every force an fdatasync, so the full grid would dominate CI time
+/// without exercising anything the three-by-three doesn't.
+const FILE_SEEDS: [u64; 3] = [7, 1985, 31337];
+const FILE_CRASHPOINTS: [u64; 3] = [17, 41, 97];
 
 /// Acceptable values per page. One candidate = strict; two = the page was
 /// written by the single ambiguous (crash-interrupted) commit.
@@ -120,11 +127,15 @@ fn verify_and_pin<S: PageStore>(store: &mut S, oracle: &mut Oracle, context: &st
 /// for every (seed, crashpoint) pair.
 macro_rules! sweep_test {
     ($name:ident, $ty:ty, $cfg:expr, $new:expr, $recover:expr) => {
+        sweep_test!($name, $ty, $cfg, $new, $recover, SEEDS, CRASHPOINTS);
+    };
+    ($name:ident, $ty:ty, $cfg:expr, $new:expr, $recover:expr,
+     $seeds:expr, $crashpoints:expr) => {
         #[test]
         fn $name() {
             let mut crash_hits = 0usize;
-            for seed in SEEDS {
-                for crashpoint in CRASHPOINTS {
+            for seed in $seeds {
+                for crashpoint in $crashpoints {
                     let cfg = $cfg;
                     let mut rng = StdRng::seed_from_u64(seed ^ (crashpoint << 32));
                     #[allow(clippy::redundant_closure_call)]
@@ -165,7 +176,7 @@ macro_rules! sweep_test {
             }
             // the sweep must actually sweep: the scheduled crash has to
             // fire in the large majority of runs
-            let grid = SEEDS.len() * CRASHPOINTS.len();
+            let grid = $seeds.len() * $crashpoints.len();
             assert!(
                 crash_hits * 2 >= grid,
                 "scheduled crash fired in only {crash_hits}/{grid} runs"
@@ -173,6 +184,46 @@ macro_rules! sweep_test {
         }
     };
 }
+
+// The same storm on a real file: every platter (data disk, doublewrite
+// slots, log streams, crash-image copies) is an actual temp file with
+// pwrite/fdatasync durability. Torn writes land real prefixes in the file;
+// recovery runs against a file copy. Cleanup needs no scaffolding: a
+// `FileDisk` deletes its backing file on drop, including during a panic
+// unwind, so a failing sweep leaves no litter in the temp dir.
+sweep_test!(
+    wal_logical_survives_fault_sweep_on_filedisk,
+    WalDb,
+    WalConfig {
+        data_pages: PAGES,
+        pool_frames: 3,
+        log_streams: 2,
+        policy: SelectionPolicy::Cyclic,
+        backend: BackendKind::file(),
+        ..WalConfig::default()
+    },
+    WalDb::new,
+    |db: &WalDb, cfg| WalDb::recover(db.crash_image(), cfg).expect("recover").0,
+    FILE_SEEDS,
+    FILE_CRASHPOINTS
+);
+
+sweep_test!(
+    shadow_pager_survives_fault_sweep_on_filedisk,
+    ShadowPager,
+    ShadowConfig {
+        logical_pages: PAGES,
+        data_frames: PAGES * 4,
+        backend: BackendKind::file(),
+        ..ShadowConfig::default()
+    },
+    |cfg| ShadowPager::new(cfg).expect("new"),
+    |db: &ShadowPager, cfg| ShadowPager::recover(db.crash_image(), cfg)
+        .expect("recover")
+        .0,
+    FILE_SEEDS,
+    FILE_CRASHPOINTS
+);
 
 sweep_test!(
     wal_logical_survives_fault_sweep,
@@ -847,7 +898,11 @@ fn recovery_obs_counters_match_report_at_every_crashpoint() {
 // workload ⇒ byte-identical post-crash platters.
 // ---------------------------------------------------------------------------
 
-fn assert_disks_identical(a: &MemDisk, b: &MemDisk, what: &str) {
+fn assert_disks_identical<A, B>(a: &A, b: &B, what: &str)
+where
+    A: BlockDevice + ?Sized,
+    B: BlockDevice + ?Sized,
+{
     assert_eq!(a.capacity(), b.capacity(), "{what}: capacity");
     for addr in 0..a.capacity() {
         assert_eq!(
@@ -918,7 +973,7 @@ fn fault_plan_replays_to_identical_crash_images() {
 // ---------------------------------------------------------------------------
 
 /// Overwrite `hits` random frame prefixes of `disk` with random bytes.
-fn scribble(disk: &mut MemDisk, rng: &mut StdRng, hits: usize) {
+fn scribble<D: BlockDevice + ?Sized>(disk: &mut D, rng: &mut StdRng, hits: usize) {
     for _ in 0..hits {
         let addr = rng.gen_range(0..disk.capacity());
         let mut junk = [0u8; FRAME_SIZE];
@@ -1214,7 +1269,7 @@ fn exec_pipeline_acked_commits_survive_mid_run_crash() {
 fn clone_image(image: &recovery_machines::wal::CrashImage) -> recovery_machines::wal::CrashImage {
     recovery_machines::wal::CrashImage {
         data: image.data.snapshot(),
-        logs: image.logs.iter().map(MemDisk::snapshot).collect(),
+        logs: image.logs.iter().map(Disk::snapshot).collect(),
     }
 }
 

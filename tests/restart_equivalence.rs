@@ -12,12 +12,12 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use recovery_machines::restart::{restart, RedoScheduler, RestartConfig};
-use recovery_machines::storage::MemDisk;
+use recovery_machines::storage::Disk;
 use recovery_machines::wal::{LoggingPolicy, SelectionPolicy, WalConfig, WalDb};
 
 const PAGES: u64 = 64;
 
-fn assert_disks_identical(a: &MemDisk, b: &MemDisk, what: &str) {
+fn assert_disks_identical(a: &Disk, b: &Disk, what: &str) {
     assert_eq!(a.capacity(), b.capacity(), "{what}: capacity");
     for addr in 0..a.capacity() {
         assert_eq!(

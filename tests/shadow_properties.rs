@@ -87,6 +87,7 @@ script_runner!(
         logical_pages: PAGES,
         data_frames: PAGES * 3,
         alloc: AllocPolicy::Clustered,
+        ..ShadowConfig::default()
     },
     |cfg| ShadowPager::new(cfg).unwrap(),
     |db: &ShadowPager, cfg| ShadowPager::recover(db.crash_image(), cfg).unwrap().0
@@ -99,6 +100,7 @@ script_runner!(
         logical_pages: PAGES,
         data_frames: PAGES * 3,
         alloc: AllocPolicy::Scrambled,
+        ..ShadowConfig::default()
     },
     |cfg| ShadowPager::new(cfg).unwrap(),
     |db: &ShadowPager, cfg| ShadowPager::recover(db.crash_image(), cfg).unwrap().0
