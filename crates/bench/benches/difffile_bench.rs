@@ -19,6 +19,7 @@ fn populated(base_tuples: u64, diff_ops: u64) -> DiffDb {
             a_capacity: 128,
             d_capacity: 128,
             commit_frames: 8,
+            ..Default::default()
         },
         base,
     )

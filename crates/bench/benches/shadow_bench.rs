@@ -21,6 +21,7 @@ fn bench_shadow_commit_alloc(c: &mut Criterion) {
                 logical_pages: 64,
                 data_frames: 2048,
                 alloc: a,
+                ..ShadowConfig::default()
             })
             .unwrap();
             b.iter(|| {

@@ -1,6 +1,6 @@
 //! [`DiffDb`]: the differential-file engine.
 //!
-//! Disk layout (one [`MemDisk`]):
+//! Disk layout (one [`Disk`], backend chosen by [`DiffConfig::backend`]):
 //!
 //! ```text
 //! [ base area 0 | base area 1 | A file | D file | commit list | master ]
@@ -18,7 +18,8 @@
 use crate::tuple::{read_entries, write_entries, Entry, Tuple};
 use rmdb_storage::fault::FaultHandle;
 use rmdb_storage::{
-    read_page_retry, write_page_verified, MemDisk, Page, PageId, StorageError, PAYLOAD_SIZE,
+    read_page_retry, write_page_verified, BackendKind, Disk, Page, PageId, StorageError,
+    PAYLOAD_SIZE,
 };
 use std::collections::HashMap;
 
@@ -52,6 +53,8 @@ pub struct DiffConfig {
     pub d_capacity: u64,
     /// Frames for the commit list.
     pub commit_frames: u64,
+    /// Which block-device backend holds the single durable disk.
+    pub backend: BackendKind,
 }
 
 impl Default for DiffConfig {
@@ -61,6 +64,7 @@ impl Default for DiffConfig {
             a_capacity: 32,
             d_capacity: 32,
             commit_frames: 4,
+            backend: BackendKind::Mem,
         }
     }
 }
@@ -151,7 +155,7 @@ pub struct DiffStats {
 #[derive(Debug)]
 pub struct DiffImage {
     /// The single durable disk.
-    pub disk: MemDisk,
+    pub disk: Disk,
 }
 
 /// The differential-file engine.
@@ -173,7 +177,7 @@ pub struct DiffImage {
 /// ```
 pub struct DiffDb {
     cfg: DiffConfig,
-    disk: MemDisk,
+    disk: Disk,
     /// In-memory mirror of the current base, page by page.
     base: Vec<Vec<Entry>>,
     base_area: u8,
@@ -202,7 +206,10 @@ impl DiffDb {
     /// A fresh, empty database.
     pub fn new(cfg: DiffConfig) -> Self {
         let mut db = DiffDb {
-            disk: MemDisk::new(cfg.total_frames()),
+            disk: cfg
+                .backend
+                .provision(cfg.total_frames())
+                .expect("provision difffile backend"),
             base: Vec::new(),
             base_area: 0,
             master_seq: 0,
@@ -372,7 +379,7 @@ impl DiffDb {
     /// Flush a file's mirror to its disk region (rewriting the open tail
     /// frame). `start`/`capacity` locate the region.
     fn flush_file(
-        disk: &mut MemDisk,
+        disk: &mut Disk,
         stats: &mut DiffStats,
         all: &[Entry],
         durable: &mut usize,
@@ -949,6 +956,7 @@ mod tests {
             a_capacity: 16,
             d_capacity: 16,
             commit_frames: 2,
+            ..Default::default()
         }
     }
 
@@ -1215,6 +1223,7 @@ mod tests {
             a_capacity: 1,
             d_capacity: 1,
             commit_frames: 1,
+            ..Default::default()
         });
         let t = db.begin();
         // each entry ~ 28+512 bytes; a single A frame fills quickly

@@ -22,10 +22,21 @@
 //! ([`DiffDb::query_parallel`]) exploits the database machine's query
 //! processors the way the companion paper \[21\] describes.
 
+//!
+//! The [`lsm`] module grows the single A/D pair into a **leveled**
+//! differential store — memtable, journal, L0 runs, compacted levels,
+//! dual-slot versioned manifest — where every flush and compaction is
+//! an atomic, crash-recoverable transition and recovery is redo-only.
+
 pub mod db;
+pub mod lsm;
 pub mod ops;
 pub mod tuple;
 
 pub use db::{DiffConfig, DiffDb, DiffError, DiffImage, DiffStats, ScanStrategy};
+pub use lsm::{
+    CrashSite, Extent, LsmConfig, LsmEntry, LsmError, LsmImage, LsmOp, LsmRecoveryReport, LsmStats,
+    LsmStore, Manifest, RunDesc,
+};
 pub use ops::{difference, par_difference, par_union, union, view};
 pub use tuple::{Entry, Tuple};

@@ -1,0 +1,74 @@
+//! Counted I/O helpers.
+//!
+//! Same retry discipline as [`rmdb_storage::write_page_verified`] and
+//! [`rmdb_storage::read_page_retry`], but every extra round is tallied
+//! into [`IoCounters`]. Foreground commits and background maintenance
+//! share these helpers (and one counter set), which is what lets the
+//! fault sweep assert that a plan observed by the compactor thread
+//! produces the same retry accounting as the same plan observed by a
+//! foreground flush.
+
+use rmdb_storage::{Disk, Page, StorageError};
+
+use super::IO_RETRIES;
+
+/// Retry tallies shared by every I/O path in the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct IoCounters {
+    /// Write+verify rounds beyond the first.
+    pub write_retries: u64,
+    /// Read rounds beyond the first.
+    pub read_retries: u64,
+}
+
+/// Write-and-verify with bounded retries, counting every extra round.
+pub(crate) fn write_verified(
+    disk: &mut Disk,
+    ctrs: &mut IoCounters,
+    addr: u64,
+    page: &Page,
+) -> Result<(), StorageError> {
+    let mut last = StorageError::Io { addr };
+    for attempt in 0..IO_RETRIES {
+        if attempt > 0 {
+            ctrs.write_retries += 1;
+        }
+        if let Err(e) = disk.write_page(addr, page) {
+            last = e;
+            if last == StorageError::Offline {
+                return Err(last);
+            }
+            continue;
+        }
+        match disk.read_page(addr) {
+            Ok(got) if got == *page => return Ok(()),
+            Ok(_) => last = StorageError::Corrupt { addr },
+            Err(e) => {
+                last = e;
+                if last == StorageError::Offline {
+                    return Err(last);
+                }
+            }
+        }
+    }
+    Err(last)
+}
+
+/// Bounded-retry read, counting every extra round.
+pub(crate) fn read_retry(
+    disk: &Disk,
+    ctrs: &mut IoCounters,
+    addr: u64,
+) -> Result<Page, StorageError> {
+    let mut last = StorageError::Io { addr };
+    for attempt in 0..IO_RETRIES {
+        if attempt > 0 {
+            ctrs.read_retries += 1;
+        }
+        match disk.read_page(addr) {
+            Err(e @ (StorageError::Io { .. } | StorageError::Corrupt { .. })) => last = e,
+            other => return other,
+        }
+    }
+    Err(last)
+}

@@ -87,6 +87,17 @@ pub enum EventKind {
     /// (stream field: worker count, page field: DAG nodes, payload:
     /// wall-clock µs).
     ReplayPhase = 17,
+    /// The LSM tier began a flush or compaction (stream field: target
+    /// level, page field: input runs, payload: input frames).
+    CompactionStarted = 18,
+    /// The LSM flush/compaction published its manifest and retired its
+    /// inputs (stream field: target level, page field: output frames,
+    /// payload: wall-clock µs).
+    CompactionFinished = 19,
+    /// The LSM flush/compaction aborted — device fault or injected crash
+    /// mid-merge; the orphaned output is GC'd by recovery (stream field:
+    /// target level, payload: frames written before the abort).
+    CompactionAborted = 20,
     /// Catch-all for unrecognised kinds decoded from raw slots.
     Unknown = 0,
 }
@@ -112,6 +123,9 @@ impl EventKind {
             15 => EventKind::SnapshotOpened,
             16 => EventKind::VersionsPruned,
             17 => EventKind::ReplayPhase,
+            18 => EventKind::CompactionStarted,
+            19 => EventKind::CompactionFinished,
+            20 => EventKind::CompactionAborted,
             _ => EventKind::Unknown,
         }
     }
@@ -136,6 +150,9 @@ impl EventKind {
             EventKind::SnapshotOpened => "snapshot_opened",
             EventKind::VersionsPruned => "versions_pruned",
             EventKind::ReplayPhase => "replay_phase",
+            EventKind::CompactionStarted => "compaction_started",
+            EventKind::CompactionFinished => "compaction_finished",
+            EventKind::CompactionAborted => "compaction_aborted",
             EventKind::Unknown => "unknown",
         }
     }

@@ -352,6 +352,18 @@ impl FaultInjector {
         self.reads
     }
 
+    /// Crash the device immediately, as if [`FaultPlan::crash_after_write`]
+    /// had just fired: every subsequent operation returns
+    /// [`StorageError::Offline`] until [`FaultInjector::revive`]. This is
+    /// the deterministic crash-*site* primitive: a protocol under test
+    /// (e.g. the LSM compactor) can trip the crash at a named step —
+    /// pre-manifest-publish, mid-level-write — instead of hunting for the
+    /// equivalent global write index, while the durable frames stay
+    /// exactly as the completed writes left them.
+    pub fn crash_now(&mut self) {
+        self.crashed = true;
+    }
+
     /// Revive the device unconditionally, as if repaired in place: the
     /// remaining plan is discarded, the tripped permanent-failure and crash
     /// states clear, and pending transients are dropped. The operation

@@ -18,7 +18,14 @@
 # timing-model property tests, the FileDisk crashpoint sweeps, and a
 # scaling-sweep smoke that must cover >= 2 backends x >= 3 worker counts
 # with zero conservation violations in every cell plus a byte-identical
-# FileDisk recovery audit (results/BENCH_scaling.json). Run from anywhere
+# FileDisk recovery audit (results/BENCH_scaling.json), and the leveled
+# differential-store gate: a `cargo bench --no-run` compile pass over
+# every criterion bench (so bench rot fails CI, not the next person to
+# run benches), the LSM named-crash-site + seeded-storm sweeps and the
+# basic/optimal strategy-equivalence properties in release, and an LSM
+# smoke whose JSON gate requires zero basic/optimal equivalence
+# violations, a compaction count above zero, and a finite write
+# amplification figure (results/BENCH_lsm.json). Run from anywhere
 # inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,9 +37,14 @@ cargo build --release
 cargo build --release -p rmdb-bench --bin throughput
 cargo build --release -p rmdb-bench --bin restart_ablation
 cargo build --release -p rmdb-bench --bin scaling
+cargo build --release -p rmdb-bench --bin lsm
 cargo test -q
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
+# compile every criterion bench without running it: bench targets are not
+# covered by `cargo test`/`cargo build`, so struct-literal drift in a bench
+# otherwise ships silently and breaks the next perf investigation
+cargo bench --no-run
 # the exec library is failover-critical: a mutex unwrap that panics while a
 # sibling thread holds poisoned state turns one stream's death into a
 # pipeline-wide outage. Its lib.rs warns on clippy::unwrap_used in non-test
@@ -50,6 +62,13 @@ cargo test -q --release --test fault_sweep mixed_logical_physical_log_recovers_a
 cargo test -q --release --test backend_conformance
 cargo test -q --release --test nvme_model_properties
 cargo test -q --release --test fault_sweep filedisk
+# leveled differential-store gate: named-crash-site sweeps (flush and
+# compaction tripped at pre-publish / mid-write / post-publish-pre-GC on
+# both backends, foreground and background thread), the seeded crashpoint
+# storms, background-vs-foreground fault accounting parity, and the
+# basic/optimal strategy-equivalence properties over multi-level stores
+cargo test -q --release --test fault_sweep lsm_
+cargo test -q --release --test lsm_properties
 
 mkdir -p results
 ./target/release/throughput --smoke --obs --json > results/BENCH_throughput.json
@@ -221,5 +240,38 @@ peak = max(cells, key=lambda c: c["txns_per_sec"])
 print(f"scaling smoke: {len(cells)} cells over {backends} x workers={workers}, "
       f"peak {peak['txns_per_sec']:.0f} txns/s ({peak['backend']}@{peak['workers']}w), "
       f"0 violations, filedisk recovery identical across {len(rec['runs'])} seeds")
+EOF
+
+# LSM smoke: drive the leveled differential store through enough commits
+# to flush AND compact, then gate on the emitted JSON: zero basic/optimal
+# equivalence violations (the binary also exits non-zero on any), every
+# cell must have actually compacted (a run that never compacted measured
+# nothing), and write amplification must be present and sane.
+./target/release/lsm --smoke --json > /dev/null
+python3 - <<'EOF'
+import json
+doc = json.load(open("results/BENCH_lsm.json"))
+assert doc["equivalence_violations"] == 0, \
+    f"lsm smoke: {doc['equivalence_violations']} basic/optimal equivalence violations"
+for c in doc["cells"]:
+    name = c["name"]
+    assert c["equivalence_violations"] == 0, \
+        f"lsm smoke: cell {name} has scan equivalence violations"
+    assert c["flushes"] > 0, f"lsm smoke: cell {name} never flushed"
+    assert c["compactions"] > 0, f"lsm smoke: cell {name} never compacted"
+    assert c["user_bytes"] > 0 and c["frames_written"] > 0, \
+        f"lsm smoke: cell {name} committed nothing"
+    wa = c["write_amplification"]
+    assert wa > 0 and wa == wa and wa != float("inf"), \
+        f"lsm smoke: cell {name} write amplification {wa} not a finite positive"
+    assert c["basic_scans_per_sec"] > 0 and c["optimal_scans_per_sec"] > 0, \
+        f"lsm smoke: cell {name} scan rates empty"
+c = doc["cells"][0]
+print(f"lsm smoke: WA {c['write_amplification']:.2f} "
+      f"({c['frames_written']} frames / {c['user_bytes']} user bytes), "
+      f"{c['flushes']} flushes, {c['compactions']} compactions, "
+      f"L0 {c['l0_runs']} + {c['levels_live']} levels, "
+      f"basic {c['basic_scans_per_sec']:.0f}/s vs optimal "
+      f"{c['optimal_scans_per_sec']:.0f}/s, 0 equivalence violations")
 EOF
 echo "verify: OK"

@@ -37,6 +37,7 @@ fn cfg() -> DiffConfig {
         a_capacity: 64,
         d_capacity: 64,
         commit_frames: 8,
+        ..Default::default()
     }
 }
 

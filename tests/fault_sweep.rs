@@ -22,16 +22,18 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use recovery_machines::core::PageStore;
-use recovery_machines::difffile::{DiffConfig, DiffDb, ScanStrategy};
+use recovery_machines::difffile::{
+    CrashSite, DiffConfig, DiffDb, LsmConfig, LsmError, LsmRecoveryReport, LsmStore, ScanStrategy,
+};
 use recovery_machines::shadow::{
     NoRedoStore, NoUndoStore, OverwriteConfig, ShadowConfig, ShadowPager, VersionConfig,
     VersionStore,
 };
 use recovery_machines::storage::{
-    BackendKind, BlockDevice, Disk, FaultInjector, FaultPlan, FRAME_SIZE,
+    BackendKind, BlockDevice, Disk, FaultInjector, FaultPlan, StorageError, FRAME_SIZE,
 };
 use recovery_machines::wal::{LogMode, SelectionPolicy, WalConfig, WalDb};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 const PAGES: u64 = 16;
 const SLOT: usize = 24;
@@ -310,12 +312,16 @@ sweep_test!(
 /// Differential files are tuple-granular, not a [`PageStore`], so they get
 /// their own sweep: same seeded device faults, same crashpoints, with a
 /// key → value oracle over `R = (B ∪ A) − D` instead of a page oracle.
-#[test]
-fn difffile_survives_fault_sweep() {
+/// Parameterized over the block-device backend so the identical storm
+/// runs on `MemDisk` and on a real pwrite/fdatasync file.
+fn difffile_sweep(backend: BackendKind, seeds: &[u64], crashpoints: &[u64]) {
     let mut crash_hits = 0usize;
-    for seed in SEEDS {
-        for crashpoint in CRASHPOINTS {
-            let cfg = DiffConfig::default();
+    for &seed in seeds {
+        for &crashpoint in crashpoints {
+            let cfg = DiffConfig {
+                backend: backend.clone(),
+                ..DiffConfig::default()
+            };
             let mut rng = StdRng::seed_from_u64(seed ^ (crashpoint << 32));
             let mut db = DiffDb::new(cfg.clone());
             let plan = FaultPlan::seeded(seed, 1 << 20).crash_after_write(crashpoint);
@@ -400,11 +406,21 @@ fn difffile_survives_fault_sweep() {
             db.commit(t).expect("commit");
         }
     }
-    let grid = SEEDS.len() * CRASHPOINTS.len();
+    let grid = seeds.len() * crashpoints.len();
     assert!(
         crash_hits * 2 >= grid,
         "scheduled crash fired in only {crash_hits}/{grid} runs"
     );
+}
+
+#[test]
+fn difffile_survives_fault_sweep() {
+    difffile_sweep(BackendKind::Mem, &SEEDS, &CRASHPOINTS);
+}
+
+#[test]
+fn difffile_survives_fault_sweep_on_filedisk() {
+    difffile_sweep(BackendKind::file(), &FILE_SEEDS, &FILE_CRASHPOINTS);
 }
 
 // ---------------------------------------------------------------------------
@@ -1743,5 +1759,551 @@ fn snapshot_readers_stay_consistent_through_kill_and_rejoin() {
             .expect("reader threads joined")
             .shutdown()
             .ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leveled differential store (LSM): the flush/compaction protocol names its
+// interesting crash sites — output written but install manifest unpublished,
+// mid-run write after the intent publish, install published but inputs not
+// yet reclaimed — and each one is tripped deterministically, per seed, per
+// backend, per job kind. The manifest commit protocol's contract:
+//
+//   1. recovery never panics and never loses a committed key, whichever
+//      protocol step the crash interrupted;
+//   2. torn outputs are orphans (GC'd by free-map derivation, never read)
+//      and installed transitions are never rolled back;
+//   3. recovery writes nothing, so double recovery of any crash image is
+//      byte-identical, report included;
+//   4. the recovered store still commits, flushes, and compacts.
+// ---------------------------------------------------------------------------
+
+const LSM_SITES: [CrashSite; 3] = [
+    CrashSite::PreManifestPublish,
+    CrashSite::MidLevelWrite,
+    CrashSite::PostPublishPreGc,
+];
+
+fn lsm_cfg(backend: BackendKind) -> LsmConfig {
+    LsmConfig {
+        journal_frames: 16,
+        arena_frames: 128,
+        memtable_limit: 8,
+        l0_limit: 2,
+        level_base_frames: 2,
+        fanout: 2,
+        max_levels: 3,
+        backend,
+        background: false,
+    }
+}
+
+/// Committed key state: `Some(value)` for a live put, `None` for a
+/// committed tombstone (the key must NOT be visible).
+type LsmOracle = BTreeMap<u64, Option<Vec<u8>>>;
+
+fn lsm_live(m: &LsmOracle) -> BTreeMap<u64, Vec<u8>> {
+    m.iter()
+        .filter_map(|(k, v)| v.clone().map(|v| (*k, v)))
+        .collect()
+}
+
+/// Commit `n` transactions of 1–3 ops each — mostly puts, enough deletes
+/// that tombstones flow down the hierarchy — updating the oracle in step.
+fn lsm_commit_burst(store: &LsmStore, oracle: &mut LsmOracle, rng: &mut StdRng, n: usize) {
+    for _ in 0..n {
+        let t = store.begin();
+        let mut staged: Vec<(u64, Option<Vec<u8>>)> = Vec::new();
+        for _ in 0..rng.gen_range(1..4) {
+            let key = rng.gen_range(0..32u64);
+            if staged.iter().any(|(k, _)| *k == key) {
+                continue;
+            }
+            if rng.gen_bool(0.85) {
+                let mut v = vec![0u8; 8];
+                rng.fill(&mut v[..]);
+                store.put(t, key, &v).expect("stage put");
+                staged.push((key, Some(v)));
+            } else {
+                store.delete(t, key).expect("stage delete");
+                staged.push((key, None));
+            }
+        }
+        store.commit(t).expect("clean commit");
+        for (k, v) in staged {
+            oracle.insert(k, v);
+        }
+    }
+}
+
+/// Post-crash checks shared by every sweep cell: recovery succeeds, the
+/// committed relation is exactly intact under BOTH query strategies,
+/// double recovery is byte-identical (report included), and the recovered
+/// store still takes commits, flushes, and compactions.
+fn lsm_check_recovery(
+    store: &LsmStore,
+    cfg: &LsmConfig,
+    oracle: &LsmOracle,
+    ctx: &str,
+) -> LsmRecoveryReport {
+    let (rec, report) = LsmStore::recover(store.crash_image(), cfg.clone())
+        .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+    let want = lsm_live(oracle);
+    for strategy in [ScanStrategy::Optimal, ScanStrategy::Basic] {
+        let got: BTreeMap<u64, Vec<u8>> = rec
+            .scan(strategy)
+            .unwrap_or_else(|e| panic!("{ctx}: {strategy:?} scan failed: {e}"))
+            .into_iter()
+            .collect();
+        assert!(
+            got == want,
+            "{ctx}: {strategy:?} scan diverged from the committed oracle\n \
+             got: {got:?}\nwant: {want:?}"
+        );
+    }
+    // recovery performs zero writes: recovering the recovered store's own
+    // image must agree byte for byte and file the identical report
+    let d1 = rec.crash_image().dump();
+    let (rec2, report2) = LsmStore::recover(rec.crash_image(), cfg.clone())
+        .unwrap_or_else(|e| panic!("{ctx}: second recovery failed: {e}"));
+    assert_eq!(report, report2, "{ctx}: recovery report not deterministic");
+    assert!(
+        d1 == rec2.crash_image().dump(),
+        "{ctx}: double recovery is not byte-identical"
+    );
+    // liveness: the recovered store still runs the full pipeline
+    let t = rec.begin();
+    rec.put(t, 10_000, b"post-crash").expect("post-crash put");
+    rec.commit(t)
+        .unwrap_or_else(|e| panic!("{ctx}: post-crash commit failed: {e}"));
+    rec.flush_now()
+        .unwrap_or_else(|e| panic!("{ctx}: post-crash flush failed: {e}"));
+    rec.maintain()
+        .unwrap_or_else(|e| panic!("{ctx}: post-crash maintain failed: {e}"));
+    assert_eq!(
+        rec.get(10_000).expect("post-crash get").as_deref(),
+        Some(&b"post-crash"[..]),
+        "{ctx}: post-crash key lost"
+    );
+    report
+}
+
+/// Per-site accounting the recovery report must show, given which job
+/// (flush vs compaction) tripped the site.
+fn lsm_check_site_accounting(
+    site: CrashSite,
+    compaction: bool,
+    report: &LsmRecoveryReport,
+    ctx: &str,
+) {
+    match site {
+        CrashSite::PreManifestPublish | CrashSite::MidLevelWrite => {
+            assert!(
+                report.orphan_runs >= 1,
+                "{ctx}: torn output not counted as an orphan: {report:?}"
+            );
+            assert_eq!(
+                report.reclaimed_runs, 0,
+                "{ctx}: nothing was retired before the install: {report:?}"
+            );
+        }
+        CrashSite::PostPublishPreGc => {
+            assert_eq!(
+                report.orphan_runs, 0,
+                "{ctx}: installed output miscounted as an orphan: {report:?}"
+            );
+            if compaction {
+                assert!(
+                    report.reclaimed_runs >= 1,
+                    "{ctx}: retired inputs not reclaimed: {report:?}"
+                );
+            } else {
+                // an installed flush bumps the journal generation: its
+                // batches must not replay on top of the installed run
+                assert_eq!(
+                    report.replayed_batches, 0,
+                    "{ctx}: stale journal replayed after an installed flush: {report:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The named-crash-site sweep proper: seeds × sites × {flush, compaction},
+/// on one backend. Committed state is built clean; the armed site then
+/// crashes the device at the exact protocol step under the maintenance
+/// job of choice.
+fn lsm_named_site_sweep(backend: BackendKind, seeds: &[u64]) {
+    for &seed in seeds {
+        for (si, &site) in LSM_SITES.iter().enumerate() {
+            for compaction in [false, true] {
+                let cfg = lsm_cfg(backend.clone());
+                let store = LsmStore::new(cfg.clone()).expect("new lsm store");
+                let handle = FaultInjector::handle(FaultPlan::new());
+                store.attach_faults(&handle);
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ ((si as u64 + 1) << 32) ^ ((compaction as u64) << 40),
+                );
+                let ctx = format!("lsm seed {seed} site {site:?} compaction {compaction}");
+
+                // multi-level base state, committed clean: flush rounds,
+                // then a full drain so deeper levels exist
+                let mut oracle = LsmOracle::new();
+                for _ in 0..3 {
+                    lsm_commit_burst(&store, &mut oracle, &mut rng, 6);
+                    store.flush_now().expect("clean flush");
+                }
+                store.maintain().expect("clean maintain");
+
+                let err = if compaction {
+                    // fill L0 past its limit without compacting; maintain()
+                    // then picks CompactL0 and trips mid-merge
+                    while store.manifest().l0.len() <= cfg.l0_limit {
+                        lsm_commit_burst(&store, &mut oracle, &mut rng, 4);
+                        store.flush_now().expect("clean flush");
+                    }
+                    store.set_crash_site(site);
+                    store
+                        .maintain()
+                        .expect_err(&format!("{ctx}: armed compaction did not crash"))
+                } else {
+                    lsm_commit_burst(&store, &mut oracle, &mut rng, 3);
+                    assert!(store.memtable_len() > 0, "{ctx}: nothing to flush");
+                    store.set_crash_site(site);
+                    store
+                        .flush_now()
+                        .expect_err(&format!("{ctx}: armed flush did not crash"))
+                };
+                assert!(
+                    matches!(err, LsmError::Storage(StorageError::Offline)),
+                    "{ctx}: unexpected crash error: {err}"
+                );
+                assert!(
+                    handle.lock().crashed(),
+                    "{ctx}: crash site never tripped the injector"
+                );
+
+                let report = lsm_check_recovery(&store, &cfg, &oracle, &ctx);
+                lsm_check_site_accounting(site, compaction, &report, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn lsm_survives_named_crash_site_sweep() {
+    lsm_named_site_sweep(BackendKind::Mem, &SEEDS);
+}
+
+#[test]
+fn lsm_survives_named_crash_site_sweep_on_filedisk() {
+    lsm_named_site_sweep(BackendKind::file(), &FILE_SEEDS);
+}
+
+/// The same three sites tripped on the BACKGROUND maintenance thread: the
+/// worker observes the armed site through the very same fault handle the
+/// foreground path uses, fails its job, and surfaces the error through
+/// `wait_idle` — then recovery behaves exactly as in the foreground sweep.
+#[test]
+fn lsm_background_worker_trips_crash_sites_and_recovers() {
+    for seed in [7u64, 1985, 31337] {
+        for (si, &site) in LSM_SITES.iter().enumerate() {
+            let cfg = LsmConfig {
+                background: true,
+                ..lsm_cfg(BackendKind::Mem)
+            };
+            let store = LsmStore::new(cfg.clone()).expect("new lsm store");
+            let handle = FaultInjector::handle(FaultPlan::new());
+            store.attach_faults(&handle);
+            let mut rng = StdRng::seed_from_u64(seed ^ ((si as u64 + 1) << 32));
+            let ctx = format!("lsm-bg seed {seed} site {site:?}");
+
+            let mut oracle = LsmOracle::new();
+            lsm_commit_burst(&store, &mut oracle, &mut rng, 10);
+            store.wait_idle().expect("clean drain");
+
+            // arm FIRST, then push the memtable over its limit: the worker
+            // picks the flush up on its own thread and trips the site there.
+            // A commit racing past the trip fails all-or-nothing (its
+            // journal batch is either complete on the platter or dropped),
+            // so at most one commit is ambiguous.
+            store.set_crash_site(site);
+            let mut ambiguous: Vec<(u64, Option<Vec<u8>>)> = Vec::new();
+            loop {
+                let t = store.begin();
+                let key = rng.gen_range(32..64u64);
+                let mut v = vec![0u8; 8];
+                rng.fill(&mut v[..]);
+                store.put(t, key, &v).expect("stage put");
+                match store.commit(t) {
+                    Ok(()) => {
+                        oracle.insert(key, Some(v));
+                    }
+                    Err(_) => {
+                        ambiguous.push((key, Some(v)));
+                        break;
+                    }
+                }
+                if store.memtable_len() >= cfg.memtable_limit {
+                    break;
+                }
+            }
+            let err = store
+                .wait_idle()
+                .expect_err(&format!("{ctx}: armed background flush did not crash"));
+            assert!(
+                matches!(err, LsmError::Storage(StorageError::Offline)),
+                "{ctx}: unexpected crash error: {err}"
+            );
+            assert!(
+                handle.lock().crashed(),
+                "{ctx}: worker never tripped the injector"
+            );
+
+            // recover into foreground mode: the byte-identity and report
+            // oracles need a quiescent store, and a background worker would
+            // immediately flush the replayed memtable underneath them
+            let rcfg = LsmConfig {
+                background: false,
+                ..cfg.clone()
+            };
+            let (rec, report) = LsmStore::recover(store.crash_image(), rcfg.clone())
+                .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+            let got: BTreeMap<u64, Vec<u8>> = rec
+                .scan(ScanStrategy::Optimal)
+                .unwrap_or_else(|e| panic!("{ctx}: scan failed: {e}"))
+                .into_iter()
+                .collect();
+            let without = lsm_live(&oracle);
+            let mut with_m = oracle.clone();
+            for (k, v) in &ambiguous {
+                with_m.insert(*k, v.clone());
+            }
+            let with = lsm_live(&with_m);
+            assert!(
+                got == without || got == with,
+                "{ctx}: recovered relation matches neither side of the \
+                 interrupted commit\n got: {got:?}\n old: {without:?}\n new: {with:?}"
+            );
+            lsm_check_site_accounting(site, false, &report, &ctx);
+
+            // double recovery and liveness, as in the foreground sweep
+            let d1 = rec.crash_image().dump();
+            let (rec2, report2) = LsmStore::recover(rec.crash_image(), rcfg)
+                .unwrap_or_else(|e| panic!("{ctx}: second recovery failed: {e}"));
+            assert_eq!(report, report2, "{ctx}: recovery report not deterministic");
+            assert!(
+                d1 == rec2.crash_image().dump(),
+                "{ctx}: double recovery is not byte-identical"
+            );
+            let t = rec2.begin();
+            rec2.put(t, 10_000, b"post-crash").expect("post-crash put");
+            rec2.commit(t)
+                .unwrap_or_else(|e| panic!("{ctx}: post-crash commit failed: {e}"));
+            rec2.maintain()
+                .unwrap_or_else(|e| panic!("{ctx}: post-crash maintain failed: {e}"));
+        }
+    }
+}
+
+/// Seeded-storm sweep: the same global-write-index crashpoint grid the
+/// page engines run, against the LSM store — device faults land wherever
+/// the protocol happens to be, foreground flushes and compactions
+/// included. One commit (the crash-adjacent one) may be ambiguous; its
+/// journal batch is all-or-nothing, so the recovered relation must equal
+/// the oracle with or without it — nothing in between.
+fn lsm_storm_sweep(backend: BackendKind, seeds: &[u64], crashpoints: &[u64]) {
+    let mut crash_hits = 0usize;
+    for &seed in seeds {
+        for &crashpoint in crashpoints {
+            let cfg = lsm_cfg(backend.clone());
+            let store = LsmStore::new(cfg.clone()).expect("new lsm store");
+            let plan = FaultPlan::seeded(seed, 1 << 20).crash_after_write(crashpoint);
+            let handle = FaultInjector::handle(plan);
+            store.attach_faults(&handle);
+            let mut rng = StdRng::seed_from_u64(seed ^ (crashpoint << 32));
+            let ctx = format!("lsm-storm seed {seed} crashpoint {crashpoint}");
+
+            let mut committed = LsmOracle::new();
+            let mut ambiguous: Vec<(u64, Option<Vec<u8>>)> = Vec::new();
+            let mut errored = false;
+            'storm: for i in 0..400usize {
+                let t = store.begin();
+                let mut staged: Vec<(u64, Option<Vec<u8>>)> = Vec::new();
+                for _ in 0..rng.gen_range(1..4) {
+                    let key = rng.gen_range(0..32u64);
+                    if staged.iter().any(|(k, _)| *k == key) {
+                        continue;
+                    }
+                    if rng.gen_bool(0.8) {
+                        let mut v = vec![0u8; 8];
+                        rng.fill(&mut v[..]);
+                        store.put(t, key, &v).expect("stage put");
+                        staged.push((key, Some(v)));
+                    } else {
+                        store.delete(t, key).expect("stage delete");
+                        staged.push((key, None));
+                    }
+                }
+                match store.commit(t) {
+                    Ok(()) => {
+                        for (k, v) in staged {
+                            committed.insert(k, v);
+                        }
+                    }
+                    Err(e) => {
+                        // the batch may or may not have sealed before the
+                        // crash — all-or-nothing either way
+                        eprintln!("[lsm-storm] commit error: {e}");
+                        ambiguous = staged;
+                        errored = true;
+                        break 'storm;
+                    }
+                }
+                // periodic maintenance: flushes + compactions run through
+                // the same faulted device the commits use
+                if i % 4 == 3 {
+                    if let Err(e) = store.maintain() {
+                        // maintenance holds no staged data: committed
+                        // state stays strict
+                        eprintln!("[lsm-storm] maintain error: {e}");
+                        errored = true;
+                        break 'storm;
+                    }
+                }
+            }
+            assert!(errored, "{ctx}: storm ran dry without an error");
+            crash_hits += usize::from(handle.lock().crashed());
+
+            let (rec, _) = LsmStore::recover(store.crash_image(), cfg.clone())
+                .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+            let got: BTreeMap<u64, Vec<u8>> = rec
+                .scan(ScanStrategy::Optimal)
+                .unwrap_or_else(|e| panic!("{ctx}: scan failed: {e}"))
+                .into_iter()
+                .collect();
+            let got_basic: BTreeMap<u64, Vec<u8>> = rec
+                .scan(ScanStrategy::Basic)
+                .unwrap_or_else(|e| panic!("{ctx}: basic scan failed: {e}"))
+                .into_iter()
+                .collect();
+            assert!(
+                got == got_basic,
+                "{ctx}: basic and optimal disagree after recovery"
+            );
+            let without = lsm_live(&committed);
+            for (k, v) in &ambiguous {
+                committed.insert(*k, v.clone());
+            }
+            let with = lsm_live(&committed);
+            assert!(
+                got == without || got == with,
+                "{ctx}: recovered relation matches neither side of the \
+                 interrupted commit\n got: {got:?}\n old: {without:?}\n new: {with:?}"
+            );
+
+            // double recovery is byte-identical even on storm-faulted images
+            let d1 = rec.crash_image().dump();
+            let (rec2, _) = LsmStore::recover(rec.crash_image(), cfg.clone())
+                .unwrap_or_else(|e| panic!("{ctx}: second recovery failed: {e}"));
+            assert!(
+                d1 == rec2.crash_image().dump(),
+                "{ctx}: double recovery is not byte-identical"
+            );
+
+            // the engine still works on the clean device
+            let t = rec.begin();
+            rec.put(t, 10_000, b"post-recovery").expect("put");
+            rec.commit(t).expect("commit");
+            rec.flush_now().expect("flush");
+            rec.maintain().expect("maintain");
+        }
+    }
+    let grid = seeds.len() * crashpoints.len();
+    assert!(
+        crash_hits * 2 >= grid,
+        "scheduled crash fired in only {crash_hits}/{grid} runs"
+    );
+}
+
+#[test]
+fn lsm_survives_seeded_crashpoint_storm() {
+    lsm_storm_sweep(BackendKind::Mem, &SEEDS, &CRASHPOINTS);
+}
+
+#[test]
+fn lsm_survives_seeded_crashpoint_storm_on_filedisk() {
+    lsm_storm_sweep(BackendKind::file(), &FILE_SEEDS, &FILE_CRASHPOINTS);
+}
+
+/// The satellite regression: the SAME fault plan, observed once by the
+/// background compaction thread and once by the foreground `maintain`
+/// path, must produce the SAME retry accounting and the SAME bytes. Both
+/// paths share one counted-I/O layer and one injector handle, so any
+/// divergence means background I/O stopped going through them.
+#[test]
+fn lsm_background_fault_accounting_matches_foreground() {
+    for seed in [7u64, 42, 1985, 31337] {
+        let run = |background: bool| {
+            let cfg = LsmConfig {
+                l0_limit: 0, // compact after every flush
+                background,
+                ..lsm_cfg(BackendKind::Mem)
+            };
+            let store = LsmStore::new(cfg.clone()).expect("new lsm store");
+            // deterministic clean prefix: stop one key short of the flush
+            // threshold so no maintenance runs before the plan attaches
+            for k in 0..cfg.memtable_limit as u64 - 1 {
+                let t = store.begin();
+                store.put(t, k, &(seed ^ k).to_le_bytes()).expect("stage");
+                store.commit(t).expect("clean commit");
+            }
+            // identical transient plan from here on: the final commit, the
+            // flush, and the L0 compaction all run through it. Sparse on
+            // purpose — a faulted write burns extra attempt indices on its
+            // retries, and stacking a second per-index fault inside that
+            // window would exhaust the store's bounded retry budget.
+            let plan = (0..24u64).fold(FaultPlan::new(), |p, i| {
+                let p = if i % 5 == 0 {
+                    p.transient_write(i, 1)
+                } else {
+                    p
+                };
+                if i % 7 == 3 {
+                    p.transient_read(i, 1)
+                } else {
+                    p
+                }
+            });
+            store.attach_faults(&FaultInjector::handle(plan));
+            let t = store.begin();
+            store.put(t, 99, b"trip-the-threshold").expect("stage");
+            store.commit(t).expect("final commit");
+            if background {
+                store.wait_idle().expect("background maintenance");
+            } else {
+                store.maintain().expect("foreground maintenance");
+            }
+            let stats = store.stats();
+            assert!(
+                stats.flushes >= 1 && stats.compactions >= 1,
+                "seed {seed} background={background}: maintenance never ran: {stats:?}"
+            );
+            (stats, store.crash_image().dump())
+        };
+        let (fg, fg_dump) = run(false);
+        let (bg, bg_dump) = run(true);
+        assert_eq!(
+            fg, bg,
+            "seed {seed}: background maintenance accounted faults differently"
+        );
+        assert!(
+            fg.write_retries > 0,
+            "seed {seed}: the plan never forced a write retry: {fg:?}"
+        );
+        assert!(
+            fg_dump == bg_dump,
+            "seed {seed}: background and foreground maintenance diverged on disk"
+        );
     }
 }
